@@ -1,0 +1,183 @@
+//! Terminal line charts for the figure harnesses.
+//!
+//! The paper's figures are log-scale runtime plots; this renderer produces
+//! a comparable view directly in the terminal, one marker character per
+//! series, with optional log-scaled axes.
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend name.
+    pub name: String,
+    /// `(x, y)` points; y must be positive when log-scaling.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Series {
+        Series { name: name.into(), points }
+    }
+}
+
+const MARKERS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// Renders series into a `width`×`height` character grid with axes and a
+/// legend. With `log_y`, the y axis is log₁₀-scaled (all y must be > 0).
+pub fn render(
+    title: &str,
+    series: &[Series],
+    width: usize,
+    height: usize,
+    log_y: bool,
+) -> String {
+    assert!(width >= 16 && height >= 4, "plot area too small");
+    let pts: Vec<(f64, f64)> =
+        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if pts.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let xform_y = |y: f64| -> f64 {
+        if log_y {
+            assert!(y > 0.0, "log scale requires positive values, got {y}");
+            y.log10()
+        } else {
+            y
+        }
+    };
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        let y = xform_y(y);
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if x_max == x_min {
+        x_max += 1.0;
+    }
+    if y_max == y_min {
+        y_max += 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let marker = MARKERS[si % MARKERS.len()];
+        for &(x, y) in &s.points {
+            let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let cy = ((xform_y(y) - y_min) / (y_max - y_min) * (height - 1) as f64).round()
+                as usize;
+            let row = height - 1 - cy;
+            // Later series overwrite earlier ones at collisions; the legend
+            // disambiguates overall trends.
+            grid[row][cx] = marker;
+        }
+    }
+    let fmt_y = |frac: f64| -> String {
+        let v = y_min + (y_max - y_min) * frac;
+        let v = if log_y { 10f64.powf(v) } else { v };
+        if v.abs() >= 1000.0 {
+            format!("{v:.0}")
+        } else {
+            format!("{v:.3}")
+        }
+    };
+    let label_w = 9;
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (r, row) in grid.iter().enumerate() {
+        let frac = 1.0 - r as f64 / (height - 1) as f64;
+        let label = if r == 0 || r == height - 1 || r == height / 2 {
+            format!("{:>label_w$}", fmt_y(frac))
+        } else {
+            " ".repeat(label_w)
+        };
+        out.push_str(&label);
+        out.push_str(" |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(label_w));
+    out.push_str(" +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{} {:<12} {:>w$}\n",
+        " ".repeat(label_w),
+        trim_num(x_min),
+        trim_num(x_max),
+        w = width.saturating_sub(12)
+    ));
+    out.push_str("  legend: ");
+    for (si, s) in series.iter().enumerate() {
+        if si > 0 {
+            out.push_str(", ");
+        }
+        out.push(MARKERS[si % MARKERS.len()]);
+        out.push('=');
+        out.push_str(&s.name);
+    }
+    out.push('\n');
+    out
+}
+
+fn trim_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e12 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_axes_markers_and_legend() {
+        let s = vec![
+            Series::new("NL", vec![(1.0, 10.0), (2.0, 40.0), (3.0, 90.0)]),
+            Series::new("IN", vec![(1.0, 2.0), (2.0, 5.0), (3.0, 9.0)]),
+        ];
+        let plot = render("runtime", &s, 40, 10, true);
+        assert!(plot.starts_with("runtime\n"));
+        assert!(plot.contains('*') && plot.contains('o'));
+        assert!(plot.contains("legend: *=NL, o=IN"));
+        // Eleven grid rows (10 + x axis) plus title, x labels, legend.
+        assert_eq!(plot.lines().count(), 14);
+    }
+
+    #[test]
+    fn log_scale_orders_extremes_correctly() {
+        let s = vec![Series::new("a", vec![(0.0, 1.0), (1.0, 1000.0)])];
+        let plot = render("t", &s, 30, 8, true);
+        // Top label is the max (1000), bottom label the min (1).
+        let lines: Vec<&str> = plot.lines().collect();
+        assert!(lines[1].trim_start().starts_with("1000"), "{plot}");
+        assert!(lines[8].trim_start().starts_with("1.000"), "{plot}");
+    }
+
+    #[test]
+    fn flat_series_and_single_point_do_not_panic() {
+        let s = vec![Series::new("flat", vec![(1.0, 5.0), (2.0, 5.0)])];
+        let plot = render("t", &s, 20, 5, false);
+        assert!(plot.contains('*'));
+        let s = vec![Series::new("one", vec![(1.0, 5.0)])];
+        let plot = render("t", &s, 20, 5, true);
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    fn empty_series_render_placeholder() {
+        let plot = render("t", &[], 20, 5, false);
+        assert!(plot.contains("no data"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn log_scale_rejects_nonpositive() {
+        let s = vec![Series::new("bad", vec![(0.0, 0.0)])];
+        let _ = render("t", &s, 20, 5, true);
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 14: the real-data experiment — NBA player-season statistics
+//! grouped by different attributes with 3-8 skyline attributes.
+//!
+//! The paper used the databasebasketball.com dump (~15 000 records); this
+//! harness uses the deterministic synthetic stand-in of `aggsky-datagen`
+//! (same schema, same grouping cardinalities, positively correlated stats)
+//! and reports the naive exhaustive nested loop (NL0, the non-SQL baseline)
+//! next to the five algorithms. The SQL baseline's quadratic self-join at
+//! 15 000 records is measured separately by `fig08_sql`.
+//!
+//! Usage: `fig14_nba [records]` (default 15000).
+
+use aggsky_bench::report::fmt_ms;
+use aggsky_bench::{measure, measure_all, MarkdownTable};
+use aggsky_core::{Algorithm, Gamma};
+use aggsky_datagen::{generate_nba, nba_dataset, NbaGrouping};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(15_000);
+    let records = generate_nba(n, 42);
+    println!("## Figure 14 — synthetic NBA data ({n} player-season records)\n");
+    let mut headers = vec!["group by".to_string(), "groups".to_string(), "attrs".to_string()];
+    headers.push("NL0".to_string());
+    headers.extend(Algorithm::EVALUATED.iter().map(|a| a.short_name().to_string()));
+    headers.push("skyline".to_string());
+    headers.push("best vs NL0".to_string());
+    let mut table = MarkdownTable::new(headers);
+    for grouping in NbaGrouping::ALL {
+        for attrs in [3usize, 8] {
+            let ds = nba_dataset(&records, grouping, attrs);
+            let naive = measure(Algorithm::Naive, &ds, Gamma::DEFAULT);
+            let ms = measure_all(&ds, Gamma::DEFAULT);
+            // NL (exact) must always match the exhaustive oracle.
+            assert_eq!(ms[0].result.skyline, naive.result.skyline, "{grouping:?}/{attrs}");
+            let best = ms.iter().map(|m| m.millis).fold(f64::INFINITY, f64::min);
+            let mut row = vec![
+                grouping.label().to_string(),
+                ds.n_groups().to_string(),
+                attrs.to_string(),
+                fmt_ms(naive.millis),
+            ];
+            row.extend(ms.iter().map(|m| fmt_ms(m.millis)));
+            row.push(ms[0].skyline_len().to_string());
+            row.push(format!("{:.0}x", naive.millis / best.max(1e-6)));
+            table.push_row(row);
+        }
+    }
+    table.print();
+    println!("\nExpected shape: the optimized algorithms never lose to the exhaustive");
+    println!("baseline, with gains ranging from ~none (few huge, mutually incomparable");
+    println!("groups, where nothing can be pruned) to about two orders of magnitude.");
+    println!("Note: on the synthetic stand-in the hardest grouping differs from the");
+    println!("paper's (its real data made 8-attribute/many-small-groups the near-1x case);");
+    println!("see EXPERIMENTS.md for the discussion.");
+}

@@ -1,0 +1,34 @@
+//! Runs every figure/table harness in sequence (with optionally reduced
+//! sizes) and prints one combined report.
+//!
+//! Usage: `run_all [quick]` — `quick` caps the sweeps for a fast smoke run.
+
+use std::process::Command;
+
+fn main() {
+    let quick = std::env::args().nth(1).map(|a| a == "quick").unwrap_or(false);
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let jobs: Vec<(&str, Vec<String>)> = vec![
+        ("table2_directors", vec![]),
+        ("fig08_sql", vec![if quick { "2000" } else { "8000" }.to_string()]),
+        ("fig10_dimensionality", vec![if quick { "2000" } else { "10000" }.to_string()]),
+        ("fig11_overlap", vec![if quick { "2000" } else { "10000" }.to_string()]),
+        ("fig12_records", vec![if quick { "5000" } else { "25000" }.to_string()]),
+        ("fig13_scaling", vec![if quick { "10000" } else { "80000" }.to_string()]),
+        ("fig14_nba", vec![if quick { "3000" } else { "15000" }.to_string()]),
+        ("ablation", vec![if quick { "2000" } else { "10000" }.to_string()]),
+        ("gamma_sweep", vec![if quick { "2000" } else { "10000" }.to_string()]),
+    ];
+    for (bin, args) in jobs {
+        println!("\n{}\n", "=".repeat(72));
+        let status = Command::new(exe_dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed with {status}");
+    }
+}

@@ -1,0 +1,24 @@
+//! # aggsky-bench
+//!
+//! Benchmark harnesses regenerating every table and figure of the paper's
+//! experimental evaluation (Section 4). Each `bin/figNN_*` binary prints a
+//! markdown table with one row per measured configuration; `bin/run_all`
+//! chains them into a full report.
+//!
+//! Times are wall-clock milliseconds on the current machine; the paper's
+//! absolute numbers came from different hardware, so what must match is the
+//! *shape*: which algorithm wins, by what rough factor, and where the
+//! crossovers are. Each measurement also reports hardware-independent work
+//! counters (group pairs compared, record pairs checked).
+
+#![warn(missing_docs)]
+
+pub mod asciiplot;
+pub mod report;
+pub mod runner;
+pub mod sql_baseline;
+
+pub use asciiplot::{render, Series};
+pub use report::MarkdownTable;
+pub use sql_baseline::{load_sql_baseline, ALGORITHM_1};
+pub use runner::{measure, measure_all, Measurement};

@@ -1,0 +1,97 @@
+//! Markdown table rendering for harness output.
+
+/// An incrementally-built, aligned markdown table.
+#[derive(Debug, Clone)]
+pub struct MarkdownTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl MarkdownTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> MarkdownTable {
+        MarkdownTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row; must match the header count.
+    pub fn push_row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(&widths) {
+                line.push_str(&format!(" {c:>w$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&render_row(&self.headers));
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+        }
+        out
+    }
+
+    /// Renders and prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a millisecond measurement compactly.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms >= 100.0 {
+        format!("{ms:.0}")
+    } else if ms >= 1.0 {
+        format!("{ms:.1}")
+    } else {
+        format!("{ms:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = MarkdownTable::new(vec!["algo", "ms"]);
+        t.push_row(vec!["NL", "12.5"]);
+        t.push_row(vec!["IN", "1.0"]);
+        let s = t.render();
+        assert!(s.starts_with("| algo |"));
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains("|   NL | 12.5 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = MarkdownTable::new(vec!["a"]);
+        t.push_row(vec!["1", "2"]);
+    }
+
+    #[test]
+    fn ms_formatting() {
+        assert_eq!(fmt_ms(1234.6), "1235");
+        assert_eq!(fmt_ms(12.34), "12.3");
+        assert_eq!(fmt_ms(0.1234), "0.123");
+    }
+}

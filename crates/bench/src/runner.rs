@@ -1,0 +1,77 @@
+//! Timed algorithm runs with sanity cross-checks.
+
+use aggsky_core::{Algorithm, Gamma, GroupedDataset, SkylineResult};
+use std::time::Instant;
+
+/// One timed run of one algorithm.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Which algorithm ran.
+    pub algorithm: Algorithm,
+    /// Wall-clock time in milliseconds.
+    pub millis: f64,
+    /// The computed skyline and work counters.
+    pub result: SkylineResult,
+}
+
+impl Measurement {
+    /// Size of the computed skyline.
+    pub fn skyline_len(&self) -> usize {
+        self.result.skyline.len()
+    }
+}
+
+/// Times a single algorithm in its canonical paper configuration.
+pub fn measure(algorithm: Algorithm, ds: &GroupedDataset, gamma: Gamma) -> Measurement {
+    let start = Instant::now();
+    let result = algorithm.run(ds, gamma);
+    let millis = start.elapsed().as_secs_f64() * 1e3;
+    Measurement { algorithm, millis, result }
+}
+
+/// Times all five evaluated algorithms (NL, TR, SI, IN, LO) on one dataset.
+///
+/// NL is exact; the transitive family runs the paper's printed pruning,
+/// which can in corner cases keep an extra group (see the core crate docs
+/// on paper vs. exact pruning). Disagreements are reported on stderr rather
+/// than aborting the sweep, so a benchmark run also doubles as a survey of
+/// how often the printed pruning deviates in practice.
+pub fn measure_all(ds: &GroupedDataset, gamma: Gamma) -> Vec<Measurement> {
+    let out: Vec<Measurement> =
+        Algorithm::EVALUATED.iter().map(|&a| measure(a, ds, gamma)).collect();
+    let first = &out[0];
+    for m in &out[1..] {
+        if m.result.skyline != first.result.skyline {
+            eprintln!(
+                "note: {} returned {} groups where {} returned {} (paper-pruning deviation)",
+                m.algorithm.short_name(),
+                m.result.skyline.len(),
+                first.algorithm.short_name(),
+                first.result.skyline.len()
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggsky_datagen::{Distribution, SyntheticConfig};
+
+    #[test]
+    fn all_algorithms_agree_on_a_small_workload() {
+        let ds = SyntheticConfig {
+            n_records: 600,
+            n_groups: 12,
+            dim: 3,
+            ..SyntheticConfig::paper_default(Distribution::AntiCorrelated)
+        }
+        .generate();
+        let ms = measure_all(&ds, Gamma::DEFAULT);
+        assert_eq!(ms.len(), 5);
+        assert!(ms.iter().all(|m| m.millis >= 0.0));
+        let naive = aggsky_core::naive_skyline(&ds, Gamma::DEFAULT);
+        assert_eq!(ms[0].result.skyline, naive.skyline);
+    }
+}

@@ -1,0 +1,282 @@
+//! Aggregate-skyline algorithms (Section 3 of the paper).
+//!
+//! Five algorithms are implemented, matching the evaluation's lineup:
+//!
+//! | Name | Paper | Function |
+//! |------|-------|----------|
+//! | NL   | Alg. 2 + stop rule       | [`nested_loop`] |
+//! | TR   | Alg. 3 (weak transitivity)| [`transitive`] |
+//! | SI   | Alg. 4 (sorted access)   | [`sorted`] |
+//! | IN   | Alg. 5 (spatial index)   | [`indexed`] |
+//! | LO   | Alg. 5 + Fig. 9 boxes    | [`indexed`] with `bbox_prune` |
+//!
+//! plus the unoptimized [`naive_skyline`], which is the differential-testing
+//! oracle.
+//!
+//! ## Paper vs. exact pruning
+//!
+//! Algorithm 3 as printed skips *strongly dominated* groups both as
+//! comparison targets and as potential dominators. Weak transitivity
+//! (Proposition 5) guarantees that a pruned group's γ̄-level dominations are
+//! covered by its own dominator, but its plain γ-level dominations are not;
+//! on adversarial inputs the printed algorithm can therefore emit a group
+//! that the naive algorithm excludes. [`Pruning::Paper`] reproduces the
+//! printed behaviour; [`Pruning::Exact`] only skips comparisons whose two
+//! sides are both already excluded, which is provably result-preserving.
+//! The difference is measured in `tests/` and the ablation benchmarks.
+
+mod indexed;
+mod naive;
+mod nested_loop;
+mod parallel;
+mod transitive;
+
+pub use indexed::indexed;
+pub use naive::naive_skyline;
+pub use nested_loop::nested_loop;
+pub use parallel::parallel_skyline;
+pub use transitive::{sorted, transitive};
+
+use crate::dataset::{GroupId, GroupedDataset};
+use crate::gamma::Gamma;
+use crate::mbb::Mbb;
+use crate::paircount::{DomLevel, PairVerdict};
+use crate::stats::Stats;
+
+/// Output of an aggregate-skyline computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkylineResult {
+    /// Group ids in the skyline, ascending.
+    pub skyline: Vec<GroupId>,
+    /// Work counters for the run.
+    pub stats: Stats,
+}
+
+/// Lifecycle of a group while an algorithm runs.
+///
+/// The ordering matters: a status is only ever *raised*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum Status {
+    /// Not (yet) known to be dominated.
+    Live,
+    /// γ-dominated by some group: excluded from the result.
+    Dominated,
+    /// γ̄-dominated: excluded and, under [`Pruning::Paper`], also skipped as
+    /// a dominator candidate.
+    StronglyDominated,
+}
+
+impl Status {
+    #[inline]
+    pub(crate) fn raise(&mut self, to: Status) {
+        if to > *self {
+            *self = to;
+        }
+    }
+}
+
+/// Pruning discipline for the transitive family of algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pruning {
+    /// Algorithm 3 exactly as printed: strongly dominated groups (at the
+    /// paper's γ̄ threshold, clamped to ≥ γ) are skipped both as targets
+    /// and as dominator candidates.
+    Paper,
+    /// Algorithm 3 with the *corrected* weak-transitivity threshold
+    /// `γ̄ = (1+γ)/2` (see [`crate::Gamma::bar_corrected`]). Still heuristic —
+    /// a pruned group's plain γ-level dominations are not covered by
+    /// weak transitivity at any threshold — but the threshold itself is
+    /// sound, unlike the printed formula.
+    PaperCorrected,
+    /// Conservative variant: a comparison is skipped only when both sides
+    /// are already excluded from the result. Always matches the naive
+    /// oracle.
+    Exact,
+}
+
+impl Pruning {
+    /// Whether strong (γ̄-level) marks drive skipping.
+    #[inline]
+    pub(crate) fn uses_strong_marks(self) -> bool {
+        !matches!(self, Pruning::Exact)
+    }
+
+    /// Pair-counting options implied by this discipline.
+    pub(crate) fn pair_options(self, stop_rule: bool) -> crate::paircount::PairOptions {
+        crate::paircount::PairOptions {
+            stop_rule,
+            need_bar: self.uses_strong_marks(),
+            corrected_bar: matches!(self, Pruning::PaperCorrected),
+        }
+    }
+}
+
+/// Order in which the outer loop visits groups (Algorithm 4 / Section 3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortStrategy {
+    /// Dataset insertion order (what plain NL/TR use).
+    InsertionOrder,
+    /// Descending sum of the distances between the origin and the MBB's
+    /// minimum and maximum corners (Algorithm 4): likely dominators first.
+    CornerDistance,
+    /// Ascending group cardinality, ties broken by descending minimum-corner
+    /// distance: the Section 3.4 global optimization (cheap comparisons
+    /// first), which is the configuration the evaluation calls "SI".
+    SizeThenDistance,
+}
+
+/// Tuning knobs shared by the optimized algorithms. [`AlgoOptions::paper`]
+/// reproduces the configurations used in the paper's evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct AlgoOptions {
+    /// γ threshold (`0.5 ≤ γ ≤ 1`).
+    pub gamma: Gamma,
+    /// Section 3.3 early-stopping rule inside pair counting.
+    pub stop_rule: bool,
+    /// Figure 9 bounding-box pruning inside pair counting (the "LO" extra).
+    pub bbox_prune: bool,
+    /// Weak-transitivity pruning discipline.
+    pub pruning: Pruning,
+    /// Outer-loop visiting order for [`sorted`] and [`indexed`].
+    pub sort: SortStrategy,
+}
+
+impl AlgoOptions {
+    /// The paper's canonical configuration at the given γ.
+    pub fn paper(gamma: Gamma) -> Self {
+        AlgoOptions {
+            gamma,
+            stop_rule: true,
+            bbox_prune: false,
+            pruning: Pruning::Paper,
+            sort: SortStrategy::SizeThenDistance,
+        }
+    }
+
+    /// Exact-pruning configuration (always oracle-equivalent).
+    pub fn exact(gamma: Gamma) -> Self {
+        AlgoOptions { pruning: Pruning::Exact, ..AlgoOptions::paper(gamma) }
+    }
+}
+
+/// The algorithm lineup of the paper's evaluation (plus the naive oracle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Exhaustive nested loop without even the stopping rule.
+    Naive,
+    /// NL: nested loop with the stop condition (Algorithm 2).
+    NestedLoop,
+    /// TR: transitive with stop condition (Algorithm 3).
+    Transitive,
+    /// SI: sorted access (Algorithm 4).
+    Sorted,
+    /// IN: index-based (Algorithm 5).
+    Indexed,
+    /// LO: index-based with bounding-box approximation (Algorithm 5 + §3.3).
+    IndexedBbox,
+}
+
+impl Algorithm {
+    /// Short name used in the paper's plots.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Algorithm::Naive => "NL0",
+            Algorithm::NestedLoop => "NL",
+            Algorithm::Transitive => "TR",
+            Algorithm::Sorted => "SI",
+            Algorithm::Indexed => "IN",
+            Algorithm::IndexedBbox => "LO",
+        }
+    }
+
+    /// All five evaluated algorithms, in the paper's order.
+    pub const EVALUATED: [Algorithm; 5] = [
+        Algorithm::NestedLoop,
+        Algorithm::Transitive,
+        Algorithm::Sorted,
+        Algorithm::Indexed,
+        Algorithm::IndexedBbox,
+    ];
+
+    /// Runs this algorithm in its canonical paper configuration.
+    pub fn run(self, ds: &GroupedDataset, gamma: Gamma) -> SkylineResult {
+        self.run_with(ds, AlgoOptions::paper(gamma))
+    }
+
+    /// Runs this algorithm with explicit options (`bbox_prune` and `sort`
+    /// are overridden where the algorithm's identity requires it).
+    pub fn run_with(self, ds: &GroupedDataset, opts: AlgoOptions) -> SkylineResult {
+        match self {
+            Algorithm::Naive => naive_skyline(ds, opts.gamma),
+            Algorithm::NestedLoop => nested_loop(ds, &opts),
+            Algorithm::Transitive => transitive(ds, &opts),
+            Algorithm::Sorted => sorted(ds, &opts),
+            Algorithm::Indexed => {
+                indexed(ds, &AlgoOptions { bbox_prune: false, ..opts })
+            }
+            Algorithm::IndexedBbox => {
+                indexed(ds, &AlgoOptions { bbox_prune: true, ..opts })
+            }
+        }
+    }
+}
+
+/// Applies a pair verdict to the two groups' statuses.
+///
+/// Under [`Pruning::Exact`] a γ̄ verdict is recorded as plain `Dominated`
+/// because strong marks are never acted upon (and the cheaper `need_bar =
+/// false` counting mode folds both levels together anyway).
+pub(crate) fn apply_verdict(
+    verdict: PairVerdict,
+    s1: &mut Status,
+    s2: &mut Status,
+    pruning: Pruning,
+) {
+    let level = |l: DomLevel| match (l, pruning.uses_strong_marks()) {
+        (DomLevel::None, _) => None,
+        (DomLevel::Gamma, _) | (DomLevel::GammaBar, false) => Some(Status::Dominated),
+        (DomLevel::GammaBar, true) => Some(Status::StronglyDominated),
+    };
+    if let Some(st) = level(verdict.forward) {
+        s2.raise(st);
+    }
+    if let Some(st) = level(verdict.backward) {
+        s1.raise(st);
+    }
+}
+
+/// Collects the surviving groups in ascending id order.
+pub(crate) fn collect_result(statuses: &[Status], stats: Stats) -> SkylineResult {
+    let skyline = statuses
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| **s == Status::Live)
+        .map(|(g, _)| g)
+        .collect();
+    SkylineResult { skyline, stats }
+}
+
+/// Computes the outer-loop visiting order for a sort strategy.
+pub(crate) fn build_order(
+    ds: &GroupedDataset,
+    boxes: &[Mbb],
+    strategy: SortStrategy,
+) -> Vec<GroupId> {
+    let mut order: Vec<GroupId> = ds.group_ids().collect();
+    match strategy {
+        SortStrategy::InsertionOrder => {}
+        SortStrategy::CornerDistance => {
+            let key: Vec<f64> = boxes.iter().map(Mbb::corner_distance_sum).collect();
+            order.sort_by(|&a, &b| key[b].total_cmp(&key[a]));
+        }
+        SortStrategy::SizeThenDistance => {
+            let key: Vec<f64> = boxes.iter().map(Mbb::min_corner_norm).collect();
+            order.sort_by(|&a, &b| {
+                ds.group_len(a)
+                    .cmp(&ds.group_len(b))
+                    .then_with(|| key[b].total_cmp(&key[a]))
+            });
+        }
+    }
+    order
+}

@@ -1,0 +1,136 @@
+//! Parallel aggregate skyline (an extension beyond the paper).
+//!
+//! Membership of each group is independent of the others' membership:
+//! `R ∈ Sky_γ ⟺ ∄S: S ≻_γ R`. That makes a per-group "find my dominator"
+//! scan embarrassingly parallel, at the cost of giving up cross-pair
+//! sharing (each ordered pair may be examined once instead of each
+//! unordered pair). Candidate dominators are still pruned with the same
+//! spatial window as Algorithm 5, and each candidate comparison uses the
+//! stopping rule in one-directional mode.
+
+use super::{SkylineResult, Status};
+use crate::dataset::{GroupId, GroupedDataset};
+use crate::gamma::Gamma;
+use crate::mbb::Mbb;
+use crate::paircount::{compare_groups, PairOptions};
+use crate::stats::Stats;
+use aggsky_spatial::{Aabb, RTree};
+
+/// Computes the aggregate skyline with `threads` worker threads.
+///
+/// Always returns the exact skyline (it is a parallelization of the naive
+/// definition with index-based candidate pruning, not of the heuristic
+/// Algorithm 3). `threads = 1` degenerates to a sequential scan and is
+/// useful for ablation.
+pub fn parallel_skyline(ds: &GroupedDataset, gamma: Gamma, threads: usize) -> SkylineResult {
+    let threads = threads.max(1);
+    let n = ds.n_groups();
+    let boxes = Mbb::of_all_groups(ds);
+    let tree = RTree::bulk_load(
+        ds.dim(),
+        boxes.iter().enumerate().map(|(g, b)| (Aabb::point(&b.max), g)).collect(),
+    );
+    let pair_opts = PairOptions { stop_rule: true, need_bar: false, corrected_bar: false };
+
+    let process = |g1: GroupId, candidates: &mut Vec<GroupId>, stats: &mut Stats| -> Status {
+        tree.window_query_into(&Aabb::at_least(&boxes[g1].min), candidates);
+        stats.index_candidates += candidates.len().saturating_sub(1) as u64;
+        for &g2 in candidates.iter() {
+            if g2 == g1 {
+                continue;
+            }
+            let verdict = compare_groups(
+                ds,
+                g2,
+                g1,
+                gamma,
+                Some((&boxes[g2], &boxes[g1])),
+                pair_opts,
+                stats,
+            );
+            if verdict.forward.dominates() {
+                return Status::Dominated;
+            }
+        }
+        Status::Live
+    };
+
+    if threads == 1 {
+        let mut stats = Stats::default();
+        let mut candidates = Vec::new();
+        let statuses: Vec<Status> =
+            (0..n).map(|g| process(g, &mut candidates, &mut stats)).collect();
+        return super::collect_result(&statuses, stats);
+    }
+
+    let mut all: Vec<(Vec<(GroupId, Status)>, Stats)> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads.min(n) {
+            let process = &process;
+            // Strided assignment balances the work: expensive (large,
+            // dominated-late) groups tend to cluster by id, so contiguous
+            // chunks would leave some workers idle.
+            handles.push(scope.spawn(move || {
+                let mut stats = Stats::default();
+                let mut candidates = Vec::new();
+                let part: Vec<(GroupId, Status)> = (t..n)
+                    .step_by(threads)
+                    .map(|g| (g, process(g, &mut candidates, &mut stats)))
+                    .collect();
+                (part, stats)
+            }));
+        }
+        for h in handles {
+            all.push(h.join().expect("worker thread panicked"));
+        }
+    });
+
+    let mut statuses = vec![Status::Live; n];
+    let mut stats = Stats::default();
+    for (part, part_stats) in all {
+        stats.merge(&part_stats);
+        for (g, st) in part {
+            statuses[g] = st;
+        }
+    }
+    super::collect_result(&statuses, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::naive::naive_skyline;
+    use super::*;
+    use crate::testdata::{movie_directors, random_dataset};
+
+    #[test]
+    fn parallel_matches_oracle_on_movies() {
+        let ds = movie_directors();
+        for threads in [1, 2, 4] {
+            let result = parallel_skyline(&ds, Gamma::DEFAULT, threads);
+            let oracle = naive_skyline(&ds, Gamma::DEFAULT);
+            assert_eq!(result.skyline, oracle.skyline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_oracle_on_random_data() {
+        for seed in 0..10 {
+            let ds = random_dataset(25, 6, 4, 4000 + seed);
+            for gamma in [0.5, 0.9] {
+                let gamma = Gamma::new(gamma).unwrap();
+                let result = parallel_skyline(&ds, gamma, 4);
+                let oracle = naive_skyline(&ds, gamma);
+                assert_eq!(result.skyline, oracle.skyline, "seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_groups_is_fine() {
+        let ds = random_dataset(3, 4, 2, 7);
+        let result = parallel_skyline(&ds, Gamma::DEFAULT, 16);
+        let oracle = naive_skyline(&ds, Gamma::DEFAULT);
+        assert_eq!(result.skyline, oracle.skyline);
+    }
+}

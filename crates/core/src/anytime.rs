@@ -1,0 +1,206 @@
+//! Anytime (budgeted, progressive) aggregate-skyline computation — an
+//! extension beyond the paper in the spirit of the authors' companion work
+//! on anytime record skylines.
+//!
+//! [`anytime_skyline`] spends at most a caller-supplied budget of
+//! record-pair comparisons and returns a three-way partition of the groups:
+//! *confirmed in*, *confirmed out* (a γ-dominator was found), and
+//! *undecided*. With an unlimited budget the result equals the exact
+//! skyline; with a tiny budget the confirmed sets are small but never
+//! wrong. Candidate dominators are pruned with the Algorithm 5 window query
+//! and processed cheapest-pair-first (the Section 3.4 global optimization),
+//! which front-loads decisions per unit of work.
+
+use crate::dataset::{GroupId, GroupedDataset};
+use crate::gamma::Gamma;
+use crate::mbb::Mbb;
+use crate::paircount::{compare_groups, PairOptions};
+use crate::stats::Stats;
+use aggsky_spatial::{Aabb, RTree};
+
+/// Outcome of a budgeted run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnytimeResult {
+    /// Groups proven to be in the skyline (all candidate dominators
+    /// refuted), ascending.
+    pub confirmed_in: Vec<GroupId>,
+    /// Groups proven dominated, ascending.
+    pub confirmed_out: Vec<GroupId>,
+    /// Groups whose status was still open when the budget ran out,
+    /// ascending.
+    pub undecided: Vec<GroupId>,
+    /// Work counters (`record_pairs` is the budget actually spent).
+    pub stats: Stats,
+}
+
+impl AnytimeResult {
+    /// True iff no group was left undecided.
+    pub fn is_complete(&self) -> bool {
+        self.undecided.is_empty()
+    }
+}
+
+/// Runs the aggregate skyline until done or until roughly
+/// `budget_record_pairs` record comparisons have been spent (the budget is
+/// checked between pairwise group comparisons, so it can overshoot by at
+/// most one group-pair resolution).
+pub fn anytime_skyline(
+    ds: &GroupedDataset,
+    gamma: Gamma,
+    budget_record_pairs: u64,
+) -> AnytimeResult {
+    let n = ds.n_groups();
+    let boxes = Mbb::of_all_groups(ds);
+    let tree = RTree::bulk_load(
+        ds.dim(),
+        boxes.iter().enumerate().map(|(g, b)| (Aabb::point(&b.max), g)).collect(),
+    );
+    let mut stats = Stats::default();
+    // Remaining candidate dominators per group.
+    let mut candidates: Vec<Vec<GroupId>> = Vec::with_capacity(n);
+    for (g, b) in boxes.iter().enumerate() {
+        let mut c = tree.window_query(&Aabb::at_least(&b.min));
+        c.retain(|&s| s != g);
+        stats.index_candidates += c.len() as u64;
+        candidates.push(c);
+    }
+    // Work items: (g, candidate) pairs, cheapest first.
+    let mut work: Vec<(u64, GroupId, GroupId)> = Vec::new();
+    for (g, cands) in candidates.iter().enumerate() {
+        for &s in cands {
+            let cost = (ds.group_len(g) as u64) * (ds.group_len(s) as u64);
+            work.push((cost, g, s));
+        }
+    }
+    work.sort_unstable();
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum St {
+        Open,
+        Out,
+    }
+    let mut status = vec![St::Open; n];
+    let mut unresolved = vec![0usize; n];
+    for (g, c) in candidates.iter().enumerate() {
+        unresolved[g] = c.len();
+    }
+    let pair_opts = PairOptions { stop_rule: true, need_bar: false, corrected_bar: false };
+    let mut decided_pairs: std::collections::HashSet<(GroupId, GroupId)> =
+        std::collections::HashSet::new();
+
+    for &(_, g, s) in &work {
+        if stats.record_pairs >= budget_record_pairs {
+            break;
+        }
+        if status[g] == St::Out {
+            continue; // membership settled, remaining candidates moot
+        }
+        if !decided_pairs.insert((g, s)) {
+            continue;
+        }
+        let verdict =
+            compare_groups(ds, s, g, gamma, Some((&boxes[s], &boxes[g])), pair_opts, &mut stats);
+        unresolved[g] -= 1;
+        if verdict.forward.dominates() {
+            status[g] = St::Out;
+        }
+        // The comparison resolved BOTH directions, so the mirror work item
+        // (s, g) — pending whenever the boxes overlap both ways — is free
+        // information: record it as decided so its record pairs are never
+        // recounted, and apply the reverse domination if any.
+        if decided_pairs.insert((s, g)) {
+            if candidates[s].contains(&g) {
+                unresolved[s] -= 1;
+            }
+            if verdict.backward.dominates() {
+                status[s] = St::Out;
+            }
+        }
+    }
+
+    let mut confirmed_in = Vec::new();
+    let mut confirmed_out = Vec::new();
+    let mut undecided = Vec::new();
+    for g in 0..n {
+        match status[g] {
+            St::Out => confirmed_out.push(g),
+            St::Open if unresolved[g] == 0 => confirmed_in.push(g),
+            St::Open => undecided.push(g),
+        }
+    }
+    AnytimeResult { confirmed_in, confirmed_out, undecided, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::naive_skyline;
+    use crate::testdata::{movie_directors, random_dataset};
+
+    #[test]
+    fn unlimited_budget_is_exact() {
+        let ds = movie_directors();
+        let r = anytime_skyline(&ds, Gamma::DEFAULT, u64::MAX);
+        assert!(r.is_complete());
+        let oracle = naive_skyline(&ds, Gamma::DEFAULT).skyline;
+        assert_eq!(r.confirmed_in, oracle);
+    }
+
+    #[test]
+    fn unlimited_budget_is_exact_on_random_data() {
+        for seed in 0..15 {
+            let ds = random_dataset(20, 6, 3, 7000 + seed);
+            let r = anytime_skyline(&ds, Gamma::DEFAULT, u64::MAX);
+            assert!(r.is_complete(), "seed {seed}");
+            let oracle = naive_skyline(&ds, Gamma::DEFAULT).skyline;
+            assert_eq!(r.confirmed_in, oracle, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn confirmed_sets_are_always_correct_at_any_budget() {
+        for seed in 0..10 {
+            let ds = random_dataset(15, 6, 3, 8000 + seed);
+            let oracle = naive_skyline(&ds, Gamma::DEFAULT).skyline;
+            for budget in [0u64, 10, 50, 200, 1000, 10_000] {
+                let r = anytime_skyline(&ds, Gamma::DEFAULT, budget);
+                for g in &r.confirmed_in {
+                    assert!(oracle.contains(g), "budget {budget}: {g} wrongly confirmed in");
+                }
+                for g in &r.confirmed_out {
+                    assert!(!oracle.contains(g), "budget {budget}: {g} wrongly confirmed out");
+                }
+                // Partition sanity.
+                let total =
+                    r.confirmed_in.len() + r.confirmed_out.len() + r.undecided.len();
+                assert_eq!(total, ds.n_groups());
+            }
+        }
+    }
+
+    #[test]
+    fn more_budget_never_decides_less() {
+        let ds = random_dataset(15, 6, 3, 9001);
+        let mut prev = 0usize;
+        for budget in [0u64, 100, 1_000, 10_000, u64::MAX] {
+            let r = anytime_skyline(&ds, Gamma::DEFAULT, budget);
+            let decided = r.confirmed_in.len() + r.confirmed_out.len();
+            assert!(decided >= prev, "budget {budget} decided {decided} < {prev}");
+            prev = decided;
+        }
+        assert_eq!(prev, ds.n_groups(), "full budget decides everything");
+    }
+
+    #[test]
+    fn zero_budget_still_confirms_unchallenged_groups() {
+        // Two distant clusters: the top cluster's groups have no candidate
+        // dominators at all and are confirmed for free.
+        let mut b = crate::dataset::GroupedDatasetBuilder::new(2);
+        b.push_group("low", &[vec![0.0, 0.0]]).unwrap();
+        b.push_group("high", &[vec![10.0, 10.0]]).unwrap();
+        let ds = b.build().unwrap();
+        let r = anytime_skyline(&ds, Gamma::DEFAULT, 0);
+        assert!(r.confirmed_in.contains(&1), "unchallenged group confirmed");
+        assert!(r.undecided.contains(&0), "challenged group undecided at zero budget");
+    }
+}

@@ -1,0 +1,125 @@
+//! Record-level dominance (Definition 1 of the paper).
+//!
+//! All comparisons in this module assume values are *normalized to MAX
+//! preference*: higher is better on every dimension. [`crate::GroupedDataset`]
+//! performs that normalization at construction time, so the hot loops here
+//! stay branch-free with respect to per-dimension preference directions.
+
+/// Preference direction for one dimension of the original data.
+///
+/// Internally the dataset stores every dimension normalized to [`Direction::Max`]
+/// (MIN dimensions are negated), which keeps the dominance kernel free of
+/// per-dimension branches. The original directions are retained for display.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Higher values are preferred (e.g. movie quality).
+    Max,
+    /// Lower values are preferred (e.g. price).
+    Min,
+}
+
+/// Outcome of comparing two records under Pareto dominance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomRelation {
+    /// The first record dominates the second.
+    Dominates,
+    /// The second record dominates the first.
+    DominatedBy,
+    /// Neither record dominates the other (and they are not equal).
+    Incomparable,
+    /// The records are equal on every dimension.
+    Equal,
+}
+
+/// Returns `true` iff `a` dominates `b` (Definition 1):
+/// `∀i a[i] ≥ b[i] ∧ ∃i a[i] > b[i]`.
+///
+/// Both slices must have the same length; in debug builds this is asserted.
+#[inline]
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strict = false;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        if x < y {
+            return false;
+        }
+        strict |= x > y;
+    }
+    strict
+}
+
+/// Compares two records in a single pass, classifying the pair into one of
+/// the four [`DomRelation`] outcomes.
+#[inline]
+pub fn compare(a: &[f64], b: &[f64]) -> DomRelation {
+    debug_assert_eq!(a.len(), b.len());
+    let mut a_better = false;
+    let mut b_better = false;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        if x > y {
+            a_better = true;
+            if b_better {
+                return DomRelation::Incomparable;
+            }
+        } else if y > x {
+            b_better = true;
+            if a_better {
+                return DomRelation::Incomparable;
+            }
+        }
+    }
+    match (a_better, b_better) {
+        (true, false) => DomRelation::Dominates,
+        (false, true) => DomRelation::DominatedBy,
+        (false, false) => DomRelation::Equal,
+        (true, true) => unreachable!("early return above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominates_requires_strict_improvement() {
+        assert!(dominates(&[2.0, 2.0], &[1.0, 2.0]));
+        assert!(dominates(&[2.0, 3.0], &[1.0, 2.0]));
+        assert!(!dominates(&[2.0, 2.0], &[2.0, 2.0]), "equal records do not dominate");
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0]), "incomparable records");
+    }
+
+    #[test]
+    fn dominance_is_asymmetric() {
+        let a = [5.0, 4.0, 3.0];
+        let b = [4.0, 4.0, 2.0];
+        assert!(dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+    }
+
+    #[test]
+    fn compare_classifies_all_cases() {
+        assert_eq!(compare(&[2.0, 2.0], &[1.0, 1.0]), DomRelation::Dominates);
+        assert_eq!(compare(&[1.0, 1.0], &[2.0, 2.0]), DomRelation::DominatedBy);
+        assert_eq!(compare(&[1.0, 2.0], &[2.0, 1.0]), DomRelation::Incomparable);
+        assert_eq!(compare(&[1.0, 2.0], &[1.0, 2.0]), DomRelation::Equal);
+    }
+
+    #[test]
+    fn paper_example_the_godfather_dominates_the_room() {
+        // Figure 1: The Godfather (531, 9.2) dominates The Room (10, 3.2).
+        assert!(dominates(&[531.0, 9.2], &[10.0, 3.2]));
+    }
+
+    #[test]
+    fn paper_example_pulp_fiction_godfather_incomparable() {
+        // Pulp Fiction (557, 9.0) vs The Godfather (531, 9.2): incomparable.
+        assert_eq!(compare(&[557.0, 9.0], &[531.0, 9.2]), DomRelation::Incomparable);
+    }
+
+    #[test]
+    fn single_dimension_dominance_is_total_order_minus_ties() {
+        assert!(dominates(&[3.0], &[2.0]));
+        assert!(!dominates(&[2.0], &[2.0]));
+        assert_eq!(compare(&[2.0], &[2.0]), DomRelation::Equal);
+    }
+}

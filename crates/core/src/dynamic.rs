@@ -1,0 +1,349 @@
+//! Incremental aggregate-skyline maintenance (an extension beyond the
+//! paper, motivated by its Property 2: small updates change domination
+//! probabilities by bounded amounts, so recomputing everything from scratch
+//! on every insert is wasteful).
+//!
+//! [`DynamicAggregateSkyline`] keeps the exact pairwise domination *counts*
+//! `|S ≻ R|` for every ordered group pair. Inserting or removing one record
+//! of group `R` only requires comparing that record against every other
+//! group's records — `O(total records)` dominance checks — after which every
+//! `p(S ≻ R)` is available in `O(1)` and the skyline in `O(n²)` for `n`
+//! groups, instead of the `O(N²)` record comparisons of a full recompute.
+
+use crate::dataset::{GroupId, GroupedDataset, GroupedDatasetBuilder};
+use crate::dominance::dominates;
+use crate::error::{Error, Result};
+use crate::gamma::Gamma;
+
+/// A mutable collection of groups with incrementally-maintained pairwise
+/// domination counts.
+///
+/// ```
+/// use aggsky_core::dynamic::DynamicAggregateSkyline;
+/// use aggsky_core::Gamma;
+///
+/// let mut dyn_sky = DynamicAggregateSkyline::new(2);
+/// let t = dyn_sky.add_group("Tarantino");
+/// let w = dyn_sky.add_group("Wiseau");
+/// dyn_sky.insert(t, &[557.0, 9.0]).unwrap();
+/// dyn_sky.insert(w, &[10.0, 3.2]).unwrap();
+/// assert_eq!(dyn_sky.skyline(Gamma::DEFAULT), vec![t]);
+/// // A surprise hit makes Wiseau incomparable-in-part...
+/// dyn_sky.insert(w, &[600.0, 2.0]).unwrap();
+/// assert_eq!(dyn_sky.skyline(Gamma::DEFAULT), vec![t, w]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicAggregateSkyline {
+    dim: usize,
+    labels: Vec<String>,
+    /// Per-group record storage (row-major).
+    groups: Vec<Vec<f64>>,
+    /// `counts[s * cap + r]` = `|S ≻ R|` for ordered pair (s, r).
+    counts: Vec<u64>,
+    /// Allocated side length of the counts matrix; grows geometrically so a
+    /// sequence of `add_group` calls costs amortized O(n²) total instead of
+    /// O(n³) from per-call rebuilds.
+    cap: usize,
+}
+
+impl DynamicAggregateSkyline {
+    /// Creates an empty collection of `dim`-dimensional records (all
+    /// dimensions MAX preference; negate values for MIN dimensions).
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        DynamicAggregateSkyline {
+            dim,
+            labels: Vec::new(),
+            groups: Vec::new(),
+            counts: Vec::new(),
+            cap: 0,
+        }
+    }
+
+    /// Imports an existing dataset (computing all pairwise counts once).
+    pub fn from_dataset(ds: &GroupedDataset) -> Self {
+        let mut out = DynamicAggregateSkyline::new(ds.dim());
+        for g in ds.group_ids() {
+            let id = out.add_group(ds.label(g));
+            for rec in ds.records(g) {
+                out.insert(id, rec).expect("dimensions match by construction");
+            }
+        }
+        out
+    }
+
+    /// Number of groups (including empty ones).
+    pub fn n_groups(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of records in group `g`.
+    pub fn group_len(&self, g: GroupId) -> usize {
+        self.groups[g].len() / self.dim
+    }
+
+    /// Total number of records.
+    pub fn n_records(&self) -> usize {
+        self.groups.iter().map(|g| g.len()).sum::<usize>() / self.dim
+    }
+
+    /// Label of group `g`.
+    pub fn label(&self, g: GroupId) -> &str {
+        &self.labels[g]
+    }
+
+    /// Adds a new (empty) group and returns its id. Empty groups are
+    /// excluded from skylines until they receive a record.
+    pub fn add_group(&mut self, label: impl Into<String>) -> GroupId {
+        let old_n = self.labels.len();
+        if old_n + 1 > self.cap {
+            // Geometric growth keeps repeated add_group amortized-cheap.
+            let new_cap = (self.cap * 2).max(4);
+            let mut counts = vec![0u64; new_cap * new_cap];
+            for s in 0..old_n {
+                for r in 0..old_n {
+                    counts[s * new_cap + r] = self.counts[s * self.cap + r];
+                }
+            }
+            self.counts = counts;
+            self.cap = new_cap;
+        }
+        self.labels.push(label.into());
+        self.groups.push(Vec::new());
+        old_n
+    }
+
+    /// Inserts one record into group `g`, updating all pairwise counts in
+    /// `O(total records)` dominance checks.
+    pub fn insert(&mut self, g: GroupId, record: &[f64]) -> Result<()> {
+        if record.len() != self.dim {
+            return Err(Error::DimensionMismatch { expected: self.dim, got: record.len() });
+        }
+        if let Some(d) = record.iter().position(|v| v.is_nan()) {
+            return Err(Error::NanValue { dimension: d });
+        }
+        let n = self.n_groups();
+        for other in 0..n {
+            if other == g {
+                continue;
+            }
+            let (mut wins, mut losses) = (0u64, 0u64);
+            for s in self.groups[other].chunks_exact(self.dim) {
+                if dominates(record, s) {
+                    wins += 1;
+                } else if dominates(s, record) {
+                    losses += 1;
+                }
+            }
+            self.counts[g * self.cap + other] += wins;
+            self.counts[other * self.cap + g] += losses;
+        }
+        self.groups[g].extend_from_slice(record);
+        Ok(())
+    }
+
+    /// Removes record `idx` (0-based) from group `g`, updating counts.
+    pub fn remove(&mut self, g: GroupId, idx: usize) -> Result<Vec<f64>> {
+        let len = self.group_len(g);
+        if idx >= len {
+            return Err(Error::RecordIndexOutOfRange {
+                group: self.labels[g].clone(),
+                index: idx,
+                len,
+            });
+        }
+        let record: Vec<f64> =
+            self.groups[g][idx * self.dim..(idx + 1) * self.dim].to_vec();
+        let n = self.n_groups();
+        for other in 0..n {
+            if other == g {
+                continue;
+            }
+            let (mut wins, mut losses) = (0u64, 0u64);
+            for s in self.groups[other].chunks_exact(self.dim) {
+                if dominates(&record, s) {
+                    wins += 1;
+                } else if dominates(s, &record) {
+                    losses += 1;
+                }
+            }
+            self.counts[g * self.cap + other] -= wins;
+            self.counts[other * self.cap + g] -= losses;
+        }
+        // Swap-remove the record row.
+        let last = len - 1;
+        for d in 0..self.dim {
+            self.groups[g].swap(idx * self.dim + d, last * self.dim + d);
+        }
+        self.groups[g].truncate(last * self.dim);
+        Ok(record)
+    }
+
+    /// The current `p(S ≻ R)`; zero when either group is empty.
+    pub fn domination_probability(&self, s: GroupId, r: GroupId) -> f64 {
+        let total = (self.group_len(s) * self.group_len(r)) as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.counts[s * self.cap + r] as f64 / total
+    }
+
+    /// The aggregate skyline of the current state among non-empty groups,
+    /// ascending by group id. `O(n²)` on the maintained counts.
+    pub fn skyline(&self, gamma: Gamma) -> Vec<GroupId> {
+        let n = self.n_groups();
+        (0..n)
+            .filter(|&r| self.group_len(r) > 0)
+            .filter(|&r| {
+                (0..n).all(|s| {
+                    s == r
+                        || self.group_len(s) == 0
+                        || !gamma.dominated(self.domination_probability(s, r))
+                })
+            })
+            .collect()
+    }
+
+    /// Snapshots the current state as an immutable [`GroupedDataset`]
+    /// (empty groups are skipped; the mapping from snapshot ids to dynamic
+    /// ids is returned alongside).
+    pub fn snapshot(&self) -> Result<(GroupedDataset, Vec<GroupId>)> {
+        let mut b = GroupedDatasetBuilder::new(self.dim).trusted_labels();
+        let mut mapping = Vec::new();
+        for g in 0..self.n_groups() {
+            if self.group_len(g) == 0 {
+                continue;
+            }
+            let rows: Vec<&[f64]> = self.groups[g].chunks_exact(self.dim).collect();
+            b.push_group(self.labels[g].clone(), &rows)?;
+            mapping.push(g);
+        }
+        Ok((b.build()?, mapping))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::naive_skyline;
+    use crate::testdata::lcg;
+
+    /// Differential test: a random sequence of inserts/removes must always
+    /// leave the dynamic structure consistent with a from-scratch recompute.
+    #[test]
+    fn random_update_sequences_match_recompute() {
+        for seed in 0..10u64 {
+            let mut next = lcg(100 + seed);
+            let dim = 1 + (next() * 3.0) as usize;
+            let mut dynamic = DynamicAggregateSkyline::new(dim);
+            for g in 0..5 {
+                dynamic.add_group(format!("g{g}"));
+            }
+            for step in 0..60 {
+                let g = (next() * 5.0) as usize % 5;
+                let remove = next() < 0.3 && dynamic.group_len(g) > 0;
+                if remove {
+                    let idx = (next() * dynamic.group_len(g) as f64) as usize
+                        % dynamic.group_len(g);
+                    dynamic.remove(g, idx).unwrap();
+                } else {
+                    let rec: Vec<f64> =
+                        (0..dim).map(|_| (next() * 6.0).floor()).collect();
+                    dynamic.insert(g, &rec).unwrap();
+                }
+                // Cross-check against the oracle on the snapshot.
+                if dynamic.n_records() == 0 {
+                    continue;
+                }
+                let (snap, mapping) = dynamic.snapshot().unwrap();
+                let oracle: Vec<GroupId> = naive_skyline(&snap, Gamma::DEFAULT)
+                    .skyline
+                    .into_iter()
+                    .map(|g| mapping[g])
+                    .collect();
+                assert_eq!(
+                    dynamic.skyline(Gamma::DEFAULT),
+                    oracle,
+                    "seed={seed} step={step}"
+                );
+                for s in 0..5 {
+                    for r in 0..5 {
+                        if s == r || dynamic.group_len(s) == 0 || dynamic.group_len(r) == 0 {
+                            continue;
+                        }
+                        let si = mapping.iter().position(|&m| m == s).unwrap();
+                        let ri = mapping.iter().position(|&m| m == r).unwrap();
+                        let expect = crate::gamma::domination_probability(&snap, si, ri);
+                        let got = dynamic.domination_probability(s, r);
+                        assert!((expect - got).abs() < 1e-12, "p({s},{r})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_groups_are_invisible() {
+        let mut d = DynamicAggregateSkyline::new(2);
+        let a = d.add_group("a");
+        let b = d.add_group("b");
+        assert_eq!(d.skyline(Gamma::DEFAULT), vec![]);
+        d.insert(a, &[1.0, 1.0]).unwrap();
+        assert_eq!(d.skyline(Gamma::DEFAULT), vec![a]);
+        d.insert(b, &[2.0, 2.0]).unwrap();
+        assert_eq!(d.skyline(Gamma::DEFAULT), vec![b]);
+        // Remove b's only record: a rules again.
+        d.remove(b, 0).unwrap();
+        assert_eq!(d.skyline(Gamma::DEFAULT), vec![a]);
+    }
+
+    #[test]
+    fn late_group_addition_resizes_counts() {
+        let mut d = DynamicAggregateSkyline::new(2);
+        let a = d.add_group("a");
+        d.insert(a, &[5.0, 5.0]).unwrap();
+        let b = d.add_group("b");
+        d.insert(b, &[1.0, 1.0]).unwrap();
+        assert_eq!(d.domination_probability(a, b), 1.0);
+        assert_eq!(d.skyline(Gamma::DEFAULT), vec![a]);
+        let c = d.add_group("c");
+        d.insert(c, &[9.0, 9.0]).unwrap();
+        assert_eq!(d.skyline(Gamma::DEFAULT), vec![c]);
+    }
+
+    #[test]
+    fn insert_validates_input() {
+        let mut d = DynamicAggregateSkyline::new(2);
+        let g = d.add_group("g");
+        assert!(d.insert(g, &[1.0]).is_err());
+        assert!(d.insert(g, &[1.0, f64::NAN]).is_err());
+        assert!(d.remove(g, 0).is_err());
+    }
+
+    #[test]
+    fn from_dataset_round_trips() {
+        let ds = crate::testdata::movie_directors();
+        let d = DynamicAggregateSkyline::from_dataset(&ds);
+        assert_eq!(d.n_records(), ds.n_records());
+        let oracle = naive_skyline(&ds, Gamma::DEFAULT).skyline;
+        assert_eq!(d.skyline(Gamma::DEFAULT), oracle);
+    }
+
+    /// The paper's motivating story: one bad movie from a great director
+    /// nudges γ but, per Property 2, cannot swing it arbitrarily.
+    #[test]
+    fn single_insert_moves_gamma_boundedly() {
+        let ds = crate::testdata::movie_directors();
+        let mut d = DynamicAggregateSkyline::from_dataset(&ds);
+        let t = ds.group_by_label("Tarantino").unwrap();
+        let w = ds.group_by_label("Wiseau").unwrap();
+        let before = d.domination_probability(t, w);
+        assert_eq!(before, 1.0);
+        // Tarantino releases a stinker.
+        d.insert(t, &[1.0, 1.0]).unwrap();
+        let after = d.domination_probability(t, w);
+        // ε = 1/2 relative to the previous 2 records: γ(1−ε) = 0.5 ≤ γ'.
+        assert!(after >= 1.0 / 1.5 - 1e-12, "after = {after}");
+        assert!(after < 1.0);
+    }
+}

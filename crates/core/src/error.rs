@@ -1,0 +1,67 @@
+//! Error types for dataset construction and operator configuration.
+
+use std::fmt;
+
+/// Errors raised while building a [`crate::GroupedDataset`] or configuring an
+/// aggregate-skyline computation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A record had a different number of dimensions than the dataset.
+    DimensionMismatch {
+        /// Dimensionality declared by the dataset.
+        expected: usize,
+        /// Dimensionality of the offending record.
+        got: usize,
+    },
+    /// A record contained a NaN value; dominance is undefined on NaN.
+    NanValue {
+        /// Index of the dimension holding the NaN.
+        dimension: usize,
+    },
+    /// The dataset has zero dimensions.
+    ZeroDimensions,
+    /// A group with the given label was inserted twice.
+    DuplicateGroup(String),
+    /// A group was added with no records; empty groups have no defined
+    /// domination probability (the denominator `|R|·|S|` would be zero).
+    EmptyGroup(String),
+    /// A record index was outside a group's bounds.
+    RecordIndexOutOfRange {
+        /// Group label.
+        group: String,
+        /// Requested record index.
+        index: usize,
+        /// Number of records in the group.
+        len: usize,
+    },
+    /// γ was outside `[0.5, 1]`; Proposition 1 requires `γ ≥ 0.5` for the
+    /// dominance relation to be asymmetric.
+    InvalidGamma(f64),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { expected, got } => {
+                write!(f, "record has {got} dimensions, dataset expects {expected}")
+            }
+            Error::NanValue { dimension } => {
+                write!(f, "NaN value in dimension {dimension}; dominance is undefined on NaN")
+            }
+            Error::ZeroDimensions => write!(f, "dataset must have at least one dimension"),
+            Error::DuplicateGroup(label) => write!(f, "group {label:?} inserted twice"),
+            Error::EmptyGroup(label) => write!(f, "group {label:?} has no records"),
+            Error::RecordIndexOutOfRange { group, index, len } => {
+                write!(f, "record index {index} out of range for group {group:?} of {len} records")
+            }
+            Error::InvalidGamma(g) => {
+                write!(f, "gamma {g} outside [0.5, 1]; asymmetry requires gamma >= 0.5")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,171 @@
+//! Explanations: *why* is a group in (or out of) the aggregate skyline, and
+//! which of its records do the work?
+//!
+//! The paper motivates aggregate skylines with interpretability ("the best
+//! directors *according to the features of their movies*"); this module
+//! makes the interpretation inspectable. The title's metaphor is apt: for
+//! every galaxy (group) we can point at the stars (records) that win its
+//! comparisons.
+
+use crate::dataset::{GroupId, GroupedDataset};
+use crate::dominance::dominates;
+use crate::gamma::{domination_probability, Gamma};
+
+/// A group threatening (or failing to threaten) another, with its
+/// domination probability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Threat {
+    /// The would-be dominator.
+    pub group: GroupId,
+    /// `p(group ≻ subject)`.
+    pub probability: f64,
+    /// Whether the threat succeeds at the γ used for the explanation.
+    pub dominates: bool,
+}
+
+/// Why a group is in or out of the skyline at a given γ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Membership {
+    /// The explained group.
+    pub group: GroupId,
+    /// True iff no other group γ-dominates it.
+    pub in_skyline: bool,
+    /// Every other group with `p > 0`, descending by probability.
+    pub threats: Vec<Threat>,
+}
+
+impl Membership {
+    /// The strongest threat, if any group dominates at all.
+    pub fn worst_threat(&self) -> Option<&Threat> {
+        self.threats.first()
+    }
+}
+
+/// Explains group `g`'s skyline membership at `gamma`: collects every group
+/// with a non-zero domination probability over `g`, sorted most-threatening
+/// first.
+pub fn explain_membership(ds: &GroupedDataset, g: GroupId, gamma: Gamma) -> Membership {
+    let mut threats: Vec<Threat> = ds
+        .group_ids()
+        .filter(|&s| s != g)
+        .filter_map(|s| {
+            let p = domination_probability(ds, s, g);
+            (p > 0.0).then_some(Threat { group: s, probability: p, dominates: gamma.dominated(p) })
+        })
+        .collect();
+    threats.sort_by(|a, b| {
+        b.probability.total_cmp(&a.probability).then(a.group.cmp(&b.group))
+    });
+    let in_skyline = !threats.iter().any(|t| t.dominates);
+    Membership { group: g, in_skyline, threats }
+}
+
+/// Per-record contribution of group `s` in its comparison against `r`:
+/// `wins[i]` is the number of `r`-records that record `i` of `s` dominates,
+/// `losses[i]` the number of `r`-records dominating it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairContribution {
+    /// Wins per record of the first group.
+    pub wins: Vec<u32>,
+    /// Losses per record of the first group.
+    pub losses: Vec<u32>,
+}
+
+impl PairContribution {
+    /// Indices of the first group's records, best (most wins, fewest
+    /// losses) first.
+    pub fn star_records(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.wins.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(self.wins[i]), self.losses[i], i));
+        order
+    }
+}
+
+/// Computes per-record win/loss counts for group `s` against group `r`.
+pub fn pair_contribution(ds: &GroupedDataset, s: GroupId, r: GroupId) -> PairContribution {
+    let mut wins = vec![0u32; ds.group_len(s)];
+    let mut losses = vec![0u32; ds.group_len(s)];
+    for (i, sv) in ds.records(s).enumerate() {
+        for rv in ds.records(r) {
+            if dominates(sv, rv) {
+                wins[i] += 1;
+            } else if dominates(rv, sv) {
+                losses[i] += 1;
+            }
+        }
+    }
+    PairContribution { wins, losses }
+}
+
+/// The "stars" of a group: its internal record skyline (records of the
+/// group not dominated by other records of the same group). Indices are
+/// 0-based within the group.
+pub fn stars_of(ds: &GroupedDataset, g: GroupId) -> Vec<usize> {
+    crate::record_skyline::bnl(ds.group_rows(g), ds.dim())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdata::movie_directors;
+
+    #[test]
+    fn membership_explains_figure_4b() {
+        let ds = movie_directors();
+        let cameron = ds.group_by_label("Cameron").unwrap();
+        let jackson = ds.group_by_label("Jackson").unwrap();
+        // Cameron is out because Jackson dominates him with probability 1.
+        let m = explain_membership(&ds, cameron, Gamma::DEFAULT);
+        assert!(!m.in_skyline);
+        let worst = m.worst_threat().unwrap();
+        assert_eq!(worst.group, jackson);
+        assert_eq!(worst.probability, 1.0);
+        assert!(worst.dominates);
+        // Jackson is in: everyone's probability stays at 1/2.
+        let m = explain_membership(&ds, jackson, Gamma::DEFAULT);
+        assert!(m.in_skyline);
+        assert!(m.threats.iter().all(|t| !t.dominates && t.probability <= 0.5));
+    }
+
+    #[test]
+    fn threats_are_sorted_descending() {
+        let ds = movie_directors();
+        let w = ds.group_by_label("Wiseau").unwrap();
+        let m = explain_membership(&ds, w, Gamma::DEFAULT);
+        assert!(!m.in_skyline);
+        for pair in m.threats.windows(2) {
+            assert!(pair[0].probability >= pair[1].probability);
+        }
+        // Everyone with a decent movie dominates The Room with p = 1.
+        assert_eq!(m.threats.iter().filter(|t| t.probability == 1.0).count(), 6);
+    }
+
+    #[test]
+    fn contribution_counts_match_probability() {
+        let ds = movie_directors();
+        let t = ds.group_by_label("Tarantino").unwrap();
+        let c = ds.group_by_label("Coppola").unwrap();
+        let contrib = pair_contribution(&ds, t, c);
+        let total: u32 = contrib.wins.iter().sum();
+        let p = domination_probability(&ds, t, c);
+        let pairs = (ds.group_len(t) * ds.group_len(c)) as f64;
+        assert_eq!(total as f64 / pairs, p);
+        // Pulp Fiction (record 1) is Tarantino's star against Coppola.
+        assert_eq!(contrib.star_records()[0], 1);
+    }
+
+    #[test]
+    fn stars_of_group() {
+        let ds = movie_directors();
+        let c = ds.group_by_label("Coppola").unwrap();
+        // The Godfather dominates Dracula within Coppola's own group.
+        assert_eq!(stars_of(&ds, c), vec![0]);
+        let t = ds.group_by_label("Tarantino").unwrap();
+        // Pulp Fiction dominates Kill Bill within Tarantino's group.
+        assert_eq!(stars_of(&ds, t), vec![1]);
+        let cam = ds.group_by_label("Cameron").unwrap();
+        // Avatar (more popular) and Terminator II (better rated) are
+        // mutually incomparable: both are stars.
+        assert_eq!(stars_of(&ds, cam), vec![0, 1]);
+    }
+}

@@ -1,0 +1,302 @@
+//! γ-dominance between groups (Definition 3, Propositions 1 and 5).
+
+use crate::dataset::{GroupId, GroupedDataset};
+use crate::dominance::dominates;
+use crate::error::{Error, Result};
+
+/// A validated γ threshold in `[0.5, 1]`.
+///
+/// Proposition 1: γ-dominance is asymmetric iff `γ ≥ 0.5`, so the paper (and
+/// this crate) restricts γ to that range. `γ = 0.5` is the parameter-free
+/// default with the natural semantics "a random element of S is more likely
+/// to dominate a random element of R than vice versa".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma(f64);
+
+impl Gamma {
+    /// The parameter-free default, `γ = 0.5`.
+    pub const DEFAULT: Gamma = Gamma(0.5);
+
+    /// Validates `γ ∈ [0.5, 1]`.
+    pub fn new(gamma: f64) -> Result<Self> {
+        if !(0.5..=1.0).contains(&gamma) {
+            return Err(Error::InvalidGamma(gamma));
+        }
+        Ok(Gamma(gamma))
+    }
+
+    /// The raw threshold value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The paper's weak-transitivity threshold `γ̄ = 1 − √(1−γ)/2`
+    /// (Proposition 5 as printed).
+    ///
+    /// The intended property is: if `R ≻_γ̄ S` and `S ≻_γ̄ T` then
+    /// `R ≻_γ T`, which is what lets the transitive algorithms prune
+    /// "strongly dominated" groups.
+    ///
+    /// **Reproduction notes.** Two issues with the printed formula, kept
+    /// here for faithfulness and documented in the repository's DESIGN.md:
+    ///
+    /// 1. `γ̄ ≥ γ` only holds for `γ ≤ 0.75`; algorithms use
+    ///    [`Gamma::strong_threshold`], which clamps to `max(γ, γ̄)`, so that
+    ///    "strongly dominated" always implies "dominated".
+    /// 2. The bound itself is not sufficient for weak transitivity: the
+    ///    proof's worst-case matrix configuration (Figure 7) is not the
+    ///    true worst case. Concentrating the zero entries of the domination
+    ///    matrices on whole rows/columns (records that dominate nothing /
+    ///    are dominated by nothing) drives `p(R ≻ T)` down to
+    ///    `p(R ≻ S) · p(S ≻ T)`, which can undershoot γ even when both
+    ///    factors exceed the printed γ̄ — see
+    ///    [`Gamma::bar_corrected`] for the tight threshold and the unit
+    ///    tests for an explicit counterexample.
+    #[inline]
+    pub fn bar(self) -> f64 {
+        1.0 - (1.0 - self.0).sqrt() / 2.0
+    }
+
+    /// A provably sound weak-transitivity threshold, `γ̄ = (1 + γ) / 2`.
+    ///
+    /// Proof sketch: for a record `r ∈ R` let `u_r` be the fraction of `S`
+    /// that `r` dominates, and for `t ∈ T` let `v_t` be the fraction of `S`
+    /// dominating `t`. If `u_r + v_t > 1` the witness sets overlap, so some
+    /// `s` has `r ≻ s ≻ t` and record dominance is transitive. Because
+    /// `1{u+v>1} ≥ u + v − 1` pointwise on `[0,1]²`,
+    /// `p(R ≻ T) ≥ p(R ≻ S) + p(S ≻ T) − 1`; with both premises above
+    /// `(1+γ)/2` the right side exceeds `γ`.
+    ///
+    /// This is not tight: the 1-D construction `R = {4,1,1}`,
+    /// `S = {3,3,0,0,3}`, `T = {1}` (see the unit tests) achieves
+    /// `p(R ≻ T) = (p(R≻S) + p(S≻T) − 1) / max(p(R≻S), p(S≻T))`, which
+    /// shows any sound threshold must be at least `1/(2−γ)`; the exact
+    /// tight value is left open. The paper's printed
+    /// `γ̄ = 1 − √(1−γ)/2` sits *below* `1/(2−γ)` and is therefore
+    /// unsound (see [`Gamma::bar`]).
+    #[inline]
+    pub fn bar_corrected(self) -> f64 {
+        (1.0 + self.0) / 2.0
+    }
+
+    /// Strong-domination test at the corrected threshold:
+    /// `p = 1 ∨ p > (1+γ)/2`.
+    #[inline]
+    pub fn strongly_dominated_corrected(self, p: f64) -> bool {
+        p >= 1.0 || p > self.bar_corrected()
+    }
+
+    /// The threshold actually used for strong-domination marking:
+    /// `max(γ, γ̄)`. Strong domination must imply γ-domination (pruned
+    /// groups are excluded from the result), which the raw `γ̄` does not
+    /// guarantee for `γ > 0.75`.
+    #[inline]
+    pub fn strong_threshold(self) -> f64 {
+        self.bar().max(self.0)
+    }
+
+    /// Definition 3 membership test given a domination probability `p`:
+    /// `S ≻_γ R ⟺ p = 1 ∨ p > γ`.
+    #[inline]
+    pub fn dominated(self, p: f64) -> bool {
+        p >= 1.0 || p > self.0
+    }
+
+    /// Strong domination test: `p = 1 ∨ p > max(γ, γ̄)`.
+    #[inline]
+    pub fn strongly_dominated(self, p: f64) -> bool {
+        p >= 1.0 || p > self.strong_threshold()
+    }
+}
+
+impl Default for Gamma {
+    fn default() -> Self {
+        Gamma::DEFAULT
+    }
+}
+
+impl std::fmt::Display for Gamma {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Counts the number of pairs `(s, r) ∈ S × R` with `s ≻ r`, i.e. `|S ≻ R|`.
+///
+/// This is the exhaustive (no early exit) counter used by the naive
+/// algorithm, the ranking module and the test oracles.
+pub fn domination_count(ds: &GroupedDataset, s: GroupId, r: GroupId) -> u64 {
+    let mut count = 0u64;
+    for sv in ds.records(s) {
+        for rv in ds.records(r) {
+            if dominates(sv, rv) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// The domination probability `p(S ≻ R) = |S ≻ R| / (|S|·|R|)` (Section 2.1).
+pub fn domination_probability(ds: &GroupedDataset, s: GroupId, r: GroupId) -> f64 {
+    let total = (ds.group_len(s) as u64) * (ds.group_len(r) as u64);
+    domination_count(ds, s, r) as f64 / total as f64
+}
+
+/// Exhaustive γ-dominance test: `S ≻_γ R`?
+pub fn gamma_dominates(ds: &GroupedDataset, s: GroupId, r: GroupId, gamma: Gamma) -> bool {
+    gamma.dominated(domination_probability(ds, s, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::GroupedDatasetBuilder;
+
+    #[test]
+    fn gamma_is_validated() {
+        assert!(Gamma::new(0.49).is_err());
+        assert!(Gamma::new(1.01).is_err());
+        assert!(Gamma::new(0.5).is_ok());
+        assert!(Gamma::new(1.0).is_ok());
+        assert_eq!(Gamma::default().value(), 0.5);
+    }
+
+    #[test]
+    fn gamma_bar_formula() {
+        // γ = .5 → γ̄ = 1 − √.5/2 ≈ 0.6464466
+        let g = Gamma::new(0.5).unwrap();
+        assert!((g.bar() - 0.646_446_609_406_726_2).abs() < 1e-12);
+        // γ = 1 → γ̄ = 1 (strict dominance is its own transitive closure).
+        assert_eq!(Gamma::new(1.0).unwrap().bar(), 1.0);
+        // γ̄ ≥ γ only up to the crossover at γ = 0.75 ...
+        for i in 0..=50 {
+            let v = 0.5 + 0.005 * i as f64;
+            let g = Gamma::new(v).unwrap();
+            assert!(g.bar() >= g.value() - 1e-12, "gamma_bar({v}) < {v}");
+        }
+        // ... beyond it the raw formula dips below γ (e.g. γ = 0.9:
+        // γ̄ = 1 − √0.1/2 ≈ 0.842) and the clamped threshold takes over.
+        let g = Gamma::new(0.9).unwrap();
+        assert!(g.bar() < 0.9);
+        assert_eq!(g.strong_threshold(), 0.9);
+        // At the crossover the two coincide.
+        let g = Gamma::new(0.75).unwrap();
+        assert!((g.bar() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominance_thresholds_are_strict_except_at_one() {
+        let g = Gamma::new(0.5).unwrap();
+        assert!(!g.dominated(0.5), "p must strictly exceed gamma");
+        assert!(g.dominated(0.500_001));
+        assert!(g.dominated(1.0), "p = 1 dominates at any gamma");
+        let g1 = Gamma::new(1.0).unwrap();
+        assert!(!g1.dominated(0.999_999));
+        assert!(g1.dominated(1.0));
+    }
+
+    #[test]
+    fn proposition_3_counterexample_probability() {
+        // G1 = {(5,5),(1,1),(1,2)}, G2 = {(2,3)}: p(G2 ≻ G1) = 2/3.
+        let mut b = GroupedDatasetBuilder::new(2);
+        let g1 = b
+            .push_group("G1", &[vec![5.0, 5.0], vec![1.0, 1.0], vec![1.0, 2.0]])
+            .unwrap();
+        let g2 = b.push_group("G2", &[vec![2.0, 3.0]]).unwrap();
+        let ds = b.build().unwrap();
+        assert!((domination_probability(&ds, g2, g1) - 2.0 / 3.0).abs() < 1e-12);
+        // Only (5,5) ≻ (2,3): p(G1 ≻ G2) = 1/3.
+        assert!((domination_probability(&ds, g1, g2) - 1.0 / 3.0).abs() < 1e-12);
+        // G1 is excluded from the skyline for γ < 2/3 even though it holds
+        // the record-skyline point (5,5): skyline containment fails.
+        assert!(gamma_dominates(&ds, g2, g1, Gamma::new(0.5).unwrap()));
+        assert!(!gamma_dominates(&ds, g2, g1, Gamma::new(0.7).unwrap()));
+    }
+
+    /// The explicit counterexample to Proposition 5 as printed: both edges
+    /// exceed the paper's γ̄(0.5) ≈ .6464, yet `p(R ≻ T) = 4/9 < 0.5`.
+    /// The corrected threshold (1+.5)/2 = .75 correctly refuses to prune.
+    #[test]
+    fn paper_weak_transitivity_bound_has_a_counterexample() {
+        let mut b = GroupedDatasetBuilder::new(2);
+        let r = b
+            .push_group("R", &[vec![20.0, 20.0], vec![21.0, 19.0], vec![0.0, 100.0]])
+            .unwrap();
+        let s = b.push_group("S", &[vec![10.0, 10.0]]).unwrap();
+        let t = b
+            .push_group("T", &[vec![1.0, 1.0], vec![2.0, 0.5], vec![100.0, 0.0]])
+            .unwrap();
+        let ds = b.build().unwrap();
+        let gamma = Gamma::DEFAULT;
+        let p_rs = domination_probability(&ds, r, s);
+        let p_st = domination_probability(&ds, s, t);
+        let p_rt = domination_probability(&ds, r, t);
+        assert!((p_rs - 2.0 / 3.0).abs() < 1e-12);
+        assert!((p_st - 2.0 / 3.0).abs() < 1e-12);
+        assert!((p_rt - 4.0 / 9.0).abs() < 1e-12);
+        // Premises hold at the printed γ̄ ...
+        assert!(gamma.strongly_dominated(p_rs));
+        assert!(gamma.strongly_dominated(p_st));
+        // ... but the conclusion fails: R does not γ-dominate T.
+        assert!(!gamma.dominated(p_rt));
+        // The corrected threshold (1+γ)/2 rejects the premises, as it must.
+        assert!(!gamma.strongly_dominated_corrected(p_rs));
+        assert!(!gamma.strongly_dominated_corrected(p_st));
+        // The additive lower bound holds with slack here.
+        assert!(p_rt >= p_rs + p_st - 1.0 - 1e-12);
+    }
+
+    /// The 1-D construction showing how low `p(R ≻ T)` can really go:
+    /// `(p_rs + p_st − 1) / max(p_rs, p_st)` is achieved, which is below
+    /// the product `p_rs·p_st` — so no product-based threshold is sound,
+    /// and any sound γ̄ must be at least `1/(2−γ)`.
+    #[test]
+    fn transitive_domination_reaches_the_ratio_bound() {
+        let mut b = GroupedDatasetBuilder::new(1);
+        let r = b.push_group("R", &[vec![4.0], vec![1.0], vec![1.0]]).unwrap();
+        let s = b
+            .push_group("S", &[vec![3.0], vec![3.0], vec![0.0], vec![0.0], vec![3.0]])
+            .unwrap();
+        let t = b.push_group("T", &[vec![1.0]]).unwrap();
+        let ds = b.build().unwrap();
+        let p_rs = domination_probability(&ds, r, s);
+        let p_st = domination_probability(&ds, s, t);
+        let p_rt = domination_probability(&ds, r, t);
+        assert!((p_rs - 0.6).abs() < 1e-12);
+        assert!((p_st - 0.6).abs() < 1e-12);
+        assert!((p_rt - 1.0 / 3.0).abs() < 1e-12);
+        // Below the product bound...
+        assert!(p_rt < p_rs * p_st);
+        // ...exactly at the ratio bound...
+        assert!((p_rt - (p_rs + p_st - 1.0) / p_rs.max(p_st)).abs() < 1e-12);
+        // ...and above the provable additive bound.
+        assert!(p_rt >= p_rs + p_st - 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn corrected_bar_is_midpoint_to_one() {
+        let g = Gamma::DEFAULT;
+        assert!((g.bar_corrected() - 0.75).abs() < 1e-15);
+        for i in 0..=50 {
+            let v = 0.5 + 0.01 * i as f64;
+            let g = Gamma::new(v).unwrap();
+            assert!(g.bar_corrected() >= g.value() - 1e-12, "(1+{v})/2 < {v}");
+            // Sound: both premises above γ̄ force the additive bound past γ.
+            assert!(2.0 * g.bar_corrected() - 1.0 >= g.value() - 1e-12);
+        }
+    }
+
+    #[test]
+    fn domination_probabilities_need_not_sum_to_one() {
+        // Incomparable record pairs count for neither direction (Table 2's
+        // Tarantino/Jackson row: .68 + .26 < 1).
+        let mut b = GroupedDatasetBuilder::new(2);
+        let a = b.push_group("A", &[vec![1.0, 2.0]]).unwrap();
+        let c = b.push_group("C", &[vec![2.0, 1.0]]).unwrap();
+        let ds = b.build().unwrap();
+        assert_eq!(domination_probability(&ds, a, c), 0.0);
+        assert_eq!(domination_probability(&ds, c, a), 0.0);
+    }
+}

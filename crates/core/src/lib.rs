@@ -1,0 +1,86 @@
+//! # aggsky-core
+//!
+//! A from-scratch implementation of **aggregate skyline queries** — the
+//! operator introduced in *"From Stars to Galaxies: skyline queries on
+//! aggregate data"* (M. Magnani, I. Assent, EDBT 2013).
+//!
+//! A traditional skyline returns the records of a table not Pareto-dominated
+//! by any other record. An *aggregate* skyline answers the analogous
+//! question about **groups** of records ("who are the most interesting
+//! directors, given their movies?"): group `S` γ-dominates group `R` when a
+//! randomly drawn record of `S` dominates a randomly drawn record of `R`
+//! with probability greater than γ (Definition 3), and the aggregate
+//! skyline is the set of groups no other group γ-dominates.
+//!
+//! ```
+//! use aggsky_core::{Algorithm, Gamma, GroupedDatasetBuilder};
+//!
+//! // Movies as (popularity, quality) records grouped by director.
+//! let mut b = GroupedDatasetBuilder::new(2);
+//! b.push_group("Tarantino", &[vec![313.0, 8.2], vec![557.0, 9.0]]).unwrap();
+//! b.push_group("Kershner", &[vec![362.0, 8.8]]).unwrap();
+//! b.push_group("Wiseau", &[vec![10.0, 3.2]]).unwrap();
+//! let ds = b.build().unwrap();
+//!
+//! let result = Algorithm::Indexed.run(&ds, Gamma::DEFAULT);
+//! assert_eq!(ds.sorted_labels(&result.skyline), vec!["Kershner", "Tarantino"]);
+//! ```
+//!
+//! ## Modules
+//!
+//! * [`dominance`] — record-level Pareto dominance (Definition 1).
+//! * [`dataset`] — the grouped data model (`U_g`).
+//! * [`gamma`] — γ-dominance, `γ̄`, domination probabilities.
+//! * [`matrix`] — domination matrices (the Proposition 5 proof machinery).
+//! * [`mbb`] — group bounding boxes and corner pruning (Figure 9).
+//! * [`paircount`] — pairwise counting with the Section 3.3 stopping rule.
+//! * [`algorithms`] — NL, TR, SI, IN, LO, the naive oracle and a parallel
+//!   extension.
+//! * [`record_skyline`] — classic record skylines (BNL, SFS) as substrate.
+//! * [`ranking`] — min-γ ranking of groups (Section 2.2).
+//! * [`properties`] — executable checkers for the paper's properties.
+//! * [`dynamic`] — incremental maintenance under inserts/removes.
+//! * [`anytime`] — budgeted, progressive computation.
+
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod anytime;
+pub mod dataset;
+pub mod dominance;
+pub mod dynamic;
+pub mod error;
+pub mod explain;
+pub mod gamma;
+pub mod matrix;
+pub mod mbb;
+pub mod paircount;
+pub mod properties;
+pub mod ranking;
+pub mod record_skyline;
+pub mod skyband;
+pub mod skycube;
+pub mod stats;
+pub mod subspace;
+
+#[cfg(test)]
+pub(crate) mod testdata;
+
+pub use algorithms::{
+    indexed, naive_skyline, nested_loop, parallel_skyline, sorted, transitive, AlgoOptions,
+    Algorithm, Pruning, SkylineResult, SortStrategy,
+};
+pub use anytime::{anytime_skyline, AnytimeResult};
+pub use dynamic::DynamicAggregateSkyline;
+pub use explain::{explain_membership, pair_contribution, stars_of, Membership, PairContribution, Threat};
+pub use dataset::{GroupId, GroupedDataset, GroupedDatasetBuilder};
+pub use dominance::{compare, dominates, Direction, DomRelation};
+pub use error::{Error, Result};
+pub use gamma::{domination_count, domination_probability, gamma_dominates, Gamma};
+pub use matrix::DominationMatrix;
+pub use mbb::Mbb;
+pub use paircount::{compare_groups, compare_groups_exhaustive, DomLevel, PairOptions, PairVerdict};
+pub use ranking::{min_gamma_per_group, ranked_skyline, RankedGroup};
+pub use skyband::{k_skyband, top_k_robust};
+pub use skycube::{skycube, Skycube, SubspaceSkyline};
+pub use stats::Stats;

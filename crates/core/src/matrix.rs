@@ -1,0 +1,159 @@
+//! Domination matrices (proof machinery of Proposition 5).
+//!
+//! The paper models the dominance relation between two groups `R`, `S` as a
+//! `|R| × |S|` 0/1 matrix whose fraction of non-zero entries equals
+//! `p(R ≻ S)`, and observes that the Boolean product of the `R→S` and `S→T`
+//! matrices is again a domination matrix for `R→T`. This module makes that
+//! machinery executable so the weak-transitivity bound can be tested
+//! directly, exactly as in the proof.
+
+use crate::dataset::{GroupId, GroupedDataset};
+use crate::dominance::dominates;
+
+/// A dense 0/1 domination matrix: `entry(i, j) = 1 ⟺ rᵢ ≻ sⱼ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DominationMatrix {
+    rows: usize,
+    cols: usize,
+    bits: Vec<bool>,
+}
+
+impl DominationMatrix {
+    /// Builds the domination matrix of group `r` over group `s`.
+    pub fn build(ds: &GroupedDataset, r: GroupId, s: GroupId) -> DominationMatrix {
+        let rows = ds.group_len(r);
+        let cols = ds.group_len(s);
+        let mut bits = Vec::with_capacity(rows * cols);
+        for rv in ds.records(r) {
+            for sv in ds.records(s) {
+                bits.push(dominates(rv, sv));
+            }
+        }
+        DominationMatrix { rows, cols, bits }
+    }
+
+    /// Constructs a matrix from explicit entries (row-major). Panics if the
+    /// dimensions do not match the entry count.
+    pub fn from_bits(rows: usize, cols: usize, bits: Vec<bool>) -> DominationMatrix {
+        assert_eq!(rows * cols, bits.len(), "entry count must equal rows*cols");
+        DominationMatrix { rows, cols, bits }
+    }
+
+    /// Number of rows (`|R|`).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (`|S|`).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry at `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        self.bits[i * self.cols + j]
+    }
+
+    /// `pos(M)`: the fraction of non-zero entries, which equals the
+    /// domination probability `p(R ≻ S)`.
+    pub fn pos(&self) -> f64 {
+        let ones = self.bits.iter().filter(|&&b| b).count();
+        ones as f64 / self.bits.len() as f64
+    }
+
+    /// Boolean matrix product. If `self` is a domination matrix for `R → S`
+    /// and `other` for `S → T`, the product is a (lower-bound) domination
+    /// matrix for `R → T`: `out(i, k) = ∃j self(i, j) ∧ other(j, k)`.
+    ///
+    /// This relies on transitivity of *record* dominance: `rᵢ ≻ sⱼ ≻ tₖ ⟹
+    /// rᵢ ≻ tₖ`.
+    pub fn product(&self, other: &DominationMatrix) -> DominationMatrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let rows = self.rows;
+        let cols = other.cols;
+        let mut bits = vec![false; rows * cols];
+        for i in 0..rows {
+            for j in 0..self.cols {
+                if self.get(i, j) {
+                    for k in 0..cols {
+                        if other.get(j, k) {
+                            bits[i * cols + k] = true;
+                        }
+                    }
+                }
+            }
+        }
+        DominationMatrix { rows, cols, bits }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::GroupedDatasetBuilder;
+
+    /// The explicit matrices from the Proposition 4/5 proof (Figure 6):
+    /// pos(RS) = 5/8, pos(ST) = 2/3, pos(RS×ST) = 1/2.
+    #[test]
+    fn paper_proof_example_matrices() {
+        let rs = DominationMatrix::from_bits(
+            4,
+            2,
+            vec![true, false, true, true, true, false, true, false],
+        );
+        let st = DominationMatrix::from_bits(2, 3, vec![true, false, false, true, true, true]);
+        assert!((rs.pos() - 5.0 / 8.0).abs() < 1e-12);
+        assert!((st.pos() - 2.0 / 3.0).abs() < 1e-12);
+        let rt = rs.product(&st);
+        assert!((rt.pos() - 0.5).abs() < 1e-12);
+        // R ≻.5 S and S ≻.5 T but R ⊁.5 T: transitivity fails (Prop. 4).
+        assert!(rs.pos() > 0.5 && st.pos() > 0.5 && rt.pos() <= 0.5);
+    }
+
+    #[test]
+    fn matrix_from_dataset_matches_probability() {
+        let mut b = GroupedDatasetBuilder::new(2);
+        let r = b
+            .push_group("R", &[vec![5.0, 5.0], vec![1.0, 1.0], vec![1.0, 2.0]])
+            .unwrap();
+        let s = b.push_group("S", &[vec![2.0, 3.0]]).unwrap();
+        let ds = b.build().unwrap();
+        let m = DominationMatrix::build(&ds, s, r);
+        assert_eq!(m.rows(), 1);
+        assert_eq!(m.cols(), 3);
+        assert!((m.pos() - crate::gamma::domination_probability(&ds, s, r)).abs() < 1e-12);
+    }
+
+    /// The product matrix is a *lower bound* on true R→T domination.
+    #[test]
+    fn product_is_lower_bound_on_true_domination() {
+        let mut b = GroupedDatasetBuilder::new(2);
+        let r = b.push_group("R", &[vec![9.0, 9.0], vec![4.0, 4.0]]).unwrap();
+        let s = b.push_group("S", &[vec![6.0, 6.0], vec![2.0, 2.0]]).unwrap();
+        let t = b.push_group("T", &[vec![3.0, 3.0], vec![1.0, 1.0]]).unwrap();
+        let ds = b.build().unwrap();
+        let rs = DominationMatrix::build(&ds, r, s);
+        let st = DominationMatrix::build(&ds, s, t);
+        let rt_true = DominationMatrix::build(&ds, r, t);
+        let rt_product = rs.product(&st);
+        for i in 0..rt_product.rows() {
+            for k in 0..rt_product.cols() {
+                // Every product 1 must be a true 1 (record dominance is
+                // transitive), though the converse can fail.
+                if rt_product.get(i, k) {
+                    assert!(rt_true.get(i, k));
+                }
+            }
+        }
+        assert!(rt_product.pos() <= rt_true.pos() + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn product_rejects_mismatched_dimensions() {
+        let a = DominationMatrix::from_bits(1, 2, vec![true, false]);
+        let b = DominationMatrix::from_bits(3, 1, vec![true, false, true]);
+        let _ = a.product(&b);
+    }
+}

@@ -1,0 +1,146 @@
+//! Minimum bounding boxes of groups and the corner-based pruning relations
+//! of Figure 9.
+
+use crate::dataset::{GroupId, GroupedDataset};
+use crate::dominance::dominates;
+
+/// Axis-aligned minimum bounding box of a group's records (in the normalized,
+/// all-MAX orientation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mbb {
+    /// Per-dimension minima (the "worst" corner under MAX preference).
+    pub min: Vec<f64>,
+    /// Per-dimension maxima (the "best" corner under MAX preference).
+    pub max: Vec<f64>,
+}
+
+impl Mbb {
+    /// Computes the bounding box of group `g`.
+    pub fn of_group(ds: &GroupedDataset, g: GroupId) -> Mbb {
+        let dim = ds.dim();
+        let mut min = vec![f64::INFINITY; dim];
+        let mut max = vec![f64::NEG_INFINITY; dim];
+        for rec in ds.records(g) {
+            for d in 0..dim {
+                if rec[d] < min[d] {
+                    min[d] = rec[d];
+                }
+                if rec[d] > max[d] {
+                    max[d] = rec[d];
+                }
+            }
+        }
+        Mbb { min, max }
+    }
+
+    /// Bounding boxes for every group, indexed by [`GroupId`].
+    pub fn of_all_groups(ds: &GroupedDataset) -> Vec<Mbb> {
+        ds.group_ids().map(|g| Mbb::of_group(ds, g)).collect()
+    }
+
+    /// Euclidean distance of the minimum corner from the origin.
+    pub fn min_corner_norm(&self) -> f64 {
+        self.min.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Euclidean distance of the maximum corner from the origin.
+    pub fn max_corner_norm(&self) -> f64 {
+        self.max.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Sort key of Algorithm 4: the sum of the distances between the origin
+    /// and the minimum and maximum corners of the box.
+    pub fn corner_distance_sum(&self) -> f64 {
+        self.min_corner_norm() + self.max_corner_norm()
+    }
+
+    /// Figure 9(b): if this box's minimum corner dominates `other`'s maximum
+    /// corner, every record of this group dominates every record of the
+    /// other group (`p = 1`) and no record comparison is needed.
+    #[inline]
+    pub fn strictly_dominates(&self, other: &Mbb) -> bool {
+        dominates(&self.min, &other.max)
+    }
+
+    /// Necessary condition for *any* record of this group to dominate *any*
+    /// record of `other` (used to build window queries in Algorithm 5): the
+    /// best corner of this box must dominate the worst corner of the other.
+    #[inline]
+    pub fn may_dominate(&self, other: &Mbb) -> bool {
+        dominates(&self.max, &other.min)
+    }
+
+    /// True iff the boxes overlap in every dimension.
+    pub fn overlaps(&self, other: &Mbb) -> bool {
+        self.min
+            .iter()
+            .zip(other.max.iter())
+            .all(|(&a_min, &b_max)| a_min <= b_max)
+            && other
+                .min
+                .iter()
+                .zip(self.max.iter())
+                .all(|(&b_min, &a_max)| b_min <= a_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::GroupedDatasetBuilder;
+
+    fn dataset() -> GroupedDataset {
+        let mut b = GroupedDatasetBuilder::new(2);
+        b.push_group("low", &[vec![0.0, 0.0], vec![1.0, 2.0]]).unwrap();
+        b.push_group("high", &[vec![3.0, 4.0], vec![5.0, 3.0]]).unwrap();
+        b.push_group("mixed", &[vec![0.5, 5.0], vec![4.0, 0.5]]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn mbb_corners() {
+        let ds = dataset();
+        let m = Mbb::of_group(&ds, 2);
+        assert_eq!(m.min, vec![0.5, 0.5]);
+        assert_eq!(m.max, vec![4.0, 5.0]);
+    }
+
+    #[test]
+    fn strict_dominance_between_boxes() {
+        let ds = dataset();
+        let boxes = Mbb::of_all_groups(&ds);
+        // high.min = (3,3) dominates low.max = (1,2): strict group dominance.
+        assert!(boxes[1].strictly_dominates(&boxes[0]));
+        assert!(!boxes[0].strictly_dominates(&boxes[1]));
+        // mixed.min = (.5,.5) does not dominate high's corners.
+        assert!(!boxes[2].strictly_dominates(&boxes[1]));
+    }
+
+    #[test]
+    fn may_dominate_is_a_superset_of_strict() {
+        let ds = dataset();
+        let boxes = Mbb::of_all_groups(&ds);
+        assert!(boxes[1].may_dominate(&boxes[0]));
+        // mixed.max = (4,5) dominates high.min = (3,3): possible domination.
+        assert!(boxes[2].may_dominate(&boxes[1]));
+        // low.max = (1,2) does not dominate high.min = (3,3).
+        assert!(!boxes[0].may_dominate(&boxes[1]));
+    }
+
+    #[test]
+    fn corner_distance_sum() {
+        let ds = dataset();
+        let m = Mbb::of_group(&ds, 0);
+        // min corner (0,0) norm 0, max corner (1,2) norm sqrt(5).
+        assert!((m.corner_distance_sum() - 5.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let ds = dataset();
+        let boxes = Mbb::of_all_groups(&ds);
+        assert!(boxes[2].overlaps(&boxes[1]));
+        assert!(boxes[2].overlaps(&boxes[0]));
+        assert!(!boxes[0].overlaps(&boxes[1]));
+    }
+}

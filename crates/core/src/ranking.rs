@@ -1,0 +1,113 @@
+//! Ranked aggregate skylines (Section 2.2).
+//!
+//! The paper suggests computing, for each group, the minimum γ at which it
+//! enters the aggregate skyline, and returning groups sorted by that value:
+//! "we can compute all groups that *can be* in an aggregate skyline,
+//! corresponding to γ = 1, and return them in sorted order according to the
+//! minimum value of γ for which they are in the group skyline."
+
+use crate::dataset::{GroupId, GroupedDataset};
+use crate::gamma::domination_probability;
+
+/// A group together with the smallest γ for which it belongs to the
+/// aggregate skyline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedGroup {
+    /// The group.
+    pub group: GroupId,
+    /// `max_{S ≠ R} p(S ≻ R)`: the group is in `Sky_γ` for every
+    /// `γ ≥ max(min_gamma, 0.5)`.
+    pub min_gamma: f64,
+}
+
+/// Computes `max_{S ≠ R} p(S ≻ R)` for every group `R`.
+///
+/// A group with `min_gamma = 1` is dominated with probability 1 by some
+/// group and can never be in an aggregate skyline (the `p = 1` clause of
+/// Definition 3 applies at every γ).
+pub fn min_gamma_per_group(ds: &GroupedDataset) -> Vec<f64> {
+    let n = ds.n_groups();
+    let mut worst = vec![0.0f64; n];
+    for s in 0..n {
+        for (r, w) in worst.iter_mut().enumerate() {
+            if s == r {
+                continue;
+            }
+            let p = domination_probability(ds, s, r);
+            if p > *w {
+                *w = p;
+            }
+        }
+    }
+    worst
+}
+
+/// Every group that can appear in *some* aggregate skyline (i.e. is not
+/// dominated with probability 1 by another group), sorted ascending by its
+/// minimum qualifying γ. Ties are broken by group id for determinism.
+pub fn ranked_skyline(ds: &GroupedDataset) -> Vec<RankedGroup> {
+    let mut out: Vec<RankedGroup> = min_gamma_per_group(ds)
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, mg)| mg < 1.0)
+        .map(|(group, min_gamma)| RankedGroup { group, min_gamma })
+        .collect();
+    out.sort_by(|a, b| {
+        a.min_gamma
+            .partial_cmp(&b.min_gamma)
+            .expect("probabilities are never NaN")
+            .then(a.group.cmp(&b.group))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::GroupedDatasetBuilder;
+    use crate::gamma::Gamma;
+
+    fn ds() -> GroupedDataset {
+        let mut b = GroupedDatasetBuilder::new(2);
+        // "top" strictly dominates "bottom"; "side" is incomparable to both.
+        b.push_group("top", &[vec![8.0, 8.0], vec![9.0, 9.0]]).unwrap();
+        b.push_group("bottom", &[vec![1.0, 1.0], vec![2.0, 2.0]]).unwrap();
+        b.push_group("side", &[vec![0.0, 100.0]]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn min_gamma_identifies_strictly_dominated_groups() {
+        let mg = min_gamma_per_group(&ds());
+        assert_eq!(mg[0], 0.0, "nothing dominates 'top'");
+        assert_eq!(mg[1], 1.0, "'bottom' is strictly dominated");
+        assert_eq!(mg[2], 0.0, "'side' is incomparable to everything");
+    }
+
+    #[test]
+    fn ranked_skyline_excludes_probability_one_losers() {
+        let ranked = ranked_skyline(&ds());
+        let groups: Vec<GroupId> = ranked.iter().map(|r| r.group).collect();
+        assert_eq!(groups, vec![0, 2]);
+    }
+
+    #[test]
+    fn ranking_is_consistent_with_membership_at_each_gamma() {
+        // Mixed dataset where domination is partial.
+        let mut b = GroupedDatasetBuilder::new(2);
+        b.push_group("a", &[vec![5.0, 5.0], vec![1.0, 1.0]]).unwrap();
+        b.push_group("b", &[vec![3.0, 3.0], vec![4.0, 4.0]]).unwrap();
+        b.push_group("c", &[vec![2.0, 6.0]]).unwrap();
+        let ds = b.build().unwrap();
+        let mg = min_gamma_per_group(&ds);
+        for gamma_v in [0.5, 0.6, 0.75, 0.9, 1.0] {
+            let gamma = Gamma::new(gamma_v).unwrap();
+            let naive = crate::algorithms::naive_skyline(&ds, gamma);
+            for g in ds.group_ids() {
+                let in_sky = naive.skyline.contains(&g);
+                let predicted = mg[g] < 1.0 && !gamma.dominated(mg[g]);
+                assert_eq!(in_sky, predicted, "group {g} at gamma {gamma_v}");
+            }
+        }
+    }
+}

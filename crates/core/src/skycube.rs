@@ -1,0 +1,144 @@
+//! The aggregate *skycube*: the aggregate skyline of every non-empty
+//! subspace of the skyline attributes (the group-level analogue of the data
+//! cube skyline work the paper cites).
+//!
+//! Analysts rarely know up front which criteria matter; the skycube answers
+//! "who survives under *any* subset of the criteria" in one call, and the
+//! per-group summary tells how robust each group is across subspaces.
+
+use crate::algorithms::{AlgoOptions, Algorithm};
+use crate::dataset::{GroupId, GroupedDataset};
+use crate::error::Result;
+use crate::gamma::Gamma;
+
+/// One subspace's skyline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubspaceSkyline {
+    /// The selected dimensions (ascending).
+    pub dims: Vec<usize>,
+    /// Groups in the aggregate skyline of that subspace, ascending.
+    pub skyline: Vec<GroupId>,
+}
+
+/// The full skycube: `2^d − 1` subspace skylines.
+#[derive(Debug, Clone)]
+pub struct Skycube {
+    /// All subspaces, ordered by ascending dimension-mask value.
+    pub subspaces: Vec<SubspaceSkyline>,
+    /// Number of groups in the underlying dataset.
+    n_groups: usize,
+}
+
+impl Skycube {
+    /// Looks up the skyline of one subspace (dims in any order).
+    pub fn skyline_of(&self, dims: &[usize]) -> Option<&[GroupId]> {
+        let mut key: Vec<usize> = dims.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        self.subspaces
+            .iter()
+            .find(|s| s.dims == key)
+            .map(|s| s.skyline.as_slice())
+    }
+
+    /// For each group, in how many subspaces it appears in the skyline.
+    pub fn appearance_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_groups];
+        for s in &self.subspaces {
+            for &g in &s.skyline {
+                counts[g] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Groups that appear in *every* subspace skyline ("all-round winners").
+    pub fn universal_groups(&self) -> Vec<GroupId> {
+        let counts = self.appearance_counts();
+        let total = self.subspaces.len();
+        counts
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, c)| c == total)
+            .map(|(g, _)| g)
+            .collect()
+    }
+}
+
+/// Computes the aggregate skyline of every non-empty subset of dimensions
+/// (so `2^d − 1` skylines; `d` is capped at 12 to keep the cube finite).
+/// Each subspace uses the indexed algorithm with exact pruning.
+pub fn skycube(ds: &GroupedDataset, gamma: Gamma) -> Result<Skycube> {
+    let d = ds.dim();
+    assert!(d <= 12, "skycube over {d} dimensions would have {} subspaces", (1u64 << d) - 1);
+    let mut subspaces = Vec::with_capacity((1usize << d) - 1);
+    let opts = AlgoOptions::exact(gamma);
+    for mask in 1usize..(1 << d) {
+        let dims: Vec<usize> = (0..d).filter(|i| mask & (1 << i) != 0).collect();
+        let projected = ds.project(&dims)?;
+        let result = Algorithm::Indexed.run_with(&projected, opts);
+        subspaces.push(SubspaceSkyline { dims, skyline: result.skyline });
+    }
+    Ok(Skycube { subspaces, n_groups: ds.n_groups() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::naive_skyline;
+    use crate::testdata::{movie_directors, random_dataset};
+
+    #[test]
+    fn cube_has_all_subspaces_and_matches_direct_computation() {
+        let ds = movie_directors();
+        let cube = skycube(&ds, Gamma::DEFAULT).unwrap();
+        assert_eq!(cube.subspaces.len(), 3); // 2 dims -> {0}, {1}, {0,1}
+        let full = cube.skyline_of(&[0, 1]).unwrap();
+        assert_eq!(full, naive_skyline(&ds, Gamma::DEFAULT).skyline);
+        // Each single-dimension skyline matches projecting then solving.
+        for d in 0..2 {
+            let projected = ds.project(&[d]).unwrap();
+            let direct = naive_skyline(&projected, Gamma::DEFAULT).skyline;
+            assert_eq!(cube.skyline_of(&[d]).unwrap(), direct, "dim {d}");
+        }
+    }
+
+    #[test]
+    fn lookup_normalizes_dimension_order() {
+        let ds = random_dataset(8, 4, 3, 11);
+        let cube = skycube(&ds, Gamma::DEFAULT).unwrap();
+        assert_eq!(cube.subspaces.len(), 7);
+        assert_eq!(cube.skyline_of(&[2, 0]), cube.skyline_of(&[0, 2]));
+        assert!(cube.skyline_of(&[5]).is_none());
+    }
+
+    #[test]
+    fn appearance_counts_and_universal_groups() {
+        let ds = random_dataset(10, 5, 3, 13);
+        let cube = skycube(&ds, Gamma::DEFAULT).unwrap();
+        let counts = cube.appearance_counts();
+        assert_eq!(counts.len(), ds.n_groups());
+        for &c in &counts {
+            assert!(c <= cube.subspaces.len());
+        }
+        for g in cube.universal_groups() {
+            assert_eq!(counts[g], cube.subspaces.len());
+        }
+        // Universal groups are, in particular, in the full-space skyline.
+        let full = naive_skyline(&ds, Gamma::DEFAULT).skyline;
+        for g in cube.universal_groups() {
+            assert!(full.contains(&g));
+        }
+    }
+
+    #[test]
+    fn every_subspace_skyline_is_exact() {
+        let ds = random_dataset(9, 4, 3, 17);
+        let cube = skycube(&ds, Gamma::DEFAULT).unwrap();
+        for sub in &cube.subspaces {
+            let projected = ds.project(&sub.dims).unwrap();
+            let direct = naive_skyline(&projected, Gamma::DEFAULT).skyline;
+            assert_eq!(sub.skyline, direct, "dims {:?}", sub.dims);
+        }
+    }
+}

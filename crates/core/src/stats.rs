@@ -1,0 +1,58 @@
+//! Instrumentation counters collected by every algorithm run.
+//!
+//! Wall-clock time depends on the machine; the counters below are
+//! hardware-independent measures of the work each optimization saves, and
+//! they are what the benchmark harness reports next to elapsed time.
+
+/// Work counters for one aggregate-skyline computation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Pairs of groups for which a domination test was started.
+    pub group_pairs: u64,
+    /// Record-vs-record dominance checks actually performed.
+    pub record_pairs: u64,
+    /// Group pairs fully resolved by bounding-box reasoning alone
+    /// (Figure 9(b) strict-dominance shortcut).
+    pub bbox_resolved: u64,
+    /// Record comparisons avoided by the Figure 9(c) region decomposition
+    /// (pairs whose outcome was derived from MBB corners).
+    pub bbox_skipped_pairs: u64,
+    /// Group pairs whose pairwise loop terminated early via the Section 3.3
+    /// stopping rule.
+    pub early_stops: u64,
+    /// Group comparisons skipped because one side was already strongly
+    /// dominated (weak-transitivity pruning, Algorithm 3).
+    pub transitive_skips: u64,
+    /// Candidate groups returned by spatial-index window queries
+    /// (Algorithm 5); group pairs never returned were pruned for free.
+    pub index_candidates: u64,
+}
+
+impl Stats {
+    /// Merges the counters of another run into this one (used by the
+    /// parallel driver and by benchmark aggregation).
+    pub fn merge(&mut self, other: &Stats) {
+        self.group_pairs += other.group_pairs;
+        self.record_pairs += other.record_pairs;
+        self.bbox_resolved += other.bbox_resolved;
+        self.bbox_skipped_pairs += other.bbox_skipped_pairs;
+        self.early_stops += other.early_stops;
+        self.transitive_skips += other.transitive_skips;
+        self.index_candidates += other.index_candidates;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = Stats { group_pairs: 1, record_pairs: 10, ..Stats::default() };
+        let b = Stats { group_pairs: 2, record_pairs: 5, early_stops: 1, ..Stats::default() };
+        a.merge(&b);
+        assert_eq!(a.group_pairs, 3);
+        assert_eq!(a.record_pairs, 15);
+        assert_eq!(a.early_stops, 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Subspace operations on grouped datasets: projecting onto a subset of
+//! dimensions and restricting to a subset of groups.
+//!
+//! Skyline analyses routinely vary the attribute set (the paper's Figure 14
+//! runs the same data with 3-8 skyline attributes); these helpers derive
+//! the corresponding datasets without round-tripping through a builder.
+
+use crate::dataset::{GroupId, GroupedDataset, GroupedDatasetBuilder};
+use crate::error::{Error, Result};
+
+impl GroupedDataset {
+    /// Projects every record onto the given dimensions (in the given
+    /// order; repeating a dimension is allowed). Values keep their
+    /// normalized (MAX) orientation, and the projected dataset reports
+    /// [`crate::Direction::Max`] everywhere.
+    pub fn project(&self, dims: &[usize]) -> Result<GroupedDataset> {
+        if dims.is_empty() {
+            return Err(Error::ZeroDimensions);
+        }
+        for &d in dims {
+            if d >= self.dim() {
+                return Err(Error::DimensionMismatch { expected: self.dim(), got: d + 1 });
+            }
+        }
+        let mut b = GroupedDatasetBuilder::new(dims.len()).trusted_labels();
+        for g in self.group_ids() {
+            let rows: Vec<Vec<f64>> = self
+                .records(g)
+                .map(|rec| dims.iter().map(|&d| rec[d]).collect())
+                .collect();
+            b.push_group(self.label(g), &rows)?;
+        }
+        b.build()
+    }
+
+    /// Restricts the dataset to the given groups (in the given order).
+    pub fn restrict(&self, groups: &[GroupId]) -> Result<GroupedDataset> {
+        let mut b = GroupedDatasetBuilder::new(self.dim()).trusted_labels();
+        for &g in groups {
+            assert!(g < self.n_groups(), "group id {g} out of range");
+            let rows: Vec<&[f64]> = self.records(g).collect();
+            b.push_group(self.label(g), &rows)?;
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::naive_skyline;
+    use crate::gamma::Gamma;
+    use crate::testdata::{movie_directors, random_dataset};
+
+    #[test]
+    fn project_selects_and_reorders() {
+        let ds = movie_directors();
+        let swapped = ds.project(&[1, 0]).unwrap();
+        assert_eq!(swapped.dim(), 2);
+        assert_eq!(swapped.record(0, 0), &[8.0, 404.0]);
+        let quality_only = ds.project(&[1]).unwrap();
+        assert_eq!(quality_only.dim(), 1);
+        assert_eq!(quality_only.record(2, 1), &[9.0]);
+    }
+
+    #[test]
+    fn projection_order_does_not_change_skyline() {
+        let ds = random_dataset(12, 6, 3, 42);
+        let a = naive_skyline(&ds, Gamma::DEFAULT).skyline;
+        let b = naive_skyline(&ds.project(&[2, 0, 1]).unwrap(), Gamma::DEFAULT).skyline;
+        assert_eq!(a, b, "permuting dimensions preserves dominance");
+    }
+
+    #[test]
+    fn projection_to_subspace_changes_results_sensibly() {
+        // Single-dimension skyline = groups containing the max value chain.
+        let ds = movie_directors();
+        let pop_only = ds.project(&[0]).unwrap();
+        let sky = naive_skyline(&pop_only, Gamma::DEFAULT).skyline;
+        // Tarantino holds the single most popular movie; in 1-D every group
+        // with p(S>R) > .5 excludes R, so the survivors hold top movies.
+        assert!(sky.contains(&ds.group_by_label("Tarantino").unwrap()));
+        assert!(!sky.contains(&ds.group_by_label("Wiseau").unwrap()));
+    }
+
+    #[test]
+    fn project_errors() {
+        let ds = movie_directors();
+        assert!(matches!(ds.project(&[]), Err(Error::ZeroDimensions)));
+        assert!(matches!(ds.project(&[5]), Err(Error::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn restrict_keeps_selected_groups() {
+        let ds = movie_directors();
+        let t = ds.group_by_label("Tarantino").unwrap();
+        let w = ds.group_by_label("Wiseau").unwrap();
+        let two = ds.restrict(&[t, w]).unwrap();
+        assert_eq!(two.n_groups(), 2);
+        assert_eq!(two.label(0), "Tarantino");
+        assert_eq!(two.group_len(0), 2);
+        let sky = naive_skyline(&two, Gamma::DEFAULT).skyline;
+        assert_eq!(two.sorted_labels(&sky), vec!["Tarantino"]);
+    }
+
+    #[test]
+    fn restriction_can_only_grow_membership() {
+        // Removing groups removes potential dominators: any group in the
+        // full skyline stays in the restricted skyline.
+        let ds = random_dataset(12, 5, 3, 77);
+        let full = naive_skyline(&ds, Gamma::DEFAULT).skyline;
+        let keep: Vec<usize> = (0..ds.n_groups()).step_by(2).collect();
+        let restricted = ds.restrict(&keep).unwrap();
+        let sub_sky = naive_skyline(&restricted, Gamma::DEFAULT).skyline;
+        for (new_id, &old_id) in keep.iter().enumerate() {
+            if full.contains(&old_id) {
+                assert!(sub_sky.contains(&new_id), "group {old_id} lost by restriction");
+            }
+        }
+    }
+}

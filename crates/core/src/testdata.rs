@@ -1,0 +1,47 @@
+//! Shared fixtures for the crate's unit tests (compiled only under
+//! `cfg(test)`).
+
+use crate::dataset::{GroupedDataset, GroupedDatasetBuilder};
+
+/// The Figure 1 movie table grouped by director: `(popularity, quality)`.
+pub(crate) fn movie_directors() -> GroupedDataset {
+    let mut b = GroupedDatasetBuilder::new(2);
+    b.push_group("Cameron", &[vec![404.0, 8.0], vec![326.0, 8.6]]).unwrap();
+    b.push_group("Nolan", &[vec![371.0, 8.3]]).unwrap();
+    b.push_group("Tarantino", &[vec![313.0, 8.2], vec![557.0, 9.0]]).unwrap();
+    b.push_group("Kershner", &[vec![362.0, 8.8]]).unwrap();
+    b.push_group("Coppola", &[vec![531.0, 9.2], vec![76.0, 7.3]]).unwrap();
+    b.push_group("Jackson", &[vec![518.0, 8.7]]).unwrap();
+    b.push_group("Wiseau", &[vec![10.0, 3.2]]).unwrap();
+    b.build().unwrap()
+}
+
+/// Deterministic xorshift generator for dependency-free pseudorandom tests.
+pub(crate) fn lcg(seed: u64) -> impl FnMut() -> f64 {
+    let mut state = seed.max(1);
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Random grouped dataset: `n_groups` groups of up to `max_records` records
+/// each, `dim` dimensions, values in `[0, 1)`.
+pub(crate) fn random_dataset(
+    n_groups: usize,
+    max_records: usize,
+    dim: usize,
+    seed: u64,
+) -> GroupedDataset {
+    let mut next = lcg(seed);
+    let mut b = GroupedDatasetBuilder::new(dim);
+    for g in 0..n_groups {
+        let len = 1 + (next() * max_records as f64) as usize;
+        let rows: Vec<Vec<f64>> =
+            (0..len).map(|_| (0..dim).map(|_| next()).collect()).collect();
+        b.push_group(format!("g{g}"), &rows).unwrap();
+    }
+    b.build().unwrap()
+}

@@ -1,0 +1,340 @@
+//! CSV import/export for grouped datasets (hand-rolled, RFC-4180-style
+//! quoting; no external dependency).
+//!
+//! The on-disk shape is one record per line with the group label in a
+//! designated column:
+//!
+//! ```csv
+//! director,popularity,quality
+//! Tarantino,313,8.2
+//! Tarantino,557,9.0
+//! Wiseau,10,3.2
+//! ```
+
+use aggsky_core::{Direction, GroupedDataset, GroupedDatasetBuilder};
+use std::fmt;
+
+/// Errors raised while parsing CSV into a grouped dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CsvError {
+    /// A quoted field was never closed.
+    UnterminatedQuote {
+        /// 1-based line where the field started.
+        line: usize,
+    },
+    /// A data row had a different number of fields than the header.
+    FieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Fields expected (from the header).
+        expected: usize,
+        /// Fields found.
+        got: usize,
+    },
+    /// A value column held a non-numeric field.
+    NotNumeric {
+        /// 1-based line number.
+        line: usize,
+        /// Column name.
+        column: String,
+        /// Offending raw text.
+        text: String,
+    },
+    /// The named group column is not in the header.
+    MissingGroupColumn(String),
+    /// The file had a header but no data rows.
+    NoRecords,
+    /// Dataset construction failed (NaN, dimension mismatch, ...).
+    Dataset(aggsky_core::Error),
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "line {line}: unterminated quoted field")
+            }
+            CsvError::FieldCount { line, expected, got } => {
+                write!(f, "line {line}: expected {expected} fields, got {got}")
+            }
+            CsvError::NotNumeric { line, column, text } => {
+                write!(f, "line {line}: column {column:?} has non-numeric value {text:?}")
+            }
+            CsvError::MissingGroupColumn(c) => write!(f, "group column {c:?} not in header"),
+            CsvError::NoRecords => write!(f, "no data rows"),
+            CsvError::Dataset(e) => write!(f, "dataset error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Splits one CSV line into fields, honoring double-quote escaping.
+fn split_line(line: &str, line_no: usize) -> Result<Vec<String>, CsvError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    loop {
+        match chars.next() {
+            None => {
+                if in_quotes {
+                    return Err(CsvError::UnterminatedQuote { line: line_no });
+                }
+                fields.push(cur);
+                return Ok(fields);
+            }
+            Some('"') if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            Some('"') if cur.is_empty() && !in_quotes => in_quotes = true,
+            Some(',') if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            Some(c) => cur.push(c),
+        }
+    }
+}
+
+/// Quotes a field if it contains a comma, quote or newline.
+fn quote_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Returns the non-group column names of a grouped CSV's header, in file
+/// order — the dimension order [`parse_grouped_csv`] will use. Lets callers
+/// (e.g. the CLI's `--min COLUMN` flags) map column names onto dimensions
+/// without re-implementing header parsing.
+pub fn csv_value_columns(text: &str, group_column: &str) -> Result<Vec<String>, CsvError> {
+    let header_line =
+        text.lines().find(|l| !l.trim().is_empty()).ok_or(CsvError::NoRecords)?;
+    let header = split_line(header_line, 1)?;
+    if !header.iter().any(|h| h.trim().eq_ignore_ascii_case(group_column)) {
+        return Err(CsvError::MissingGroupColumn(group_column.to_string()));
+    }
+    Ok(header
+        .into_iter()
+        .map(|h| h.trim().to_string())
+        .filter(|h| !h.eq_ignore_ascii_case(group_column))
+        .collect())
+}
+
+/// Parses CSV text into a grouped dataset.
+///
+/// * `group_column` — header name of the grouping attribute.
+/// * `directions` — optional per-value-column preference; defaults to MAX
+///   everywhere. Must match the number of non-group columns.
+///
+/// Rows with the same group label need not be adjacent. Group order follows
+/// first appearance.
+pub fn parse_grouped_csv(
+    text: &str,
+    group_column: &str,
+    directions: Option<&[Direction]>,
+) -> Result<GroupedDataset, CsvError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, header_line) = lines.next().ok_or(CsvError::NoRecords)?;
+    let header = split_line(header_line, 1)?;
+    let group_idx = header
+        .iter()
+        .position(|h| h.trim().eq_ignore_ascii_case(group_column))
+        .ok_or_else(|| CsvError::MissingGroupColumn(group_column.to_string()))?;
+    let value_columns: Vec<(usize, String)> = header
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != group_idx)
+        .map(|(i, h)| (i, h.trim().to_string()))
+        .collect();
+    let dim = value_columns.len();
+    if let Some(dirs) = directions {
+        assert_eq!(dirs.len(), dim, "one direction per value column");
+    }
+
+    let mut order: Vec<String> = Vec::new();
+    let mut buckets: std::collections::HashMap<String, Vec<Vec<f64>>> = Default::default();
+    for (i, line) in lines {
+        let line_no = i + 1;
+        let fields = split_line(line, line_no)?;
+        if fields.len() != header.len() {
+            return Err(CsvError::FieldCount {
+                line: line_no,
+                expected: header.len(),
+                got: fields.len(),
+            });
+        }
+        let mut row = Vec::with_capacity(dim);
+        for (col, name) in &value_columns {
+            let raw = fields[*col].trim();
+            let v: f64 = raw.parse().map_err(|_| CsvError::NotNumeric {
+                line: line_no,
+                column: name.clone(),
+                text: raw.to_string(),
+            })?;
+            row.push(v);
+        }
+        let label = fields[group_idx].trim().to_string();
+        buckets
+            .entry(label.clone())
+            .or_insert_with(|| {
+                order.push(label);
+                Vec::new()
+            })
+            .push(row);
+    }
+    if order.is_empty() {
+        return Err(CsvError::NoRecords);
+    }
+    let dirs = directions.map(<[Direction]>::to_vec).unwrap_or_else(|| vec![Direction::Max; dim]);
+    let mut b = GroupedDatasetBuilder::with_directions(dirs).trusted_labels();
+    for label in order {
+        b.push_group(&label[..], &buckets[&label]).map_err(CsvError::Dataset)?;
+    }
+    b.build().map_err(CsvError::Dataset)
+}
+
+/// Serializes a grouped dataset back to CSV (values in the original, un-
+/// normalized orientation; the group column comes first).
+pub fn to_grouped_csv(ds: &GroupedDataset, group_column: &str, value_columns: &[&str]) -> String {
+    assert_eq!(value_columns.len(), ds.dim(), "one name per dimension");
+    let mut out = String::new();
+    out.push_str(&quote_field(group_column));
+    for c in value_columns {
+        out.push(',');
+        out.push_str(&quote_field(c));
+    }
+    out.push('\n');
+    for g in ds.group_ids() {
+        for i in 0..ds.group_len(g) {
+            out.push_str(&quote_field(ds.label(g)));
+            for v in ds.record_original(g, i) {
+                out.push(',');
+                out.push_str(&format!("{v}"));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggsky_core::{naive_skyline, Gamma};
+
+    const MOVIES: &str = "\
+director,popularity,quality
+Tarantino,313,8.2
+Tarantino,557,9.0
+Kershner,362,8.8
+Wiseau,10,3.2
+";
+
+    #[test]
+    fn parses_basic_csv() {
+        let ds = parse_grouped_csv(MOVIES, "director", None).unwrap();
+        assert_eq!(ds.n_groups(), 3);
+        assert_eq!(ds.n_records(), 4);
+        assert_eq!(ds.group_len(ds.group_by_label("Tarantino").unwrap()), 2);
+        let sky = naive_skyline(&ds, Gamma::DEFAULT).skyline;
+        assert_eq!(ds.sorted_labels(&sky), vec!["Kershner", "Tarantino"]);
+    }
+
+    #[test]
+    fn quoted_fields_and_escapes() {
+        let csv = "g,x\n\"A, Inc.\",1\n\"say \"\"hi\"\"\",2\n";
+        let ds = parse_grouped_csv(csv, "g", None).unwrap();
+        assert_eq!(ds.label(0), "A, Inc.");
+        assert_eq!(ds.label(1), "say \"hi\"");
+    }
+
+    #[test]
+    fn group_column_anywhere() {
+        let csv = "x,g,y\n1,alpha,2\n3,alpha,4\n";
+        let ds = parse_grouped_csv(csv, "G", None).unwrap();
+        assert_eq!(ds.n_groups(), 1);
+        assert_eq!(ds.record(0, 0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn min_direction_negates() {
+        let csv = "g,price\nshop,10\n";
+        let ds = parse_grouped_csv(csv, "g", Some(&[Direction::Min])).unwrap();
+        assert_eq!(ds.record(0, 0), &[-10.0]);
+        assert_eq!(ds.record_original(0, 0), vec![10.0]);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            parse_grouped_csv("", "g", None),
+            Err(CsvError::NoRecords)
+        ));
+        assert!(matches!(
+            parse_grouped_csv("a,b\n1,2\n", "g", None),
+            Err(CsvError::MissingGroupColumn(_))
+        ));
+        assert!(matches!(
+            parse_grouped_csv("g,x\nz\n", "g", None),
+            Err(CsvError::FieldCount { line: 2, expected: 2, got: 1 })
+        ));
+        assert!(matches!(
+            parse_grouped_csv("g,x\nz,notanumber\n", "g", None),
+            Err(CsvError::NotNumeric { .. })
+        ));
+        assert!(matches!(
+            parse_grouped_csv("g,x\n\"oops,1\n", "g", None),
+            Err(CsvError::UnterminatedQuote { line: 2 })
+        ));
+    }
+
+    #[test]
+    fn value_columns_helper() {
+        assert_eq!(
+            csv_value_columns(MOVIES, "director").unwrap(),
+            vec!["popularity", "quality"]
+        );
+        assert_eq!(csv_value_columns("x, g ,y\n1,a,2\n", "G").unwrap(), vec!["x", "y"]);
+        assert!(matches!(
+            csv_value_columns("a,b\n", "nope"),
+            Err(CsvError::MissingGroupColumn(_))
+        ));
+        assert!(matches!(csv_value_columns("", "g"), Err(CsvError::NoRecords)));
+    }
+
+    #[test]
+    fn round_trip() {
+        let ds = parse_grouped_csv(MOVIES, "director", None).unwrap();
+        let csv = to_grouped_csv(&ds, "director", &["popularity", "quality"]);
+        let ds2 = parse_grouped_csv(&csv, "director", None).unwrap();
+        assert_eq!(ds.n_groups(), ds2.n_groups());
+        for g in ds.group_ids() {
+            assert_eq!(ds.label(g), ds2.label(g));
+            assert_eq!(ds.group_rows(g), ds2.group_rows(g));
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_min_direction_values() {
+        let csv = "g,price,rating\na,10,4\nb,20,5\n";
+        let ds =
+            parse_grouped_csv(csv, "g", Some(&[Direction::Min, Direction::Max])).unwrap();
+        let out = to_grouped_csv(&ds, "g", &["price", "rating"]);
+        assert!(out.contains("a,10,4"), "{out}");
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let csv = "g,x\n\na,1\n\n\nb,2\n";
+        let ds = parse_grouped_csv(csv, "g", None).unwrap();
+        assert_eq!(ds.n_groups(), 2);
+    }
+}

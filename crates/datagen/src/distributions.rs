@@ -1,0 +1,149 @@
+//! The classic skyline-benchmark record distributions of Börzsönyi et al.
+//! (ICDE 2001): independent, correlated, and anti-correlated points in
+//! `[0, 1]^d`.
+
+use rand::Rng;
+
+/// Shape of the multidimensional value distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Distribution {
+    /// Each dimension i.i.d. uniform: the "neutral" workload.
+    Independent,
+    /// Dimensions positively correlated (points hug the main diagonal):
+    /// skylines are tiny, the easiest workload.
+    Correlated,
+    /// Dimensions negatively correlated (points hug the anti-diagonal
+    /// hyperplane `Σxᵢ ≈ d/2`): a large fraction of the input is in the
+    /// skyline, the hardest workload.
+    AntiCorrelated,
+}
+
+impl Distribution {
+    /// The three distributions in the order the paper's figures use.
+    pub const ALL: [Distribution; 3] =
+        [Distribution::AntiCorrelated, Distribution::Independent, Distribution::Correlated];
+
+    /// Short label used by the benchmark harness.
+    pub fn label(self) -> &'static str {
+        match self {
+            Distribution::Independent => "ind",
+            Distribution::Correlated => "corr",
+            Distribution::AntiCorrelated => "anti",
+        }
+    }
+
+    /// Draws one `dim`-dimensional point in `[0, 1]^d`.
+    pub fn sample<R: Rng + ?Sized>(self, rng: &mut R, dim: usize, out: &mut Vec<f64>) {
+        out.clear();
+        match self {
+            Distribution::Independent => {
+                for _ in 0..dim {
+                    out.push(rng.gen::<f64>());
+                }
+            }
+            Distribution::Correlated => {
+                // A common level drawn from a bell-ish "peak" distribution
+                // (mean of uniforms), plus small per-dimension jitter.
+                let level = peak(rng);
+                for _ in 0..dim {
+                    let jitter = (rng.gen::<f64>() - 0.5) * 0.2;
+                    out.push((level + jitter).clamp(0.0, 1.0));
+                }
+            }
+            Distribution::AntiCorrelated => {
+                // Points concentrated around the hyperplane Σxᵢ = d·level:
+                // draw a uniform point, recentre its deviations so they sum
+                // to zero, then spread them wide. Good in one dimension ⇒
+                // bad in others.
+                let level = 0.5 + (peak(rng) - 0.5) * 0.15;
+                let raw: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>()).collect();
+                let mean = raw.iter().sum::<f64>() / dim as f64;
+                for &r in &raw {
+                    out.push((level + (r - mean)).clamp(0.0, 1.0));
+                }
+            }
+        }
+    }
+
+    /// Convenience wrapper returning a fresh vector.
+    pub fn sample_vec<R: Rng + ?Sized>(self, rng: &mut R, dim: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(dim);
+        self.sample(rng, dim, &mut out);
+        out
+    }
+}
+
+/// Bell-shaped value in `[0, 1]`: mean of four uniforms (Irwin–Hall).
+fn peak<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    (rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>()) / 4.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let vx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        let vy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+
+    fn columns(dist: Distribution, n: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let p = dist.sample_vec(&mut rng, 2);
+            xs.push(p[0]);
+            ys.push(p[1]);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn values_stay_in_unit_cube() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for dist in Distribution::ALL {
+            for dim in [1usize, 2, 5, 8] {
+                for _ in 0..200 {
+                    let p = dist.sample_vec(&mut rng, dim);
+                    assert_eq!(p.len(), dim);
+                    assert!(p.iter().all(|v| (0.0..=1.0).contains(v)), "{dist:?} {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_signs_match_the_names() {
+        let (xs, ys) = columns(Distribution::Correlated, 4000);
+        assert!(pearson(&xs, &ys) > 0.5, "correlated r = {}", pearson(&xs, &ys));
+        let (xs, ys) = columns(Distribution::AntiCorrelated, 4000);
+        assert!(pearson(&xs, &ys) < -0.5, "anti r = {}", pearson(&xs, &ys));
+        let (xs, ys) = columns(Distribution::Independent, 4000);
+        assert!(pearson(&xs, &ys).abs() < 0.1, "independent r = {}", pearson(&xs, &ys));
+    }
+
+    #[test]
+    fn anticorrelated_has_larger_record_skyline() {
+        // The defining property of the benchmark: anti-correlated data puts
+        // far more records in the skyline than correlated data.
+        let mut sizes = std::collections::HashMap::new();
+        for dist in Distribution::ALL {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut rows = Vec::new();
+            for _ in 0..1000 {
+                rows.extend(dist.sample_vec(&mut rng, 3));
+            }
+            sizes.insert(dist.label(), aggsky_core::record_skyline::bnl(&rows, 3).len());
+        }
+        assert!(sizes["anti"] > 3 * sizes["corr"], "{sizes:?}");
+        assert!(sizes["anti"] > sizes["ind"], "{sizes:?}");
+    }
+}

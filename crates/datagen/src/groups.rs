@@ -1,0 +1,191 @@
+//! Grouped synthetic workloads: the paper's evaluation datasets.
+//!
+//! Section 4's synthetic experiments control four knobs: total records,
+//! average records per class, the fraction of the data space each class is
+//! spread over, and dimensionality — under the three classic distributions.
+//! We model a class as a box of side `spread` whose *center* is drawn from
+//! the chosen distribution (so the inter-group structure is anti-correlated/
+//! independent/correlated, which is what makes the group skyline hard or
+//! easy), with the class's records drawn from the same distribution rescaled
+//! into its box.
+
+use crate::distributions::Distribution;
+use crate::zipf::Zipf;
+use aggsky_core::{GroupedDataset, GroupedDatasetBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How the total record count is split across classes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GroupSizes {
+    /// All classes get the same number of records (the paper's default).
+    Uniform,
+    /// Class sizes follow a Zipf law with the given exponent (the heavy-tail
+    /// workload of Figure 13(a)).
+    Zipf(f64),
+}
+
+/// Configuration of a synthetic grouped dataset.
+///
+/// The defaults mirror the paper's: 10 000 records, 100 records per class,
+/// classes spread over 20 % of the data space, 5 dimensions.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Total number of records.
+    pub n_records: usize,
+    /// Number of classes (groups). The paper states *average records per
+    /// class*; `n_groups = n_records / avg_records_per_class`.
+    pub n_groups: usize,
+    /// Dimensionality of each record.
+    pub dim: usize,
+    /// Value distribution (drives both class centers and in-class records).
+    pub distribution: Distribution,
+    /// Side length of each class's box as a fraction of the data space
+    /// (the paper's "spread over X % of the data space"). Larger values
+    /// mean more overlap between classes.
+    pub spread: f64,
+    /// Distribution of records over classes.
+    pub group_sizes: GroupSizes,
+    /// RNG seed: identical configs with identical seeds produce identical
+    /// datasets.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// The paper's default workload for a given distribution.
+    pub fn paper_default(distribution: Distribution) -> SyntheticConfig {
+        SyntheticConfig {
+            n_records: 10_000,
+            n_groups: 100,
+            dim: 5,
+            distribution,
+            spread: 0.2,
+            group_sizes: GroupSizes::Uniform,
+            seed: 0x0A66_5544,
+        }
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> GroupedDataset {
+        assert!(self.n_groups > 0 && self.n_records >= self.n_groups);
+        assert!(self.dim > 0);
+        assert!(
+            self.spread > 0.0 && self.spread <= 1.0,
+            "spread must be a fraction of the data space"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let sizes: Vec<usize> = match self.group_sizes {
+            GroupSizes::Uniform => {
+                let base = self.n_records / self.n_groups;
+                let extra = self.n_records % self.n_groups;
+                (0..self.n_groups).map(|g| base + usize::from(g < extra)).collect()
+            }
+            GroupSizes::Zipf(s) => Zipf::partition(self.n_records, self.n_groups, s),
+        };
+        let mut b = GroupedDatasetBuilder::new(self.dim).trusted_labels();
+        let mut local = Vec::with_capacity(self.dim);
+        for (g, &size) in sizes.iter().enumerate() {
+            // Class center from the global distribution, nudged inward so
+            // the class box fits in the unit cube.
+            let center = self.distribution.sample_vec(&mut rng, self.dim);
+            let half = self.spread / 2.0;
+            let lo: Vec<f64> =
+                center.iter().map(|c| (c - half).clamp(0.0, 1.0 - self.spread)).collect();
+            let mut rows: Vec<Vec<f64>> = Vec::with_capacity(size);
+            for _ in 0..size {
+                self.distribution.sample(&mut rng, self.dim, &mut local);
+                rows.push(
+                    local.iter().zip(lo.iter()).map(|(&v, &l)| l + v * self.spread).collect(),
+                );
+            }
+            b.push_group(format!("class{g}"), &rows).expect("generated rows are well-formed");
+        }
+        b.build().expect("generated dataset is well-formed")
+    }
+}
+
+/// Draws `n` ungrouped records from a distribution (for record-skyline
+/// benchmarks and the SQL baseline's input).
+pub fn ungrouped_records(
+    n: usize,
+    dim: usize,
+    distribution: Distribution,
+    seed: u64,
+) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| distribution.sample_vec(&mut rng, dim)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let cfg = SyntheticConfig::paper_default(Distribution::Independent);
+        let ds = cfg.generate();
+        assert_eq!(ds.n_records(), 10_000);
+        assert_eq!(ds.n_groups(), 100);
+        assert_eq!(ds.dim(), 5);
+        for g in ds.group_ids() {
+            assert_eq!(ds.group_len(g), 100);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = SyntheticConfig {
+            n_records: 500,
+            n_groups: 10,
+            ..SyntheticConfig::paper_default(Distribution::AntiCorrelated)
+        };
+        let a = cfg.generate();
+        let b = cfg.generate();
+        for g in a.group_ids() {
+            assert_eq!(a.group_rows(g), b.group_rows(g));
+        }
+        let c = SyntheticConfig { seed: 1, ..cfg }.generate();
+        assert_ne!(a.group_rows(0), c.group_rows(0), "different seed, same data");
+    }
+
+    #[test]
+    fn spread_bounds_group_boxes() {
+        let cfg = SyntheticConfig {
+            n_records: 2000,
+            n_groups: 20,
+            spread: 0.1,
+            ..SyntheticConfig::paper_default(Distribution::Independent)
+        };
+        let ds = cfg.generate();
+        for g in ds.group_ids() {
+            let mbb = aggsky_core::Mbb::of_group(&ds, g);
+            for d in 0..ds.dim() {
+                let side = mbb.max[d] - mbb.min[d];
+                assert!(side <= 0.1 + 1e-9, "group {g} dim {d} side {side}");
+                assert!(mbb.min[d] >= 0.0 && mbb.max[d] <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_sizes_are_heavy_tailed() {
+        let cfg = SyntheticConfig {
+            n_records: 10_000,
+            n_groups: 100,
+            group_sizes: GroupSizes::Zipf(1.0),
+            ..SyntheticConfig::paper_default(Distribution::Independent)
+        };
+        let ds = cfg.generate();
+        assert_eq!(ds.n_records(), 10_000);
+        let largest = ds.group_ids().map(|g| ds.group_len(g)).max().unwrap();
+        let smallest = ds.group_ids().map(|g| ds.group_len(g)).min().unwrap();
+        assert!(largest > 10 * smallest, "not heavy-tailed: {largest} vs {smallest}");
+    }
+
+    #[test]
+    fn ungrouped_records_shape() {
+        let rows = ungrouped_records(100, 3, Distribution::Correlated, 5);
+        assert_eq!(rows.len(), 100);
+        assert!(rows.iter().all(|r| r.len() == 3));
+    }
+}

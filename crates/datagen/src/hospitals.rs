@@ -1,0 +1,111 @@
+//! A synthetic hospital-quality dataset — the paper's other motivating use
+//! case ("identification of virtuous hospitals/wards ... in medical
+//! databases") — with mixed preference directions: success rate up, cost
+//! down, waiting time down, complication rate down.
+//!
+//! Each record is one procedure outcome summary (a ward-month, say); each
+//! group is a hospital. Hospitals have a latent quality level plus
+//! specialty quirks, so the group skyline is neither trivial (all
+//! incomparable) nor degenerate (one winner).
+
+use aggsky_core::{Direction, GroupedDataset, GroupedDatasetBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Names of the four metrics, in column order.
+pub const HOSPITAL_METRICS: [&str; 4] =
+    ["success_rate", "cost", "wait_days", "complication_rate"];
+
+/// Preference direction of each metric (success up, everything else down).
+pub fn hospital_directions() -> Vec<Direction> {
+    vec![Direction::Max, Direction::Min, Direction::Min, Direction::Min]
+}
+
+/// Generates `n_hospitals` hospitals with `records_each` procedure summaries
+/// apiece. Deterministic per seed.
+pub fn generate_hospitals(n_hospitals: usize, records_each: usize, seed: u64) -> GroupedDataset {
+    assert!(n_hospitals > 0 && records_each > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GroupedDatasetBuilder::with_directions(hospital_directions()).trusted_labels();
+    for h in 0..n_hospitals {
+        // Latent quality in (0,1); good hospitals succeed more, cost more
+        // (a realistic tension that keeps groups incomparable), and move
+        // patients through faster.
+        let quality: f64 = (rng.gen::<f64>() + rng.gen::<f64>()) / 2.0;
+        let cost_base = 4_000.0 + 18_000.0 * (0.3 + 0.7 * quality) * rng.gen::<f64>();
+        let rows: Vec<Vec<f64>> = (0..records_each)
+            .map(|_| {
+                let mut noise = || rng.gen::<f64>() - 0.5;
+                let success =
+                    (0.55 + 0.42 * quality + 0.1 * noise()).clamp(0.05, 0.999);
+                let cost = (cost_base * (1.0 + 0.35 * noise())).max(500.0);
+                let wait = (25.0 * (1.2 - quality) * (1.0 + 0.6 * noise())).max(0.5);
+                let complications =
+                    (0.12 * (1.1 - quality) * (1.0 + 0.8 * noise())).clamp(0.001, 0.6);
+                vec![success, cost, wait, complications]
+            })
+            .collect();
+        b.push_group(format!("hospital_{h:03}"), &rows).expect("generated rows well-formed");
+    }
+    b.build().expect("generated dataset well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggsky_core::{naive_skyline, Algorithm, Gamma};
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = generate_hospitals(20, 15, 9);
+        let b = generate_hospitals(20, 15, 9);
+        assert_eq!(a.n_groups(), 20);
+        assert_eq!(a.n_records(), 300);
+        assert_eq!(a.dim(), 4);
+        for g in a.group_ids() {
+            assert_eq!(a.group_rows(g), b.group_rows(g));
+        }
+    }
+
+    #[test]
+    fn min_directions_are_applied() {
+        let ds = generate_hospitals(5, 5, 1);
+        assert_eq!(ds.directions(), hospital_directions());
+        // Internally normalized: cost column is negated.
+        let orig = ds.record_original(0, 0);
+        let norm = ds.record(0, 0);
+        assert!(orig[1] > 0.0, "cost is positive in original units");
+        assert!(norm[1] < 0.0, "cost is negated internally (MIN -> MAX)");
+        assert_eq!(norm[0], orig[0], "success rate untouched");
+    }
+
+    #[test]
+    fn metrics_are_plausible() {
+        let ds = generate_hospitals(30, 20, 7);
+        for g in ds.group_ids() {
+            for i in 0..ds.group_len(g) {
+                let r = ds.record_original(g, i);
+                assert!((0.0..=1.0).contains(&r[0]), "success {r:?}");
+                assert!(r[1] >= 500.0, "cost {r:?}");
+                assert!(r[2] >= 0.5, "wait {r:?}");
+                assert!((0.0..=0.6).contains(&r[3]), "complications {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn skyline_is_nontrivial() {
+        let ds = generate_hospitals(40, 20, 3);
+        let sky = naive_skyline(&ds, Gamma::DEFAULT).skyline;
+        assert!(!sky.is_empty(), "someone must survive");
+        assert!(
+            sky.len() < ds.n_groups(),
+            "the cost/quality tension should not make everyone incomparable"
+        );
+        // And the optimized algorithms agree (exact mode).
+        let opts = aggsky_core::AlgoOptions::exact(Gamma::DEFAULT);
+        for algo in Algorithm::EVALUATED {
+            assert_eq!(algo.run_with(&ds, opts).skyline, sky, "{algo:?}");
+        }
+    }
+}

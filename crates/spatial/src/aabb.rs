@@ -1,0 +1,189 @@
+//! Axis-aligned bounding boxes in `d` dimensions.
+
+/// An axis-aligned box `[lo, hi]` (inclusive on both ends) in `d` dimensions.
+///
+/// Degenerate boxes (points) are allowed and are how the aggregate-skyline
+/// index stores group MBB corners. Half-open windows are expressed with
+/// `f64::INFINITY` bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aabb {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl Aabb {
+    /// Creates a box from its corners. Panics if the corners disagree in
+    /// dimensionality or are inverted in some dimension.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Aabb {
+        assert_eq!(lo.len(), hi.len(), "corner dimensionality mismatch");
+        assert!(!lo.is_empty(), "zero-dimensional box");
+        for (d, (&l, &h)) in lo.iter().zip(hi.iter()).enumerate() {
+            assert!(l <= h, "inverted box in dimension {d}: {l} > {h}");
+            assert!(!l.is_nan() && !h.is_nan(), "NaN bound in dimension {d}");
+        }
+        Aabb { lo, hi }
+    }
+
+    /// A degenerate box covering exactly one point.
+    pub fn point(p: &[f64]) -> Aabb {
+        Aabb::new(p.to_vec(), p.to_vec())
+    }
+
+    /// The window `[lo, +∞)` in every dimension: everything that is
+    /// coordinate-wise at least `lo`. This is the "space dominating `g.min`"
+    /// query of Algorithm 5.
+    pub fn at_least(lo: &[f64]) -> Aabb {
+        Aabb::new(lo.to_vec(), vec![f64::INFINITY; lo.len()])
+    }
+
+    /// Dimensionality of the box.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower corner.
+    #[inline]
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper corner.
+    #[inline]
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// True iff the boxes share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        debug_assert_eq!(self.dim(), other.dim());
+        self.lo
+            .iter()
+            .zip(other.hi.iter())
+            .all(|(&l, &h)| l <= h)
+            && other.lo.iter().zip(self.hi.iter()).all(|(&l, &h)| l <= h)
+    }
+
+    /// True iff `p` lies inside the box (boundaries included).
+    #[inline]
+    pub fn contains_point(&self, p: &[f64]) -> bool {
+        debug_assert_eq!(self.dim(), p.len());
+        self.lo.iter().zip(p.iter()).all(|(&l, &v)| l <= v)
+            && self.hi.iter().zip(p.iter()).all(|(&h, &v)| v <= h)
+    }
+
+    /// True iff `other` lies entirely inside `self`.
+    pub fn contains_box(&self, other: &Aabb) -> bool {
+        self.lo.iter().zip(other.lo.iter()).all(|(&a, &b)| a <= b)
+            && self.hi.iter().zip(other.hi.iter()).all(|(&a, &b)| b <= a)
+    }
+
+    /// Grows the box (in place) to cover `other`.
+    pub fn merge(&mut self, other: &Aabb) {
+        for d in 0..self.dim() {
+            if other.lo[d] < self.lo[d] {
+                self.lo[d] = other.lo[d];
+            }
+            if other.hi[d] > self.hi[d] {
+                self.hi[d] = other.hi[d];
+            }
+        }
+    }
+
+    /// The smallest box covering both inputs.
+    pub fn merged(&self, other: &Aabb) -> Aabb {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+
+    /// Sum of side lengths (the "margin"); cheaper than volume and immune to
+    /// zero-volume degenerate boxes, so the tree uses it for split decisions.
+    pub fn margin(&self) -> f64 {
+        self.lo.iter().zip(self.hi.iter()).map(|(&l, &h)| h - l).sum()
+    }
+
+    /// How much the margin would grow if `other` were merged in.
+    pub fn enlargement(&self, other: &Aabb) -> f64 {
+        self.merged(other).margin() - self.margin()
+    }
+
+    /// Center coordinate along one axis (used by bulk loading); infinite
+    /// upper bounds fall back to the lower bound.
+    #[inline]
+    pub fn center_at(&self, axis: usize) -> f64 {
+        if self.hi[axis].is_infinite() {
+            self.lo[axis]
+        } else {
+            (self.lo[axis] + self.hi[axis]) * 0.5
+        }
+    }
+
+    /// Center point of the box (used by bulk loading).
+    pub fn center(&self) -> Vec<f64> {
+        self.lo
+            .iter()
+            .zip(self.hi.iter())
+            .map(|(&l, &h)| {
+                if h.is_infinite() {
+                    l
+                } else {
+                    (l + h) * 0.5
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersection_is_symmetric_and_touch_counts() {
+        let a = Aabb::new(vec![0.0, 0.0], vec![2.0, 2.0]);
+        let b = Aabb::new(vec![2.0, 2.0], vec![3.0, 3.0]);
+        let c = Aabb::new(vec![2.1, 0.0], vec![3.0, 1.0]);
+        assert!(a.intersects(&b) && b.intersects(&a), "touching boxes intersect");
+        assert!(!a.intersects(&c) && !c.intersects(&a));
+    }
+
+    #[test]
+    fn at_least_window_matches_dominating_halfspace() {
+        let w = Aabb::at_least(&[1.0, 2.0]);
+        assert!(w.contains_point(&[1.0, 2.0]));
+        assert!(w.contains_point(&[100.0, 100.0]));
+        assert!(!w.contains_point(&[0.9, 100.0]));
+    }
+
+    #[test]
+    fn merge_covers_both() {
+        let mut a = Aabb::new(vec![0.0, 5.0], vec![1.0, 6.0]);
+        let b = Aabb::new(vec![-1.0, 7.0], vec![0.5, 8.0]);
+        a.merge(&b);
+        assert_eq!(a, Aabb::new(vec![-1.0, 5.0], vec![1.0, 8.0]));
+        assert!(a.contains_box(&b));
+    }
+
+    #[test]
+    fn enlargement_is_zero_for_contained_boxes() {
+        let a = Aabb::new(vec![0.0, 0.0], vec![10.0, 10.0]);
+        let b = Aabb::new(vec![1.0, 1.0], vec![2.0, 2.0]);
+        assert_eq!(a.enlargement(&b), 0.0);
+        assert!(b.enlargement(&a) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted box")]
+    fn rejects_inverted_bounds() {
+        let _ = Aabb::new(vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    fn margin_and_center() {
+        let a = Aabb::new(vec![0.0, 0.0], vec![2.0, 4.0]);
+        assert_eq!(a.margin(), 6.0);
+        assert_eq!(a.center(), vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Best-first k-nearest-neighbor search over the R-tree.
+
+use crate::aabb::Aabb;
+use crate::rtree::{Node, RTree};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A neighbor returned by [`RTree::nearest_neighbors`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor<T> {
+    /// Payload of the entry.
+    pub payload: T,
+    /// Squared Euclidean distance from the query point to the entry's box.
+    pub dist_sq: f64,
+}
+
+/// Heap entry: either an internal node or a leaf entry, ordered by
+/// ascending distance (min-heap via reversed comparison).
+enum Item<'a, T> {
+    Node(&'a Node<T>, f64),
+    Entry(T, f64),
+}
+
+impl<T> Item<'_, T> {
+    fn dist(&self) -> f64 {
+        match self {
+            Item::Node(_, d) | Item::Entry(_, d) => *d,
+        }
+    }
+}
+
+impl<T> PartialEq for Item<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist() == other.dist()
+    }
+}
+impl<T> Eq for Item<'_, T> {}
+impl<T> PartialOrd for Item<'_, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Item<'_, T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on distance; ties are fine either way.
+        other.dist().total_cmp(&self.dist())
+    }
+}
+
+/// Squared distance from a point to the nearest point of a box.
+fn dist_sq_to_box(p: &[f64], b: &Aabb) -> f64 {
+    let mut acc = 0.0;
+    for ((&v, &lo), &hi) in p.iter().zip(b.lo()).zip(b.hi()) {
+        let delta = if v < lo {
+            lo - v
+        } else if v > hi && hi.is_finite() {
+            v - hi
+        } else {
+            0.0
+        };
+        acc += delta * delta;
+    }
+    acc
+}
+
+impl<T: Copy> RTree<T> {
+    /// Returns the `k` entries nearest to `point` (ascending distance,
+    /// ties broken arbitrarily), using best-first branch-and-bound search.
+    pub fn nearest_neighbors(&self, point: &[f64], k: usize) -> Vec<Neighbor<T>> {
+        assert_eq!(point.len(), self.dim(), "query dimensionality mismatch");
+        let mut out = Vec::with_capacity(k.min(self.len()));
+        if k == 0 {
+            return out;
+        }
+        let Some(root) = self.root() else {
+            return out;
+        };
+        let mut heap: BinaryHeap<Item<'_, T>> = BinaryHeap::new();
+        heap.push(Item::Node(root, 0.0));
+        while let Some(item) = heap.pop() {
+            match item {
+                Item::Entry(payload, dist_sq) => {
+                    out.push(Neighbor { payload, dist_sq });
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                Item::Node(node, _) => match node {
+                    Node::Leaf(entries) => {
+                        for (b, payload) in entries {
+                            heap.push(Item::Entry(*payload, dist_sq_to_box(point, b)));
+                        }
+                    }
+                    Node::Internal(children) => {
+                        for (b, child) in children {
+                            heap.push(Item::Node(child, dist_sq_to_box(point, b)));
+                        }
+                    }
+                },
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed.max(1);
+        move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    #[test]
+    fn knn_matches_linear_scan() {
+        let mut next = lcg(31);
+        for dim in [2usize, 4] {
+            let points: Vec<Vec<f64>> =
+                (0..400).map(|_| (0..dim).map(|_| next()).collect()).collect();
+            let mut tree = RTree::new(dim);
+            for (i, p) in points.iter().enumerate() {
+                tree.insert_point(p, i);
+            }
+            for _ in 0..20 {
+                let q: Vec<f64> = (0..dim).map(|_| next()).collect();
+                let got = tree.nearest_neighbors(&q, 5);
+                let mut expect: Vec<(usize, f64)> = points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i, dist_sq(&q, p)))
+                    .collect();
+                expect.sort_by(|a, b| a.1.total_cmp(&b.1));
+                assert_eq!(got.len(), 5);
+                for (n, (_, d)) in got.iter().zip(expect.iter()) {
+                    assert!((n.dist_sq - d).abs() < 1e-12, "distance order mismatch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_edge_cases() {
+        let mut tree: RTree<u32> = RTree::new(2);
+        assert!(tree.nearest_neighbors(&[0.0, 0.0], 3).is_empty());
+        tree.insert_point(&[1.0, 1.0], 7);
+        assert!(tree.nearest_neighbors(&[0.0, 0.0], 0).is_empty());
+        let one = tree.nearest_neighbors(&[0.0, 0.0], 5);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].payload, 7);
+        assert!((one[0].dist_sq - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knn_distances_are_nondecreasing() {
+        let mut next = lcg(77);
+        let mut tree = RTree::new(3);
+        for i in 0..500usize {
+            let p: Vec<f64> = (0..3).map(|_| next()).collect();
+            tree.insert_point(&p, i);
+        }
+        let res = tree.nearest_neighbors(&[0.5, 0.5, 0.5], 50);
+        for w in res.windows(2) {
+            assert!(w[0].dist_sq <= w[1].dist_sq + 1e-15);
+        }
+    }
+}

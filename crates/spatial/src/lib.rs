@@ -1,0 +1,33 @@
+//! # aggsky-spatial
+//!
+//! A small, dependency-free d-dimensional R-tree built as the spatial-index
+//! substrate for the aggregate-skyline algorithms of the companion
+//! `aggsky-core` crate (Algorithm 5 of *"From Stars to Galaxies: skyline
+//! queries on aggregate data"*, EDBT 2013).
+//!
+//! The tree supports:
+//!
+//! * incremental insertion with Guttman's quadratic split,
+//! * sort-tile-recurse (STR) bulk loading,
+//! * window (range) queries over arbitrary axis-aligned boxes, including
+//!   half-open "dominating" windows built with [`Aabb::at_least`].
+//!
+//! ```
+//! use aggsky_spatial::{Aabb, RTree};
+//!
+//! let mut tree = RTree::new(2);
+//! tree.insert_point(&[1.0, 2.0], "a");
+//! tree.insert_point(&[4.0, 0.5], "b");
+//! // Everything coordinate-wise >= (0.9, 1.0): only "a".
+//! assert_eq!(tree.window_query(&Aabb::at_least(&[0.9, 1.0])), vec!["a"]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod aabb;
+mod knn;
+mod rtree;
+
+pub use aabb::Aabb;
+pub use knn::Neighbor;
+pub use rtree::RTree;

@@ -1,0 +1,499 @@
+//! A d-dimensional R-tree with quadratic-split insertion and STR bulk
+//! loading.
+//!
+//! The tree stores arbitrary boxes (degenerate point boxes included) with a
+//! copyable payload. The aggregate-skyline index stores each group's MBB
+//! maximum corner with the group id as payload and answers the Algorithm 5
+//! window query "which groups could dominate `g.min`".
+
+use crate::aabb::Aabb;
+
+/// Maximum number of entries per node before a split.
+const MAX_ENTRIES: usize = 16;
+/// Minimum number of entries kept on each side of a split.
+const MIN_ENTRIES: usize = 6;
+
+#[derive(Debug, Clone)]
+pub(crate) enum Node<T> {
+    Leaf(Vec<(Aabb, T)>),
+    Internal(Vec<(Aabb, Node<T>)>),
+}
+
+impl<T: Copy> Node<T> {
+    fn mbr(&self) -> Aabb {
+        fn cover<'a>(mut boxes: impl Iterator<Item = &'a Aabb>) -> Aabb {
+            let mut mbr = boxes.next().expect("node never empty").clone();
+            for b in boxes {
+                mbr.merge(b);
+            }
+            mbr
+        }
+        match self {
+            Node::Leaf(entries) => cover(entries.iter().map(|(b, _)| b)),
+            Node::Internal(children) => cover(children.iter().map(|(b, _)| b)),
+        }
+    }
+}
+
+/// An R-tree over `dim`-dimensional boxes with payloads of type `T`.
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    dim: usize,
+    root: Option<Node<T>>,
+    len: usize,
+    height: usize,
+}
+
+impl<T: Copy> RTree<T> {
+    /// Creates an empty tree for `dim`-dimensional data.
+    pub fn new(dim: usize) -> RTree<T> {
+        assert!(dim > 0, "dimension must be positive");
+        RTree { dim, root: None, len: 0, height: 0 }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (0 when empty, 1 for a single leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Root node (crate-internal; used by the kNN search).
+    pub(crate) fn root(&self) -> Option<&Node<T>> {
+        self.root.as_ref()
+    }
+
+    /// Dimensionality of the tree.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Inserts one box with its payload.
+    pub fn insert(&mut self, bbox: Aabb, payload: T) {
+        assert_eq!(bbox.dim(), self.dim, "box dimensionality mismatch");
+        self.len += 1;
+        match self.root.take() {
+            None => {
+                self.root = Some(Node::Leaf(vec![(bbox, payload)]));
+                self.height = 1;
+            }
+            Some(mut root) => {
+                if let Some((split_box, split_node)) = insert_rec(&mut root, bbox, payload) {
+                    // Root split: grow the tree by one level.
+                    let old_mbr = root.mbr();
+                    self.root =
+                        Some(Node::Internal(vec![(old_mbr, root), (split_box, split_node)]));
+                    self.height += 1;
+                } else {
+                    self.root = Some(root);
+                }
+            }
+        }
+    }
+
+    /// Inserts a degenerate point box.
+    pub fn insert_point(&mut self, point: &[f64], payload: T) {
+        self.insert(Aabb::point(point), payload);
+    }
+
+    /// Bulk loads a tree from `(box, payload)` pairs using sort-tile-recurse
+    /// packing; faster and better-packed than repeated insertion.
+    pub fn bulk_load(dim: usize, items: Vec<(Aabb, T)>) -> RTree<T> {
+        assert!(dim > 0, "dimension must be positive");
+        for (b, _) in &items {
+            assert_eq!(b.dim(), dim, "box dimensionality mismatch");
+        }
+        let len = items.len();
+        if len == 0 {
+            return RTree::new(dim);
+        }
+        let mut level: Vec<Node<T>> = str_partition(items, dim, 0, MAX_ENTRIES)
+            .into_iter()
+            .map(Node::Leaf)
+            .collect();
+        let mut height = 1;
+        while level.len() > 1 {
+            let parents: Vec<(Aabb, Node<T>)> =
+                level.into_iter().map(|n| (n.mbr(), n)).collect();
+            level = str_partition(parents, dim, 0, MAX_ENTRIES)
+                .into_iter()
+                .map(Node::Internal)
+                .collect();
+            height += 1;
+        }
+        RTree { dim, root: level.pop(), len, height }
+    }
+
+    /// Returns the payloads of every entry whose box intersects `window`.
+    pub fn window_query(&self, window: &Aabb) -> Vec<T> {
+        let mut out = Vec::new();
+        self.window_query_into(window, &mut out);
+        out
+    }
+
+    /// Window query writing into a caller-provided buffer (cleared first),
+    /// so hot loops can reuse the allocation.
+    pub fn window_query_into(&self, window: &Aabb, out: &mut Vec<T>) {
+        assert_eq!(window.dim(), self.dim, "window dimensionality mismatch");
+        out.clear();
+        if let Some(root) = &self.root {
+            query_rec(root, window, out);
+        }
+    }
+
+    /// Visits every entry whose box intersects `window`; the visitor returns
+    /// `false` to stop the traversal early.
+    pub fn window_query_visit(&self, window: &Aabb, visitor: &mut impl FnMut(T) -> bool) {
+        if let Some(root) = &self.root {
+            query_visit_rec(root, window, visitor);
+        }
+    }
+}
+
+fn query_rec<T: Copy>(node: &Node<T>, window: &Aabb, out: &mut Vec<T>) {
+    match node {
+        Node::Leaf(entries) => {
+            for (b, payload) in entries {
+                if window.intersects(b) {
+                    out.push(*payload);
+                }
+            }
+        }
+        Node::Internal(children) => {
+            for (b, child) in children {
+                if window.intersects(b) {
+                    query_rec(child, window, out);
+                }
+            }
+        }
+    }
+}
+
+fn query_visit_rec<T: Copy>(
+    node: &Node<T>,
+    window: &Aabb,
+    visitor: &mut impl FnMut(T) -> bool,
+) -> bool {
+    match node {
+        Node::Leaf(entries) => {
+            for (b, payload) in entries {
+                if window.intersects(b) && !visitor(*payload) {
+                    return false;
+                }
+            }
+        }
+        Node::Internal(children) => {
+            for (b, child) in children {
+                if window.intersects(b) && !query_visit_rec(child, window, visitor) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Recursive insertion; returns the new sibling when the child splits.
+fn insert_rec<T: Copy>(node: &mut Node<T>, bbox: Aabb, payload: T) -> Option<(Aabb, Node<T>)> {
+    match node {
+        Node::Leaf(entries) => {
+            entries.push((bbox, payload));
+            if entries.len() > MAX_ENTRIES {
+                let (left, right) = quadratic_split(std::mem::take(entries));
+                *entries = left;
+                let right_node = Node::Leaf(right);
+                let right_mbr = right_node.mbr();
+                Some((right_mbr, right_node))
+            } else {
+                None
+            }
+        }
+        Node::Internal(children) => {
+            // ChooseSubtree: least margin enlargement, ties by smaller margin.
+            let mut best = 0;
+            let mut best_enl = f64::INFINITY;
+            let mut best_margin = f64::INFINITY;
+            for (i, (b, _)) in children.iter().enumerate() {
+                let enl = b.enlargement(&bbox);
+                let margin = b.margin();
+                if enl < best_enl || (enl == best_enl && margin < best_margin) {
+                    best = i;
+                    best_enl = enl;
+                    best_margin = margin;
+                }
+            }
+            children[best].0.merge(&bbox);
+            let split = insert_rec(&mut children[best].1, bbox, payload);
+            if split.is_some() {
+                // A split redistributed the child's entries: recompute its
+                // MBR exactly instead of keeping the merged over-estimate.
+                children[best].0 = children[best].1.mbr();
+            }
+            if let Some(sibling) = split {
+                children.push(sibling);
+                if children.len() > MAX_ENTRIES {
+                    let (left, right) = quadratic_split(std::mem::take(children));
+                    *children = left;
+                    let right_node = Node::Internal(right);
+                    let right_mbr = right_node.mbr();
+                    return Some((right_mbr, right_node));
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Guttman's quadratic split over `(Aabb, E)` entries.
+type SplitHalves<E> = (Vec<(Aabb, E)>, Vec<(Aabb, E)>);
+
+fn quadratic_split<E>(entries: Vec<(Aabb, E)>) -> SplitHalves<E> {
+    debug_assert!(entries.len() > MAX_ENTRIES);
+    // Pick the two seeds wasting the most space when paired.
+    let mut seed_a = 0;
+    let mut seed_b = 1;
+    let mut worst = f64::NEG_INFINITY;
+    for i in 0..entries.len() {
+        for j in (i + 1)..entries.len() {
+            let waste = entries[i].0.merged(&entries[j].0).margin()
+                - entries[i].0.margin()
+                - entries[j].0.margin();
+            if waste > worst {
+                worst = waste;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+    let total = entries.len();
+    let mut left: Vec<(Aabb, E)> = Vec::with_capacity(total);
+    let mut right: Vec<(Aabb, E)> = Vec::with_capacity(total);
+    let mut left_mbr: Option<Aabb> = None;
+    let mut right_mbr: Option<Aabb> = None;
+    for (idx, entry) in entries.into_iter().enumerate() {
+        let to_left = if idx == seed_a {
+            true
+        } else if idx == seed_b {
+            false
+        } else {
+            let remaining = total - idx;
+            // Force-assign when one side must take everything left to reach
+            // the minimum fill factor.
+            if left.len() + remaining <= MIN_ENTRIES {
+                true
+            } else if right.len() + remaining <= MIN_ENTRIES {
+                false
+            } else {
+                let el = left_mbr.as_ref().map_or(0.0, |m| m.enlargement(&entry.0));
+                let er = right_mbr.as_ref().map_or(0.0, |m| m.enlargement(&entry.0));
+                el <= er
+            }
+        };
+        if to_left {
+            match &mut left_mbr {
+                Some(m) => m.merge(&entry.0),
+                None => left_mbr = Some(entry.0.clone()),
+            }
+            left.push(entry);
+        } else {
+            match &mut right_mbr {
+                Some(m) => m.merge(&entry.0),
+                None => right_mbr = Some(entry.0.clone()),
+            }
+            right.push(entry);
+        }
+    }
+    (left, right)
+}
+
+/// Sort-tile-recurse partitioning: splits `items` into chunks of at most
+/// `cap` entries, tiling one axis at a time by box center.
+fn str_partition<E>(
+    items: Vec<(Aabb, E)>,
+    dim: usize,
+    axis: usize,
+    cap: usize,
+) -> Vec<Vec<(Aabb, E)>> {
+    let n = items.len();
+    if n <= cap {
+        return vec![items];
+    }
+    let n_chunks = n.div_ceil(cap);
+    let remaining_axes = dim - axis;
+    let slab_count = if remaining_axes <= 1 {
+        n_chunks
+    } else {
+        ((n_chunks as f64).powf(1.0 / remaining_axes as f64).ceil() as usize).max(2)
+    };
+    let mut items = items;
+    items.sort_by(|a, b| a.0.center_at(axis).total_cmp(&b.0.center_at(axis)));
+    let slab_size = n.div_ceil(slab_count).max(1);
+    let next_axis = if axis + 1 < dim { axis + 1 } else { axis };
+    let mut out = Vec::with_capacity(n_chunks);
+    let mut rest = items;
+    while !rest.is_empty() {
+        let take = slab_size.min(rest.len());
+        let tail = rest.split_off(take);
+        let slab = std::mem::replace(&mut rest, tail);
+        if slab.len() <= cap {
+            out.push(slab);
+        } else {
+            // Guaranteed progress: slab_size < n because slab_count >= 2.
+            out.extend(str_partition(slab, dim, next_axis, cap));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed.max(1);
+        move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut next = lcg(seed);
+        (0..n).map(|_| (0..dim).map(|_| next()).collect()).collect()
+    }
+
+    fn linear_scan(points: &[Vec<f64>], window: &Aabb) -> Vec<usize> {
+        let mut out: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| window.contains_point(p))
+            .map(|(i, _)| i)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn empty_tree_answers_empty() {
+        let t: RTree<usize> = RTree::new(3);
+        assert!(t.is_empty());
+        assert_eq!(t.window_query(&Aabb::at_least(&[0.0, 0.0, 0.0])), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn insert_and_query_matches_linear_scan() {
+        for dim in [2usize, 3, 5] {
+            let points = random_points(500, dim, 42 + dim as u64);
+            let mut tree = RTree::new(dim);
+            for (i, p) in points.iter().enumerate() {
+                tree.insert_point(p, i);
+            }
+            assert_eq!(tree.len(), 500);
+            let mut next = lcg(7);
+            for _ in 0..50 {
+                let lo: Vec<f64> = (0..dim).map(|_| next() * 0.8).collect();
+                let hi: Vec<f64> = lo.iter().map(|&l| l + 0.3).collect();
+                let window = Aabb::new(lo, hi);
+                let mut got = tree.window_query(&window);
+                got.sort_unstable();
+                assert_eq!(got, linear_scan(&points, &window), "dim={dim}");
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_load_matches_linear_scan() {
+        for dim in [2usize, 4] {
+            let points = random_points(2000, dim, 99);
+            let items: Vec<(Aabb, usize)> =
+                points.iter().enumerate().map(|(i, p)| (Aabb::point(p), i)).collect();
+            let tree = RTree::bulk_load(dim, items);
+            assert_eq!(tree.len(), 2000);
+            let mut next = lcg(5);
+            for _ in 0..50 {
+                let lo: Vec<f64> = (0..dim).map(|_| next() * 0.9).collect();
+                let window = Aabb::at_least(&lo);
+                let mut got = tree.window_query(&window);
+                got.sort_unstable();
+                assert_eq!(got, linear_scan(&points, &window), "dim={dim}");
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_load_is_shallow() {
+        let points = random_points(10_000, 2, 3);
+        let items: Vec<(Aabb, usize)> =
+            points.iter().enumerate().map(|(i, p)| (Aabb::point(p), i)).collect();
+        let tree = RTree::bulk_load(2, items);
+        // ceil(log_16(10000/16)) + 1 levels: stays small.
+        assert!(tree.height() <= 4, "height {}", tree.height());
+    }
+
+    #[test]
+    fn at_least_window_returns_dominating_candidates() {
+        let mut tree = RTree::new(2);
+        tree.insert_point(&[1.0, 1.0], 0usize);
+        tree.insert_point(&[5.0, 5.0], 1usize);
+        tree.insert_point(&[0.5, 9.0], 2usize);
+        let mut got = tree.window_query(&Aabb::at_least(&[1.0, 1.0]));
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn visitor_early_exit() {
+        let mut tree = RTree::new(1);
+        for i in 0..100 {
+            tree.insert_point(&[i as f64], i);
+        }
+        let mut seen = 0;
+        tree.window_query_visit(&Aabb::at_least(&[0.0]), &mut |_| {
+            seen += 1;
+            seen < 10
+        });
+        assert_eq!(seen, 10);
+    }
+
+    #[test]
+    fn boxes_not_just_points() {
+        let mut tree = RTree::new(2);
+        tree.insert(Aabb::new(vec![0.0, 0.0], vec![2.0, 2.0]), 0usize);
+        tree.insert(Aabb::new(vec![5.0, 5.0], vec![6.0, 6.0]), 1usize);
+        let got = tree.window_query(&Aabb::new(vec![1.0, 1.0], vec![1.5, 1.5]));
+        assert_eq!(got, vec![0]);
+    }
+
+    #[test]
+    fn incremental_and_bulk_agree() {
+        let points = random_points(800, 3, 123);
+        let mut inc = RTree::new(3);
+        for (i, p) in points.iter().enumerate() {
+            inc.insert_point(p, i);
+        }
+        let bulk = RTree::bulk_load(
+            3,
+            points.iter().enumerate().map(|(i, p)| (Aabb::point(p), i)).collect(),
+        );
+        let mut next = lcg(77);
+        for _ in 0..30 {
+            let lo: Vec<f64> = (0..3).map(|_| next()).collect();
+            let window = Aabb::at_least(&lo);
+            let mut a = inc.window_query(&window);
+            let mut b = bulk.window_query(&window);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Abstract syntax tree of the mini SQL dialect.
+//!
+//! The dialect covers what the paper's Algorithm 1 and examples need —
+//! `CREATE TABLE`, multi-row `INSERT`, `SELECT` with self-joins, `WHERE`,
+//! `GROUP BY`/`HAVING` with aggregates, `[NOT] IN (subquery)`, `DISTINCT`,
+//! `ORDER BY`/`LIMIT` — plus the paper's proposed `SKYLINE OF` clause in
+//! both its record form (Example 1) and its aggregate form (Example 3).
+
+use crate::value::Value;
+
+/// Binary operators, by increasing precedence tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Logical OR.
+    Or,
+    /// Logical AND.
+    And,
+    /// `=`.
+    Eq,
+    /// `<>` / `!=`.
+    Neq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `+`.
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+}
+
+/// Aggregate functions of the dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` or `COUNT(expr)` (non-null count).
+    Count,
+    /// `SUM(expr)`.
+    Sum,
+    /// `AVG(expr)`.
+    Avg,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+}
+
+impl AggFunc {
+    /// Parses an aggregate function name.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_lowercase().as_str() {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "avg" => Some(AggFunc::Avg),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+}
+
+/// Scalar (row-wise) functions of the dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFunc {
+    /// `ABS(x)`.
+    Abs,
+    /// `ROUND(x)` or `ROUND(x, digits)`.
+    Round,
+    /// `FLOOR(x)`.
+    Floor,
+    /// `CEIL(x)` / `CEILING(x)`.
+    Ceil,
+    /// `SQRT(x)`.
+    Sqrt,
+    /// `LOWER(s)`.
+    Lower,
+    /// `UPPER(s)`.
+    Upper,
+    /// `LENGTH(s)` in characters.
+    Length,
+}
+
+impl ScalarFunc {
+    /// Parses a scalar function name.
+    pub fn from_name(name: &str) -> Option<ScalarFunc> {
+        match name.to_ascii_lowercase().as_str() {
+            "abs" => Some(ScalarFunc::Abs),
+            "round" => Some(ScalarFunc::Round),
+            "floor" => Some(ScalarFunc::Floor),
+            "ceil" | "ceiling" => Some(ScalarFunc::Ceil),
+            "sqrt" => Some(ScalarFunc::Sqrt),
+            "lower" => Some(ScalarFunc::Lower),
+            "upper" => Some(ScalarFunc::Upper),
+            "length" => Some(ScalarFunc::Length),
+            _ => None,
+        }
+    }
+
+    /// Accepted argument counts.
+    pub fn arity(self) -> std::ops::RangeInclusive<usize> {
+        match self {
+            ScalarFunc::Round => 1..=2,
+            _ => 1..=1,
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference, optionally qualified (`x.director`).
+    Column {
+        /// Table name or alias qualifier.
+        table: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Literal value.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Logical NOT.
+    Not(Box<Expr>),
+    /// Aggregate call. `arg = None` means `COUNT(*)`.
+    Aggregate {
+        /// Which aggregate.
+        func: AggFunc,
+        /// Argument (`None` only for `COUNT(*)`).
+        arg: Option<Box<Expr>>,
+    },
+    /// Scalar function call.
+    Scalar {
+        /// Which function.
+        func: ScalarFunc,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `expr [NOT] IN (SELECT ...)` — uncorrelated subquery.
+    InSubquery {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// The subquery (must produce one column).
+        subquery: Box<SelectStmt>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (v1, v2, ...)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// List items.
+        list: Vec<Expr>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high` (inclusive both ends).
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound.
+        low: Box<Expr>,
+        /// Upper bound.
+        high: Box<Expr>,
+        /// True for `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE pattern` with `%` (any run) and `_` (any char).
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern expression (usually a string literal).
+        pattern: Box<Expr>,
+        /// True for `NOT LIKE`.
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for a bare column.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column { table: None, name: name.to_string() }
+    }
+
+    /// True iff the expression contains an aggregate call.
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate { .. } => true,
+            Expr::Column { .. } | Expr::Literal(_) => false,
+            Expr::Binary { left, right, .. } => left.has_aggregate() || right.has_aggregate(),
+            Expr::Neg(e) | Expr::Not(e) => e.has_aggregate(),
+            Expr::InSubquery { expr, .. } => expr.has_aggregate(),
+            Expr::InList { expr, list, .. } => {
+                expr.has_aggregate() || list.iter().any(Expr::has_aggregate)
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.has_aggregate() || low.has_aggregate() || high.has_aggregate()
+            }
+            Expr::Scalar { args, .. } => args.iter().any(Expr::has_aggregate),
+            Expr::Like { expr, pattern, .. } => {
+                expr.has_aggregate() || pattern.has_aggregate()
+            }
+        }
+    }
+}
+
+/// A projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`.
+    Wildcard,
+    /// An expression with an optional `AS` alias.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Output column alias.
+        alias: Option<String>,
+    },
+}
+
+/// A table in the FROM list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name in the catalog.
+    pub name: String,
+    /// Alias (`movies X` / `movies AS X`); defaults to the table name.
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table is addressed by in the query.
+    pub fn effective_alias(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// Preference direction in a `SKYLINE OF` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkyDir {
+    /// Higher values preferred.
+    Max,
+    /// Lower values preferred.
+    Min,
+}
+
+/// The paper's `SKYLINE OF a MAX, b MIN [GAMMA 0.6]` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkylineClause {
+    /// Skyline attributes with their directions.
+    pub items: Vec<(Expr, SkyDir)>,
+    /// Optional γ for aggregate skylines (defaults to 0.5).
+    pub gamma: Option<f64>,
+}
+
+/// Sort direction in ORDER BY.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortDir {
+    /// Ascending (default).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// `SELECT DISTINCT`?
+    pub distinct: bool,
+    /// Projection list.
+    pub projection: Vec<SelectItem>,
+    /// FROM tables (comma list = cross join, as in Algorithm 1).
+    pub from: Vec<TableRef>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY keys.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+    /// SKYLINE OF clause (record skyline without GROUP BY, aggregate
+    /// skyline with it).
+    pub skyline: Option<SkylineClause>,
+    /// ORDER BY items.
+    pub order_by: Vec<(Expr, SortDir)>,
+    /// LIMIT row count.
+    pub limit: Option<usize>,
+}
+
+/// Column type in CREATE TABLE (advisory; storage is dynamically typed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// Integer column.
+    Int,
+    /// Float column.
+    Float,
+    /// Text column.
+    Text,
+}
+
+/// Where INSERT rows come from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertSource {
+    /// Literal `VALUES` rows.
+    Values(Vec<Vec<Expr>>),
+    /// Rows produced by a SELECT.
+    Select(Box<SelectStmt>),
+}
+
+/// A top-level statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `SELECT ...`.
+    Select(SelectStmt),
+    /// `CREATE TABLE name (col type, ...)`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<(String, ColumnType)>,
+    },
+    /// `INSERT INTO name [(cols)] VALUES (...), (...)` or
+    /// `INSERT INTO name [(cols)] SELECT ...`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Optional explicit column list.
+        columns: Option<Vec<String>>,
+        /// Row source.
+        source: InsertSource,
+    },
+    /// `DROP TABLE name`.
+    DropTable(String),
+    /// `DELETE FROM name [WHERE expr]`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Optional predicate; absent deletes every row.
+        where_clause: Option<Expr>,
+    },
+    /// `UPDATE name SET col = expr, ... [WHERE expr]`.
+    Update {
+        /// Target table.
+        table: String,
+        /// Assignments, applied simultaneously (right-hand sides see the
+        /// pre-update row).
+        sets: Vec<(String, Expr)>,
+        /// Optional predicate; absent updates every row.
+        where_clause: Option<Expr>,
+    },
+}

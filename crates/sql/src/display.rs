@@ -1,0 +1,283 @@
+//! Pretty-printing of the AST back to parseable SQL.
+//!
+//! Every composite expression is fully parenthesized, so the printer never
+//! needs to reason about precedence, and `parse(print(ast)) == ast` holds
+//! structurally (verified by the round-trip property tests in
+//! `tests/roundtrip.rs`).
+
+use crate::ast::*;
+use crate::value::Value;
+use std::fmt;
+
+fn fmt_literal(v: &Value, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match v {
+        Value::Null => write!(f, "NULL"),
+        Value::Int(i) => write!(f, "{i}"),
+        // `{:?}` keeps a decimal point/exponent so the token re-lexes as a
+        // float, and prints enough digits for exact f64 round-trips.
+        Value::Float(x) => write!(f, "{x:?}"),
+        Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Or => "OR",
+            BinOp::And => "AND",
+            BinOp::Eq => "=",
+            BinOp::Neq => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column { table: Some(t), name } => write!(f, "{t}.{name}"),
+            Expr::Column { table: None, name } => write!(f, "{name}"),
+            Expr::Literal(v) => fmt_literal(v, f),
+            Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
+            Expr::Neg(e) => write!(f, "(-{e})"),
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+            Expr::Aggregate { func, arg } => {
+                let name = match func {
+                    AggFunc::Count => "count",
+                    AggFunc::Sum => "sum",
+                    AggFunc::Avg => "avg",
+                    AggFunc::Min => "min",
+                    AggFunc::Max => "max",
+                };
+                match arg {
+                    None => write!(f, "{name}(*)"),
+                    Some(a) => write!(f, "{name}({a})"),
+                }
+            }
+            Expr::Scalar { func, args } => {
+                let name = match func {
+                    ScalarFunc::Abs => "abs",
+                    ScalarFunc::Round => "round",
+                    ScalarFunc::Floor => "floor",
+                    ScalarFunc::Ceil => "ceil",
+                    ScalarFunc::Sqrt => "sqrt",
+                    ScalarFunc::Lower => "lower",
+                    ScalarFunc::Upper => "upper",
+                    ScalarFunc::Length => "length",
+                };
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::InSubquery { expr, subquery, negated } => {
+                write!(f, "({expr} {}IN ({subquery}))", if *negated { "NOT " } else { "" })
+            }
+            Expr::InList { expr, list, negated } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, item) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "))")
+            }
+            Expr::Between { expr, low, high, negated } => write!(
+                f,
+                "({expr} {}BETWEEN {low} AND {high})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Like { expr, pattern, negated } => {
+                write!(f, "({expr} {}LIKE {pattern})", if *negated { "NOT " } else { "" })
+            }
+        }
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.projection.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match item {
+                SelectItem::Wildcard => write!(f, "*")?,
+                SelectItem::Expr { expr, alias: Some(a) } => write!(f, "{expr} AS {a}")?,
+                SelectItem::Expr { expr, alias: None } => write!(f, "{expr}")?,
+            }
+        }
+        write!(f, " FROM ")?;
+        for (i, t) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match &t.alias {
+                Some(a) => write!(f, "{} AS {a}", t.name)?,
+                None => write!(f, "{}", t.name)?,
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, e) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{e}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if let Some(sky) = &self.skyline {
+            write!(f, " SKYLINE OF ")?;
+            for (i, (e, dir)) in sky.items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                let d = match dir {
+                    SkyDir::Max => "MAX",
+                    SkyDir::Min => "MIN",
+                };
+                write!(f, "{e} {d}")?;
+            }
+            if let Some(g) = sky.gamma {
+                write!(f, " GAMMA {g:?}")?;
+            }
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, (e, dir)) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                let d = match dir {
+                    SortDir::Asc => "ASC",
+                    SortDir::Desc => "DESC",
+                };
+                write!(f, "{e} {d}")?;
+            }
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(s) => write!(f, "{s}"),
+            Statement::CreateTable { name, columns } => {
+                write!(f, "CREATE TABLE {name} (")?;
+                for (i, (col, ty)) in columns.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    let t = match ty {
+                        ColumnType::Int => "INT",
+                        ColumnType::Float => "FLOAT",
+                        ColumnType::Text => "TEXT",
+                    };
+                    write!(f, "{col} {t}")?;
+                }
+                write!(f, ")")
+            }
+            Statement::Insert { table, columns, source } => {
+                write!(f, "INSERT INTO {table}")?;
+                if let Some(cols) = columns {
+                    write!(f, " ({})", cols.join(", "))?;
+                }
+                match source {
+                    InsertSource::Select(sel) => write!(f, " {sel}"),
+                    InsertSource::Values(rows) => {
+                        write!(f, " VALUES ")?;
+                        for (i, row) in rows.iter().enumerate() {
+                            if i > 0 {
+                                write!(f, ", ")?;
+                            }
+                            write!(f, "(")?;
+                            for (j, e) in row.iter().enumerate() {
+                                if j > 0 {
+                                    write!(f, ", ")?;
+                                }
+                                write!(f, "{e}")?;
+                            }
+                            write!(f, ")")?;
+                        }
+                        Ok(())
+                    }
+                }
+            }
+            Statement::DropTable(name) => write!(f, "DROP TABLE {name}"),
+            Statement::Delete { table, where_clause } => {
+                write!(f, "DELETE FROM {table}")?;
+                if let Some(w) = where_clause {
+                    write!(f, " WHERE {w}")?;
+                }
+                Ok(())
+            }
+            Statement::Update { table, sets, where_clause } => {
+                write!(f, "UPDATE {table} SET ")?;
+                for (i, (col, e)) in sets.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{col} = {e}")?;
+                }
+                if let Some(w) = where_clause {
+                    write!(f, " WHERE {w}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse;
+
+    #[test]
+    fn printed_statements_reparse_identically() {
+        let samples = [
+            "SELECT * FROM movie SKYLINE OF pop MAX, qual MIN GAMMA 0.75",
+            "SELECT DISTINCT director FROM movie WHERE (a + b) * 2 > 3 LIMIT 4",
+            "SELECT d, count(*) FROM m GROUP BY d HAVING count(*) >= 2 ORDER BY d DESC",
+            "SELECT x FROM t WHERE x NOT IN (SELECT y FROM u WHERE y BETWEEN 1 AND 2)",
+            "SELECT lower(s) FROM t WHERE s LIKE 'a%' AND n NOT BETWEEN 1 AND 9",
+            "INSERT INTO t (a, b) VALUES (1, 'x''y'), (NULL, 2.5)",
+            "CREATE TABLE t (a INT, b FLOAT, c TEXT)",
+            "DELETE FROM t WHERE a = 1",
+            "UPDATE t SET a = a + 1, b = 'z' WHERE c <> 0",
+            "DROP TABLE t",
+        ];
+        for sql in samples {
+            let ast = parse(sql).unwrap();
+            let printed = ast.to_string();
+            let reparsed = parse(&printed)
+                .unwrap_or_else(|e| panic!("printed SQL failed to parse: {printed:?}: {e}"));
+            assert_eq!(ast, reparsed, "round-trip changed the AST for {sql:?} -> {printed:?}");
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! The `Database` façade: parse + execute statements against a catalog.
+
+use crate::ast::{ColumnType, Statement};
+use crate::catalog::{Catalog, Column};
+use crate::error::{Result, SqlError};
+use crate::exec::{execute_select, QueryResult};
+use crate::parser::parse;
+use crate::plan::{eval, RExpr};
+use crate::value::Value;
+
+/// An in-memory SQL database.
+///
+/// ```
+/// use aggsky_sql::Database;
+///
+/// let mut db = Database::new();
+/// db.execute("CREATE TABLE movie (title TEXT, pop FLOAT, qual FLOAT)").unwrap();
+/// db.execute("INSERT INTO movie VALUES ('Pulp Fiction', 557, 9.0), ('The Room', 10, 3.2)")
+///     .unwrap();
+/// let r = db.execute("SELECT title FROM movie SKYLINE OF pop MAX, qual MAX").unwrap();
+/// assert_eq!(r.rows.len(), 1);
+/// assert_eq!(r.rows[0][0].to_string(), "Pulp Fiction");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    catalog: Catalog,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Parses and executes one statement. DDL/DML statements return an
+    /// empty result with a `rows_affected`-style single cell.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        match parse(sql)? {
+            Statement::Select(stmt) => execute_select(&self.catalog, &stmt),
+            Statement::CreateTable { name, columns } => {
+                let cols = columns
+                    .into_iter()
+                    .map(|(name, ty)| Column { name, ty })
+                    .collect();
+                self.catalog.create(&name, cols)?;
+                Ok(ddl_result(0))
+            }
+            Statement::Insert { table, columns, source } => {
+                let n = match source {
+                    crate::ast::InsertSource::Values(rows) => {
+                        self.insert_ast_rows(&table, columns.as_deref(), rows)?
+                    }
+                    crate::ast::InsertSource::Select(sel) => {
+                        let result = execute_select(&self.catalog, &sel)?;
+                        self.insert_value_rows(&table, columns.as_deref(), result.rows)?
+                    }
+                };
+                Ok(ddl_result(n))
+            }
+            Statement::DropTable(name) => {
+                self.catalog.drop(&name)?;
+                Ok(ddl_result(0))
+            }
+            Statement::Delete { table, where_clause } => {
+                let n = self.delete_rows(&table, where_clause.as_ref())?;
+                Ok(ddl_result(n))
+            }
+            Statement::Update { table, sets, where_clause } => {
+                let n = self.update_rows(&table, &sets, where_clause.as_ref())?;
+                Ok(ddl_result(n))
+            }
+        }
+    }
+
+    /// Compiles an expression against one table's schema (no aggregates, no
+    /// subqueries — DML predicates are row-local).
+    fn compile_row_expr(
+        table: &crate::catalog::Table,
+        expr: &crate::ast::Expr,
+    ) -> Result<RExpr> {
+        let schema = crate::plan::Schema {
+            columns: table
+                .columns
+                .iter()
+                .map(|c| (table.name.clone(), c.name.clone()))
+                .collect(),
+        };
+        let no_sub = |_: &crate::ast::SelectStmt| {
+            Err(SqlError::Unsupported("subquery in DML predicate".into()))
+        };
+        let mut compiler = crate::plan::Compiler::new(&schema, &no_sub);
+        let compiled = compiler.compile(expr)?;
+        if !compiler.aggs.is_empty() {
+            return Err(SqlError::Unsupported("aggregate in DML statement".into()));
+        }
+        Ok(compiled)
+    }
+
+    fn delete_rows(&mut self, table: &str, where_clause: Option<&crate::ast::Expr>) -> Result<usize> {
+        let t = self.catalog.get(table)?;
+        let predicate = where_clause.map(|e| Self::compile_row_expr(t, e)).transpose()?;
+        let t = self.catalog.get_mut(table)?;
+        let before = t.rows.len();
+        match predicate {
+            None => t.rows.clear(),
+            Some(p) => {
+                let mut err = None;
+                t.rows.retain(|row| match eval(&p, row, &[]) {
+                    Ok(v) => !v.is_truthy(),
+                    Err(e) => {
+                        err.get_or_insert(e);
+                        true
+                    }
+                });
+                if let Some(e) = err {
+                    return Err(e);
+                }
+            }
+        }
+        Ok(before - self.catalog.get(table)?.rows.len())
+    }
+
+    fn update_rows(
+        &mut self,
+        table: &str,
+        sets: &[(String, crate::ast::Expr)],
+        where_clause: Option<&crate::ast::Expr>,
+    ) -> Result<usize> {
+        let t = self.catalog.get(table)?;
+        let predicate = where_clause.map(|e| Self::compile_row_expr(t, e)).transpose()?;
+        let mut compiled_sets = Vec::with_capacity(sets.len());
+        for (col, expr) in sets {
+            let idx = t
+                .column_index(col)
+                .ok_or_else(|| SqlError::UnknownColumn(col.clone()))?;
+            compiled_sets.push((idx, Self::compile_row_expr(t, expr)?));
+        }
+        let float_cols: Vec<bool> =
+            t.columns.iter().map(|c| c.ty == ColumnType::Float).collect();
+        let t = self.catalog.get_mut(table)?;
+        let mut updated = 0usize;
+        for row in &mut t.rows {
+            let hit = match &predicate {
+                None => true,
+                Some(p) => eval(p, row, &[])?.is_truthy(),
+            };
+            if !hit {
+                continue;
+            }
+            // Evaluate every right-hand side against the pre-update row.
+            let mut new_values = Vec::with_capacity(compiled_sets.len());
+            for (idx, rhs) in &compiled_sets {
+                let mut v = eval(rhs, row, &[])?;
+                if float_cols[*idx] {
+                    if let Value::Int(i) = v {
+                        v = Value::Float(i as f64);
+                    }
+                }
+                new_values.push((*idx, v));
+            }
+            for (idx, v) in new_values {
+                row[idx] = v;
+            }
+            updated += 1;
+        }
+        Ok(updated)
+    }
+
+    fn insert_ast_rows(
+        &mut self,
+        table: &str,
+        columns: Option<&[String]>,
+        rows: Vec<Vec<crate::ast::Expr>>,
+    ) -> Result<usize> {
+        // Evaluate literal expressions (no row context).
+        let no_sub = |_: &crate::ast::SelectStmt| {
+            Err(SqlError::Unsupported("subquery in INSERT".into()))
+        };
+        let empty_schema = crate::plan::Schema { columns: Vec::new() };
+        let mut compiler = crate::plan::Compiler::new(&empty_schema, &no_sub);
+        let t = self.catalog.get(table)?;
+        let reorder = Self::column_reorder(t, columns)?;
+        let width = t.columns.len();
+        let mut evaluated: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
+        for row in rows {
+            let vals: Vec<Value> = row
+                .iter()
+                .map(|e| {
+                    let r: RExpr = compiler.compile(e)?;
+                    eval(&r, &[], &[])
+                })
+                .collect::<Result<_>>()?;
+            let vals = match &reorder {
+                None => vals,
+                Some(map) => {
+                    let mut shuffled = vec![Value::Null; width];
+                    for (i, v) in map.iter().zip(vals) {
+                        shuffled[*i] = v;
+                    }
+                    shuffled
+                }
+            };
+            evaluated.push(vals);
+        }
+        let n = evaluated.len();
+        let t = self.catalog.get_mut(table)?;
+        for vals in evaluated {
+            t.push_row(vals)?;
+        }
+        Ok(n)
+    }
+
+    /// Inserts already-evaluated rows, honoring an optional column list.
+    fn insert_value_rows(
+        &mut self,
+        table: &str,
+        columns: Option<&[String]>,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<usize> {
+        let t = self.catalog.get(table)?;
+        let reorder = Self::column_reorder(t, columns)?;
+        let width = t.columns.len();
+        let n = rows.len();
+        let t = self.catalog.get_mut(table)?;
+        for vals in rows {
+            let vals = match &reorder {
+                None => vals,
+                Some(map) => {
+                    if vals.len() != map.len() {
+                        return Err(SqlError::Eval(format!(
+                            "INSERT SELECT produced {} columns, expected {}",
+                            vals.len(),
+                            map.len()
+                        )));
+                    }
+                    let mut shuffled = vec![Value::Null; width];
+                    for (i, v) in map.iter().zip(vals) {
+                        shuffled[*i] = v;
+                    }
+                    shuffled
+                }
+            };
+            t.push_row(vals)?;
+        }
+        Ok(n)
+    }
+
+    /// Maps an explicit INSERT column list onto table positions.
+    fn column_reorder(
+        t: &crate::catalog::Table,
+        columns: Option<&[String]>,
+    ) -> Result<Option<Vec<usize>>> {
+        match columns {
+            None => Ok(None),
+            Some(cols) => {
+                if cols.len() != t.columns.len() {
+                    return Err(SqlError::Unsupported(
+                        "partial-column INSERT is not supported".into(),
+                    ));
+                }
+                let mut map = vec![0usize; cols.len()];
+                for (i, c) in cols.iter().enumerate() {
+                    map[i] = t
+                        .column_index(c)
+                        .ok_or_else(|| SqlError::UnknownColumn(c.clone()))?;
+                }
+                Ok(Some(map))
+            }
+        }
+    }
+
+    /// Bulk loads rows programmatically (no SQL parsing): the fast path the
+    /// benchmark harness uses to populate baseline tables.
+    pub fn insert_rows(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
+        let t = self.catalog.get_mut(table)?;
+        let n = rows.len();
+        for row in rows {
+            t.push_row(row)?;
+        }
+        Ok(n)
+    }
+
+    /// Creates a table programmatically.
+    pub fn create_table(&mut self, name: &str, columns: &[(&str, ColumnType)]) -> Result<()> {
+        self.catalog.create(
+            name,
+            columns
+                .iter()
+                .map(|(n, ty)| Column { name: n.to_string(), ty: *ty })
+                .collect(),
+        )
+    }
+
+    /// Number of rows in a table.
+    pub fn table_len(&self, name: &str) -> Result<usize> {
+        Ok(self.catalog.get(name)?.rows.len())
+    }
+
+    /// Read access to a table's definition and rows.
+    pub fn table(&self, name: &str) -> Result<&crate::catalog::Table> {
+        self.catalog.get(name)
+    }
+
+    /// Describes how a SELECT would execute (scan order, pushed-down
+    /// predicates, residual join filter, post-processing steps) without
+    /// running it.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        match parse(sql)? {
+            Statement::Select(stmt) => crate::exec::explain_select(&self.catalog, &stmt),
+            other => Ok(format!("{other}\n(DDL/DML statements execute directly)\n")),
+        }
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.catalog.table_names()
+    }
+}
+
+fn ddl_result(rows_affected: usize) -> QueryResult {
+    QueryResult {
+        columns: vec!["rows_affected".to_string()],
+        rows: vec![vec![Value::Int(rows_affected as i64)]],
+    }
+}

@@ -1,0 +1,41 @@
+//! Errors of the mini SQL engine.
+
+use std::fmt;
+
+/// Any error raised while lexing, parsing, planning or executing SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexer error: unexpected character or unterminated literal.
+    Lex(String),
+    /// Parser error: unexpected token.
+    Parse(String),
+    /// Unknown table.
+    UnknownTable(String),
+    /// Unknown or ambiguous column reference.
+    UnknownColumn(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// Type or arity error during evaluation.
+    Eval(String),
+    /// Feature deliberately outside the mini engine's dialect.
+    Unsupported(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex(m) => write!(f, "lex error: {m}"),
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            SqlError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            SqlError::TableExists(t) => write!(f, "table already exists: {t}"),
+            SqlError::Eval(m) => write!(f, "evaluation error: {m}"),
+            SqlError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Result alias for the crate.
+pub type Result<T> = std::result::Result<T, SqlError>;

@@ -1,0 +1,237 @@
+//! Hand-written SQL lexer.
+
+use crate::error::{Result, SqlError};
+
+/// A lexical token. Keywords are uppercased identifiers matched at parse
+/// time, so the lexer only distinguishes shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (kept in original case; keyword matching is
+    /// case-insensitive).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal (also covers `.5` and `1.`).
+    Float(f64),
+    /// Single-quoted string literal (with `''` escape).
+    Str(String),
+    /// One of `= <> != < <= > >= + - * / ( ) , . ;`.
+    Symbol(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// True iff this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Splits `input` into tokens, appending [`Token::Eof`].
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' | ')' | ',' | ';' | '+' | '*' | '/' | '-' => {
+                tokens.push(Token::Symbol(match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    ';' => ";",
+                    '+' => "+",
+                    '*' => "*",
+                    '/' => "/",
+                    _ => "-",
+                }));
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Symbol("="));
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Symbol("<="));
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token::Symbol("<>"));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Symbol(">="));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(">"));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Symbol("!="));
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex("stray '!'".into()));
+                }
+            }
+            '\'' => {
+                // Collect raw bytes and convert once: the input is valid
+                // UTF-8 and we only split at ASCII quotes, so multi-byte
+                // characters survive intact (`bytes[i] as char` would not).
+                let mut raw: Vec<u8> = Vec::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(SqlError::Lex("unterminated string literal".into()));
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            raw.push(b'\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        raw.push(bytes[i]);
+                        i += 1;
+                    }
+                }
+                let s = String::from_utf8(raw)
+                    .map_err(|_| SqlError::Lex("invalid UTF-8 in string literal".into()))?;
+                tokens.push(Token::Str(s));
+            }
+            '.' if i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() => {
+                let (tok, len) = lex_number(&input[i..])?;
+                tokens.push(tok);
+                i += len;
+            }
+            '.' => {
+                tokens.push(Token::Symbol("."));
+                i += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, len) = lex_number(&input[i..])?;
+                tokens.push(tok);
+                i += len;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => return Err(SqlError::Lex(format!("unexpected character {other:?}"))),
+        }
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+/// Lexes a number starting at the beginning of `s`; returns the token and
+/// consumed byte length.
+fn lex_number(s: &str) -> Result<(Token, usize)> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    let mut is_float = false;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'.' {
+        // Not a float if this is a qualified name like `x.col` — digits
+        // cannot start identifiers, so `1.x` is invalid anyway; treat a dot
+        // followed by a digit or end as part of the number.
+        is_float = true;
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            is_float = true;
+            i = j;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    let text = &s[..i];
+    if is_float {
+        text.parse::<f64>()
+            .map(|f| (Token::Float(f), i))
+            .map_err(|e| SqlError::Lex(format!("bad float {text:?}: {e}")))
+    } else {
+        text.parse::<i64>()
+            .map(|v| (Token::Int(v), i))
+            .map_err(|e| SqlError::Lex(format!("bad integer {text:?}: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = tokenize("SELECT a, b.c FROM t WHERE x >= 1.5 AND y <> 'o''k';").unwrap();
+        assert!(toks.contains(&Token::Symbol(">=")));
+        assert!(toks.contains(&Token::Float(1.5)));
+        assert!(toks.contains(&Token::Str("o'k".into())));
+        assert!(toks.contains(&Token::Symbol(".")));
+        assert_eq!(*toks.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn leading_dot_float() {
+        let toks = tokenize("having p > .5").unwrap();
+        assert!(toks.contains(&Token::Float(0.5)));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("select 1 -- trailing\nfrom t").unwrap();
+        assert_eq!(toks.len(), 5); // select, 1, from, t, eof
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        let toks = tokenize("SeLeCt").unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert!(!toks[0].is_kw("from"));
+    }
+
+    #[test]
+    fn errors_on_unterminated_string() {
+        assert!(matches!(tokenize("'oops"), Err(SqlError::Lex(_))));
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let toks = tokenize("1e3 2.5E-2").unwrap();
+        assert_eq!(toks[0], Token::Float(1000.0));
+        assert_eq!(toks[1], Token::Float(0.025));
+    }
+}

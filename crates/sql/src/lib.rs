@@ -1,0 +1,74 @@
+//! # aggsky-sql
+//!
+//! A miniature, from-scratch, in-memory SQL engine built as the *direct SQL
+//! implementation* baseline of the paper's evaluation (the paper ran
+//! Algorithm 1 on sqlite; this engine executes the same query text with the
+//! same asymptotic plan: a streamed nested-loop self-join feeding hash
+//! aggregation).
+//!
+//! The dialect covers `CREATE TABLE`, multi-row `INSERT`, `DROP TABLE`, and
+//! `SELECT` with projections, expressions, self-joins via FROM comma lists,
+//! `WHERE`, `GROUP BY` + aggregates (`count/sum/avg/min/max`) + `HAVING`,
+//! uncorrelated `[NOT] IN` subqueries, `DISTINCT`, `ORDER BY` and `LIMIT` —
+//! exactly what the paper's Algorithm 1 needs — plus the paper's proposed
+//! syntax extension:
+//!
+//! * `SELECT * FROM movie SKYLINE OF pop MAX, qual MAX` — record skyline
+//!   (Example 1), executed with the BNL skyline of `aggsky-core`;
+//! * `SELECT director FROM movie GROUP BY director SKYLINE OF pop MAX, qual
+//!   MAX [GAMMA 0.6]` — aggregate skyline (Example 3), executed with the
+//!   exact indexed aggregate-skyline algorithm.
+//!
+//! ```
+//! use aggsky_sql::Database;
+//!
+//! let mut db = Database::new();
+//! db.execute("CREATE TABLE movie (director TEXT, pop FLOAT, qual FLOAT)").unwrap();
+//! db.execute(
+//!     "INSERT INTO movie VALUES \
+//!      ('Tarantino', 313, 8.2), ('Tarantino', 557, 9.0), \
+//!      ('Kershner', 362, 8.8), ('Wiseau', 10, 3.2)",
+//! )
+//! .unwrap();
+//! let r = db
+//!     .execute("SELECT director FROM movie GROUP BY director SKYLINE OF pop MAX, qual MAX")
+//!     .unwrap();
+//! let mut names: Vec<String> = r.rows.iter().map(|r| r[0].to_string()).collect();
+//! names.sort();
+//! assert_eq!(names, vec!["Kershner", "Tarantino"]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod catalog;
+pub mod display;
+pub mod dump;
+pub mod engine;
+pub mod error;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+pub mod pushdown;
+pub mod value;
+
+pub use ast::{ColumnType, Statement};
+pub use dump::split_script;
+pub use engine::Database;
+pub use error::{Result, SqlError};
+pub use exec::QueryResult;
+pub use parser::parse;
+pub use value::Value;
+
+/// Test helper: parses a standalone expression by wrapping it in a SELECT.
+#[cfg(test)]
+pub(crate) fn parser_test_expr(src: &str) -> ast::Expr {
+    match parse(&format!("SELECT {src} FROM t")).unwrap() {
+        Statement::Select(s) => match s.projection.into_iter().next().unwrap() {
+            ast::SelectItem::Expr { expr, .. } => expr,
+            other => panic!("unexpected projection {other:?}"),
+        },
+        other => panic!("unexpected statement {other:?}"),
+    }
+}

@@ -1,0 +1,207 @@
+//! Runtime values of the mini SQL engine.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A dynamically-typed SQL value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// True iff the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (ints widen to floats); `None` for NULL and strings.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Truthiness for WHERE/HAVING: NULL and 0 are false, everything else
+    /// true (strings are true when non-empty).
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty(),
+        }
+    }
+
+    /// SQL comparison. NULL compares as `None` (unknown); numbers compare
+    /// numerically across Int/Float; strings lexicographically. Mixed
+    /// string/number comparisons are `None`.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// Equality for DISTINCT / GROUP BY keys / IN lists: NULLs group
+    /// together (like GROUP BY in standard engines), numbers compare
+    /// numerically. Int/Int comparisons are exact (no f64 round-trip, so
+    /// values beyond 2⁵³ stay distinct).
+    pub fn key_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Int(i), Value::Float(f)) | (Value::Float(f), Value::Int(i)) => {
+                int_float_eq(*i, *f)
+            }
+            _ => false,
+        }
+    }
+
+    /// A hashable, normalized key representation for grouping.
+    ///
+    /// Properties the executor relies on:
+    /// * `key_eq(a, b) ⟺ a.group_key() == b.group_key()` (integral floats
+    ///   share the integer form; big i64s keep exact text),
+    /// * concatenations of keys are unambiguous: strings are length-
+    ///   prefixed, so no embedded byte sequence can collide with a
+    ///   following key's tag.
+    pub fn group_key(&self) -> String {
+        match self {
+            Value::Null => "\u{0}N".to_string(),
+            Value::Int(i) => format!("\u{0}n{i}"),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.abs() <= 9_007_199_254_740_992.0 {
+                    format!("\u{0}n{}", *f as i64)
+                } else {
+                    format!("\u{0}f{f}")
+                }
+            }
+            Value::Str(s) => format!("\u{0}s{}\u{0}{s}", s.len()),
+        }
+    }
+}
+
+/// Exact Int/Float key equality, consistent with [`Value::group_key`]:
+/// a float only equals an int when it is integral, within the exactly-
+/// representable range, and converts back to the same i64.
+fn int_float_eq(i: i64, f: f64) -> bool {
+    f.fract() == 0.0 && f.abs() <= 9_007_199_254_740_992.0 && (f as i64) == i
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_comparison_crosses_types() {
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Float(1.5)), Some(Ordering::Less));
+        assert_eq!(Value::Float(3.0).sql_cmp(&Value::Int(2)), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+        assert!(!Value::Null.is_truthy());
+    }
+
+    #[test]
+    fn mixed_string_number_is_unknown() {
+        assert_eq!(Value::Str("a".into()).sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn key_equality_groups_nulls() {
+        assert!(Value::Null.key_eq(&Value::Null));
+        assert!(Value::Int(1).key_eq(&Value::Float(1.0)));
+        assert!(!Value::Str("1".into()).key_eq(&Value::Int(1)));
+        assert_eq!(Value::Int(1).group_key(), Value::Float(1.0).group_key());
+    }
+
+    #[test]
+    fn big_integers_keep_distinct_keys() {
+        let a = Value::Int((1i64 << 53) + 1);
+        let b = Value::Int(1i64 << 53);
+        assert!(!a.key_eq(&b));
+        assert_ne!(a.group_key(), b.group_key());
+        // A float cannot represent 2^53 + 1; it must not key-match it.
+        assert!(!a.key_eq(&Value::Float(9_007_199_254_740_992.0)));
+        assert!(b.key_eq(&Value::Float(9_007_199_254_740_992.0)));
+    }
+
+    #[test]
+    fn concatenated_keys_are_unambiguous() {
+        // Without length prefixes these two rows collided.
+        let row1 = [Value::Str("a\u{0}sb".into()), Value::Str("c".into())];
+        let row2 = [Value::Str("a".into()), Value::Str("b\u{0}sc".into())];
+        let key = |row: &[Value]| row.iter().map(Value::group_key).collect::<String>();
+        assert_ne!(key(&row1), key(&row2));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Float(1.5).to_string(), "1.5");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Str("hi".into()).to_string(), "hi");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+}

@@ -1,0 +1,72 @@
+//! The paper's running example end to end: record skyline vs. sequential
+//! group-by-then-skyline vs. the aggregate skyline, showing why the
+//! aggregate operator is a different (and better-behaved) query.
+//!
+//! Run with `cargo run --example movie_directors`.
+
+use aggsky::core::record_skyline;
+use aggsky::{Algorithm, Gamma};
+use aggsky_datagen::{figure5_directors, movie_table, movies_by_director};
+
+fn main() {
+    let movies = movie_table();
+
+    // --- Figure 2: the traditional record skyline ---
+    println!("Record skyline of the movie table (Figure 2):");
+    let flat: Vec<f64> = movies.iter().flat_map(|m| [m.popularity, m.quality]).collect();
+    let record_sky = record_skyline::bnl(&flat, 2);
+    for &i in &record_sky {
+        println!("  {:<22} pop={:>5} qual={}", movies[i].title, movies[i].popularity, movies[i].quality);
+    }
+
+    // --- The flawed alternative: skyline, then group ---
+    println!("\nDirectors of skyline movies (skyline -> group by):");
+    let mut after: Vec<&str> = record_sky.iter().map(|&i| movies[i].director).collect();
+    after.sort_unstable();
+    after.dedup();
+    println!("  {after:?}  <- loses Jackson and Kershner");
+
+    // --- The other flawed alternative: group, then skyline on MAX values ---
+    println!("\nSkyline over per-director maxima (group by -> skyline):");
+    let by_director = movies_by_director();
+    let mut maxima: Vec<f64> = Vec::new();
+    let mut names = Vec::new();
+    for g in by_director.group_ids() {
+        let mut mp = f64::NEG_INFINITY;
+        let mut mq = f64::NEG_INFINITY;
+        for r in by_director.records(g) {
+            mp = mp.max(r[0]);
+            mq = mq.max(r[1]);
+        }
+        maxima.extend([mp, mq]);
+        names.push(by_director.label(g));
+    }
+    let max_sky = record_skyline::bnl(&maxima, 2);
+    let mut max_names: Vec<&str> = max_sky.iter().map(|&i| names[i]).collect();
+    max_names.sort_unstable();
+    println!("  {max_names:?}  <- Cameron 'beats' Nolan only through aggregation artifacts");
+
+    // --- Figure 4(b): the aggregate skyline ---
+    println!("\nAggregate skyline (Figure 4b, gamma = 0.5):");
+    let result = Algorithm::Indexed.run(&by_director, Gamma::DEFAULT);
+    println!("  {:?}", by_director.sorted_labels(&result.skyline));
+
+    // --- Table 2: graded dominance between directors ---
+    println!("\nDomination probabilities on the Figure 5 reconstruction (Table 2):");
+    let f5 = figure5_directors();
+    for (s, r) in [
+        ("Tarantino", "Wiseau"),
+        ("Tarantino", "Fleischer"),
+        ("Tarantino", "Jackson"),
+        ("Jackson", "Tarantino"),
+    ] {
+        let p = aggsky::domination_probability(
+            &f5,
+            f5.group_by_label(s).unwrap(),
+            f5.group_by_label(r).unwrap(),
+        );
+        println!("  p({s} > {r}) = {p:.2}");
+    }
+    println!("\nTarantino strictly dominates Wiseau, mostly dominates Fleischer, and only");
+    println!("weakly dominates Jackson — exactly the paper's 'degrees of dominance' story.");
+}

@@ -1,0 +1,12 @@
+//! The `aggsky` command-line tool; see `aggsky help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match aggsky::cli::run_command(&args) {
+        Ok(out) => print!("{out}"),
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Implementation of the `aggsky` command-line tool.
+//!
+//! The binary in `src/bin/aggsky.rs` is a thin wrapper around
+//! [`run_command`], which keeps the whole surface unit-testable.
+//!
+//! Subcommands:
+//!
+//! * `skyline --csv FILE --group COL [--gamma G] [--algorithm NL|TR|SI|IN|LO]
+//!   [--min COL]... [--rank]` — aggregate skyline over a CSV file.
+//! * `generate --dist anti|ind|corr --records N [--groups N] [--dim D]
+//!   [--spread S] [--zipf EXP] [--seed S]` — emit a synthetic dataset as CSV.
+//! * `sql FILE...` — execute semicolon-separated SQL statements from files
+//!   (use `-` for stdin), printing each result table.
+
+use crate::core::ranked_skyline;
+use crate::{AlgoOptions, Algorithm, Direction, Gamma, Pruning};
+use aggsky_datagen::{parse_grouped_csv, to_grouped_csv, Distribution, GroupSizes, SyntheticConfig};
+use std::fmt::Write as _;
+
+/// A CLI failure: the message is printed to stderr with exit code 1.
+pub type CliError = String;
+
+/// Executes one subcommand, returning the text to print on stdout.
+pub fn run_command(args: &[String]) -> Result<String, CliError> {
+    match args.first().map(String::as_str) {
+        Some("skyline") => skyline_command(&args[1..]),
+        Some("generate") => generate_command(&args[1..]),
+        Some("sql") => sql_command(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => Ok(usage()),
+        Some(other) => Err(format!("unknown subcommand {other:?}\n\n{}", usage())),
+    }
+}
+
+/// The usage string.
+pub fn usage() -> String {
+    "\
+aggsky — aggregate skyline queries (EDBT 2013 reproduction)
+
+USAGE:
+  aggsky skyline --csv FILE --group COL [options]   compute an aggregate skyline
+  aggsky generate --dist DIST --records N [options] emit a synthetic dataset as CSV
+  aggsky sql FILE...                                run SQL statements (- = stdin)
+
+skyline options:
+  --gamma G          dominance threshold in [0.5, 1] (default 0.5)
+  --algorithm A      NL0 | NL | TR | SI | IN | LO (default IN)
+  --min COL          treat COL as minimize (repeatable; default: maximize all)
+  --exact            use provably-exact pruning (default: paper pruning)
+  --rank             also print groups by minimum qualifying gamma
+
+generate options:
+  --dist DIST        anti | ind | corr
+  --records N        total records
+  --groups N         number of groups (default records/100)
+  --dim D            dimensions (default 5)
+  --spread S         class spread fraction (default 0.2)
+  --zipf EXP         Zipfian group sizes with this exponent (default uniform)
+  --seed S           RNG seed (default 42)
+"
+    .to_string()
+}
+
+/// Parses `--key value` style flags; returns (flags, repeated --min values).
+struct Flags {
+    pairs: Vec<(String, String)>,
+    bools: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String], bool_flags: &[&str]) -> Result<Flags, CliError> {
+        let mut pairs = Vec::new();
+        let mut bools = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument {a:?}"));
+            };
+            if bool_flags.contains(&key) {
+                bools.push(key.to_string());
+                i += 1;
+                continue;
+            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} expects a value"))?
+                .clone();
+            pairs.push((key.to_string(), value));
+            i += 2;
+        }
+        Ok(Flags { pairs, bools })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn get_all(&self, key: &str) -> Vec<&str> {
+        self.pairs.iter().filter(|(k, _)| k == key).map(|(_, v)| v.as_str()).collect()
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.bools.iter().any(|b| b == key)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key).ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: invalid value {v:?}")),
+        }
+    }
+}
+
+fn skyline_command(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &["rank", "exact"])?;
+    let path = flags.require("csv")?;
+    let group_col = flags.require("group")?;
+    let gamma = Gamma::new(flags.parse_num("gamma", 0.5)?).map_err(|e| e.to_string())?;
+    let algorithm = match flags.get("algorithm").unwrap_or("IN") {
+        "NL0" | "nl0" => Algorithm::Naive,
+        "NL" | "nl" => Algorithm::NestedLoop,
+        "TR" | "tr" => Algorithm::Transitive,
+        "SI" | "si" => Algorithm::Sorted,
+        "IN" | "in" => Algorithm::Indexed,
+        "LO" | "lo" => Algorithm::IndexedBbox,
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+
+    // Map --min column names onto dimensions via the CSV header.
+    let value_cols = aggsky_datagen::csv_value_columns(&text, group_col)
+        .map_err(|e| format!("{path}: {e}"))?;
+    let mins = flags.get_all("min");
+    for m in &mins {
+        if !value_cols.iter().any(|c| c.eq_ignore_ascii_case(m)) {
+            return Err(format!("--min {m:?}: no such value column (have {value_cols:?})"));
+        }
+    }
+    let directions: Vec<Direction> = value_cols
+        .iter()
+        .map(|c| {
+            if mins.iter().any(|m| m.eq_ignore_ascii_case(c)) {
+                Direction::Min
+            } else {
+                Direction::Max
+            }
+        })
+        .collect();
+
+    let ds = parse_grouped_csv(&text, group_col, Some(&directions))
+        .map_err(|e| format!("{path}: {e}"))?;
+    let opts = if flags.has("exact") {
+        AlgoOptions::exact(gamma)
+    } else {
+        AlgoOptions { pruning: Pruning::Paper, ..AlgoOptions::paper(gamma) }
+    };
+    let result = algorithm.run_with(&ds, opts);
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} groups, {} records, {} dimensions; gamma = {}, algorithm = {}",
+        ds.n_groups(),
+        ds.n_records(),
+        ds.dim(),
+        gamma,
+        algorithm.short_name()
+    )
+    .unwrap();
+    writeln!(out, "aggregate skyline ({} groups):", result.skyline.len()).unwrap();
+    for label in ds.sorted_labels(&result.skyline) {
+        writeln!(out, "  {label}").unwrap();
+    }
+    writeln!(
+        out,
+        "({} group pairs compared, {} record pairs checked)",
+        result.stats.group_pairs, result.stats.record_pairs
+    )
+    .unwrap();
+    if flags.has("rank") {
+        writeln!(out, "\ngroups by minimum qualifying gamma:").unwrap();
+        for rg in ranked_skyline(&ds) {
+            writeln!(out, "  {:<24} gamma >= {:.3}", ds.label(rg.group), rg.min_gamma.max(0.5))
+                .unwrap();
+        }
+    }
+    Ok(out)
+}
+
+fn generate_command(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let dist = match flags.require("dist")? {
+        "anti" => Distribution::AntiCorrelated,
+        "ind" => Distribution::Independent,
+        "corr" => Distribution::Correlated,
+        other => return Err(format!("unknown distribution {other:?} (anti|ind|corr)")),
+    };
+    let records: usize = flags
+        .require("records")?
+        .parse()
+        .map_err(|_| "--records: invalid number".to_string())?;
+    let groups = flags.parse_num("groups", (records / 100).max(1))?;
+    let dim = flags.parse_num("dim", 5usize)?;
+    let spread = flags.parse_num("spread", 0.2f64)?;
+    let seed = flags.parse_num("seed", 42u64)?;
+    let group_sizes = match flags.get("zipf") {
+        None => GroupSizes::Uniform,
+        Some(v) => GroupSizes::Zipf(
+            v.parse().map_err(|_| "--zipf: invalid exponent".to_string())?,
+        ),
+    };
+    let cfg = SyntheticConfig {
+        n_records: records,
+        n_groups: groups,
+        dim,
+        distribution: dist,
+        spread,
+        group_sizes,
+        seed,
+    };
+    let ds = cfg.generate();
+    let names: Vec<String> = (0..dim).map(|d| format!("d{d}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    Ok(to_grouped_csv(&ds, "class", &name_refs))
+}
+
+fn sql_command(args: &[String]) -> Result<String, CliError> {
+    if args.is_empty() {
+        return Err("sql: expected at least one file (or - for stdin)".into());
+    }
+    let mut db = crate::Database::new();
+    let mut out = String::new();
+    for path in args {
+        let text = if path == "-" {
+            use std::io::Read;
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("stdin: {e}"))?;
+            buf
+        } else {
+            std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+        };
+        for stmt in aggsky_sql::split_script(&text) {
+            let result = db.execute(&stmt).map_err(|e| format!("{e}\n  in: {stmt}"))?;
+            out.push_str(&result.to_table());
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run_command(&[]).unwrap().contains("USAGE"));
+        assert!(run_command(&s(&["help"])).unwrap().contains("USAGE"));
+        let err = run_command(&s(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn generate_then_skyline_round_trip() {
+        let csv = run_command(&s(&[
+            "generate", "--dist", "ind", "--records", "300", "--groups", "6", "--dim", "3",
+            "--seed", "7",
+        ]))
+        .unwrap();
+        assert!(csv.starts_with("class,d0,d1,d2"));
+        assert_eq!(csv.lines().count(), 301);
+
+        let dir = std::env::temp_dir().join("aggsky_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gen.csv");
+        std::fs::write(&path, &csv).unwrap();
+        let out = run_command(&s(&[
+            "skyline", "--csv", path.to_str().unwrap(), "--group", "class", "--rank",
+            "--algorithm", "LO",
+        ]))
+        .unwrap();
+        assert!(out.contains("6 groups, 300 records, 3 dimensions"));
+        assert!(out.contains("aggregate skyline"));
+        assert!(out.contains("minimum qualifying gamma"));
+    }
+
+    #[test]
+    fn skyline_respects_min_columns_and_gamma() {
+        let dir = std::env::temp_dir().join("aggsky_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shops.csv");
+        // b is pricier than both of a's offers at no better rating: with
+        // price minimized, every a-offer dominates it.
+        std::fs::write(&path, "shop,price,rating\na,10,4\na,12,5\nb,30,3\nc,9,2\n").unwrap();
+        let out = run_command(&s(&[
+            "skyline", "--csv", path.to_str().unwrap(), "--group", "shop", "--min", "price",
+            "--exact",
+        ]))
+        .unwrap();
+        assert!(out.contains("  a\n"), "{out}");
+        assert!(out.contains("  c\n"), "cheapest shop survives: {out}");
+        assert!(!out.contains("  b\n"), "b is beaten on price: {out}");
+        // Unknown --min column is rejected.
+        let err = run_command(&s(&[
+            "skyline", "--csv", path.to_str().unwrap(), "--group", "shop", "--min", "zzz",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("no such value column"));
+        // Invalid gamma is rejected.
+        let err = run_command(&s(&[
+            "skyline", "--csv", path.to_str().unwrap(), "--group", "shop", "--gamma", "0.2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("asymmetry"), "{err}");
+    }
+
+    #[test]
+    fn sql_script_execution() {
+        let dir = std::env::temp_dir().join("aggsky_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("script.sql");
+        std::fs::write(
+            &path,
+            "CREATE TABLE m (d TEXT, p FLOAT, q FLOAT);\n\
+             INSERT INTO m VALUES ('x; not a separator', 1, 1), ('b', 5, 5);\n\
+             SELECT d FROM m GROUP BY d SKYLINE OF p MAX, q MAX;",
+        )
+        .unwrap();
+        let out = run_command(&s(&["sql", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("| b"), "{out}");
+        assert!(!out.contains("not a separator |"), "dominated group filtered: {out}");
+    }
+
+    #[test]
+    fn flag_parser_errors() {
+        assert!(run_command(&s(&["skyline", "positional"])).unwrap_err().contains("unexpected"));
+        assert!(run_command(&s(&["skyline", "--csv"])).unwrap_err().contains("expects a value"));
+        assert!(run_command(&s(&["skyline", "--csv", "x.csv"]))
+            .unwrap_err()
+            .contains("missing required flag --group"));
+    }
+
+    #[test]
+    fn statement_splitting_respects_strings() {
+        let stmts = aggsky_sql::split_script("a 'x;y'; b;; c");
+        assert_eq!(stmts, vec!["a 'x;y'", "b", "c"]);
+    }
+}

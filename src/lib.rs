@@ -1,0 +1,43 @@
+//! # aggsky — aggregate skyline queries on grouped data
+//!
+//! A from-scratch Rust implementation of *"From Stars to Galaxies: skyline
+//! queries on aggregate data"* (M. Magnani, I. Assent, EDBT 2013): the
+//! γ-dominance aggregate-skyline operator, its five evaluation algorithms
+//! (NL, TR, SI, IN, LO), the spatial index and mini SQL engine substrates,
+//! and the paper's full benchmark suite.
+//!
+//! This facade crate re-exports the member crates:
+//!
+//! * [`core`] — the operator and algorithms,
+//! * [`spatial`] — the d-dimensional R-tree,
+//! * [`sql`] — the mini SQL engine with `SKYLINE OF` support,
+//! * [`datagen`] — workload generators.
+//!
+//! The most common items are re-exported at the top level:
+//!
+//! ```
+//! use aggsky::{Algorithm, Gamma, GroupedDatasetBuilder};
+//!
+//! let mut b = GroupedDatasetBuilder::new(2);
+//! b.push_group("Tarantino", &[vec![313.0, 8.2], vec![557.0, 9.0]]).unwrap();
+//! b.push_group("Wiseau", &[vec![10.0, 3.2]]).unwrap();
+//! let ds = b.build().unwrap();
+//! let result = Algorithm::Indexed.run(&ds, Gamma::DEFAULT);
+//! assert_eq!(ds.sorted_labels(&result.skyline), vec!["Tarantino"]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use aggsky_core as core;
+pub use aggsky_datagen as datagen;
+pub use aggsky_spatial as spatial;
+pub use aggsky_sql as sql;
+
+pub use aggsky_core::{
+    anytime_skyline, domination_probability, gamma_dominates, naive_skyline, parallel_skyline,
+    ranked_skyline, AlgoOptions, Algorithm, AnytimeResult, Direction, DynamicAggregateSkyline,
+    Gamma, GroupedDataset, GroupedDatasetBuilder, Pruning, SkylineResult, SortStrategy,
+};
+pub use aggsky_sql::Database;

@@ -1,0 +1,234 @@
+//! Property-based differential testing: every optimized algorithm (in exact
+//! mode) must agree with the exhaustive oracle on arbitrary inputs, and the
+//! paper's theoretical properties must hold on random data.
+
+use aggsky::core::paircount::{compare_groups, compare_groups_exhaustive, PairOptions};
+use aggsky::core::properties;
+use aggsky::core::Stats;
+use aggsky::{
+    naive_skyline, parallel_skyline, AlgoOptions, Algorithm, Gamma, GroupedDataset,
+    GroupedDatasetBuilder, SortStrategy,
+};
+use proptest::prelude::*;
+
+/// Strategy: a grouped dataset with 1-12 groups of 1-8 records in 1-4 dims,
+/// values drawn from a small integer grid (to generate plenty of ties and
+/// exact-dominance edge cases).
+fn dataset_strategy() -> impl Strategy<Value = GroupedDataset> {
+    (1usize..=4, 1usize..=12)
+        .prop_flat_map(|(dim, n_groups)| {
+            proptest::collection::vec(
+                proptest::collection::vec(
+                    proptest::collection::vec(0i32..6, dim..=dim),
+                    1..=8,
+                ),
+                n_groups..=n_groups,
+            )
+        })
+        .prop_map(|groups| {
+            let dim = groups[0][0].len();
+            let mut b = GroupedDatasetBuilder::new(dim).trusted_labels();
+            for (i, rows) in groups.iter().enumerate() {
+                let rows: Vec<Vec<f64>> = rows
+                    .iter()
+                    .map(|r| r.iter().map(|&v| v as f64).collect())
+                    .collect();
+                b.push_group(format!("g{i}"), &rows).unwrap();
+            }
+            b.build().unwrap()
+        })
+}
+
+fn gamma_strategy() -> impl Strategy<Value = Gamma> {
+    prop_oneof![
+        Just(Gamma::DEFAULT),
+        Just(Gamma::new(0.6).unwrap()),
+        Just(Gamma::new(0.75).unwrap()),
+        Just(Gamma::new(0.9).unwrap()),
+        Just(Gamma::new(1.0).unwrap()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exact-pruning variants of every algorithm equal the oracle.
+    #[test]
+    fn exact_algorithms_match_oracle(ds in dataset_strategy(), gamma in gamma_strategy()) {
+        let oracle = naive_skyline(&ds, gamma).skyline;
+        let opts = AlgoOptions::exact(gamma);
+        for algo in Algorithm::EVALUATED {
+            let r = algo.run_with(&ds, opts);
+            prop_assert_eq!(&r.skyline, &oracle, "{:?}", algo);
+        }
+    }
+
+    /// The parallel extension equals the oracle at any thread count.
+    #[test]
+    fn parallel_matches_oracle(ds in dataset_strategy(), gamma in gamma_strategy(),
+                               threads in 1usize..=4) {
+        let oracle = naive_skyline(&ds, gamma).skyline;
+        prop_assert_eq!(parallel_skyline(&ds, gamma, threads).skyline, oracle);
+    }
+
+    /// Paper-pruning algorithms never lose a true skyline group (they may,
+    /// rarely, keep an extra one — the printed Algorithm 3's known gap).
+    #[test]
+    fn paper_algorithms_never_drop_skyline_groups(ds in dataset_strategy(),
+                                                  gamma in gamma_strategy()) {
+        let oracle = naive_skyline(&ds, gamma).skyline;
+        for algo in Algorithm::EVALUATED {
+            let r = algo.run(&ds, gamma);
+            for g in &oracle {
+                prop_assert!(r.skyline.contains(g), "{:?} dropped group {}", algo, g);
+            }
+        }
+    }
+
+    /// The stopping rule and bounding-box decomposition never change a
+    /// pairwise verdict.
+    #[test]
+    fn pair_verdicts_match_exhaustive(ds in dataset_strategy(), gamma in gamma_strategy()) {
+        if ds.n_groups() < 2 { return Ok(()); }
+        let boxes = aggsky::core::Mbb::of_all_groups(&ds);
+        let oracle = compare_groups_exhaustive(&ds, 0, 1, gamma);
+        for stop in [false, true] {
+            for bbox in [false, true] {
+                let mut stats = Stats::default();
+                let v = compare_groups(
+                    &ds, 0, 1, gamma,
+                    bbox.then_some((&boxes[0], &boxes[1])),
+                    PairOptions { stop_rule: stop, need_bar: true, corrected_bar: false },
+                    &mut stats,
+                );
+                prop_assert_eq!(v, oracle, "stop={} bbox={}", stop, bbox);
+            }
+        }
+    }
+
+    /// Monotonicity in γ: raising γ only ever grows the skyline
+    /// (domination needs p > γ, so fewer dominations at larger γ).
+    #[test]
+    fn skyline_grows_with_gamma(ds in dataset_strategy()) {
+        let mut prev: Option<Vec<usize>> = None;
+        for g in [0.5, 0.6, 0.75, 0.9, 1.0] {
+            let sky = naive_skyline(&ds, Gamma::new(g).unwrap()).skyline;
+            if let Some(p) = &prev {
+                for kept in p {
+                    prop_assert!(sky.contains(kept), "group {} lost at gamma {}", kept, g);
+                }
+            }
+            prev = Some(sky);
+        }
+    }
+
+    /// Asymmetry (Proposition 1) on random data at random γ ≥ .5.
+    #[test]
+    fn asymmetry_holds(ds in dataset_strategy(), gamma in gamma_strategy()) {
+        prop_assert_eq!(properties::check_asymmetry(&ds, gamma), None);
+    }
+
+    /// Weak transitivity at the *corrected* threshold `γ̄ = (1+γ)/2`: for
+    /// random group triples, if both edges exceed γ̄ then R ≻_γ T. (The paper's
+    /// printed threshold `1 − √(1−γ)/2` admits counterexamples — see the
+    /// unit test `paper_weak_transitivity_bound_has_a_counterexample` in
+    /// the core crate — so the property is asserted for the sound bound.)
+    #[test]
+    fn weak_transitivity_holds_at_corrected_bar(ds in dataset_strategy(),
+                                                gamma in gamma_strategy()) {
+        let n = ds.n_groups();
+        if n < 3 { return Ok(()); }
+        for r in 0..n {
+            for s in 0..n {
+                for t in 0..n {
+                    if r == s || s == t || r == t { continue; }
+                    let p_rs = aggsky::domination_probability(&ds, r, s);
+                    let p_st = aggsky::domination_probability(&ds, s, t);
+                    if gamma.strongly_dominated_corrected(p_rs)
+                        && gamma.strongly_dominated_corrected(p_st)
+                    {
+                        let p_rt = aggsky::domination_probability(&ds, r, t);
+                        prop_assert!(
+                            gamma.dominated(p_rt),
+                            "weak transitivity violated: p_rs={} p_st={} p_rt={} gamma={}",
+                            p_rs, p_st, p_rt, gamma
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The additive lower bound behind the corrected threshold:
+    /// p(R ≻ T) ≥ p(R ≻ S) + p(S ≻ T) − 1, on any data (overlapping
+    /// witness fractions force transitive record dominance).
+    #[test]
+    fn additive_lower_bound_on_transitive_domination(ds in dataset_strategy()) {
+        let n = ds.n_groups();
+        if n < 3 { return Ok(()); }
+        for r in 0..n {
+            for s in 0..n {
+                for t in 0..n {
+                    if r == s || s == t || r == t { continue; }
+                    let p_rs = aggsky::domination_probability(&ds, r, s);
+                    let p_st = aggsky::domination_probability(&ds, s, t);
+                    let p_rt = aggsky::domination_probability(&ds, r, t);
+                    prop_assert!(
+                        p_rt >= p_rs + p_st - 1.0 - 1e-12,
+                        "additive bound violated: {} < {} + {} - 1", p_rt, p_rs, p_st
+                    );
+                }
+            }
+        }
+    }
+
+    /// Stability to updates (Property 2) under random record removals.
+    #[test]
+    fn update_stability_bounds_hold(ds in dataset_strategy(), keep in 1usize..=4) {
+        let n = ds.n_groups();
+        if n < 2 { return Ok(()); }
+        for r in 0..n {
+            let len = ds.group_len(r);
+            if len < 2 { continue; }
+            // Remove all but `keep` records (at least one stays).
+            let removed: Vec<usize> = (keep.min(len - 1)..len).collect();
+            if removed.is_empty() { continue; }
+            for s in 0..n {
+                if s == r { continue; }
+                let res = properties::check_update_stability(&ds, r, s, &removed).unwrap();
+                prop_assert!(res.within_bounds, "r={} s={} {:?}", r, s, res);
+            }
+        }
+    }
+
+    /// Stability to monotone transformations (Proposition 2).
+    #[test]
+    fn monotone_transform_stability(ds in dataset_strategy()) {
+        let cube = |v: f64| v * v * v;
+        let expish = |v: f64| v.exp_m1();
+        let affine = |v: f64| 3.0 * v + 7.0;
+        let id = |v: f64| v;
+        let fns: Vec<&dyn Fn(f64) -> f64> = vec![&cube, &expish, &affine, &id];
+        let transforms: Vec<&dyn Fn(f64) -> f64> =
+            (0..ds.dim()).map(|d| fns[d % fns.len()]).collect();
+        let dev = properties::monotone_transform_deviation(&ds, &transforms).unwrap();
+        prop_assert_eq!(dev, 0.0);
+    }
+
+    /// All sort strategies leave exact results unchanged.
+    #[test]
+    fn sort_strategies_preserve_results(ds in dataset_strategy()) {
+        let oracle = naive_skyline(&ds, Gamma::DEFAULT).skyline;
+        for sort in [
+            SortStrategy::InsertionOrder,
+            SortStrategy::CornerDistance,
+            SortStrategy::SizeThenDistance,
+        ] {
+            let opts = AlgoOptions { sort, ..AlgoOptions::exact(Gamma::DEFAULT) };
+            let r = Algorithm::Sorted.run_with(&ds, opts);
+            prop_assert_eq!(&r.skyline, &oracle, "{:?}", sort);
+            let r = Algorithm::Indexed.run_with(&ds, opts);
+            prop_assert_eq!(&r.skyline, &oracle, "indexed {:?}", sort);
+        }
+    }
+}

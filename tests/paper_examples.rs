@@ -1,0 +1,205 @@
+//! End-to-end checks of every worked example in the paper, through the
+//! facade crate's public API.
+
+use aggsky::core::record_skyline::{bnl, sfs};
+use aggsky::core::DominationMatrix;
+use aggsky::{
+    domination_probability, gamma_dominates, naive_skyline, Algorithm, Gamma,
+    GroupedDatasetBuilder,
+};
+use aggsky_datagen::{figure5_directors, movie_table, movies_by_director};
+
+/// Figure 2: the record skyline of the Figure 1 table is
+/// {Pulp Fiction, The Godfather}.
+#[test]
+fn figure_2_record_skyline() {
+    let movies = movie_table();
+    let flat: Vec<f64> = movies.iter().flat_map(|m| [m.popularity, m.quality]).collect();
+    for algo in [bnl, sfs] {
+        let sky = algo(&flat, 2);
+        let titles: Vec<&str> = sky.iter().map(|&i| movies[i].title).collect();
+        assert_eq!(titles, vec!["Pulp Fiction", "The Godfather"]);
+    }
+}
+
+/// Figure 4(b): the aggregate skyline of the movie table grouped by
+/// director is {Coppola, Jackson, Kershner, Tarantino} — strictly more than
+/// either sequential composition of group-by and skyline returns.
+#[test]
+fn figure_4b_aggregate_skyline_every_algorithm() {
+    let ds = movies_by_director();
+    let expected = vec!["Coppola", "Jackson", "Kershner", "Tarantino"];
+    assert_eq!(ds.sorted_labels(&naive_skyline(&ds, Gamma::DEFAULT).skyline), expected);
+    for algo in Algorithm::EVALUATED {
+        let r = algo.run(&ds, Gamma::DEFAULT);
+        assert_eq!(ds.sorted_labels(&r.skyline), expected, "{algo:?}");
+    }
+    let par = aggsky::parallel_skyline(&ds, Gamma::DEFAULT, 4);
+    assert_eq!(ds.sorted_labels(&par.skyline), expected);
+}
+
+/// Figure 4(a): the sequential alternatives select only Tarantino and
+/// Coppola, illustrating what the aggregate operator adds.
+#[test]
+fn figure_4a_sequential_composition_loses_directors() {
+    let movies = movie_table();
+    let flat: Vec<f64> = movies.iter().flat_map(|m| [m.popularity, m.quality]).collect();
+    let mut directors: Vec<&str> =
+        bnl(&flat, 2).into_iter().map(|i| movies[i].director).collect();
+    directors.sort_unstable();
+    directors.dedup();
+    assert_eq!(directors, vec!["Coppola", "Tarantino"]);
+}
+
+/// Table 2, rounded to the paper's two decimals.
+#[test]
+fn table_2_probabilities() {
+    let ds = figure5_directors();
+    let p = |s: &str, r: &str| {
+        let p = domination_probability(
+            &ds,
+            ds.group_by_label(s).unwrap(),
+            ds.group_by_label(r).unwrap(),
+        );
+        (p * 100.0).round() / 100.0
+    };
+    assert_eq!(p("Tarantino", "Wiseau"), 1.00);
+    assert_eq!(p("Tarantino", "Fleischer"), 0.94);
+    assert_eq!(p("Tarantino", "Jackson"), 0.68);
+    assert_eq!(p("Wiseau", "Tarantino"), 0.00);
+    assert_eq!(p("Fleischer", "Tarantino"), 0.06);
+    assert_eq!(p("Jackson", "Tarantino"), 0.26);
+}
+
+/// Section 2.2: at γ = .5 Tarantino γ-dominates Fleischer, and the reverse
+/// direction is impossible for any valid γ (asymmetry).
+#[test]
+fn setting_gamma_narrative() {
+    let ds = figure5_directors();
+    let t = ds.group_by_label("Tarantino").unwrap();
+    let f = ds.group_by_label("Fleischer").unwrap();
+    assert!(gamma_dominates(&ds, t, f, Gamma::DEFAULT));
+    for g in [0.5, 0.7, 0.9, 1.0] {
+        assert!(!gamma_dominates(&ds, f, t, Gamma::new(g).unwrap()));
+    }
+    // Tarantino γ-dominates Fleischer for all γ < .94 — and .94 is above
+    // every γ̄-style threshold here, so also at γ̄(0.5).
+    assert!(Gamma::DEFAULT.strongly_dominated(domination_probability(&ds, t, f)));
+}
+
+/// Proposition 3's counterexample: skyline containment fails.
+#[test]
+fn proposition_3_skyline_containment_fails() {
+    let mut b = GroupedDatasetBuilder::new(2);
+    let g1 = b.push_group("G1", &[vec![5.0, 5.0], vec![1.0, 1.0], vec![1.0, 2.0]]).unwrap();
+    let g2 = b.push_group("G2", &[vec![2.0, 3.0]]).unwrap();
+    let ds = b.build().unwrap();
+    // (5,5) is the record skyline and lives in G1...
+    let flat: Vec<f64> = (0..ds.n_groups())
+        .flat_map(|g| ds.group_rows(g).to_vec())
+        .collect();
+    assert_eq!(bnl(&flat, 2), vec![0]);
+    // ...yet G1 is not in the aggregate skyline at γ = .5.
+    let sky = naive_skyline(&ds, Gamma::DEFAULT).skyline;
+    assert!(!sky.contains(&g1));
+    assert!(sky.contains(&g2));
+}
+
+/// Proposition 4 / Figure 6: transitivity fails; the proof's domination
+/// matrices behave exactly as printed.
+#[test]
+fn proposition_4_transitivity_fails_via_matrices() {
+    let rs = DominationMatrix::from_bits(
+        4,
+        2,
+        vec![true, false, true, true, true, false, true, false],
+    );
+    let st = DominationMatrix::from_bits(2, 3, vec![true, false, false, true, true, true]);
+    let rt = rs.product(&st);
+    assert!(rs.pos() > 0.5);
+    assert!(st.pos() > 0.5);
+    assert!(rt.pos() <= 0.5, "R must not gamma-dominate T at gamma = .5");
+}
+
+/// The γ = 1 case: only strict (p = 1) dominance excludes groups.
+#[test]
+fn gamma_one_keeps_everything_not_strictly_dominated() {
+    let ds = figure5_directors();
+    let sky = naive_skyline(&ds, Gamma::new(1.0).unwrap()).skyline;
+    // Wiseau is strictly dominated (p = 1); everyone else survives at γ=1.
+    let labels = ds.sorted_labels(&sky);
+    assert_eq!(labels, vec!["Fleischer", "Jackson", "Tarantino"]);
+}
+
+/// MIN-direction support: the movie example with `year MIN` (prefer older
+/// classics) changes the result in the expected direction.
+#[test]
+fn min_directions_are_supported() {
+    use aggsky::Direction;
+    let movies = movie_table();
+    let mut b = GroupedDatasetBuilder::with_directions(vec![Direction::Min, Direction::Max]);
+    for m in &movies {
+        // One group per movie: a record skyline through the group API.
+        b.push_group(m.title, &[vec![m.year as f64, m.quality]]).unwrap();
+    }
+    let ds = b.build().unwrap();
+    let sky = naive_skyline(&ds, Gamma::DEFAULT).skyline;
+    let labels = ds.sorted_labels(&sky);
+    assert!(labels.contains(&"The Godfather"), "oldest + best: {labels:?}");
+    assert!(!labels.contains(&"The Room"));
+}
+
+/// The skycube extension: on the movie data, the all-round winners are
+/// exactly the directors surviving every criterion subset.
+#[test]
+fn skycube_on_movie_directors() {
+    use aggsky::core::skycube;
+    let ds = aggsky_datagen::movies_by_director();
+    let cube = skycube::skycube(&ds, Gamma::DEFAULT).unwrap();
+    assert_eq!(cube.subspaces.len(), 3);
+    // Full space = Figure 4(b).
+    let full = cube.skyline_of(&[0, 1]).unwrap().to_vec();
+    assert_eq!(
+        ds.sorted_labels(&full),
+        vec!["Coppola", "Jackson", "Kershner", "Tarantino"]
+    );
+    // Universal winners must sit in the full-space skyline too.
+    for g in cube.universal_groups() {
+        assert!(full.contains(&g), "{}", ds.label(g));
+    }
+}
+
+/// Explanations agree with the membership the algorithms compute.
+#[test]
+fn explanations_match_membership() {
+    use aggsky::core::explain::explain_membership;
+    let ds = aggsky_datagen::movies_by_director();
+    let sky = naive_skyline(&ds, Gamma::DEFAULT).skyline;
+    for g in ds.group_ids() {
+        let m = explain_membership(&ds, g, Gamma::DEFAULT);
+        assert_eq!(m.in_skyline, sky.contains(&g), "{}", ds.label(g));
+    }
+}
+
+/// The incremental engine and the batch algorithms agree after mutations
+/// applied to the paper's running example.
+#[test]
+fn dynamic_engine_tracks_the_movie_example() {
+    use aggsky::DynamicAggregateSkyline;
+    let ds = aggsky_datagen::movies_by_director();
+    let mut dynamic = DynamicAggregateSkyline::from_dataset(&ds);
+    // Nolan releases a monster hit: enters the skyline.
+    let nolan = ds.group_by_label("Nolan").unwrap();
+    dynamic.insert(nolan, &[900.0, 9.5]).unwrap();
+    let sky = dynamic.skyline(Gamma::DEFAULT);
+    let labels: Vec<&str> = sky.iter().map(|&g| dynamic.label(g)).collect();
+    assert!(labels.contains(&"Nolan"), "{labels:?}");
+    // Cross-check against a batch recompute on the snapshot.
+    let (snap, mapping) = dynamic.snapshot().unwrap();
+    let batch: Vec<usize> = naive_skyline(&snap, Gamma::DEFAULT)
+        .skyline
+        .into_iter()
+        .map(|g| mapping[g])
+        .collect();
+    assert_eq!(sky, batch);
+}

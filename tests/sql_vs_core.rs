@@ -1,0 +1,186 @@
+//! Differential testing of the SQL surface against the core algorithms:
+//! the paper's Algorithm 1 query, the native `SKYLINE OF` clauses, and the
+//! record skyline must all agree with the core implementations on random
+//! grouped data.
+
+use aggsky::core::record_skyline::bnl;
+use aggsky::sql::{ColumnType, Database, Value};
+use aggsky::{naive_skyline, Gamma, GroupedDataset, GroupedDatasetBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random small dataset on an integer grid (ties included on purpose).
+fn random_dataset(seed: u64, n_groups: usize, max_len: usize) -> GroupedDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GroupedDatasetBuilder::new(2).trusted_labels();
+    for g in 0..n_groups {
+        let len = rng.gen_range(1..=max_len);
+        let rows: Vec<Vec<f64>> = (0..len)
+            .map(|_| vec![rng.gen_range(0..12) as f64, rng.gen_range(0..12) as f64])
+            .collect();
+        b.push_group(format!("g{g}"), &rows).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// Loads a 2-D grouped dataset into a `movies(director, votes, rank, num)`
+/// table, the shape Algorithm 1 expects.
+fn load(ds: &GroupedDataset) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "movies",
+        &[
+            ("director", ColumnType::Text),
+            ("votes", ColumnType::Float),
+            ("rank", ColumnType::Float),
+            ("num", ColumnType::Int),
+        ],
+    )
+    .unwrap();
+    let mut rows = Vec::new();
+    for g in ds.group_ids() {
+        for rec in ds.records(g) {
+            rows.push(vec![
+                Value::Str(ds.label(g).to_string()),
+                Value::Float(rec[0]),
+                Value::Float(rec[1]),
+                Value::Int(ds.group_len(g) as i64),
+            ]);
+        }
+    }
+    db.insert_rows("movies", rows).unwrap();
+    db
+}
+
+fn names(db: &mut Database, sql: &str) -> Vec<String> {
+    let mut out: Vec<String> =
+        db.execute(sql).unwrap().rows.into_iter().map(|r| r[0].to_string()).collect();
+    out.sort();
+    out
+}
+
+const ALGORITHM_1: &str = "select distinct director from movies where director not in (\
+     select X.director from movies X, movies Y \
+     where ((Y.votes > X.votes and Y.rank >= X.rank) or \
+            (Y.votes >= X.votes and Y.rank > X.rank)) \
+     group by X.director, Y.director \
+     having 1.0*count(*)/(X.num*Y.num) > .5)";
+
+#[test]
+fn algorithm_1_matches_core_on_random_data() {
+    for seed in 0..25 {
+        let ds = random_dataset(seed, 8, 6);
+        let mut db = load(&ds);
+        let sql_names = names(&mut db, ALGORITHM_1);
+        let oracle = naive_skyline(&ds, Gamma::DEFAULT);
+        let mut core_names: Vec<String> =
+            oracle.skyline.iter().map(|&g| ds.label(g).to_string()).collect();
+        core_names.sort();
+        assert_eq!(sql_names, core_names, "seed={seed}");
+    }
+}
+
+#[test]
+fn native_group_skyline_matches_core_on_random_data() {
+    for seed in 100..125 {
+        let ds = random_dataset(seed, 10, 5);
+        let mut db = load(&ds);
+        let sql_names = names(
+            &mut db,
+            "SELECT director FROM movies GROUP BY director SKYLINE OF votes MAX, rank MAX",
+        );
+        let oracle = naive_skyline(&ds, Gamma::DEFAULT);
+        let mut core_names: Vec<String> =
+            oracle.skyline.iter().map(|&g| ds.label(g).to_string()).collect();
+        core_names.sort();
+        assert_eq!(sql_names, core_names, "seed={seed}");
+    }
+}
+
+#[test]
+fn native_group_skyline_matches_core_at_other_gammas() {
+    for seed in 200..210 {
+        let ds = random_dataset(seed, 8, 5);
+        let mut db = load(&ds);
+        for gamma in [0.6, 0.8, 1.0] {
+            let sql_names = names(
+                &mut db,
+                &format!(
+                    "SELECT director FROM movies GROUP BY director \
+                     SKYLINE OF votes MAX, rank MAX GAMMA {gamma}"
+                ),
+            );
+            let oracle = naive_skyline(&ds, Gamma::new(gamma).unwrap());
+            let mut core_names: Vec<String> =
+                oracle.skyline.iter().map(|&g| ds.label(g).to_string()).collect();
+            core_names.sort();
+            assert_eq!(sql_names, core_names, "seed={seed} gamma={gamma}");
+        }
+    }
+}
+
+#[test]
+fn record_skyline_clause_matches_bnl() {
+    for seed in 300..320 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1..40);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(0..10) as f64, rng.gen_range(0..10) as f64])
+            .collect();
+        let mut db = Database::new();
+        db.create_table("t", &[("id", ColumnType::Int), ("a", ColumnType::Float), ("b", ColumnType::Float)])
+            .unwrap();
+        let table_rows: Vec<Vec<Value>> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| vec![Value::Int(i as i64), Value::Float(r[0]), Value::Float(r[1])])
+            .collect();
+        db.insert_rows("t", table_rows).unwrap();
+        let mut got: Vec<i64> = db
+            .execute("SELECT id FROM t SKYLINE OF a MAX, b MAX")
+            .unwrap()
+            .rows
+            .into_iter()
+            .map(|r| match r[0] {
+                Value::Int(i) => i,
+                _ => unreachable!(),
+            })
+            .collect();
+        got.sort_unstable();
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let expect: Vec<i64> = bnl(&flat, 2).into_iter().map(|i| i as i64).collect();
+        assert_eq!(got, expect, "seed={seed}");
+    }
+}
+
+#[test]
+fn having_filter_composes_with_group_skyline() {
+    // HAVING first prunes groups, then the skyline runs among survivors:
+    // a group dominated only by a HAVING-removed group must reappear.
+    let mut db = Database::new();
+    db.create_table(
+        "movies",
+        &[("director", ColumnType::Text), ("votes", ColumnType::Float), ("rank", ColumnType::Float)],
+    )
+    .unwrap();
+    db.insert_rows(
+        "movies",
+        vec![
+            vec![Value::Str("big".into()), Value::Float(10.0), Value::Float(10.0)],
+            vec![Value::Str("big".into()), Value::Float(11.0), Value::Float(11.0)],
+            vec![Value::Str("mid".into()), Value::Float(5.0), Value::Float(5.0)],
+        ],
+    )
+    .unwrap();
+    let with_big = names(
+        &mut db,
+        "SELECT director FROM movies GROUP BY director SKYLINE OF votes MAX, rank MAX",
+    );
+    assert_eq!(with_big, vec!["big"]);
+    let without_big = names(
+        &mut db,
+        "SELECT director FROM movies GROUP BY director \
+         HAVING count(*) < 2 SKYLINE OF votes MAX, rank MAX",
+    );
+    assert_eq!(without_big, vec!["mid"], "mid reappears once big is HAVING-ed away");
+}

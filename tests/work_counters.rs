@@ -1,0 +1,154 @@
+//! Performance *shape* tests: instead of timing (flaky in CI), these assert
+//! the paper's comparative claims on the deterministic work counters every
+//! algorithm reports — which optimization saves which kind of work, and
+//! where it stops helping (the Figure 11 overlap crossover).
+
+use aggsky::{AlgoOptions, Algorithm, Gamma};
+use aggsky_datagen::{Distribution, GroupSizes, SyntheticConfig};
+
+fn dataset(dist: Distribution, n: usize, spread: f64) -> aggsky::GroupedDataset {
+    SyntheticConfig {
+        n_records: n,
+        n_groups: (n / 50).max(4),
+        dim: 4,
+        spread,
+        ..SyntheticConfig::paper_default(dist)
+    }
+    .generate()
+}
+
+/// Section 3.3: the stopping rule must cut record comparisons roughly in
+/// half on the default workloads (a pair is abandoned once one side's
+/// outcome is settled).
+#[test]
+fn stop_rule_cuts_record_comparisons() {
+    for dist in Distribution::ALL {
+        let ds = dataset(dist, 3000, 0.2);
+        let on = Algorithm::NestedLoop
+            .run_with(&ds, AlgoOptions::paper(Gamma::DEFAULT));
+        let off = Algorithm::NestedLoop
+            .run_with(&ds, AlgoOptions { stop_rule: false, ..AlgoOptions::paper(Gamma::DEFAULT) });
+        assert_eq!(on.skyline, off.skyline);
+        assert!(
+            (on.stats.record_pairs as f64) < 0.8 * off.stats.record_pairs as f64,
+            "{}: stop rule saved too little: {} vs {}",
+            dist.label(),
+            on.stats.record_pairs,
+            off.stats.record_pairs
+        );
+    }
+}
+
+/// Algorithm 5: on low-overlap data the window query must prune most group
+/// pairs relative to NL's all-pairs enumeration.
+#[test]
+fn index_prunes_group_pairs_at_low_overlap() {
+    let ds = dataset(Distribution::AntiCorrelated, 3000, 0.1);
+    let nl = Algorithm::NestedLoop.run(&ds, Gamma::DEFAULT);
+    let indexed = Algorithm::Indexed.run(&ds, Gamma::DEFAULT);
+    assert!(
+        (indexed.stats.group_pairs as f64) < 0.5 * nl.stats.group_pairs as f64,
+        "index pruned too little: {} vs {}",
+        indexed.stats.group_pairs,
+        nl.stats.group_pairs
+    );
+}
+
+/// Figure 11's crossover: at very high overlap the window query returns
+/// nearly everyone and (because pairs are visited from both sides) the
+/// index does *more* group-pair work than NL.
+#[test]
+fn index_stops_helping_at_high_overlap() {
+    let ds = dataset(Distribution::AntiCorrelated, 2000, 0.9);
+    let nl = Algorithm::NestedLoop.run(&ds, Gamma::DEFAULT);
+    let indexed = Algorithm::Indexed.run(&ds, Gamma::DEFAULT);
+    assert!(
+        indexed.stats.group_pairs >= nl.stats.group_pairs,
+        "expected the crossover: {} vs {}",
+        indexed.stats.group_pairs,
+        nl.stats.group_pairs
+    );
+}
+
+/// Figure 9 bounding boxes: on low-overlap anti-correlated data most pairs
+/// must resolve from corners alone, with near-zero record comparisons.
+#[test]
+fn bbox_resolves_pairs_on_disjoint_boxes() {
+    let ds = dataset(Distribution::AntiCorrelated, 3000, 0.1);
+    let plain = Algorithm::NestedLoop.run(&ds, Gamma::DEFAULT);
+    let boxed = Algorithm::NestedLoop
+        .run_with(&ds, AlgoOptions { bbox_prune: true, ..AlgoOptions::paper(Gamma::DEFAULT) });
+    assert_eq!(plain.skyline, boxed.skyline);
+    assert!(
+        (boxed.stats.record_pairs as f64) < 0.2 * plain.stats.record_pairs as f64,
+        "bbox saved too little: {} vs {}",
+        boxed.stats.record_pairs,
+        plain.stats.record_pairs
+    );
+    assert!(boxed.stats.bbox_resolved > 0);
+}
+
+/// Weak-transitivity pruning must actually skip comparisons on correlated
+/// data (where strong dominance chains are common).
+#[test]
+fn transitive_skips_on_correlated_data() {
+    let ds = dataset(Distribution::Correlated, 3000, 0.2);
+    let tr = Algorithm::Transitive.run(&ds, Gamma::DEFAULT);
+    let nl = Algorithm::NestedLoop.run(&ds, Gamma::DEFAULT);
+    assert!(
+        tr.stats.group_pairs < nl.stats.group_pairs,
+        "TR compared as many pairs as NL: {} vs {}",
+        tr.stats.group_pairs,
+        nl.stats.group_pairs
+    );
+    assert!(tr.stats.transitive_skips > 0);
+}
+
+/// Section 3.4 (global optimization): under Zipfian group sizes, visiting
+/// small groups first must reduce record-pair work versus insertion order.
+#[test]
+fn small_groups_first_helps_under_zipf()  {
+    let ds = SyntheticConfig {
+        n_records: 4000,
+        n_groups: 40,
+        group_sizes: GroupSizes::Zipf(1.2),
+        ..SyntheticConfig::paper_default(Distribution::Correlated)
+    }
+    .generate();
+    let unsorted = Algorithm::Sorted.run_with(
+        &ds,
+        AlgoOptions { sort: aggsky::SortStrategy::InsertionOrder, ..AlgoOptions::paper(Gamma::DEFAULT) },
+    );
+    let sorted = Algorithm::Sorted.run_with(
+        &ds,
+        AlgoOptions {
+            sort: aggsky::SortStrategy::SizeThenDistance,
+            ..AlgoOptions::paper(Gamma::DEFAULT)
+        },
+    );
+    assert!(
+        sorted.stats.record_pairs <= unsorted.stats.record_pairs,
+        "size-aware order did not help: {} vs {}",
+        sorted.stats.record_pairs,
+        unsorted.stats.record_pairs
+    );
+}
+
+/// The anytime operator must respect its budget (within one group-pair
+/// resolution of overshoot).
+#[test]
+fn anytime_budget_is_respected() {
+    let ds = dataset(Distribution::Independent, 2000, 0.2);
+    let max_pair = {
+        let m = (0..ds.n_groups()).map(|g| ds.group_len(g) as u64).max().unwrap();
+        m * m
+    };
+    for budget in [100u64, 1_000, 10_000] {
+        let r = aggsky::anytime_skyline(&ds, Gamma::DEFAULT, budget);
+        assert!(
+            r.stats.record_pairs <= budget + max_pair,
+            "budget {budget} exceeded: spent {}",
+            r.stats.record_pairs
+        );
+    }
+}
