@@ -1,14 +1,33 @@
-//! Criterion microbenchmarks, one group per paper figure (reduced sizes so
-//! `cargo bench` completes quickly; the full-size sweeps live in the
-//! `bin/figNN_*` harnesses).
+//! Dependency-free microbenchmarks, one section per paper figure (reduced
+//! sizes so `cargo bench` completes quickly; the full-size sweeps live in
+//! the `bin/figNN_*` harnesses).
+//!
+//! Each case is warmed up once and then timed over a fixed number of
+//! iterations with `std::time::Instant`, reporting the per-iteration mean —
+//! the in-repo [`aggsky_bench::runner`] philosophy (hardware-independent
+//! work counters carry the precision; wall clock gives the rough shape)
+//! applied at micro scale, with no external harness crate required.
 
 use aggsky_core::{Algorithm, Gamma};
 use aggsky_datagen::{
     generate_nba, nba_dataset, Distribution, GroupSizes, NbaGrouping, SyntheticConfig,
 };
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 const BENCH_RECORDS: usize = 2_000;
+
+/// Times `f` over `iters` iterations (after one warm-up call) and prints the
+/// per-iteration mean under `group/name`.
+fn bench<T>(group: &str, name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    let sink = f(); // warm-up; also keeps the closure's work observable
+    std::hint::black_box(&sink);
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per_iter = start.elapsed().as_secs_f64() * 1e3 / iters as f64;
+    println!("{group}/{name}: {per_iter:.3} ms/iter ({iters} iters)");
+}
 
 fn bench_dataset(dist: Distribution, dim: usize, spread: f64) -> aggsky_core::GroupedDataset {
     SyntheticConfig {
@@ -22,9 +41,7 @@ fn bench_dataset(dist: Distribution, dim: usize, spread: f64) -> aggsky_core::Gr
 }
 
 /// Figure 8: the direct SQL baseline (scaled down) vs NL.
-fn fig08_sql_baseline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig08_sql_baseline");
-    group.sample_size(10);
+fn fig08_sql_baseline() {
     let n = 500;
     let ds = SyntheticConfig {
         n_records: n,
@@ -34,51 +51,39 @@ fn fig08_sql_baseline(c: &mut Criterion) {
     }
     .generate();
     let mut db = aggsky_bench::load_sql_baseline(&ds);
-    group.bench_function("sql", |b| b.iter(|| db.execute(aggsky_bench::ALGORITHM_1).unwrap()));
-    group.bench_function("nl", |b| {
-        b.iter(|| Algorithm::NestedLoop.run(&ds, Gamma::DEFAULT))
-    });
-    group.finish();
+    bench("fig08_sql_baseline", "sql", 3, || db.execute(aggsky_bench::ALGORITHM_1).unwrap());
+    bench("fig08_sql_baseline", "nl", 10, || Algorithm::NestedLoop.run(&ds, Gamma::DEFAULT));
 }
 
 /// Figures 10/12: all five algorithms across the three distributions.
-fn fig10_12_algorithms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig10_12_algorithms");
-    group.sample_size(10);
+fn fig10_12_algorithms() {
     for dist in Distribution::ALL {
         let ds = bench_dataset(dist, 5, 0.2);
         for algo in Algorithm::EVALUATED {
-            group.bench_with_input(
-                BenchmarkId::new(algo.short_name(), dist.label()),
-                &ds,
-                |b, ds| b.iter(|| algo.run(ds, Gamma::DEFAULT)),
+            bench(
+                "fig10_12_algorithms",
+                &format!("{}/{}", algo.short_name(), dist.label()),
+                10,
+                || algo.run(&ds, Gamma::DEFAULT),
             );
         }
     }
-    group.finish();
 }
 
 /// Figure 11: low vs high class overlap for IN and NL.
-fn fig11_overlap(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig11_overlap");
-    group.sample_size(10);
+fn fig11_overlap() {
     for spread in [0.1, 0.6] {
         let ds = bench_dataset(Distribution::AntiCorrelated, 5, spread);
         for algo in [Algorithm::NestedLoop, Algorithm::Indexed, Algorithm::IndexedBbox] {
-            group.bench_with_input(
-                BenchmarkId::new(algo.short_name(), format!("spread{spread}")),
-                &ds,
-                |b, ds| b.iter(|| algo.run(ds, Gamma::DEFAULT)),
-            );
+            bench("fig11_overlap", &format!("{}/spread{spread}", algo.short_name()), 10, || {
+                algo.run(&ds, Gamma::DEFAULT)
+            });
         }
     }
-    group.finish();
 }
 
 /// Figure 13(a): Zipfian class sizes, size-aware vs plain ordering.
-fn fig13_zipf(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig13_zipf");
-    group.sample_size(10);
+fn fig13_zipf() {
     let ds = SyntheticConfig {
         n_records: BENCH_RECORDS,
         n_groups: BENCH_RECORDS / 100,
@@ -87,69 +92,54 @@ fn fig13_zipf(c: &mut Criterion) {
     }
     .generate();
     for algo in [Algorithm::NestedLoop, Algorithm::Sorted, Algorithm::Indexed] {
-        group.bench_with_input(BenchmarkId::from_parameter(algo.short_name()), &ds, |b, ds| {
-            b.iter(|| algo.run(ds, Gamma::DEFAULT))
-        });
+        bench("fig13_zipf", algo.short_name(), 10, || algo.run(&ds, Gamma::DEFAULT));
     }
-    group.finish();
 }
 
 /// Figure 14: the NBA stand-in at reduced size.
-fn fig14_nba(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig14_nba");
-    group.sample_size(10);
+fn fig14_nba() {
     let records = generate_nba(3_000, 42);
     for grouping in [NbaGrouping::Team, NbaGrouping::Player] {
         let ds = nba_dataset(&records, grouping, 8);
         for algo in [Algorithm::NestedLoop, Algorithm::IndexedBbox] {
-            group.bench_with_input(
-                BenchmarkId::new(algo.short_name(), grouping.label()),
-                &ds,
-                |b, ds| b.iter(|| algo.run(ds, Gamma::DEFAULT)),
-            );
+            bench("fig14_nba", &format!("{}/{}", algo.short_name(), grouping.label()), 10, || {
+                algo.run(&ds, Gamma::DEFAULT)
+            });
         }
     }
-    group.finish();
 }
 
 /// Substrate microbenches: R-tree window queries and record skylines.
-fn substrates(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrates");
-    group.sample_size(20);
+fn substrates() {
     let pts = aggsky_datagen::ungrouped_records(10_000, 5, Distribution::Independent, 9);
     let tree = aggsky_spatial::RTree::bulk_load(
         5,
         pts.iter().enumerate().map(|(i, p)| (aggsky_spatial::Aabb::point(p), i)).collect(),
     );
-    group.bench_function("rtree_window_query", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            let q = &pts[i % pts.len()];
-            i += 1;
-            tree.window_query(&aggsky_spatial::Aabb::at_least(q)).len()
-        })
+    let mut i = 0usize;
+    bench("substrates", "rtree_window_query", 2_000, || {
+        let q = &pts[i % pts.len()];
+        i += 1;
+        tree.window_query(&aggsky_spatial::Aabb::at_least(q)).len()
     });
     let flat: Vec<f64> =
         aggsky_datagen::ungrouped_records(5_000, 5, Distribution::AntiCorrelated, 11)
             .into_iter()
             .flatten()
             .collect();
-    group.bench_function("record_skyline_bnl", |b| {
-        b.iter(|| aggsky_core::record_skyline::bnl(&flat, 5).len())
+    bench("substrates", "record_skyline_bnl", 20, || {
+        aggsky_core::record_skyline::bnl(&flat, 5).len()
     });
-    group.bench_function("record_skyline_sfs", |b| {
-        b.iter(|| aggsky_core::record_skyline::sfs(&flat, 5).len())
+    bench("substrates", "record_skyline_sfs", 20, || {
+        aggsky_core::record_skyline::sfs(&flat, 5).len()
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    fig08_sql_baseline,
-    fig10_12_algorithms,
-    fig11_overlap,
-    fig13_zipf,
-    fig14_nba,
-    substrates
-);
-criterion_main!(benches);
+fn main() {
+    fig08_sql_baseline();
+    fig10_12_algorithms();
+    fig11_overlap();
+    fig13_zipf();
+    fig14_nba();
+    substrates();
+}

@@ -24,16 +24,9 @@ const MARKERS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
 
 /// Renders series into a `width`×`height` character grid with axes and a
 /// legend. With `log_y`, the y axis is log₁₀-scaled (all y must be > 0).
-pub fn render(
-    title: &str,
-    series: &[Series],
-    width: usize,
-    height: usize,
-    log_y: bool,
-) -> String {
+pub fn render(title: &str, series: &[Series], width: usize, height: usize, log_y: bool) -> String {
     assert!(width >= 16 && height >= 4, "plot area too small");
-    let pts: Vec<(f64, f64)> =
-        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let pts: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
     if pts.is_empty() {
         return format!("{title}\n(no data)\n");
     }
@@ -65,8 +58,8 @@ pub fn render(
         let marker = MARKERS[si % MARKERS.len()];
         for &(x, y) in &s.points {
             let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
-            let cy = ((xform_y(y) - y_min) / (y_max - y_min) * (height - 1) as f64).round()
-                as usize;
+            let cy =
+                ((xform_y(y) - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
             let row = height - 1 - cy;
             // Later series overwrite earlier ones at collisions; the legend
             // disambiguates overall trends.

@@ -38,11 +38,9 @@ fn main() {
         let nl = measure(Algorithm::NestedLoop, &ds, Gamma::DEFAULT);
 
         // Cross-check: both must select the same directors.
-        let mut sql_names: Vec<String> =
-            sql_result.rows.iter().map(|r| r[0].to_string()).collect();
+        let mut sql_names: Vec<String> = sql_result.rows.iter().map(|r| r[0].to_string()).collect();
         sql_names.sort();
-        let mut nl_names: Vec<&str> =
-            nl.result.skyline.iter().map(|&g| ds.label(g)).collect();
+        let mut nl_names: Vec<&str> = nl.result.skyline.iter().map(|&g| ds.label(g)).collect();
         nl_names.sort_unstable();
         assert_eq!(sql_names, nl_names, "SQL and NL disagree at n={n}");
 

@@ -12,8 +12,10 @@ use aggsky_datagen::{Distribution, SyntheticConfig};
 fn main() {
     let cap: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(25_000);
     println!("## Figure 12 — runtime (ms) vs records (d=5, 100 rec/class)\n");
-    let sweep: Vec<usize> =
-        [2_500usize, 5_000, 10_000, 15_000, 20_000, 25_000].into_iter().filter(|&n| n <= cap).collect();
+    let sweep: Vec<usize> = [2_500usize, 5_000, 10_000, 15_000, 20_000, 25_000]
+        .into_iter()
+        .filter(|&n| n <= cap)
+        .collect();
     for dist in Distribution::ALL {
         println!("### {} data\n", dist.label());
         let mut headers = vec!["records".to_string()];

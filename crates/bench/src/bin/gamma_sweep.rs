@@ -39,8 +39,12 @@ fn main() {
     println!("## Anytime operator — decided groups vs record-pair budget (gamma = 0.5)\n");
     let full = anytime_skyline(&ds, Gamma::DEFAULT, u64::MAX);
     let full_cost = full.stats.record_pairs.max(1);
-    let mut table =
-        MarkdownTable::new(vec!["budget (% of full)", "confirmed in", "confirmed out", "undecided"]);
+    let mut table = MarkdownTable::new(vec![
+        "budget (% of full)",
+        "confirmed in",
+        "confirmed out",
+        "undecided",
+    ]);
     for pct in [0u64, 1, 5, 10, 25, 50, 100] {
         let budget = full_cost * pct / 100;
         let r = anytime_skyline(&ds, Gamma::DEFAULT, budget);

@@ -1,0 +1,267 @@
+//! Benchmark of the blocked counting kernel and the work-stealing parallel
+//! scheduler, the two performance layers that sit below every algorithm.
+//!
+//! Two experiments:
+//!
+//! 1. **Kernel** — NL over a 1000-group independent workload with the
+//!    exhaustive record-loop kernel vs. the blocked kernel (sorted groups,
+//!    block corners, O(1) full/skip classification). The figure of merit is
+//!    hardware-independent: record pairs actually tested.
+//! 2. **Scheduler** — the parallel extension with the static strided
+//!    partition vs. the atomic-counter chunk scheduler, on a Zipf-sized
+//!    workload where a few giant groups strand strided workers. Each
+//!    group's scan cost is measured sequentially, then the makespan of both
+//!    schedulers at 4 workers is computed from those measured costs (this
+//!    is the wall clock each policy produces on a 4-core machine; measured
+//!    end-to-end times are also reported, but on a machine with fewer
+//!    hardware threads than workers they degenerate to the serialized sum
+//!    and cannot separate the schedulers).
+//!
+//! Prints markdown tables and writes the raw numbers to
+//! `BENCH_kernel.json` in the current directory (hand-rendered JSON; the
+//! workspace has no serde).
+//!
+//! Usage: `kernel_bench [records] [repeats]` (defaults 30000, 3).
+
+use aggsky_bench::report::fmt_ms;
+use aggsky_bench::MarkdownTable;
+use aggsky_core::paircount::{compare_groups, PairOptions};
+use aggsky_core::{
+    parallel_skyline_strided, parallel_skyline_with, AlgoOptions, Algorithm, Gamma, GroupedDataset,
+    KernelConfig, Mbb, SkylineResult, Stats,
+};
+use aggsky_datagen::{Distribution, GroupSizes, SyntheticConfig};
+use aggsky_spatial::{Aabb, RTree};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Best-of-`repeats` wall time in ms, plus the (identical) last result.
+fn time<F: Fn() -> SkylineResult>(repeats: usize, f: F) -> (f64, SkylineResult) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        result = Some(r);
+    }
+    (best, result.unwrap())
+}
+
+/// Best-of-`repeats` sequential wall time in ms of each group's dominator
+/// scan — the unit of work both schedulers distribute (mirrors the worker
+/// loop in `parallel_skyline`).
+fn per_group_costs(ds: &GroupedDataset, gamma: Gamma, repeats: usize) -> Vec<f64> {
+    let boxes = Mbb::of_all_groups(ds);
+    let tree = RTree::bulk_load(
+        ds.dim(),
+        boxes.iter().enumerate().map(|(g, b)| (Aabb::point(&b.max), g)).collect(),
+    );
+    let opts = PairOptions { stop_rule: true, need_bar: false, corrected_bar: false };
+    let mut costs = vec![f64::INFINITY; ds.n_groups()];
+    let mut candidates = Vec::new();
+    for _ in 0..repeats.max(1) {
+        for g1 in ds.group_ids() {
+            let start = Instant::now();
+            tree.window_query_into(&Aabb::at_least(&boxes[g1].min), &mut candidates);
+            let mut stats = Stats::default();
+            for &g2 in candidates.iter() {
+                if g2 == g1 {
+                    continue;
+                }
+                let v = compare_groups(
+                    ds,
+                    g2,
+                    g1,
+                    gamma,
+                    Some((&boxes[g2], &boxes[g1])),
+                    opts,
+                    &mut stats,
+                );
+                if v.forward.dominates() {
+                    break;
+                }
+            }
+            costs[g1] = costs[g1].min(start.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    costs
+}
+
+/// Wall clock of the static strided partition: worker `t` processes groups
+/// `t, t+T, …` back to back, so the makespan is the slowest worker's sum.
+fn strided_makespan(costs: &[f64], threads: usize) -> f64 {
+    (0..threads).map(|t| costs.iter().skip(t).step_by(threads).sum()).fold(0.0f64, f64::max)
+}
+
+/// Wall clock of the atomic-counter chunk scheduler: workers grab the next
+/// chunk whenever they finish one, i.e. greedy list scheduling over chunks.
+fn work_stealing_makespan(costs: &[f64], threads: usize) -> f64 {
+    let chunk = (costs.len() / (threads * 8)).max(1);
+    let mut workers = vec![0.0f64; threads];
+    for c in costs.chunks(chunk) {
+        let next: f64 = c.iter().sum();
+        let idlest =
+            workers.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap();
+        workers[idlest] += next;
+    }
+    workers.iter().fold(0.0f64, |a, &b| a.max(b))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let records: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(30_000);
+    let repeats: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let gamma = Gamma::DEFAULT;
+
+    // ---- Experiment 1: counting kernel, 1k-group independent workload ----
+    let kernel_ds = SyntheticConfig {
+        n_records: records,
+        n_groups: 1000,
+        ..SyntheticConfig::paper_default(Distribution::Independent)
+    }
+    .generate();
+
+    let exhaustive = AlgoOptions::paper(gamma);
+    let blocked = AlgoOptions { kernel: KernelConfig::blocked(), ..exhaustive };
+    let (t_ex, r_ex) = time(repeats, || Algorithm::NestedLoop.run_with(&kernel_ds, exhaustive));
+    let (t_bl, r_bl) = time(repeats, || Algorithm::NestedLoop.run_with(&kernel_ds, blocked));
+    assert_eq!(r_ex.skyline, r_bl.skyline, "kernels must agree");
+    let ratio = r_ex.stats.record_pairs as f64 / r_bl.stats.record_pairs.max(1) as f64;
+
+    println!(
+        "## Counting kernel — NL, independent, {} records / {} groups, d={}\n",
+        kernel_ds.n_records(),
+        kernel_ds.n_groups(),
+        kernel_ds.dim()
+    );
+    let mut table = MarkdownTable::new(vec![
+        "kernel",
+        "ms",
+        "record pairs tested",
+        "blocks full",
+        "blocks skipped",
+    ]);
+    table.push_row(vec![
+        "exhaustive".to_string(),
+        fmt_ms(t_ex),
+        r_ex.stats.record_pairs.to_string(),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
+    table.push_row(vec![
+        "blocked".to_string(),
+        fmt_ms(t_bl),
+        r_bl.stats.record_pairs.to_string(),
+        r_bl.stats.blocks_full.to_string(),
+        r_bl.stats.blocks_skipped.to_string(),
+    ]);
+    table.print();
+    println!("\nrecord-comparison reduction: {ratio:.1}x\n");
+
+    // ---- Experiment 2: parallel scheduler on a skewed workload ----
+    let skew_ds = SyntheticConfig {
+        n_records: records,
+        n_groups: (records / 500).max(8),
+        group_sizes: GroupSizes::Zipf(1.4),
+        ..SyntheticConfig::paper_default(Distribution::AntiCorrelated)
+    }
+    .generate();
+    let threads = 4usize;
+
+    // Measure each group's scan cost sequentially (same per-group work the
+    // parallel workers execute: window query + one-directional stop-rule
+    // comparisons until a dominator is found).
+    let group_costs = per_group_costs(&skew_ds, gamma, repeats);
+    let total: f64 = group_costs.iter().sum();
+    let strided_makespan = strided_makespan(&group_costs, threads);
+    let stealing_makespan = work_stealing_makespan(&group_costs, threads);
+
+    println!(
+        "\n## Parallel scheduler — anticorrelated Zipf(1.4), {} records / {} groups, {threads} workers\n",
+        skew_ds.n_records(),
+        skew_ds.n_groups()
+    );
+    let mut table = MarkdownTable::new(vec!["scheduler", "makespan ms", "vs ideal"]);
+    let ideal = total / threads as f64;
+    table.push_row(vec![
+        "strided (seed)".to_string(),
+        fmt_ms(strided_makespan),
+        format!("{:.2}x", strided_makespan / ideal),
+    ]);
+    table.push_row(vec![
+        "work-stealing".to_string(),
+        fmt_ms(stealing_makespan),
+        format!("{:.2}x", stealing_makespan / ideal),
+    ]);
+    table.print();
+    println!(
+        "\nmakespans computed from measured per-group costs ({} ms total work, ideal {} ms)",
+        fmt_ms(total),
+        fmt_ms(ideal)
+    );
+
+    // End-to-end wall clocks of the two real implementations, for reference.
+    let (t_str, r_str) = time(repeats, || parallel_skyline_strided(&skew_ds, gamma, threads));
+    let (t_chk, r_chk) =
+        time(repeats, || parallel_skyline_with(&skew_ds, gamma, threads, KernelConfig::Exhaustive));
+    assert_eq!(r_str.skyline, r_chk.skyline, "schedulers must agree");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "measured end-to-end on this machine ({cores} hardware threads): \
+         strided {} ms, work-stealing {} ms",
+        fmt_ms(t_str),
+        fmt_ms(t_chk)
+    );
+
+    // ---- Raw numbers as JSON ----
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"workload\": {{").unwrap();
+    writeln!(json, "    \"records\": {},", kernel_ds.n_records()).unwrap();
+    writeln!(json, "    \"groups\": {},", kernel_ds.n_groups()).unwrap();
+    writeln!(json, "    \"dim\": {},", kernel_ds.dim()).unwrap();
+    writeln!(json, "    \"distribution\": \"independent\"").unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"kernel\": {{").unwrap();
+    writeln!(
+        json,
+        "    \"exhaustive\": {{ \"millis\": {t_ex:.3}, \"record_pairs\": {} }},",
+        r_ex.stats.record_pairs
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"blocked\": {{ \"millis\": {t_bl:.3}, \"record_pairs\": {}, \"blocks_full\": {}, \"blocks_skipped\": {}, \"records_compared\": {} }},",
+        r_bl.stats.record_pairs,
+        r_bl.stats.blocks_full,
+        r_bl.stats.blocks_skipped,
+        r_bl.stats.records_compared
+    )
+    .unwrap();
+    writeln!(json, "    \"record_comparison_ratio\": {ratio:.2}").unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"scheduler\": {{").unwrap();
+    writeln!(json, "    \"threads\": {threads},").unwrap();
+    writeln!(json, "    \"groups\": {},", skew_ds.n_groups()).unwrap();
+    writeln!(json, "    \"group_sizes\": \"zipf(1.4)\",").unwrap();
+    writeln!(json, "    \"total_work_millis\": {total:.3},").unwrap();
+    writeln!(json, "    \"strided_millis\": {strided_makespan:.3},").unwrap();
+    writeln!(json, "    \"work_stealing_millis\": {stealing_makespan:.3},").unwrap();
+    writeln!(json, "    \"speedup\": {:.3},", strided_makespan / stealing_makespan).unwrap();
+    writeln!(
+        json,
+        "    \"makespan_basis\": \"computed from measured sequential per-group scan costs\","
+    )
+    .unwrap();
+    writeln!(json, "    \"hardware_threads\": {cores},").unwrap();
+    writeln!(
+        json,
+        "    \"measured_end_to_end\": {{ \"strided_millis\": {t_str:.3}, \"work_stealing_millis\": {t_chk:.3} }}"
+    )
+    .unwrap();
+    writeln!(json, "  }}").unwrap();
+    writeln!(json, "}}").unwrap();
+    std::fs::write("BENCH_kernel.json", &json).expect("write BENCH_kernel.json");
+    println!("\nwrote BENCH_kernel.json");
+}

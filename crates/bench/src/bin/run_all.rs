@@ -7,11 +7,8 @@ use std::process::Command;
 
 fn main() {
     let quick = std::env::args().nth(1).map(|a| a == "quick").unwrap_or(false);
-    let exe_dir = std::env::current_exe()
-        .expect("current exe path")
-        .parent()
-        .expect("exe dir")
-        .to_path_buf();
+    let exe_dir =
+        std::env::current_exe().expect("current exe path").parent().expect("exe dir").to_path_buf();
     let jobs: Vec<(&str, Vec<String>)> = vec![
         ("table2_directors", vec![]),
         ("fig08_sql", vec![if quick { "2000" } else { "8000" }.to_string()]),

@@ -26,7 +26,12 @@ fn main() {
         let ri = ds.group_by_label(r).expect("known director");
         let p = domination_probability(&ds, si, ri);
         assert_eq!((p * 100.0).round() / 100.0, expect, "{s} vs {r}");
-        table.push_row(vec![s.to_string(), r.to_string(), format!("{p:.4}"), format!("{expect:.2}")]);
+        table.push_row(vec![
+            s.to_string(),
+            r.to_string(),
+            format!("{p:.4}"),
+            format!("{expect:.2}"),
+        ]);
     }
     table.print();
 

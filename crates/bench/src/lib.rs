@@ -20,5 +20,5 @@ pub mod sql_baseline;
 
 pub use asciiplot::{render, Series};
 pub use report::MarkdownTable;
-pub use sql_baseline::{load_sql_baseline, ALGORITHM_1};
 pub use runner::{measure, measure_all, Measurement};
+pub use sql_baseline::{load_sql_baseline, ALGORITHM_1};

@@ -60,13 +60,8 @@ mod tests {
         }
         .generate();
         let mut db = load_sql_baseline(&ds);
-        let mut sql: Vec<String> = db
-            .execute(ALGORITHM_1)
-            .unwrap()
-            .rows
-            .into_iter()
-            .map(|r| r[0].to_string())
-            .collect();
+        let mut sql: Vec<String> =
+            db.execute(ALGORITHM_1).unwrap().rows.into_iter().map(|r| r[0].to_string()).collect();
         sql.sort();
         let oracle = naive_skyline(&ds, Gamma::DEFAULT);
         let mut core: Vec<String> =

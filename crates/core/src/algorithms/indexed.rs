@@ -1,13 +1,13 @@
 //! IN and LO: the index-based algorithm (Algorithm 5), optionally with the
 //! Figure 9 bounding-box approximation.
 
-use super::{
-    apply_verdict, build_order, collect_result, AlgoOptions, SkylineResult, Status,
-};
 use super::nested_loop::split_two;
+use super::{
+    apply_verdict, build_order, collect_result, kernel_boxes, AlgoOptions, SkylineResult, Status,
+};
 use crate::dataset::GroupedDataset;
-use crate::mbb::Mbb;
-use crate::paircount::{compare_groups, PairOptions};
+use crate::kernel::Kernel;
+use crate::paircount::PairOptions;
 use crate::stats::Stats;
 use aggsky_spatial::{Aabb, RTree};
 
@@ -17,18 +17,21 @@ use aggsky_spatial::{Aabb, RTree};
 /// `[g1.min, ∞)`. With `opts.bbox_prune` the pairwise comparison also uses
 /// the Figure 9 region decomposition (the paper's "LO" configuration).
 pub fn indexed(ds: &GroupedDataset, opts: &AlgoOptions) -> SkylineResult {
+    indexed_on(&Kernel::new(ds, opts.kernel), opts)
+}
+
+/// [`indexed`] over a pre-built kernel.
+pub(super) fn indexed_on(kernel: &Kernel<'_>, opts: &AlgoOptions) -> SkylineResult {
+    let ds = kernel.dataset();
     let n = ds.n_groups();
     let mut statuses = vec![Status::Live; n];
     let mut stats = Stats::default();
-    let boxes = Mbb::of_all_groups(ds);
-    let order = build_order(ds, &boxes, opts.sort);
+    let mut owned_boxes = None;
+    let boxes = kernel_boxes(kernel, &mut owned_boxes);
+    let order = build_order(ds, boxes, opts.sort);
     let tree = RTree::bulk_load(
         ds.dim(),
-        boxes
-            .iter()
-            .enumerate()
-            .map(|(g, b)| (Aabb::point(&b.max), g))
-            .collect(),
+        boxes.iter().enumerate().map(|(g, b)| (Aabb::point(&b.max), g)).collect(),
     );
     let pair_opts: PairOptions = opts.pruning.pair_options(opts.stop_rule);
     let strong_marks = opts.pruning.uses_strong_marks();
@@ -58,8 +61,7 @@ pub fn indexed(ds: &GroupedDataset, opts: &AlgoOptions) -> SkylineResult {
                 continue;
             }
             let pair_boxes = opts.bbox_prune.then(|| (&boxes[g1], &boxes[g2]));
-            let verdict =
-                compare_groups(ds, g1, g2, opts.gamma, pair_boxes, pair_opts, &mut stats);
+            let verdict = kernel.compare(g1, g2, opts.gamma, pair_boxes, pair_opts, &mut stats);
             let (s1, s2) = split_two(&mut statuses, g1, g2);
             apply_verdict(verdict, s1, s2, opts.pruning);
             if strong_marks && statuses[g1] == Status::StronglyDominated {
@@ -89,8 +91,7 @@ mod tests {
         let ds = movie_directors();
         for gamma in [0.5, 0.7, 1.0] {
             for bbox in [false, true] {
-                let result =
-                    indexed(&ds, &AlgoOptions { bbox_prune: bbox, ..paper(gamma) });
+                let result = indexed(&ds, &AlgoOptions { bbox_prune: bbox, ..paper(gamma) });
                 let oracle = naive_skyline(&ds, Gamma::new(gamma).unwrap());
                 assert_eq!(result.skyline, oracle.skyline, "gamma={gamma} bbox={bbox}");
             }

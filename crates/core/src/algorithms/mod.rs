@@ -34,11 +34,14 @@ mod transitive;
 pub use indexed::indexed;
 pub use naive::naive_skyline;
 pub use nested_loop::nested_loop;
-pub use parallel::parallel_skyline;
+pub use parallel::{
+    parallel_skyline, parallel_skyline_strided, parallel_skyline_with, resolve_threads,
+};
 pub use transitive::{sorted, transitive};
 
 use crate::dataset::{GroupId, GroupedDataset};
 use crate::gamma::Gamma;
+use crate::kernel::{Kernel, KernelConfig};
 use crate::mbb::Mbb;
 use crate::paircount::{DomLevel, PairVerdict};
 use crate::stats::Stats;
@@ -139,6 +142,10 @@ pub struct AlgoOptions {
     pub pruning: Pruning,
     /// Outer-loop visiting order for [`sorted`] and [`indexed`].
     pub sort: SortStrategy,
+    /// Record-counting kernel used inside every pair comparison (see
+    /// [`KernelConfig`]); `Blocked` preprocesses each group once and counts
+    /// block-at-a-time.
+    pub kernel: KernelConfig,
 }
 
 impl AlgoOptions {
@@ -150,12 +157,19 @@ impl AlgoOptions {
             bbox_prune: false,
             pruning: Pruning::Paper,
             sort: SortStrategy::SizeThenDistance,
+            kernel: KernelConfig::Exhaustive,
         }
     }
 
     /// Exact-pruning configuration (always oracle-equivalent).
     pub fn exact(gamma: Gamma) -> Self {
         AlgoOptions { pruning: Pruning::Exact, ..AlgoOptions::paper(gamma) }
+    }
+
+    /// The paper configuration with the blocked counting kernel at the
+    /// default block size.
+    pub fn blocked(gamma: Gamma) -> Self {
+        AlgoOptions { kernel: KernelConfig::blocked(), ..AlgoOptions::paper(gamma) }
     }
 }
 
@@ -206,16 +220,35 @@ impl Algorithm {
     /// Runs this algorithm with explicit options (`bbox_prune` and `sort`
     /// are overridden where the algorithm's identity requires it).
     pub fn run_with(self, ds: &GroupedDataset, opts: AlgoOptions) -> SkylineResult {
+        let kernel = Kernel::new(ds, opts.kernel);
+        self.run_on(&kernel, opts)
+    }
+
+    /// Runs this algorithm over an existing preparation, skipping the
+    /// per-run [`crate::PreparedDataset::build`] cost (`opts.kernel` is
+    /// ignored; the blocked kernel is always active). The preparation must
+    /// have been built from `ds`.
+    pub fn run_prepared(
+        self,
+        ds: &GroupedDataset,
+        prep: &crate::prepared::PreparedDataset,
+        opts: AlgoOptions,
+    ) -> SkylineResult {
+        let kernel = Kernel::with_prepared(ds, prep);
+        self.run_on(&kernel, opts)
+    }
+
+    fn run_on(self, kernel: &Kernel<'_>, opts: AlgoOptions) -> SkylineResult {
         match self {
-            Algorithm::Naive => naive_skyline(ds, opts.gamma),
-            Algorithm::NestedLoop => nested_loop(ds, &opts),
-            Algorithm::Transitive => transitive(ds, &opts),
-            Algorithm::Sorted => sorted(ds, &opts),
+            Algorithm::Naive => naive_skyline(kernel.dataset(), opts.gamma),
+            Algorithm::NestedLoop => nested_loop::nested_loop_on(kernel, &opts),
+            Algorithm::Transitive => transitive::transitive_on(kernel, &opts),
+            Algorithm::Sorted => transitive::sorted_on(kernel, &opts),
             Algorithm::Indexed => {
-                indexed(ds, &AlgoOptions { bbox_prune: false, ..opts })
+                indexed::indexed_on(kernel, &AlgoOptions { bbox_prune: false, ..opts })
             }
             Algorithm::IndexedBbox => {
-                indexed(ds, &AlgoOptions { bbox_prune: true, ..opts })
+                indexed::indexed_on(kernel, &AlgoOptions { bbox_prune: true, ..opts })
             }
         }
     }
@@ -247,13 +280,22 @@ pub(crate) fn apply_verdict(
 
 /// Collects the surviving groups in ascending id order.
 pub(crate) fn collect_result(statuses: &[Status], stats: Stats) -> SkylineResult {
-    let skyline = statuses
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| **s == Status::Live)
-        .map(|(g, _)| g)
-        .collect();
+    let skyline =
+        statuses.iter().enumerate().filter(|(_, s)| **s == Status::Live).map(|(g, _)| g).collect();
     SkylineResult { skyline, stats }
+}
+
+/// Group bounding boxes for an algorithm run: reuses the ones the kernel's
+/// preparation already computed, falling back to a fresh
+/// [`Mbb::of_all_groups`] pass in exhaustive mode (stored in `owned`).
+pub(crate) fn kernel_boxes<'a>(
+    kernel: &'a Kernel<'_>,
+    owned: &'a mut Option<Vec<Mbb>>,
+) -> &'a [Mbb] {
+    match kernel.group_mbbs() {
+        Some(b) => b,
+        None => owned.insert(Mbb::of_all_groups(kernel.dataset())),
+    }
 }
 
 /// Computes the outer-loop visiting order for a sort strategy.
@@ -272,9 +314,7 @@ pub(crate) fn build_order(
         SortStrategy::SizeThenDistance => {
             let key: Vec<f64> = boxes.iter().map(Mbb::min_corner_norm).collect();
             order.sort_by(|&a, &b| {
-                ds.group_len(a)
-                    .cmp(&ds.group_len(b))
-                    .then_with(|| key[b].total_cmp(&key[a]))
+                ds.group_len(a).cmp(&ds.group_len(b)).then_with(|| key[b].total_cmp(&key[a]))
             });
         }
     }

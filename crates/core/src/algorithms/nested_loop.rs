@@ -1,29 +1,37 @@
 //! NL: the nested-loop algorithm (Algorithm 2) with the Section 3.3 stop
 //! condition.
 
-use super::{apply_verdict, collect_result, AlgoOptions, Pruning, SkylineResult, Status};
+use super::{
+    apply_verdict, collect_result, kernel_boxes, AlgoOptions, Pruning, SkylineResult, Status,
+};
 use crate::dataset::GroupedDataset;
-use crate::mbb::Mbb;
-use crate::paircount::{compare_groups, PairOptions};
+use crate::kernel::Kernel;
+use crate::paircount::PairOptions;
 use crate::stats::Stats;
 
 /// Compares every unordered pair of groups once, resolving both directions
-/// per comparison (Algorithm 2). Honors `opts.stop_rule` and
-/// `opts.bbox_prune`; ignores `opts.pruning` and `opts.sort` (plain NL never
+/// per comparison (Algorithm 2). Honors `opts.stop_rule`, `opts.bbox_prune`
+/// and `opts.kernel`; ignores `opts.pruning` and `opts.sort` (plain NL never
 /// skips a pair and visits groups in insertion order).
 pub fn nested_loop(ds: &GroupedDataset, opts: &AlgoOptions) -> SkylineResult {
-    let n = ds.n_groups();
+    nested_loop_on(&Kernel::new(ds, opts.kernel), opts)
+}
+
+/// [`nested_loop`] over a pre-built kernel.
+pub(super) fn nested_loop_on(kernel: &Kernel<'_>, opts: &AlgoOptions) -> SkylineResult {
+    let n = kernel.dataset().n_groups();
     let mut statuses = vec![Status::Live; n];
     let mut stats = Stats::default();
-    let boxes = opts.bbox_prune.then(|| Mbb::of_all_groups(ds));
+    let mut owned_boxes = None;
+    let boxes = opts.bbox_prune.then(|| kernel_boxes(kernel, &mut owned_boxes));
     // NL never acts on strong (γ̄) marks, so the cheaper γ-only counting
     // mode is used: the stop rule fires as soon as the γ question settles.
-    let pair_opts = PairOptions { stop_rule: opts.stop_rule, need_bar: false, corrected_bar: false };
+    let pair_opts =
+        PairOptions { stop_rule: opts.stop_rule, need_bar: false, corrected_bar: false };
     for g1 in 0..n {
         for g2 in (g1 + 1)..n {
-            let pair_boxes = boxes.as_ref().map(|b| (&b[g1], &b[g2]));
-            let verdict =
-                compare_groups(ds, g1, g2, opts.gamma, pair_boxes, pair_opts, &mut stats);
+            let pair_boxes = boxes.map(|b| (&b[g1], &b[g2]));
+            let verdict = kernel.compare(g1, g2, opts.gamma, pair_boxes, pair_opts, &mut stats);
             let (left, right) = split_two(&mut statuses, g1, g2);
             apply_verdict(verdict, left, right, Pruning::Exact);
         }
@@ -77,8 +85,7 @@ mod tests {
         }
         let ds = b.build().unwrap();
         let with = nested_loop(&ds, &opts(0.5));
-        let without =
-            nested_loop(&ds, &AlgoOptions { stop_rule: false, ..opts(0.5) });
+        let without = nested_loop(&ds, &AlgoOptions { stop_rule: false, ..opts(0.5) });
         assert_eq!(with.skyline, without.skyline);
         assert!(
             with.stats.record_pairs < without.stats.record_pairs,

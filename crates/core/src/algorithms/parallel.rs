@@ -7,25 +7,80 @@
 //! unordered pair). Candidate dominators are still pruned with the same
 //! spatial window as Algorithm 5, and each candidate comparison uses the
 //! stopping rule in one-directional mode.
+//!
+//! Work is distributed with an atomic-counter chunk scheduler: workers grab
+//! the next chunk of group ids whenever they finish one, so a few expensive
+//! groups (large, or dominated late) cannot strand the other workers the
+//! way a static partition can. The previous static strided partition is
+//! kept as [`parallel_skyline_strided`] for ablation benchmarks.
 
 use super::{SkylineResult, Status};
 use crate::dataset::{GroupId, GroupedDataset};
 use crate::gamma::Gamma;
-use crate::mbb::Mbb;
-use crate::paircount::{compare_groups, PairOptions};
+use crate::kernel::{Kernel, KernelConfig};
+use crate::paircount::PairOptions;
 use crate::stats::Stats;
 use aggsky_spatial::{Aabb, RTree};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Computes the aggregate skyline with `threads` worker threads.
+/// Resolves a requested thread count: `0` means "use all available
+/// hardware parallelism" (falling back to 1 when it cannot be queried).
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Computes the aggregate skyline with `threads` worker threads
+/// (`threads = 0` uses [`resolve_threads`]) and dynamic chunk scheduling.
 ///
 /// Always returns the exact skyline (it is a parallelization of the naive
 /// definition with index-based candidate pruning, not of the heuristic
 /// Algorithm 3). `threads = 1` degenerates to a sequential scan and is
 /// useful for ablation.
 pub fn parallel_skyline(ds: &GroupedDataset, gamma: Gamma, threads: usize) -> SkylineResult {
+    parallel_skyline_with(ds, gamma, threads, KernelConfig::Exhaustive)
+}
+
+/// [`parallel_skyline`] with an explicit counting kernel; the preparation
+/// (when blocked) is built once and shared by all workers.
+pub fn parallel_skyline_with(
+    ds: &GroupedDataset,
+    gamma: Gamma,
+    threads: usize,
+    config: KernelConfig,
+) -> SkylineResult {
+    let kernel = Kernel::new(ds, config);
+    run(&kernel, gamma, resolve_threads(threads), Scheduler::Chunked)
+}
+
+/// The pre-work-stealing scheduler: a static strided partition (worker `t`
+/// of `T` processes groups `t, t+T, t+2T, …`). Retained solely so the
+/// benchmarks can measure what dynamic chunk scheduling buys; new callers
+/// should use [`parallel_skyline`].
+pub fn parallel_skyline_strided(
+    ds: &GroupedDataset,
+    gamma: Gamma,
+    threads: usize,
+) -> SkylineResult {
+    let kernel = Kernel::new(ds, KernelConfig::Exhaustive);
+    run(&kernel, gamma, resolve_threads(threads), Scheduler::Strided)
+}
+
+#[derive(Clone, Copy)]
+enum Scheduler {
+    Chunked,
+    Strided,
+}
+
+fn run(kernel: &Kernel<'_>, gamma: Gamma, threads: usize, scheduler: Scheduler) -> SkylineResult {
+    let ds = kernel.dataset();
     let threads = threads.max(1);
     let n = ds.n_groups();
-    let boxes = Mbb::of_all_groups(ds);
+    let mut owned_boxes = None;
+    let boxes = super::kernel_boxes(kernel, &mut owned_boxes);
     let tree = RTree::bulk_load(
         ds.dim(),
         boxes.iter().enumerate().map(|(g, b)| (Aabb::point(&b.max), g)).collect(),
@@ -39,15 +94,8 @@ pub fn parallel_skyline(ds: &GroupedDataset, gamma: Gamma, threads: usize) -> Sk
             if g2 == g1 {
                 continue;
             }
-            let verdict = compare_groups(
-                ds,
-                g2,
-                g1,
-                gamma,
-                Some((&boxes[g2], &boxes[g1])),
-                pair_opts,
-                stats,
-            );
+            let verdict =
+                kernel.compare(g2, g1, gamma, Some((&boxes[g2], &boxes[g1])), pair_opts, stats);
             if verdict.forward.dominates() {
                 return Status::Dominated;
             }
@@ -63,21 +111,37 @@ pub fn parallel_skyline(ds: &GroupedDataset, gamma: Gamma, threads: usize) -> Sk
         return super::collect_result(&statuses, stats);
     }
 
+    // Chunk size trades scheduling overhead (one fetch_add per chunk)
+    // against load balance (smaller chunks spread stragglers better);
+    // aiming for ~8 chunks per worker keeps both negligible.
+    let chunk = (n / (threads * 8)).max(1);
+    let next = AtomicUsize::new(0);
     let mut all: Vec<(Vec<(GroupId, Status)>, Stats)> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads.min(n) {
             let process = &process;
-            // Strided assignment balances the work: expensive (large,
-            // dominated-late) groups tend to cluster by id, so contiguous
-            // chunks would leave some workers idle.
+            let next = &next;
             handles.push(scope.spawn(move || {
                 let mut stats = Stats::default();
                 let mut candidates = Vec::new();
-                let part: Vec<(GroupId, Status)> = (t..n)
-                    .step_by(threads)
-                    .map(|g| (g, process(g, &mut candidates, &mut stats)))
-                    .collect();
+                let mut part: Vec<(GroupId, Status)> = Vec::new();
+                match scheduler {
+                    Scheduler::Chunked => loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for g in start..(start + chunk).min(n) {
+                            part.push((g, process(g, &mut candidates, &mut stats)));
+                        }
+                    },
+                    Scheduler::Strided => {
+                        for g in (t..n).step_by(threads) {
+                            part.push((g, process(g, &mut candidates, &mut stats)));
+                        }
+                    }
+                }
                 (part, stats)
             }));
         }
@@ -124,6 +188,36 @@ mod tests {
                 assert_eq!(result.skyline, oracle.skyline, "seed={seed}");
             }
         }
+    }
+
+    #[test]
+    fn strided_and_chunked_schedulers_agree() {
+        for seed in 0..5 {
+            let ds = random_dataset(30, 5, 3, 8000 + seed);
+            let chunked = parallel_skyline(&ds, Gamma::DEFAULT, 3);
+            let strided = parallel_skyline_strided(&ds, Gamma::DEFAULT, 3);
+            assert_eq!(chunked.skyline, strided.skyline, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn blocked_kernel_matches_oracle_in_parallel() {
+        for seed in 0..5 {
+            let ds = random_dataset(20, 10, 3, 8100 + seed);
+            let result = parallel_skyline_with(&ds, Gamma::DEFAULT, 4, KernelConfig::blocked());
+            let oracle = naive_skyline(&ds, Gamma::DEFAULT);
+            assert_eq!(result.skyline, oracle.skyline, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+        let ds = movie_directors();
+        let result = parallel_skyline(&ds, Gamma::DEFAULT, 0);
+        let oracle = naive_skyline(&ds, Gamma::DEFAULT);
+        assert_eq!(result.skyline, oracle.skyline);
     }
 
     #[test]

@@ -3,38 +3,54 @@
 
 use super::nested_loop::split_two;
 use super::{
-    apply_verdict, build_order, collect_result, AlgoOptions, SkylineResult, Status,
+    apply_verdict, build_order, collect_result, kernel_boxes, AlgoOptions, SkylineResult, Status,
 };
 use crate::dataset::{GroupId, GroupedDataset};
+use crate::kernel::Kernel;
 use crate::mbb::Mbb;
-use crate::paircount::{compare_groups, PairOptions};
+use crate::paircount::PairOptions;
 use crate::stats::Stats;
 
 /// TR: nested loop with weak-transitivity pruning (Algorithm 3), visiting
 /// groups in insertion order.
 pub fn transitive(ds: &GroupedDataset, opts: &AlgoOptions) -> SkylineResult {
-    let boxes = opts.bbox_prune.then(|| Mbb::of_all_groups(ds));
+    transitive_on(&Kernel::new(ds, opts.kernel), opts)
+}
+
+/// [`transitive`] over a pre-built kernel.
+pub(super) fn transitive_on(kernel: &Kernel<'_>, opts: &AlgoOptions) -> SkylineResult {
+    let ds = kernel.dataset();
+    let mut owned_boxes = None;
+    let boxes = opts.bbox_prune.then(|| kernel_boxes(kernel, &mut owned_boxes));
     let order: Vec<GroupId> = ds.group_ids().collect();
-    run_pairwise(ds, opts, &order, boxes.as_deref())
+    run_pairwise(kernel, opts, &order, boxes)
 }
 
 /// SI: the sorted variant (Algorithm 4). Groups are visited in the order of
 /// `opts.sort` (the paper's evaluation sorts by group size and the distance
 /// of the MBB minimum corner from the origin); otherwise identical to TR.
 pub fn sorted(ds: &GroupedDataset, opts: &AlgoOptions) -> SkylineResult {
-    let boxes = Mbb::of_all_groups(ds);
-    let order = build_order(ds, &boxes, opts.sort);
-    let boxes_opt = opts.bbox_prune.then_some(&boxes[..]);
-    run_pairwise(ds, opts, &order, boxes_opt)
+    sorted_on(&Kernel::new(ds, opts.kernel), opts)
+}
+
+/// [`sorted`] over a pre-built kernel.
+pub(super) fn sorted_on(kernel: &Kernel<'_>, opts: &AlgoOptions) -> SkylineResult {
+    let ds = kernel.dataset();
+    let mut owned_boxes = None;
+    let boxes = kernel_boxes(kernel, &mut owned_boxes);
+    let order = build_order(ds, boxes, opts.sort);
+    let boxes_opt = opts.bbox_prune.then_some(boxes);
+    run_pairwise(kernel, opts, &order, boxes_opt)
 }
 
 /// The Algorithm 3 loop over an arbitrary visiting order.
 pub(super) fn run_pairwise(
-    ds: &GroupedDataset,
+    kernel: &Kernel<'_>,
     opts: &AlgoOptions,
     order: &[GroupId],
     boxes: Option<&[Mbb]>,
 ) -> SkylineResult {
+    let ds = kernel.dataset();
     let n = ds.n_groups();
     let mut statuses = vec![Status::Live; n];
     let mut stats = Stats::default();
@@ -64,8 +80,7 @@ pub(super) fn run_pairwise(
                 }
             }
             let pair_boxes = boxes.map(|b| (&b[g1], &b[g2]));
-            let verdict =
-                compare_groups(ds, g1, g2, opts.gamma, pair_boxes, pair_opts, &mut stats);
+            let verdict = kernel.compare(g1, g2, opts.gamma, pair_boxes, pair_opts, &mut stats);
             let (s1, s2) = split_two(&mut statuses, g1, g2);
             apply_verdict(verdict, s1, s2, opts.pruning);
             // Algorithm 3 line 19: once g1 is strongly dominated, stop

@@ -171,8 +171,7 @@ mod tests {
                     assert!(!oracle.contains(g), "budget {budget}: {g} wrongly confirmed out");
                 }
                 // Partition sanity.
-                let total =
-                    r.confirmed_in.len() + r.confirmed_out.len() + r.undecided.len();
+                let total = r.confirmed_in.len() + r.confirmed_out.len() + r.undecided.len();
                 assert_eq!(total, ds.n_groups());
             }
         }

@@ -6,6 +6,7 @@
 
 use crate::dominance::Direction;
 use crate::error::{Error, Result};
+use std::collections::HashMap;
 
 /// Identifier of a group inside a [`GroupedDataset`] (its insertion index).
 pub type GroupId = usize;
@@ -33,6 +34,9 @@ pub struct GroupedDataset {
     /// `offsets[g]..offsets[g+1]` is the row range of group `g`.
     offsets: Vec<usize>,
     labels: Vec<String>,
+    /// Label → id index for O(1) lookup; on duplicate labels (possible via
+    /// [`GroupedDatasetBuilder::trusted_labels`]) it keeps the first id.
+    label_ids: HashMap<String, GroupId>,
     directions: Vec<Direction>,
 }
 
@@ -67,9 +71,9 @@ impl GroupedDataset {
         &self.labels[g]
     }
 
-    /// Looks a group up by label. `O(n_groups)`.
+    /// Looks a group up by label in O(1) (first id on duplicate labels).
     pub fn group_by_label(&self, label: &str) -> Option<GroupId> {
-        self.labels.iter().position(|l| l == label)
+        self.label_ids.get(label).copied()
     }
 
     /// Original preference direction of each dimension.
@@ -137,6 +141,7 @@ pub struct GroupedDatasetBuilder {
     values: Vec<f64>,
     offsets: Vec<usize>,
     labels: Vec<String>,
+    label_ids: HashMap<String, GroupId>,
     check_duplicates: bool,
 }
 
@@ -154,12 +159,15 @@ impl GroupedDatasetBuilder {
             values: Vec::new(),
             offsets: vec![0],
             labels: Vec::new(),
+            label_ids: HashMap::new(),
             check_duplicates: true,
         }
     }
 
-    /// Disables the (quadratic) duplicate-label check; useful when bulk
-    /// loading generated data whose labels are unique by construction.
+    /// Disables the duplicate-label *rejection*; useful when bulk loading
+    /// generated data whose labels are unique by construction. Lookups via
+    /// [`GroupedDataset::group_by_label`] then resolve a duplicated label to
+    /// its first group.
     pub fn trusted_labels(mut self) -> Self {
         self.check_duplicates = false;
         self
@@ -178,7 +186,7 @@ impl GroupedDatasetBuilder {
         if rows.is_empty() {
             return Err(Error::EmptyGroup(label));
         }
-        if self.check_duplicates && self.labels.contains(&label) {
+        if self.check_duplicates && self.label_ids.contains_key(&label) {
             return Err(Error::DuplicateGroup(label));
         }
         let start = self.values.len();
@@ -199,9 +207,11 @@ impl GroupedDatasetBuilder {
                 });
             }
         }
+        let id = self.labels.len();
+        self.label_ids.entry(label.clone()).or_insert(id);
         self.labels.push(label);
         self.offsets.push(self.offsets.last().unwrap() + rows.len());
-        Ok(self.labels.len() - 1)
+        Ok(id)
     }
 
     /// Finalizes the dataset.
@@ -214,6 +224,7 @@ impl GroupedDatasetBuilder {
             values: self.values,
             offsets: self.offsets,
             labels: self.labels,
+            label_ids: self.label_ids,
             directions: self.directions,
         })
     }
@@ -292,7 +303,21 @@ mod tests {
         let mut b = GroupedDatasetBuilder::new(1).trusted_labels();
         b.push_group("g", &[vec![1.0]]).unwrap();
         b.push_group("g", &[vec![2.0]]).unwrap();
-        assert_eq!(b.build().unwrap().n_groups(), 2);
+        let ds = b.build().unwrap();
+        assert_eq!(ds.n_groups(), 2);
+        // A duplicated label resolves to its first group, matching the old
+        // linear-scan semantics.
+        assert_eq!(ds.group_by_label("g"), Some(0));
+    }
+
+    #[test]
+    fn lookup_after_failed_push_is_unaffected() {
+        let mut b = GroupedDatasetBuilder::new(2);
+        b.push_group("bad", &[vec![1.0]]).unwrap_err();
+        b.push_group("good", &[vec![1.0, 2.0]]).unwrap();
+        let ds = b.build().unwrap();
+        assert_eq!(ds.group_by_label("bad"), None);
+        assert_eq!(ds.group_by_label("good"), Some(0));
     }
 
     #[test]

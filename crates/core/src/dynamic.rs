@@ -152,8 +152,7 @@ impl DynamicAggregateSkyline {
                 len,
             });
         }
-        let record: Vec<f64> =
-            self.groups[g][idx * self.dim..(idx + 1) * self.dim].to_vec();
+        let record: Vec<f64> = self.groups[g][idx * self.dim..(idx + 1) * self.dim].to_vec();
         let n = self.n_groups();
         for other in 0..n {
             if other == g {
@@ -243,12 +242,11 @@ mod tests {
                 let g = (next() * 5.0) as usize % 5;
                 let remove = next() < 0.3 && dynamic.group_len(g) > 0;
                 if remove {
-                    let idx = (next() * dynamic.group_len(g) as f64) as usize
-                        % dynamic.group_len(g);
+                    let idx =
+                        (next() * dynamic.group_len(g) as f64) as usize % dynamic.group_len(g);
                     dynamic.remove(g, idx).unwrap();
                 } else {
-                    let rec: Vec<f64> =
-                        (0..dim).map(|_| (next() * 6.0).floor()).collect();
+                    let rec: Vec<f64> = (0..dim).map(|_| (next() * 6.0).floor()).collect();
                     dynamic.insert(g, &rec).unwrap();
                 }
                 // Cross-check against the oracle on the snapshot.
@@ -261,11 +259,7 @@ mod tests {
                     .into_iter()
                     .map(|g| mapping[g])
                     .collect();
-                assert_eq!(
-                    dynamic.skyline(Gamma::DEFAULT),
-                    oracle,
-                    "seed={seed} step={step}"
-                );
+                assert_eq!(dynamic.skyline(Gamma::DEFAULT), oracle, "seed={seed} step={step}");
                 for s in 0..5 {
                     for r in 0..5 {
                         if s == r || dynamic.group_len(s) == 0 || dynamic.group_len(r) == 0 {

@@ -53,9 +53,7 @@ pub fn explain_membership(ds: &GroupedDataset, g: GroupId, gamma: Gamma) -> Memb
             (p > 0.0).then_some(Threat { group: s, probability: p, dominates: gamma.dominated(p) })
         })
         .collect();
-    threats.sort_by(|a, b| {
-        b.probability.total_cmp(&a.probability).then(a.group.cmp(&b.group))
-    });
+    threats.sort_by(|a, b| b.probability.total_cmp(&a.probability).then(a.group.cmp(&b.group)));
     let in_skyline = !threats.iter().any(|t| t.dominates);
     Membership { group: g, in_skyline, threats }
 }

@@ -201,9 +201,7 @@ mod tests {
     fn proposition_3_counterexample_probability() {
         // G1 = {(5,5),(1,1),(1,2)}, G2 = {(2,3)}: p(G2 ≻ G1) = 2/3.
         let mut b = GroupedDatasetBuilder::new(2);
-        let g1 = b
-            .push_group("G1", &[vec![5.0, 5.0], vec![1.0, 1.0], vec![1.0, 2.0]])
-            .unwrap();
+        let g1 = b.push_group("G1", &[vec![5.0, 5.0], vec![1.0, 1.0], vec![1.0, 2.0]]).unwrap();
         let g2 = b.push_group("G2", &[vec![2.0, 3.0]]).unwrap();
         let ds = b.build().unwrap();
         assert!((domination_probability(&ds, g2, g1) - 2.0 / 3.0).abs() < 1e-12);
@@ -221,13 +219,9 @@ mod tests {
     #[test]
     fn paper_weak_transitivity_bound_has_a_counterexample() {
         let mut b = GroupedDatasetBuilder::new(2);
-        let r = b
-            .push_group("R", &[vec![20.0, 20.0], vec![21.0, 19.0], vec![0.0, 100.0]])
-            .unwrap();
+        let r = b.push_group("R", &[vec![20.0, 20.0], vec![21.0, 19.0], vec![0.0, 100.0]]).unwrap();
         let s = b.push_group("S", &[vec![10.0, 10.0]]).unwrap();
-        let t = b
-            .push_group("T", &[vec![1.0, 1.0], vec![2.0, 0.5], vec![100.0, 0.0]])
-            .unwrap();
+        let t = b.push_group("T", &[vec![1.0, 1.0], vec![2.0, 0.5], vec![100.0, 0.0]]).unwrap();
         let ds = b.build().unwrap();
         let gamma = Gamma::DEFAULT;
         let p_rs = domination_probability(&ds, r, s);
@@ -256,9 +250,8 @@ mod tests {
     fn transitive_domination_reaches_the_ratio_bound() {
         let mut b = GroupedDatasetBuilder::new(1);
         let r = b.push_group("R", &[vec![4.0], vec![1.0], vec![1.0]]).unwrap();
-        let s = b
-            .push_group("S", &[vec![3.0], vec![3.0], vec![0.0], vec![0.0], vec![3.0]])
-            .unwrap();
+        let s =
+            b.push_group("S", &[vec![3.0], vec![3.0], vec![0.0], vec![0.0], vec![3.0]]).unwrap();
         let t = b.push_group("T", &[vec![1.0]]).unwrap();
         let ds = b.build().unwrap();
         let p_rs = domination_probability(&ds, r, s);

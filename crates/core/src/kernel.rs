@@ -1,0 +1,426 @@
+//! The blocked counting kernel: block-at-a-time pair counting over a
+//! [`PreparedDataset`].
+//!
+//! [`crate::compare_groups`] resolves a group pair one record comparison at
+//! a time. The blocked kernel instead walks the fixed-size record blocks
+//! prepared by [`PreparedDataset::build`] and classifies each *block pair*
+//! first:
+//!
+//! * **full** — the first block's minimum corner dominates the second's
+//!   maximum corner: every record of the first dominates every record of
+//!   the second, contributing `k₁·k₂` pairs in O(1) (Figure 9(b) applied at
+//!   block granularity);
+//! * **skipped** — neither block's maximum corner dominates the other's
+//!   minimum corner (or the coordinate-sum ranges rule a direction out):
+//!   no pair in either direction can dominate, contributing 0 in O(1);
+//! * **straddling** — anything else falls back to the record loop, where
+//!   the descending-sum order lets each probe record binary-search the
+//!   opposite block into a "can only be dominated" prefix and a "can only
+//!   dominate" suffix, skipping the equal-sum middle outright.
+//!
+//! Every classification updates the same [`Counter`] the record-at-a-time
+//! path uses, so the Section 3.3 stopping rule (evaluated after each block
+//! pair) and the exact `n12`/`n21` tallies are preserved bit-for-bit.
+
+use crate::dataset::{GroupId, GroupedDataset};
+use crate::dominance::dominates;
+use crate::gamma::Gamma;
+use crate::mbb::Mbb;
+use crate::paircount::{compare_groups, Counter, DomLevel, PairOptions, PairVerdict};
+use crate::prepared::{BlockView, PreparedDataset};
+use crate::stats::Stats;
+
+/// Selects the record-counting strategy used inside every group-vs-group
+/// comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelConfig {
+    /// Compare records pairwise with [`crate::compare_groups`] (no
+    /// preprocessing; the paper's configuration).
+    #[default]
+    Exhaustive,
+    /// Preprocess each group once ([`PreparedDataset::build`]) and count
+    /// block-at-a-time.
+    Blocked {
+        /// Records per block; see [`PreparedDataset::DEFAULT_BLOCK_SIZE`].
+        block_size: usize,
+    },
+}
+
+impl KernelConfig {
+    /// The blocked kernel at the default block size.
+    pub fn blocked() -> KernelConfig {
+        KernelConfig::Blocked { block_size: PreparedDataset::DEFAULT_BLOCK_SIZE }
+    }
+}
+
+enum Prep<'a> {
+    None,
+    Owned(PreparedDataset),
+    Borrowed(&'a PreparedDataset),
+}
+
+/// A dataset bound to a counting strategy: the single entry point the
+/// algorithms use for group-vs-group comparisons.
+///
+/// Construction performs the (one-time) preprocessing when the config asks
+/// for the blocked kernel; [`Kernel::with_prepared`] reuses a
+/// [`PreparedDataset`] built elsewhere, e.g. one shared by several
+/// algorithm runs or worker threads. The kernel is plain data, so a shared
+/// reference can be used from many threads concurrently.
+pub struct Kernel<'a> {
+    ds: &'a GroupedDataset,
+    prep: Prep<'a>,
+}
+
+impl<'a> Kernel<'a> {
+    /// Binds `ds` to the strategy selected by `config`.
+    pub fn new(ds: &'a GroupedDataset, config: KernelConfig) -> Kernel<'a> {
+        let prep = match config {
+            KernelConfig::Exhaustive => Prep::None,
+            KernelConfig::Blocked { block_size } => {
+                Prep::Owned(PreparedDataset::build(ds, block_size))
+            }
+        };
+        Kernel { ds, prep }
+    }
+
+    /// Binds `ds` to an existing preparation (always blocked).
+    ///
+    /// The preparation must have been built from `ds`.
+    pub fn with_prepared(ds: &'a GroupedDataset, prep: &'a PreparedDataset) -> Kernel<'a> {
+        debug_assert_eq!(ds.n_records(), prep.n_records());
+        Kernel { ds, prep: Prep::Borrowed(prep) }
+    }
+
+    /// The underlying dataset.
+    #[inline]
+    pub fn dataset(&self) -> &'a GroupedDataset {
+        self.ds
+    }
+
+    /// The preparation, when the blocked kernel is active.
+    #[inline]
+    pub fn prepared(&self) -> Option<&PreparedDataset> {
+        match &self.prep {
+            Prep::None => None,
+            Prep::Owned(p) => Some(p),
+            Prep::Borrowed(p) => Some(p),
+        }
+    }
+
+    /// Group bounding boxes precomputed during preparation (`None` in
+    /// exhaustive mode); lets algorithms skip a redundant
+    /// [`Mbb::of_all_groups`] pass.
+    #[inline]
+    pub fn group_mbbs(&self) -> Option<&[Mbb]> {
+        self.prepared().map(|p| p.mbbs())
+    }
+
+    /// Compares groups `g1` and `g2` with this kernel's strategy; drop-in
+    /// replacement for [`crate::compare_groups`].
+    pub fn compare(
+        &self,
+        g1: GroupId,
+        g2: GroupId,
+        gamma: Gamma,
+        boxes: Option<(&Mbb, &Mbb)>,
+        opts: PairOptions,
+        stats: &mut Stats,
+    ) -> PairVerdict {
+        match self.prepared() {
+            Some(p) => compare_groups_blocked(p, g1, g2, gamma, boxes, opts, stats),
+            None => compare_groups(self.ds, g1, g2, gamma, boxes, opts, stats),
+        }
+    }
+}
+
+/// Compares groups `g1` and `g2` block-at-a-time over a prepared dataset.
+///
+/// Semantically identical to [`crate::compare_groups`] on the source
+/// dataset: the same γ/γ̄ verdicts, the same Figure 9(b) group-level
+/// shortcuts when `boxes` is given, and the same Section 3.3 stopping rule
+/// (here evaluated after each block pair). The Figure 9(c) per-record region
+/// decomposition is subsumed by the block classification.
+pub fn compare_groups_blocked(
+    prep: &PreparedDataset,
+    g1: GroupId,
+    g2: GroupId,
+    gamma: Gamma,
+    boxes: Option<(&Mbb, &Mbb)>,
+    opts: PairOptions,
+    stats: &mut Stats,
+) -> PairVerdict {
+    stats.group_pairs += 1;
+    let total = (prep.group_len(g1) * prep.group_len(g2)) as u64;
+    let mut counter = Counter::new(total, gamma, opts);
+    if let Some((b1, b2)) = boxes {
+        // Figure 9(b) at group granularity, exactly as in `compare_groups`.
+        if b1.strictly_dominates(b2) {
+            stats.bbox_resolved += 1;
+            return PairVerdict { forward: DomLevel::GammaBar, backward: DomLevel::None };
+        }
+        if b2.strictly_dominates(b1) {
+            stats.bbox_resolved += 1;
+            return PairVerdict { forward: DomLevel::None, backward: DomLevel::GammaBar };
+        }
+        if !b1.may_dominate(b2) && !b2.may_dominate(b1) {
+            stats.bbox_resolved += 1;
+            return PairVerdict::INCOMPARABLE;
+        }
+    }
+    match run_blocks(prep, g1, g2, &mut counter, opts, stats) {
+        Some(v) => v,
+        None => counter.final_verdict(),
+    }
+}
+
+/// Exact pair counts `(n12, n21)` for one group pair, computed with the
+/// blocked kernel and no early termination.
+///
+/// This is the kernel-side ground truth the equivalence tests compare
+/// against [`crate::DominationMatrix::build`].
+pub fn count_pairs(
+    prep: &PreparedDataset,
+    g1: GroupId,
+    g2: GroupId,
+    stats: &mut Stats,
+) -> (u64, u64) {
+    let total = (prep.group_len(g1) * prep.group_len(g2)) as u64;
+    let opts = PairOptions { stop_rule: false, need_bar: false, corrected_bar: false };
+    let mut counter = Counter::new(total, Gamma::DEFAULT, opts);
+    let early = run_blocks(prep, g1, g2, &mut counter, opts, stats);
+    debug_assert!(early.is_none(), "stop rule is disabled");
+    debug_assert_eq!(counter.checked, counter.total);
+    (counter.n12, counter.n21)
+}
+
+/// The block-pair loop. Returns `Some` when the stopping rule resolves the
+/// pair early, `None` when every block pair has been accounted for (in
+/// which case `counter.checked == counter.total`).
+fn run_blocks(
+    prep: &PreparedDataset,
+    g1: GroupId,
+    g2: GroupId,
+    counter: &mut Counter,
+    opts: PairOptions,
+    stats: &mut Stats,
+) -> Option<PairVerdict> {
+    let dim = prep.dim();
+    for a in 0..prep.n_blocks(g1) {
+        let ba = prep.block(g1, a);
+        for b in 0..prep.n_blocks(g2) {
+            let bb = prep.block(g2, b);
+            let pairs = (ba.len() * bb.len()) as u64;
+            if dominates(ba.min, bb.max) {
+                // Every record of `ba` is ≥ its block minimum, which already
+                // dominates `bb`'s maximum: all k₁·k₂ pairs dominate forward.
+                counter.n12 += pairs;
+                counter.checked += pairs;
+                stats.blocks_full += 1;
+            } else if dominates(bb.min, ba.max) {
+                counter.n21 += pairs;
+                counter.checked += pairs;
+                stats.blocks_full += 1;
+            } else {
+                // A direction is possible only if the best corner dominates
+                // the other block's worst corner *and* the sum ranges allow
+                // a strictly larger sum (dominance implies one).
+                let fwd = dominates(ba.max, bb.min) && ba.sums[0] > bb.sums[bb.len() - 1];
+                let bwd = dominates(bb.max, ba.min) && bb.sums[0] > ba.sums[ba.len() - 1];
+                if !fwd && !bwd {
+                    counter.checked += pairs;
+                    stats.blocks_skipped += 1;
+                } else {
+                    straddle(dim, &ba, &bb, fwd, bwd, counter, stats);
+                    counter.checked += pairs;
+                }
+            }
+            if opts.stop_rule && counter.checked < counter.total {
+                if let Some(v) = counter.verdict() {
+                    stats.early_stops += 1;
+                    return Some(v);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Record loop for a straddling block pair. Only the directions flagged
+/// possible are tested, and within a direction only the records whose sums
+/// permit it: `bb.sums` is descending, so for each probe record the
+/// strictly-greater prefix can only dominate it and the strictly-smaller
+/// suffix can only be dominated by it.
+fn straddle(
+    dim: usize,
+    ba: &BlockView<'_>,
+    bb: &BlockView<'_>,
+    fwd: bool,
+    bwd: bool,
+    counter: &mut Counter,
+    stats: &mut Stats,
+) {
+    let k2 = bb.len();
+    let mut tests = 0u64;
+    for (i, r1) in ba.rows.chunks_exact(dim).enumerate() {
+        let s1 = ba.sums[i];
+        let p = bb.sums.partition_point(|&s| s > s1);
+        if bwd {
+            for r2 in bb.rows[..p * dim].chunks_exact(dim) {
+                if dominates(r2, r1) {
+                    counter.n21 += 1;
+                }
+            }
+            tests += p as u64;
+        }
+        if fwd {
+            let q = p + bb.sums[p..].partition_point(|&s| s >= s1);
+            for r2 in bb.rows[q * dim..].chunks_exact(dim) {
+                if dominates(r1, r2) {
+                    counter.n12 += 1;
+                }
+            }
+            tests += (k2 - q) as u64;
+        }
+    }
+    stats.records_compared += tests;
+    stats.record_pairs += tests;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::DominationMatrix;
+    use crate::testdata::{movie_directors, random_dataset};
+
+    fn all_pair_options() -> Vec<PairOptions> {
+        let mut out = Vec::new();
+        for stop_rule in [false, true] {
+            for need_bar in [false, true] {
+                for corrected_bar in [false, true] {
+                    out.push(PairOptions { stop_rule, need_bar, corrected_bar });
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_verdicts_match_unblocked_on_random_data() {
+        for seed in 0..10 {
+            let ds = random_dataset(10, 9, 3, 600 + seed);
+            for block_size in [1, 3, 64] {
+                let prep = PreparedDataset::build(&ds, block_size);
+                let boxes = Mbb::of_all_groups(&ds);
+                for g1 in 0..ds.n_groups() {
+                    for g2 in (g1 + 1)..ds.n_groups() {
+                        let oracle = crate::paircount::compare_groups_exhaustive(
+                            &ds,
+                            g1,
+                            g2,
+                            Gamma::DEFAULT,
+                        );
+                        for opts in all_pair_options() {
+                            for use_boxes in [false, true] {
+                                let pair_boxes = use_boxes.then(|| (&boxes[g1], &boxes[g2]));
+                                let mut stats = Stats::default();
+                                let v = compare_groups_blocked(
+                                    &prep,
+                                    g1,
+                                    g2,
+                                    Gamma::DEFAULT,
+                                    pair_boxes,
+                                    opts,
+                                    &mut stats,
+                                );
+                                // `need_bar: false` folds γ̄ into γ; compare at
+                                // the granularity the options promise.
+                                assert_eq!(
+                                    v.forward.dominates(),
+                                    oracle.forward.dominates(),
+                                    "seed={seed} bs={block_size} {g1}v{g2} {opts:?}"
+                                );
+                                assert_eq!(v.backward.dominates(), oracle.backward.dominates());
+                                if opts.need_bar && !opts.corrected_bar {
+                                    assert_eq!(v, oracle);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn ones(m: &DominationMatrix) -> u64 {
+        let mut n = 0;
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                n += m.get(i, j) as u64;
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn count_pairs_matches_domination_matrix() {
+        let ds = movie_directors();
+        let prep = PreparedDataset::build(&ds, 2);
+        for g1 in ds.group_ids() {
+            for g2 in ds.group_ids() {
+                if g1 == g2 {
+                    continue;
+                }
+                let mut stats = Stats::default();
+                let (n12, n21) = count_pairs(&prep, g1, g2, &mut stats);
+                assert_eq!(n12, ones(&DominationMatrix::build(&ds, g1, g2)), "{g1} over {g2}");
+                assert_eq!(n21, ones(&DominationMatrix::build(&ds, g2, g1)), "{g2} over {g1}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_blocks_are_detected_on_stacked_groups() {
+        let mut b = crate::dataset::GroupedDatasetBuilder::new(2);
+        let lo: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 * 0.1, 1.0]).collect();
+        let hi: Vec<Vec<f64>> = (0..8).map(|i| vec![100.0 + i as f64, 100.0]).collect();
+        b.push_group("lo", &lo).unwrap();
+        b.push_group("hi", &hi).unwrap();
+        let ds = b.build().unwrap();
+        let prep = PreparedDataset::build(&ds, 4);
+        let mut stats = Stats::default();
+        let (n12, n21) = count_pairs(&prep, 1, 0, &mut stats);
+        assert_eq!((n12, n21), (64, 0));
+        assert_eq!(stats.blocks_full, 4, "2x2 block pairs, all fully dominating");
+        assert_eq!(stats.records_compared, 0);
+    }
+
+    #[test]
+    fn kernel_dispatch_matches_compare_groups() {
+        let ds = movie_directors();
+        let exhaustive = Kernel::new(&ds, KernelConfig::Exhaustive);
+        let blocked = Kernel::new(&ds, KernelConfig::blocked());
+        assert!(exhaustive.prepared().is_none());
+        assert!(blocked.prepared().is_some());
+        let opts = PairOptions::default();
+        for g1 in ds.group_ids() {
+            for g2 in (g1 + 1)..ds.n_groups() {
+                let mut s1 = Stats::default();
+                let mut s2 = Stats::default();
+                assert_eq!(
+                    exhaustive.compare(g1, g2, Gamma::DEFAULT, None, opts, &mut s1),
+                    blocked.compare(g1, g2, Gamma::DEFAULT, None, opts, &mut s2),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn with_prepared_shares_one_preparation() {
+        let ds = movie_directors();
+        let prep = PreparedDataset::build(&ds, 8);
+        let kernel = Kernel::with_prepared(&ds, &prep);
+        assert!(std::ptr::eq(kernel.prepared().unwrap(), &prep));
+        assert_eq!(kernel.group_mbbs().unwrap(), &Mbb::of_all_groups(&ds)[..]);
+    }
+}

@@ -34,6 +34,8 @@
 //! * [`matrix`] — domination matrices (the Proposition 5 proof machinery).
 //! * [`mbb`] — group bounding boxes and corner pruning (Figure 9).
 //! * [`paircount`] — pairwise counting with the Section 3.3 stopping rule.
+//! * [`prepared`] — one-time sort/block preprocessing for the blocked kernel.
+//! * [`kernel`] — block-at-a-time pair counting over a prepared dataset.
 //! * [`algorithms`] — NL, TR, SI, IN, LO, the naive oracle and a parallel
 //!   extension.
 //! * [`record_skyline`] — classic record skylines (BNL, SFS) as substrate.
@@ -52,9 +54,11 @@ pub mod dynamic;
 pub mod error;
 pub mod explain;
 pub mod gamma;
+pub mod kernel;
 pub mod matrix;
 pub mod mbb;
 pub mod paircount;
+pub mod prepared;
 pub mod properties;
 pub mod ranking;
 pub mod record_skyline;
@@ -67,19 +71,26 @@ pub mod subspace;
 pub(crate) mod testdata;
 
 pub use algorithms::{
-    indexed, naive_skyline, nested_loop, parallel_skyline, sorted, transitive, AlgoOptions,
-    Algorithm, Pruning, SkylineResult, SortStrategy,
+    indexed, naive_skyline, nested_loop, parallel_skyline, parallel_skyline_strided,
+    parallel_skyline_with, resolve_threads, sorted, transitive, AlgoOptions, Algorithm, Pruning,
+    SkylineResult, SortStrategy,
 };
 pub use anytime::{anytime_skyline, AnytimeResult};
-pub use dynamic::DynamicAggregateSkyline;
-pub use explain::{explain_membership, pair_contribution, stars_of, Membership, PairContribution, Threat};
 pub use dataset::{GroupId, GroupedDataset, GroupedDatasetBuilder};
 pub use dominance::{compare, dominates, Direction, DomRelation};
+pub use dynamic::DynamicAggregateSkyline;
 pub use error::{Error, Result};
+pub use explain::{
+    explain_membership, pair_contribution, stars_of, Membership, PairContribution, Threat,
+};
 pub use gamma::{domination_count, domination_probability, gamma_dominates, Gamma};
+pub use kernel::{compare_groups_blocked, count_pairs, Kernel, KernelConfig};
 pub use matrix::DominationMatrix;
 pub use mbb::Mbb;
-pub use paircount::{compare_groups, compare_groups_exhaustive, DomLevel, PairOptions, PairVerdict};
+pub use paircount::{
+    compare_groups, compare_groups_exhaustive, DomLevel, PairOptions, PairVerdict,
+};
+pub use prepared::{BlockView, PreparedDataset};
 pub use ranking::{min_gamma_per_group, ranked_skyline, RankedGroup};
 pub use skyband::{k_skyband, top_k_robust};
 pub use skycube::{skycube, Skycube, SubspaceSkyline};

@@ -114,9 +114,7 @@ mod tests {
     #[test]
     fn matrix_from_dataset_matches_probability() {
         let mut b = GroupedDatasetBuilder::new(2);
-        let r = b
-            .push_group("R", &[vec![5.0, 5.0], vec![1.0, 1.0], vec![1.0, 2.0]])
-            .unwrap();
+        let r = b.push_group("R", &[vec![5.0, 5.0], vec![1.0, 1.0], vec![1.0, 2.0]]).unwrap();
         let s = b.push_group("S", &[vec![2.0, 3.0]]).unwrap();
         let ds = b.build().unwrap();
         let m = DominationMatrix::build(&ds, s, r);

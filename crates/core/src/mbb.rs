@@ -72,15 +72,8 @@ impl Mbb {
 
     /// True iff the boxes overlap in every dimension.
     pub fn overlaps(&self, other: &Mbb) -> bool {
-        self.min
-            .iter()
-            .zip(other.max.iter())
-            .all(|(&a_min, &b_max)| a_min <= b_max)
-            && other
-                .min
-                .iter()
-                .zip(self.max.iter())
-                .all(|(&b_min, &a_max)| b_min <= a_max)
+        self.min.iter().zip(other.max.iter()).all(|(&a_min, &b_max)| a_min <= b_max)
+            && other.min.iter().zip(self.max.iter()).all(|(&b_min, &a_max)| b_min <= a_max)
     }
 }
 

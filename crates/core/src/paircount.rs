@@ -47,7 +47,7 @@ pub struct PairVerdict {
 }
 
 impl PairVerdict {
-    const INCOMPARABLE: PairVerdict =
+    pub(crate) const INCOMPARABLE: PairVerdict =
         PairVerdict { forward: DomLevel::None, backward: DomLevel::None };
 }
 
@@ -73,18 +73,22 @@ impl Default for PairOptions {
 }
 
 /// Running state of an incremental pair count.
-struct Counter {
-    n12: u64,
-    n21: u64,
-    checked: u64,
-    total: u64,
+///
+/// Shared between the record-at-a-time loop below and the blocked kernel in
+/// [`crate::kernel`], which advances `n12`/`n21`/`checked` a whole block pair
+/// at a time.
+pub(crate) struct Counter {
+    pub(crate) n12: u64,
+    pub(crate) n21: u64,
+    pub(crate) checked: u64,
+    pub(crate) total: u64,
     gamma: f64,
     gamma_bar: f64,
     need_bar: bool,
 }
 
 impl Counter {
-    fn new(total: u64, gamma: Gamma, opts: PairOptions) -> Self {
+    pub(crate) fn new(total: u64, gamma: Gamma, opts: PairOptions) -> Self {
         Counter {
             n12: 0,
             n21: 0,
@@ -133,13 +137,13 @@ impl Counter {
         }
     }
 
-    fn verdict(&self) -> Option<PairVerdict> {
+    pub(crate) fn verdict(&self) -> Option<PairVerdict> {
         let forward = self.resolve_dir(self.n12)?;
         let backward = self.resolve_dir(self.n21)?;
         Some(PairVerdict { forward, backward })
     }
 
-    fn final_verdict(&self) -> PairVerdict {
+    pub(crate) fn final_verdict(&self) -> PairVerdict {
         debug_assert_eq!(self.checked, self.total);
         self.verdict().expect("fully-counted pair must resolve")
     }

@@ -80,9 +80,7 @@ mod tests {
         (0..ds.n_groups())
             .filter(|&g| {
                 let dominators = (0..ds.n_groups())
-                    .filter(|&s| {
-                        s != g && gamma.dominated(domination_probability(ds, s, g))
-                    })
+                    .filter(|&s| s != g && gamma.dominated(domination_probability(ds, s, g)))
                     .count();
                 dominators < k
             })

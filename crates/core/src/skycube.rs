@@ -35,10 +35,7 @@ impl Skycube {
         let mut key: Vec<usize> = dims.to_vec();
         key.sort_unstable();
         key.dedup();
-        self.subspaces
-            .iter()
-            .find(|s| s.dims == key)
-            .map(|s| s.skyline.as_slice())
+        self.subspaces.iter().find(|s| s.dims == key).map(|s| s.skyline.as_slice())
     }
 
     /// For each group, in how many subspaces it appears in the skyline.
@@ -56,12 +53,7 @@ impl Skycube {
     pub fn universal_groups(&self) -> Vec<GroupId> {
         let counts = self.appearance_counts();
         let total = self.subspaces.len();
-        counts
-            .into_iter()
-            .enumerate()
-            .filter(|&(_, c)| c == total)
-            .map(|(g, _)| g)
-            .collect()
+        counts.into_iter().enumerate().filter(|&(_, c)| c == total).map(|(g, _)| g).collect()
     }
 }
 

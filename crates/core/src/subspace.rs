@@ -24,10 +24,8 @@ impl GroupedDataset {
         }
         let mut b = GroupedDatasetBuilder::new(dims.len()).trusted_labels();
         for g in self.group_ids() {
-            let rows: Vec<Vec<f64>> = self
-                .records(g)
-                .map(|rec| dims.iter().map(|&d| rec[d]).collect())
-                .collect();
+            let rows: Vec<Vec<f64>> =
+                self.records(g).map(|rec| dims.iter().map(|&d| rec[d]).collect()).collect();
             b.push_group(self.label(g), &rows)?;
         }
         b.build()

@@ -39,8 +39,7 @@ pub(crate) fn random_dataset(
     let mut b = GroupedDatasetBuilder::new(dim);
     for g in 0..n_groups {
         let len = 1 + (next() * max_records as f64) as usize;
-        let rows: Vec<Vec<f64>> =
-            (0..len).map(|_| (0..dim).map(|_| next()).collect()).collect();
+        let rows: Vec<Vec<f64>> = (0..len).map(|_| (0..dim).map(|_| next()).collect()).collect();
         b.push_group(format!("g{g}"), &rows).unwrap();
     }
     b.build().unwrap()

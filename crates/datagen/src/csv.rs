@@ -115,8 +115,7 @@ fn quote_field(s: &str) -> String {
 /// (e.g. the CLI's `--min COLUMN` flags) map column names onto dimensions
 /// without re-implementing header parsing.
 pub fn csv_value_columns(text: &str, group_column: &str) -> Result<Vec<String>, CsvError> {
-    let header_line =
-        text.lines().find(|l| !l.trim().is_empty()).ok_or(CsvError::NoRecords)?;
+    let header_line = text.lines().find(|l| !l.trim().is_empty()).ok_or(CsvError::NoRecords)?;
     let header = split_line(header_line, 1)?;
     if !header.iter().any(|h| h.trim().eq_ignore_ascii_case(group_column)) {
         return Err(CsvError::MissingGroupColumn(group_column.to_string()));
@@ -274,10 +273,7 @@ Wiseau,10,3.2
 
     #[test]
     fn error_cases() {
-        assert!(matches!(
-            parse_grouped_csv("", "g", None),
-            Err(CsvError::NoRecords)
-        ));
+        assert!(matches!(parse_grouped_csv("", "g", None), Err(CsvError::NoRecords)));
         assert!(matches!(
             parse_grouped_csv("a,b\n1,2\n", "g", None),
             Err(CsvError::MissingGroupColumn(_))
@@ -298,15 +294,9 @@ Wiseau,10,3.2
 
     #[test]
     fn value_columns_helper() {
-        assert_eq!(
-            csv_value_columns(MOVIES, "director").unwrap(),
-            vec!["popularity", "quality"]
-        );
+        assert_eq!(csv_value_columns(MOVIES, "director").unwrap(), vec!["popularity", "quality"]);
         assert_eq!(csv_value_columns("x, g ,y\n1,a,2\n", "G").unwrap(), vec!["x", "y"]);
-        assert!(matches!(
-            csv_value_columns("a,b\n", "nope"),
-            Err(CsvError::MissingGroupColumn(_))
-        ));
+        assert!(matches!(csv_value_columns("a,b\n", "nope"), Err(CsvError::MissingGroupColumn(_))));
         assert!(matches!(csv_value_columns("", "g"), Err(CsvError::NoRecords)));
     }
 
@@ -325,8 +315,7 @@ Wiseau,10,3.2
     #[test]
     fn round_trip_preserves_min_direction_values() {
         let csv = "g,price,rating\na,10,4\nb,20,5\n";
-        let ds =
-            parse_grouped_csv(csv, "g", Some(&[Direction::Min, Direction::Max])).unwrap();
+        let ds = parse_grouped_csv(csv, "g", Some(&[Direction::Min, Direction::Max])).unwrap();
         let out = to_grouped_csv(&ds, "g", &["price", "rating"]);
         assert!(out.contains("a,10,4"), "{out}");
     }

@@ -2,7 +2,7 @@
 //! (ICDE 2001): independent, correlated, and anti-correlated points in
 //! `[0, 1]^d`.
 
-use rand::Rng;
+use crate::rng::Rng64;
 
 /// Shape of the multidimensional value distribution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -33,12 +33,12 @@ impl Distribution {
     }
 
     /// Draws one `dim`-dimensional point in `[0, 1]^d`.
-    pub fn sample<R: Rng + ?Sized>(self, rng: &mut R, dim: usize, out: &mut Vec<f64>) {
+    pub fn sample(self, rng: &mut Rng64, dim: usize, out: &mut Vec<f64>) {
         out.clear();
         match self {
             Distribution::Independent => {
                 for _ in 0..dim {
-                    out.push(rng.gen::<f64>());
+                    out.push(rng.f64());
                 }
             }
             Distribution::Correlated => {
@@ -46,7 +46,7 @@ impl Distribution {
                 // (mean of uniforms), plus small per-dimension jitter.
                 let level = peak(rng);
                 for _ in 0..dim {
-                    let jitter = (rng.gen::<f64>() - 0.5) * 0.2;
+                    let jitter = (rng.f64() - 0.5) * 0.2;
                     out.push((level + jitter).clamp(0.0, 1.0));
                 }
             }
@@ -56,7 +56,7 @@ impl Distribution {
                 // to zero, then spread them wide. Good in one dimension ⇒
                 // bad in others.
                 let level = 0.5 + (peak(rng) - 0.5) * 0.15;
-                let raw: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>()).collect();
+                let raw: Vec<f64> = (0..dim).map(|_| rng.f64()).collect();
                 let mean = raw.iter().sum::<f64>() / dim as f64;
                 for &r in &raw {
                     out.push((level + (r - mean)).clamp(0.0, 1.0));
@@ -66,7 +66,7 @@ impl Distribution {
     }
 
     /// Convenience wrapper returning a fresh vector.
-    pub fn sample_vec<R: Rng + ?Sized>(self, rng: &mut R, dim: usize) -> Vec<f64> {
+    pub fn sample_vec(self, rng: &mut Rng64, dim: usize) -> Vec<f64> {
         let mut out = Vec::with_capacity(dim);
         self.sample(rng, dim, &mut out);
         out
@@ -74,15 +74,13 @@ impl Distribution {
 }
 
 /// Bell-shaped value in `[0, 1]`: mean of four uniforms (Irwin–Hall).
-fn peak<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    (rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>()) / 4.0
+fn peak(rng: &mut Rng64) -> f64 {
+    (rng.f64() + rng.f64() + rng.f64() + rng.f64()) / 4.0
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
         let n = xs.len() as f64;
@@ -95,7 +93,7 @@ mod tests {
     }
 
     fn columns(dist: Distribution, n: usize) -> (Vec<f64>, Vec<f64>) {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng64::new(11);
         let mut xs = Vec::with_capacity(n);
         let mut ys = Vec::with_capacity(n);
         for _ in 0..n {
@@ -108,7 +106,7 @@ mod tests {
 
     #[test]
     fn values_stay_in_unit_cube() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng64::new(3);
         for dist in Distribution::ALL {
             for dim in [1usize, 2, 5, 8] {
                 for _ in 0..200 {
@@ -136,7 +134,7 @@ mod tests {
         // far more records in the skyline than correlated data.
         let mut sizes = std::collections::HashMap::new();
         for dist in Distribution::ALL {
-            let mut rng = StdRng::seed_from_u64(9);
+            let mut rng = Rng64::new(9);
             let mut rows = Vec::new();
             for _ in 0..1000 {
                 rows.extend(dist.sample_vec(&mut rng, 3));

@@ -10,10 +10,9 @@
 //! into its box.
 
 use crate::distributions::Distribution;
+use crate::rng::Rng64;
 use crate::zipf::Zipf;
 use aggsky_core::{GroupedDataset, GroupedDatasetBuilder};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// How the total record count is split across classes.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,7 +72,7 @@ impl SyntheticConfig {
             self.spread > 0.0 && self.spread <= 1.0,
             "spread must be a fraction of the data space"
         );
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng64::new(self.seed);
         let sizes: Vec<usize> = match self.group_sizes {
             GroupSizes::Uniform => {
                 let base = self.n_records / self.n_groups;
@@ -112,7 +111,7 @@ pub fn ungrouped_records(
     distribution: Distribution,
     seed: u64,
 ) -> Vec<Vec<f64>> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     (0..n).map(|_| distribution.sample_vec(&mut rng, dim)).collect()
 }
 

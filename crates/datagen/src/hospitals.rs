@@ -8,13 +8,11 @@
 //! specialty quirks, so the group skyline is neither trivial (all
 //! incomparable) nor degenerate (one winner).
 
+use crate::rng::Rng64;
 use aggsky_core::{Direction, GroupedDataset, GroupedDatasetBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Names of the four metrics, in column order.
-pub const HOSPITAL_METRICS: [&str; 4] =
-    ["success_rate", "cost", "wait_days", "complication_rate"];
+pub const HOSPITAL_METRICS: [&str; 4] = ["success_rate", "cost", "wait_days", "complication_rate"];
 
 /// Preference direction of each metric (success up, everything else down).
 pub fn hospital_directions() -> Vec<Direction> {
@@ -25,19 +23,18 @@ pub fn hospital_directions() -> Vec<Direction> {
 /// apiece. Deterministic per seed.
 pub fn generate_hospitals(n_hospitals: usize, records_each: usize, seed: u64) -> GroupedDataset {
     assert!(n_hospitals > 0 && records_each > 0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut b = GroupedDatasetBuilder::with_directions(hospital_directions()).trusted_labels();
     for h in 0..n_hospitals {
         // Latent quality in (0,1); good hospitals succeed more, cost more
         // (a realistic tension that keeps groups incomparable), and move
         // patients through faster.
-        let quality: f64 = (rng.gen::<f64>() + rng.gen::<f64>()) / 2.0;
-        let cost_base = 4_000.0 + 18_000.0 * (0.3 + 0.7 * quality) * rng.gen::<f64>();
+        let quality: f64 = (rng.f64() + rng.f64()) / 2.0;
+        let cost_base = 4_000.0 + 18_000.0 * (0.3 + 0.7 * quality) * rng.f64();
         let rows: Vec<Vec<f64>> = (0..records_each)
             .map(|_| {
-                let mut noise = || rng.gen::<f64>() - 0.5;
-                let success =
-                    (0.55 + 0.42 * quality + 0.1 * noise()).clamp(0.05, 0.999);
+                let mut noise = || rng.f64() - 0.5;
+                let success = (0.55 + 0.42 * quality + 0.1 * noise()).clamp(0.05, 0.999);
                 let cost = (cost_base * (1.0 + 0.35 * noise())).max(500.0);
                 let wait = (25.0 * (1.2 - quality) * (1.0 + 0.6 * noise())).max(0.5);
                 let complications =

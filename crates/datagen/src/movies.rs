@@ -141,11 +141,8 @@ pub fn figure5_directors() -> GroupedDataset {
     // Fleischer: three movies below all of Tarantino's, plus "Zombieland",
     // which beats Tarantino's two weak movies and loses to the six strong
     // ones.
-    b.push_group(
-        "Fleischer",
-        &[vec![0.2, 0.2], vec![0.5, 0.3], vec![0.1, 0.6], vec![3.0, 3.0]],
-    )
-    .unwrap();
+    b.push_group("Fleischer", &[vec![0.2, 0.2], vec![0.5, 0.3], vec![0.1, 0.6], vec![3.0, 3.0]])
+        .unwrap();
     // Jackson: five movies below everything, two Zombieland-likes, two
     // blockbusters above everything, and one oddball beating exactly one
     // weak Tarantino movie while losing to exactly two strong ones.
@@ -211,11 +208,11 @@ mod tests {
         assert_eq!(domination_count(&ds, t, w), 16); // 1.00
         assert_eq!(domination_count(&ds, t, f), 30); // 30/32 = .94
         assert_eq!(domination_count(&ds, t, j), 54); // 54/80 = .68
-        // Reverse direction.
+                                                     // Reverse direction.
         assert_eq!(domination_count(&ds, w, t), 0); // .00
         assert_eq!(domination_count(&ds, f, t), 2); // 2/32 = .06
         assert_eq!(domination_count(&ds, j, t), 21); // 21/80 = .26
-        // Rounded to two decimals these are Table 2's published values.
+                                                     // Rounded to two decimals these are Table 2's published values.
         let rounded = |p: f64| (p * 100.0).round() / 100.0;
         assert_eq!(rounded(domination_probability(&ds, t, f)), 0.94);
         assert_eq!(rounded(domination_probability(&ds, t, j)), 0.68);

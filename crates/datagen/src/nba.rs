@@ -11,14 +11,21 @@
 //! stats are correlated, which is what makes Figure 14's workloads "easier"
 //! than anti-correlated synthetic data).
 
+use crate::rng::Rng64;
 use crate::zipf::Zipf;
 use aggsky_core::{GroupedDataset, GroupedDatasetBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Names of the 8 per-game skyline attributes, in the paper's order.
-pub const STAT_NAMES: [&str; 8] =
-    ["points", "rebounds", "assists", "steals", "blocks", "field_goals", "free_throws", "three_points"];
+pub const STAT_NAMES: [&str; 8] = [
+    "points",
+    "rebounds",
+    "assists",
+    "steals",
+    "blocks",
+    "field_goals",
+    "free_throws",
+    "three_points",
+];
 
 /// One player-season row.
 #[derive(Debug, Clone)]
@@ -104,7 +111,7 @@ const STAT_BASE: [f64; 8] = [9.0, 4.0, 2.2, 0.8, 0.5, 3.5, 1.8, 0.7];
 /// Generates `~n_records` player-season rows (default 15 000 to match the
 /// paper). Deterministic per seed.
 pub fn generate_nba(n_records: usize, seed: u64) -> Vec<NbaRecord> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let years: Vec<u16> = (1979..=2011).collect();
     // Career lengths are heavy-tailed: most players last a few seasons, a
     // few star for 15+.
@@ -112,13 +119,13 @@ pub fn generate_nba(n_records: usize, seed: u64) -> Vec<NbaRecord> {
     let mut records = Vec::with_capacity(n_records);
     let mut player: u32 = 0;
     while records.len() < n_records {
-        let position = rng.gen_range(0..5u8);
+        let position = rng.index(5) as u8;
         // Skill in (0, 1), bell-shaped with a long right tail.
-        let base: f64 = (rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>()) / 3.0;
+        let base: f64 = (rng.f64() + rng.f64() + rng.f64()) / 3.0;
         let skill = (base * base * 1.6).min(1.0);
         let length = career.sample(&mut rng);
-        let start = years[rng.gen_range(0..years.len())];
-        let mut team: u16 = rng.gen_range(0..30);
+        let start = years[rng.index(years.len())];
+        let mut team: u16 = rng.index(30) as u16;
         for s in 0..length {
             if records.len() >= n_records {
                 break;
@@ -128,14 +135,14 @@ pub fn generate_nba(n_records: usize, seed: u64) -> Vec<NbaRecord> {
                 break;
             }
             // Players occasionally change teams.
-            if rng.gen::<f64>() < 0.15 {
-                team = rng.gen_range(0..30);
+            if rng.chance(0.15) {
+                team = rng.index(30) as u16;
             }
             // Career arc: ramp up, peak mid-career, decline.
             let arc = 1.0 - ((s as f64 - length as f64 / 2.0) / length as f64).powi(2);
             let mut stats = [0.0f64; 8];
             for (i, stat) in stats.iter_mut().enumerate() {
-                let noise = 0.75 + rng.gen::<f64>() * 0.5;
+                let noise = 0.75 + rng.f64() * 0.5;
                 *stat = STAT_BASE[i]
                     * POSITION_PROFILE[position as usize][i]
                     * (0.35 + 1.9 * skill)

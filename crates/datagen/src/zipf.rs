@@ -1,6 +1,6 @@
 //! A small Zipf sampler (no external distribution crate needed).
 
-use rand::Rng;
+use crate::rng::Rng64;
 
 /// Samples ranks `1..=n` with probability proportional to `1 / rank^s`.
 ///
@@ -31,8 +31,8 @@ impl Zipf {
     }
 
     /// Draws one rank in `1..=n`.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut Rng64) -> usize {
+        let u: f64 = rng.f64();
         match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
             Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
         }
@@ -63,13 +63,11 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn uniform_when_exponent_zero() {
         let z = Zipf::new(4, 0.0);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::new(1);
         let mut counts = [0usize; 4];
         for _ in 0..40_000 {
             counts[z.sample(&mut rng) - 1] += 1;
@@ -82,7 +80,7 @@ mod tests {
     #[test]
     fn rank_one_is_most_frequent() {
         let z = Zipf::new(100, 1.0);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng64::new(2);
         let mut counts = vec![0usize; 100];
         for _ in 0..50_000 {
             counts[z.sample(&mut rng) - 1] += 1;

@@ -58,10 +58,7 @@ impl Aabb {
     #[inline]
     pub fn intersects(&self, other: &Aabb) -> bool {
         debug_assert_eq!(self.dim(), other.dim());
-        self.lo
-            .iter()
-            .zip(other.hi.iter())
-            .all(|(&l, &h)| l <= h)
+        self.lo.iter().zip(other.hi.iter()).all(|(&l, &h)| l <= h)
             && other.lo.iter().zip(self.hi.iter()).all(|(&l, &h)| l <= h)
     }
 
@@ -125,13 +122,7 @@ impl Aabb {
         self.lo
             .iter()
             .zip(self.hi.iter())
-            .map(|(&l, &h)| {
-                if h.is_infinite() {
-                    l
-                } else {
-                    (l + h) * 0.5
-                }
-            })
+            .map(|(&l, &h)| if h.is_infinite() { l } else { (l + h) * 0.5 })
             .collect()
     }
 }

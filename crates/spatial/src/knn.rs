@@ -134,11 +134,8 @@ mod tests {
             for _ in 0..20 {
                 let q: Vec<f64> = (0..dim).map(|_| next()).collect();
                 let got = tree.nearest_neighbors(&q, 5);
-                let mut expect: Vec<(usize, f64)> = points
-                    .iter()
-                    .enumerate()
-                    .map(|(i, p)| (i, dist_sq(&q, p)))
-                    .collect();
+                let mut expect: Vec<(usize, f64)> =
+                    points.iter().enumerate().map(|(i, p)| (i, dist_sq(&q, p))).collect();
                 expect.sort_by(|a, b| a.1.total_cmp(&b.1));
                 assert_eq!(got.len(), 5);
                 for (n, (_, d)) in got.iter().zip(expect.iter()) {

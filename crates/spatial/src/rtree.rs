@@ -115,14 +115,11 @@ impl<T: Copy> RTree<T> {
         if len == 0 {
             return RTree::new(dim);
         }
-        let mut level: Vec<Node<T>> = str_partition(items, dim, 0, MAX_ENTRIES)
-            .into_iter()
-            .map(Node::Leaf)
-            .collect();
+        let mut level: Vec<Node<T>> =
+            str_partition(items, dim, 0, MAX_ENTRIES).into_iter().map(Node::Leaf).collect();
         let mut height = 1;
         while level.len() > 1 {
-            let parents: Vec<(Aabb, Node<T>)> =
-                level.into_iter().map(|n| (n.mbr(), n)).collect();
+            let parents: Vec<(Aabb, Node<T>)> = level.into_iter().map(|n| (n.mbr(), n)).collect();
             level = str_partition(parents, dim, 0, MAX_ENTRIES)
                 .into_iter()
                 .map(Node::Internal)

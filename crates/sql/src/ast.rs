@@ -212,9 +212,7 @@ impl Expr {
                 expr.has_aggregate() || low.has_aggregate() || high.has_aggregate()
             }
             Expr::Scalar { args, .. } => args.iter().any(Expr::has_aggregate),
-            Expr::Like { expr, pattern, .. } => {
-                expr.has_aggregate() || pattern.has_aggregate()
-            }
+            Expr::Like { expr, pattern, .. } => expr.has_aggregate() || pattern.has_aggregate(),
         }
     }
 }

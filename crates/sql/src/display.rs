@@ -95,11 +95,9 @@ impl fmt::Display for Expr {
                 }
                 write!(f, "))")
             }
-            Expr::Between { expr, low, high, negated } => write!(
-                f,
-                "({expr} {}BETWEEN {low} AND {high})",
-                if *negated { "NOT " } else { "" }
-            ),
+            Expr::Between { expr, low, high, negated } => {
+                write!(f, "({expr} {}BETWEEN {low} AND {high})", if *negated { "NOT " } else { "" })
+            }
             Expr::Like { expr, pattern, negated } => {
                 write!(f, "({expr} {}LIKE {pattern})", if *negated { "NOT " } else { "" })
             }

@@ -198,9 +198,8 @@ mod tests {
     fn large_batch_dump_round_trips() {
         let mut db = Database::new();
         db.execute("CREATE TABLE t (a INT, b FLOAT)").unwrap();
-        let rows: Vec<Vec<Value>> = (0..1000)
-            .map(|i| vec![Value::Int(i), Value::Float(i as f64 * 0.5)])
-            .collect();
+        let rows: Vec<Vec<Value>> =
+            (0..1000).map(|i| vec![Value::Int(i), Value::Float(i as f64 * 0.5)]).collect();
         db.insert_rows("t", rows).unwrap();
         let mut restored = Database::new();
         restored.restore(&db.dump()).unwrap();

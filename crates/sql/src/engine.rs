@@ -38,10 +38,7 @@ impl Database {
         match parse(sql)? {
             Statement::Select(stmt) => execute_select(&self.catalog, &stmt),
             Statement::CreateTable { name, columns } => {
-                let cols = columns
-                    .into_iter()
-                    .map(|(name, ty)| Column { name, ty })
-                    .collect();
+                let cols = columns.into_iter().map(|(name, ty)| Column { name, ty }).collect();
                 self.catalog.create(&name, cols)?;
                 Ok(ddl_result(0))
             }
@@ -74,16 +71,9 @@ impl Database {
 
     /// Compiles an expression against one table's schema (no aggregates, no
     /// subqueries — DML predicates are row-local).
-    fn compile_row_expr(
-        table: &crate::catalog::Table,
-        expr: &crate::ast::Expr,
-    ) -> Result<RExpr> {
+    fn compile_row_expr(table: &crate::catalog::Table, expr: &crate::ast::Expr) -> Result<RExpr> {
         let schema = crate::plan::Schema {
-            columns: table
-                .columns
-                .iter()
-                .map(|c| (table.name.clone(), c.name.clone()))
-                .collect(),
+            columns: table.columns.iter().map(|c| (table.name.clone(), c.name.clone())).collect(),
         };
         let no_sub = |_: &crate::ast::SelectStmt| {
             Err(SqlError::Unsupported("subquery in DML predicate".into()))
@@ -96,7 +86,11 @@ impl Database {
         Ok(compiled)
     }
 
-    fn delete_rows(&mut self, table: &str, where_clause: Option<&crate::ast::Expr>) -> Result<usize> {
+    fn delete_rows(
+        &mut self,
+        table: &str,
+        where_clause: Option<&crate::ast::Expr>,
+    ) -> Result<usize> {
         let t = self.catalog.get(table)?;
         let predicate = where_clause.map(|e| Self::compile_row_expr(t, e)).transpose()?;
         let t = self.catalog.get_mut(table)?;
@@ -130,13 +124,10 @@ impl Database {
         let predicate = where_clause.map(|e| Self::compile_row_expr(t, e)).transpose()?;
         let mut compiled_sets = Vec::with_capacity(sets.len());
         for (col, expr) in sets {
-            let idx = t
-                .column_index(col)
-                .ok_or_else(|| SqlError::UnknownColumn(col.clone()))?;
+            let idx = t.column_index(col).ok_or_else(|| SqlError::UnknownColumn(col.clone()))?;
             compiled_sets.push((idx, Self::compile_row_expr(t, expr)?));
         }
-        let float_cols: Vec<bool> =
-            t.columns.iter().map(|c| c.ty == ColumnType::Float).collect();
+        let float_cols: Vec<bool> = t.columns.iter().map(|c| c.ty == ColumnType::Float).collect();
         let t = self.catalog.get_mut(table)?;
         let mut updated = 0usize;
         for row in &mut t.rows {
@@ -173,9 +164,8 @@ impl Database {
         rows: Vec<Vec<crate::ast::Expr>>,
     ) -> Result<usize> {
         // Evaluate literal expressions (no row context).
-        let no_sub = |_: &crate::ast::SelectStmt| {
-            Err(SqlError::Unsupported("subquery in INSERT".into()))
-        };
+        let no_sub =
+            |_: &crate::ast::SelectStmt| Err(SqlError::Unsupported("subquery in INSERT".into()));
         let empty_schema = crate::plan::Schema { columns: Vec::new() };
         let mut compiler = crate::plan::Compiler::new(&empty_schema, &no_sub);
         let t = self.catalog.get(table)?;
@@ -260,9 +250,7 @@ impl Database {
                 }
                 let mut map = vec![0usize; cols.len()];
                 for (i, c) in cols.iter().enumerate() {
-                    map[i] = t
-                        .column_index(c)
-                        .ok_or_else(|| SqlError::UnknownColumn(c.clone()))?;
+                    map[i] = t.column_index(c).ok_or_else(|| SqlError::UnknownColumn(c.clone()))?;
                 }
                 Ok(Some(map))
             }
@@ -284,10 +272,7 @@ impl Database {
     pub fn create_table(&mut self, name: &str, columns: &[(&str, ColumnType)]) -> Result<()> {
         self.catalog.create(
             name,
-            columns
-                .iter()
-                .map(|(n, ty)| Column { name: n.to_string(), ty: *ty })
-                .collect(),
+            columns.iter().map(|(n, ty)| Column { name: n.to_string(), ty: *ty }).collect(),
         )
     }
 

@@ -29,11 +29,8 @@ impl QueryResult {
     /// Renders the result as an aligned text table (for examples/demos).
     pub fn to_table(&self) -> String {
         let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
-        let rendered: Vec<Vec<String>> = self
-            .rows
-            .iter()
-            .map(|r| r.iter().map(|v| v.to_string()).collect())
-            .collect();
+        let rendered: Vec<Vec<String>> =
+            self.rows.iter().map(|r| r.iter().map(|v| v.to_string()).collect()).collect();
         for row in &rendered {
             for (w, cell) in widths.iter_mut().zip(row.iter()) {
                 *w = (*w).max(cell.len());
@@ -121,11 +118,8 @@ pub fn execute_select(cat: &Catalog, stmt: &SelectStmt) -> Result<QueryResult> {
         }
     }
     let having_expr = stmt.having.as_ref().map(|e| compiler.compile(e)).transpose()?;
-    let order_exprs: Vec<(RExpr, SortDir)> = stmt
-        .order_by
-        .iter()
-        .map(|(e, d)| Ok((compiler.compile(e)?, *d)))
-        .collect::<Result<_>>()?;
+    let order_exprs: Vec<(RExpr, SortDir)> =
+        stmt.order_by.iter().map(|(e, d)| Ok((compiler.compile(e)?, *d))).collect::<Result<_>>()?;
     let sky_exprs: Vec<(RExpr, SkyDir)> = match &stmt.skyline {
         Some(clause) => clause
             .items
@@ -142,9 +136,7 @@ pub fn execute_select(cat: &Catalog, stmt: &SelectStmt) -> Result<QueryResult> {
     let aggs = std::mem::take(&mut compiler.aggs);
     let grouped = !stmt.group_by.is_empty() || !aggs.is_empty();
     if grouped && stmt.skyline.is_some() && stmt.group_by.is_empty() {
-        return Err(SqlError::Unsupported(
-            "SKYLINE OF with aggregates requires GROUP BY".into(),
-        ));
+        return Err(SqlError::Unsupported("SKYLINE OF with aggregates requires GROUP BY".into()));
     }
 
     // ---- pushdown planning ----
@@ -446,7 +438,8 @@ fn scan_plain(
     let mut out: Vec<RowWithKeys> = Vec::new();
     let mut sky_flat: Vec<f64> = Vec::new();
     stream_product(parts, residual, |row| {
-        let proj: Vec<Value> = proj_exprs.iter().map(|e| eval(e, row, &[])).collect::<Result<_>>()?;
+        let proj: Vec<Value> =
+            proj_exprs.iter().map(|e| eval(e, row, &[])).collect::<Result<_>>()?;
         let keys: Vec<Value> =
             order_exprs.iter().map(|(e, _)| eval(e, row, &[])).collect::<Result<_>>()?;
         for (e, dir) in sky_exprs {
@@ -508,9 +501,9 @@ impl Acc {
             Acc::Sum { sum, seen } => {
                 if let Some(val) = v {
                     if !val.is_null() {
-                        *sum += val.as_f64().ok_or_else(|| {
-                            SqlError::Eval("SUM over non-numeric value".into())
-                        })?;
+                        *sum += val
+                            .as_f64()
+                            .ok_or_else(|| SqlError::Eval("SUM over non-numeric value".into()))?;
                         *seen = true;
                     }
                 }
@@ -518,9 +511,9 @@ impl Acc {
             Acc::Avg { sum, n } => {
                 if let Some(val) = v {
                     if !val.is_null() {
-                        *sum += val.as_f64().ok_or_else(|| {
-                            SqlError::Eval("AVG over non-numeric value".into())
-                        })?;
+                        *sum += val
+                            .as_f64()
+                            .ok_or_else(|| SqlError::Eval("AVG over non-numeric value".into()))?;
                         *n += 1;
                     }
                 }
@@ -530,10 +523,7 @@ impl Acc {
                     if !val.is_null() {
                         let replace = match cur {
                             None => true,
-                            Some(c) => matches!(
-                                val.sql_cmp(c),
-                                Some(std::cmp::Ordering::Less)
-                            ),
+                            Some(c) => matches!(val.sql_cmp(c), Some(std::cmp::Ordering::Less)),
                         };
                         if replace {
                             *cur = Some(val);
@@ -546,10 +536,7 @@ impl Acc {
                     if !val.is_null() {
                         let replace = match cur {
                             None => true,
-                            Some(c) => matches!(
-                                val.sql_cmp(c),
-                                Some(std::cmp::Ordering::Greater)
-                            ),
+                            Some(c) => matches!(val.sql_cmp(c), Some(std::cmp::Ordering::Greater)),
                         };
                         if replace {
                             *cur = Some(val);
@@ -677,8 +664,7 @@ fn scan_grouped(
         let mut b = aggsky_core::GroupedDatasetBuilder::new(dim).trusted_labels();
         for (gi, _) in &survivors {
             let rows: Vec<&[f64]> = groups[*gi].sky.chunks_exact(dim).collect();
-            b.push_group(gi.to_string(), &rows)
-                .map_err(|e| SqlError::Eval(e.to_string()))?;
+            b.push_group(gi.to_string(), &rows).map_err(|e| SqlError::Eval(e.to_string()))?;
         }
         let ds = b.build().map_err(|e| SqlError::Eval(e.to_string()))?;
         let opts = aggsky_core::AlgoOptions::exact(gamma);
@@ -698,8 +684,10 @@ fn scan_grouped(
         let g = &groups[gi];
         let proj: Vec<Value> =
             proj_exprs.iter().map(|e| eval(e, &g.repr, &agg_values)).collect::<Result<_>>()?;
-        let keys: Vec<Value> =
-            order_exprs.iter().map(|(e, _)| eval(e, &g.repr, &agg_values)).collect::<Result<_>>()?;
+        let keys: Vec<Value> = order_exprs
+            .iter()
+            .map(|(e, _)| eval(e, &g.repr, &agg_values))
+            .collect::<Result<_>>()?;
         out.push((proj, keys));
     }
     Ok(out)

@@ -316,11 +316,9 @@ impl Parser {
         for cond in join_conditions {
             stmt.where_clause = Some(match stmt.where_clause.take() {
                 None => cond,
-                Some(w) => Expr::Binary {
-                    op: BinOp::And,
-                    left: Box::new(w),
-                    right: Box::new(cond),
-                },
+                Some(w) => {
+                    Expr::Binary { op: BinOp::And, left: Box::new(w), right: Box::new(cond) }
+                }
             });
         }
         Ok(stmt)
@@ -401,7 +399,9 @@ impl Parser {
         let left = self.additive()?;
         // `[NOT] IN / BETWEEN / LIKE`
         let negated = if self.peek().is_kw("not")
-            && (self.peek2().is_kw("in") || self.peek2().is_kw("between") || self.peek2().is_kw("like"))
+            && (self.peek2().is_kw("in")
+                || self.peek2().is_kw("between")
+                || self.peek2().is_kw("like"))
         {
             self.bump();
             true
@@ -422,11 +422,7 @@ impl Parser {
         }
         if self.eat_kw("like") {
             let pattern = self.additive()?;
-            return Ok(Expr::Like {
-                expr: Box::new(left),
-                pattern: Box::new(pattern),
-                negated,
-            });
+            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
         }
         if self.eat_kw("in") {
             self.expect_symbol("(")?;

@@ -173,9 +173,7 @@ impl<'a> Compiler<'a> {
                 let compiled_arg = match arg {
                     Some(a) => {
                         if a.has_aggregate() {
-                            return Err(SqlError::Unsupported(
-                                "nested aggregates".to_string(),
-                            ));
+                            return Err(SqlError::Unsupported("nested aggregates".to_string()));
                         }
                         Some(self.compile(a)?)
                     }
@@ -371,9 +369,7 @@ pub fn eval(expr: &RExpr, row: &[Value], aggs: &[Value]) -> Result<Value> {
                         F::Length => Value::Int(s.chars().count() as i64),
                         _ => unreachable!(),
                     },
-                    _ => {
-                        return Err(SqlError::Eval(format!("{func:?} expects a string")))
-                    }
+                    _ => return Err(SqlError::Eval(format!("{func:?} expects a string"))),
                 },
             })
         }

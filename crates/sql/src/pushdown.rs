@@ -45,10 +45,8 @@ impl ScanPlan {
         for conjunct in split_conjuncts(expr) {
             let mut cols = Vec::new();
             columns_used(&conjunct, &mut cols);
-            let tables: std::collections::BTreeSet<usize> = cols
-                .iter()
-                .map(|&c| table_of(c, offsets, widths))
-                .collect();
+            let tables: std::collections::BTreeSet<usize> =
+                cols.iter().map(|&c| table_of(c, offsets, widths)).collect();
             match tables.len() {
                 0 => {
                     // Constant conjunct: decide the whole query right now.

@@ -39,7 +39,8 @@ fn column_strings(db: &mut Database, sql: &str) -> Vec<String> {
 #[test]
 fn basic_select_and_where() {
     let mut db = movie_db();
-    let r = db.execute("SELECT title, pop FROM movie WHERE year >= 2003 ORDER BY pop DESC").unwrap();
+    let r =
+        db.execute("SELECT title, pop FROM movie WHERE year >= 2003 ORDER BY pop DESC").unwrap();
     assert_eq!(r.columns, vec!["title", "pop"]);
     assert_eq!(r.rows.len(), 4);
     assert_eq!(r.rows[0][0].to_string(), "Avatar");
@@ -151,9 +152,8 @@ fn self_join_counts_pairs() {
 #[test]
 fn aggregates_without_group_by() {
     let mut db = movie_db();
-    let r = db
-        .execute("SELECT count(*), min(pop), max(pop), avg(qual), sum(num) FROM movie")
-        .unwrap();
+    let r =
+        db.execute("SELECT count(*), min(pop), max(pop), avg(qual), sum(num) FROM movie").unwrap();
     assert_eq!(r.rows.len(), 1);
     assert_eq!(r.rows[0][0], Value::Int(10));
     assert_eq!(r.rows[0][1], Value::Float(10.0));
@@ -193,10 +193,8 @@ fn min_direction_in_record_skyline() {
 #[test]
 fn in_list_and_not_in_list() {
     let mut db = movie_db();
-    let got = column_strings(
-        &mut db,
-        "SELECT title FROM movie WHERE director IN ('Wiseau', 'Nolan')",
-    );
+    let got =
+        column_strings(&mut db, "SELECT title FROM movie WHERE director IN ('Wiseau', 'Nolan')");
     assert_eq!(got, vec!["Batman Begins", "The Room"]);
     let got = column_strings(
         &mut db,
@@ -217,15 +215,9 @@ fn wildcard_projection_and_aliases() {
 #[test]
 fn error_paths() {
     let mut db = movie_db();
-    assert!(matches!(
-        db.execute("SELECT nope FROM movie"),
-        Err(SqlError::UnknownColumn(_))
-    ));
+    assert!(matches!(db.execute("SELECT nope FROM movie"), Err(SqlError::UnknownColumn(_))));
     assert!(matches!(db.execute("SELECT * FROM nope"), Err(SqlError::UnknownTable(_))));
-    assert!(matches!(
-        db.execute("CREATE TABLE movie (a INT)"),
-        Err(SqlError::TableExists(_))
-    ));
+    assert!(matches!(db.execute("CREATE TABLE movie (a INT)"), Err(SqlError::TableExists(_))));
     assert!(matches!(
         db.execute("SELECT a FROM movie X, movie X"),
         Err(SqlError::Parse(_) | SqlError::UnknownColumn(_))
@@ -260,9 +252,8 @@ fn null_semantics() {
 fn group_by_expression_key() {
     let mut db = movie_db();
     // Group by decade.
-    let r = db
-        .execute("SELECT count(*) FROM movie GROUP BY year / 10 ORDER BY count(*) DESC")
-        .unwrap();
+    let r =
+        db.execute("SELECT count(*) FROM movie GROUP BY year / 10 ORDER BY count(*) DESC").unwrap();
     let total: i64 = r
         .rows
         .iter()
@@ -322,14 +313,9 @@ fn aggregate_skyline_on_three_dims() {
 #[test]
 fn between_inclusive_and_negated() {
     let mut db = movie_db();
-    let got = column_strings(
-        &mut db,
-        "SELECT title FROM movie WHERE year BETWEEN 1991 AND 1994",
-    );
+    let got = column_strings(&mut db, "SELECT title FROM movie WHERE year BETWEEN 1991 AND 1994");
     assert_eq!(got, vec!["Dracula", "Pulp Fiction", "Terminator (II)"]);
-    let r = db
-        .execute("SELECT count(*) FROM movie WHERE year NOT BETWEEN 1991 AND 1994")
-        .unwrap();
+    let r = db.execute("SELECT count(*) FROM movie WHERE year NOT BETWEEN 1991 AND 1994").unwrap();
     assert_eq!(r.rows[0][0], Value::Int(7));
 }
 
@@ -371,9 +357,7 @@ fn delete_with_and_without_predicate() {
 fn update_rows_and_skyline_shift() {
     let mut db = movie_db();
     // A re-release makes The Room wildly popular and acclaimed.
-    let r = db
-        .execute("UPDATE movie SET pop = 600, qual = 9.5 WHERE title = 'The Room'")
-        .unwrap();
+    let r = db.execute("UPDATE movie SET pop = 600, qual = 9.5 WHERE title = 'The Room'").unwrap();
     assert_eq!(r.rows[0][0], Value::Int(1));
     let got = column_strings(
         &mut db,
@@ -405,10 +389,7 @@ fn update_coerces_into_float_columns() {
 #[test]
 fn update_unknown_column_errors() {
     let mut db = movie_db();
-    assert!(matches!(
-        db.execute("UPDATE movie SET nope = 1"),
-        Err(SqlError::UnknownColumn(_))
-    ));
+    assert!(matches!(db.execute("UPDATE movie SET nope = 1"), Err(SqlError::UnknownColumn(_))));
 }
 
 #[test]
@@ -441,9 +422,7 @@ fn scalar_functions() {
     assert_eq!(row[3], Value::Float(-3.0));
     assert_eq!(row[4], Value::Float(-2.0));
     assert_eq!(row[5], Value::Float(2.75));
-    let r = db
-        .execute("SELECT lower(s), upper(s), length(s) FROM t WHERE x < 0")
-        .unwrap();
+    let r = db.execute("SELECT lower(s), upper(s), length(s) FROM t WHERE x < 0").unwrap();
     assert_eq!(r.rows[0][0], Value::Str("hello".into()));
     assert_eq!(r.rows[0][1], Value::Str("HELLO".into()));
     assert_eq!(r.rows[0][2], Value::Int(5));
@@ -454,7 +433,7 @@ fn scalar_functions() {
     // Scalars compose with aggregates and grouping.
     let r = db.execute("SELECT round(avg(abs(x)), 2) FROM t").unwrap();
     assert_eq!(r.rows[0][0], Value::Float(3.38)); // (2.75 + 4)/2 = 3.375 -> 3.38
-    // Arity errors are parse-time.
+                                                  // Arity errors are parse-time.
     assert!(db.execute("SELECT abs(x, 1) FROM t").is_err());
     assert!(db.execute("SELECT nosuchfn(x) FROM t").is_err());
 }
@@ -538,9 +517,11 @@ fn explain_shows_pushdown() {
 #[test]
 fn insert_into_select() {
     let mut db = movie_db();
-    db.execute("CREATE TABLE modern (title TEXT, year INT, director TEXT, \
-                pop FLOAT, qual FLOAT, num INT)")
-        .unwrap();
+    db.execute(
+        "CREATE TABLE modern (title TEXT, year INT, director TEXT, \
+                pop FLOAT, qual FLOAT, num INT)",
+    )
+    .unwrap();
     let r = db.execute("INSERT INTO modern SELECT * FROM movie WHERE year >= 2000").unwrap();
     assert_eq!(r.rows[0][0], Value::Int(5));
     assert_eq!(db.table_len("modern").unwrap(), 5);
@@ -580,9 +561,7 @@ fn like_pathological_patterns_terminate_fast() {
     let long = "a".repeat(2000);
     db.insert_rows("t", vec![vec![Value::Str(long)]]).unwrap();
     let start = std::time::Instant::now();
-    let r = db
-        .execute("SELECT count(*) FROM t WHERE s LIKE '%%%%%%%%%%%%%%%%%%%%z'")
-        .unwrap();
+    let r = db.execute("SELECT count(*) FROM t WHERE s LIKE '%%%%%%%%%%%%%%%%%%%%z'").unwrap();
     assert_eq!(r.rows[0][0], Value::Int(0));
     assert!(start.elapsed().as_secs_f64() < 1.0, "LIKE blew up");
     // Matching interleaved stars still work.
@@ -611,14 +590,10 @@ fn inner_join_on_desugars_to_filtered_cross_product() {
     let mut db = Database::new();
     db.execute("CREATE TABLE d (name TEXT, country TEXT)").unwrap();
     db.execute("CREATE TABLE m (director TEXT, pop FLOAT)").unwrap();
-    db.execute(
-        "INSERT INTO d VALUES ('Tarantino', 'US'), ('Kershner', 'US'), ('Wiseau', 'US')",
-    )
-    .unwrap();
-    db.execute(
-        "INSERT INTO m VALUES ('Tarantino', 557), ('Tarantino', 313), ('Kershner', 362)",
-    )
-    .unwrap();
+    db.execute("INSERT INTO d VALUES ('Tarantino', 'US'), ('Kershner', 'US'), ('Wiseau', 'US')")
+        .unwrap();
+    db.execute("INSERT INTO m VALUES ('Tarantino', 557), ('Tarantino', 313), ('Kershner', 362)")
+        .unwrap();
     let r = db
         .execute(
             "SELECT d.name, count(*) FROM d JOIN m ON d.name = m.director \
@@ -630,9 +605,7 @@ fn inner_join_on_desugars_to_filtered_cross_product() {
     assert_eq!(r.rows[1][1], Value::Int(2));
     // INNER JOIN spelling and a WHERE mixed in.
     let r = db
-        .execute(
-            "SELECT count(*) FROM d INNER JOIN m ON d.name = m.director WHERE m.pop > 350",
-        )
+        .execute("SELECT count(*) FROM d INNER JOIN m ON d.name = m.director WHERE m.pop > 350")
         .unwrap();
     assert_eq!(r.rows[0][0], Value::Int(2));
     // JOIN without ON is a parse error.
@@ -687,9 +660,8 @@ fn explain_covers_dml_and_skyline_record_form() {
 #[test]
 fn group_by_having_without_matching_groups_is_empty() {
     let mut db = movie_db();
-    let r = db
-        .execute("SELECT director FROM movie GROUP BY director HAVING count(*) > 99")
-        .unwrap();
+    let r =
+        db.execute("SELECT director FROM movie GROUP BY director HAVING count(*) > 99").unwrap();
     assert!(r.rows.is_empty());
 }
 

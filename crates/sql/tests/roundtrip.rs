@@ -1,174 +1,206 @@
-//! Property-based round-trip testing of the SQL printer and parser:
-//! `parse(print(ast)) == ast` for randomly generated ASTs, and evaluation
-//! never panics on arbitrary generated queries over a fixed table.
+//! Round-trip testing of the SQL printer and parser on randomly generated
+//! ASTs (`parse(print(ast)) == ast`), plus a no-panic/determinism check of
+//! the executor on arbitrary generated queries over fixed tables.
+//!
+//! Random ASTs come from a small hand-rolled recursive generator driven by a
+//! local splitmix64 stream (this crate deliberately has no dependencies, so
+//! no property-testing framework and no shared datagen crate); every test
+//! loops over fixed seeds and reports the failing seed.
 
 use aggsky_sql::ast::*;
 use aggsky_sql::{parse, Database, Statement, Value};
-use proptest::prelude::*;
 
-fn ident() -> impl Strategy<Value = String> {
-    prop_oneof![
-        Just("c0".to_string()),
-        Just("c1".to_string()),
-        Just("c2".to_string()),
-        Just("zz".to_string()),
-    ]
+/// Minimal deterministic PRNG (splitmix64) for AST generation.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+
+    /// A random string of `0..=max_len` chars from `alphabet`.
+    fn string(&mut self, alphabet: &[char], max_len: usize) -> String {
+        let len = self.index(max_len + 1);
+        (0..len).map(|_| alphabet[self.index(alphabet.len())]).collect()
+    }
 }
 
-fn literal() -> impl Strategy<Value = Expr> {
-    prop_oneof![
-        (0i64..1000).prop_map(|i| Expr::Literal(Value::Int(i))),
-        (0u32..10_000).prop_map(|m| Expr::Literal(Value::Float(m as f64 / 8.0))),
-        "[a-z '%_]{0,8}".prop_map(|s| Expr::Literal(Value::Str(s))),
-        Just(Expr::Literal(Value::Null)),
-    ]
+const IDENTS: [&str; 4] = ["c0", "c1", "c2", "zz"];
+const STR_ALPHABET: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r', 's',
+    't', 'u', 'v', 'w', 'x', 'y', 'z', ' ', '\'', '%', '_',
+];
+const LIKE_ALPHABET: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r', 's',
+    't', 'u', 'v', 'w', 'x', 'y', 'z', '%', '_',
+];
+const BIN_OPS: [BinOp; 12] = [
+    BinOp::Or,
+    BinOp::And,
+    BinOp::Eq,
+    BinOp::Neq,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Gt,
+    BinOp::Ge,
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+];
+
+fn literal(rng: &mut Rng) -> Expr {
+    match rng.index(4) {
+        0 => Expr::Literal(Value::Int(rng.index(1000) as i64)),
+        1 => Expr::Literal(Value::Float(rng.index(10_000) as f64 / 8.0)),
+        2 => Expr::Literal(Value::Str(rng.string(STR_ALPHABET, 8))),
+        _ => Expr::Literal(Value::Null),
+    }
 }
 
-fn column() -> impl Strategy<Value = Expr> {
-    (proptest::option::of(prop_oneof![Just("t".to_string()), Just("u".to_string())]), ident())
-        .prop_map(|(table, name)| Expr::Column { table, name })
+fn column(rng: &mut Rng) -> Expr {
+    let table = match rng.index(3) {
+        0 => Some("t".to_string()),
+        1 => Some("u".to_string()),
+        _ => None,
+    };
+    Expr::Column { table, name: IDENTS[rng.index(IDENTS.len())].to_string() }
 }
 
-fn expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![literal(), column()];
-    leaf.prop_recursive(4, 48, 4, |inner| {
-        prop_oneof![
-            (
-                prop_oneof![
-                    Just(BinOp::Or),
-                    Just(BinOp::And),
-                    Just(BinOp::Eq),
-                    Just(BinOp::Neq),
-                    Just(BinOp::Lt),
-                    Just(BinOp::Le),
-                    Just(BinOp::Gt),
-                    Just(BinOp::Ge),
-                    Just(BinOp::Add),
-                    Just(BinOp::Sub),
-                    Just(BinOp::Mul),
-                    Just(BinOp::Div),
-                ],
-                inner.clone(),
-                inner.clone()
-            )
-                .prop_map(|(op, l, r)| Expr::Binary {
-                    op,
-                    left: Box::new(l),
-                    right: Box::new(r)
-                }),
-            inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
-            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner.clone(), proptest::option::of(inner.clone())).prop_map(|(a, arg)| {
-                match arg {
-                    None => Expr::Aggregate { func: AggFunc::Count, arg: None },
-                    Some(_) => Expr::Aggregate { func: AggFunc::Max, arg: Some(Box::new(a)) },
-                }
-            }),
-            inner.clone().prop_map(|e| Expr::Scalar { func: ScalarFunc::Abs, args: vec![e] }),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Scalar { func: ScalarFunc::Round, args: vec![a, b] }),
-            (inner.clone(), proptest::collection::vec(inner.clone(), 1..4), any::<bool>())
-                .prop_map(|(e, list, negated)| Expr::InList {
-                    expr: Box::new(e),
-                    list,
-                    negated
-                }),
-            (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
-                |(e, lo, hi, negated)| Expr::Between {
-                    expr: Box::new(e),
-                    low: Box::new(lo),
-                    high: Box::new(hi),
-                    negated
-                }
-            ),
-            (inner.clone(), "[a-z%_]{0,6}", any::<bool>()).prop_map(|(e, pat, negated)| {
-                Expr::Like {
-                    expr: Box::new(e),
-                    pattern: Box::new(Expr::Literal(Value::Str(pat))),
-                    negated,
-                }
-            }),
-        ]
-    })
+/// A random expression of recursion depth at most `depth`, covering every
+/// `Expr` variant the parser can print.
+fn expr(rng: &mut Rng, depth: usize) -> Expr {
+    if depth == 0 {
+        return if rng.flag() { literal(rng) } else { column(rng) };
+    }
+    let d = depth - 1;
+    match rng.index(10) {
+        0 => literal(rng),
+        1 => column(rng),
+        2 => Expr::Binary {
+            op: BIN_OPS[rng.index(BIN_OPS.len())],
+            left: Box::new(expr(rng, d)),
+            right: Box::new(expr(rng, d)),
+        },
+        3 => Expr::Neg(Box::new(expr(rng, d))),
+        4 => Expr::Not(Box::new(expr(rng, d))),
+        5 => {
+            if rng.flag() {
+                Expr::Aggregate { func: AggFunc::Count, arg: None }
+            } else {
+                Expr::Aggregate { func: AggFunc::Max, arg: Some(Box::new(expr(rng, d))) }
+            }
+        }
+        6 => {
+            if rng.flag() {
+                Expr::Scalar { func: ScalarFunc::Abs, args: vec![expr(rng, d)] }
+            } else {
+                Expr::Scalar { func: ScalarFunc::Round, args: vec![expr(rng, d), expr(rng, d)] }
+            }
+        }
+        7 => Expr::InList {
+            expr: Box::new(expr(rng, d)),
+            list: (0..1 + rng.index(3)).map(|_| expr(rng, d)).collect(),
+            negated: rng.flag(),
+        },
+        8 => Expr::Between {
+            expr: Box::new(expr(rng, d)),
+            low: Box::new(expr(rng, d)),
+            high: Box::new(expr(rng, d)),
+            negated: rng.flag(),
+        },
+        _ => Expr::Like {
+            expr: Box::new(expr(rng, d)),
+            pattern: Box::new(Expr::Literal(Value::Str(rng.string(LIKE_ALPHABET, 6)))),
+            negated: rng.flag(),
+        },
+    }
 }
 
-fn select_stmt() -> impl Strategy<Value = SelectStmt> {
-    (
-        any::<bool>(),
-        proptest::collection::vec(expr(), 1..4),
-        proptest::option::of(expr()),
-        proptest::collection::vec(expr(), 0..3),
-        proptest::option::of(expr()),
-        proptest::option::of((
-            proptest::collection::vec(
-                (expr(), prop_oneof![Just(SkyDir::Max), Just(SkyDir::Min)]),
-                1..3,
-            ),
-            proptest::option::of(500u32..=1000),
-        )),
-        proptest::collection::vec(
-            (expr(), prop_oneof![Just(SortDir::Asc), Just(SortDir::Desc)]),
-            0..3,
-        ),
-        proptest::option::of(0usize..100),
-    )
-        .prop_map(
-            |(distinct, proj, where_clause, group_by, having, skyline, order_by, limit)| {
-                SelectStmt {
-                    distinct,
-                    projection: proj
-                        .into_iter()
-                        .map(|expr| SelectItem::Expr { expr, alias: None })
-                        .collect(),
-                    from: vec![
-                        TableRef { name: "t".into(), alias: None },
-                        TableRef { name: "u2".into(), alias: Some("u".into()) },
-                    ],
-                    where_clause,
-                    group_by,
-                    having,
-                    skyline: skyline.map(|(items, gamma)| SkylineClause {
-                        items,
-                        gamma: gamma.map(|g| g as f64 / 1000.0),
-                    }),
-                    order_by,
-                    limit,
-                }
-            },
-        )
+fn select_stmt(rng: &mut Rng) -> SelectStmt {
+    let projection = (0..1 + rng.index(3))
+        .map(|_| SelectItem::Expr { expr: expr(rng, 3), alias: None })
+        .collect();
+    let skyline = rng.flag().then(|| SkylineClause {
+        items: (0..1 + rng.index(2))
+            .map(|_| (expr(rng, 2), if rng.flag() { SkyDir::Max } else { SkyDir::Min }))
+            .collect(),
+        gamma: rng.flag().then(|| (500 + rng.index(501)) as f64 / 1000.0),
+    });
+    SelectStmt {
+        distinct: rng.flag(),
+        projection,
+        from: vec![
+            TableRef { name: "t".into(), alias: None },
+            TableRef { name: "u2".into(), alias: Some("u".into()) },
+        ],
+        where_clause: rng.flag().then(|| expr(rng, 3)),
+        group_by: (0..rng.index(3)).map(|_| expr(rng, 2)).collect(),
+        having: rng.flag().then(|| expr(rng, 2)),
+        skyline,
+        order_by: (0..rng.index(3))
+            .map(|_| (expr(rng, 2), if rng.flag() { SortDir::Asc } else { SortDir::Desc }))
+            .collect(),
+        limit: rng.flag().then(|| rng.index(100)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// print → parse is the identity on expression ASTs.
-    #[test]
-    fn expr_round_trips(e in expr()) {
+/// print → parse is the identity on expression ASTs.
+#[test]
+fn expr_round_trips() {
+    for seed in 0..256u64 {
+        let mut rng = Rng::new(seed);
+        let e = expr(&mut rng, 4);
         let sql = format!("SELECT {e} FROM t");
-        let parsed = parse(&sql).unwrap_or_else(|err| panic!("unparseable {sql:?}: {err}"));
-        let Statement::Select(s) = parsed else { panic!() };
-        let SelectItem::Expr { expr: got, .. } = &s.projection[0] else { panic!() };
-        prop_assert_eq!(got, &e, "{}", sql);
+        let parsed =
+            parse(&sql).unwrap_or_else(|err| panic!("seed={seed} unparseable {sql:?}: {err}"));
+        let Statement::Select(s) = parsed else { panic!("seed={seed}") };
+        let SelectItem::Expr { expr: got, .. } = &s.projection[0] else { panic!("seed={seed}") };
+        assert_eq!(got, &e, "seed={seed}: {sql}");
     }
+}
 
-    /// print → parse is the identity on whole SELECT statements.
-    #[test]
-    fn select_round_trips(s in select_stmt()) {
+/// print → parse is the identity on whole SELECT statements.
+#[test]
+fn select_round_trips() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::new(0x005e_1ec7 ^ seed.wrapping_mul(0x0100_0000_01b3));
+        let s = select_stmt(&mut rng);
         let sql = s.to_string();
-        let parsed = parse(&sql).unwrap_or_else(|err| panic!("unparseable {sql:?}: {err}"));
-        prop_assert_eq!(parsed, Statement::Select(s), "{}", sql);
+        let parsed =
+            parse(&sql).unwrap_or_else(|err| panic!("seed={seed} unparseable {sql:?}: {err}"));
+        assert_eq!(parsed, Statement::Select(s), "seed={seed}: {sql}");
     }
+}
 
-    /// Arbitrary generated queries either run or fail with a clean error —
-    /// never a panic — and running the same query twice is deterministic.
-    #[test]
-    fn execution_never_panics(s in select_stmt()) {
-        let mut db = Database::new();
-        db.execute("CREATE TABLE t (c0 INT, c1 FLOAT, c2 TEXT)").unwrap();
-        db.execute("CREATE TABLE u2 (zz FLOAT)").unwrap();
-        db.execute("INSERT INTO t VALUES (1, 2.5, 'abc'), (NULL, 0.0, ''), (7, -1.0, 'z%')")
-            .unwrap();
-        db.execute("INSERT INTO u2 VALUES (0.5), (NULL)").unwrap();
+/// Arbitrary generated queries either run or fail with a clean error —
+/// never a panic — and running the same query twice is deterministic.
+#[test]
+fn execution_never_panics() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t (c0 INT, c1 FLOAT, c2 TEXT)").unwrap();
+    db.execute("CREATE TABLE u2 (zz FLOAT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 2.5, 'abc'), (NULL, 0.0, ''), (7, -1.0, 'z%')").unwrap();
+    db.execute("INSERT INTO u2 VALUES (0.5), (NULL)").unwrap();
+    for seed in 0..128u64 {
+        let mut rng = Rng::new(0x5eed_c0de_u64 ^ seed);
+        let s = select_stmt(&mut rng);
         let sql = s.to_string();
         let a = db.execute(&sql);
         let b = db.execute(&sql);
@@ -176,10 +208,10 @@ proptest! {
             // Compare via Debug so NaN results (legal: e.g. inf - inf in a
             // projection) count as equal across the two runs.
             (Ok(x), Ok(y)) => {
-                prop_assert_eq!(format!("{x:?}"), format!("{y:?}"), "nondeterministic: {}", sql)
+                assert_eq!(format!("{x:?}"), format!("{y:?}"), "nondeterministic: {sql}")
             }
             (Err(_), Err(_)) => {}
-            (x, y) => prop_assert!(false, "flaky outcome for {}: {:?} vs {:?}", sql, x, y),
+            (x, y) => panic!("flaky outcome for {sql}: {x:?} vs {y:?}"),
         }
     }
 }

@@ -41,10 +41,8 @@ fn main() {
     }
 
     // Explain one excluded hospital.
-    let out = ds
-        .group_ids()
-        .find(|g| !result.skyline.contains(g))
-        .expect("some hospital is dominated");
+    let out =
+        ds.group_ids().find(|g| !result.skyline.contains(g)).expect("some hospital is dominated");
     let m = explain_membership(&ds, out, Gamma::DEFAULT);
     let worst = m.worst_threat().expect("excluded implies a dominator");
     println!(

@@ -16,7 +16,10 @@ fn main() {
     let flat: Vec<f64> = movies.iter().flat_map(|m| [m.popularity, m.quality]).collect();
     let record_sky = record_skyline::bnl(&flat, 2);
     for &i in &record_sky {
-        println!("  {:<22} pop={:>5} qual={}", movies[i].title, movies[i].popularity, movies[i].quality);
+        println!(
+            "  {:<22} pop={:>5} qual={}",
+            movies[i].title, movies[i].popularity, movies[i].quality
+        );
     }
 
     // --- The flawed alternative: skyline, then group ---

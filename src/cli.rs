@@ -12,9 +12,11 @@
 //! * `sql FILE...` — execute semicolon-separated SQL statements from files
 //!   (use `-` for stdin), printing each result table.
 
-use crate::core::ranked_skyline;
+use crate::core::{parallel_skyline_with, ranked_skyline, resolve_threads, KernelConfig};
 use crate::{AlgoOptions, Algorithm, Direction, Gamma, Pruning};
-use aggsky_datagen::{parse_grouped_csv, to_grouped_csv, Distribution, GroupSizes, SyntheticConfig};
+use aggsky_datagen::{
+    parse_grouped_csv, to_grouped_csv, Distribution, GroupSizes, SyntheticConfig,
+};
 use std::fmt::Write as _;
 
 /// A CLI failure: the message is printed to stderr with exit code 1.
@@ -46,6 +48,8 @@ skyline options:
   --algorithm A      NL0 | NL | TR | SI | IN | LO (default IN)
   --min COL          treat COL as minimize (repeatable; default: maximize all)
   --exact            use provably-exact pruning (default: paper pruning)
+  --threads N        run the parallel extension with N workers (0 = all cores);
+                     overrides --algorithm
   --rank             also print groups by minimum qualifying gamma
 
 generate options:
@@ -81,10 +85,7 @@ impl Flags {
                 i += 1;
                 continue;
             }
-            let value = args
-                .get(i + 1)
-                .ok_or_else(|| format!("--{key} expects a value"))?
-                .clone();
+            let value = args.get(i + 1).ok_or_else(|| format!("--{key} expects a value"))?.clone();
             pairs.push((key.to_string(), value));
             i += 2;
         }
@@ -132,8 +133,8 @@ fn skyline_command(args: &[String]) -> Result<String, CliError> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
 
     // Map --min column names onto dimensions via the CSV header.
-    let value_cols = aggsky_datagen::csv_value_columns(&text, group_col)
-        .map_err(|e| format!("{path}: {e}"))?;
+    let value_cols =
+        aggsky_datagen::csv_value_columns(&text, group_col).map_err(|e| format!("{path}: {e}"))?;
     let mins = flags.get_all("min");
     for m in &mins {
         if !value_cols.iter().any(|c| c.eq_ignore_ascii_case(m)) {
@@ -158,7 +159,17 @@ fn skyline_command(args: &[String]) -> Result<String, CliError> {
     } else {
         AlgoOptions { pruning: Pruning::Paper, ..AlgoOptions::paper(gamma) }
     };
-    let result = algorithm.run_with(&ds, opts);
+    let threads: Option<usize> = match flags.get("threads") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| format!("--threads: invalid value {v:?}"))?),
+    };
+    let (result, algo_name) = match threads {
+        Some(t) => (
+            parallel_skyline_with(&ds, gamma, t, KernelConfig::blocked()),
+            format!("PAR({} threads)", resolve_threads(t)),
+        ),
+        None => (algorithm.run_with(&ds, opts), algorithm.short_name().to_string()),
+    };
 
     let mut out = String::new();
     writeln!(
@@ -168,7 +179,7 @@ fn skyline_command(args: &[String]) -> Result<String, CliError> {
         ds.n_records(),
         ds.dim(),
         gamma,
-        algorithm.short_name()
+        algo_name
     )
     .unwrap();
     writeln!(out, "aggregate skyline ({} groups):", result.skyline.len()).unwrap();
@@ -199,19 +210,15 @@ fn generate_command(args: &[String]) -> Result<String, CliError> {
         "corr" => Distribution::Correlated,
         other => return Err(format!("unknown distribution {other:?} (anti|ind|corr)")),
     };
-    let records: usize = flags
-        .require("records")?
-        .parse()
-        .map_err(|_| "--records: invalid number".to_string())?;
+    let records: usize =
+        flags.require("records")?.parse().map_err(|_| "--records: invalid number".to_string())?;
     let groups = flags.parse_num("groups", (records / 100).max(1))?;
     let dim = flags.parse_num("dim", 5usize)?;
     let spread = flags.parse_num("spread", 0.2f64)?;
     let seed = flags.parse_num("seed", 42u64)?;
     let group_sizes = match flags.get("zipf") {
         None => GroupSizes::Uniform,
-        Some(v) => GroupSizes::Zipf(
-            v.parse().map_err(|_| "--zipf: invalid exponent".to_string())?,
-        ),
+        Some(v) => GroupSizes::Zipf(v.parse().map_err(|_| "--zipf: invalid exponent".to_string())?),
     };
     let cfg = SyntheticConfig {
         n_records: records,
@@ -238,9 +245,7 @@ fn sql_command(args: &[String]) -> Result<String, CliError> {
         let text = if path == "-" {
             use std::io::Read;
             let mut buf = String::new();
-            std::io::stdin()
-                .read_to_string(&mut buf)
-                .map_err(|e| format!("stdin: {e}"))?;
+            std::io::stdin().read_to_string(&mut buf).map_err(|e| format!("stdin: {e}"))?;
             buf
         } else {
             std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
@@ -273,8 +278,17 @@ mod tests {
     #[test]
     fn generate_then_skyline_round_trip() {
         let csv = run_command(&s(&[
-            "generate", "--dist", "ind", "--records", "300", "--groups", "6", "--dim", "3",
-            "--seed", "7",
+            "generate",
+            "--dist",
+            "ind",
+            "--records",
+            "300",
+            "--groups",
+            "6",
+            "--dim",
+            "3",
+            "--seed",
+            "7",
         ]))
         .unwrap();
         assert!(csv.starts_with("class,d0,d1,d2"));
@@ -285,8 +299,14 @@ mod tests {
         let path = dir.join("gen.csv");
         std::fs::write(&path, &csv).unwrap();
         let out = run_command(&s(&[
-            "skyline", "--csv", path.to_str().unwrap(), "--group", "class", "--rank",
-            "--algorithm", "LO",
+            "skyline",
+            "--csv",
+            path.to_str().unwrap(),
+            "--group",
+            "class",
+            "--rank",
+            "--algorithm",
+            "LO",
         ]))
         .unwrap();
         assert!(out.contains("6 groups, 300 records, 3 dimensions"));
@@ -303,7 +323,13 @@ mod tests {
         // price minimized, every a-offer dominates it.
         std::fs::write(&path, "shop,price,rating\na,10,4\na,12,5\nb,30,3\nc,9,2\n").unwrap();
         let out = run_command(&s(&[
-            "skyline", "--csv", path.to_str().unwrap(), "--group", "shop", "--min", "price",
+            "skyline",
+            "--csv",
+            path.to_str().unwrap(),
+            "--group",
+            "shop",
+            "--min",
+            "price",
             "--exact",
         ]))
         .unwrap();
@@ -312,16 +338,74 @@ mod tests {
         assert!(!out.contains("  b\n"), "b is beaten on price: {out}");
         // Unknown --min column is rejected.
         let err = run_command(&s(&[
-            "skyline", "--csv", path.to_str().unwrap(), "--group", "shop", "--min", "zzz",
+            "skyline",
+            "--csv",
+            path.to_str().unwrap(),
+            "--group",
+            "shop",
+            "--min",
+            "zzz",
         ]))
         .unwrap_err();
         assert!(err.contains("no such value column"));
         // Invalid gamma is rejected.
         let err = run_command(&s(&[
-            "skyline", "--csv", path.to_str().unwrap(), "--group", "shop", "--gamma", "0.2",
+            "skyline",
+            "--csv",
+            path.to_str().unwrap(),
+            "--group",
+            "shop",
+            "--gamma",
+            "0.2",
         ]))
         .unwrap_err();
         assert!(err.contains("asymmetry"), "{err}");
+    }
+
+    #[test]
+    fn threads_flag_runs_parallel_extension() {
+        let dir = std::env::temp_dir().join("aggsky_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("par.csv");
+        std::fs::write(&path, "shop,price,rating\na,10,4\na,12,5\nb,30,3\nc,9,2\n").unwrap();
+        let base = run_command(&s(&[
+            "skyline",
+            "--csv",
+            path.to_str().unwrap(),
+            "--group",
+            "shop",
+            "--exact",
+        ]))
+        .unwrap();
+        for threads in ["0", "1", "3"] {
+            let out = run_command(&s(&[
+                "skyline",
+                "--csv",
+                path.to_str().unwrap(),
+                "--group",
+                "shop",
+                "--threads",
+                threads,
+            ]))
+            .unwrap();
+            assert!(out.contains("algorithm = PAR("), "{out}");
+            // Same skyline lines as the sequential exact run.
+            let members = |text: &str| -> Vec<String> {
+                text.lines().filter(|l| l.starts_with("  ")).map(|l| l.trim().to_string()).collect()
+            };
+            assert_eq!(members(&out), members(&base), "threads={threads}");
+        }
+        let err = run_command(&s(&[
+            "skyline",
+            "--csv",
+            path.to_str().unwrap(),
+            "--group",
+            "shop",
+            "--threads",
+            "x",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
     }
 
     #[test]

@@ -4,8 +4,7 @@
 use aggsky::core::record_skyline::{bnl, sfs};
 use aggsky::core::DominationMatrix;
 use aggsky::{
-    domination_probability, gamma_dominates, naive_skyline, Algorithm, Gamma,
-    GroupedDatasetBuilder,
+    domination_probability, gamma_dominates, naive_skyline, Algorithm, Gamma, GroupedDatasetBuilder,
 };
 use aggsky_datagen::{figure5_directors, movie_table, movies_by_director};
 
@@ -44,8 +43,7 @@ fn figure_4b_aggregate_skyline_every_algorithm() {
 fn figure_4a_sequential_composition_loses_directors() {
     let movies = movie_table();
     let flat: Vec<f64> = movies.iter().flat_map(|m| [m.popularity, m.quality]).collect();
-    let mut directors: Vec<&str> =
-        bnl(&flat, 2).into_iter().map(|i| movies[i].director).collect();
+    let mut directors: Vec<&str> = bnl(&flat, 2).into_iter().map(|i| movies[i].director).collect();
     directors.sort_unstable();
     directors.dedup();
     assert_eq!(directors, vec!["Coppola", "Tarantino"]);
@@ -95,9 +93,7 @@ fn proposition_3_skyline_containment_fails() {
     let g2 = b.push_group("G2", &[vec![2.0, 3.0]]).unwrap();
     let ds = b.build().unwrap();
     // (5,5) is the record skyline and lives in G1...
-    let flat: Vec<f64> = (0..ds.n_groups())
-        .flat_map(|g| ds.group_rows(g).to_vec())
-        .collect();
+    let flat: Vec<f64> = (0..ds.n_groups()).flat_map(|g| ds.group_rows(g).to_vec()).collect();
     assert_eq!(bnl(&flat, 2), vec![0]);
     // ...yet G1 is not in the aggregate skyline at γ = .5.
     let sky = naive_skyline(&ds, Gamma::DEFAULT).skyline;
@@ -109,11 +105,8 @@ fn proposition_3_skyline_containment_fails() {
 /// matrices behave exactly as printed.
 #[test]
 fn proposition_4_transitivity_fails_via_matrices() {
-    let rs = DominationMatrix::from_bits(
-        4,
-        2,
-        vec![true, false, true, true, true, false, true, false],
-    );
+    let rs =
+        DominationMatrix::from_bits(4, 2, vec![true, false, true, true, true, false, true, false]);
     let st = DominationMatrix::from_bits(2, 3, vec![true, false, false, true, true, true]);
     let rt = rs.product(&st);
     assert!(rs.pos() > 0.5);
@@ -159,10 +152,7 @@ fn skycube_on_movie_directors() {
     assert_eq!(cube.subspaces.len(), 3);
     // Full space = Figure 4(b).
     let full = cube.skyline_of(&[0, 1]).unwrap().to_vec();
-    assert_eq!(
-        ds.sorted_labels(&full),
-        vec!["Coppola", "Jackson", "Kershner", "Tarantino"]
-    );
+    assert_eq!(ds.sorted_labels(&full), vec!["Coppola", "Jackson", "Kershner", "Tarantino"]);
     // Universal winners must sit in the full-space skyline too.
     for g in cube.universal_groups() {
         assert!(full.contains(&g), "{}", ds.label(g));
@@ -196,10 +186,7 @@ fn dynamic_engine_tracks_the_movie_example() {
     assert!(labels.contains(&"Nolan"), "{labels:?}");
     // Cross-check against a batch recompute on the snapshot.
     let (snap, mapping) = dynamic.snapshot().unwrap();
-    let batch: Vec<usize> = naive_skyline(&snap, Gamma::DEFAULT)
-        .skyline
-        .into_iter()
-        .map(|g| mapping[g])
-        .collect();
+    let batch: Vec<usize> =
+        naive_skyline(&snap, Gamma::DEFAULT).skyline.into_iter().map(|g| mapping[g]).collect();
     assert_eq!(sky, batch);
 }

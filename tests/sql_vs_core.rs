@@ -4,20 +4,18 @@
 //! grouped data.
 
 use aggsky::core::record_skyline::bnl;
+use aggsky::datagen::Rng64;
 use aggsky::sql::{ColumnType, Database, Value};
 use aggsky::{naive_skyline, Gamma, GroupedDataset, GroupedDatasetBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Random small dataset on an integer grid (ties included on purpose).
 fn random_dataset(seed: u64, n_groups: usize, max_len: usize) -> GroupedDataset {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut b = GroupedDatasetBuilder::new(2).trusted_labels();
     for g in 0..n_groups {
-        let len = rng.gen_range(1..=max_len);
-        let rows: Vec<Vec<f64>> = (0..len)
-            .map(|_| vec![rng.gen_range(0..12) as f64, rng.gen_range(0..12) as f64])
-            .collect();
+        let len = 1 + rng.index(max_len);
+        let rows: Vec<Vec<f64>> =
+            (0..len).map(|_| vec![rng.index(12) as f64, rng.index(12) as f64]).collect();
         b.push_group(format!("g{g}"), &rows).unwrap();
     }
     b.build().unwrap()
@@ -122,14 +120,16 @@ fn native_group_skyline_matches_core_at_other_gammas() {
 #[test]
 fn record_skyline_clause_matches_bnl() {
     for seed in 300..320 {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let n = rng.gen_range(1..40);
-        let rows: Vec<Vec<f64>> = (0..n)
-            .map(|_| vec![rng.gen_range(0..10) as f64, rng.gen_range(0..10) as f64])
-            .collect();
+        let mut rng = Rng64::new(seed);
+        let n = 1 + rng.index(39);
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|_| vec![rng.index(10) as f64, rng.index(10) as f64]).collect();
         let mut db = Database::new();
-        db.create_table("t", &[("id", ColumnType::Int), ("a", ColumnType::Float), ("b", ColumnType::Float)])
-            .unwrap();
+        db.create_table(
+            "t",
+            &[("id", ColumnType::Int), ("a", ColumnType::Float), ("b", ColumnType::Float)],
+        )
+        .unwrap();
         let table_rows: Vec<Vec<Value>> = rows
             .iter()
             .enumerate()
@@ -160,7 +160,11 @@ fn having_filter_composes_with_group_skyline() {
     let mut db = Database::new();
     db.create_table(
         "movies",
-        &[("director", ColumnType::Text), ("votes", ColumnType::Float), ("rank", ColumnType::Float)],
+        &[
+            ("director", ColumnType::Text),
+            ("votes", ColumnType::Float),
+            ("rank", ColumnType::Float),
+        ],
     )
     .unwrap();
     db.insert_rows(

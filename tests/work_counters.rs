@@ -24,8 +24,7 @@ fn dataset(dist: Distribution, n: usize, spread: f64) -> aggsky::GroupedDataset 
 fn stop_rule_cuts_record_comparisons() {
     for dist in Distribution::ALL {
         let ds = dataset(dist, 3000, 0.2);
-        let on = Algorithm::NestedLoop
-            .run_with(&ds, AlgoOptions::paper(Gamma::DEFAULT));
+        let on = Algorithm::NestedLoop.run_with(&ds, AlgoOptions::paper(Gamma::DEFAULT));
         let off = Algorithm::NestedLoop
             .run_with(&ds, AlgoOptions { stop_rule: false, ..AlgoOptions::paper(Gamma::DEFAULT) });
         assert_eq!(on.skyline, off.skyline);
@@ -107,7 +106,7 @@ fn transitive_skips_on_correlated_data() {
 /// Section 3.4 (global optimization): under Zipfian group sizes, visiting
 /// small groups first must reduce record-pair work versus insertion order.
 #[test]
-fn small_groups_first_helps_under_zipf()  {
+fn small_groups_first_helps_under_zipf() {
     let ds = SyntheticConfig {
         n_records: 4000,
         n_groups: 40,
@@ -117,7 +116,10 @@ fn small_groups_first_helps_under_zipf()  {
     .generate();
     let unsorted = Algorithm::Sorted.run_with(
         &ds,
-        AlgoOptions { sort: aggsky::SortStrategy::InsertionOrder, ..AlgoOptions::paper(Gamma::DEFAULT) },
+        AlgoOptions {
+            sort: aggsky::SortStrategy::InsertionOrder,
+            ..AlgoOptions::paper(Gamma::DEFAULT)
+        },
     );
     let sorted = Algorithm::Sorted.run_with(
         &ds,
