@@ -51,7 +51,7 @@ pub(super) fn indexed_on(kernel: &Kernel<'_>, opts: &AlgoOptions) -> SkylineResu
         // Algorithm 5 line 11: only groups whose best corner dominates g1's
         // worst corner can possibly dominate g1.
         tree.window_query_into(&Aabb::at_least(&boxes[g1].min), &mut candidates);
-        stats.index_candidates += candidates.len().saturating_sub(1) as u64;
+        stats.index_candidates += crate::num::wide(candidates.len().saturating_sub(1));
         for &g2 in &candidates {
             if g2 == g1 {
                 continue; // Algorithm 5 line 13.

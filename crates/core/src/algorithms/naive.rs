@@ -20,7 +20,7 @@ pub fn naive_skyline(ds: &GroupedDataset, gamma: Gamma) -> SkylineResult {
                 continue;
             }
             stats.group_pairs += 1;
-            stats.record_pairs += (ds.group_len(s) * ds.group_len(r)) as u64;
+            stats.record_pairs += crate::num::pair_product(ds.group_len(s), ds.group_len(r));
             let p = domination_probability(ds, s, r);
             if gamma.dominated(p) {
                 status.raise(Status::Dominated);

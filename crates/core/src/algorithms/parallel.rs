@@ -89,7 +89,7 @@ fn run(kernel: &Kernel<'_>, gamma: Gamma, threads: usize, scheduler: Scheduler) 
 
     let process = |g1: GroupId, candidates: &mut Vec<GroupId>, stats: &mut Stats| -> Status {
         tree.window_query_into(&Aabb::at_least(&boxes[g1].min), candidates);
-        stats.index_candidates += candidates.len().saturating_sub(1) as u64;
+        stats.index_candidates += crate::num::wide(candidates.len().saturating_sub(1));
         for &g2 in candidates.iter() {
             if g2 == g1 {
                 continue;
@@ -146,7 +146,13 @@ fn run(kernel: &Kernel<'_>, gamma: Gamma, threads: usize, scheduler: Scheduler) 
             }));
         }
         for h in handles {
-            all.push(h.join().expect("worker thread panicked"));
+            // A worker can only fail by panicking; re-raise its payload on
+            // the caller's thread instead of aborting with a second panic
+            // message that hides the original.
+            match h.join() {
+                Ok(part) => all.push(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
 

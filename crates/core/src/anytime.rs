@@ -61,14 +61,14 @@ pub fn anytime_skyline(
     for (g, b) in boxes.iter().enumerate() {
         let mut c = tree.window_query(&Aabb::at_least(&b.min));
         c.retain(|&s| s != g);
-        stats.index_candidates += c.len() as u64;
+        stats.index_candidates += crate::num::wide(c.len());
         candidates.push(c);
     }
     // Work items: (g, candidate) pairs, cheapest first.
     let mut work: Vec<(u64, GroupId, GroupId)> = Vec::new();
     for (g, cands) in candidates.iter().enumerate() {
         for &s in cands {
-            let cost = (ds.group_len(g) as u64) * (ds.group_len(s) as u64);
+            let cost = crate::num::pair_product(ds.group_len(g), ds.group_len(s));
             work.push((cost, g, s));
         }
     }

@@ -11,6 +11,11 @@ use std::collections::HashMap;
 /// Identifier of a group inside a [`GroupedDataset`] (its insertion index).
 pub type GroupId = usize;
 
+/// Maximum records per group (`2³² − 1`). The cap guarantees that every
+/// pair-count denominator `|S|·|R|` fits in `u64` without overflow, which
+/// the counting kernels rely on (see [`crate::num::pair_product`]).
+pub const MAX_GROUP_LEN: usize = 0xFFFF_FFFF;
+
 /// An immutable collection of groups of `d`-dimensional records.
 ///
 /// This is the input to every aggregate-skyline algorithm in the crate. Use
@@ -173,7 +178,10 @@ impl GroupedDatasetBuilder {
         self
     }
 
-    /// Appends a group. Rejects empty groups, dimension mismatches and NaNs.
+    /// Appends a group. Rejects empty groups, groups above
+    /// [`MAX_GROUP_LEN`], dimension mismatches and non-finite coordinates
+    /// (NaN/±∞) — the validation that lets every downstream comparison
+    /// assume a total order and every pair count fit in `u64`.
     pub fn push_group<L, R>(&mut self, label: L, rows: &[R]) -> Result<GroupId>
     where
         L: Into<String>,
@@ -186,6 +194,9 @@ impl GroupedDatasetBuilder {
         if rows.is_empty() {
             return Err(Error::EmptyGroup(label));
         }
+        if rows.len() > MAX_GROUP_LEN {
+            return Err(Error::GroupTooLarge { group: label, len: rows.len() });
+        }
         if self.check_duplicates && self.label_ids.contains_key(&label) {
             return Err(Error::DuplicateGroup(label));
         }
@@ -197,9 +208,9 @@ impl GroupedDatasetBuilder {
                 return Err(Error::DimensionMismatch { expected: self.dim, got: row.len() });
             }
             for (d, (&v, dir)) in row.iter().zip(self.directions.iter()).enumerate() {
-                if v.is_nan() {
+                if !v.is_finite() {
                     self.values.truncate(start);
-                    return Err(Error::NanValue { dimension: d });
+                    return Err(Error::NonFiniteValue { dimension: d });
                 }
                 self.values.push(match dir {
                     Direction::Max => v,
@@ -210,7 +221,7 @@ impl GroupedDatasetBuilder {
         let id = self.labels.len();
         self.label_ids.entry(label.clone()).or_insert(id);
         self.labels.push(label);
-        self.offsets.push(self.offsets.last().unwrap() + rows.len());
+        self.offsets.push(self.offsets.last().copied().unwrap_or(0) + rows.len());
         Ok(id)
     }
 
@@ -284,10 +295,60 @@ mod tests {
     }
 
     #[test]
-    fn rejects_nan() {
+    fn rejects_non_finite_values() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut b = GroupedDatasetBuilder::new(2);
+            let err = b.push_group("g", &[vec![1.0, bad]]).unwrap_err();
+            assert_eq!(err, Error::NonFiniteValue { dimension: 1 }, "value {bad}");
+            // The rejected rows must not leak into a later group.
+            b.push_group("h", &[vec![7.0, 8.0]]).unwrap();
+            let ds = b.build().unwrap();
+            assert_eq!(ds.n_records(), 1);
+        }
+    }
+
+    /// Regression: a NaN coordinate does not crash dominance counting — it
+    /// silently *flips* verdicts. Under IEEE operators the NaN dimension
+    /// becomes invisible (`NaN > y` and `y > NaN` are both false); under the
+    /// total order of [`crate::ord`] it sorts above `+∞`. Either way, had
+    /// the builder admitted `(NaN, 10)` it would have γ-dominated `(1, 1)`
+    /// with p = 1, while any finite reading of the missing coordinate below
+    /// 1.0 makes the pair incomparable. Ingestion-time rejection is
+    /// therefore load-bearing for correctness, not hygiene.
+    #[test]
+    fn nan_record_would_flip_gamma_dominance_verdict() {
+        use crate::dominance::{compare, dominates, DomRelation};
+        // With NaN, the record *appears* to dominate: the NaN dimension
+        // drops out of the comparison entirely.
+        assert!(dominates(&[f64::NAN, 10.0], &[1.0, 1.0]));
+        // With the NaN read as any value below 1.0, the truth is
+        // incomparability — the opposite verdict.
+        assert_eq!(compare(&[0.0, 10.0], &[1.0, 1.0]), DomRelation::Incomparable);
+        // The builder refuses the record, so no dataset reachable through
+        // the public API can exhibit the flip.
         let mut b = GroupedDatasetBuilder::new(2);
-        let err = b.push_group("g", &[vec![1.0, f64::NAN]]).unwrap_err();
-        assert_eq!(err, Error::NanValue { dimension: 1 });
+        let err = b.push_group("S", &[vec![f64::NAN, 10.0]]).unwrap_err();
+        assert_eq!(err, Error::NonFiniteValue { dimension: 0 });
+    }
+
+    #[test]
+    fn rejects_oversized_group() {
+        // The cap's contract: the largest admissible |S|*|R| fits in u64.
+        let cap = MAX_GROUP_LEN as u128;
+        assert!(cap * cap <= u64::MAX as u128);
+        // A zero-sized row type makes a MAX_GROUP_LEN+1 slice free to
+        // build, so the length check itself can be exercised.
+        #[derive(Clone)]
+        struct Row;
+        impl AsRef<[f64]> for Row {
+            fn as_ref(&self) -> &[f64] {
+                &[1.0]
+            }
+        }
+        let rows = vec![Row; MAX_GROUP_LEN + 1];
+        let mut b = GroupedDatasetBuilder::new(1);
+        let err = b.push_group("huge", &rows).unwrap_err();
+        assert_eq!(err, Error::GroupTooLarge { group: "huge".into(), len: MAX_GROUP_LEN + 1 });
     }
 
     #[test]

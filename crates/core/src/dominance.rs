@@ -40,10 +40,10 @@ pub fn dominates(a: &[f64], b: &[f64]) -> bool {
     debug_assert_eq!(a.len(), b.len());
     let mut strict = false;
     for (&x, &y) in a.iter().zip(b.iter()) {
-        if x < y {
+        if crate::ord::lt(x, y) {
             return false;
         }
-        strict |= x > y;
+        strict |= crate::ord::gt(x, y);
     }
     strict
 }
@@ -56,12 +56,12 @@ pub fn compare(a: &[f64], b: &[f64]) -> DomRelation {
     let mut a_better = false;
     let mut b_better = false;
     for (&x, &y) in a.iter().zip(b.iter()) {
-        if x > y {
+        if crate::ord::gt(x, y) {
             a_better = true;
             if b_better {
                 return DomRelation::Incomparable;
             }
-        } else if y > x {
+        } else if crate::ord::gt(y, x) {
             b_better = true;
             if a_better {
                 return DomRelation::Incomparable;

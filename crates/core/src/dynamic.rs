@@ -61,15 +61,19 @@ impl DynamicAggregateSkyline {
     }
 
     /// Imports an existing dataset (computing all pairwise counts once).
-    pub fn from_dataset(ds: &GroupedDataset) -> Self {
+    ///
+    /// Infallible in practice — a [`GroupedDataset`] is already validated —
+    /// but the signature stays honest instead of panicking on a broken
+    /// internal assumption.
+    pub fn from_dataset(ds: &GroupedDataset) -> Result<Self> {
         let mut out = DynamicAggregateSkyline::new(ds.dim());
         for g in ds.group_ids() {
             let id = out.add_group(ds.label(g));
             for rec in ds.records(g) {
-                out.insert(id, rec).expect("dimensions match by construction");
+                out.insert(id, rec)?;
             }
         }
-        out
+        Ok(out)
     }
 
     /// Number of groups (including empty ones).
@@ -119,8 +123,8 @@ impl DynamicAggregateSkyline {
         if record.len() != self.dim {
             return Err(Error::DimensionMismatch { expected: self.dim, got: record.len() });
         }
-        if let Some(d) = record.iter().position(|v| v.is_nan()) {
-            return Err(Error::NanValue { dimension: d });
+        if let Some(d) = record.iter().position(|v| !v.is_finite()) {
+            return Err(Error::NonFiniteValue { dimension: d });
         }
         let n = self.n_groups();
         for other in 0..n {
@@ -180,11 +184,11 @@ impl DynamicAggregateSkyline {
 
     /// The current `p(S ≻ R)`; zero when either group is empty.
     pub fn domination_probability(&self, s: GroupId, r: GroupId) -> f64 {
-        let total = (self.group_len(s) * self.group_len(r)) as f64;
-        if total == 0.0 {
+        let (len_s, len_r) = (self.group_len(s), self.group_len(r));
+        if len_s == 0 || len_r == 0 {
             return 0.0;
         }
-        self.counts[s * self.cap + r] as f64 / total
+        self.counts[s * self.cap + r] as f64 / crate::num::pair_product(len_s, len_r) as f64
     }
 
     /// The aggregate skyline of the current state among non-empty groups,
@@ -317,7 +321,7 @@ mod tests {
     #[test]
     fn from_dataset_round_trips() {
         let ds = crate::testdata::movie_directors();
-        let d = DynamicAggregateSkyline::from_dataset(&ds);
+        let d = DynamicAggregateSkyline::from_dataset(&ds).unwrap();
         assert_eq!(d.n_records(), ds.n_records());
         let oracle = naive_skyline(&ds, Gamma::DEFAULT).skyline;
         assert_eq!(d.skyline(Gamma::DEFAULT), oracle);
@@ -328,7 +332,7 @@ mod tests {
     #[test]
     fn single_insert_moves_gamma_boundedly() {
         let ds = crate::testdata::movie_directors();
-        let mut d = DynamicAggregateSkyline::from_dataset(&ds);
+        let mut d = DynamicAggregateSkyline::from_dataset(&ds).unwrap();
         let t = ds.group_by_label("Tarantino").unwrap();
         let w = ds.group_by_label("Wiseau").unwrap();
         let before = d.domination_probability(t, w);

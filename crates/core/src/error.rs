@@ -13,9 +13,11 @@ pub enum Error {
         /// Dimensionality of the offending record.
         got: usize,
     },
-    /// A record contained a NaN value; dominance is undefined on NaN.
-    NanValue {
-        /// Index of the dimension holding the NaN.
+    /// A record contained a non-finite value (NaN or ±∞). Dominance is
+    /// undefined on NaN, and infinities break the coordinate-sum ordering
+    /// the blocked kernel relies on, so both are rejected at ingestion.
+    NonFiniteValue {
+        /// Index of the dimension holding the non-finite value.
         dimension: usize,
     },
     /// The dataset has zero dimensions.
@@ -37,6 +39,22 @@ pub enum Error {
     /// γ was outside `[0.5, 1]`; Proposition 1 requires `γ ≥ 0.5` for the
     /// dominance relation to be asymmetric.
     InvalidGamma(f64),
+    /// A group exceeded [`crate::dataset::MAX_GROUP_LEN`] records, the cap
+    /// that keeps every pair-count denominator `|S|·|R|` below `2⁶⁴`.
+    GroupTooLarge {
+        /// Group label.
+        group: String,
+        /// Attempted record count.
+        len: usize,
+    },
+    /// `|S|·|R|` overflowed `u64`; a wrapped denominator would silently
+    /// inflate domination probabilities, so counting refuses to proceed.
+    PairCountOverflow {
+        /// `|S|`.
+        len_s: usize,
+        /// `|R|`.
+        len_r: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -45,8 +63,12 @@ impl fmt::Display for Error {
             Error::DimensionMismatch { expected, got } => {
                 write!(f, "record has {got} dimensions, dataset expects {expected}")
             }
-            Error::NanValue { dimension } => {
-                write!(f, "NaN value in dimension {dimension}; dominance is undefined on NaN")
+            Error::NonFiniteValue { dimension } => {
+                write!(
+                    f,
+                    "non-finite value in dimension {dimension}; dominance counting requires \
+                     finite coordinates"
+                )
             }
             Error::ZeroDimensions => write!(f, "dataset must have at least one dimension"),
             Error::DuplicateGroup(label) => write!(f, "group {label:?} inserted twice"),
@@ -56,6 +78,16 @@ impl fmt::Display for Error {
             }
             Error::InvalidGamma(g) => {
                 write!(f, "gamma {g} outside [0.5, 1]; asymmetry requires gamma >= 0.5")
+            }
+            Error::GroupTooLarge { group, len } => {
+                write!(
+                    f,
+                    "group {group:?} has {len} records, above the cap that keeps |S|*|R| \
+                     pair counts below 2^64"
+                )
+            }
+            Error::PairCountOverflow { len_s, len_r } => {
+                write!(f, "pair count {len_s}*{len_r} overflows u64")
             }
         }
     }

@@ -50,7 +50,11 @@ pub fn explain_membership(ds: &GroupedDataset, g: GroupId, gamma: Gamma) -> Memb
         .filter(|&s| s != g)
         .filter_map(|s| {
             let p = domination_probability(ds, s, g);
-            (p > 0.0).then_some(Threat { group: s, probability: p, dominates: gamma.dominated(p) })
+            crate::ord::gt(p, 0.0).then_some(Threat {
+                group: s,
+                probability: p,
+                dominates: gamma.dominated(p),
+            })
         })
         .collect();
     threats.sort_by(|a, b| b.probability.total_cmp(&a.probability).then(a.group.cmp(&b.group)));

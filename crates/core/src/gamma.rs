@@ -84,7 +84,7 @@ impl Gamma {
     /// `p = 1 ∨ p > (1+γ)/2`.
     #[inline]
     pub fn strongly_dominated_corrected(self, p: f64) -> bool {
-        p >= 1.0 || p > self.bar_corrected()
+        crate::ord::ge(p, 1.0) || crate::ord::gt(p, self.bar_corrected())
     }
 
     /// The threshold actually used for strong-domination marking:
@@ -100,13 +100,13 @@ impl Gamma {
     /// `S ≻_γ R ⟺ p = 1 ∨ p > γ`.
     #[inline]
     pub fn dominated(self, p: f64) -> bool {
-        p >= 1.0 || p > self.0
+        crate::ord::ge(p, 1.0) || crate::ord::gt(p, self.0)
     }
 
     /// Strong domination test: `p = 1 ∨ p > max(γ, γ̄)`.
     #[inline]
     pub fn strongly_dominated(self, p: f64) -> bool {
-        p >= 1.0 || p > self.strong_threshold()
+        crate::ord::ge(p, 1.0) || crate::ord::gt(p, self.strong_threshold())
     }
 }
 
@@ -140,7 +140,7 @@ pub fn domination_count(ds: &GroupedDataset, s: GroupId, r: GroupId) -> u64 {
 
 /// The domination probability `p(S ≻ R) = |S ≻ R| / (|S|·|R|)` (Section 2.1).
 pub fn domination_probability(ds: &GroupedDataset, s: GroupId, r: GroupId) -> f64 {
-    let total = (ds.group_len(s) as u64) * (ds.group_len(r) as u64);
+    let total = crate::num::pair_product(ds.group_len(s), ds.group_len(r));
     domination_count(ds, s, r) as f64 / total as f64
 }
 

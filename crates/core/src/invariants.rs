@@ -1,0 +1,145 @@
+//! Runtime structural contracts, compiled in behind the `invariants`
+//! feature.
+//!
+//! The static analyzer (`aggsky-lint`) grandfathers the workspace's
+//! remaining slice-index sites on the argument that the surrounding code
+//! proves the bounds. This module turns that argument into executable
+//! checks: with `--features invariants`, debug builds validate the
+//! structures those proofs rest on — [`PreparedDataset`] block layout,
+//! [`Mbb`] containment, and pair-count conservation — every time they are
+//! built or consumed. Without the feature (or in release builds) every
+//! function here compiles to nothing, so the hot paths pay no cost.
+//!
+//! ```text
+//! cargo test --features invariants   # contracts active
+//! cargo test                         # contracts compiled out
+//! ```
+
+#![allow(unused_variables)] // bodies vanish without the feature
+
+use crate::dataset::GroupedDataset;
+use crate::mbb::Mbb;
+use crate::prepared::PreparedDataset;
+
+/// Validates the full block structure of a freshly built
+/// [`PreparedDataset`] against its source dataset:
+///
+/// * per group, coordinate sums are descending and equal the row sums;
+/// * per block, the corner vectors bound every record of the block;
+/// * blocks partition each group (`Σ block lengths = group length`) and
+///   the block count is `⌈len / block_size⌉`;
+/// * each group's [`Mbb`] covers all of its records;
+/// * record totals are conserved (`Σ group lengths = |dataset|`).
+#[inline]
+pub fn check_prepared(ds: &GroupedDataset, prep: &PreparedDataset) {
+    #[cfg(feature = "invariants")]
+    {
+        let dim = prep.dim();
+        debug_assert_eq!(dim, ds.dim(), "prepared dim must match source");
+        debug_assert_eq!(prep.n_groups(), ds.n_groups());
+        let mut total = 0usize;
+        for g in 0..prep.n_groups() {
+            let len = prep.group_len(g);
+            debug_assert_eq!(len, ds.group_len(g), "group {g} length changed");
+            total += len;
+            let sums = prep.group_sums(g);
+            debug_assert!(
+                sums.windows(2).all(|w| crate::ord::ge(w[0], w[1])),
+                "group {g}: sums not descending"
+            );
+            for (i, &s) in sums.iter().enumerate() {
+                let expect: f64 = prep.record(g, i).iter().sum();
+                debug_assert!(
+                    crate::ord::eq(s, expect),
+                    "group {g} record {i}: cached sum {s} != recomputed {expect}"
+                );
+            }
+            debug_assert_eq!(
+                prep.n_blocks(g),
+                len.div_ceil(prep.block_size()),
+                "group {g}: block count inconsistent with block size"
+            );
+            let mbb = prep.mbb(g);
+            let mut covered = 0usize;
+            for b in 0..prep.n_blocks(g) {
+                let view = prep.block(g, b);
+                debug_assert!(!view.is_empty(), "group {g} block {b} empty");
+                debug_assert!(view.len() <= prep.block_size());
+                covered += view.len();
+                for row in view.rows.chunks_exact(dim) {
+                    for d in 0..dim {
+                        debug_assert!(
+                            crate::ord::le(view.min[d], row[d])
+                                && crate::ord::le(row[d], view.max[d]),
+                            "group {g} block {b}: corner does not bound dim {d}"
+                        );
+                    }
+                    check_mbb_contains(mbb, row);
+                }
+            }
+            debug_assert_eq!(covered, len, "group {g}: blocks do not partition");
+        }
+        debug_assert_eq!(total, prep.n_records());
+        debug_assert_eq!(total, ds.n_records());
+    }
+}
+
+/// Asserts that `record` lies inside `mbb` in every dimension.
+#[inline]
+pub fn check_mbb_contains(mbb: &Mbb, record: &[f64]) {
+    #[cfg(feature = "invariants")]
+    {
+        debug_assert_eq!(mbb.min.len(), record.len());
+        for d in 0..record.len() {
+            debug_assert!(
+                crate::ord::le(mbb.min[d], record[d]) && crate::ord::le(record[d], mbb.max[d]),
+                "record outside its group MBB in dimension {d}"
+            );
+        }
+    }
+}
+
+/// Asserts pair-count conservation: the pairs a counting kernel classified
+/// (dominating or not, scanned or pruned in bulk) must sum to exactly
+/// `|S|·|R|`. A mismatch means a block was double-counted or skipped, which
+/// silently shifts the domination probability.
+#[inline]
+pub fn check_pair_conservation(classified: u64, len_s: usize, len_r: usize) {
+    #[cfg(feature = "invariants")]
+    {
+        let total = crate::num::pair_product(len_s, len_r);
+        debug_assert_eq!(
+            classified, total,
+            "kernel classified {classified} pairs of {total} (|S|={len_s}, |R|={len_r})"
+        );
+    }
+}
+
+#[cfg(all(test, feature = "invariants"))]
+mod tests {
+    use super::*;
+    use crate::testdata::random_dataset;
+
+    #[test]
+    fn clean_structures_pass() {
+        let ds = random_dataset(6, 9, 3, 11);
+        for block_size in [1, 3, 8] {
+            let prep = PreparedDataset::build(&ds, block_size);
+            check_prepared(&ds, &prep);
+        }
+        check_pair_conservation(12, 3, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside its group MBB")]
+    fn containment_violation_fires() {
+        let mbb = Mbb { min: vec![0.0, 0.0], max: vec![1.0, 1.0] };
+        check_mbb_contains(&mbb, &[0.5, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel classified")]
+    fn conservation_violation_fires() {
+        check_pair_conservation(11, 3, 4);
+    }
+}

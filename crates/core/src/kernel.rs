@@ -151,7 +151,7 @@ pub fn compare_groups_blocked(
     stats: &mut Stats,
 ) -> PairVerdict {
     stats.group_pairs += 1;
-    let total = (prep.group_len(g1) * prep.group_len(g2)) as u64;
+    let total = crate::num::pair_product(prep.group_len(g1), prep.group_len(g2));
     let mut counter = Counter::new(total, gamma, opts);
     if let Some((b1, b2)) = boxes {
         // Figure 9(b) at group granularity, exactly as in `compare_groups`.
@@ -185,11 +185,16 @@ pub fn count_pairs(
     g2: GroupId,
     stats: &mut Stats,
 ) -> (u64, u64) {
-    let total = (prep.group_len(g1) * prep.group_len(g2)) as u64;
+    let total = crate::num::pair_product(prep.group_len(g1), prep.group_len(g2));
     let opts = PairOptions { stop_rule: false, need_bar: false, corrected_bar: false };
     let mut counter = Counter::new(total, Gamma::DEFAULT, opts);
     let early = run_blocks(prep, g1, g2, &mut counter, opts, stats);
     debug_assert!(early.is_none(), "stop rule is disabled");
+    crate::invariants::check_pair_conservation(
+        counter.checked,
+        prep.group_len(g1),
+        prep.group_len(g2),
+    );
     debug_assert_eq!(counter.checked, counter.total);
     (counter.n12, counter.n21)
 }
@@ -210,7 +215,7 @@ fn run_blocks(
         let ba = prep.block(g1, a);
         for b in 0..prep.n_blocks(g2) {
             let bb = prep.block(g2, b);
-            let pairs = (ba.len() * bb.len()) as u64;
+            let pairs = crate::num::pair_product(ba.len(), bb.len());
             if dominates(ba.min, bb.max) {
                 // Every record of `ba` is ≥ its block minimum, which already
                 // dominates `bb`'s maximum: all k₁·k₂ pairs dominate forward.
@@ -264,23 +269,23 @@ fn straddle(
     let mut tests = 0u64;
     for (i, r1) in ba.rows.chunks_exact(dim).enumerate() {
         let s1 = ba.sums[i];
-        let p = bb.sums.partition_point(|&s| s > s1);
+        let p = bb.sums.partition_point(|&s| crate::ord::gt(s, s1));
         if bwd {
             for r2 in bb.rows[..p * dim].chunks_exact(dim) {
                 if dominates(r2, r1) {
                     counter.n21 += 1;
                 }
             }
-            tests += p as u64;
+            tests += crate::num::wide(p);
         }
         if fwd {
-            let q = p + bb.sums[p..].partition_point(|&s| s >= s1);
+            let q = p + bb.sums[p..].partition_point(|&s| crate::ord::ge(s, s1));
             for r2 in bb.rows[q * dim..].chunks_exact(dim) {
                 if dominates(r1, r2) {
                     counter.n12 += 1;
                 }
             }
-            tests += (k2 - q) as u64;
+            tests += crate::num::wide(k2 - q);
         }
     }
     stats.records_compared += tests;

@@ -43,6 +43,11 @@
 //! * [`properties`] — executable checkers for the paper's properties.
 //! * [`dynamic`] — incremental maintenance under inserts/removes.
 //! * [`anytime`] — budgeted, progressive computation.
+//! * [`ord`] — sanctioned total-order float comparisons (lint rule L2).
+//! * [`num`] — sanctioned numeric conversions and overflow-checked pair
+//!   counting (lint rule L3).
+//! * [`invariants`] — `debug_assert!`-based structural contracts, compiled
+//!   in behind the `invariants` feature.
 
 #![warn(missing_docs)]
 
@@ -54,9 +59,12 @@ pub mod dynamic;
 pub mod error;
 pub mod explain;
 pub mod gamma;
+pub mod invariants;
 pub mod kernel;
 pub mod matrix;
 pub mod mbb;
+pub mod num;
+pub mod ord;
 pub mod paircount;
 pub mod prepared;
 pub mod properties;

@@ -22,15 +22,19 @@ impl Mbb {
         let mut max = vec![f64::NEG_INFINITY; dim];
         for rec in ds.records(g) {
             for d in 0..dim {
-                if rec[d] < min[d] {
+                if crate::ord::lt(rec[d], min[d]) {
                     min[d] = rec[d];
                 }
-                if rec[d] > max[d] {
+                if crate::ord::gt(rec[d], max[d]) {
                     max[d] = rec[d];
                 }
             }
         }
-        Mbb { min, max }
+        let mbb = Mbb { min, max };
+        for rec in ds.records(g) {
+            crate::invariants::check_mbb_contains(&mbb, rec);
+        }
+        mbb
     }
 
     /// Bounding boxes for every group, indexed by [`GroupId`].
@@ -72,8 +76,12 @@ impl Mbb {
 
     /// True iff the boxes overlap in every dimension.
     pub fn overlaps(&self, other: &Mbb) -> bool {
-        self.min.iter().zip(other.max.iter()).all(|(&a_min, &b_max)| a_min <= b_max)
-            && other.min.iter().zip(self.max.iter()).all(|(&b_min, &a_max)| b_min <= a_max)
+        self.min.iter().zip(other.max.iter()).all(|(&a_min, &b_max)| crate::ord::le(a_min, b_max))
+            && other
+                .min
+                .iter()
+                .zip(self.max.iter())
+                .all(|(&b_min, &a_max)| crate::ord::le(b_min, a_max))
     }
 }
 

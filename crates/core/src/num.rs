@@ -1,0 +1,150 @@
+//! Sanctioned numeric conversions and overflow-checked pair counting
+//! (project rule L3).
+//!
+//! The denominator of a domination probability is `|S|·|R|` (Definition 3).
+//! A wrapping multiply there does not crash — it silently shrinks the
+//! denominator and *inflates* the probability, flipping verdicts. This
+//! module centralizes the conversions the counting paths need so every
+//! `as` cast in the workspace is either provably lossless (and lives here)
+//! or individually allowlisted.
+
+use crate::error::{Error, Result};
+
+/// Losslessly widens a `usize` to `u64`. Rust supports 16-, 32- and 64-bit
+/// `usize`, so this can never truncate; the cast is confined here so rule
+/// L3 can forbid `as u64` everywhere else.
+#[inline(always)]
+pub fn wide(n: usize) -> u64 {
+    n as u64
+}
+
+/// Checked narrowing of a `u64` to `usize` (fails on 32-bit targets for
+/// values above `usize::MAX`).
+#[inline]
+pub fn narrow(n: u64) -> Option<usize> {
+    usize::try_from(n).ok()
+}
+
+/// The pair-count denominator `|S|·|R|`, overflow-checked: adversarially
+/// large groups yield [`Error::PairCountOverflow`] instead of a wrapped
+/// (and therefore verdict-corrupting) product.
+#[inline]
+pub fn pair_count(len_s: usize, len_r: usize) -> Result<u64> {
+    wide(len_s).checked_mul(wide(len_r)).ok_or(Error::PairCountOverflow { len_s, len_r })
+}
+
+/// Saturating pair product for hot paths whose inputs are already bounded.
+///
+/// [`crate::GroupedDatasetBuilder`] caps groups at
+/// [`crate::dataset::MAX_GROUP_LEN`] records, which makes `|S|·|R| < 2⁶⁴`
+/// for every dataset reachable through the public API; this helper still
+/// refuses to wrap (it saturates, and debug builds assert) so a dataset
+/// constructed by future internal code cannot corrupt counts silently.
+#[inline]
+pub fn pair_product(len_s: usize, len_r: usize) -> u64 {
+    debug_assert!(
+        wide(len_s).checked_mul(wide(len_r)).is_some(),
+        "pair product {len_s}x{len_r} overflows u64; builder caps should prevent this"
+    );
+    wide(len_s).saturating_mul(wide(len_r))
+}
+
+/// Largest integer magnitude exactly representable in `f64` (2⁵³): the
+/// boundary for the checked float→integer conversions below.
+pub const FLOAT_EXACT_MAX: f64 = 9_007_199_254_740_992.0; // 2^53
+
+/// Converts a non-negative float to a `usize` by flooring, clamping to the
+/// representable range; NaN maps to zero. Centralizes the float→int `as`
+/// cast used by samplers that partition sizes proportionally.
+#[inline]
+pub fn floor_usize(x: f64) -> usize {
+    // `as` from float to int saturates (never UB, never wraps) since Rust
+    // 1.45; the clamp documents the intended domain.
+    x.clamp(0.0, FLOAT_EXACT_MAX) as usize
+}
+
+/// The exact integral value of a float, when it has one: `Some(i)` iff `x`
+/// is integral and within ±2⁵³, so `x as i64` is exact and round-trips.
+/// Used by consumers (e.g. the SQL value model) that must keep float and
+/// integer representations of the same number interchangeable.
+#[inline]
+pub fn exact_int(x: f64) -> Option<i64> {
+    if crate::ord::eq(x.fract(), 0.0) && crate::ord::le(x.abs(), FLOAT_EXACT_MAX) {
+        Some(x as i64)
+    } else {
+        None
+    }
+}
+
+/// Saturating float→`i32` conversion (NaN maps to zero), centralizing the
+/// float→int `as` cast for callers that clamp user-supplied numeric
+/// arguments to a small integer range.
+#[inline]
+pub fn to_i32_sat(x: f64) -> i32 {
+    // `as` from float to int saturates (never UB, never wraps) since Rust
+    // 1.45.
+    x as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wide_round_trips() {
+        assert_eq!(wide(0), 0);
+        assert_eq!(wide(usize::MAX) as u128, usize::MAX as u128);
+        assert_eq!(narrow(wide(12345)), Some(12345));
+    }
+
+    #[test]
+    fn pair_count_checks_overflow() {
+        assert_eq!(pair_count(3, 4), Ok(12));
+        assert_eq!(pair_count(0, 9), Ok(0));
+        let huge = usize::MAX;
+        assert_eq!(pair_count(huge, 2), Err(Error::PairCountOverflow { len_s: huge, len_r: 2 }));
+        // The largest builder-reachable product stays checked-safe.
+        let cap = crate::dataset::MAX_GROUP_LEN;
+        assert!(pair_count(cap, cap).is_ok());
+    }
+
+    #[test]
+    fn pair_product_saturates_instead_of_wrapping() {
+        assert_eq!(pair_product(7, 8), 56);
+        // Wrapping would yield a small number here; saturation keeps the
+        // denominator on the conservative side. (Debug builds assert first,
+        // so exercise the release-mode contract only when assertions are
+        // off.)
+        if !cfg!(debug_assertions) {
+            assert_eq!(pair_product(usize::MAX, usize::MAX), u64::MAX);
+        }
+    }
+
+    #[test]
+    fn exact_int_requires_integral_in_range() {
+        assert_eq!(exact_int(3.0), Some(3));
+        assert_eq!(exact_int(-0.0), Some(0));
+        assert_eq!(exact_int(3.5), None);
+        assert_eq!(exact_int(FLOAT_EXACT_MAX), Some(1 << 53));
+        assert_eq!(exact_int(FLOAT_EXACT_MAX * 2.0), None);
+        assert_eq!(exact_int(f64::NAN), None);
+        assert_eq!(exact_int(f64::INFINITY), None);
+    }
+
+    #[test]
+    fn to_i32_sat_saturates() {
+        assert_eq!(to_i32_sat(12.9), 12);
+        assert_eq!(to_i32_sat(-12.9), -12);
+        assert_eq!(to_i32_sat(1e12), i32::MAX);
+        assert_eq!(to_i32_sat(-1e12), i32::MIN);
+        assert_eq!(to_i32_sat(f64::NAN), 0);
+    }
+
+    #[test]
+    fn floor_usize_clamps() {
+        assert_eq!(floor_usize(3.9), 3);
+        assert_eq!(floor_usize(-1.5), 0);
+        assert_eq!(floor_usize(f64::NAN), 0);
+        assert_eq!(floor_usize(f64::INFINITY), FLOAT_EXACT_MAX as usize);
+    }
+}

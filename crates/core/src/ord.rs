@@ -1,0 +1,169 @@
+//! Sanctioned total-order comparisons on `f64` (project rule L2).
+//!
+//! γ-dominance is a *counting* predicate: a comparison that silently
+//! misorders (as `partial_cmp` and the raw operators do on NaN) corrupts a
+//! pair count — and therefore a skyline verdict — without crashing. All
+//! float ordering in the workspace's library crates goes through this
+//! module, which is built on [`f64::total_cmp`] and therefore total:
+//!
+//! * NaNs order deterministically (negative NaN below `-∞`, positive NaN
+//!   above `+∞`) instead of poisoning every comparison they touch;
+//! * `-0.0` and `+0.0` are normalized before comparing, so the boolean
+//!   comparators agree exactly with IEEE `<`/`>` on every non-NaN input —
+//!   including datasets whose MIN-direction normalization negates a zero.
+//!
+//! [`crate::GroupedDatasetBuilder`] rejects non-finite coordinates at
+//! ingestion, so on the dominance hot path these helpers behave identically
+//! to the raw operators while staying safe for data that bypassed
+//! validation. `crates/spatial` may not depend on this crate (rule L4) and
+//! carries a minimal mirror in `aggsky_spatial::ord`.
+
+use std::cmp::Ordering;
+
+/// Maps `-0.0` to `+0.0` (the IEEE sum `-0.0 + 0.0` is `+0.0`) so the total
+/// order agrees with `==` on zeros; all other values, including NaN and the
+/// infinities, are unchanged.
+#[inline(always)]
+fn canon(x: f64) -> f64 {
+    x + 0.0
+}
+
+/// Total ordering: `total_cmp` over zero-normalized values.
+#[inline(always)]
+pub fn cmp(a: f64, b: f64) -> Ordering {
+    canon(a).total_cmp(&canon(b))
+}
+
+/// Reversed total ordering, for descending sorts.
+#[inline(always)]
+pub fn cmp_desc(a: f64, b: f64) -> Ordering {
+    cmp(b, a)
+}
+
+/// Total `a < b`.
+#[inline(always)]
+pub fn lt(a: f64, b: f64) -> bool {
+    cmp(a, b) == Ordering::Less
+}
+
+/// Total `a <= b`.
+#[inline(always)]
+pub fn le(a: f64, b: f64) -> bool {
+    cmp(a, b) != Ordering::Greater
+}
+
+/// Total `a > b`.
+#[inline(always)]
+pub fn gt(a: f64, b: f64) -> bool {
+    cmp(a, b) == Ordering::Greater
+}
+
+/// Total `a >= b`.
+#[inline(always)]
+pub fn ge(a: f64, b: f64) -> bool {
+    cmp(a, b) != Ordering::Less
+}
+
+/// Total `a == b`: like `==` but NaN equals NaN (of the same sign), so
+/// deduplication and memoization keyed on floats stay coherent.
+#[inline(always)]
+pub fn eq(a: f64, b: f64) -> bool {
+    cmp(a, b) == Ordering::Equal
+}
+
+/// Total maximum; unlike [`f64::max`] this is deterministic on NaN inputs
+/// (a positive NaN wins over every number).
+#[inline(always)]
+pub fn max(a: f64, b: f64) -> f64 {
+    if ge(a, b) {
+        a
+    } else {
+        b
+    }
+}
+
+/// Total minimum (see [`max`]).
+#[inline(always)]
+pub fn min(a: f64, b: f64) -> f64 {
+    if le(a, b) {
+        a
+    } else {
+        b
+    }
+}
+
+/// Lexicographic total ordering of float slices (for deterministic sorts of
+/// records in tests and tie-breaking).
+pub fn cmp_slices(a: &[f64], b: &[f64]) -> Ordering {
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let o = cmp(x, y);
+        if o != Ordering::Equal {
+            return o;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agrees_with_ieee_on_ordinary_values() {
+        let vals = [-3.5, -1.0, 0.0, 0.5, 1.0, 2.0, f64::INFINITY, f64::NEG_INFINITY];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(lt(a, b), a < b, "lt({a}, {b})");
+                assert_eq!(le(a, b), a <= b, "le({a}, {b})");
+                assert_eq!(gt(a, b), a > b, "gt({a}, {b})");
+                assert_eq!(ge(a, b), a >= b, "ge({a}, {b})");
+                assert_eq!(eq(a, b), a == b, "eq({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn zeros_are_equal_both_ways() {
+        // MIN-direction normalization negates values, so -0.0 occurs in real
+        // datasets; it must compare equal to +0.0 exactly as IEEE says.
+        assert!(eq(0.0, -0.0));
+        assert!(eq(-0.0, 0.0));
+        assert!(!gt(0.0, -0.0));
+        assert!(!lt(-0.0, 0.0));
+        assert_eq!(cmp(0.0, -0.0), Ordering::Equal);
+    }
+
+    #[test]
+    fn nan_orders_deterministically() {
+        assert_eq!(cmp(f64::NAN, f64::NAN), Ordering::Equal);
+        assert!(gt(f64::NAN, f64::INFINITY));
+        assert!(lt(-f64::NAN, f64::NEG_INFINITY));
+        // Unlike raw operators, comparisons never become vacuously false in
+        // both directions.
+        assert!(gt(f64::NAN, 1.0) || lt(f64::NAN, 1.0) || eq(f64::NAN, 1.0));
+    }
+
+    #[test]
+    fn min_max_are_total() {
+        assert_eq!(max(1.0, 2.0), 2.0);
+        assert_eq!(min(1.0, 2.0), 1.0);
+        assert!(max(f64::NAN, 1.0).is_nan());
+        assert_eq!(min(f64::NAN, 1.0), 1.0);
+    }
+
+    #[test]
+    fn slice_ordering_is_lexicographic() {
+        assert_eq!(cmp_slices(&[1.0, 2.0], &[1.0, 3.0]), Ordering::Less);
+        assert_eq!(cmp_slices(&[1.0, 2.0], &[1.0, 2.0]), Ordering::Equal);
+        assert_eq!(cmp_slices(&[1.0, 2.0], &[1.0, 2.0, 0.0]), Ordering::Less);
+        assert_eq!(cmp_slices(&[2.0], &[1.0, 9.0]), Ordering::Greater);
+    }
+
+    #[test]
+    fn sorting_with_cmp_never_panics_on_nan() {
+        let mut v = [1.0, f64::NAN, -1.0, 0.0, -0.0, f64::INFINITY];
+        v.sort_by(|a, b| cmp(*a, *b));
+        assert_eq!(v[0], -1.0);
+        assert!(v[5].is_nan());
+    }
+}

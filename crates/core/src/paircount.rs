@@ -143,9 +143,27 @@ impl Counter {
         Some(PairVerdict { forward, backward })
     }
 
+    /// Level of a direction once every pair has been counted. Total — at a
+    /// full count [`Counter::resolve_dir`]'s "possible" and "certain"
+    /// conditions coincide, so this is its `rem = 0` specialization.
+    fn resolve_full(&self, n: u64) -> DomLevel {
+        let total = self.total as f64;
+        if !((n as f64) > self.gamma * total || n == self.total) {
+            return DomLevel::None;
+        }
+        if !self.need_bar {
+            return DomLevel::Gamma;
+        }
+        if (n as f64) > self.gamma_bar * total || n == self.total {
+            DomLevel::GammaBar
+        } else {
+            DomLevel::Gamma
+        }
+    }
+
     pub(crate) fn final_verdict(&self) -> PairVerdict {
         debug_assert_eq!(self.checked, self.total);
-        self.verdict().expect("fully-counted pair must resolve")
+        PairVerdict { forward: self.resolve_full(self.n12), backward: self.resolve_full(self.n21) }
     }
 }
 
@@ -168,9 +186,9 @@ pub fn compare_groups(
     stats: &mut Stats,
 ) -> PairVerdict {
     stats.group_pairs += 1;
-    let len1 = ds.group_len(g1) as u64;
-    let len2 = ds.group_len(g2) as u64;
-    let total = len1 * len2;
+    let len1 = crate::num::wide(ds.group_len(g1));
+    let len2 = crate::num::wide(ds.group_len(g2));
+    let total = crate::num::pair_product(ds.group_len(g1), ds.group_len(g2));
     let mut counter = Counter::new(total, gamma, opts);
 
     if let Some((b1, b2)) = boxes {
@@ -227,7 +245,7 @@ pub fn compare_groups(
         // Closed-form pair counts (inclusion-exclusion on the overlap).
         counter.n12 = c1 * len2 + a2 * len1 - c1 * a2;
         counter.n21 = c2 * len1 + a1 * len2 - c2 * a1;
-        let unknown = (middle1.len() as u64) * (middle2.len() as u64);
+        let unknown = crate::num::pair_product(middle1.len(), middle2.len());
         counter.checked = total - unknown;
         stats.bbox_skipped_pairs += counter.checked;
 
@@ -312,13 +330,13 @@ fn count_rows(
                 for r2 in ds.records(g2) {
                     count_one(r1, r2, counter);
                 }
-                len2 as u64
+                crate::num::wide(len2)
             }
             Some(idx2) => {
                 for &j in idx2 {
                     count_one(r1, ds.record(g2, j), counter);
                 }
-                idx2.len() as u64
+                crate::num::wide(idx2.len())
             }
         };
         counter.checked += inner_len;
@@ -339,9 +357,9 @@ fn count_one(r1: &[f64], r2: &[f64], counter: &mut Counter) {
     let mut r1_better = false;
     let mut r2_better = false;
     for (&x, &y) in r1.iter().zip(r2.iter()) {
-        if x > y {
+        if crate::ord::gt(x, y) {
             r1_better = true;
-        } else if y > x {
+        } else if crate::ord::gt(y, x) {
             r2_better = true;
         }
     }

@@ -145,7 +145,7 @@ impl PreparedDataset {
             block_offsets.push(block_min.len() / dim);
             mbbs.push(Mbb { min: g_min, max: g_max });
         }
-        PreparedDataset {
+        let prep = PreparedDataset {
             dim,
             block_size,
             values,
@@ -155,7 +155,9 @@ impl PreparedDataset {
             block_min,
             block_max,
             mbbs,
-        }
+        };
+        crate::invariants::check_prepared(ds, &prep);
+        prep
     }
 
     /// Number of dimensions of every record.

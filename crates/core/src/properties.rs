@@ -50,8 +50,8 @@ pub fn check_update_stability(
     // Upper bound γ(1+ε) holds for any γ; the lower bound in the γ(1−ε)
     // form needs γ ≥ 1/2, with the pre-specialization bound (1+ε)γ − ε
     // applying in general.
-    let upper_ok = after <= before * (1.0 + eps) + 1e-12;
-    let lower_ok = if before >= 0.5 {
+    let upper_ok = crate::ord::le(after, before * (1.0 + eps) + 1e-12);
+    let lower_ok = if crate::ord::ge(before, 0.5) {
         after >= before * (1.0 - eps) - 1e-12
     } else {
         after >= (1.0 + eps) * before - eps - 1e-12

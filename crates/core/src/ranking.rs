@@ -49,15 +49,10 @@ pub fn ranked_skyline(ds: &GroupedDataset) -> Vec<RankedGroup> {
     let mut out: Vec<RankedGroup> = min_gamma_per_group(ds)
         .into_iter()
         .enumerate()
-        .filter(|&(_, mg)| mg < 1.0)
+        .filter(|&(_, mg)| crate::ord::lt(mg, 1.0))
         .map(|(group, min_gamma)| RankedGroup { group, min_gamma })
         .collect();
-    out.sort_by(|a, b| {
-        a.min_gamma
-            .partial_cmp(&b.min_gamma)
-            .expect("probabilities are never NaN")
-            .then(a.group.cmp(&b.group))
-    });
+    out.sort_by(|a, b| crate::ord::cmp(a.min_gamma, b.min_gamma).then(a.group.cmp(&b.group)));
     out
 }
 

@@ -49,7 +49,7 @@ pub fn sfs(rows: &[f64], dim: usize) -> Vec<usize> {
     let n = rows.len() / dim;
     let mut order: Vec<usize> = (0..n).collect();
     let sum = |i: usize| -> f64 { rows[i * dim..(i + 1) * dim].iter().sum() };
-    order.sort_by(|&a, &b| sum(b).partial_cmp(&sum(a)).expect("no NaN in dataset"));
+    order.sort_by(|&a, &b| crate::ord::cmp_desc(sum(a), sum(b)));
     let mut skyline: Vec<usize> = Vec::new();
     'outer: for &i in &order {
         let cand = &rows[i * dim..(i + 1) * dim];

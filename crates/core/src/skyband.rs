@@ -32,7 +32,7 @@ pub fn k_skyband(ds: &GroupedDataset, gamma: Gamma, k: usize) -> (Vec<GroupId>, 
     let mut candidates = Vec::new();
     for g in 0..n {
         tree.window_query_into(&Aabb::at_least(&boxes[g].min), &mut candidates);
-        stats.index_candidates += candidates.len().saturating_sub(1) as u64;
+        stats.index_candidates += crate::num::wide(candidates.len().saturating_sub(1));
         let mut dominators = 0usize;
         for &s in &candidates {
             if s == g {

@@ -69,7 +69,7 @@ impl SyntheticConfig {
         assert!(self.n_groups > 0 && self.n_records >= self.n_groups);
         assert!(self.dim > 0);
         assert!(
-            self.spread > 0.0 && self.spread <= 1.0,
+            aggsky_core::ord::gt(self.spread, 0.0) && aggsky_core::ord::le(self.spread, 1.0),
             "spread must be a fraction of the data space"
         );
         let mut rng = Rng64::new(self.seed);

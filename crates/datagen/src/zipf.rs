@@ -16,7 +16,10 @@ impl Zipf {
     /// `s = 0` degenerates to the uniform distribution.
     pub fn new(n: usize, s: f64) -> Zipf {
         assert!(n > 0, "support must be non-empty");
-        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and non-negative");
+        assert!(
+            aggsky_core::ord::ge(s, 0.0) && s.is_finite(),
+            "exponent must be finite and non-negative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for rank in 1..=n {
@@ -33,7 +36,7 @@ impl Zipf {
     /// Draws one rank in `1..=n`.
     pub fn sample(&self, rng: &mut Rng64) -> usize {
         let u: f64 = rng.f64();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+        match self.cdf.binary_search_by(|p| aggsky_core::ord::cmp(*p, u)) {
             Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
         }
     }
@@ -46,8 +49,10 @@ impl Zipf {
         let weights: Vec<f64> = (1..=parts).map(|k| 1.0 / (k as f64).powf(s)).collect();
         let wsum: f64 = weights.iter().sum();
         let spare = total - parts;
-        let mut sizes: Vec<usize> =
-            weights.iter().map(|w| 1 + (w / wsum * spare as f64).floor() as usize).collect();
+        let mut sizes: Vec<usize> = weights
+            .iter()
+            .map(|w| 1 + aggsky_core::num::floor_usize(w / wsum * spare as f64))
+            .collect();
         // Distribute the rounding remainder to the largest groups.
         let mut assigned: usize = sizes.iter().sum();
         let mut k = 0;

@@ -1,0 +1,10 @@
+//! A representative clean file: no rule fires, even on a counting path.
+
+/// Sums the values without panicking paths, raw float ordering, or casts.
+pub fn total(values: &[f64]) -> Option<f64> {
+    let mut sum = 0.0;
+    for v in values {
+        sum += v;
+    }
+    values.first().map(|_| sum)
+}

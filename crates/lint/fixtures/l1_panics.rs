@@ -1,0 +1,29 @@
+//! Seeded L1 violations; tests/fixtures.rs asserts the exact lines.
+
+pub fn bad(v: &[f64], r: Result<f64, ()>) -> f64 {
+    let first = v.first().unwrap();
+    let second = r.expect("must be present");
+    if v.is_empty() {
+        panic!("empty input");
+    }
+    let third = v[2];
+    first + second + third
+}
+
+pub fn unfinished() {
+    todo!()
+}
+
+pub fn fine(v: &[f64], r: Result<f64, ()>) -> f64 {
+    r.unwrap_or(0.0) + v.first().copied().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v = [1.0];
+        let _ = v[0];
+        Result::<f64, ()>::Err(()).unwrap();
+    }
+}

@@ -1,0 +1,19 @@
+//! Seeded L2 violations; tests/fixtures.rs asserts the exact lines.
+
+use std::cmp::Ordering;
+
+pub fn bad(p: f64, q: f64) -> bool {
+    if p >= 1.0 {
+        return true;
+    }
+    let _ = p.partial_cmp(&q);
+    0.0 < q
+}
+
+pub struct Wrapped(pub f64);
+
+impl PartialOrd for Wrapped {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.0.total_cmp(&other.0))
+    }
+}

@@ -1,0 +1,12 @@
+//! Seeded L3 violations; tests/fixtures.rs asserts the exact lines.
+
+pub fn bad(n: usize, x: f64) -> u64 {
+    let wide = n as u64;
+    let trunc = x as u32;
+    let byte = n as u8;
+    wide + u64::from(trunc) + u64::from(byte)
+}
+
+pub fn fine(n: u32, x: f64) -> (u128, f64) {
+    (u128::from(n), x + f64::from(n))
+}

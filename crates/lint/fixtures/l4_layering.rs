@@ -1,0 +1,8 @@
+//! Seeded L4 violation: analyzed as if it lived in `crates/spatial/src/`,
+//! the crate at the bottom of the layering DAG.
+
+use aggsky_core::Gamma;
+
+pub fn bad(g: Gamma) -> f64 {
+    g.value()
+}

@@ -1,0 +1,11 @@
+//! Seeded L5 violations: analyzed as if it lived on a counting path
+//! (`crates/core/src/algorithms/`).
+
+use std::time::Instant;
+
+pub fn bad() -> u64 {
+    let start = Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    let _ = std::env::var("AGGSKY_THREADS");
+    start.elapsed().as_secs()
+}

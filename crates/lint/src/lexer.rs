@@ -1,0 +1,437 @@
+//! Hand-written Rust token scanner, following the idiom of the SQL lexer in
+//! `crates/sql/src/lexer.rs`: a byte cursor, one `match` per character class,
+//! no dependencies.
+//!
+//! The scanner is deliberately *approximate*: it produces a flat token
+//! stream with line numbers — enough for the pattern-shaped rules in
+//! [`crate::rules`] — and does not attempt to parse Rust. Comments (line,
+//! doc, nested block) and the *contents* of string/char literals are
+//! discarded so rule patterns can never fire inside them.
+
+/// Shape of one lexical token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`text` holds the spelling).
+    Ident,
+    /// Integer literal.
+    Int,
+    /// Float literal (`1.0`, `.5` never occurs in Rust, `1e3`, `1.5e-2`).
+    Float,
+    /// String literal of any flavour (`"…"`, `r"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`) or loop label (`'outer`).
+    Lifetime,
+    /// Operator or punctuation; `text` holds the (possibly multi-char) glyph.
+    Sym,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token shape.
+    pub kind: Kind,
+    /// Spelling (empty for `Str`/`Char`, whose contents are irrelevant to
+    /// every rule and must never trigger one).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+impl Token {
+    /// True iff this is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == Kind::Ident && self.text == word
+    }
+
+    /// True iff this is the symbol `glyph`.
+    pub fn is_sym(&self, glyph: &str) -> bool {
+        self.kind == Kind::Sym && self.text == glyph
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch is a plain
+/// prefix scan.
+const MULTI_SYMS: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Scans `src` into a token stream. Unlike the SQL lexer this never fails:
+/// an unexpected byte becomes a one-character [`Kind::Sym`] token, because a
+/// linter must degrade gracefully on code it half-understands rather than
+/// refuse to analyze the file.
+pub fn scan(src: &str) -> Vec<Token> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if at(bytes, i + 1) == b'/' => {
+                // Line comment (covers `///` and `//!` doc comments too).
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if at(bytes, i + 1) == b'*' => {
+                // Block comment; Rust block comments nest.
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && at(bytes, i + 1) == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && at(bytes, i + 1) == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                let start_line = line;
+                i = skip_raw_string(bytes, i, &mut line);
+                tokens.push(Token { kind: Kind::Str, text: String::new(), line: start_line });
+            }
+            b'b' if at(bytes, i + 1) == b'\'' => {
+                let start_line = line;
+                i = skip_char_literal(bytes, i + 1, &mut line);
+                tokens.push(Token { kind: Kind::Char, text: String::new(), line: start_line });
+            }
+            b'b' if at(bytes, i + 1) == b'"' => {
+                let start_line = line;
+                i = skip_string(bytes, i + 1, &mut line);
+                tokens.push(Token { kind: Kind::Str, text: String::new(), line: start_line });
+            }
+            b'"' => {
+                let start_line = line;
+                i = skip_string(bytes, i, &mut line);
+                tokens.push(Token { kind: Kind::Str, text: String::new(), line: start_line });
+            }
+            b'\'' => {
+                // Lifetime/label (`'a`, `'outer`) or char literal (`'x'`,
+                // `'\n'`). A quote followed by an identifier char that is
+                // *not* closed by another quote right after one char is a
+                // lifetime; everything else is a char literal.
+                if is_lifetime(bytes, i) {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < bytes.len() && is_ident_byte(bytes[j]) {
+                        j += 1;
+                    }
+                    tokens.push(Token {
+                        kind: Kind::Lifetime,
+                        text: String::from_utf8_lossy(&bytes[start..j]).into_owned(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let start_line = line;
+                    i = skip_char_literal(bytes, i, &mut line);
+                    tokens.push(Token { kind: Kind::Char, text: String::new(), line: start_line });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (kind, len) = scan_number(&src[i..]);
+                tokens.push(Token { kind, text: src[i..i + len].to_string(), line });
+                i += len;
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < bytes.len() && is_ident_byte(bytes[i]) {
+                    i += 1;
+                }
+                tokens.push(Token { kind: Kind::Ident, text: src[start..i].to_string(), line });
+            }
+            _ => {
+                let rest = &src[i..];
+                let glyph = MULTI_SYMS.iter().find(|s| rest.starts_with(**s));
+                match glyph {
+                    Some(s) => {
+                        tokens.push(Token { kind: Kind::Sym, text: (*s).to_string(), line });
+                        i += s.len();
+                    }
+                    None => {
+                        // Single char; multi-byte UTF-8 collapses to one
+                        // symbol token per leading byte (harmless: no rule
+                        // matches non-ASCII glyphs).
+                        let len = utf8_len(c);
+                        tokens.push(Token {
+                            kind: Kind::Sym,
+                            text: src[i..i + len].to_string(),
+                            line,
+                        });
+                        i += len;
+                    }
+                }
+            }
+        }
+    }
+    tokens
+}
+
+fn at(bytes: &[u8], i: usize) -> u8 {
+    if i < bytes.len() {
+        bytes[i]
+    } else {
+        0
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+fn utf8_len(lead: u8) -> usize {
+    match lead {
+        0xF0..=0xF7 => 4,
+        0xE0..=0xEF => 3,
+        0xC0..=0xDF => 2,
+        _ => 1,
+    }
+}
+
+/// Is `bytes[i..]` the start of a raw (byte) string: `r"`, `r#`, `br"`, `br#`?
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let j = if bytes[i] == b'b' && at(bytes, i + 1) == b'r' { i + 1 } else { i };
+    bytes[j] == b'r' && matches!(at(bytes, j + 1), b'"' | b'#') && {
+        // `r#ident` is a raw identifier, not a raw string: require the
+        // `#` run to end in `"`.
+        let mut k = j + 1;
+        while at(bytes, k) == b'#' {
+            k += 1;
+        }
+        at(bytes, k) == b'"'
+    }
+}
+
+/// A `'` starts a lifetime iff an identifier follows and the literal is not
+/// closed after exactly one character (`'a'` is a char, `'a` is a lifetime).
+fn is_lifetime(bytes: &[u8], i: usize) -> bool {
+    is_ident_start(at(bytes, i + 1)) && at(bytes, i + 2) != b'\''
+}
+
+/// Skips a `"…"` string starting at the opening quote; returns the index
+/// past the closing quote.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
+    i += 1; // opening quote
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips `r##"…"##` (any number of `#`) starting at the `r` (or `br`).
+fn skip_raw_string(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    i += 1; // the 'r'
+    let mut hashes = 0;
+    while at(bytes, i) == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if bytes[i] == b'"' {
+            let mut k = 0;
+            while k < hashes && at(bytes, i + 1 + k) == b'#' {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Skips a `'…'` char literal starting at the opening quote.
+fn skip_char_literal(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
+    i += 1; // opening quote
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Scans a numeric literal at the start of `s`; returns its kind and length.
+/// Handles underscores, `0x`/`0o`/`0b` prefixes, type suffixes, decimal
+/// points and exponents; a trailing `.` method call (`1.max(2)`) or range
+/// (`0..n`) is *not* consumed as a fraction.
+fn scan_number(s: &str) -> (Kind, usize) {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    if bytes[0] == b'0' && matches!(at(bytes, 1), b'x' | b'o' | b'b') {
+        i = 2;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        return (Kind::Int, i);
+    }
+    let mut kind = Kind::Int;
+    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+        i += 1;
+    }
+    if at(bytes, i) == b'.' && at(bytes, i + 1).is_ascii_digit() {
+        kind = Kind::Float;
+        i += 1;
+        while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+            i += 1;
+        }
+    } else if at(bytes, i) == b'.' && !is_ident_start(at(bytes, i + 1)) && at(bytes, i + 1) != b'.'
+    {
+        // `1.` with no following digit, identifier, or `.`: a float like `1.`
+        kind = Kind::Float;
+        i += 1;
+    }
+    if matches!(at(bytes, i), b'e' | b'E') {
+        let mut j = i + 1;
+        if matches!(at(bytes, j), b'+' | b'-') {
+            j += 1;
+        }
+        if at(bytes, j).is_ascii_digit() {
+            kind = Kind::Float;
+            i = j;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // Type suffix (`1.0f64`, `7usize`).
+    if i < bytes.len() && is_ident_start(bytes[i]) {
+        let start = i;
+        while i < bytes.len() && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        if s[start..i].starts_with('f') {
+            kind = Kind::Float;
+        }
+    }
+    (kind, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(Kind, String)> {
+        scan(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_symbols() {
+        let toks = scan("let x = a.unwrap() + 1.5;");
+        assert!(toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(toks.iter().any(|t| t.kind == Kind::Float && t.text == "1.5"));
+        assert!(toks.iter().any(|t| t.is_sym(".")));
+    }
+
+    #[test]
+    fn comments_and_strings_hide_patterns() {
+        let toks = scan("// x.unwrap()\n/* panic! /* nested */ */ let s = \"y.unwrap()\";");
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!toks.iter().any(|t| t.is_ident("panic")));
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = scan(r###"let s = r#"a.unwrap() "quoted" "#; s.len()"###);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(toks.iter().any(|t| t.is_ident("len")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = scan("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks.iter().any(|t| t.kind == Kind::Lifetime && t.text == "a"));
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Char).count(), 1);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let toks = scan(r"let c = '\''; let l: &'static str = x;");
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Char).count(), 1);
+        assert!(toks.iter().any(|t| t.kind == Kind::Lifetime && t.text == "static"));
+    }
+
+    #[test]
+    fn line_numbers() {
+        let toks = scan("a\nb\n\nc");
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let toks = texts("a..=b :: -> => == != <= >= .. <<");
+        let syms: Vec<&str> =
+            toks.iter().filter(|(k, _)| *k == Kind::Sym).map(|(_, s)| s.as_str()).collect();
+        assert_eq!(syms, vec!["..=", "::", "->", "=>", "==", "!=", "<=", ">=", "..", "<<"]);
+    }
+
+    #[test]
+    fn numeric_flavours() {
+        assert_eq!(texts("0xFF_u8")[0].0, Kind::Int);
+        assert_eq!(texts("1_000")[0].0, Kind::Int);
+        assert_eq!(texts("1e3")[0].0, Kind::Float);
+        assert_eq!(texts("2.5E-2")[0].0, Kind::Float);
+        assert_eq!(texts("7f64")[0].0, Kind::Float);
+        // `1.max(2)` is an Int followed by a method call, not a float.
+        let toks = texts("1.max(2)");
+        assert_eq!(toks[0], (Kind::Int, "1".into()));
+        assert!(toks.iter().any(|(k, s)| *k == Kind::Ident && s == "max"));
+        // `0..n` keeps the range operator intact.
+        let toks = texts("0..n");
+        assert_eq!(toks[0].0, Kind::Int);
+        assert!(toks.iter().any(|(k, s)| *k == Kind::Sym && s == ".."));
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        let toks = scan("let r#type = 1; r#fn()");
+        assert!(toks.iter().any(|t| t.is_ident("type")));
+        assert!(toks.iter().any(|t| t.is_ident("fn")));
+        assert!(!toks.iter().any(|t| t.kind == Kind::Str));
+    }
+}

@@ -1,0 +1,89 @@
+//! # aggsky-lint
+//!
+//! An offline, dependency-free static-analysis pass over this workspace's
+//! own Rust sources. It tokenizes each library file with a hand-rolled
+//! scanner (same idiom as `crates/sql/src/lexer.rs`) and enforces the
+//! project rules L1–L5 described in [`rules`]; known-good legacy sites live
+//! in a committed [`allowlist`], and results can be emitted as a
+//! machine-readable JSON [`report`].
+//!
+//! Run it from the workspace root:
+//!
+//! ```text
+//! cargo run -p aggsky-lint                 # human-readable, exit 1 on findings
+//! cargo run -p aggsky-lint -- --json lint-report.json
+//! ```
+//!
+//! The scanned scope is the non-test library code of `core`, `spatial`,
+//! `sql` and `datagen`. `bench`, the root binary and this crate itself are
+//! dev-facing tools above the library layering DAG and are exempt by
+//! design; test code may panic freely and is stripped before analysis.
+
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use report::Report;
+use rules::Finding;
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src/` trees are analyzed.
+pub const SCANNED_CRATES: &[&str] = &["core", "spatial", "sql", "datagen"];
+
+/// Collects the workspace-relative paths of every scanned `.rs` file under
+/// `root` (the workspace root), sorted for deterministic reports.
+pub fn scanned_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for krate in SCANNED_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        walk(&src, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Analyzes every scanned file under `root` against the given allowlist
+/// text (pass `""` for none).
+pub fn run(root: &Path, allowlist_text: &str) -> Result<Report, String> {
+    let entries = allowlist::parse(allowlist_text)?;
+    let files = scanned_files(root).map_err(|e| format!("scanning workspace: {e}"))?;
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut analyzed = 0usize;
+    for path in &files {
+        let rel = path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+        let src = std::fs::read_to_string(path).map_err(|e| format!("reading {rel}: {e}"))?;
+        findings.extend(rules::analyze(&rel, &src));
+        analyzed += 1;
+    }
+    let (active, suppressed, stale) = allowlist::apply(findings, &entries);
+    Ok(Report { active, suppressed, stale, files: analyzed })
+}
+
+/// Locates the workspace root by walking upward from `start` until a
+/// directory containing both `Cargo.toml` and `crates/` is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! CLI entry point: `cargo run -p aggsky-lint [-- OPTIONS]`.
+//!
+//! Options:
+//! * `--root <dir>`       workspace root (default: auto-detected from cwd)
+//! * `--allowlist <file>` allowlist path (default: `<root>/lint-allowlist.txt`)
+//! * `--json <file>`      also write a machine-readable report
+//! * `--quiet`            suppress per-finding output
+//!
+//! Exit status: 0 when no active findings, 1 on findings, 2 on usage or I/O
+//! errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("aggsky-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<bool, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut allowlist_path: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => root = Some(next_value(&mut it, "--root")?),
+            "--allowlist" => allowlist_path = Some(next_value(&mut it, "--allowlist")?),
+            "--json" => json_path = Some(next_value(&mut it, "--json")?),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: aggsky-lint [--root DIR] [--allowlist FILE] [--json FILE] [--quiet]"
+                );
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("getting cwd: {e}"))?;
+            aggsky_lint::find_workspace_root(&cwd)
+                .ok_or("could not locate workspace root (pass --root)")?
+        }
+    };
+    let allowlist_path = allowlist_path.unwrap_or_else(|| root.join("lint-allowlist.txt"));
+    let allowlist_text = match std::fs::read_to_string(&allowlist_path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(format!("reading {}: {e}", allowlist_path.display())),
+    };
+
+    let report = aggsky_lint::run(&root, &allowlist_text)?;
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    if !quiet {
+        for f in &report.active {
+            println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        }
+        for e in &report.stale {
+            eprintln!(
+                "warning: stale allowlist entry (line {}): {} {}{}",
+                e.source_line,
+                e.rule,
+                e.path,
+                e.line.map_or(String::new(), |l| format!(":{l}"))
+            );
+        }
+    }
+    println!(
+        "aggsky-lint: {} file(s), {} finding(s), {} suppressed, {} stale allowlist entr{}",
+        report.files,
+        report.active.len(),
+        report.suppressed.len(),
+        report.stale.len(),
+        if report.stale.len() == 1 { "y" } else { "ies" },
+    );
+    Ok(report.is_clean())
+}
+
+fn next_value(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<PathBuf, String> {
+    it.next().map(PathBuf::from).ok_or_else(|| format!("{flag} requires a value"))
+}

@@ -1,0 +1,122 @@
+//! Machine-readable JSON report, hand-rolled like everything else in this
+//! workspace (no serde).
+
+use crate::allowlist::Entry;
+use crate::rules::Finding;
+
+/// Outcome of a full analysis run.
+#[derive(Debug)]
+pub struct Report {
+    /// Findings not covered by the allowlist (these fail the run).
+    pub active: Vec<Finding>,
+    /// Findings suppressed by allowlist entries.
+    pub suppressed: Vec<Finding>,
+    /// Allowlist entries that matched nothing.
+    pub stale: Vec<Entry>,
+    /// Number of files analyzed.
+    pub files: usize,
+}
+
+impl Report {
+    /// Exit status the CLI should report: success iff nothing is active.
+    pub fn is_clean(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Serializes the report as a stable, pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_analyzed\": {},\n", self.files));
+        out.push_str(&format!("  \"active_count\": {},\n", self.active.len()));
+        out.push_str(&format!("  \"suppressed_count\": {},\n", self.suppressed.len()));
+        out.push_str(&format!("  \"stale_allowlist_count\": {},\n", self.stale.len()));
+        out.push_str("  \"findings\": [");
+        json_findings(&mut out, &self.active);
+        out.push_str("],\n  \"suppressed\": [");
+        json_findings(&mut out, &self.suppressed);
+        out.push_str("],\n  \"stale_allowlist\": [");
+        for (i, e) in self.stale.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}}}",
+                json_str(&e.rule),
+                json_str(&e.path),
+                e.line.map_or_else(|| "null".to_string(), |l| l.to_string()),
+            ));
+        }
+        if !self.stale.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn json_findings(out: &mut String, findings: &[Finding]) {
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}",
+            json_str(f.rule),
+            json_str(&f.path),
+            f.line,
+            json_str(&f.message),
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn report_shape() {
+        let report = Report {
+            active: vec![Finding {
+                rule: "L1-panic",
+                path: "crates/x.rs".into(),
+                line: 3,
+                message: "msg \"quoted\"".into(),
+            }],
+            suppressed: vec![],
+            stale: vec![],
+            files: 7,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"files_analyzed\": 7"));
+        assert!(json.contains("\"active_count\": 1"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(!report.is_clean());
+    }
+}

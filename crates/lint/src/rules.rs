@@ -1,0 +1,462 @@
+//! The project rules L1–L5, implemented as patterns over the token stream
+//! produced by [`crate::lexer`].
+//!
+//! | Rule | Id | What it forbids |
+//! |------|----|-----------------|
+//! | L1 | `L1-panic` | `.unwrap()`, `.expect(…)`, `panic!`, `todo!`, `unimplemented!` in non-test library code |
+//! | L1 | `L1-index` | slice/array indexing `expr[…]` (panics on out-of-range) |
+//! | L2 | `L2-floatord` | `partial_cmp` calls and `==`/`!=`/`<`/`<=`/`>`/`>=` against float literals outside the sanctioned `ord` modules |
+//! | L3 | `L3-cast` | `as` casts to a numeric type that can truncate or wrap |
+//! | L4 | `L4-layering` | imports that violate the crate DAG (`spatial` → ∅, `core` → `spatial`, `sql`/`datagen` → `core`) |
+//! | L5 | `L5-determinism` | `Instant`/`SystemTime`/`thread::sleep`/`std::env` inside counting-path modules |
+//!
+//! Code under `#[cfg(test)]` (and any item carrying a `test` attribute) is
+//! stripped before the rules run: test code may panic freely.
+
+use crate::lexer::{scan, Kind, Token};
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier, e.g. `L1-panic`.
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// Keywords that can legally precede `[` without forming an indexing
+/// expression (`let [a, b] = …`, `return [x]`, `in [..]`, …).
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "self", "Self", "static", "struct", "super", "trait", "type", "unsafe", "use",
+    "where", "while", "yield",
+];
+
+/// `as`-cast targets that can truncate (int→narrower-int, float→int) or lose
+/// precision (`f32`). `f64` and the 128-bit types are treated as widening
+/// and allowed; `usize → u64` style widening must go through
+/// `aggsky_core::num` instead of `as` so intent is explicit.
+const TRUNCATING_TARGETS: &[&str] =
+    &["u8", "u16", "u32", "u64", "usize", "i8", "i16", "i32", "i64", "isize", "f32"];
+
+/// Internal crates and the internal crates each may import. `bench` and the
+/// root binary are intentionally unconstrained consumers at the top of the
+/// DAG and are not scanned.
+const LAYERING: &[(&str, &[&str])] = &[
+    ("core", &["aggsky_spatial"]),
+    ("spatial", &[]),
+    ("sql", &["aggsky_core"]),
+    ("datagen", &["aggsky_core"]),
+];
+
+const INTERNAL_CRATES: &[&str] =
+    &["aggsky_core", "aggsky_spatial", "aggsky_sql", "aggsky_datagen", "aggsky_bench"];
+
+/// Modules on the γ-dominance counting path, where wall-clock reads,
+/// sleeps and environment lookups would make verdicts or stats
+/// nondeterministic (rule L5).
+const COUNTING_PATHS: &[&str] = &[
+    "crates/core/src/dominance.rs",
+    "crates/core/src/gamma.rs",
+    "crates/core/src/paircount.rs",
+    "crates/core/src/kernel.rs",
+    "crates/core/src/prepared.rs",
+    "crates/core/src/matrix.rs",
+    "crates/core/src/mbb.rs",
+    "crates/core/src/algorithms/",
+];
+
+/// Files allowed to use raw float comparisons: the sanctioned total-order
+/// modules themselves (rule L2). `spatial` may not depend on `core` (rule
+/// L4), so it carries a minimal mirror of `core::ord`.
+const SANCTIONED_ORD: &[&str] = &["crates/core/src/ord.rs", "crates/spatial/src/ord.rs"];
+
+/// Files allowed to contain `as` widening casts wrapped in named helpers
+/// (rule L3).
+const SANCTIONED_NUM: &[&str] = &["crates/core/src/num.rs"];
+
+/// Analyzes one file's source. `path` is the workspace-relative path (used
+/// for rule scoping and reporting); the file is not re-read from disk.
+pub fn analyze(path: &str, src: &str) -> Vec<Finding> {
+    let tokens = strip_test_code(scan(src));
+    let mut findings = Vec::new();
+    check_l1(path, &tokens, &mut findings);
+    check_l2(path, &tokens, &mut findings);
+    check_l3(path, &tokens, &mut findings);
+    check_l4(path, &tokens, &mut findings);
+    check_l5(path, &tokens, &mut findings);
+    findings
+}
+
+/// Removes every item annotated with an attribute whose argument list
+/// mentions `test` (`#[cfg(test)]`, `#[test]`, `#[cfg(all(test, …))]`).
+/// The item body is found by brace matching: everything up to the first
+/// `;` at depth 0, or through the matching `}` of the first `{`.
+fn strip_test_code(tokens: Vec<Token>) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_sym("#") && i + 1 < tokens.len() && tokens[i + 1].is_sym("[") {
+            // Find the attribute's closing bracket and whether it gates test
+            // code.
+            let mut depth = 0;
+            let mut j = i + 1;
+            let mut is_test = false;
+            while j < tokens.len() {
+                if tokens[j].is_sym("[") {
+                    depth += 1;
+                } else if tokens[j].is_sym("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if tokens[j].is_ident("test") {
+                    is_test = true;
+                }
+                j += 1;
+            }
+            if !is_test {
+                // Keep the attribute tokens; rules ignore them anyway.
+                out.extend_from_slice(&tokens[i..=j.min(tokens.len() - 1)]);
+                i = j + 1;
+                continue;
+            }
+            // Skip any further attributes, then the item itself.
+            i = j + 1;
+            while i + 1 < tokens.len() && tokens[i].is_sym("#") && tokens[i + 1].is_sym("[") {
+                let mut d = 0;
+                while i < tokens.len() {
+                    if tokens[i].is_sym("[") {
+                        d += 1;
+                    } else if tokens[i].is_sym("]") {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                i += 1;
+            }
+            let mut brace = 0i64;
+            let mut entered = false;
+            while i < tokens.len() {
+                if tokens[i].is_sym("{") {
+                    brace += 1;
+                    entered = true;
+                } else if tokens[i].is_sym("}") {
+                    brace -= 1;
+                } else if tokens[i].is_sym(";") && !entered {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+                if entered && brace == 0 {
+                    break;
+                }
+            }
+        } else {
+            out.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// L1: panic-freedom. Flags `.unwrap()` / `.expect(` calls, panicking
+/// macros, and indexing expressions.
+fn check_l1(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != Kind::Ident && !(t.kind == Kind::Sym && t.text == "[") {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| &tokens[p]);
+        let next = tokens.get(i + 1);
+        match t.text.as_str() {
+            "unwrap" | "expect" => {
+                let is_method_call =
+                    prev.is_some_and(|p| p.is_sym(".")) && next.is_some_and(|n| n.is_sym("("));
+                if is_method_call {
+                    findings.push(Finding {
+                        rule: "L1-panic",
+                        path: path.to_string(),
+                        line: t.line,
+                        message: format!(
+                            ".{}() panics on the error path; route through error types instead",
+                            t.text
+                        ),
+                    });
+                }
+            }
+            "panic" | "todo" | "unimplemented" if next.is_some_and(|n| n.is_sym("!")) => {
+                findings.push(Finding {
+                    rule: "L1-panic",
+                    path: path.to_string(),
+                    line: t.line,
+                    message: format!("{}! is forbidden in library code", t.text),
+                });
+            }
+            "[" => {
+                // Indexing: `[` directly after a value-producing token. An
+                // identifier, `)` or `]` before `[` means `expr[…]`; keywords
+                // (`let [a,b]`), symbols (`= [1,2]`, `&[f64]`) and `#[attr]`
+                // do not.
+                let is_index = prev.is_some_and(|p| match p.kind {
+                    Kind::Ident => !KEYWORDS.contains(&p.text.as_str()),
+                    Kind::Sym => p.text == ")" || p.text == "]",
+                    _ => false,
+                });
+                if is_index {
+                    findings.push(Finding {
+                        rule: "L1-index",
+                        path: path.to_string(),
+                        line: t.line,
+                        message: "indexing panics when out of range; use get()/get_mut() or \
+                                  prove the bound and allowlist the site"
+                            .to_string(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// L2: NaN-safe float ordering. Flags `partial_cmp` calls (but not trait
+/// impl definitions) and comparison operators with a float-literal operand,
+/// outside the sanctioned `ord` modules.
+fn check_l2(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    if SANCTIONED_ORD.contains(&path) {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        let prev = i.checked_sub(1).map(|p| &tokens[p]);
+        if t.is_ident("partial_cmp") {
+            // `fn partial_cmp` defines the PartialOrd impl; calling it is
+            // what loses NaN totality.
+            if prev.is_some_and(|p| p.is_ident("fn")) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: "L2-floatord",
+                path: path.to_string(),
+                line: t.line,
+                message: "partial_cmp is not total on floats; use aggsky_core::ord (total_cmp)"
+                    .to_string(),
+            });
+        } else if t.kind == Kind::Sym
+            && matches!(t.text.as_str(), "==" | "!=" | "<" | "<=" | ">" | ">=")
+        {
+            let next = tokens.get(i + 1);
+            let float_operand = prev.is_some_and(|p| p.kind == Kind::Float)
+                || next.is_some_and(|n| n.kind == Kind::Float);
+            if float_operand {
+                findings.push(Finding {
+                    rule: "L2-floatord",
+                    path: path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "raw `{}` against a float literal; use aggsky_core::ord comparators",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// L3: no truncating `as` casts. Flags `as <int-or-f32 type>`.
+fn check_l3(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    if SANCTIONED_NUM.contains(&path) {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("as") {
+            continue;
+        }
+        if let Some(next) = tokens.get(i + 1) {
+            if next.kind == Kind::Ident && TRUNCATING_TARGETS.contains(&next.text.as_str()) {
+                findings.push(Finding {
+                    rule: "L3-cast",
+                    path: path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "`as {}` can truncate or wrap; use try_from/checked_mul or the \
+                         aggsky_core::num widening helpers",
+                        next.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// L4: crate layering. Flags references to internal crates outside the
+/// allowed set for the file's crate.
+fn check_l4(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    let Some(crate_name) = crate_of(path) else { return };
+    let Some((_, allowed)) = LAYERING.iter().find(|(c, _)| *c == crate_name) else { return };
+    let own = format!("aggsky_{crate_name}");
+    for t in tokens {
+        if t.kind == Kind::Ident
+            && INTERNAL_CRATES.contains(&t.text.as_str())
+            && t.text != own
+            && !allowed.contains(&t.text.as_str())
+        {
+            findings.push(Finding {
+                rule: "L4-layering",
+                path: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "crate `{crate_name}` must not reference `{}` (layering DAG: spatial → ∅, \
+                     core → spatial, sql/datagen → core)",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// L5: determinism on counting paths. Flags clock reads, sleeps and
+/// environment access inside the modules listed in [`COUNTING_PATHS`].
+fn check_l5(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    if !COUNTING_PATHS.iter().any(|p| path == *p || (p.ends_with('/') && path.starts_with(p))) {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        let banned = match t.text.as_str() {
+            "Instant" | "SystemTime" => true,
+            "sleep" => true,
+            "env" => {
+                // Only `std::env` / `core::env`; a local variable named
+                // `env` is fine.
+                i >= 2
+                    && tokens[i - 1].is_sym("::")
+                    && (tokens[i - 2].is_ident("std") || tokens[i - 2].is_ident("core"))
+            }
+            _ => false,
+        };
+        if banned {
+            findings.push(Finding {
+                rule: "L5-determinism",
+                path: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}` makes counting nondeterministic; timing belongs in the bench crate",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Extracts the crate name from a `crates/<name>/src/…` path.
+fn crate_of(path: &str) -> Option<&str> {
+    let rest = path.strip_prefix("crates/")?;
+    let (name, tail) = rest.split_once('/')?;
+    tail.starts_with("src/").then_some(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_at(path: &str, src: &str) -> Vec<(&'static str, usize)> {
+        analyze(path, src).into_iter().map(|f| (f.rule, f.line)).collect()
+    }
+
+    #[test]
+    fn l1_flags_unwrap_expect_and_macros() {
+        let src = "fn f() {\n    x.unwrap();\n    y.expect(\"msg\");\n    panic!(\"boom\");\n    todo!()\n}\n";
+        let got = rules_at("crates/core/src/x.rs", src);
+        assert_eq!(got, vec![("L1-panic", 2), ("L1-panic", 3), ("L1-panic", 4), ("L1-panic", 5)]);
+    }
+
+    #[test]
+    fn l1_ignores_unwrap_or_variants() {
+        let src = "fn f() { x.unwrap_or(0); x.unwrap_or_else(|| 1); x.unwrap_or_default(); }";
+        assert!(rules_at("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l1_flags_indexing_but_not_array_syntax() {
+        let src = "fn f(v: &[f64]) -> f64 {\n    let a = [1, 2];\n    let [x, y] = a;\n    v[0] + g()[1]\n}\n";
+        let got = rules_at("crates/core/src/x.rs", src);
+        assert_eq!(got, vec![("L1-index", 4), ("L1-index", 4)]);
+    }
+
+    #[test]
+    fn l2_flags_partial_cmp_calls_not_defs() {
+        let src = "impl PartialOrd for E {\n    fn partial_cmp(&self, o: &E) -> Option<Ordering> { Some(self.cmp(o)) }\n}\nfn g(a: f64, b: f64) { a.partial_cmp(&b); }\n";
+        let got = rules_at("crates/core/src/x.rs", src);
+        assert_eq!(got, vec![("L2-floatord", 4)]);
+    }
+
+    #[test]
+    fn l2_flags_float_literal_comparisons() {
+        let src = "fn f(p: f64) -> bool { p >= 1.0 || 0.5 < p }";
+        let got = rules_at("crates/core/src/x.rs", src);
+        assert_eq!(got, vec![("L2-floatord", 1), ("L2-floatord", 1)]);
+    }
+
+    #[test]
+    fn l2_sanctioned_module_is_exempt() {
+        let src = "pub fn gt(a: f64, b: f64) -> bool { a > b || a == 1.0 }";
+        assert!(rules_at("crates/core/src/ord.rs", src).is_empty());
+        assert!(!rules_at("crates/core/src/other.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l3_flags_truncating_casts_only() {
+        let src = "fn f(x: usize, y: f64) { let _ = x as u64; let _ = y as u32; let _ = x as f64; let _ = x as u128; }";
+        let got = rules_at("crates/core/src/x.rs", src);
+        assert_eq!(got, vec![("L3-cast", 1), ("L3-cast", 1)]);
+    }
+
+    #[test]
+    fn l4_layering_violations() {
+        let src = "use aggsky_sql::Engine;\n";
+        assert_eq!(rules_at("crates/core/src/x.rs", src), vec![("L4-layering", 1)]);
+        assert_eq!(
+            rules_at("crates/spatial/src/x.rs", "use aggsky_core::Gamma;"),
+            vec![("L4-layering", 1)]
+        );
+        assert!(rules_at("crates/core/src/x.rs", "use aggsky_spatial::RTree;").is_empty());
+        assert!(rules_at("crates/sql/src/x.rs", "use aggsky_core::Gamma;").is_empty());
+    }
+
+    #[test]
+    fn l5_only_fires_on_counting_paths() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        assert_eq!(
+            rules_at("crates/core/src/paircount.rs", src),
+            vec![("L5-determinism", 1), ("L5-determinism", 2)]
+        );
+        assert!(rules_at("crates/core/src/stats.rs", src).is_empty());
+        let env = "fn f() { let v = std::env::var(\"X\"); }";
+        assert_eq!(
+            rules_at("crates/core/src/algorithms/parallel.rs", env),
+            vec![("L5-determinism", 1)]
+        );
+    }
+
+    #[test]
+    fn cfg_test_code_is_stripped() {
+        let src = "fn lib() -> u32 { 1 }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); v[0]; }\n}\n";
+        assert!(rules_at("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn non_test_attributes_do_not_strip() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn f() { x.unwrap(); }\n";
+        assert_eq!(rules_at("crates/core/src/x.rs", src), vec![("L1-panic", 3)]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Fixture corpus: each seeded file must light up exactly the expected
+//! rule ids and lines, the clean fixture must stay silent, the real
+//! workspace must be clean under the committed allowlist, and the CLI must
+//! report violations through its exit status.
+
+use aggsky_lint::{allowlist, rules};
+use std::path::{Path, PathBuf};
+
+fn findings(path: &str, src: &str) -> Vec<(&'static str, usize)> {
+    rules::analyze(path, src).into_iter().map(|f| (f.rule, f.line)).collect()
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+#[test]
+fn l1_fixture_flags_panics_and_indexing() {
+    assert_eq!(
+        findings("crates/core/src/fixture_l1.rs", include_str!("../fixtures/l1_panics.rs")),
+        vec![
+            ("L1-panic", 4),  // .unwrap()
+            ("L1-panic", 5),  // .expect(...)
+            ("L1-panic", 7),  // panic!
+            ("L1-index", 9),  // v[2]
+            ("L1-panic", 14), // todo!
+        ],
+        "the unwrap_or family and the #[cfg(test)] module must not be flagged"
+    );
+}
+
+#[test]
+fn l2_fixture_flags_raw_float_ordering() {
+    assert_eq!(
+        findings("crates/core/src/fixture_l2.rs", include_str!("../fixtures/l2_floatord.rs")),
+        vec![
+            ("L2-floatord", 6),  // p >= 1.0
+            ("L2-floatord", 9),  // p.partial_cmp(&q)
+            ("L2-floatord", 10), // 0.0 < q
+        ],
+        "the `fn partial_cmp` trait-impl definition must not be flagged"
+    );
+}
+
+#[test]
+fn l2_fixture_is_exempt_in_sanctioned_module() {
+    assert!(
+        findings("crates/core/src/ord.rs", include_str!("../fixtures/l2_floatord.rs")).is_empty()
+    );
+}
+
+#[test]
+fn l3_fixture_flags_truncating_casts() {
+    assert_eq!(
+        findings("crates/core/src/fixture_l3.rs", include_str!("../fixtures/l3_casts.rs")),
+        vec![("L3-cast", 4), ("L3-cast", 5), ("L3-cast", 6)],
+        "From/TryFrom conversions and widening to u128/f64 must not be flagged"
+    );
+}
+
+#[test]
+fn l4_fixture_flags_layering_violation() {
+    assert_eq!(
+        findings("crates/spatial/src/fixture_l4.rs", include_str!("../fixtures/l4_layering.rs")),
+        vec![("L4-layering", 4)]
+    );
+    // The same import is legal one layer up.
+    assert!(findings("crates/sql/src/fixture_l4.rs", include_str!("../fixtures/l4_layering.rs"))
+        .is_empty());
+}
+
+#[test]
+fn l5_fixture_flags_clock_sleep_and_env_on_counting_paths() {
+    let counting = "crates/core/src/algorithms/fixture_l5.rs";
+    assert_eq!(
+        findings(counting, include_str!("../fixtures/l5_determinism.rs")),
+        vec![
+            ("L5-determinism", 4), // use std::time::Instant
+            ("L5-determinism", 7), // Instant::now()
+            ("L5-determinism", 8), // thread::sleep
+            ("L5-determinism", 9), // std::env::var
+        ]
+    );
+    // Off the counting paths (e.g. the stats module) the rule is silent.
+    assert!(findings("crates/core/src/stats.rs", include_str!("../fixtures/l5_determinism.rs"))
+        .is_empty());
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    // Analyzed on a counting path, where the most rules apply.
+    assert!(findings("crates/core/src/algorithms/clean.rs", include_str!("../fixtures/clean.rs"))
+        .is_empty());
+}
+
+#[test]
+fn allowlist_suppresses_pinned_and_file_wide_entries() {
+    let found =
+        rules::analyze("crates/core/src/fixture_l1.rs", include_str!("../fixtures/l1_panics.rs"));
+    let entries = allowlist::parse(
+        "L1-panic crates/core/src/fixture_l1.rs\n\
+         L1-index crates/core/src/fixture_l1.rs:9\n\
+         L2-floatord crates/core/src/never.rs # covers nothing -> stale\n",
+    )
+    .unwrap();
+    let (active, suppressed, stale) = allowlist::apply(found, &entries);
+    assert!(active.is_empty(), "all five seeded findings should be suppressed: {active:?}");
+    assert_eq!(suppressed.len(), 5);
+    assert_eq!(stale.len(), 1);
+    assert_eq!(stale[0].path, "crates/core/src/never.rs");
+}
+
+#[test]
+fn workspace_is_clean_under_committed_allowlist() {
+    let root = workspace_root();
+    let allow =
+        std::fs::read_to_string(root.join("lint-allowlist.txt")).expect("committed allowlist");
+    let report = aggsky_lint::run(&root, &allow).expect("lint run succeeds");
+    assert!(report.is_clean(), "active findings: {:#?}", report.active);
+    assert!(report.stale.is_empty(), "stale allowlist entries: {:#?}", report.stale);
+}
+
+#[test]
+fn workspace_without_allowlist_sees_the_suppressed_debt() {
+    // Guards against the linter silently scanning nothing and reporting a
+    // vacuous pass: with the allowlist disabled, the grandfathered sites
+    // must surface as active findings.
+    let report = aggsky_lint::run(&workspace_root(), "").expect("lint run succeeds");
+    assert!(report.files > 40, "expected the four library crates, got {} files", report.files);
+    assert!(!report.active.is_empty());
+    assert!(report.suppressed.is_empty());
+}
+
+#[test]
+fn cli_exits_nonzero_on_seeded_violations_and_zero_when_allowlisted() {
+    // A minimal fake workspace: the four scanned crate src dirs, one of
+    // which contains the seeded L1 fixture.
+    let dir = std::env::temp_dir().join(format!("aggsky-lint-fixture-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    for krate in ["core", "spatial", "sql", "datagen"] {
+        std::fs::create_dir_all(dir.join("crates").join(krate).join("src")).unwrap();
+    }
+    std::fs::write(dir.join("crates/core/src/bad.rs"), include_str!("../fixtures/l1_panics.rs"))
+        .unwrap();
+
+    let bin = env!("CARGO_BIN_EXE_aggsky-lint");
+    let run = |args: &[&str]| {
+        std::process::Command::new(bin)
+            .arg("--root")
+            .arg(&dir)
+            .args(args)
+            .output()
+            .expect("spawn aggsky-lint")
+    };
+
+    let out = run(&["--quiet"]);
+    assert_eq!(out.status.code(), Some(1), "seeded violations must fail the run");
+
+    std::fs::write(dir.join("lint-allowlist.txt"), "* crates/core/src/bad.rs\n").unwrap();
+    let out = run(&["--quiet"]);
+    assert_eq!(out.status.code(), Some(0), "allowlisted violations must pass");
+
+    let json_path = dir.join("report.json");
+    let out = run(&["--quiet", "--json", json_path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"active_count\": 0"), "unexpected report: {json}");
+    assert!(json.contains("\"suppressed_count\": 5"), "unexpected report: {json}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -18,7 +18,7 @@ impl Aabb {
         assert_eq!(lo.len(), hi.len(), "corner dimensionality mismatch");
         assert!(!lo.is_empty(), "zero-dimensional box");
         for (d, (&l, &h)) in lo.iter().zip(hi.iter()).enumerate() {
-            assert!(l <= h, "inverted box in dimension {d}: {l} > {h}");
+            assert!(crate::ord::le(l, h), "inverted box in dimension {d}: {l} > {h}");
             assert!(!l.is_nan() && !h.is_nan(), "NaN bound in dimension {d}");
         }
         Aabb { lo, hi }
@@ -58,31 +58,31 @@ impl Aabb {
     #[inline]
     pub fn intersects(&self, other: &Aabb) -> bool {
         debug_assert_eq!(self.dim(), other.dim());
-        self.lo.iter().zip(other.hi.iter()).all(|(&l, &h)| l <= h)
-            && other.lo.iter().zip(self.hi.iter()).all(|(&l, &h)| l <= h)
+        self.lo.iter().zip(other.hi.iter()).all(|(&l, &h)| crate::ord::le(l, h))
+            && other.lo.iter().zip(self.hi.iter()).all(|(&l, &h)| crate::ord::le(l, h))
     }
 
     /// True iff `p` lies inside the box (boundaries included).
     #[inline]
     pub fn contains_point(&self, p: &[f64]) -> bool {
         debug_assert_eq!(self.dim(), p.len());
-        self.lo.iter().zip(p.iter()).all(|(&l, &v)| l <= v)
-            && self.hi.iter().zip(p.iter()).all(|(&h, &v)| v <= h)
+        self.lo.iter().zip(p.iter()).all(|(&l, &v)| crate::ord::le(l, v))
+            && self.hi.iter().zip(p.iter()).all(|(&h, &v)| crate::ord::le(v, h))
     }
 
     /// True iff `other` lies entirely inside `self`.
     pub fn contains_box(&self, other: &Aabb) -> bool {
-        self.lo.iter().zip(other.lo.iter()).all(|(&a, &b)| a <= b)
-            && self.hi.iter().zip(other.hi.iter()).all(|(&a, &b)| b <= a)
+        self.lo.iter().zip(other.lo.iter()).all(|(&a, &b)| crate::ord::le(a, b))
+            && self.hi.iter().zip(other.hi.iter()).all(|(&a, &b)| crate::ord::le(b, a))
     }
 
     /// Grows the box (in place) to cover `other`.
     pub fn merge(&mut self, other: &Aabb) {
         for d in 0..self.dim() {
-            if other.lo[d] < self.lo[d] {
+            if crate::ord::lt(other.lo[d], self.lo[d]) {
                 self.lo[d] = other.lo[d];
             }
-            if other.hi[d] > self.hi[d] {
+            if crate::ord::gt(other.hi[d], self.hi[d]) {
                 self.hi[d] = other.hi[d];
             }
         }

@@ -31,7 +31,7 @@ impl<T> Item<'_, T> {
 
 impl<T> PartialEq for Item<'_, T> {
     fn eq(&self, other: &Self) -> bool {
-        self.dist() == other.dist()
+        crate::ord::eq(self.dist(), other.dist())
     }
 }
 impl<T> Eq for Item<'_, T> {}
@@ -51,9 +51,9 @@ impl<T> Ord for Item<'_, T> {
 fn dist_sq_to_box(p: &[f64], b: &Aabb) -> f64 {
     let mut acc = 0.0;
     for ((&v, &lo), &hi) in p.iter().zip(b.lo()).zip(b.hi()) {
-        let delta = if v < lo {
+        let delta = if crate::ord::lt(v, lo) {
             lo - v
-        } else if v > hi && hi.is_finite() {
+        } else if crate::ord::gt(v, hi) && hi.is_finite() {
             v - hi
         } else {
             0.0

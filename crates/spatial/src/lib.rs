@@ -26,6 +26,7 @@
 
 mod aabb;
 mod knn;
+mod ord;
 mod rtree;
 
 pub use aabb::Aabb;

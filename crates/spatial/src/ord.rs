@@ -1,0 +1,67 @@
+//! Total-order float comparisons — a minimal mirror of `aggsky_core::ord`.
+//!
+//! The workspace layering rule (lint rule L4) keeps this crate free of
+//! internal dependencies (`aggsky-core` depends on *us*), so the sanctioned
+//! comparators cannot be imported and are mirrored here with identical
+//! semantics: `total_cmp` over zero-normalized values, so `-0.0 == +0.0`
+//! and every comparison agrees with IEEE `<`/`>` on non-NaN inputs while
+//! staying deterministic on NaN.
+
+use std::cmp::Ordering;
+
+/// Maps `-0.0` to `+0.0` (the IEEE sum `-0.0 + 0.0` is `+0.0`); all other
+/// values, including NaN and the infinities, are unchanged.
+#[inline(always)]
+fn canon(x: f64) -> f64 {
+    x + 0.0
+}
+
+/// Total ordering: `total_cmp` over zero-normalized values.
+#[inline(always)]
+pub(crate) fn cmp(a: f64, b: f64) -> Ordering {
+    canon(a).total_cmp(&canon(b))
+}
+
+/// Total `a < b`.
+#[inline(always)]
+pub(crate) fn lt(a: f64, b: f64) -> bool {
+    cmp(a, b) == Ordering::Less
+}
+
+/// Total `a <= b`.
+#[inline(always)]
+pub(crate) fn le(a: f64, b: f64) -> bool {
+    cmp(a, b) != Ordering::Greater
+}
+
+/// Total `a > b`.
+#[inline(always)]
+pub(crate) fn gt(a: f64, b: f64) -> bool {
+    cmp(a, b) == Ordering::Greater
+}
+
+/// Total `a == b` (NaN of equal sign compares equal, so heap/dedup
+/// structures keyed on distances stay coherent).
+#[inline(always)]
+pub(crate) fn eq(a: f64, b: f64) -> bool {
+    cmp(a, b) == Ordering::Equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirrors_ieee_on_ordinary_values() {
+        let vals = [-2.0, -0.0, 0.0, 1.5, f64::INFINITY];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(lt(a, b), a < b, "lt({a}, {b})");
+                assert_eq!(le(a, b), a <= b, "le({a}, {b})");
+                assert_eq!(gt(a, b), a > b, "gt({a}, {b})");
+                assert_eq!(eq(a, b), a == b, "eq({a}, {b})");
+            }
+        }
+        assert!(eq(f64::NAN, f64::NAN));
+    }
+}

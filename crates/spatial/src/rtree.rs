@@ -21,12 +21,18 @@ pub(crate) enum Node<T> {
 
 impl<T: Copy> Node<T> {
     fn mbr(&self) -> Aabb {
-        fn cover<'a>(mut boxes: impl Iterator<Item = &'a Aabb>) -> Aabb {
-            let mut mbr = boxes.next().expect("node never empty").clone();
-            for b in boxes {
-                mbr.merge(b);
-            }
-            mbr
+        fn cover<'a>(boxes: impl Iterator<Item = &'a Aabb>) -> Aabb {
+            // Nodes are never constructed empty; folding keeps that
+            // assumption out of the panic surface.
+            boxes
+                .fold(None::<Aabb>, |acc, b| match acc {
+                    None => Some(b.clone()),
+                    Some(mut mbr) => {
+                        mbr.merge(b);
+                        Some(mbr)
+                    }
+                })
+                .unwrap_or_else(|| Aabb::point(&[0.0]))
         }
         match self {
             Node::Leaf(entries) => cover(entries.iter().map(|(b, _)| b)),

@@ -14,8 +14,11 @@ impl Database {
     pub fn dump(&self) -> String {
         let mut out = String::new();
         for name in self.table_names() {
-            let table = self.table(name).expect("name came from the catalog");
-            write!(out, "CREATE TABLE {} (", table.name).unwrap();
+            // Catalog names always resolve; skipping a phantom entry
+            // beats panicking mid-dump.
+            let Ok(table) = self.table(name) else { continue };
+            // Writing into a String is infallible.
+            let _ = write!(out, "CREATE TABLE {} (", table.name);
             for (i, c) in table.columns.iter().enumerate() {
                 if i > 0 {
                     out.push_str(", ");
@@ -25,12 +28,12 @@ impl Database {
                     ColumnType::Float => "FLOAT",
                     ColumnType::Text => "TEXT",
                 };
-                write!(out, "{} {}", c.name, ty).unwrap();
+                let _ = write!(out, "{} {}", c.name, ty);
             }
             out.push_str(");\n");
             // Batch inserts to keep the dump compact and the restore fast.
             for chunk in table.rows.chunks(256) {
-                write!(out, "INSERT INTO {} VALUES ", table.name).unwrap();
+                let _ = write!(out, "INSERT INTO {} VALUES ", table.name);
                 for (i, row) in chunk.iter().enumerate() {
                     if i > 0 {
                         out.push_str(", ");
@@ -74,7 +77,7 @@ fn render_literal(v: &Value) -> String {
                 // No NaN literal in the dialect, but INSERT evaluates
                 // expressions and inf - inf restores a NaN.
                 "(1e999 - 1e999)".to_string()
-            } else if *f > 0.0 {
+            } else if aggsky_core::ord::gt(*f, 0.0) {
                 "1e999".to_string() // parses as +inf
             } else {
                 "-1e999".to_string()

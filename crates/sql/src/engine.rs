@@ -305,6 +305,6 @@ impl Database {
 fn ddl_result(rows_affected: usize) -> QueryResult {
     QueryResult {
         columns: vec!["rows_affected".to_string()],
-        rows: vec![vec![Value::Int(rows_affected as i64)]],
+        rows: vec![vec![Value::Int(i64::try_from(rows_affected).unwrap_or(i64::MAX))]],
     }
 }

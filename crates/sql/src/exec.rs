@@ -86,7 +86,7 @@ pub fn execute_select(cat: &Catalog, stmt: &SelectStmt) -> Result<QueryResult> {
                 result.columns.len()
             )));
         }
-        Ok(result.rows.into_iter().map(|mut r| r.pop().expect("one column").group_key()).collect())
+        Ok(result.rows.into_iter().filter_map(|mut r| r.pop().map(|v| v.group_key())).collect())
     };
     let mut compiler = Compiler::new(&schema, &run_subquery);
 
@@ -550,7 +550,7 @@ impl Acc {
 
     fn finish(&self) -> Value {
         match self {
-            Acc::Count(c) => Value::Int(*c as i64),
+            Acc::Count(c) => Value::Int(i64::try_from(*c).unwrap_or(i64::MAX)),
             Acc::Sum { sum, seen } => {
                 if *seen {
                     Value::Float(*sum)

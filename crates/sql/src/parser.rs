@@ -302,7 +302,9 @@ impl Parser {
                 }
             } else if self.eat_kw("limit") {
                 match self.bump() {
-                    Token::Int(n) if n >= 0 => stmt.limit = Some(n as usize),
+                    Token::Int(n) if n >= 0 => {
+                        stmt.limit = Some(usize::try_from(n).unwrap_or(usize::MAX))
+                    }
                     other => {
                         return Err(SqlError::Parse(format!(
                             "expected a row count after LIMIT, found {other:?}"

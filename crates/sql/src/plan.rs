@@ -346,7 +346,9 @@ pub fn eval(expr: &RExpr, row: &[Value], aggs: &[Value]) -> Result<Value> {
                     // finite and meaningful for f64 (±18 covers every
                     // representable decimal position).
                     let digits = match vals.get(1) {
-                        Some(d) => (numeric(d, "ROUND")? as i32).clamp(-18, 18),
+                        Some(d) => {
+                            aggsky_core::num::to_i32_sat(numeric(d, "ROUND")?).clamp(-18, 18)
+                        }
                         None => 0,
                     };
                     let scale = 10f64.powi(digits);
@@ -356,7 +358,7 @@ pub fn eval(expr: &RExpr, row: &[Value], aggs: &[Value]) -> Result<Value> {
                 F::Ceil => Value::Float(numeric(&vals[0], "CEIL")?.ceil()),
                 F::Sqrt => {
                     let x = numeric(&vals[0], "SQRT")?;
-                    if x < 0.0 {
+                    if aggsky_core::ord::lt(x, 0.0) {
                         Value::Null
                     } else {
                         Value::Float(x.sqrt())
@@ -366,7 +368,9 @@ pub fn eval(expr: &RExpr, row: &[Value], aggs: &[Value]) -> Result<Value> {
                     Value::Str(s) => match func {
                         F::Lower => Value::Str(s.to_lowercase()),
                         F::Upper => Value::Str(s.to_uppercase()),
-                        F::Length => Value::Int(s.chars().count() as i64),
+                        F::Length => {
+                            Value::Int(i64::try_from(s.chars().count()).unwrap_or(i64::MAX))
+                        }
                         _ => unreachable!(),
                     },
                     _ => return Err(SqlError::Eval(format!("{func:?} expects a string"))),
@@ -458,7 +462,7 @@ fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
         BinOp::Sub => Value::Float(a - b),
         BinOp::Mul => Value::Float(a * b),
         BinOp::Div => {
-            if b == 0.0 {
+            if aggsky_core::ord::eq(b, 0.0) {
                 Value::Null
             } else {
                 Value::Float(a / b)

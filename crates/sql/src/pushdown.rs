@@ -47,23 +47,22 @@ impl ScanPlan {
             columns_used(&conjunct, &mut cols);
             let tables: std::collections::BTreeSet<usize> =
                 cols.iter().map(|&c| table_of(c, offsets, widths)).collect();
-            match tables.len() {
-                0 => {
+            match tables.iter().next() {
+                None => {
                     // Constant conjunct: decide the whole query right now.
                     let v = eval(&conjunct, &[], &[])?;
                     if !v.is_truthy() {
                         plan.always_empty = true;
                     }
                 }
-                1 => {
-                    let t = *tables.iter().next().expect("len checked");
+                Some(&t) if tables.len() == 1 => {
                     let shifted = shift_columns(conjunct, offsets[t]);
                     plan.per_table[t] = Some(match plan.per_table[t].take() {
                         None => shifted,
                         Some(prev) => and(prev, shifted),
                     });
                 }
-                _ => residual_parts.push(conjunct),
+                Some(_) => residual_parts.push(conjunct),
             }
         }
         plan.residual = residual_parts.into_iter().reduce(and);

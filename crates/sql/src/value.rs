@@ -37,7 +37,7 @@ impl Value {
         match self {
             Value::Null => false,
             Value::Int(i) => *i != 0,
-            Value::Float(f) => *f != 0.0,
+            Value::Float(f) => !aggsky_core::ord::eq(*f, 0.0),
             Value::Str(s) => !s.is_empty(),
         }
     }
@@ -51,7 +51,13 @@ impl Value {
             (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
             (a, b) => {
                 let (x, y) = (a.as_f64()?, b.as_f64()?);
-                x.partial_cmp(&y)
+                // NaN stays "unknown" (SQL three-valued logic) rather than
+                // adopting the total order's NaN placement.
+                if x.is_nan() || y.is_nan() {
+                    None
+                } else {
+                    Some(aggsky_core::ord::cmp(x, y))
+                }
             }
         }
     }
@@ -65,7 +71,7 @@ impl Value {
             (Value::Null, Value::Null) => true,
             (Value::Str(a), Value::Str(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
-            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => aggsky_core::ord::eq(*a, *b),
             (Value::Int(i), Value::Float(f)) | (Value::Float(f), Value::Int(i)) => {
                 int_float_eq(*i, *f)
             }
@@ -85,13 +91,10 @@ impl Value {
         match self {
             Value::Null => "\u{0}N".to_string(),
             Value::Int(i) => format!("\u{0}n{i}"),
-            Value::Float(f) => {
-                if f.fract() == 0.0 && f.abs() <= 9_007_199_254_740_992.0 {
-                    format!("\u{0}n{}", *f as i64)
-                } else {
-                    format!("\u{0}f{f}")
-                }
-            }
+            Value::Float(f) => match aggsky_core::num::exact_int(*f) {
+                Some(i) => format!("\u{0}n{i}"),
+                None => format!("\u{0}f{f}"),
+            },
             Value::Str(s) => format!("\u{0}s{}\u{0}{s}", s.len()),
         }
     }
@@ -101,7 +104,7 @@ impl Value {
 /// a float only equals an int when it is integral, within the exactly-
 /// representable range, and converts back to the same i64.
 fn int_float_eq(i: i64, f: f64) -> bool {
-    f.fract() == 0.0 && f.abs() <= 9_007_199_254_740_992.0 && (f as i64) == i
+    aggsky_core::num::exact_int(f) == Some(i)
 }
 
 impl fmt::Display for Value {
@@ -110,7 +113,7 @@ impl fmt::Display for Value {
             Value::Null => write!(f, "NULL"),
             Value::Int(i) => write!(f, "{i}"),
             Value::Float(v) => {
-                if v.fract() == 0.0 && v.abs() < 1e15 {
+                if aggsky_core::ord::eq(v.fract(), 0.0) && aggsky_core::ord::lt(v.abs(), 1e15) {
                     write!(f, "{v:.1}")
                 } else {
                     write!(f, "{v}")

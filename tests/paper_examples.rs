@@ -177,7 +177,7 @@ fn explanations_match_membership() {
 fn dynamic_engine_tracks_the_movie_example() {
     use aggsky::DynamicAggregateSkyline;
     let ds = aggsky_datagen::movies_by_director();
-    let mut dynamic = DynamicAggregateSkyline::from_dataset(&ds);
+    let mut dynamic = DynamicAggregateSkyline::from_dataset(&ds).unwrap();
     // Nolan releases a monster hit: enters the skyline.
     let nolan = ds.group_by_label("Nolan").unwrap();
     dynamic.insert(nolan, &[900.0, 9.5]).unwrap();
