@@ -129,10 +129,10 @@ fn main() {
     }
     .generate();
     let mut table = MarkdownTable::new(vec!["threads", "ms", "speedup"]);
-    let (base, r1) = time(|| parallel_skyline(&ds, gamma, 1));
+    let (base, r1) = time(|| parallel_skyline(&ds, gamma, 1).expect("parallel run failed"));
     table.push_row(vec!["1".to_string(), fmt_ms(base), "1.0x".to_string()]);
     for threads in [2usize, 4, 8] {
-        let (t, r) = time(|| parallel_skyline(&ds, gamma, threads));
+        let (t, r) = time(|| parallel_skyline(&ds, gamma, threads).expect("parallel run failed"));
         assert_eq!(r.skyline, r1.skyline);
         table.push_row(vec![threads.to_string(), fmt_ms(t), format!("{:.1}x", base / t)]);
     }

@@ -202,9 +202,13 @@ fn main() {
     );
 
     // End-to-end wall clocks of the two real implementations, for reference.
-    let (t_str, r_str) = time(repeats, || parallel_skyline_strided(&skew_ds, gamma, threads));
-    let (t_chk, r_chk) =
-        time(repeats, || parallel_skyline_with(&skew_ds, gamma, threads, KernelConfig::Exhaustive));
+    let (t_str, r_str) = time(repeats, || {
+        parallel_skyline_strided(&skew_ds, gamma, threads).expect("strided run failed")
+    });
+    let (t_chk, r_chk) = time(repeats, || {
+        parallel_skyline_with(&skew_ds, gamma, threads, KernelConfig::Exhaustive)
+            .expect("chunked run failed")
+    });
     assert_eq!(r_str.skyline, r_chk.skyline, "schedulers must agree");
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     println!(

@@ -3,11 +3,13 @@
 
 use super::nested_loop::split_two;
 use super::{
-    apply_verdict, build_order, collect_result, kernel_boxes, AlgoOptions, SkylineResult, Status,
+    apply_verdict, build_order, collect_result, interrupted, kernel_boxes, AlgoOptions, Pruning,
+    SkylineResult, Status,
 };
 use crate::dataset::GroupedDataset;
 use crate::kernel::Kernel;
 use crate::paircount::PairOptions;
+use crate::runctx::{Outcome, RunContext};
 use crate::stats::Stats;
 use aggsky_spatial::{Aabb, RTree};
 
@@ -17,11 +19,12 @@ use aggsky_spatial::{Aabb, RTree};
 /// `[g1.min, ∞)`. With `opts.bbox_prune` the pairwise comparison also uses
 /// the Figure 9 region decomposition (the paper's "LO" configuration).
 pub fn indexed(ds: &GroupedDataset, opts: &AlgoOptions) -> SkylineResult {
-    indexed_on(&Kernel::new(ds, opts.kernel), opts)
+    indexed_on(&Kernel::new(ds, opts.kernel), opts, &RunContext::unlimited()).unwrap_or_partial()
 }
 
-/// [`indexed`] over a pre-built kernel.
-pub(super) fn indexed_on(kernel: &Kernel<'_>, opts: &AlgoOptions) -> SkylineResult {
+/// [`indexed`] over a pre-built kernel, polling `ctx` before every
+/// candidate comparison.
+pub(super) fn indexed_on(kernel: &Kernel<'_>, opts: &AlgoOptions, ctx: &RunContext) -> Outcome {
     let ds = kernel.dataset();
     let n = ds.n_groups();
     let mut statuses = vec![Status::Live; n];
@@ -35,8 +38,23 @@ pub(super) fn indexed_on(kernel: &Kernel<'_>, opts: &AlgoOptions) -> SkylineResu
     );
     let pair_opts: PairOptions = opts.pruning.pair_options(opts.stop_rule);
     let strong_marks = opts.pruning.uses_strong_marks();
+    // Unlike the pairwise loops, a group's window query surfaces *all* of
+    // its potential dominators at once, so completing its own outer
+    // iteration proves membership — but only under the result-preserving
+    // Exact discipline (heuristic pruning skips candidates).
+    let sound = opts.pruning == Pruning::Exact;
+    let bail = |statuses: &[Status], done_upto: usize, stats: Stats, reason| {
+        let mut done = vec![false; n];
+        for &g in order.iter().take(done_upto) {
+            done[g] = true;
+        }
+        interrupted(statuses, |g| sound && done[g], stats, reason)
+    };
     let mut candidates: Vec<usize> = Vec::new();
-    for &g1 in &order {
+    for (i, &g1) in order.iter().enumerate() {
+        if let Some(reason) = ctx.poll(stats.record_pairs) {
+            return bail(&statuses, i, stats, reason);
+        }
         if strong_marks {
             // Algorithm 5 line 8.
             if statuses[g1] == Status::StronglyDominated {
@@ -60,8 +78,12 @@ pub(super) fn indexed_on(kernel: &Kernel<'_>, opts: &AlgoOptions) -> SkylineResu
                 stats.transitive_skips += 1; // Algorithm 5 line 16.
                 continue;
             }
+            if let Some(reason) = ctx.poll(stats.record_pairs) {
+                return bail(&statuses, i, stats, reason);
+            }
             let pair_boxes = opts.bbox_prune.then(|| (&boxes[g1], &boxes[g2]));
-            let verdict = kernel.compare(g1, g2, opts.gamma, pair_boxes, pair_opts, &mut stats);
+            let mut verdict = kernel.compare(g1, g2, opts.gamma, pair_boxes, pair_opts, &mut stats);
+            ctx.corrupt_verdict(&mut verdict, stats.record_pairs);
             let (s1, s2) = split_two(&mut statuses, g1, g2);
             apply_verdict(verdict, s1, s2, opts.pruning);
             if strong_marks && statuses[g1] == Status::StronglyDominated {
@@ -72,7 +94,7 @@ pub(super) fn indexed_on(kernel: &Kernel<'_>, opts: &AlgoOptions) -> SkylineResu
             }
         }
     }
-    collect_result(&statuses, stats)
+    Outcome::Complete(collect_result(&statuses, stats))
 }
 
 #[cfg(test)]

@@ -35,15 +35,18 @@ pub use indexed::indexed;
 pub use naive::naive_skyline;
 pub use nested_loop::nested_loop;
 pub use parallel::{
-    parallel_skyline, parallel_skyline_strided, parallel_skyline_with, resolve_threads,
+    parallel_skyline, parallel_skyline_ctx, parallel_skyline_strided, parallel_skyline_with,
+    resolve_threads,
 };
 pub use transitive::{sorted, transitive};
 
+use crate::anytime::AnytimeResult;
 use crate::dataset::{GroupId, GroupedDataset};
 use crate::gamma::Gamma;
 use crate::kernel::{Kernel, KernelConfig};
 use crate::mbb::Mbb;
 use crate::paircount::{DomLevel, PairVerdict};
+use crate::runctx::{InterruptReason, Outcome, RunContext};
 use crate::stats::Stats;
 
 /// Output of an aggregate-skyline computation.
@@ -220,8 +223,18 @@ impl Algorithm {
     /// Runs this algorithm with explicit options (`bbox_prune` and `sort`
     /// are overridden where the algorithm's identity requires it).
     pub fn run_with(self, ds: &GroupedDataset, opts: AlgoOptions) -> SkylineResult {
+        // An unlimited fault-free context never interrupts, so unwrapping
+        // to the complete result is lossless here.
+        self.run_ctx(ds, opts, &RunContext::unlimited()).unwrap_or_partial()
+    }
+
+    /// Runs this algorithm under an execution-control context: the run
+    /// polls `ctx` at group-pair boundaries and, when cancelled or out of
+    /// budget, returns [`Outcome::Interrupted`] with a sound partial
+    /// partition instead of the exact skyline.
+    pub fn run_ctx(self, ds: &GroupedDataset, opts: AlgoOptions, ctx: &RunContext) -> Outcome {
         let kernel = Kernel::new(ds, opts.kernel);
-        self.run_on(&kernel, opts)
+        self.run_on(&kernel, opts, ctx)
     }
 
     /// Runs this algorithm over an existing preparation, skipping the
@@ -234,21 +247,32 @@ impl Algorithm {
         prep: &crate::prepared::PreparedDataset,
         opts: AlgoOptions,
     ) -> SkylineResult {
-        let kernel = Kernel::with_prepared(ds, prep);
-        self.run_on(&kernel, opts)
+        self.run_prepared_ctx(ds, prep, opts, &RunContext::unlimited()).unwrap_or_partial()
     }
 
-    fn run_on(self, kernel: &Kernel<'_>, opts: AlgoOptions) -> SkylineResult {
+    /// [`Algorithm::run_prepared`] under an execution-control context.
+    pub fn run_prepared_ctx(
+        self,
+        ds: &GroupedDataset,
+        prep: &crate::prepared::PreparedDataset,
+        opts: AlgoOptions,
+        ctx: &RunContext,
+    ) -> Outcome {
+        let kernel = Kernel::with_prepared(ds, prep);
+        self.run_on(&kernel, opts, ctx)
+    }
+
+    fn run_on(self, kernel: &Kernel<'_>, opts: AlgoOptions, ctx: &RunContext) -> Outcome {
         match self {
-            Algorithm::Naive => naive_skyline(kernel.dataset(), opts.gamma),
-            Algorithm::NestedLoop => nested_loop::nested_loop_on(kernel, &opts),
-            Algorithm::Transitive => transitive::transitive_on(kernel, &opts),
-            Algorithm::Sorted => transitive::sorted_on(kernel, &opts),
+            Algorithm::Naive => naive::naive_skyline_ctx(kernel.dataset(), opts.gamma, ctx),
+            Algorithm::NestedLoop => nested_loop::nested_loop_on(kernel, &opts, ctx),
+            Algorithm::Transitive => transitive::transitive_on(kernel, &opts, ctx),
+            Algorithm::Sorted => transitive::sorted_on(kernel, &opts, ctx),
             Algorithm::Indexed => {
-                indexed::indexed_on(kernel, &AlgoOptions { bbox_prune: false, ..opts })
+                indexed::indexed_on(kernel, &AlgoOptions { bbox_prune: false, ..opts }, ctx)
             }
             Algorithm::IndexedBbox => {
-                indexed::indexed_on(kernel, &AlgoOptions { bbox_prune: true, ..opts })
+                indexed::indexed_on(kernel, &AlgoOptions { bbox_prune: true, ..opts }, ctx)
             }
         }
     }
@@ -275,6 +299,37 @@ pub(crate) fn apply_verdict(
     }
     if let Some(st) = level(verdict.backward) {
         s1.raise(st);
+    }
+}
+
+/// Builds the typed partial partition for an interrupted run.
+///
+/// Every non-`Live` status maps to `confirmed_out`: a recorded verdict
+/// always reflects a real γ-dominator (γ̄-level domination implies γ-level),
+/// so this is sound even under the heuristic [`Pruning::Paper`]. A `Live`
+/// group is `confirmed_in` only when `proven_in` vouches for it — callers
+/// must return `true` only for groups whose full dominator scan completed
+/// under a result-preserving pruning discipline; everything else is
+/// `undecided`.
+pub(crate) fn interrupted(
+    statuses: &[Status],
+    proven_in: impl Fn(GroupId) -> bool,
+    stats: Stats,
+    reason: InterruptReason,
+) -> Outcome {
+    let mut confirmed_in = Vec::new();
+    let mut confirmed_out = Vec::new();
+    let mut undecided = Vec::new();
+    for (g, status) in statuses.iter().enumerate() {
+        match status {
+            Status::Live if proven_in(g) => confirmed_in.push(g),
+            Status::Live => undecided.push(g),
+            _ => confirmed_out.push(g),
+        }
+    }
+    Outcome::Interrupted {
+        reason,
+        partial: AnytimeResult { confirmed_in, confirmed_out, undecided, stats, checkpoint: None },
     }
 }
 

@@ -1,9 +1,10 @@
 //! The unoptimized oracle: exhaustive pair counting, no stopping rule, no
 //! pruning of any kind.
 
-use super::{collect_result, SkylineResult, Status};
+use super::{collect_result, interrupted, SkylineResult, Status};
 use crate::dataset::GroupedDataset;
 use crate::gamma::{domination_probability, Gamma};
+use crate::runctx::{Outcome, RunContext};
 use crate::stats::Stats;
 
 /// Computes the aggregate skyline by exhaustively evaluating
@@ -11,23 +12,36 @@ use crate::stats::Stats;
 /// literally). `O(n² · m²)` record comparisons for `n` groups of `m`
 /// records; used as the correctness oracle for every optimized algorithm.
 pub fn naive_skyline(ds: &GroupedDataset, gamma: Gamma) -> SkylineResult {
+    naive_skyline_ctx(ds, gamma, &RunContext::unlimited()).unwrap_or_partial()
+}
+
+/// [`naive_skyline`] under an execution-control context. The oracle visits
+/// *dominators* in its outer loop, so no group's dominator scan is complete
+/// before the whole run is: an interrupted naive run confirms groups out
+/// (found dominators are real) but never in.
+pub(super) fn naive_skyline_ctx(ds: &GroupedDataset, gamma: Gamma, ctx: &RunContext) -> Outcome {
     let n = ds.n_groups();
     let mut statuses = vec![Status::Live; n];
     let mut stats = Stats::default();
     for s in 0..n {
-        for (r, status) in statuses.iter_mut().enumerate() {
+        for r in 0..n {
             if s == r {
                 continue;
+            }
+            if let Some(reason) = ctx.poll(stats.record_pairs) {
+                return interrupted(&statuses, |_| false, stats, reason);
             }
             stats.group_pairs += 1;
             stats.record_pairs += crate::num::pair_product(ds.group_len(s), ds.group_len(r));
             let p = domination_probability(ds, s, r);
             if gamma.dominated(p) {
-                status.raise(Status::Dominated);
+                if let Some(status) = statuses.get_mut(r) {
+                    status.raise(Status::Dominated);
+                }
             }
         }
     }
-    collect_result(&statuses, stats)
+    Outcome::Complete(collect_result(&statuses, stats))
 }
 
 #[cfg(test)]

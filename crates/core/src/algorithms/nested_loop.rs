@@ -2,11 +2,13 @@
 //! condition.
 
 use super::{
-    apply_verdict, collect_result, kernel_boxes, AlgoOptions, Pruning, SkylineResult, Status,
+    apply_verdict, collect_result, interrupted, kernel_boxes, AlgoOptions, Pruning, SkylineResult,
+    Status,
 };
 use crate::dataset::GroupedDataset;
 use crate::kernel::Kernel;
 use crate::paircount::PairOptions;
+use crate::runctx::{Outcome, RunContext};
 use crate::stats::Stats;
 
 /// Compares every unordered pair of groups once, resolving both directions
@@ -14,11 +16,13 @@ use crate::stats::Stats;
 /// and `opts.kernel`; ignores `opts.pruning` and `opts.sort` (plain NL never
 /// skips a pair and visits groups in insertion order).
 pub fn nested_loop(ds: &GroupedDataset, opts: &AlgoOptions) -> SkylineResult {
-    nested_loop_on(&Kernel::new(ds, opts.kernel), opts)
+    nested_loop_on(&Kernel::new(ds, opts.kernel), opts, &RunContext::unlimited())
+        .unwrap_or_partial()
 }
 
-/// [`nested_loop`] over a pre-built kernel.
-pub(super) fn nested_loop_on(kernel: &Kernel<'_>, opts: &AlgoOptions) -> SkylineResult {
+/// [`nested_loop`] over a pre-built kernel, polling `ctx` before every
+/// group-pair comparison.
+pub(super) fn nested_loop_on(kernel: &Kernel<'_>, opts: &AlgoOptions, ctx: &RunContext) -> Outcome {
     let n = kernel.dataset().n_groups();
     let mut statuses = vec![Status::Live; n];
     let mut stats = Stats::default();
@@ -30,13 +34,21 @@ pub(super) fn nested_loop_on(kernel: &Kernel<'_>, opts: &AlgoOptions) -> Skyline
         PairOptions { stop_rule: opts.stop_rule, need_bar: false, corrected_bar: false };
     for g1 in 0..n {
         for g2 in (g1 + 1)..n {
+            if let Some(reason) = ctx.poll(stats.record_pairs) {
+                // Outer iterations before g1 have seen every counterpart
+                // (earlier iterations covered their smaller-id pairs), and
+                // NL applies exact semantics, so their Live groups are
+                // proven members.
+                return interrupted(&statuses, |g| g < g1, stats, reason);
+            }
             let pair_boxes = boxes.map(|b| (&b[g1], &b[g2]));
-            let verdict = kernel.compare(g1, g2, opts.gamma, pair_boxes, pair_opts, &mut stats);
+            let mut verdict = kernel.compare(g1, g2, opts.gamma, pair_boxes, pair_opts, &mut stats);
+            ctx.corrupt_verdict(&mut verdict, stats.record_pairs);
             let (left, right) = split_two(&mut statuses, g1, g2);
             apply_verdict(verdict, left, right, Pruning::Exact);
         }
     }
-    collect_result(&statuses, stats)
+    Outcome::Complete(collect_result(&statuses, stats))
 }
 
 /// Borrows two distinct slots of a slice mutably.

@@ -13,15 +13,40 @@
 //! groups (large, or dominated late) cannot strand the other workers the
 //! way a static partition can. The previous static strided partition is
 //! kept as [`parallel_skyline_strided`] for ablation benchmarks.
+//!
+//! ## Fault containment
+//!
+//! A panicking worker no longer aborts the query. Each group is processed
+//! inside `catch_unwind`; on a panic the unfinished remainder of the chunk
+//! goes back on a shared retry queue (recorded in `Stats::worker_retries`)
+//! and, when other workers survive, the panicked worker is *quarantined* —
+//! it stops taking work (`Stats::workers_quarantined`) while the survivors
+//! drain the queue. Backoff is deterministic queue reordering plus
+//! `yield_now`, never wall-clock sleep (rule L5). Only when the same chunk
+//! panics [`MAX_CHUNK_ATTEMPTS`] times does the query fail, with the typed
+//! [`Error::WorkerPanicked`] instead of a propagated panic.
 
 use super::{SkylineResult, Status};
+use crate::anytime::AnytimeResult;
 use crate::dataset::{GroupId, GroupedDataset};
+use crate::error::{Error, Result};
 use crate::gamma::Gamma;
 use crate::kernel::{Kernel, KernelConfig};
+use crate::mbb::Mbb;
 use crate::paircount::PairOptions;
+use crate::runctx::{InterruptReason, Outcome, RunContext};
 use crate::stats::Stats;
 use aggsky_spatial::{Aabb, RTree};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// How many times one chunk may panic before the query gives up with
+/// [`Error::WorkerPanicked`]. Transient faults (like an injected chaos
+/// panic, which fires once) succeed on the first retry; a deterministic
+/// panic in the counting kernel would loop forever without this cap.
+const MAX_CHUNK_ATTEMPTS: u32 = 3;
 
 /// Resolves a requested thread count: `0` means "use all available
 /// hardware parallelism" (falling back to 1 when it cannot be queried).
@@ -39,8 +64,13 @@ pub fn resolve_threads(threads: usize) -> usize {
 /// Always returns the exact skyline (it is a parallelization of the naive
 /// definition with index-based candidate pruning, not of the heuristic
 /// Algorithm 3). `threads = 1` degenerates to a sequential scan and is
-/// useful for ablation.
-pub fn parallel_skyline(ds: &GroupedDataset, gamma: Gamma, threads: usize) -> SkylineResult {
+/// useful for ablation. Fails only when a chunk exhausts its panic retries
+/// (see the module docs).
+pub fn parallel_skyline(
+    ds: &GroupedDataset,
+    gamma: Gamma,
+    threads: usize,
+) -> Result<SkylineResult> {
     parallel_skyline_with(ds, gamma, threads, KernelConfig::Exhaustive)
 }
 
@@ -51,31 +81,187 @@ pub fn parallel_skyline_with(
     gamma: Gamma,
     threads: usize,
     config: KernelConfig,
-) -> SkylineResult {
+) -> Result<SkylineResult> {
+    // An unlimited fault-free context never interrupts, so unwrapping to
+    // the complete result is lossless here.
+    Ok(parallel_skyline_ctx(ds, gamma, threads, config, &RunContext::unlimited())?
+        .unwrap_or_partial())
+}
+
+/// [`parallel_skyline`] under an execution-control context. The budget is
+/// a *global* virtual clock shared by all workers (each worker charges its
+/// finished group's record pairs to it), polled at group boundaries; on
+/// exhaustion or cancellation the groups already resolved become the
+/// confirmed sets and in-flight ones stay undecided.
+pub fn parallel_skyline_ctx(
+    ds: &GroupedDataset,
+    gamma: Gamma,
+    threads: usize,
+    config: KernelConfig,
+    ctx: &RunContext,
+) -> Result<Outcome> {
     let kernel = Kernel::new(ds, config);
-    run(&kernel, gamma, resolve_threads(threads), Scheduler::Chunked)
+    run_chunked(&kernel, gamma, resolve_threads(threads), ctx)
 }
 
 /// The pre-work-stealing scheduler: a static strided partition (worker `t`
 /// of `T` processes groups `t, t+T, t+2T, …`). Retained solely so the
 /// benchmarks can measure what dynamic chunk scheduling buys; new callers
-/// should use [`parallel_skyline`].
+/// should use [`parallel_skyline`]. No retry/quarantine: a worker panic
+/// surfaces immediately as [`Error::WorkerPanicked`].
 pub fn parallel_skyline_strided(
     ds: &GroupedDataset,
     gamma: Gamma,
     threads: usize,
-) -> SkylineResult {
+) -> Result<SkylineResult> {
     let kernel = Kernel::new(ds, KernelConfig::Exhaustive);
-    run(&kernel, gamma, resolve_threads(threads), Scheduler::Strided)
+    run_strided(&kernel, gamma, resolve_threads(threads))
 }
 
-#[derive(Clone, Copy)]
-enum Scheduler {
-    Chunked,
-    Strided,
+/// Locks a mutex, recovering from poisoning (a worker panicking while
+/// holding the lock leaves the data intact for our usage: every critical
+/// section is a single push/pop/assignment).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-fn run(kernel: &Kernel<'_>, gamma: Gamma, threads: usize, scheduler: Scheduler) -> SkylineResult {
+/// One-directional dominator scan for `g1` (the unit of parallel work):
+/// window-query the spatial index for candidate dominators and compare
+/// until one γ-dominates `g1` or the candidates run out.
+#[allow(clippy::too_many_arguments)]
+fn scan_group(
+    kernel: &Kernel<'_>,
+    tree: &RTree<GroupId>,
+    boxes: &[Mbb],
+    gamma: Gamma,
+    pair_opts: PairOptions,
+    ctx: &RunContext,
+    g1: GroupId,
+    candidates: &mut Vec<GroupId>,
+    stats: &mut Stats,
+) -> Status {
+    tree.window_query_into(&Aabb::at_least(&boxes[g1].min), candidates);
+    stats.index_candidates += crate::num::wide(candidates.len().saturating_sub(1));
+    for &g2 in candidates.iter() {
+        if g2 == g1 {
+            continue;
+        }
+        let mut verdict =
+            kernel.compare(g2, g1, gamma, Some((&boxes[g2], &boxes[g1])), pair_opts, stats);
+        ctx.corrupt_verdict(&mut verdict, stats.record_pairs);
+        if verdict.forward.dominates() {
+            return Status::Dominated;
+        }
+    }
+    Status::Live
+}
+
+/// A contiguous range of group ids plus its panic-retry count.
+struct Chunk {
+    start: usize,
+    end: usize,
+    attempts: u32,
+}
+
+/// State shared by the chunked scheduler's workers.
+struct SharedState {
+    /// Next fresh group id to hand out (in chunks).
+    next: AtomicUsize,
+    /// Chunks re-queued after a worker panic, retried before fresh work.
+    retry: Mutex<VecDeque<Chunk>>,
+    /// Groups fully resolved so far (drives termination).
+    done: AtomicUsize,
+    /// Global virtual clock: record pairs charged by finished groups.
+    spent: AtomicU64,
+    /// Workers still taking work; quarantine decrements, keeping ≥ 1.
+    active: AtomicUsize,
+    /// First interruption reason (0 = none, 1 = cancelled, 2 = budget).
+    interrupt: AtomicU8,
+    /// Fatal error once a chunk exhausts its retries.
+    fatal: Mutex<Option<Error>>,
+    /// Incident counters folded into the final `Stats`.
+    retries: AtomicU64,
+    quarantined: AtomicU64,
+}
+
+impl SharedState {
+    fn new(workers: usize) -> Self {
+        SharedState {
+            next: AtomicUsize::new(0),
+            retry: Mutex::new(VecDeque::new()),
+            done: AtomicUsize::new(0),
+            spent: AtomicU64::new(0),
+            active: AtomicUsize::new(workers.max(1)),
+            interrupt: AtomicU8::new(0),
+            fatal: Mutex::new(None),
+            retries: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+        }
+    }
+
+    /// Records the first interruption reason (later ones are ignored).
+    fn flag_interrupt(&self, reason: InterruptReason) {
+        let code = match reason {
+            InterruptReason::Cancelled => 1,
+            InterruptReason::BudgetExhausted => 2,
+        };
+        let _ = self.interrupt.compare_exchange(0, code, Ordering::AcqRel, Ordering::Relaxed);
+    }
+
+    fn interrupt_reason(&self) -> Option<InterruptReason> {
+        match self.interrupt.load(Ordering::Acquire) {
+            1 => Some(InterruptReason::Cancelled),
+            2 => Some(InterruptReason::BudgetExhausted),
+            _ => None,
+        }
+    }
+
+    fn should_stop(&self) -> bool {
+        self.interrupt.load(Ordering::Acquire) != 0 || lock(&self.fatal).is_some()
+    }
+
+    /// Pops a job: retried chunks first (recovery before fresh work), then
+    /// a fresh chunk from the atomic counter.
+    fn pop_job(&self, chunk: usize, n: usize) -> Option<Chunk> {
+        if let Some(job) = lock(&self.retry).pop_front() {
+            return Some(job);
+        }
+        if self.next.load(Ordering::Relaxed) < n {
+            let start = self.next.fetch_add(chunk, Ordering::Relaxed);
+            if start < n {
+                return Some(Chunk { start, end: (start + chunk).min(n), attempts: 0 });
+            }
+        }
+        None
+    }
+
+    /// Tries to take this worker out of rotation after a panic; refuses
+    /// when it is the last active one (somebody must drain the queue).
+    fn try_quarantine(&self) -> bool {
+        let mut current = self.active.load(Ordering::Acquire);
+        loop {
+            if current <= 1 {
+                return false;
+            }
+            match self.active.compare_exchange(
+                current,
+                current - 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+fn run_chunked(
+    kernel: &Kernel<'_>,
+    gamma: Gamma,
+    threads: usize,
+    ctx: &RunContext,
+) -> Result<Outcome> {
     let ds = kernel.dataset();
     let threads = threads.max(1);
     let n = ds.n_groups();
@@ -87,74 +273,245 @@ fn run(kernel: &Kernel<'_>, gamma: Gamma, threads: usize, scheduler: Scheduler) 
     );
     let pair_opts = PairOptions { stop_rule: true, need_bar: false, corrected_bar: false };
 
-    let process = |g1: GroupId, candidates: &mut Vec<GroupId>, stats: &mut Stats| -> Status {
-        tree.window_query_into(&Aabb::at_least(&boxes[g1].min), candidates);
-        stats.index_candidates += crate::num::wide(candidates.len().saturating_sub(1));
-        for &g2 in candidates.iter() {
-            if g2 == g1 {
-                continue;
-            }
-            let verdict =
-                kernel.compare(g2, g1, gamma, Some((&boxes[g2], &boxes[g1])), pair_opts, stats);
-            if verdict.forward.dominates() {
-                return Status::Dominated;
-            }
-        }
-        Status::Live
-    };
-
-    if threads == 1 {
-        let mut stats = Stats::default();
-        let mut candidates = Vec::new();
-        let statuses: Vec<Status> =
-            (0..n).map(|g| process(g, &mut candidates, &mut stats)).collect();
-        return super::collect_result(&statuses, stats);
-    }
-
     // Chunk size trades scheduling overhead (one fetch_add per chunk)
     // against load balance (smaller chunks spread stragglers better);
     // aiming for ~8 chunks per worker keeps both negligible.
     let chunk = (n / (threads * 8)).max(1);
-    let next = AtomicUsize::new(0);
+    let workers = threads.min(n).max(1);
+    let shared = SharedState::new(workers);
+
+    let worker = |wid: usize| -> (Vec<(GroupId, Status)>, Stats) {
+        let mut stats = Stats::default();
+        let mut candidates: Vec<GroupId> = Vec::new();
+        let mut part: Vec<(GroupId, Status)> = Vec::new();
+        'outer: loop {
+            if shared.should_stop() {
+                break;
+            }
+            let Some(mut job) = shared.pop_job(chunk, n) else {
+                if shared.done.load(Ordering::Acquire) >= n {
+                    break;
+                }
+                // Another worker still holds unfinished groups (and may yet
+                // requeue them after a panic): spin cooperatively. No
+                // wall-clock sleep — backoff must stay deterministic (L5).
+                std::thread::yield_now();
+                continue;
+            };
+            // Process the chunk one group at a time so a panic only ever
+            // loses (and retries) the unfinished remainder.
+            while job.start < job.end {
+                let g = job.start;
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    // The poll is inside the unwind guard: an injected
+                    // chaos panic fires from here.
+                    if let Some(reason) = ctx.poll(shared.spent.load(Ordering::Relaxed)) {
+                        return Err(reason);
+                    }
+                    let mut local = Stats::default();
+                    let status = scan_group(
+                        kernel,
+                        &tree,
+                        boxes,
+                        gamma,
+                        pair_opts,
+                        ctx,
+                        g,
+                        &mut candidates,
+                        &mut local,
+                    );
+                    Ok((status, local))
+                }));
+                match attempt {
+                    Ok(Ok((status, local))) => {
+                        shared.spent.fetch_add(local.record_pairs, Ordering::Relaxed);
+                        stats.merge(&local);
+                        part.push((g, status));
+                        shared.done.fetch_add(1, Ordering::AcqRel);
+                        job.start += 1;
+                    }
+                    Ok(Err(reason)) => {
+                        shared.flag_interrupt(reason);
+                        break 'outer;
+                    }
+                    Err(_panic) => {
+                        // The scratch buffer may have been abandoned
+                        // mid-update; drop it rather than trust it.
+                        candidates = Vec::new();
+                        shared.retries.fetch_add(1, Ordering::Relaxed);
+                        job.attempts += 1;
+                        if job.attempts >= MAX_CHUNK_ATTEMPTS {
+                            let mut fatal = lock(&shared.fatal);
+                            if fatal.is_none() {
+                                *fatal =
+                                    Some(Error::WorkerPanicked { worker: wid, chunk: job.start });
+                            }
+                            break 'outer;
+                        }
+                        lock(&shared.retry).push_back(job);
+                        if shared.try_quarantine() {
+                            shared.quarantined.fetch_add(1, Ordering::Relaxed);
+                            break 'outer;
+                        }
+                        // Last active worker: keep going and self-retry.
+                        continue 'outer;
+                    }
+                }
+            }
+        }
+        (part, stats)
+    };
+
+    let mut parts: Vec<(Vec<(GroupId, Status)>, Stats)> = Vec::with_capacity(workers);
+    if workers == 1 {
+        parts.push(worker(0));
+    } else {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for wid in 0..workers {
+                let worker = &worker;
+                handles.push(scope.spawn(move || worker(wid)));
+            }
+            for (wid, handle) in handles.into_iter().enumerate() {
+                match handle.join() {
+                    Ok(part) => parts.push(part),
+                    Err(_panic) => {
+                        // A panic outside the per-group unwind guard (all
+                        // interesting panics are inside it); treat as fatal
+                        // rather than re-raising.
+                        let mut fatal = lock(&shared.fatal);
+                        if fatal.is_none() {
+                            *fatal = Some(Error::WorkerPanicked { worker: wid, chunk: n });
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    if let Some(err) = lock(&shared.fatal).take() {
+        return Err(err);
+    }
+
+    let mut stats = Stats::default();
+    let mut statuses: Vec<Option<Status>> = vec![None; n];
+    for (part, part_stats) in parts {
+        stats.merge(&part_stats);
+        for (g, status) in part {
+            statuses[g] = Some(status);
+        }
+    }
+    stats.worker_retries += shared.retries.load(Ordering::Acquire);
+    stats.workers_quarantined += shared.quarantined.load(Ordering::Acquire);
+
+    let reason = shared.interrupt_reason();
+    let missing = statuses.iter().any(Option::is_none);
+    if reason.is_none() && !missing {
+        let skyline = statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Some(Status::Live))
+            .map(|(g, _)| g)
+            .collect();
+        return Ok(Outcome::Complete(SkylineResult { skyline, stats }));
+    }
+    // Interrupted (or, defensively, groups went missing without a recorded
+    // reason — impossible by the loop's termination conditions, but mapped
+    // to a cancellation rather than a wrong Complete). Every finished Live
+    // group scanned *all* of its window candidates, so it is a proven
+    // member; finished Dominated groups have a real dominator; in-flight
+    // groups stay undecided.
+    let reason = reason.unwrap_or(InterruptReason::Cancelled);
+    let mut confirmed_in = Vec::new();
+    let mut confirmed_out = Vec::new();
+    let mut undecided = Vec::new();
+    for (g, status) in statuses.iter().enumerate() {
+        match status {
+            Some(Status::Live) => confirmed_in.push(g),
+            Some(_) => confirmed_out.push(g),
+            None => undecided.push(g),
+        }
+    }
+    Ok(Outcome::Interrupted {
+        reason,
+        partial: AnytimeResult { confirmed_in, confirmed_out, undecided, stats, checkpoint: None },
+    })
+}
+
+/// The static strided scheduler (ablation baseline): no retry, no
+/// quarantine, no context.
+fn run_strided(kernel: &Kernel<'_>, gamma: Gamma, threads: usize) -> Result<SkylineResult> {
+    let ds = kernel.dataset();
+    let threads = threads.max(1);
+    let n = ds.n_groups();
+    let mut owned_boxes = None;
+    let boxes = super::kernel_boxes(kernel, &mut owned_boxes);
+    let tree = RTree::bulk_load(
+        ds.dim(),
+        boxes.iter().enumerate().map(|(g, b)| (Aabb::point(&b.max), g)).collect(),
+    );
+    let pair_opts = PairOptions { stop_rule: true, need_bar: false, corrected_bar: false };
+    let ctx = RunContext::unlimited();
+
+    if threads == 1 {
+        let mut stats = Stats::default();
+        let mut candidates = Vec::new();
+        let statuses: Vec<Status> = (0..n)
+            .map(|g| {
+                scan_group(
+                    kernel,
+                    &tree,
+                    boxes,
+                    gamma,
+                    pair_opts,
+                    &ctx,
+                    g,
+                    &mut candidates,
+                    &mut stats,
+                )
+            })
+            .collect();
+        return Ok(super::collect_result(&statuses, stats));
+    }
+
     let mut all: Vec<(Vec<(GroupId, Status)>, Stats)> = Vec::with_capacity(threads);
+    let mut first_panic: Option<usize> = None;
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads.min(n) {
-            let process = &process;
-            let next = &next;
+            let ctx = &ctx;
+            let tree = &tree;
             handles.push(scope.spawn(move || {
                 let mut stats = Stats::default();
                 let mut candidates = Vec::new();
                 let mut part: Vec<(GroupId, Status)> = Vec::new();
-                match scheduler {
-                    Scheduler::Chunked => loop {
-                        let start = next.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= n {
-                            break;
-                        }
-                        for g in start..(start + chunk).min(n) {
-                            part.push((g, process(g, &mut candidates, &mut stats)));
-                        }
-                    },
-                    Scheduler::Strided => {
-                        for g in (t..n).step_by(threads) {
-                            part.push((g, process(g, &mut candidates, &mut stats)));
-                        }
-                    }
+                for g in (t..n).step_by(threads) {
+                    let status = scan_group(
+                        kernel,
+                        tree,
+                        boxes,
+                        gamma,
+                        pair_opts,
+                        ctx,
+                        g,
+                        &mut candidates,
+                        &mut stats,
+                    );
+                    part.push((g, status));
                 }
                 (part, stats)
             }));
         }
-        for h in handles {
-            // A worker can only fail by panicking; re-raise its payload on
-            // the caller's thread instead of aborting with a second panic
-            // message that hides the original.
+        for (t, h) in handles.into_iter().enumerate() {
             match h.join() {
                 Ok(part) => all.push(part),
-                Err(payload) => std::panic::resume_unwind(payload),
+                Err(_panic) => first_panic = first_panic.or(Some(t)),
             }
         }
     });
+    if let Some(worker) = first_panic {
+        return Err(Error::WorkerPanicked { worker, chunk: worker });
+    }
 
     let mut statuses = vec![Status::Live; n];
     let mut stats = Stats::default();
@@ -164,7 +521,7 @@ fn run(kernel: &Kernel<'_>, gamma: Gamma, threads: usize, scheduler: Scheduler) 
             statuses[g] = st;
         }
     }
-    super::collect_result(&statuses, stats)
+    Ok(super::collect_result(&statuses, stats))
 }
 
 #[cfg(test)]
@@ -177,7 +534,7 @@ mod tests {
     fn parallel_matches_oracle_on_movies() {
         let ds = movie_directors();
         for threads in [1, 2, 4] {
-            let result = parallel_skyline(&ds, Gamma::DEFAULT, threads);
+            let result = parallel_skyline(&ds, Gamma::DEFAULT, threads).unwrap();
             let oracle = naive_skyline(&ds, Gamma::DEFAULT);
             assert_eq!(result.skyline, oracle.skyline, "threads={threads}");
         }
@@ -189,7 +546,7 @@ mod tests {
             let ds = random_dataset(25, 6, 4, 4000 + seed);
             for gamma in [0.5, 0.9] {
                 let gamma = Gamma::new(gamma).unwrap();
-                let result = parallel_skyline(&ds, gamma, 4);
+                let result = parallel_skyline(&ds, gamma, 4).unwrap();
                 let oracle = naive_skyline(&ds, gamma);
                 assert_eq!(result.skyline, oracle.skyline, "seed={seed}");
             }
@@ -200,8 +557,8 @@ mod tests {
     fn strided_and_chunked_schedulers_agree() {
         for seed in 0..5 {
             let ds = random_dataset(30, 5, 3, 8000 + seed);
-            let chunked = parallel_skyline(&ds, Gamma::DEFAULT, 3);
-            let strided = parallel_skyline_strided(&ds, Gamma::DEFAULT, 3);
+            let chunked = parallel_skyline(&ds, Gamma::DEFAULT, 3).unwrap();
+            let strided = parallel_skyline_strided(&ds, Gamma::DEFAULT, 3).unwrap();
             assert_eq!(chunked.skyline, strided.skyline, "seed={seed}");
         }
     }
@@ -210,7 +567,8 @@ mod tests {
     fn blocked_kernel_matches_oracle_in_parallel() {
         for seed in 0..5 {
             let ds = random_dataset(20, 10, 3, 8100 + seed);
-            let result = parallel_skyline_with(&ds, Gamma::DEFAULT, 4, KernelConfig::blocked());
+            let result =
+                parallel_skyline_with(&ds, Gamma::DEFAULT, 4, KernelConfig::blocked()).unwrap();
             let oracle = naive_skyline(&ds, Gamma::DEFAULT);
             assert_eq!(result.skyline, oracle.skyline, "seed={seed}");
         }
@@ -221,7 +579,7 @@ mod tests {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);
         let ds = movie_directors();
-        let result = parallel_skyline(&ds, Gamma::DEFAULT, 0);
+        let result = parallel_skyline(&ds, Gamma::DEFAULT, 0).unwrap();
         let oracle = naive_skyline(&ds, Gamma::DEFAULT);
         assert_eq!(result.skyline, oracle.skyline);
     }
@@ -229,8 +587,59 @@ mod tests {
     #[test]
     fn more_threads_than_groups_is_fine() {
         let ds = random_dataset(3, 4, 2, 7);
-        let result = parallel_skyline(&ds, Gamma::DEFAULT, 16);
+        let result = parallel_skyline(&ds, Gamma::DEFAULT, 16).unwrap();
         let oracle = naive_skyline(&ds, Gamma::DEFAULT);
         assert_eq!(result.skyline, oracle.skyline);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_sound_partial() {
+        for threads in [1, 3] {
+            let ds = random_dataset(25, 8, 3, 4100);
+            let oracle = naive_skyline(&ds, Gamma::DEFAULT).skyline;
+            let ctx = RunContext::with_budget(40);
+            let outcome =
+                parallel_skyline_ctx(&ds, Gamma::DEFAULT, threads, KernelConfig::Exhaustive, &ctx)
+                    .unwrap();
+            let Outcome::Interrupted { reason, partial } = outcome else {
+                panic!("tiny budget completed");
+            };
+            assert_eq!(reason, InterruptReason::BudgetExhausted);
+            for g in &partial.confirmed_in {
+                assert!(oracle.contains(g), "threads={threads}: {g} wrongly confirmed in");
+            }
+            for g in &partial.confirmed_out {
+                assert!(!oracle.contains(g), "threads={threads}: {g} wrongly confirmed out");
+            }
+            let total =
+                partial.confirmed_in.len() + partial.confirmed_out.len() + partial.undecided.len();
+            assert_eq!(total, ds.n_groups());
+        }
+    }
+
+    #[test]
+    fn cancellation_interrupts_the_run() {
+        let ds = random_dataset(20, 6, 3, 4200);
+        let ctx = RunContext::unlimited();
+        ctx.cancel_token().cancel();
+        let outcome =
+            parallel_skyline_ctx(&ds, Gamma::DEFAULT, 2, KernelConfig::Exhaustive, &ctx).unwrap();
+        assert_eq!(outcome.interrupt_reason(), Some(InterruptReason::Cancelled));
+    }
+
+    #[test]
+    fn unlimited_ctx_outcome_is_complete_and_exact() {
+        let ds = random_dataset(15, 5, 3, 4300);
+        let outcome = parallel_skyline_ctx(
+            &ds,
+            Gamma::DEFAULT,
+            4,
+            KernelConfig::blocked(),
+            &RunContext::unlimited(),
+        )
+        .unwrap();
+        assert!(outcome.is_complete());
+        let oracle = naive_skyline(&ds, Gamma::DEFAULT);
+        assert_eq!(outcome.unwrap_or_partial().skyline, oracle.skyline);
     }
 }

@@ -3,53 +3,57 @@
 
 use super::nested_loop::split_two;
 use super::{
-    apply_verdict, build_order, collect_result, kernel_boxes, AlgoOptions, SkylineResult, Status,
+    apply_verdict, build_order, collect_result, interrupted, kernel_boxes, AlgoOptions, Pruning,
+    SkylineResult, Status,
 };
 use crate::dataset::{GroupId, GroupedDataset};
 use crate::kernel::Kernel;
 use crate::mbb::Mbb;
 use crate::paircount::PairOptions;
+use crate::runctx::{Outcome, RunContext};
 use crate::stats::Stats;
 
 /// TR: nested loop with weak-transitivity pruning (Algorithm 3), visiting
 /// groups in insertion order.
 pub fn transitive(ds: &GroupedDataset, opts: &AlgoOptions) -> SkylineResult {
-    transitive_on(&Kernel::new(ds, opts.kernel), opts)
+    transitive_on(&Kernel::new(ds, opts.kernel), opts, &RunContext::unlimited()).unwrap_or_partial()
 }
 
 /// [`transitive`] over a pre-built kernel.
-pub(super) fn transitive_on(kernel: &Kernel<'_>, opts: &AlgoOptions) -> SkylineResult {
+pub(super) fn transitive_on(kernel: &Kernel<'_>, opts: &AlgoOptions, ctx: &RunContext) -> Outcome {
     let ds = kernel.dataset();
     let mut owned_boxes = None;
     let boxes = opts.bbox_prune.then(|| kernel_boxes(kernel, &mut owned_boxes));
     let order: Vec<GroupId> = ds.group_ids().collect();
-    run_pairwise(kernel, opts, &order, boxes)
+    run_pairwise(kernel, opts, &order, boxes, ctx)
 }
 
 /// SI: the sorted variant (Algorithm 4). Groups are visited in the order of
 /// `opts.sort` (the paper's evaluation sorts by group size and the distance
 /// of the MBB minimum corner from the origin); otherwise identical to TR.
 pub fn sorted(ds: &GroupedDataset, opts: &AlgoOptions) -> SkylineResult {
-    sorted_on(&Kernel::new(ds, opts.kernel), opts)
+    sorted_on(&Kernel::new(ds, opts.kernel), opts, &RunContext::unlimited()).unwrap_or_partial()
 }
 
 /// [`sorted`] over a pre-built kernel.
-pub(super) fn sorted_on(kernel: &Kernel<'_>, opts: &AlgoOptions) -> SkylineResult {
+pub(super) fn sorted_on(kernel: &Kernel<'_>, opts: &AlgoOptions, ctx: &RunContext) -> Outcome {
     let ds = kernel.dataset();
     let mut owned_boxes = None;
     let boxes = kernel_boxes(kernel, &mut owned_boxes);
     let order = build_order(ds, boxes, opts.sort);
     let boxes_opt = opts.bbox_prune.then_some(boxes);
-    run_pairwise(kernel, opts, &order, boxes_opt)
+    run_pairwise(kernel, opts, &order, boxes_opt, ctx)
 }
 
-/// The Algorithm 3 loop over an arbitrary visiting order.
+/// The Algorithm 3 loop over an arbitrary visiting order, polling `ctx`
+/// before every group-pair comparison.
 pub(super) fn run_pairwise(
     kernel: &Kernel<'_>,
     opts: &AlgoOptions,
     order: &[GroupId],
     boxes: Option<&[Mbb]>,
-) -> SkylineResult {
+    ctx: &RunContext,
+) -> Outcome {
     let ds = kernel.dataset();
     let n = ds.n_groups();
     let mut statuses = vec![Status::Live; n];
@@ -58,6 +62,11 @@ pub(super) fn run_pairwise(
     // γ-only counting mode (encapsulated in `pair_options`).
     let pair_opts: PairOptions = opts.pruning.pair_options(opts.stop_rule);
     let strong_marks = opts.pruning.uses_strong_marks();
+    // Only the Exact discipline is result-preserving, so only it may claim
+    // confirmed-in membership for groups whose triangle of comparisons
+    // completed; under heuristic pruning a Live group can still be a false
+    // survivor, and interruption leaves it undecided.
+    let sound = opts.pruning == Pruning::Exact;
     for (i, &g1) in order.iter().enumerate() {
         // Algorithm 3 line 3: a strongly dominated group is skipped
         // entirely.
@@ -79,8 +88,19 @@ pub(super) fn run_pairwise(
                     continue;
                 }
             }
+            if let Some(reason) = ctx.poll(stats.record_pairs) {
+                // A group at a completed outer position has met every other
+                // group: later positions in its own iteration, earlier ones
+                // in theirs (the Exact discipline never breaks out early).
+                let mut done = vec![false; n];
+                for &g in order.iter().take(i) {
+                    done[g] = true;
+                }
+                return interrupted(&statuses, |g| sound && done[g], stats, reason);
+            }
             let pair_boxes = boxes.map(|b| (&b[g1], &b[g2]));
-            let verdict = kernel.compare(g1, g2, opts.gamma, pair_boxes, pair_opts, &mut stats);
+            let mut verdict = kernel.compare(g1, g2, opts.gamma, pair_boxes, pair_opts, &mut stats);
+            ctx.corrupt_verdict(&mut verdict, stats.record_pairs);
             let (s1, s2) = split_two(&mut statuses, g1, g2);
             apply_verdict(verdict, s1, s2, opts.pruning);
             // Algorithm 3 line 19: once g1 is strongly dominated, stop
@@ -90,7 +110,7 @@ pub(super) fn run_pairwise(
             }
         }
     }
-    collect_result(&statuses, stats)
+    Outcome::Complete(collect_result(&statuses, stats))
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
-//! Anytime (budgeted, progressive) aggregate-skyline computation — an
-//! extension beyond the paper in the spirit of the authors' companion work
-//! on anytime record skylines.
+//! Anytime (budgeted, progressive, resumable) aggregate-skyline
+//! computation — an extension beyond the paper in the spirit of the
+//! authors' companion work on anytime record skylines.
 //!
 //! [`anytime_skyline`] spends at most a caller-supplied budget of
 //! record-pair comparisons and returns a three-way partition of the groups:
@@ -10,11 +10,17 @@
 //! wrong. Candidate dominators are pruned with the Algorithm 5 window query
 //! and processed cheapest-pair-first (the Section 3.4 global optimization),
 //! which front-loads decisions per unit of work.
+//!
+//! An incomplete result carries an [`AnytimeCheckpoint`] — the open groups'
+//! not-yet-compared candidate lists — so [`anytime_resume`] continues where
+//! the budget ran out instead of restarting: repeated resumption with any
+//! per-step budget converges to the same partition as one unlimited run.
 
 use crate::dataset::{GroupId, GroupedDataset};
 use crate::gamma::Gamma;
 use crate::mbb::Mbb;
 use crate::paircount::{compare_groups, PairOptions};
+use crate::runctx::RunContext;
 use crate::stats::Stats;
 use aggsky_spatial::{Aabb, RTree};
 
@@ -29,8 +35,14 @@ pub struct AnytimeResult {
     /// Groups whose status was still open when the budget ran out,
     /// ascending.
     pub undecided: Vec<GroupId>,
-    /// Work counters (`record_pairs` is the budget actually spent).
+    /// Work counters (`record_pairs` is the budget actually spent by this
+    /// call; resumed runs count from zero again).
     pub stats: Stats,
+    /// Resume state: present iff the run left groups undecided *and* the
+    /// producer supports resumption (the anytime engine does; interrupted
+    /// one-shot algorithms hand back `None`, and [`anytime_resume`] then
+    /// restarts from scratch).
+    pub checkpoint: Option<AnytimeCheckpoint>,
 }
 
 impl AnytimeResult {
@@ -38,6 +50,16 @@ impl AnytimeResult {
     pub fn is_complete(&self) -> bool {
         self.undecided.is_empty()
     }
+}
+
+/// The resume state of an incomplete anytime run: for every still-open
+/// group, the candidate dominators it has not yet been compared against.
+/// Everything else (confirmed sets) lives in the carrying
+/// [`AnytimeResult`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnytimeCheckpoint {
+    /// `(group, remaining candidate dominators)` for each undecided group.
+    pub remaining: Vec<(GroupId, Vec<GroupId>)>,
 }
 
 /// Runs the aggregate skyline until done or until roughly
@@ -49,30 +71,57 @@ pub fn anytime_skyline(
     gamma: Gamma,
     budget_record_pairs: u64,
 ) -> AnytimeResult {
+    engine(ds, gamma, &RunContext::with_budget(budget_record_pairs), None)
+}
+
+/// [`anytime_skyline`] under an execution-control context (honours both
+/// the context's tick budget and its cancellation token).
+pub fn anytime_skyline_ctx(ds: &GroupedDataset, gamma: Gamma, ctx: &RunContext) -> AnytimeResult {
+    engine(ds, gamma, ctx, None)
+}
+
+/// Continues an earlier run from its checkpoint, spending at most `budget`
+/// further record comparisons. A complete `prev` is returned unchanged; a
+/// `prev` without a usable checkpoint (produced by an interrupted one-shot
+/// algorithm, or not matching `ds`) falls back to a fresh run.
+pub fn anytime_resume(
+    ds: &GroupedDataset,
+    gamma: Gamma,
+    budget: u64,
+    prev: &AnytimeResult,
+) -> AnytimeResult {
+    if prev.is_complete() {
+        return prev.clone();
+    }
+    let ctx = RunContext::with_budget(budget);
+    match &prev.checkpoint {
+        Some(cp) if checkpoint_fits(prev, cp, ds.n_groups()) => {
+            engine(ds, gamma, &ctx, Some((prev, cp)))
+        }
+        _ => engine(ds, gamma, &ctx, None),
+    }
+}
+
+/// A checkpoint is only replayable when every id it mentions exists in the
+/// dataset (guards against resuming against the wrong dataset).
+fn checkpoint_fits(prev: &AnytimeResult, cp: &AnytimeCheckpoint, n: usize) -> bool {
+    prev.confirmed_out.iter().all(|&g| g < n)
+        && cp.remaining.iter().all(|(g, cands)| *g < n && cands.iter().all(|&s| s < n))
+}
+
+/// The shared engine behind fresh and resumed runs. State is one candidate
+/// list per group (dominators not yet compared against); a group is
+/// confirmed in when its list drains, confirmed out when a comparison
+/// finds a dominator.
+fn engine(
+    ds: &GroupedDataset,
+    gamma: Gamma,
+    ctx: &RunContext,
+    resume: Option<(&AnytimeResult, &AnytimeCheckpoint)>,
+) -> AnytimeResult {
     let n = ds.n_groups();
     let boxes = Mbb::of_all_groups(ds);
-    let tree = RTree::bulk_load(
-        ds.dim(),
-        boxes.iter().enumerate().map(|(g, b)| (Aabb::point(&b.max), g)).collect(),
-    );
     let mut stats = Stats::default();
-    // Remaining candidate dominators per group.
-    let mut candidates: Vec<Vec<GroupId>> = Vec::with_capacity(n);
-    for (g, b) in boxes.iter().enumerate() {
-        let mut c = tree.window_query(&Aabb::at_least(&b.min));
-        c.retain(|&s| s != g);
-        stats.index_candidates += crate::num::wide(c.len());
-        candidates.push(c);
-    }
-    // Work items: (g, candidate) pairs, cheapest first.
-    let mut work: Vec<(u64, GroupId, GroupId)> = Vec::new();
-    for (g, cands) in candidates.iter().enumerate() {
-        for &s in cands {
-            let cost = crate::num::pair_product(ds.group_len(g), ds.group_len(s));
-            work.push((cost, g, s));
-        }
-    }
-    work.sort_unstable();
 
     #[derive(Clone, Copy, PartialEq)]
     enum St {
@@ -80,41 +129,75 @@ pub fn anytime_skyline(
         Out,
     }
     let mut status = vec![St::Open; n];
-    let mut unresolved = vec![0usize; n];
-    for (g, c) in candidates.iter().enumerate() {
-        unresolved[g] = c.len();
-    }
-    let pair_opts = PairOptions { stop_rule: true, need_bar: false, corrected_bar: false };
-    let mut decided_pairs: std::collections::HashSet<(GroupId, GroupId)> =
-        std::collections::HashSet::new();
+    let mut remaining: Vec<Vec<GroupId>> = vec![Vec::new(); n];
 
+    match resume {
+        None => {
+            let tree = RTree::bulk_load(
+                ds.dim(),
+                boxes.iter().enumerate().map(|(g, b)| (Aabb::point(&b.max), g)).collect(),
+            );
+            for (g, b) in boxes.iter().enumerate() {
+                let mut c = tree.window_query(&Aabb::at_least(&b.min));
+                c.retain(|&s| s != g);
+                stats.index_candidates += crate::num::wide(c.len());
+                remaining[g] = c;
+            }
+        }
+        Some((prev, cp)) => {
+            // Confirmed-out groups stay out (their dominators are real);
+            // confirmed-in groups have no remaining candidates and are
+            // re-derived as in; undecided groups resume their lists.
+            for &g in &prev.confirmed_out {
+                status[g] = St::Out;
+            }
+            for (g, cands) in &cp.remaining {
+                remaining[*g] = cands.clone();
+            }
+        }
+    }
+
+    // Work items: (cost, g, candidate) triples, cheapest first — the same
+    // deterministic order whether the run is fresh or resumed, which is
+    // why chunked resumption converges to the one-shot partition.
+    let mut work: Vec<(u64, GroupId, GroupId)> = Vec::new();
+    for (g, cands) in remaining.iter().enumerate() {
+        for &s in cands {
+            let cost = crate::num::pair_product(ds.group_len(g), ds.group_len(s));
+            work.push((cost, g, s));
+        }
+    }
+    work.sort_unstable();
+
+    let pair_opts = PairOptions { stop_rule: true, need_bar: false, corrected_bar: false };
     for &(_, g, s) in &work {
-        if stats.record_pairs >= budget_record_pairs {
+        if ctx.poll(stats.record_pairs).is_some() {
             break;
         }
         if status[g] == St::Out {
             continue; // membership settled, remaining candidates moot
         }
-        if !decided_pairs.insert((g, s)) {
+        // The mirror of an earlier comparison may already have resolved
+        // this item; `remaining` is the ground truth.
+        let Some(pos) = remaining[g].iter().position(|&x| x == s) else {
             continue;
-        }
-        let verdict =
+        };
+        remaining[g].swap_remove(pos);
+        let mut verdict =
             compare_groups(ds, s, g, gamma, Some((&boxes[s], &boxes[g])), pair_opts, &mut stats);
-        unresolved[g] -= 1;
+        ctx.corrupt_verdict(&mut verdict, stats.record_pairs);
         if verdict.forward.dominates() {
             status[g] = St::Out;
         }
         // The comparison resolved BOTH directions, so the mirror work item
         // (s, g) — pending whenever the boxes overlap both ways — is free
-        // information: record it as decided so its record pairs are never
-        // recounted, and apply the reverse domination if any.
-        if decided_pairs.insert((s, g)) {
-            if candidates[s].contains(&g) {
-                unresolved[s] -= 1;
-            }
-            if verdict.backward.dominates() {
-                status[s] = St::Out;
-            }
+        // information: strike it from s's list so its record pairs are
+        // never recounted, and apply the reverse domination if any.
+        if let Some(mirror) = remaining[s].iter().position(|&x| x == g) {
+            remaining[s].swap_remove(mirror);
+        }
+        if verdict.backward.dominates() {
+            status[s] = St::Out;
         }
     }
 
@@ -124,11 +207,14 @@ pub fn anytime_skyline(
     for g in 0..n {
         match status[g] {
             St::Out => confirmed_out.push(g),
-            St::Open if unresolved[g] == 0 => confirmed_in.push(g),
+            St::Open if remaining[g].is_empty() => confirmed_in.push(g),
             St::Open => undecided.push(g),
         }
     }
-    AnytimeResult { confirmed_in, confirmed_out, undecided, stats }
+    let checkpoint = (!undecided.is_empty()).then(|| AnytimeCheckpoint {
+        remaining: undecided.iter().map(|&g| (g, std::mem::take(&mut remaining[g]))).collect(),
+    });
+    AnytimeResult { confirmed_in, confirmed_out, undecided, stats, checkpoint }
 }
 
 #[cfg(test)]
@@ -142,6 +228,7 @@ mod tests {
         let ds = movie_directors();
         let r = anytime_skyline(&ds, Gamma::DEFAULT, u64::MAX);
         assert!(r.is_complete());
+        assert!(r.checkpoint.is_none(), "complete run carries no checkpoint");
         let oracle = naive_skyline(&ds, Gamma::DEFAULT).skyline;
         assert_eq!(r.confirmed_in, oracle);
     }
@@ -173,6 +260,7 @@ mod tests {
                 // Partition sanity.
                 let total = r.confirmed_in.len() + r.confirmed_out.len() + r.undecided.len();
                 assert_eq!(total, ds.n_groups());
+                assert_eq!(r.checkpoint.is_some(), !r.is_complete());
             }
         }
     }
@@ -201,5 +289,81 @@ mod tests {
         let r = anytime_skyline(&ds, Gamma::DEFAULT, 0);
         assert!(r.confirmed_in.contains(&1), "unchallenged group confirmed");
         assert!(r.undecided.contains(&0), "challenged group undecided at zero budget");
+    }
+
+    #[test]
+    fn chunked_resume_equals_one_unlimited_run() {
+        for seed in 0..8 {
+            let ds = random_dataset(18, 6, 3, 9100 + seed);
+            let full = anytime_skyline(&ds, Gamma::DEFAULT, u64::MAX);
+            for step in [1u64, 7, 50, 400] {
+                let mut r = anytime_skyline(&ds, Gamma::DEFAULT, step);
+                let mut rounds = 0;
+                while !r.is_complete() {
+                    r = anytime_resume(&ds, Gamma::DEFAULT, step, &r);
+                    rounds += 1;
+                    assert!(rounds < 100_000, "resume loop did not converge (step {step})");
+                }
+                assert_eq!(r.confirmed_in, full.confirmed_in, "seed {seed} step {step}");
+                assert_eq!(r.confirmed_out, full.confirmed_out, "seed {seed} step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn resume_monotonically_decides() {
+        let ds = random_dataset(15, 8, 3, 9200);
+        let mut r = anytime_skyline(&ds, Gamma::DEFAULT, 25);
+        let mut decided = r.confirmed_in.len() + r.confirmed_out.len();
+        let mut rounds = 0;
+        while !r.is_complete() {
+            let prev_in = r.confirmed_in.clone();
+            let prev_out = r.confirmed_out.clone();
+            r = anytime_resume(&ds, Gamma::DEFAULT, 25, &r);
+            // Decisions are never retracted across a resume.
+            for g in &prev_in {
+                assert!(r.confirmed_in.contains(g), "round {rounds}: {g} retracted from in");
+            }
+            for g in &prev_out {
+                assert!(r.confirmed_out.contains(g), "round {rounds}: {g} retracted from out");
+            }
+            let now = r.confirmed_in.len() + r.confirmed_out.len();
+            assert!(now >= decided);
+            decided = now;
+            rounds += 1;
+            assert!(rounds < 100_000, "resume loop did not converge");
+        }
+    }
+
+    #[test]
+    fn resume_of_complete_result_is_identity() {
+        let ds = movie_directors();
+        let full = anytime_skyline(&ds, Gamma::DEFAULT, u64::MAX);
+        let resumed = anytime_resume(&ds, Gamma::DEFAULT, 1, &full);
+        assert_eq!(resumed, full);
+    }
+
+    #[test]
+    fn resume_without_checkpoint_restarts() {
+        let ds = movie_directors();
+        let mut r = anytime_skyline(&ds, Gamma::DEFAULT, 1);
+        assert!(!r.is_complete(), "movie example should not resolve in one pair");
+        r.checkpoint = None; // e.g. a partial handed back by an interrupted algorithm
+        let resumed = anytime_resume(&ds, Gamma::DEFAULT, u64::MAX, &r);
+        assert!(resumed.is_complete());
+        let oracle = naive_skyline(&ds, Gamma::DEFAULT).skyline;
+        assert_eq!(resumed.confirmed_in, oracle);
+    }
+
+    #[test]
+    fn ctx_cancellation_stops_the_run() {
+        let ds = random_dataset(15, 6, 3, 9300);
+        let ctx = RunContext::unlimited();
+        ctx.cancel_token().cancel();
+        let r = anytime_skyline_ctx(&ds, Gamma::DEFAULT, &ctx);
+        assert_eq!(r.stats.record_pairs, 0, "cancelled run spent work");
+        // Unchallenged groups are still confirmed for free.
+        let total = r.confirmed_in.len() + r.confirmed_out.len() + r.undecided.len();
+        assert_eq!(total, ds.n_groups());
     }
 }

@@ -55,6 +55,16 @@ pub enum Error {
         /// `|R|`.
         len_r: usize,
     },
+    /// A parallel worker panicked and the scheduler exhausted its per-chunk
+    /// retry budget (or, for the static strided scheduler, retries are not
+    /// attempted at all). Transient panics are retried and quarantined
+    /// instead — see `Stats::worker_retries` / `workers_quarantined`.
+    WorkerPanicked {
+        /// Index of the worker that observed the final panic.
+        worker: usize,
+        /// First group id of the chunk whose retries were exhausted.
+        chunk: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -88,6 +98,13 @@ impl fmt::Display for Error {
             }
             Error::PairCountOverflow { len_s, len_r } => {
                 write!(f, "pair count {len_s}*{len_r} overflows u64")
+            }
+            Error::WorkerPanicked { worker, chunk } => {
+                write!(
+                    f,
+                    "parallel worker {worker} panicked repeatedly on the chunk starting at \
+                     group {chunk}; retries exhausted"
+                )
             }
         }
     }

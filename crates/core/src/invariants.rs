@@ -67,10 +67,9 @@ pub fn check_prepared(ds: &GroupedDataset, prep: &PreparedDataset) {
                 debug_assert!(view.len() <= prep.block_size());
                 covered += view.len();
                 for row in view.rows.chunks_exact(dim) {
-                    for d in 0..dim {
+                    for (d, &v) in row.iter().enumerate() {
                         debug_assert!(
-                            crate::ord::le(view.min[d], row[d])
-                                && crate::ord::le(row[d], view.max[d]),
+                            crate::ord::le(view.min[d], v) && crate::ord::le(v, view.max[d]),
                             "group {g} block {b}: corner does not bound dim {d}"
                         );
                     }
@@ -90,9 +89,9 @@ pub fn check_mbb_contains(mbb: &Mbb, record: &[f64]) {
     #[cfg(feature = "invariants")]
     {
         debug_assert_eq!(mbb.min.len(), record.len());
-        for d in 0..record.len() {
+        for (d, &v) in record.iter().enumerate() {
             debug_assert!(
-                crate::ord::le(mbb.min[d], record[d]) && crate::ord::le(record[d], mbb.max[d]),
+                crate::ord::le(mbb.min[d], v) && crate::ord::le(v, mbb.max[d]),
                 "record outside its group MBB in dimension {d}"
             );
         }

@@ -42,7 +42,9 @@
 //! * [`ranking`] — min-γ ranking of groups (Section 2.2).
 //! * [`properties`] — executable checkers for the paper's properties.
 //! * [`dynamic`] — incremental maintenance under inserts/removes.
-//! * [`anytime`] — budgeted, progressive computation.
+//! * [`anytime`] — budgeted, progressive, resumable computation.
+//! * [`runctx`] — execution control: cancellation, virtual-clock budgets,
+//!   `chaos` fault injection.
 //! * [`ord`] — sanctioned total-order float comparisons (lint rule L2).
 //! * [`num`] — sanctioned numeric conversions and overflow-checked pair
 //!   counting (lint rule L3).
@@ -70,6 +72,7 @@ pub mod prepared;
 pub mod properties;
 pub mod ranking;
 pub mod record_skyline;
+pub mod runctx;
 pub mod skyband;
 pub mod skycube;
 pub mod stats;
@@ -79,11 +82,13 @@ pub mod subspace;
 pub(crate) mod testdata;
 
 pub use algorithms::{
-    indexed, naive_skyline, nested_loop, parallel_skyline, parallel_skyline_strided,
-    parallel_skyline_with, resolve_threads, sorted, transitive, AlgoOptions, Algorithm, Pruning,
-    SkylineResult, SortStrategy,
+    indexed, naive_skyline, nested_loop, parallel_skyline, parallel_skyline_ctx,
+    parallel_skyline_strided, parallel_skyline_with, resolve_threads, sorted, transitive,
+    AlgoOptions, Algorithm, Pruning, SkylineResult, SortStrategy,
 };
-pub use anytime::{anytime_skyline, AnytimeResult};
+pub use anytime::{
+    anytime_resume, anytime_skyline, anytime_skyline_ctx, AnytimeCheckpoint, AnytimeResult,
+};
 pub use dataset::{GroupId, GroupedDataset, GroupedDatasetBuilder};
 pub use dominance::{compare, dominates, Direction, DomRelation};
 pub use dynamic::DynamicAggregateSkyline;
@@ -100,6 +105,9 @@ pub use paircount::{
 };
 pub use prepared::{BlockView, PreparedDataset};
 pub use ranking::{min_gamma_per_group, ranked_skyline, RankedGroup};
+pub use runctx::{CancelToken, InterruptReason, Outcome, RunContext};
+#[cfg(feature = "chaos")]
+pub use runctx::{FaultKind, FaultPlan};
 pub use skyband::{k_skyband, top_k_robust};
 pub use skycube::{skycube, Skycube, SubspaceSkyline};
 pub use stats::Stats;

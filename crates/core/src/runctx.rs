@@ -1,0 +1,505 @@
+//! Execution control: cooperative cancellation, virtual-clock budgets, and
+//! (behind the `chaos` feature) deterministic fault injection.
+//!
+//! A [`RunContext`] travels with every interruptible computation. Its clock
+//! is *virtual*: time is measured in record-pair comparison *ticks* (the
+//! `record_pairs` counter of [`Stats`]), never in wall-clock time, so two
+//! runs over the same dataset observe identical deadlines and the counting
+//! paths stay deterministic (lint rule L5 clock-free). Algorithms poll the
+//! context at group-pair boundaries; when the budget is exhausted or the
+//! [`CancelToken`] has fired, they stop and surrender a typed
+//! [`Outcome::Interrupted`] carrying a three-way partial result that is
+//! never wrong — graceful degradation instead of an error.
+//!
+//! With the `chaos` feature the context can additionally carry a seeded
+//! [`FaultPlan`] that deterministically injects a worker panic, a virtual
+//! delay, or a corrupted comparison at a chosen tick. Faults fire exactly
+//! once (atomically disarmed), so a retried chunk succeeds — which is what
+//! the parallel scheduler's quarantine-and-retry tests rely on.
+
+use crate::algorithms::SkylineResult;
+use crate::anytime::AnytimeResult;
+use crate::paircount::PairVerdict;
+use crate::stats::Stats;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Why a computation stopped before reaching the exact result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InterruptReason {
+    /// The [`CancelToken`] associated with the run was cancelled.
+    Cancelled,
+    /// The virtual-clock budget (record-pair ticks) ran out.
+    BudgetExhausted,
+}
+
+impl fmt::Display for InterruptReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterruptReason::Cancelled => write!(f, "cancelled"),
+            InterruptReason::BudgetExhausted => write!(f, "budget exhausted"),
+        }
+    }
+}
+
+/// Handle for cooperatively cancelling a running computation from another
+/// thread. Cloning shares the underlying flag.
+#[derive(Debug, Clone)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Requests cancellation; the computation stops at its next poll.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Execution-control state threaded through every interruptible algorithm:
+/// a cancellation flag, a virtual-clock budget, and (under the `chaos`
+/// feature) an optional fault-injection plan.
+///
+/// Clones share the cancellation flag and fault plan, so one context can be
+/// handed to several workers of the same logical run.
+#[derive(Debug, Clone)]
+pub struct RunContext {
+    cancelled: Arc<AtomicBool>,
+    /// Budget in record-pair ticks; `u64::MAX` means unlimited. A budget of
+    /// `0` stops at the first poll (callers wanting "0 means unlimited"
+    /// semantics, like the SQL engine, translate before constructing).
+    budget: u64,
+    #[cfg(feature = "chaos")]
+    fault: Option<Arc<FaultPlan>>,
+}
+
+impl Default for RunContext {
+    fn default() -> Self {
+        RunContext::unlimited()
+    }
+}
+
+impl RunContext {
+    /// A context that never interrupts on its own (it can still be
+    /// cancelled through [`RunContext::cancel_token`]).
+    pub fn unlimited() -> Self {
+        RunContext::with_budget(u64::MAX)
+    }
+
+    /// A context that interrupts once `ticks` record-pair comparisons have
+    /// been spent. `with_budget(0)` interrupts at the first poll.
+    pub fn with_budget(ticks: u64) -> Self {
+        RunContext {
+            cancelled: Arc::new(AtomicBool::new(false)),
+            budget: ticks,
+            #[cfg(feature = "chaos")]
+            fault: None,
+        }
+    }
+
+    /// The budget in record-pair ticks (`u64::MAX` = unlimited).
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Whether this context carries no tick budget.
+    pub fn is_unlimited(&self) -> bool {
+        self.budget == u64::MAX
+    }
+
+    /// A token that cancels this run when fired from any thread.
+    pub fn cancel_token(&self) -> CancelToken {
+        CancelToken(Arc::clone(&self.cancelled))
+    }
+
+    /// Attaches a fault-injection plan (replacing any previous one).
+    #[cfg(feature = "chaos")]
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(Arc::new(plan));
+        self
+    }
+
+    /// The attached fault plan, if any.
+    #[cfg(feature = "chaos")]
+    pub fn fault(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault.as_ref()
+    }
+
+    /// Polls the context with the run's current virtual clock (`ticks` =
+    /// record-pair comparisons spent so far). Returns `Some(reason)` when
+    /// the computation must stop and surrender its partial result.
+    ///
+    /// Under the `chaos` feature this is also where a due `PanicAtPair`
+    /// fault panics and where a `DelayTicks` fault charges its virtual
+    /// delay against the budget.
+    pub fn poll(&self, ticks: u64) -> Option<InterruptReason> {
+        let ticks = self.chaos_ticks(ticks);
+        if self.cancelled.load(Ordering::Acquire) {
+            return Some(InterruptReason::Cancelled);
+        }
+        if ticks >= self.budget {
+            return Some(InterruptReason::BudgetExhausted);
+        }
+        None
+    }
+
+    /// Applies a due `CorruptCoordinate` fault to a freshly computed pair
+    /// verdict (swapping its two directions, as if a corrupted coordinate
+    /// read inverted the comparison). No-op without the `chaos` feature or
+    /// without a due fault.
+    #[cfg(feature = "chaos")]
+    pub fn corrupt_verdict(&self, verdict: &mut PairVerdict, ticks: u64) {
+        if let Some(f) = &self.fault {
+            if matches!(f.kind(), FaultKind::CorruptCoordinate)
+                && f.try_fire(ticks.saturating_add(f.penalty()))
+            {
+                std::mem::swap(&mut verdict.forward, &mut verdict.backward);
+            }
+        }
+    }
+
+    /// Applies a due `CorruptCoordinate` fault to a freshly computed pair
+    /// verdict. No-op without the `chaos` feature.
+    #[cfg(not(feature = "chaos"))]
+    #[inline]
+    pub fn corrupt_verdict(&self, _verdict: &mut PairVerdict, _ticks: u64) {}
+
+    /// Effective virtual clock after chaos adjustments; fires due
+    /// panic/delay faults.
+    #[cfg(feature = "chaos")]
+    fn chaos_ticks(&self, ticks: u64) -> u64 {
+        let Some(f) = &self.fault else { return ticks };
+        let t = ticks.saturating_add(f.penalty());
+        match f.kind() {
+            FaultKind::PanicAtPair if f.try_fire(t) => {
+                // The one sanctioned panic of the crate: a deliberately
+                // injected worker fault, compiled in only under `chaos`.
+                panic!("chaos: injected worker panic at virtual tick {t}")
+            }
+            FaultKind::DelayTicks if f.try_fire(t) => t.saturating_add(f.charge_delay()),
+            _ => t,
+        }
+    }
+
+    #[cfg(not(feature = "chaos"))]
+    #[inline]
+    fn chaos_ticks(&self, ticks: u64) -> u64 {
+        ticks
+    }
+}
+
+#[cfg(feature = "chaos")]
+pub use self::chaos::{FaultKind, FaultPlan};
+
+#[cfg(feature = "chaos")]
+mod chaos {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    /// The fault a [`FaultPlan`] injects when its tick arrives.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum FaultKind {
+        /// Panic on the thread that polls at or after the trigger tick
+        /// (models a crashing worker; the parallel scheduler must retry and
+        /// quarantine).
+        PanicAtPair,
+        /// Charge extra virtual ticks against the budget (models a stalled
+        /// worker without touching the wall clock).
+        DelayTicks,
+        /// Swap the two directions of the next pair verdict (models a
+        /// corrupted coordinate read; used as a negative control — the
+        /// chaos suite asserts this *does* change results, proving the
+        /// injection sites are live).
+        CorruptCoordinate,
+    }
+
+    /// A deterministic, fire-once fault. All state is atomic so a plan can
+    /// be shared by the parallel workers; `try_fire` disarms on the first
+    /// due poll, which is why a retried chunk succeeds.
+    #[derive(Debug)]
+    pub struct FaultPlan {
+        kind: FaultKind,
+        /// Virtual tick at (or after) which the fault fires.
+        at: u64,
+        /// Extra ticks charged by `DelayTicks`.
+        delay: u64,
+        armed: AtomicBool,
+        fired: AtomicU64,
+        penalty: AtomicU64,
+    }
+
+    impl FaultPlan {
+        fn new(kind: FaultKind, at: u64, delay: u64) -> Self {
+            FaultPlan {
+                kind,
+                at,
+                delay,
+                armed: AtomicBool::new(true),
+                fired: AtomicU64::new(0),
+                penalty: AtomicU64::new(0),
+            }
+        }
+
+        /// Panic once the virtual clock reaches `at`.
+        pub fn panic_at_pair(at: u64) -> Self {
+            FaultPlan::new(FaultKind::PanicAtPair, at, 0)
+        }
+
+        /// Charge `delay` extra ticks once the virtual clock reaches `at`.
+        pub fn delay_ticks(at: u64, delay: u64) -> Self {
+            FaultPlan::new(FaultKind::DelayTicks, at, delay)
+        }
+
+        /// Swap the directions of the first pair verdict computed at or
+        /// after tick `at`.
+        pub fn corrupt_coordinate(at: u64) -> Self {
+            FaultPlan::new(FaultKind::CorruptCoordinate, at, 0)
+        }
+
+        /// Derives a plan from a seed (splitmix64), choosing the fault kind
+        /// and a trigger tick below `horizon`. Equal seeds yield equal
+        /// plans, so chaos tests replay exactly.
+        pub fn from_seed(seed: u64, horizon: u64) -> Self {
+            let mut state = seed;
+            let r0 = splitmix64(&mut state);
+            let r1 = splitmix64(&mut state);
+            let r2 = splitmix64(&mut state);
+            let at = r1 % horizon.max(1);
+            match r0 % 3 {
+                0 => FaultPlan::panic_at_pair(at),
+                1 => FaultPlan::delay_ticks(at, 1 + r2 % horizon.max(1)),
+                _ => FaultPlan::corrupt_coordinate(at),
+            }
+        }
+
+        /// The fault's kind.
+        pub fn kind(&self) -> FaultKind {
+            self.kind
+        }
+
+        /// The trigger tick.
+        pub fn trigger_at(&self) -> u64 {
+            self.at
+        }
+
+        /// How many times the fault has fired (0 or 1).
+        pub fn fired(&self) -> u64 {
+            self.fired.load(Ordering::Acquire)
+        }
+
+        /// Accumulated virtual delay charged so far.
+        pub(super) fn penalty(&self) -> u64 {
+            self.penalty.load(Ordering::Acquire)
+        }
+
+        /// Atomically fires the fault if it is due and still armed.
+        pub(super) fn try_fire(&self, ticks: u64) -> bool {
+            if ticks < self.at {
+                return false;
+            }
+            if self.armed.swap(false, Ordering::AcqRel) {
+                self.fired.fetch_add(1, Ordering::AcqRel);
+                true
+            } else {
+                false
+            }
+        }
+
+        /// Records the delay charge and returns it.
+        pub(super) fn charge_delay(&self) -> u64 {
+            self.penalty.fetch_add(self.delay, Ordering::AcqRel);
+            self.delay
+        }
+    }
+
+    /// The same splitmix64 step the datagen crate uses (re-implemented here
+    /// because the layering rule L4 forbids core → datagen).
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Result of an interruptible aggregate-skyline run: either the exact
+/// answer or a typed, never-wrong partial one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The run finished; the skyline is exact (up to the chosen pruning
+    /// discipline's guarantees).
+    Complete(SkylineResult),
+    /// The run was cancelled or ran out of budget. The partial partition's
+    /// confirmed sets are sound: every `confirmed_out` group has a real
+    /// γ-dominator, and `confirmed_in` is only populated when the pruning
+    /// discipline is result-preserving (see DESIGN.md §10).
+    Interrupted {
+        /// Why the run stopped.
+        reason: InterruptReason,
+        /// The three-way partial partition at the moment of interruption.
+        partial: AnytimeResult,
+    },
+}
+
+impl Outcome {
+    /// True iff the run finished.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Outcome::Complete(_))
+    }
+
+    /// Work counters of the run, complete or not.
+    pub fn stats(&self) -> &Stats {
+        match self {
+            Outcome::Complete(r) => &r.stats,
+            Outcome::Interrupted { partial, .. } => &partial.stats,
+        }
+    }
+
+    /// The completed result, or — when interrupted — a `SkylineResult`
+    /// holding only the confirmed-in groups. Used by the legacy infallible
+    /// entry points, whose unlimited fault-free contexts never actually
+    /// interrupt; total by construction so the crate stays panic-free.
+    pub fn unwrap_or_partial(self) -> SkylineResult {
+        match self {
+            Outcome::Complete(r) => r,
+            Outcome::Interrupted { partial, .. } => {
+                SkylineResult { skyline: partial.confirmed_in, stats: partial.stats }
+            }
+        }
+    }
+
+    /// Unifies both cases into the three-way partition: a complete run maps
+    /// to `confirmed_in` = skyline, `confirmed_out` = everything else
+    /// (`n_groups` tells the complement), no undecided groups.
+    pub fn into_partition(self, n_groups: usize) -> AnytimeResult {
+        match self {
+            Outcome::Complete(r) => {
+                let mut in_iter = r.skyline.iter().copied().peekable();
+                let mut confirmed_out =
+                    Vec::with_capacity(n_groups.saturating_sub(r.skyline.len()));
+                for g in 0..n_groups {
+                    if in_iter.peek() == Some(&g) {
+                        in_iter.next();
+                    } else {
+                        confirmed_out.push(g);
+                    }
+                }
+                AnytimeResult {
+                    confirmed_in: r.skyline,
+                    confirmed_out,
+                    undecided: Vec::new(),
+                    stats: r.stats,
+                    checkpoint: None,
+                }
+            }
+            Outcome::Interrupted { partial, .. } => partial,
+        }
+    }
+
+    /// The interruption reason, if any.
+    pub fn interrupt_reason(&self) -> Option<InterruptReason> {
+        match self {
+            Outcome::Complete(_) => None,
+            Outcome::Interrupted { reason, .. } => Some(*reason),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_context_never_interrupts() {
+        let ctx = RunContext::unlimited();
+        assert!(ctx.is_unlimited());
+        assert_eq!(ctx.poll(0), None);
+        assert_eq!(ctx.poll(u64::MAX - 1), None);
+    }
+
+    #[test]
+    fn budget_exhaustion_fires_at_the_boundary() {
+        let ctx = RunContext::with_budget(10);
+        assert_eq!(ctx.poll(9), None);
+        assert_eq!(ctx.poll(10), Some(InterruptReason::BudgetExhausted));
+        assert_eq!(ctx.poll(11), Some(InterruptReason::BudgetExhausted));
+    }
+
+    #[test]
+    fn zero_budget_interrupts_immediately() {
+        let ctx = RunContext::with_budget(0);
+        assert_eq!(ctx.poll(0), Some(InterruptReason::BudgetExhausted));
+    }
+
+    #[test]
+    fn cancellation_wins_over_budget() {
+        let ctx = RunContext::with_budget(5);
+        let token = ctx.cancel_token();
+        assert!(!token.is_cancelled());
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert_eq!(ctx.poll(100), Some(InterruptReason::Cancelled));
+        assert_eq!(ctx.poll(0), Some(InterruptReason::Cancelled));
+    }
+
+    #[test]
+    fn clones_share_the_cancellation_flag() {
+        let ctx = RunContext::unlimited();
+        let clone = ctx.clone();
+        ctx.cancel_token().cancel();
+        assert_eq!(clone.poll(0), Some(InterruptReason::Cancelled));
+    }
+
+    #[cfg(feature = "chaos")]
+    mod chaos_tests {
+        use super::*;
+
+        #[test]
+        fn panic_fault_fires_exactly_once() {
+            let ctx = RunContext::unlimited().with_fault(FaultPlan::panic_at_pair(5));
+            assert_eq!(ctx.poll(4), None);
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.poll(5)));
+            assert!(caught.is_err(), "fault did not panic at its tick");
+            // Disarmed: a second due poll passes.
+            assert_eq!(ctx.poll(6), None);
+            let plan = ctx.fault().map(|f| f.fired());
+            assert_eq!(plan, Some(1));
+        }
+
+        #[test]
+        fn delay_fault_charges_the_budget() {
+            let ctx = RunContext::with_budget(100).with_fault(FaultPlan::delay_ticks(10, 1000));
+            assert_eq!(ctx.poll(9), None);
+            // The delay charge pushes the effective clock past the budget.
+            assert_eq!(ctx.poll(10), Some(InterruptReason::BudgetExhausted));
+            assert_eq!(ctx.poll(11), Some(InterruptReason::BudgetExhausted));
+        }
+
+        #[test]
+        fn corrupt_fault_swaps_verdict_once() {
+            use crate::paircount::DomLevel;
+            let ctx = RunContext::unlimited().with_fault(FaultPlan::corrupt_coordinate(0));
+            let mut v = PairVerdict { forward: DomLevel::Gamma, backward: DomLevel::None };
+            ctx.corrupt_verdict(&mut v, 0);
+            assert_eq!(v.forward, DomLevel::None);
+            assert_eq!(v.backward, DomLevel::Gamma);
+            ctx.corrupt_verdict(&mut v, 1);
+            assert_eq!(v.backward, DomLevel::Gamma, "fault fired twice");
+        }
+
+        #[test]
+        fn seeded_plans_are_reproducible() {
+            for seed in [1u64, 7, 42, 0xDEAD_BEEF] {
+                let a = FaultPlan::from_seed(seed, 500);
+                let b = FaultPlan::from_seed(seed, 500);
+                assert_eq!(a.kind(), b.kind(), "seed {seed}");
+                assert_eq!(a.trigger_at(), b.trigger_at(), "seed {seed}");
+                assert!(a.trigger_at() < 500);
+            }
+        }
+    }
+}

@@ -37,6 +37,13 @@ pub struct Stats {
     /// kernel's straddling-block loops (compare against `record_pairs` of
     /// an exhaustive run to measure what block pruning saved).
     pub records_compared: u64,
+    /// Chunks the parallel scheduler re-queued after a worker panic (each
+    /// retry is one incident; the query still completes unless the
+    /// per-chunk attempt cap is exhausted).
+    pub worker_retries: u64,
+    /// Workers the parallel scheduler quarantined (stopped handing work to)
+    /// after they panicked while other workers survived.
+    pub workers_quarantined: u64,
 }
 
 impl Stats {
@@ -53,6 +60,8 @@ impl Stats {
         self.blocks_full += other.blocks_full;
         self.blocks_skipped += other.blocks_skipped;
         self.records_compared += other.records_compared;
+        self.worker_retries += other.worker_retries;
+        self.workers_quarantined += other.workers_quarantined;
     }
 }
 
@@ -68,5 +77,14 @@ mod tests {
         assert_eq!(a.group_pairs, 3);
         assert_eq!(a.record_pairs, 15);
         assert_eq!(a.early_stops, 1);
+    }
+
+    #[test]
+    fn merge_adds_incident_counters() {
+        let mut a = Stats { worker_retries: 1, ..Stats::default() };
+        let b = Stats { worker_retries: 2, workers_quarantined: 1, ..Stats::default() };
+        a.merge(&b);
+        assert_eq!(a.worker_retries, 3);
+        assert_eq!(a.workers_quarantined, 1);
     }
 }

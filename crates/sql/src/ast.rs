@@ -349,6 +349,9 @@ pub enum Statement {
         /// Optional predicate; absent deletes every row.
         where_clause: Option<Expr>,
     },
+    /// `SET TIMEOUT n` — caps subsequent queries at `n` record-pair ticks
+    /// of skyline work (`0` = unlimited, the default).
+    SetTimeout(u64),
     /// `UPDATE name SET col = expr, ... [WHERE expr]`.
     Update {
         /// Target table.

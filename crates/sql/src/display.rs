@@ -228,6 +228,7 @@ impl fmt::Display for Statement {
                 }
             }
             Statement::DropTable(name) => write!(f, "DROP TABLE {name}"),
+            Statement::SetTimeout(ticks) => write!(f, "SET TIMEOUT {ticks}"),
             Statement::Delete { table, where_clause } => {
                 write!(f, "DELETE FROM {table}")?;
                 if let Some(w) = where_clause {
@@ -269,6 +270,8 @@ mod tests {
             "DELETE FROM t WHERE a = 1",
             "UPDATE t SET a = a + 1, b = 'z' WHERE c <> 0",
             "DROP TABLE t",
+            "SET TIMEOUT 5000",
+            "SET TIMEOUT 0",
         ];
         for sql in samples {
             let ast = parse(sql).unwrap();

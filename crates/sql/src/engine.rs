@@ -3,10 +3,11 @@
 use crate::ast::{ColumnType, Statement};
 use crate::catalog::{Catalog, Column};
 use crate::error::{Result, SqlError};
-use crate::exec::{execute_select, QueryResult};
+use crate::exec::{execute_select, execute_select_ctx, QueryResult};
 use crate::parser::parse;
 use crate::plan::{eval, RExpr};
 use crate::value::Value;
+use aggsky_core::RunContext;
 
 /// An in-memory SQL database.
 ///
@@ -24,6 +25,8 @@ use crate::value::Value;
 #[derive(Debug, Default, Clone)]
 pub struct Database {
     catalog: Catalog,
+    /// `SET TIMEOUT` budget in record-pair ticks; `0` = unlimited.
+    timeout_ticks: u64,
 }
 
 impl Database {
@@ -32,11 +35,42 @@ impl Database {
         Database::default()
     }
 
+    /// The active `SET TIMEOUT` budget in record-pair ticks (`0` =
+    /// unlimited).
+    pub fn timeout_ticks(&self) -> u64 {
+        self.timeout_ticks
+    }
+
+    /// Programmatic equivalent of `SET TIMEOUT`.
+    pub fn set_timeout_ticks(&mut self, ticks: u64) {
+        self.timeout_ticks = ticks;
+    }
+
+    /// The execution-control context queries run under: unlimited unless a
+    /// non-zero `SET TIMEOUT` is active.
+    fn run_context(&self) -> RunContext {
+        if self.timeout_ticks == 0 {
+            RunContext::unlimited()
+        } else {
+            RunContext::with_budget(self.timeout_ticks)
+        }
+    }
+
     /// Parses and executes one statement. DDL/DML statements return an
     /// empty result with a `rows_affected`-style single cell.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
         match parse(sql)? {
-            Statement::Select(stmt) => execute_select(&self.catalog, &stmt),
+            Statement::Select(stmt) => {
+                execute_select_ctx(&self.catalog, &stmt, &self.run_context())
+            }
+            Statement::SetTimeout(ticks) => {
+                self.timeout_ticks = ticks;
+                Ok(QueryResult {
+                    columns: vec!["timeout_ticks".to_string()],
+                    rows: vec![vec![Value::Int(i64::try_from(ticks).unwrap_or(i64::MAX))]],
+                    interrupted: None,
+                })
+            }
             Statement::CreateTable { name, columns } => {
                 let cols = columns.into_iter().map(|(name, ty)| Column { name, ty }).collect();
                 self.catalog.create(&name, cols)?;
@@ -306,5 +340,6 @@ fn ddl_result(rows_affected: usize) -> QueryResult {
     QueryResult {
         columns: vec!["rows_affected".to_string()],
         rows: vec![vec![Value::Int(i64::try_from(rows_affected).unwrap_or(i64::MAX))]],
+        interrupted: None,
     }
 }

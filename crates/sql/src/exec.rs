@@ -14,7 +14,19 @@ use crate::error::{Result, SqlError};
 use crate::plan::{eval, AggCall, Compiler, RExpr, Schema};
 use crate::pushdown::ScanPlan;
 use crate::value::Value;
+use aggsky_core::{InterruptReason, RunContext};
 use std::collections::{HashMap, HashSet};
+
+/// How a query that ran out of budget (or was cancelled) degraded: the
+/// returned rows are the groups *proven* to belong to the skyline; this
+/// records why the run stopped and how many groups were left undecided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interruption {
+    /// Why the skyline computation stopped early.
+    pub reason: InterruptReason,
+    /// Groups that were neither confirmed in nor out when it stopped.
+    pub undecided_groups: usize,
+}
 
 /// Result of a query: column names plus rows.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +35,9 @@ pub struct QueryResult {
     pub columns: Vec<String>,
     /// Output rows.
     pub rows: Vec<Vec<Value>>,
+    /// `Some` when a `SET TIMEOUT` budget (or cancellation) cut the skyline
+    /// computation short: `rows` then holds only the confirmed members.
+    pub interrupted: Option<Interruption>,
 }
 
 impl QueryResult {
@@ -55,12 +70,30 @@ impl QueryResult {
         for row in &rendered {
             out.push_str(&fmt_row(row, &widths));
         }
+        if let Some(i) = &self.interrupted {
+            out.push_str(&format!(
+                "-- interrupted ({}): {} group(s) undecided; rows above are confirmed members\n",
+                i.reason, i.undecided_groups
+            ));
+        }
         out
     }
 }
 
-/// Executes a SELECT against a catalog.
+/// Executes a SELECT against a catalog with no execution limits.
 pub fn execute_select(cat: &Catalog, stmt: &SelectStmt) -> Result<QueryResult> {
+    execute_select_ctx(cat, stmt, &RunContext::unlimited())
+}
+
+/// Executes a SELECT under an execution-control context: the aggregate
+/// skyline step honours the context's tick budget and cancellation token,
+/// degrading to the confirmed skyline members (see [`Interruption`])
+/// instead of failing.
+pub fn execute_select_ctx(
+    cat: &Catalog,
+    stmt: &SelectStmt,
+    ctx: &RunContext,
+) -> Result<QueryResult> {
     // ---- resolve FROM ----
     let mut tables = Vec::with_capacity(stmt.from.len());
     let mut schema = Schema { columns: Vec::new() };
@@ -171,6 +204,7 @@ pub fn execute_select(cat: &Catalog, stmt: &SelectStmt) -> Result<QueryResult> {
         .collect::<Result<_>>()?;
 
     // ---- scan ----
+    let mut interrupted: Option<Interruption> = None;
     let mut out = if plan.always_empty {
         if grouped && stmt.group_by.is_empty() {
             // Aggregates over an empty input still produce one group; keep
@@ -190,6 +224,8 @@ pub fn execute_select(cat: &Catalog, stmt: &SelectStmt) -> Result<QueryResult> {
                 gamma,
                 &proj_exprs,
                 &order_exprs,
+                ctx,
+                &mut interrupted,
             )?
         } else {
             Vec::new()
@@ -205,6 +241,8 @@ pub fn execute_select(cat: &Catalog, stmt: &SelectStmt) -> Result<QueryResult> {
             gamma,
             &proj_exprs,
             &order_exprs,
+            ctx,
+            &mut interrupted,
         )?
     } else {
         scan_plain(&parts, plan.residual.as_ref(), &sky_exprs, &proj_exprs, &order_exprs)?
@@ -236,7 +274,7 @@ pub fn execute_select(cat: &Catalog, stmt: &SelectStmt) -> Result<QueryResult> {
     if let Some(limit) = stmt.limit {
         out.truncate(limit);
     }
-    Ok(QueryResult { columns, rows: out.into_iter().map(|(r, _)| r).collect() })
+    Ok(QueryResult { columns, rows: out.into_iter().map(|(r, _)| r).collect(), interrupted })
 }
 
 /// Builds the EXPLAIN description for a SELECT (shared logic with
@@ -592,6 +630,8 @@ fn scan_grouped(
     gamma: aggsky_core::Gamma,
     proj_exprs: &[RExpr],
     order_exprs: &[(RExpr, SortDir)],
+    ctx: &RunContext,
+    interrupted: &mut Option<Interruption>,
 ) -> Result<Vec<RowWithKeys>> {
     let mut index: HashMap<String, usize> = HashMap::new();
     let mut groups: Vec<GroupState> = Vec::new();
@@ -668,8 +708,17 @@ fn scan_grouped(
         }
         let ds = b.build().map_err(|e| SqlError::Eval(e.to_string()))?;
         let opts = aggsky_core::AlgoOptions::exact(gamma);
-        let result = aggsky_core::Algorithm::Indexed.run_with(&ds, opts);
-        let keep: HashSet<usize> = result.skyline.into_iter().collect();
+        // A budget-exhausted (or cancelled) run degrades gracefully: keep
+        // only the groups proven to belong to the skyline and record the
+        // interruption instead of failing the query.
+        let keep: HashSet<usize> = match aggsky_core::Algorithm::Indexed.run_ctx(&ds, opts, ctx) {
+            aggsky_core::Outcome::Complete(result) => result.skyline.into_iter().collect(),
+            aggsky_core::Outcome::Interrupted { reason, partial } => {
+                *interrupted =
+                    Some(Interruption { reason, undecided_groups: partial.undecided.len() });
+                partial.confirmed_in.into_iter().collect()
+            }
+        };
         let mut i = 0;
         survivors.retain(|_| {
             let k = keep.contains(&i);

@@ -113,6 +113,17 @@ impl Parser {
             let table = self.ident()?;
             let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
             Ok(Statement::Delete { table, where_clause })
+        } else if self.eat_kw("set") {
+            // `SET` only opens a statement as `SET TIMEOUT n` (inside
+            // UPDATE it is consumed by the UPDATE branch).
+            self.expect_kw("timeout")?;
+            match self.bump() {
+                Token::Int(n) => match u64::try_from(n) {
+                    Ok(ticks) => Ok(Statement::SetTimeout(ticks)),
+                    Err(_) => Err(SqlError::Parse("SET TIMEOUT must be non-negative".into())),
+                },
+                other => Err(SqlError::Parse(format!("expected tick count, found {other:?}"))),
+            }
         } else if self.eat_kw("update") {
             let table = self.ident()?;
             self.expect_kw("set")?;

@@ -1,0 +1,120 @@
+//! `SET TIMEOUT` error paths and graceful degradation: a timed-out
+//! aggregate-skyline query must return its confirmed rows with an
+//! interruption marker — never a panic, never wrong rows.
+
+use aggsky_sql::{parse, Database, SqlError, Statement};
+
+fn movie_db() -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE movie (title TEXT, director TEXT, pop FLOAT, qual FLOAT)").unwrap();
+    db.execute(
+        "INSERT INTO movie VALUES \
+         ('Avatar', 'Cameron', 404, 8.0), \
+         ('Batman Begins', 'Nolan', 371, 8.3), \
+         ('Kill Bill', 'Tarantino', 313, 8.2), \
+         ('Pulp Fiction', 'Tarantino', 557, 9.0), \
+         ('Star Wars (V)', 'Kershner', 362, 8.8), \
+         ('Terminator (II)', 'Cameron', 326, 8.6), \
+         ('The Godfather', 'Coppola', 531, 9.2), \
+         ('The Lord of the Rings', 'Jackson', 518, 8.7), \
+         ('The Room', 'Wiseau', 10, 3.2), \
+         ('Dracula', 'Coppola', 76, 7.3)",
+    )
+    .unwrap();
+    db
+}
+
+const SKYLINE_QUERY: &str =
+    "SELECT director FROM movie GROUP BY director SKYLINE OF pop MAX, qual MAX";
+
+fn directors(db: &mut Database, sql: &str) -> Vec<String> {
+    let mut names: Vec<String> =
+        db.execute(sql).unwrap().rows.iter().map(|r| r[0].to_string()).collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn set_timeout_parses() {
+    assert_eq!(parse("SET TIMEOUT 123").unwrap(), Statement::SetTimeout(123));
+    assert_eq!(parse("set timeout 0;").unwrap(), Statement::SetTimeout(0));
+}
+
+#[test]
+fn set_timeout_rejects_bad_input() {
+    assert!(matches!(parse("SET TIMEOUT -1"), Err(SqlError::Parse(_))));
+    assert!(matches!(parse("SET TIMEOUT soon"), Err(SqlError::Parse(_))));
+    assert!(matches!(parse("SET TIMEOUT"), Err(SqlError::Parse(_))));
+    assert!(matches!(parse("SET LIFETIME 5"), Err(SqlError::Parse(_))));
+}
+
+#[test]
+fn set_timeout_statement_reports_the_new_budget() {
+    let mut db = Database::new();
+    let r = db.execute("SET TIMEOUT 500").unwrap();
+    assert_eq!(r.columns, vec!["timeout_ticks"]);
+    assert_eq!(r.rows[0][0].to_string(), "500");
+    assert_eq!(db.timeout_ticks(), 500);
+}
+
+#[test]
+fn timeout_zero_means_unlimited() {
+    let mut db = movie_db();
+    let full = directors(&mut db, SKYLINE_QUERY);
+    db.execute("SET TIMEOUT 0").unwrap();
+    let r = db.execute(SKYLINE_QUERY).unwrap();
+    assert!(r.interrupted.is_none(), "zero timeout must not interrupt");
+    let mut names: Vec<String> = r.rows.iter().map(|r| r[0].to_string()).collect();
+    names.sort();
+    assert_eq!(names, full);
+}
+
+#[test]
+fn timed_out_query_degrades_to_confirmed_rows() {
+    let mut db = movie_db();
+    let full = directors(&mut db, SKYLINE_QUERY);
+    db.execute("SET TIMEOUT 1").unwrap();
+    let r = db.execute(SKYLINE_QUERY).expect("timeout must degrade, not fail");
+    let info = r.interrupted.expect("one tick cannot finish the skyline");
+    assert!(info.undecided_groups > 0);
+    for row in &r.rows {
+        assert!(
+            full.contains(&row[0].to_string()),
+            "confirmed row {:?} is not in the exact skyline",
+            row[0]
+        );
+    }
+    // The marker is visible to consumers rendering the result.
+    assert!(r.to_table().contains("interrupted"), "{}", r.to_table());
+}
+
+#[test]
+fn generous_timeout_completes_exactly() {
+    let mut db = movie_db();
+    let full = directors(&mut db, SKYLINE_QUERY);
+    db.execute("SET TIMEOUT 1000000").unwrap();
+    let r = db.execute(SKYLINE_QUERY).unwrap();
+    assert!(r.interrupted.is_none());
+    let mut names: Vec<String> = r.rows.iter().map(|r| r[0].to_string()).collect();
+    names.sort();
+    assert_eq!(names, full);
+}
+
+#[test]
+fn timeout_does_not_affect_non_skyline_queries() {
+    let mut db = movie_db();
+    db.execute("SET TIMEOUT 1").unwrap();
+    let r = db.execute("SELECT title FROM movie").unwrap();
+    assert_eq!(r.rows.len(), 10);
+    assert!(r.interrupted.is_none());
+    let r = db.execute("SELECT director, count(*) FROM movie GROUP BY director").unwrap();
+    assert_eq!(r.rows.len(), 7);
+    assert!(r.interrupted.is_none());
+}
+
+#[test]
+fn set_timeout_roundtrips_through_display() {
+    let ast = parse("SET TIMEOUT 42").unwrap();
+    assert_eq!(ast.to_string(), "SET TIMEOUT 42");
+    assert_eq!(parse(&ast.to_string()).unwrap(), ast);
+}

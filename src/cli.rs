@@ -12,8 +12,8 @@
 //! * `sql FILE...` — execute semicolon-separated SQL statements from files
 //!   (use `-` for stdin), printing each result table.
 
-use crate::core::{parallel_skyline_with, ranked_skyline, resolve_threads, KernelConfig};
-use crate::{AlgoOptions, Algorithm, Direction, Gamma, Pruning};
+use crate::core::{parallel_skyline_ctx, ranked_skyline, resolve_threads, KernelConfig};
+use crate::{AlgoOptions, Algorithm, Direction, Gamma, Outcome, Pruning, RunContext};
 use aggsky_datagen::{
     parse_grouped_csv, to_grouped_csv, Distribution, GroupSizes, SyntheticConfig,
 };
@@ -50,6 +50,8 @@ skyline options:
   --exact            use provably-exact pruning (default: paper pruning)
   --threads N        run the parallel extension with N workers (0 = all cores);
                      overrides --algorithm
+  --budget TICKS     stop after roughly TICKS record-pair comparisons and
+                     print the confirmed partial skyline (0 = unlimited)
   --rank             also print groups by minimum qualifying gamma
 
 generate options:
@@ -163,12 +165,15 @@ fn skyline_command(args: &[String]) -> Result<String, CliError> {
         None => None,
         Some(v) => Some(v.parse().map_err(|_| format!("--threads: invalid value {v:?}"))?),
     };
-    let (result, algo_name) = match threads {
+    let budget: u64 = flags.parse_num("budget", 0u64)?;
+    let ctx = if budget == 0 { RunContext::unlimited() } else { RunContext::with_budget(budget) };
+    let (outcome, algo_name) = match threads {
         Some(t) => (
-            parallel_skyline_with(&ds, gamma, t, KernelConfig::blocked()),
+            parallel_skyline_ctx(&ds, gamma, t, KernelConfig::blocked(), &ctx)
+                .map_err(|e| e.to_string())?,
             format!("PAR({} threads)", resolve_threads(t)),
         ),
-        None => (algorithm.run_with(&ds, opts), algorithm.short_name().to_string()),
+        None => (algorithm.run_ctx(&ds, opts, &ctx), algorithm.short_name().to_string()),
     };
 
     let mut out = String::new();
@@ -182,16 +187,40 @@ fn skyline_command(args: &[String]) -> Result<String, CliError> {
         algo_name
     )
     .unwrap();
-    writeln!(out, "aggregate skyline ({} groups):", result.skyline.len()).unwrap();
-    for label in ds.sorted_labels(&result.skyline) {
-        writeln!(out, "  {label}").unwrap();
+    match &outcome {
+        Outcome::Complete(result) => {
+            writeln!(out, "aggregate skyline ({} groups):", result.skyline.len()).unwrap();
+            for label in ds.sorted_labels(&result.skyline) {
+                writeln!(out, "  {label}").unwrap();
+            }
+            writeln!(
+                out,
+                "({} group pairs compared, {} record pairs checked)",
+                result.stats.group_pairs, result.stats.record_pairs
+            )
+            .unwrap();
+        }
+        Outcome::Interrupted { reason, partial } => {
+            writeln!(
+                out,
+                "interrupted ({reason}) after {} record pairs",
+                partial.stats.record_pairs
+            )
+            .unwrap();
+            writeln!(out, "confirmed skyline members ({} groups):", partial.confirmed_in.len())
+                .unwrap();
+            for label in ds.sorted_labels(&partial.confirmed_in) {
+                writeln!(out, "  {label}").unwrap();
+            }
+            writeln!(
+                out,
+                "({} groups confirmed out, {} undecided)",
+                partial.confirmed_out.len(),
+                partial.undecided.len()
+            )
+            .unwrap();
+        }
     }
-    writeln!(
-        out,
-        "({} group pairs compared, {} record pairs checked)",
-        result.stats.group_pairs, result.stats.record_pairs
-    )
-    .unwrap();
     if flags.has("rank") {
         writeln!(out, "\ngroups by minimum qualifying gamma:").unwrap();
         for rg in ranked_skyline(&ds) {

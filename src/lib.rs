@@ -36,8 +36,10 @@ pub use aggsky_spatial as spatial;
 pub use aggsky_sql as sql;
 
 pub use aggsky_core::{
-    anytime_skyline, domination_probability, gamma_dominates, naive_skyline, parallel_skyline,
-    ranked_skyline, AlgoOptions, Algorithm, AnytimeResult, Direction, DynamicAggregateSkyline,
-    Gamma, GroupedDataset, GroupedDatasetBuilder, Pruning, SkylineResult, SortStrategy,
+    anytime_resume, anytime_skyline, anytime_skyline_ctx, domination_probability, gamma_dominates,
+    naive_skyline, parallel_skyline, ranked_skyline, AlgoOptions, Algorithm, AnytimeCheckpoint,
+    AnytimeResult, CancelToken, Direction, DynamicAggregateSkyline, Gamma, GroupedDataset,
+    GroupedDatasetBuilder, InterruptReason, Outcome, Pruning, RunContext, SkylineResult,
+    SortStrategy,
 };
 pub use aggsky_sql::Database;

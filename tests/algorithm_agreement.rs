@@ -70,7 +70,7 @@ fn parallel_matches_oracle() {
         let threads = 1 + (seed % 4) as usize;
         let oracle = naive_skyline(&ds, gamma).skyline;
         assert_eq!(
-            parallel_skyline(&ds, gamma, threads).skyline,
+            parallel_skyline(&ds, gamma, threads).unwrap().skyline,
             oracle,
             "seed={seed} threads={threads}"
         );

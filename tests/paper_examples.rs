@@ -33,7 +33,7 @@ fn figure_4b_aggregate_skyline_every_algorithm() {
         let r = algo.run(&ds, Gamma::DEFAULT);
         assert_eq!(ds.sorted_labels(&r.skyline), expected, "{algo:?}");
     }
-    let par = aggsky::parallel_skyline(&ds, Gamma::DEFAULT, 4);
+    let par = aggsky::parallel_skyline(&ds, Gamma::DEFAULT, 4).unwrap();
     assert_eq!(ds.sorted_labels(&par.skyline), expected);
 }
 
