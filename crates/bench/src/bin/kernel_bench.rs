@@ -19,20 +19,24 @@
 //!
 //! Prints markdown tables and writes the raw numbers to
 //! `BENCH_kernel.json` in the current directory (hand-rendered JSON; the
-//! workspace has no serde).
+//! workspace has no serde). One extra instrumented scheduler run exports a
+//! Chrome trace (`BENCH_kernel_trace.json`, loadable in Perfetto) and a
+//! per-phase span summary (`BENCH_kernel_spans.txt`) next to it.
 //!
 //! Usage: `kernel_bench [records] [repeats]` (defaults 30000, 3).
 
 use aggsky_bench::report::fmt_ms;
 use aggsky_bench::MarkdownTable;
+use aggsky_core::obs::{export_chrome, render_summary, TraceRecorder};
 use aggsky_core::paircount::{compare_groups, PairOptions};
 use aggsky_core::{
-    parallel_skyline_strided, parallel_skyline_with, AlgoOptions, Algorithm, Gamma, GroupedDataset,
-    KernelConfig, Mbb, SkylineResult, Stats,
+    parallel_skyline_ctx, parallel_skyline_strided, parallel_skyline_with, AlgoOptions, Algorithm,
+    Gamma, GroupedDataset, KernelConfig, Mbb, RunContext, SkylineResult, Stats,
 };
 use aggsky_datagen::{Distribution, GroupSizes, SyntheticConfig};
 use aggsky_spatial::{Aabb, RTree};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Best-of-`repeats` wall time in ms, plus the (identical) last result.
@@ -218,6 +222,24 @@ fn main() {
         fmt_ms(t_chk)
     );
 
+    // One instrumented work-stealing run: per-worker spans, chunk-size
+    // histograms and the counter totals, exported next to the raw numbers.
+    let recorder = Arc::new(TraceRecorder::new());
+    let traced_ctx = RunContext::unlimited().with_recorder(recorder.clone());
+    let traced =
+        parallel_skyline_ctx(&skew_ds, gamma, threads, KernelConfig::Exhaustive, &traced_ctx)
+            .expect("traced run failed")
+            .unwrap_or_partial();
+    assert_eq!(traced.skyline, r_chk.skyline, "traced run must agree");
+    let snapshot = recorder.snapshot();
+    std::fs::write("BENCH_kernel_trace.json", export_chrome(&snapshot))
+        .expect("write BENCH_kernel_trace.json");
+    std::fs::write("BENCH_kernel_spans.txt", render_summary(&snapshot))
+        .expect("write BENCH_kernel_spans.txt");
+    println!(
+        "wrote BENCH_kernel_trace.json (Chrome trace, load in Perfetto) and BENCH_kernel_spans.txt"
+    );
+
     // ---- Raw numbers as JSON ----
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
@@ -261,7 +283,16 @@ fn main() {
     writeln!(json, "    \"hardware_threads\": {cores},").unwrap();
     writeln!(
         json,
-        "    \"measured_end_to_end\": {{ \"strided_millis\": {t_str:.3}, \"work_stealing_millis\": {t_chk:.3} }}"
+        "    \"measured_end_to_end\": {{ \"strided_millis\": {t_str:.3}, \"work_stealing_millis\": {t_chk:.3} }},"
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"work_stealing_stats\": {{ \"worker_retries\": {}, \"workers_quarantined\": {}, \"blocks_full\": {}, \"blocks_skipped\": {} }}",
+        r_chk.stats.worker_retries,
+        r_chk.stats.workers_quarantined,
+        r_chk.stats.blocks_full,
+        r_chk.stats.blocks_skipped
     )
     .unwrap();
     writeln!(json, "  }}").unwrap();

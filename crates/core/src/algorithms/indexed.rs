@@ -3,14 +3,15 @@
 
 use super::nested_loop::split_two;
 use super::{
-    apply_verdict, build_order, collect_result, interrupted, kernel_boxes, AlgoOptions, Pruning,
-    SkylineResult, Status,
+    apply_verdict, build_order, collect_result, interrupted, kernel_boxes, AlgoOptions, PairDeltas,
+    Pruning, SkylineResult, Status,
 };
 use crate::dataset::GroupedDataset;
 use crate::kernel::Kernel;
 use crate::paircount::PairOptions;
 use crate::runctx::{Outcome, RunContext};
 use crate::stats::Stats;
+use aggsky_obs::{Hist, Stamp};
 use aggsky_spatial::{Aabb, RTree};
 
 /// IN / LO: for each group, candidate dominators are found with a window
@@ -32,10 +33,14 @@ pub(super) fn indexed_on(kernel: &Kernel<'_>, opts: &AlgoOptions, ctx: &RunConte
     let mut owned_boxes = None;
     let boxes = kernel_boxes(kernel, &mut owned_boxes);
     let order = build_order(ds, boxes, opts.sort);
+    let index_span = ctx.obs().map_or(0, |rec| rec.span_start("index_build", 0, Stamp::ZERO));
     let tree = RTree::bulk_load(
         ds.dim(),
         boxes.iter().enumerate().map(|(g, b)| (Aabb::point(&b.max), g)).collect(),
     );
+    if let Some(rec) = ctx.obs() {
+        rec.span_end(index_span, Stamp::ZERO, &[("entries", crate::num::wide(n))]);
+    }
     let pair_opts: PairOptions = opts.pruning.pair_options(opts.stop_rule);
     let strong_marks = opts.pruning.uses_strong_marks();
     // Unlike the pairwise loops, a group's window query surfaces *all* of
@@ -70,6 +75,9 @@ pub(super) fn indexed_on(kernel: &Kernel<'_>, opts: &AlgoOptions, ctx: &RunConte
         // worst corner can possibly dominate g1.
         tree.window_query_into(&Aabb::at_least(&boxes[g1].min), &mut candidates);
         stats.index_candidates += crate::num::wide(candidates.len().saturating_sub(1));
+        if let Some(rec) = ctx.obs() {
+            rec.observe(Hist::WindowCandidates, crate::num::wide(candidates.len()));
+        }
         for &g2 in &candidates {
             if g2 == g1 {
                 continue; // Algorithm 5 line 13.
@@ -82,8 +90,10 @@ pub(super) fn indexed_on(kernel: &Kernel<'_>, opts: &AlgoOptions, ctx: &RunConte
                 return bail(&statuses, i, stats, reason);
             }
             let pair_boxes = opts.bbox_prune.then(|| (&boxes[g1], &boxes[g2]));
+            let before = PairDeltas::before(&stats);
             let mut verdict = kernel.compare(g1, g2, opts.gamma, pair_boxes, pair_opts, &mut stats);
             ctx.corrupt_verdict(&mut verdict, stats.record_pairs);
+            before.observe(ctx, &stats);
             let (s1, s2) = split_two(&mut statuses, g1, g2);
             apply_verdict(verdict, s1, s2, opts.pruning);
             if strong_marks && statuses[g1] == Status::StronglyDominated {

@@ -48,6 +48,7 @@ use crate::mbb::Mbb;
 use crate::paircount::{DomLevel, PairVerdict};
 use crate::runctx::{InterruptReason, Outcome, RunContext};
 use crate::stats::Stats;
+use aggsky_obs::Stamp;
 
 /// Output of an aggregate-skyline computation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -233,7 +234,9 @@ impl Algorithm {
     /// budget, returns [`Outcome::Interrupted`] with a sound partial
     /// partition instead of the exact skyline.
     pub fn run_ctx(self, ds: &GroupedDataset, opts: AlgoOptions, ctx: &RunContext) -> Outcome {
+        let prep_span = ctx.obs().map_or(0, |rec| rec.span_start("prepare", 0, Stamp::ZERO));
         let kernel = Kernel::new(ds, opts.kernel);
+        end_prepare_span(prep_span, &kernel, ctx);
         self.run_on(&kernel, opts, ctx)
     }
 
@@ -263,7 +266,8 @@ impl Algorithm {
     }
 
     fn run_on(self, kernel: &Kernel<'_>, opts: AlgoOptions, ctx: &RunContext) -> Outcome {
-        match self {
+        let span = ctx.obs().map_or(0, |rec| rec.span_start(self.short_name(), 0, Stamp::ZERO));
+        let outcome = match self {
             Algorithm::Naive => naive::naive_skyline_ctx(kernel.dataset(), opts.gamma, ctx),
             Algorithm::NestedLoop => nested_loop::nested_loop_on(kernel, &opts, ctx),
             Algorithm::Transitive => transitive::transitive_on(kernel, &opts, ctx),
@@ -274,6 +278,82 @@ impl Algorithm {
             Algorithm::IndexedBbox => {
                 indexed::indexed_on(kernel, &AlgoOptions { bbox_prune: true, ..opts }, ctx)
             }
+        };
+        if let Some(rec) = ctx.obs() {
+            // One dump of the run's final counters into the metric registry:
+            // this is what makes `EXPLAIN ANALYZE` totals equal the `Stats`
+            // of an uninstrumented run of the same query.
+            let stats = outcome.stats();
+            stats.record_to(rec);
+            rec.span_end(
+                span,
+                Stamp::tick(stats.record_pairs),
+                &[
+                    ("group_pairs", stats.group_pairs),
+                    ("record_pairs", stats.record_pairs),
+                    ("early_stops", stats.early_stops),
+                ],
+            );
+        }
+        outcome
+    }
+}
+
+/// Closes the `"prepare"` span with the dataset/blocking shape as
+/// arguments. Preparation happens before any record pair is charged, so
+/// both endpoints sit at tick 0 — the span exists for its arguments and for
+/// the tree shape, not for duration.
+fn end_prepare_span(span: aggsky_obs::SpanId, kernel: &Kernel<'_>, ctx: &RunContext) {
+    let Some(rec) = ctx.obs() else { return };
+    let ds = kernel.dataset();
+    let mut args = vec![
+        ("groups", crate::num::wide(ds.n_groups())),
+        ("records", crate::num::wide(ds.n_records())),
+    ];
+    if let Some(prep) = kernel.prepared() {
+        let blocks: usize = ds.group_ids().map(|g| prep.n_blocks(g)).sum();
+        args.push(("blocks", crate::num::wide(blocks)));
+        args.push(("block_size", crate::num::wide(prep.block_size())));
+    }
+    rec.span_end(span, Stamp::ZERO, &args);
+}
+
+/// Snapshot of the per-pair counters taken before one `kernel.compare`
+/// call, used to feed the work-distribution histograms from counter deltas
+/// without threading the recorder into the kernel itself.
+pub(crate) struct PairDeltas {
+    record_pairs: u64,
+    records_compared: u64,
+}
+
+impl PairDeltas {
+    #[inline]
+    pub(crate) fn before(stats: &Stats) -> PairDeltas {
+        PairDeltas { record_pairs: stats.record_pairs, records_compared: stats.records_compared }
+    }
+
+    /// Records the pair's work into the histograms. Straddle fanout is only
+    /// observed when the blocked kernel actually compared records inside
+    /// straddling blocks (the delta is zero under the exhaustive kernel and
+    /// for block pairs fully classified by corner tests).
+    #[inline]
+    pub(crate) fn observe(&self, ctx: &RunContext, stats: &Stats) {
+        if let Some(rec) = ctx.obs() {
+            self.observe_to(rec, stats);
+        }
+    }
+
+    /// [`PairDeltas::observe`] against an already-resolved recorder (the
+    /// parallel workers hold one for their whole chunk loop).
+    #[inline]
+    pub(crate) fn observe_to(&self, rec: &dyn aggsky_obs::Recorder, stats: &Stats) {
+        rec.observe(
+            aggsky_obs::Hist::RecordPairsPerGroupPair,
+            stats.record_pairs.saturating_sub(self.record_pairs),
+        );
+        let straddle = stats.records_compared.saturating_sub(self.records_compared);
+        if straddle > 0 {
+            rec.observe(aggsky_obs::Hist::StraddleFanout, straddle);
         }
     }
 }

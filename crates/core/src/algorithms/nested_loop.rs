@@ -2,8 +2,8 @@
 //! condition.
 
 use super::{
-    apply_verdict, collect_result, interrupted, kernel_boxes, AlgoOptions, Pruning, SkylineResult,
-    Status,
+    apply_verdict, collect_result, interrupted, kernel_boxes, AlgoOptions, PairDeltas, Pruning,
+    SkylineResult, Status,
 };
 use crate::dataset::GroupedDataset;
 use crate::kernel::Kernel;
@@ -42,8 +42,10 @@ pub(super) fn nested_loop_on(kernel: &Kernel<'_>, opts: &AlgoOptions, ctx: &RunC
                 return interrupted(&statuses, |g| g < g1, stats, reason);
             }
             let pair_boxes = boxes.map(|b| (&b[g1], &b[g2]));
+            let before = PairDeltas::before(&stats);
             let mut verdict = kernel.compare(g1, g2, opts.gamma, pair_boxes, pair_opts, &mut stats);
             ctx.corrupt_verdict(&mut verdict, stats.record_pairs);
+            before.observe(ctx, &stats);
             let (left, right) = split_two(&mut statuses, g1, g2);
             apply_verdict(verdict, left, right, Pruning::Exact);
         }

@@ -26,7 +26,7 @@
 //! panics [`MAX_CHUNK_ATTEMPTS`] times does the query fail, with the typed
 //! [`Error::WorkerPanicked`] instead of a propagated panic.
 
-use super::{SkylineResult, Status};
+use super::{PairDeltas, SkylineResult, Status};
 use crate::anytime::AnytimeResult;
 use crate::dataset::{GroupId, GroupedDataset};
 use crate::error::{Error, Result};
@@ -36,6 +36,7 @@ use crate::mbb::Mbb;
 use crate::paircount::PairOptions;
 use crate::runctx::{InterruptReason, Outcome, RunContext};
 use crate::stats::Stats;
+use aggsky_obs::{Hist, Stamp};
 use aggsky_spatial::{Aabb, RTree};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -125,6 +126,11 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// Trace track for worker `wid` (track 0 is the orchestrating thread).
+fn track_of(wid: usize) -> u32 {
+    u32::try_from(wid.saturating_add(1)).unwrap_or(u32::MAX)
+}
+
 /// One-directional dominator scan for `g1` (the unit of parallel work):
 /// window-query the spatial index for candidate dominators and compare
 /// until one γ-dominates `g1` or the candidates run out.
@@ -146,9 +152,11 @@ fn scan_group(
         if g2 == g1 {
             continue;
         }
+        let before = PairDeltas::before(stats);
         let mut verdict =
             kernel.compare(g2, g1, gamma, Some((&boxes[g2], &boxes[g1])), pair_opts, stats);
         ctx.corrupt_verdict(&mut verdict, stats.record_pairs);
+        before.observe(ctx, stats);
         if verdict.forward.dominates() {
             return Status::Dominated;
         }
@@ -235,6 +243,13 @@ impl SharedState {
         None
     }
 
+    /// The scheduler's virtual clock as a tick stamp (record pairs charged
+    /// by finished groups so far). Monotone but coarse: in-flight groups
+    /// have not charged yet.
+    fn tick_now(&self) -> Stamp {
+        Stamp::tick(self.spent.load(Ordering::Relaxed))
+    }
+
     /// Tries to take this worker out of rotation after a panic; refuses
     /// when it is the last active one (somebody must drain the queue).
     fn try_quarantine(&self) -> bool {
@@ -265,12 +280,17 @@ fn run_chunked(
     let ds = kernel.dataset();
     let threads = threads.max(1);
     let n = ds.n_groups();
+    let parallel_span = ctx.obs().map_or(0, |rec| rec.span_start("parallel", 0, Stamp::ZERO));
     let mut owned_boxes = None;
     let boxes = super::kernel_boxes(kernel, &mut owned_boxes);
+    let index_span = ctx.obs().map_or(0, |rec| rec.span_start("index_build", 0, Stamp::ZERO));
     let tree = RTree::bulk_load(
         ds.dim(),
         boxes.iter().enumerate().map(|(g, b)| (Aabb::point(&b.max), g)).collect(),
     );
+    if let Some(rec) = ctx.obs() {
+        rec.span_end(index_span, Stamp::ZERO, &[("entries", crate::num::wide(n))]);
+    }
     let pair_opts = PairOptions { stop_rule: true, need_bar: false, corrected_bar: false };
 
     // Chunk size trades scheduling overhead (one fetch_add per chunk)
@@ -281,6 +301,9 @@ fn run_chunked(
     let shared = SharedState::new(workers);
 
     let worker = |wid: usize| -> (Vec<(GroupId, Status)>, Stats) {
+        let track = track_of(wid);
+        let worker_span =
+            ctx.obs().map_or(0, |rec| rec.span_start("worker", track, shared.tick_now()));
         let mut stats = Stats::default();
         let mut candidates: Vec<GroupId> = Vec::new();
         let mut part: Vec<(GroupId, Status)> = Vec::new();
@@ -298,6 +321,9 @@ fn run_chunked(
                 std::thread::yield_now();
                 continue;
             };
+            if let Some(rec) = ctx.obs() {
+                rec.observe(Hist::ChunkSize, crate::num::wide(job.end.saturating_sub(job.start)));
+            }
             // Process the chunk one group at a time so a panic only ever
             // loses (and retries) the unfinished remainder.
             while job.start < job.end {
@@ -339,6 +365,17 @@ fn run_chunked(
                         // mid-update; drop it rather than trust it.
                         candidates = Vec::new();
                         shared.retries.fetch_add(1, Ordering::Relaxed);
+                        if let Some(rec) = ctx.obs() {
+                            rec.event(
+                                "retry",
+                                track,
+                                shared.tick_now(),
+                                &[
+                                    ("group", crate::num::wide(g)),
+                                    ("attempt", u64::from(job.attempts)),
+                                ],
+                            );
+                        }
                         job.attempts += 1;
                         if job.attempts >= MAX_CHUNK_ATTEMPTS {
                             let mut fatal = lock(&shared.fatal);
@@ -351,6 +388,9 @@ fn run_chunked(
                         lock(&shared.retry).push_back(job);
                         if shared.try_quarantine() {
                             shared.quarantined.fetch_add(1, Ordering::Relaxed);
+                            if let Some(rec) = ctx.obs() {
+                                rec.event("quarantine", track, shared.tick_now(), &[]);
+                            }
                             break 'outer;
                         }
                         // Last active worker: keep going and self-retry.
@@ -358,6 +398,13 @@ fn run_chunked(
                     }
                 }
             }
+        }
+        if let Some(rec) = ctx.obs() {
+            rec.span_end(
+                worker_span,
+                shared.tick_now(),
+                &[("groups", crate::num::wide(part.len())), ("record_pairs", stats.record_pairs)],
+            );
         }
         (part, stats)
     };
@@ -403,6 +450,22 @@ fn run_chunked(
     }
     stats.worker_retries += shared.retries.load(Ordering::Acquire);
     stats.workers_quarantined += shared.quarantined.load(Ordering::Acquire);
+
+    // Parallel runs bypass `run_on`, so this is their (single) stats dump;
+    // together with the one in `run_on` it keeps trace counters equal to
+    // the `Stats` of the corresponding plain run.
+    if let Some(rec) = ctx.obs() {
+        stats.record_to(rec);
+        rec.span_end(
+            parallel_span,
+            Stamp::tick(stats.record_pairs),
+            &[
+                ("workers", crate::num::wide(workers)),
+                ("group_pairs", stats.group_pairs),
+                ("record_pairs", stats.record_pairs),
+            ],
+        );
+    }
 
     let reason = shared.interrupt_reason();
     let missing = statuses.iter().any(Option::is_none);

@@ -3,8 +3,8 @@
 
 use super::nested_loop::split_two;
 use super::{
-    apply_verdict, build_order, collect_result, interrupted, kernel_boxes, AlgoOptions, Pruning,
-    SkylineResult, Status,
+    apply_verdict, build_order, collect_result, interrupted, kernel_boxes, AlgoOptions, PairDeltas,
+    Pruning, SkylineResult, Status,
 };
 use crate::dataset::{GroupId, GroupedDataset};
 use crate::kernel::Kernel;
@@ -99,8 +99,10 @@ pub(super) fn run_pairwise(
                 return interrupted(&statuses, |g| sound && done[g], stats, reason);
             }
             let pair_boxes = boxes.map(|b| (&b[g1], &b[g2]));
+            let before = PairDeltas::before(&stats);
             let mut verdict = kernel.compare(g1, g2, opts.gamma, pair_boxes, pair_opts, &mut stats);
             ctx.corrupt_verdict(&mut verdict, stats.record_pairs);
+            before.observe(ctx, &stats);
             let (s1, s2) = split_two(&mut statuses, g1, g2);
             apply_verdict(verdict, s1, s2, opts.pruning);
             // Algorithm 3 line 19: once g1 is strongly dominated, stop

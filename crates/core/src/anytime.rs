@@ -16,12 +16,14 @@
 //! the budget ran out instead of restarting: repeated resumption with any
 //! per-step budget converges to the same partition as one unlimited run.
 
+use crate::algorithms::PairDeltas;
 use crate::dataset::{GroupId, GroupedDataset};
 use crate::gamma::Gamma;
 use crate::mbb::Mbb;
 use crate::paircount::{compare_groups, PairOptions};
 use crate::runctx::RunContext;
 use crate::stats::Stats;
+use aggsky_obs::Stamp;
 use aggsky_spatial::{Aabb, RTree};
 
 /// Outcome of a budgeted run.
@@ -120,6 +122,7 @@ fn engine(
     resume: Option<(&AnytimeResult, &AnytimeCheckpoint)>,
 ) -> AnytimeResult {
     let n = ds.n_groups();
+    let engine_span = ctx.obs().map_or(0, |rec| rec.span_start("anytime", 0, Stamp::ZERO));
     let boxes = Mbb::of_all_groups(ds);
     let mut stats = Stats::default();
 
@@ -133,10 +136,15 @@ fn engine(
 
     match resume {
         None => {
+            let index_span =
+                ctx.obs().map_or(0, |rec| rec.span_start("index_build", 0, Stamp::ZERO));
             let tree = RTree::bulk_load(
                 ds.dim(),
                 boxes.iter().enumerate().map(|(g, b)| (Aabb::point(&b.max), g)).collect(),
             );
+            if let Some(rec) = ctx.obs() {
+                rec.span_end(index_span, Stamp::ZERO, &[("entries", crate::num::wide(n))]);
+            }
             for (g, b) in boxes.iter().enumerate() {
                 let mut c = tree.window_query(&Aabb::at_least(&b.min));
                 c.retain(|&s| s != g);
@@ -183,9 +191,11 @@ fn engine(
             continue;
         };
         remaining[g].swap_remove(pos);
+        let before = PairDeltas::before(&stats);
         let mut verdict =
             compare_groups(ds, s, g, gamma, Some((&boxes[s], &boxes[g])), pair_opts, &mut stats);
         ctx.corrupt_verdict(&mut verdict, stats.record_pairs);
+        before.observe(ctx, &stats);
         if verdict.forward.dominates() {
             status[g] = St::Out;
         }
@@ -214,6 +224,28 @@ fn engine(
     let checkpoint = (!undecided.is_empty()).then(|| AnytimeCheckpoint {
         remaining: undecided.iter().map(|&g| (g, std::mem::take(&mut remaining[g]))).collect(),
     });
+    // The anytime engine bypasses `run_on`, so it dumps its own counters.
+    if let Some(rec) = ctx.obs() {
+        stats.record_to(rec);
+        if checkpoint.is_some() {
+            rec.event(
+                "checkpoint",
+                0,
+                Stamp::tick(stats.record_pairs),
+                &[("undecided", crate::num::wide(undecided.len()))],
+            );
+        }
+        rec.span_end(
+            engine_span,
+            Stamp::tick(stats.record_pairs),
+            &[
+                ("confirmed_in", crate::num::wide(confirmed_in.len())),
+                ("confirmed_out", crate::num::wide(confirmed_out.len())),
+                ("undecided", crate::num::wide(undecided.len())),
+                ("record_pairs", stats.record_pairs),
+            ],
+        );
+    }
     AnytimeResult { confirmed_in, confirmed_out, undecided, stats, checkpoint }
 }
 

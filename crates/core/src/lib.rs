@@ -53,6 +53,8 @@
 
 #![warn(missing_docs)]
 
+pub use aggsky_obs as obs;
+
 pub mod algorithms;
 pub mod anytime;
 pub mod dataset;

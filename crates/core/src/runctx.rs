@@ -21,6 +21,7 @@ use crate::algorithms::SkylineResult;
 use crate::anytime::AnytimeResult;
 use crate::paircount::PairVerdict;
 use crate::stats::Stats;
+use aggsky_obs::Recorder;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -73,8 +74,30 @@ pub struct RunContext {
     /// `0` stops at the first poll (callers wanting "0 means unlimited"
     /// semantics, like the SQL engine, translate before constructing).
     budget: u64,
+    /// The observability sink (DESIGN.md §11). Defaults to disabled, which
+    /// costs one discriminant load per query — the overhead contract.
+    obs: ObsHandle,
     #[cfg(feature = "chaos")]
     fault: Option<Arc<FaultPlan>>,
+}
+
+/// Either no recorder (the common case) or a shared enabled one. A
+/// two-variant enum rather than `Option<Arc<…>>` so the disabled fast path
+/// is a single discriminant load with no pointer chase.
+#[derive(Clone, Default)]
+enum ObsHandle {
+    #[default]
+    Noop,
+    Shared(Arc<dyn Recorder>),
+}
+
+impl fmt::Debug for ObsHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsHandle::Noop => f.write_str("Noop"),
+            ObsHandle::Shared(_) => f.write_str("Shared(..)"),
+        }
+    }
 }
 
 impl Default for RunContext {
@@ -96,8 +119,39 @@ impl RunContext {
         RunContext {
             cancelled: Arc::new(AtomicBool::new(false)),
             budget: ticks,
+            obs: ObsHandle::Noop,
             #[cfg(feature = "chaos")]
             fault: None,
+        }
+    }
+
+    /// Attaches a shared observability recorder; every algorithm layer the
+    /// context passes through will record spans, events and metrics into
+    /// it. Without this call the context carries the no-op sink.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.obs = ObsHandle::Shared(recorder);
+        self
+    }
+
+    /// The attached recorder, or `None` when tracing is disabled. The
+    /// disabled check is one enum-discriminant load (overhead contract,
+    /// DESIGN.md §11); instrumentation sites use `if let Some(rec)` so the
+    /// disabled path computes nothing.
+    #[inline]
+    pub fn obs(&self) -> Option<&dyn Recorder> {
+        match &self.obs {
+            ObsHandle::Noop => None,
+            ObsHandle::Shared(r) => Some(r.as_ref()),
+        }
+    }
+
+    /// The attached recorder, never `None`: the shared
+    /// [`aggsky_obs::NOOP`] static when tracing is disabled.
+    #[inline]
+    pub fn recorder(&self) -> &dyn Recorder {
+        match &self.obs {
+            ObsHandle::Noop => &aggsky_obs::NOOP,
+            ObsHandle::Shared(r) => r.as_ref(),
         }
     }
 

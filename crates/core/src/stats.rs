@@ -4,6 +4,8 @@
 //! hardware-independent measures of the work each optimization saves, and
 //! they are what the benchmark harness reports next to elapsed time.
 
+use aggsky_obs::{Counter, Recorder};
+
 /// Work counters for one aggregate-skyline computation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Stats {
@@ -49,19 +51,70 @@ pub struct Stats {
 impl Stats {
     /// Merges the counters of another run into this one (used by the
     /// parallel driver and by benchmark aggregation).
+    ///
+    /// The full-struct destructuring (no `..` rest pattern) is deliberate:
+    /// adding a field to [`Stats`] without deciding how it merges becomes a
+    /// compile error instead of a silently dropped counter.
     pub fn merge(&mut self, other: &Stats) {
-        self.group_pairs += other.group_pairs;
-        self.record_pairs += other.record_pairs;
-        self.bbox_resolved += other.bbox_resolved;
-        self.bbox_skipped_pairs += other.bbox_skipped_pairs;
-        self.early_stops += other.early_stops;
-        self.transitive_skips += other.transitive_skips;
-        self.index_candidates += other.index_candidates;
-        self.blocks_full += other.blocks_full;
-        self.blocks_skipped += other.blocks_skipped;
-        self.records_compared += other.records_compared;
-        self.worker_retries += other.worker_retries;
-        self.workers_quarantined += other.workers_quarantined;
+        let Stats {
+            group_pairs,
+            record_pairs,
+            bbox_resolved,
+            bbox_skipped_pairs,
+            early_stops,
+            transitive_skips,
+            index_candidates,
+            blocks_full,
+            blocks_skipped,
+            records_compared,
+            worker_retries,
+            workers_quarantined,
+        } = *other;
+        self.group_pairs += group_pairs;
+        self.record_pairs += record_pairs;
+        self.bbox_resolved += bbox_resolved;
+        self.bbox_skipped_pairs += bbox_skipped_pairs;
+        self.early_stops += early_stops;
+        self.transitive_skips += transitive_skips;
+        self.index_candidates += index_candidates;
+        self.blocks_full += blocks_full;
+        self.blocks_skipped += blocks_skipped;
+        self.records_compared += records_compared;
+        self.worker_retries += worker_retries;
+        self.workers_quarantined += workers_quarantined;
+    }
+
+    /// Dumps every counter into an observability recorder, field-for-field.
+    /// Same exhaustive destructuring as [`Stats::merge`]: a new field must
+    /// be mapped to an [`aggsky_obs::Counter`] (or explicitly ignored here)
+    /// before the crate compiles again.
+    pub fn record_to(&self, rec: &dyn Recorder) {
+        let Stats {
+            group_pairs,
+            record_pairs,
+            bbox_resolved,
+            bbox_skipped_pairs,
+            early_stops,
+            transitive_skips,
+            index_candidates,
+            blocks_full,
+            blocks_skipped,
+            records_compared,
+            worker_retries,
+            workers_quarantined,
+        } = *self;
+        rec.add(Counter::GroupPairs, group_pairs);
+        rec.add(Counter::RecordPairs, record_pairs);
+        rec.add(Counter::BboxResolved, bbox_resolved);
+        rec.add(Counter::BboxSkippedPairs, bbox_skipped_pairs);
+        rec.add(Counter::EarlyStops, early_stops);
+        rec.add(Counter::TransitiveSkips, transitive_skips);
+        rec.add(Counter::IndexCandidates, index_candidates);
+        rec.add(Counter::BlocksFull, blocks_full);
+        rec.add(Counter::BlocksSkipped, blocks_skipped);
+        rec.add(Counter::RecordsCompared, records_compared);
+        rec.add(Counter::WorkerRetries, worker_retries);
+        rec.add(Counter::WorkersQuarantined, workers_quarantined);
     }
 }
 
@@ -69,14 +122,52 @@ impl Stats {
 mod tests {
     use super::*;
 
+    /// A `Stats` with every field set to a distinct non-zero value, so a
+    /// field silently dropped by `merge` or `record_to` fails an assertion
+    /// rather than comparing 0 == 0.
+    fn all_nonzero() -> Stats {
+        Stats {
+            group_pairs: 1,
+            record_pairs: 2,
+            bbox_resolved: 3,
+            bbox_skipped_pairs: 4,
+            early_stops: 5,
+            transitive_skips: 6,
+            index_candidates: 7,
+            blocks_full: 8,
+            blocks_skipped: 9,
+            records_compared: 10,
+            worker_retries: 11,
+            workers_quarantined: 12,
+        }
+    }
+
     #[test]
     fn merge_adds_fields() {
-        let mut a = Stats { group_pairs: 1, record_pairs: 10, ..Stats::default() };
-        let b = Stats { group_pairs: 2, record_pairs: 5, early_stops: 1, ..Stats::default() };
+        let mut a = all_nonzero();
+        let b = all_nonzero();
         a.merge(&b);
-        assert_eq!(a.group_pairs, 3);
-        assert_eq!(a.record_pairs, 15);
-        assert_eq!(a.early_stops, 1);
+        assert_eq!(
+            a,
+            Stats {
+                group_pairs: 2,
+                record_pairs: 4,
+                bbox_resolved: 6,
+                bbox_skipped_pairs: 8,
+                early_stops: 10,
+                transitive_skips: 12,
+                index_candidates: 14,
+                blocks_full: 16,
+                blocks_skipped: 18,
+                records_compared: 20,
+                worker_retries: 22,
+                workers_quarantined: 24,
+            }
+        );
+        // Merging into a default leaves an exact copy: nothing dropped.
+        let mut zero = Stats::default();
+        zero.merge(&all_nonzero());
+        assert_eq!(zero, all_nonzero());
     }
 
     #[test]
@@ -86,5 +177,25 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.worker_retries, 3);
         assert_eq!(a.workers_quarantined, 1);
+    }
+
+    #[test]
+    fn record_to_exports_every_field() {
+        use aggsky_obs::{Counter, TraceRecorder};
+        let rec = TraceRecorder::new();
+        all_nonzero().record_to(&rec);
+        let snap = rec.snapshot();
+        assert_eq!(snap.metrics.counter(Counter::GroupPairs), 1);
+        assert_eq!(snap.metrics.counter(Counter::RecordPairs), 2);
+        assert_eq!(snap.metrics.counter(Counter::BboxResolved), 3);
+        assert_eq!(snap.metrics.counter(Counter::BboxSkippedPairs), 4);
+        assert_eq!(snap.metrics.counter(Counter::EarlyStops), 5);
+        assert_eq!(snap.metrics.counter(Counter::TransitiveSkips), 6);
+        assert_eq!(snap.metrics.counter(Counter::IndexCandidates), 7);
+        assert_eq!(snap.metrics.counter(Counter::BlocksFull), 8);
+        assert_eq!(snap.metrics.counter(Counter::BlocksSkipped), 9);
+        assert_eq!(snap.metrics.counter(Counter::RecordsCompared), 10);
+        assert_eq!(snap.metrics.counter(Counter::WorkerRetries), 11);
+        assert_eq!(snap.metrics.counter(Counter::WorkersQuarantined), 12);
     }
 }

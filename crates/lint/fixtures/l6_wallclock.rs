@@ -1,0 +1,17 @@
+//! Seeded L6 violations: wall-clock reads in ordinary library code, off
+//! the counting paths. Only the `::now()` call sites are reads — the
+//! import and the `Instant`-typed parameter must stay silent.
+
+use std::time::{Instant, SystemTime};
+
+pub fn bad_monotonic() -> Instant {
+    Instant::now()
+}
+
+pub fn bad_wall() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn fine(start: Instant) -> u64 {
+    start.elapsed().as_secs()
+}

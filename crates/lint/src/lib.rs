@@ -3,7 +3,7 @@
 //! An offline, dependency-free static-analysis pass over this workspace's
 //! own Rust sources. It tokenizes each library file with a hand-rolled
 //! scanner (same idiom as `crates/sql/src/lexer.rs`) and enforces the
-//! project rules L1–L5 described in [`rules`]; known-good legacy sites live
+//! project rules L1–L6 described in [`rules`]; known-good legacy sites live
 //! in a committed [`allowlist`], and results can be emitted as a
 //! machine-readable JSON [`report`].
 //!
@@ -15,9 +15,10 @@
 //! ```
 //!
 //! The scanned scope is the non-test library code of `core`, `spatial`,
-//! `sql` and `datagen`. `bench`, the root binary and this crate itself are
-//! dev-facing tools above the library layering DAG and are exempt by
-//! design; test code may panic freely and is stripped before analysis.
+//! `obs`, `sql` and `datagen`. `bench`, the root binary and this crate
+//! itself are dev-facing tools above the library layering DAG and are
+//! exempt by design; test code may panic freely and is stripped before
+//! analysis.
 
 #![warn(missing_docs)]
 
@@ -31,7 +32,7 @@ use rules::Finding;
 use std::path::{Path, PathBuf};
 
 /// Crates whose `src/` trees are analyzed.
-pub const SCANNED_CRATES: &[&str] = &["core", "spatial", "sql", "datagen"];
+pub const SCANNED_CRATES: &[&str] = &["core", "spatial", "obs", "sql", "datagen"];
 
 /// Collects the workspace-relative paths of every scanned `.rs` file under
 /// `root` (the workspace root), sorted for deterministic reports.

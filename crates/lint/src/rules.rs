@@ -7,8 +7,9 @@
 //! | L1 | `L1-index` | slice/array indexing `expr[…]` (panics on out-of-range) |
 //! | L2 | `L2-floatord` | `partial_cmp` calls and `==`/`!=`/`<`/`<=`/`>`/`>=` against float literals outside the sanctioned `ord` modules |
 //! | L3 | `L3-cast` | `as` casts to a numeric type that can truncate or wrap |
-//! | L4 | `L4-layering` | imports that violate the crate DAG (`spatial` → ∅, `core` → `spatial`, `sql`/`datagen` → `core`) |
+//! | L4 | `L4-layering` | imports that violate the crate DAG (`spatial`/`obs` → ∅, `core` → `spatial`+`obs`, `sql` → `core`+`obs`, `datagen` → `core`) |
 //! | L5 | `L5-determinism` | `Instant`/`SystemTime`/`thread::sleep`/`std::env` inside counting-path modules |
+//! | L6 | `L6-wallclock` | `Instant::now`/`SystemTime::now` reads anywhere in scanned library code (counting paths are covered by the stricter L5); the one sanctioned site is `obs::WallClock`, carried as a justified allowlist entry |
 //!
 //! Code under `#[cfg(test)]` (and any item carrying a `test` attribute) is
 //! stripped before the rules run: test code may panic freely.
@@ -48,14 +49,21 @@ const TRUNCATING_TARGETS: &[&str] =
 /// root binary are intentionally unconstrained consumers at the top of the
 /// DAG and are not scanned.
 const LAYERING: &[(&str, &[&str])] = &[
-    ("core", &["aggsky_spatial"]),
+    ("core", &["aggsky_spatial", "aggsky_obs"]),
     ("spatial", &[]),
-    ("sql", &["aggsky_core"]),
+    ("obs", &[]),
+    ("sql", &["aggsky_core", "aggsky_obs"]),
     ("datagen", &["aggsky_core"]),
 ];
 
-const INTERNAL_CRATES: &[&str] =
-    &["aggsky_core", "aggsky_spatial", "aggsky_sql", "aggsky_datagen", "aggsky_bench"];
+const INTERNAL_CRATES: &[&str] = &[
+    "aggsky_core",
+    "aggsky_spatial",
+    "aggsky_obs",
+    "aggsky_sql",
+    "aggsky_datagen",
+    "aggsky_bench",
+];
 
 /// Modules on the γ-dominance counting path, where wall-clock reads,
 /// sleeps and environment lookups would make verdicts or stats
@@ -90,6 +98,7 @@ pub fn analyze(path: &str, src: &str) -> Vec<Finding> {
     check_l3(path, &tokens, &mut findings);
     check_l4(path, &tokens, &mut findings);
     check_l5(path, &tokens, &mut findings);
+    check_l6(path, &tokens, &mut findings);
     findings
 }
 
@@ -358,6 +367,37 @@ fn check_l5(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
     }
 }
 
+/// L6: no wall-clock reads in library code. Flags `Instant::now` and
+/// `SystemTime::now` call sites in every scanned file off the counting
+/// paths (on them, L5 forbids the types outright). Wall time belongs to
+/// `obs::WallClock` and the bench crate; the former is the one sanctioned
+/// site, carried as a line-pinned, justified allowlist entry so any new
+/// clock read — even inside `obs` — still surfaces.
+fn check_l6(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    if COUNTING_PATHS.iter().any(|p| path == *p || (p.ends_with('/') && path.starts_with(p))) {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        let is_clock_type =
+            t.kind == Kind::Ident && matches!(t.text.as_str(), "Instant" | "SystemTime");
+        let is_read = is_clock_type
+            && tokens.get(i + 1).is_some_and(|n| n.is_sym("::"))
+            && tokens.get(i + 2).is_some_and(|n| n.is_ident("now"));
+        if is_read {
+            findings.push(Finding {
+                rule: "L6-wallclock",
+                path: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}::now()` reads the wall clock; take a Stamp from obs::WallClock (or \
+                     move the timing into the bench crate)",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
 /// Extracts the crate name from a `crates/<name>/src/…` path.
 fn crate_of(path: &str) -> Option<&str> {
     let rest = path.strip_prefix("crates/")?;
@@ -440,12 +480,38 @@ mod tests {
             rules_at("crates/core/src/paircount.rs", src),
             vec![("L5-determinism", 1), ("L5-determinism", 2)]
         );
-        assert!(rules_at("crates/core/src/stats.rs", src).is_empty());
+        // Off the counting paths L5 is silent; the actual clock read is
+        // still caught, by the workspace-wide L6.
+        assert_eq!(rules_at("crates/core/src/stats.rs", src), vec![("L6-wallclock", 2)]);
         let env = "fn f() { let v = std::env::var(\"X\"); }";
         assert_eq!(
             rules_at("crates/core/src/algorithms/parallel.rs", env),
             vec![("L5-determinism", 1)]
         );
+    }
+
+    #[test]
+    fn l6_flags_clock_reads_everywhere_but_counting_paths() {
+        let src = "use std::time::{Instant, SystemTime};\n\
+                   fn f() { let t = Instant::now(); }\n\
+                   fn g() { let t = SystemTime::now(); }\n\
+                   fn h(start: Instant) -> bool { start.elapsed().as_secs() > 0 }\n";
+        // The `use` and the `Instant` parameter type are not reads; the two
+        // `::now()` calls are, in every scanned crate including obs.
+        for path in
+            ["crates/sql/src/exec.rs", "crates/core/src/stats.rs", "crates/obs/src/clock.rs"]
+        {
+            assert_eq!(
+                rules_at(path, src),
+                vec![("L6-wallclock", 2), ("L6-wallclock", 3)],
+                "{path}"
+            );
+        }
+        // On a counting path L5 owns the diagnosis (it forbids the types
+        // outright, not just the reads) and L6 stays silent.
+        assert!(rules_at("crates/core/src/kernel.rs", src)
+            .iter()
+            .all(|(rule, _)| *rule == "L5-determinism"));
     }
 
     #[test]

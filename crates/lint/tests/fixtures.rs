@@ -81,9 +81,35 @@ fn l5_fixture_flags_clock_sleep_and_env_on_counting_paths() {
             ("L5-determinism", 9), // std::env::var
         ]
     );
-    // Off the counting paths (e.g. the stats module) the rule is silent.
-    assert!(findings("crates/core/src/stats.rs", include_str!("../fixtures/l5_determinism.rs"))
-        .is_empty());
+    // Off the counting paths (e.g. the stats module) L5 is silent, but the
+    // workspace-wide L6 still catches the actual clock read.
+    assert_eq!(
+        findings("crates/core/src/stats.rs", include_str!("../fixtures/l5_determinism.rs")),
+        vec![("L6-wallclock", 7)] // Instant::now()
+    );
+}
+
+#[test]
+fn l6_fixture_flags_wallclock_reads_in_every_scanned_crate() {
+    for path in ["crates/sql/src/fixture_l6.rs", "crates/obs/src/fixture_l6.rs"] {
+        assert_eq!(
+            findings(path, include_str!("../fixtures/l6_wallclock.rs")),
+            vec![
+                ("L6-wallclock", 8),  // Instant::now()
+                ("L6-wallclock", 12), // SystemTime::now()
+            ],
+            "{path}: the import and the Instant-typed parameter must not be flagged"
+        );
+    }
+    // On a counting path the stricter L5 owns the diagnosis instead.
+    let counting = findings(
+        "crates/core/src/algorithms/fixture_l6.rs",
+        include_str!("../fixtures/l6_wallclock.rs"),
+    );
+    assert!(
+        counting.iter().all(|(rule, _)| *rule == "L5-determinism") && !counting.is_empty(),
+        "expected only L5 findings on a counting path, got {counting:?}"
+    );
 }
 
 #[test]
@@ -133,11 +159,11 @@ fn workspace_without_allowlist_sees_the_suppressed_debt() {
 
 #[test]
 fn cli_exits_nonzero_on_seeded_violations_and_zero_when_allowlisted() {
-    // A minimal fake workspace: the four scanned crate src dirs, one of
-    // which contains the seeded L1 fixture.
+    // A minimal fake workspace: the scanned crate src dirs, one of which
+    // contains the seeded L1 fixture.
     let dir = std::env::temp_dir().join(format!("aggsky-lint-fixture-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    for krate in ["core", "spatial", "sql", "datagen"] {
+    for krate in aggsky_lint::SCANNED_CRATES {
         std::fs::create_dir_all(dir.join("crates").join(krate).join("src")).unwrap();
     }
     std::fs::write(dir.join("crates/core/src/bad.rs"), include_str!("../fixtures/l1_panics.rs"))

@@ -1,0 +1,170 @@
+//! Chrome trace-event JSON export (the legacy "JSON Array Format" that
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) both load).
+//!
+//! Each finished span becomes one complete (`"ph":"X"`) event with `ts` and
+//! `dur` taken verbatim from its stamps (ticks are written as if they were
+//! microseconds — one tick = one record pair = one "µs" on the timeline).
+//! Unfinished spans become begin (`"B"`) events, instant events become
+//! `"i"` events, and each track gets a `thread_name` metadata record so
+//! Perfetto labels the rows `main` / `worker-0` / `worker-1` / ….
+//!
+//! The writer is fully deterministic: spans are emitted in id order, events
+//! in sequence order, tracks sorted, and every number is an integer —
+//! identical recordings serialize to identical bytes.
+
+use crate::clock::Stamp;
+use crate::recorder::TraceSnapshot;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Serializes a snapshot to Chrome trace-event JSON.
+pub fn export_chrome(snap: &TraceSnapshot) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    let mut tracks: BTreeSet<u32> = BTreeSet::new();
+    for s in &snap.spans {
+        tracks.insert(s.track);
+    }
+    for e in &snap.events {
+        tracks.insert(e.track);
+    }
+    for t in &tracks {
+        let name = if *t == 0 { "main".to_string() } else { format!("worker-{}", t - 1) };
+        sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{t},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(&name)
+        );
+    }
+    for s in &snap.spans {
+        sep(&mut out, &mut first);
+        match s.end {
+            Some(end) => {
+                let dur = end.value.saturating_sub(s.start.value);
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{dur},\
+                     \"pid\":0,\"tid\":{}",
+                    escape(s.name),
+                    s.start.domain.label(),
+                    s.start.value,
+                    s.track
+                );
+            }
+            None => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"B\",\"ts\":{},\"pid\":0,\"tid\":{}",
+                    escape(s.name),
+                    s.start.domain.label(),
+                    s.start.value,
+                    s.track
+                );
+            }
+        }
+        out.push_str(",\"args\":{");
+        let _ = write!(out, "\"span_id\":{},\"parent\":{}", s.id, s.parent);
+        for (k, v) in &s.args {
+            let _ = write!(out, ",\"{}\":{v}", escape(k));
+        }
+        out.push_str("}}");
+    }
+    for e in &snap.events {
+        sep(&mut out, &mut first);
+        let Stamp { domain, value } = e.at;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{value},\"pid\":0,\
+             \"tid\":{},\"s\":\"t\"",
+            escape(e.name),
+            domain.label(),
+            e.track
+        );
+        out.push_str(",\"args\":{");
+        let mut afirst = true;
+        for (k, v) in &e.args {
+            if !afirst {
+                out.push(',');
+            }
+            afirst = false;
+            let _ = write!(out, "\"{}\":{v}", escape(k));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Stamp;
+    use crate::metrics::{Counter, Hist};
+    use crate::recorder::{Recorder, TraceRecorder};
+
+    fn sample() -> TraceSnapshot {
+        let rec = TraceRecorder::new();
+        let a = rec.span_start("prepare", 0, Stamp::tick(0));
+        rec.span_end(a, Stamp::tick(10), &[("blocks", 4)]);
+        let b = rec.span_start("worker", 1, Stamp::tick(0));
+        rec.event("retry", 1, Stamp::tick(3), &[("chunk", 2)]);
+        rec.span_end(b, Stamp::tick(20), &[]);
+        rec.span_start("open", 0, Stamp::tick(20));
+        rec.add(Counter::RecordPairs, 30);
+        rec.observe(Hist::ChunkSize, 2);
+        rec.snapshot()
+    }
+
+    #[test]
+    fn exports_valid_looking_json_array() {
+        let json = export_chrome(&sample());
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("\n]\n"));
+        assert!(json.contains("\"ph\":\"X\""), "finished span → complete event");
+        assert!(json.contains("\"ph\":\"B\""), "unfinished span → begin event");
+        assert!(json.contains("\"ph\":\"i\""), "instant event present");
+        assert!(json.contains("\"name\":\"worker-0\""), "track metadata present");
+        assert!(json.contains("\"dur\":10"));
+        assert!(json.contains("\"blocks\":4"));
+        assert_eq!(json.matches("thread_name").count(), 2);
+    }
+
+    #[test]
+    fn identical_recordings_export_identical_bytes() {
+        assert_eq!(export_chrome(&sample()), export_chrome(&sample()));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

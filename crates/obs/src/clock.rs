@@ -1,0 +1,110 @@
+//! The two clock domains and their timestamps.
+//!
+//! Everything on a counting path is stamped in the **tick** domain: the
+//! virtual clock advanced by record-pair comparisons (`Stats::record_pairs`
+//! in `aggsky-core`, `SharedState::spent` in the parallel scheduler). Tick
+//! stamps are a pure function of the input and configuration, which is what
+//! makes traces byte-identical across runs (DESIGN.md §11).
+//!
+//! The **wall** domain is real elapsed time in microseconds. It exists for
+//! the bench harness and for consumers that deliberately opt out of
+//! determinism; library crates must never read it (lint rule L6 forbids
+//! `Instant`/`SystemTime` outside `crates/obs` and `crates/bench`), so the
+//! only sanctioned wall-clock source is [`WallClock`] in this module.
+
+use std::time::Instant;
+
+/// Which clock a [`Stamp`] was taken from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ClockDomain {
+    /// Deterministic virtual time: record pairs spent so far.
+    Tick,
+    /// Wall-clock microseconds since some recorder-local epoch.
+    Wall,
+}
+
+impl ClockDomain {
+    /// Short lowercase label used as the Chrome-trace event category.
+    pub const fn label(self) -> &'static str {
+        match self {
+            ClockDomain::Tick => "tick",
+            ClockDomain::Wall => "wall",
+        }
+    }
+}
+
+/// A timestamp: a domain plus a monotonically non-decreasing value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Stamp {
+    /// The clock the value was read from.
+    pub domain: ClockDomain,
+    /// Ticks (record pairs) or wall microseconds, depending on `domain`.
+    pub value: u64,
+}
+
+impl Stamp {
+    /// Tick zero: the start of every deterministic run.
+    pub const ZERO: Stamp = Stamp::tick(0);
+
+    /// A deterministic virtual-clock stamp.
+    pub const fn tick(value: u64) -> Stamp {
+        Stamp { domain: ClockDomain::Tick, value }
+    }
+
+    /// A wall-clock stamp in microseconds.
+    pub const fn wall_micros(value: u64) -> Stamp {
+        Stamp { domain: ClockDomain::Wall, value }
+    }
+}
+
+/// A wall-clock stopwatch, the only sanctioned source of wall time for
+/// instrumented code. Created once per recording session; all wall stamps
+/// are offsets from its start, so traces never leak absolute times.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    /// Starts the stopwatch now.
+    pub fn start() -> WallClock {
+        WallClock { start: Instant::now() }
+    }
+
+    /// Microseconds elapsed since [`WallClock::start`], saturating.
+    pub fn elapsed_micros(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// The current wall stamp relative to the stopwatch's start.
+    pub fn stamp(&self) -> Stamp {
+        Stamp::wall_micros(self.elapsed_micros())
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> WallClock {
+        WallClock::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_stamps_order_by_value() {
+        assert!(Stamp::tick(1) < Stamp::tick(2));
+        assert_eq!(Stamp::ZERO, Stamp::tick(0));
+        assert_eq!(Stamp::tick(7).domain.label(), "tick");
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let w = WallClock::start();
+        let a = w.elapsed_micros();
+        let b = w.elapsed_micros();
+        assert!(b >= a);
+        assert_eq!(w.stamp().domain, ClockDomain::Wall);
+    }
+}

@@ -1,0 +1,417 @@
+//! The static metric registry: named counters and log2-bucketed histograms.
+//!
+//! Metric identity is a closed enum rather than a string so every
+//! observation site is a compile-time constant: no interning, no hashing,
+//! no allocation on the hot path. Counters mirror the `Stats` struct of
+//! `aggsky-core` one-to-one (plus a few SQL-executor extras); histograms
+//! capture *distributions* the flat counters cannot — record pairs per
+//! group pair, scheduler chunk sizes, straddle-block fanout.
+//!
+//! Histogram buckets are powers of two: bucket `i` holds values `v` with
+//! `2^(i-1) ≤ v < 2^i` (bucket 0 holds exactly `v = 0`), i.e. the bucket
+//! index is the number of significant bits. 65 buckets cover all of `u64`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets: one per significant-bit count of a `u64`,
+/// plus one for zero.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A named monotone counter. The first twelve variants mirror
+/// `aggsky_core::Stats` field-for-field; the `Sql*` variants are recorded
+/// by the SQL executor only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Counter {
+    /// Ordered group pairs whose γ-dominance was evaluated.
+    GroupPairs,
+    /// Record pairs charged to the virtual clock.
+    RecordPairs,
+    /// Group pairs resolved by bounding-box corners alone.
+    BboxResolved,
+    /// Record pairs skipped thanks to bounding-box resolution.
+    BboxSkippedPairs,
+    /// Pair counts cut short by the §3.3 stopping rule.
+    EarlyStops,
+    /// Comparisons avoided by the transitivity rule.
+    TransitiveSkips,
+    /// Candidate groups returned by index window queries.
+    IndexCandidates,
+    /// Block pairs classified all-dominating by corner tests.
+    BlocksFull,
+    /// Block pairs classified none-dominating by corner tests.
+    BlocksSkipped,
+    /// Record pairs actually compared inside straddle blocks.
+    RecordsCompared,
+    /// Scheduler chunks retried after a worker fault.
+    WorkerRetries,
+    /// Workers quarantined after repeated faults.
+    WorkersQuarantined,
+    /// Table rows scanned by the SQL executor (post-residual-filter).
+    SqlRowsScanned,
+    /// Groups materialized by the SQL aggregation pipeline.
+    SqlGroupsBuilt,
+}
+
+impl Counter {
+    /// Every counter, in export order.
+    pub const ALL: [Counter; 14] = [
+        Counter::GroupPairs,
+        Counter::RecordPairs,
+        Counter::BboxResolved,
+        Counter::BboxSkippedPairs,
+        Counter::EarlyStops,
+        Counter::TransitiveSkips,
+        Counter::IndexCandidates,
+        Counter::BlocksFull,
+        Counter::BlocksSkipped,
+        Counter::RecordsCompared,
+        Counter::WorkerRetries,
+        Counter::WorkersQuarantined,
+        Counter::SqlRowsScanned,
+        Counter::SqlGroupsBuilt,
+    ];
+
+    /// Prometheus metric name (`_total` suffix per convention).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::GroupPairs => "aggsky_group_pairs_total",
+            Counter::RecordPairs => "aggsky_record_pairs_total",
+            Counter::BboxResolved => "aggsky_bbox_resolved_total",
+            Counter::BboxSkippedPairs => "aggsky_bbox_skipped_pairs_total",
+            Counter::EarlyStops => "aggsky_early_stops_total",
+            Counter::TransitiveSkips => "aggsky_transitive_skips_total",
+            Counter::IndexCandidates => "aggsky_index_candidates_total",
+            Counter::BlocksFull => "aggsky_blocks_full_total",
+            Counter::BlocksSkipped => "aggsky_blocks_skipped_total",
+            Counter::RecordsCompared => "aggsky_records_compared_total",
+            Counter::WorkerRetries => "aggsky_worker_retries_total",
+            Counter::WorkersQuarantined => "aggsky_workers_quarantined_total",
+            Counter::SqlRowsScanned => "aggsky_sql_rows_scanned_total",
+            Counter::SqlGroupsBuilt => "aggsky_sql_groups_built_total",
+        }
+    }
+
+    const fn index(self) -> usize {
+        match self {
+            Counter::GroupPairs => 0,
+            Counter::RecordPairs => 1,
+            Counter::BboxResolved => 2,
+            Counter::BboxSkippedPairs => 3,
+            Counter::EarlyStops => 4,
+            Counter::TransitiveSkips => 5,
+            Counter::IndexCandidates => 6,
+            Counter::BlocksFull => 7,
+            Counter::BlocksSkipped => 8,
+            Counter::RecordsCompared => 9,
+            Counter::WorkerRetries => 10,
+            Counter::WorkersQuarantined => 11,
+            Counter::SqlRowsScanned => 12,
+            Counter::SqlGroupsBuilt => 13,
+        }
+    }
+}
+
+/// A named log2-bucketed histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Hist {
+    /// Record pairs charged per evaluated group pair.
+    RecordPairsPerGroupPair,
+    /// Groups per chunk popped by a scheduler worker.
+    ChunkSize,
+    /// Record pairs compared per straddling block scan of a group pair.
+    StraddleFanout,
+    /// Candidate groups per index window query.
+    WindowCandidates,
+}
+
+impl Hist {
+    /// Every histogram, in export order.
+    pub const ALL: [Hist; 4] = [
+        Hist::RecordPairsPerGroupPair,
+        Hist::ChunkSize,
+        Hist::StraddleFanout,
+        Hist::WindowCandidates,
+    ];
+
+    /// Prometheus metric family name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Hist::RecordPairsPerGroupPair => "aggsky_record_pairs_per_group_pair",
+            Hist::ChunkSize => "aggsky_chunk_size_groups",
+            Hist::StraddleFanout => "aggsky_straddle_fanout_pairs",
+            Hist::WindowCandidates => "aggsky_window_candidates",
+        }
+    }
+
+    const fn index(self) -> usize {
+        match self {
+            Hist::RecordPairsPerGroupPair => 0,
+            Hist::ChunkSize => 1,
+            Hist::StraddleFanout => 2,
+            Hist::WindowCandidates => 3,
+        }
+    }
+}
+
+/// Bucket index of `value`: its number of significant bits (0 for 0).
+pub fn bucket_of(value: u64) -> usize {
+    let bits = 64u32.saturating_sub(value.leading_zeros());
+    usize::try_from(bits).unwrap_or(HIST_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (`2^i − 1`); bucket 0 holds only 0.
+pub fn bucket_le(i: usize) -> u128 {
+    1u128.checked_shl(u32::try_from(i.min(64)).unwrap_or(64)).map_or(u128::MAX, |p| p - 1)
+}
+
+/// An immutable point-in-time copy of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket observation counts (see [`bucket_of`]).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total number of observations.
+    pub count: u64,
+    /// Saturating sum of all observed values.
+    pub sum: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> HistSnapshot {
+        HistSnapshot { buckets: [0; HIST_BUCKETS], count: 0, sum: 0 }
+    }
+}
+
+impl HistSnapshot {
+    /// Records one value.
+    pub fn observe(&mut self, value: u64) {
+        if let Some(b) = self.buckets.get_mut(bucket_of(value)) {
+            *b = b.saturating_add(1);
+        }
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Adds `other` into `self` bucket-wise. Associative, commutative, and
+    /// count-conserving (verified by a seeded property test).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Upper bound of the smallest bucket whose cumulative count reaches
+    /// `q` per-mille of the total (e.g. `500` → median). `None` when empty.
+    pub fn quantile_le(&self, q_permille: u64) -> Option<u128> {
+        if self.count == 0 {
+            return None;
+        }
+        let threshold = (u128::from(self.count) * u128::from(q_permille)).div_ceil(1000);
+        let mut cum: u128 = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += u128::from(*b);
+            if cum >= threshold {
+                return Some(bucket_le(i));
+            }
+        }
+        Some(bucket_le(HIST_BUCKETS - 1))
+    }
+}
+
+struct AtomicHist {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl AtomicHist {
+    fn new() -> AtomicHist {
+        AtomicHist {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, value: u64) {
+        if let Some(b) = self.buckets.get(bucket_of(value)) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| {
+                self.buckets.get(i).map_or(0, |b| b.load(Ordering::Relaxed))
+            }),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Lock-free storage for every [`Counter`] and [`Hist`]. Shared by
+/// reference between the recorder and any number of worker threads.
+pub struct MetricsRegistry {
+    counters: [AtomicU64; Counter::ALL.len()],
+    hists: [AtomicHist; Hist::ALL.len()],
+}
+
+impl MetricsRegistry {
+    /// A registry with every metric at zero.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: std::array::from_fn(|_| AtomicHist::new()),
+        }
+    }
+
+    /// Adds `delta` to a counter.
+    pub fn add(&self, counter: Counter, delta: u64) {
+        if let Some(c) = self.counters.get(counter.index()) {
+            c.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one histogram observation.
+    pub fn observe(&self, hist: Hist, value: u64) {
+        if let Some(h) = self.hists.get(hist.index()) {
+            h.observe(value);
+        }
+    }
+
+    /// Current value of one counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters.get(counter.index()).map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Copies every metric out into an immutable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: std::array::from_fn(|i| {
+                self.counters.get(i).map_or(0, |c| c.load(Ordering::Relaxed))
+            }),
+            hists: std::array::from_fn(|i| {
+                self.hists.get(i).map_or_else(HistSnapshot::default, AtomicHist::snapshot)
+            }),
+        }
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry").finish_non_exhaustive()
+    }
+}
+
+/// An immutable point-in-time copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    counters: [u64; Counter::ALL.len()],
+    hists: [HistSnapshot; Hist::ALL.len()],
+}
+
+impl MetricsSnapshot {
+    /// An all-zero snapshot.
+    pub fn empty() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: [0; Counter::ALL.len()],
+            hists: [HistSnapshot::default(); Hist::ALL.len()],
+        }
+    }
+
+    /// Value of one counter at snapshot time.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters.get(counter.index()).copied().unwrap_or(0)
+    }
+
+    /// One histogram at snapshot time.
+    pub fn hist(&self, hist: Hist) -> HistSnapshot {
+        self.hists.get(hist.index()).copied().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        // Inclusive upper bounds match the index rule.
+        assert_eq!(bucket_le(0), 0);
+        assert_eq!(bucket_le(1), 1);
+        assert_eq!(bucket_le(3), 7);
+        assert_eq!(bucket_le(64), u128::from(u64::MAX));
+        for v in [0u64, 1, 2, 3, 4, 5, 100, 1 << 33, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(u128::from(v) <= bucket_le(b), "{v} above le of its bucket {b}");
+            if b > 0 {
+                assert!(u128::from(v) > bucket_le(b - 1), "{v} fits an earlier bucket than {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn registry_counts_and_snapshots() {
+        let reg = MetricsRegistry::new();
+        reg.add(Counter::RecordPairs, 5);
+        reg.add(Counter::RecordPairs, 7);
+        reg.observe(Hist::ChunkSize, 3);
+        reg.observe(Hist::ChunkSize, 9);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(Counter::RecordPairs), 12);
+        assert_eq!(snap.counter(Counter::GroupPairs), 0);
+        let h = snap.hist(Hist::ChunkSize);
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 12);
+        assert_eq!(h.buckets[bucket_of(3)], 1);
+        assert_eq!(h.buckets[bucket_of(9)], 1);
+    }
+
+    #[test]
+    fn quantile_bounds_are_sane() {
+        let mut h = HistSnapshot::default();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        let p50 = h.quantile_le(500).unwrap();
+        let p100 = h.quantile_le(1000).unwrap();
+        assert!(p50 >= 50, "median bound {p50} below true median");
+        assert!(p100 >= 100);
+        assert!(p50 <= p100);
+        assert_eq!(HistSnapshot::default().quantile_le(500), None);
+    }
+
+    #[test]
+    fn counter_and_hist_indices_are_dense_and_unique() {
+        let mut seen = [false; Counter::ALL.len()];
+        for c in Counter::ALL {
+            assert!(!seen[c.index()], "duplicate counter index");
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+        let mut hseen = [false; Hist::ALL.len()];
+        for h in Hist::ALL {
+            assert!(!hseen[h.index()], "duplicate hist index");
+            hseen[h.index()] = true;
+        }
+        assert!(hseen.iter().all(|s| *s));
+    }
+}

@@ -1,0 +1,260 @@
+//! Prometheus text exposition (version 0.0.4) export and a small in-tree
+//! format checker used by tests and CI.
+//!
+//! Counters become `# TYPE name counter` + one sample. Histograms follow
+//! the standard cumulative-bucket convention: `name_bucket{le="…"}` lines
+//! in increasing `le` order ending with `le="+Inf"`, then `name_sum` and
+//! `name_count`. Bucket boundaries are the log2 upper bounds of
+//! [`crate::metrics::bucket_le`]; empty tail buckets are trimmed (the
+//! `+Inf` bucket always remains), so output size tracks the data.
+
+use crate::metrics::{bucket_le, Counter, Hist, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// Serializes every counter and histogram to Prometheus text format.
+pub fn export_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for c in Counter::ALL {
+        let name = c.name();
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {}", snap.counter(c));
+    }
+    for h in Hist::ALL {
+        let name = h.name();
+        let hist = snap.hist(h);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let last_nonzero = hist.buckets.iter().rposition(|b| *b > 0);
+        let mut cum: u64 = 0;
+        if let Some(last) = last_nonzero {
+            for (i, b) in hist.buckets.iter().enumerate().take(last + 1) {
+                cum = cum.saturating_add(*b);
+                let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", bucket_le(i));
+            }
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
+        let _ = writeln!(out, "{name}_sum {}", hist.sum);
+        let _ = writeln!(out, "{name}_count {}", hist.count);
+    }
+    out
+}
+
+/// Checks `text` against the subset of the Prometheus exposition format
+/// this crate emits: `# TYPE` declarations before their samples, legal
+/// metric names, integer values, and for histograms monotone cumulative
+/// buckets terminated by `+Inf` with `_count` equal to the `+Inf` bucket.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    let mut declared: Vec<(String, String)> = Vec::new();
+    // In-flight histogram check state: (family, prev cumulative, inf seen, count seen).
+    let mut hist: Option<HistCheck> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(name), Some(kind)) = (parts.next(), parts.next()) else {
+                return Err(format!("line {n}: malformed TYPE line"));
+            };
+            if parts.next().is_some() {
+                return Err(format!("line {n}: trailing tokens after TYPE"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("line {n}: unknown metric kind `{kind}`"));
+            }
+            if !valid_name(name) {
+                return Err(format!("line {n}: invalid metric name `{name}`"));
+            }
+            if declared.iter().any(|(d, _)| d == name) {
+                return Err(format!("line {n}: duplicate TYPE for `{name}`"));
+            }
+            finish_hist(&hist, n)?;
+            hist = (kind == "histogram").then(|| HistCheck::new(name));
+            declared.push((name.to_string(), kind.to_string()));
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        let (name_and_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {n}: sample line without a value"))?;
+        let value: u64 =
+            value.parse().map_err(|_| format!("line {n}: non-integer value `{value}`"))?;
+        let (name, labels) = match name_and_labels.split_once('{') {
+            Some((name, rest)) => {
+                let labels = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {n}: unterminated label set"))?;
+                (name, Some(labels))
+            }
+            None => (name_and_labels, None),
+        };
+        if !valid_name(name) {
+            return Err(format!("line {n}: invalid metric name `{name}`"));
+        }
+        let family = family_of(name);
+        if !declared.iter().any(|(d, _)| d == family) {
+            return Err(format!("line {n}: sample `{name}` precedes its TYPE declaration"));
+        }
+        if let Some(chk) = hist.as_mut() {
+            if family == chk.family {
+                chk.sample(name, labels, value, n)?;
+                continue;
+            }
+        }
+        if labels.is_some() {
+            return Err(format!("line {n}: unexpected labels on non-histogram `{name}`"));
+        }
+    }
+    finish_hist(&hist, text.lines().count())?;
+    Ok(())
+}
+
+struct HistCheck {
+    family: String,
+    prev_cum: u64,
+    inf: Option<u64>,
+    count: Option<u64>,
+    sum_seen: bool,
+}
+
+impl HistCheck {
+    fn new(family: &str) -> HistCheck {
+        HistCheck {
+            family: family.to_string(),
+            prev_cum: 0,
+            inf: None,
+            count: None,
+            sum_seen: false,
+        }
+    }
+
+    fn sample(
+        &mut self,
+        name: &str,
+        labels: Option<&str>,
+        value: u64,
+        n: usize,
+    ) -> Result<(), String> {
+        if name == format!("{}_bucket", self.family) {
+            let le = labels
+                .and_then(|l| l.strip_prefix("le=\""))
+                .and_then(|l| l.strip_suffix('"'))
+                .ok_or_else(|| format!("line {n}: bucket sample without an le label"))?;
+            if self.inf.is_some() {
+                return Err(format!("line {n}: bucket after le=\"+Inf\""));
+            }
+            if value < self.prev_cum {
+                return Err(format!(
+                    "line {n}: cumulative bucket decreased ({} → {value})",
+                    self.prev_cum
+                ));
+            }
+            self.prev_cum = value;
+            if le == "+Inf" {
+                self.inf = Some(value);
+            } else if le.parse::<u128>().is_err() {
+                return Err(format!("line {n}: non-numeric le `{le}`"));
+            }
+        } else if name == format!("{}_sum", self.family) {
+            self.sum_seen = true;
+        } else if name == format!("{}_count", self.family) {
+            self.count = Some(value);
+        } else {
+            return Err(format!("line {n}: unexpected sample `{name}` inside histogram"));
+        }
+        Ok(())
+    }
+}
+
+fn finish_hist(hist: &Option<HistCheck>, n: usize) -> Result<(), String> {
+    let Some(chk) = hist else { return Ok(()) };
+    let inf = chk
+        .inf
+        .ok_or_else(|| format!("line {n}: histogram `{}` has no +Inf bucket", chk.family))?;
+    if !chk.sum_seen {
+        return Err(format!("line {n}: histogram `{}` has no _sum", chk.family));
+    }
+    match chk.count {
+        Some(c) if c == inf => Ok(()),
+        Some(c) => Err(format!("line {n}: `{}` _count {c} != +Inf bucket {inf}", chk.family)),
+        None => Err(format!("line {n}: histogram `{}` has no _count", chk.family)),
+    }
+}
+
+/// Strips the `_bucket`/`_sum`/`_count` histogram suffixes.
+fn family_of(name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stem) = name.strip_suffix(suffix) {
+            return stem;
+        }
+    }
+    name
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else { return false };
+    (first.is_ascii_alphabetic() || first == '_' || first == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Counter, Hist, MetricsRegistry};
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let reg = MetricsRegistry::new();
+        reg.add(Counter::RecordPairs, 42);
+        reg.add(Counter::GroupPairs, 6);
+        for v in [0u64, 1, 2, 3, 9, 1000] {
+            reg.observe(Hist::RecordPairsPerGroupPair, v);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn export_validates_and_contains_expected_lines() {
+        let text = export_prometheus(&sample_snapshot());
+        validate_prometheus(&text).unwrap();
+        assert!(text.contains("# TYPE aggsky_record_pairs_total counter"));
+        assert!(text.contains("aggsky_record_pairs_total 42"));
+        assert!(text.contains("# TYPE aggsky_record_pairs_per_group_pair histogram"));
+        assert!(text.contains("aggsky_record_pairs_per_group_pair_bucket{le=\"+Inf\"} 6"));
+        assert!(text.contains("aggsky_record_pairs_per_group_pair_sum 1015"));
+        assert!(text.contains("aggsky_record_pairs_per_group_pair_count 6"));
+        // le="1023" is the bucket holding 1000 (2^10 − 1).
+        assert!(text.contains("le=\"1023\""));
+    }
+
+    #[test]
+    fn empty_registry_still_validates() {
+        let text = export_prometheus(&MetricsRegistry::new().snapshot());
+        validate_prometheus(&text).unwrap();
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        assert_eq!(export_prometheus(&sample_snapshot()), export_prometheus(&sample_snapshot()));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_text() {
+        assert!(validate_prometheus("no_type_decl 5\n").is_err());
+        assert!(validate_prometheus("# TYPE m counter\nm not_a_number\n").is_err());
+        assert!(validate_prometheus("# TYPE m counter\n# TYPE m counter\n").is_err());
+        assert!(validate_prometheus("# TYPE 9bad counter\n9bad 1\n").is_err());
+        // Histogram with decreasing cumulative buckets.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"3\"} 2\n\
+                   h_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n";
+        assert!(validate_prometheus(bad).is_err());
+        // Histogram whose _count disagrees with the +Inf bucket.
+        let bad2 = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 4\n";
+        assert!(validate_prometheus(bad2).is_err());
+        // Histogram missing the +Inf bucket entirely.
+        let bad3 = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 9\nh_count 5\n";
+        assert!(validate_prometheus(bad3).is_err());
+    }
+}

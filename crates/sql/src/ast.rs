@@ -323,6 +323,15 @@ pub enum InsertSource {
 pub enum Statement {
     /// `SELECT ...`.
     Select(SelectStmt),
+    /// `EXPLAIN [ANALYZE] SELECT ...` — plan description; with `ANALYZE`
+    /// the query is executed under a trace recorder and the result is the
+    /// span tree with counters inline.
+    Explain {
+        /// True for `EXPLAIN ANALYZE` (execute and report measurements).
+        analyze: bool,
+        /// The explained query.
+        stmt: Box<SelectStmt>,
+    },
     /// `CREATE TABLE name (col type, ...)`.
     CreateTable {
         /// Table name.

@@ -186,6 +186,9 @@ impl fmt::Display for Statement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Statement::Select(s) => write!(f, "{s}"),
+            Statement::Explain { analyze, stmt } => {
+                write!(f, "EXPLAIN {}{stmt}", if *analyze { "ANALYZE " } else { "" })
+            }
             Statement::CreateTable { name, columns } => {
                 write!(f, "CREATE TABLE {name} (")?;
                 for (i, (col, ty)) in columns.iter().enumerate() {
@@ -272,6 +275,8 @@ mod tests {
             "DROP TABLE t",
             "SET TIMEOUT 5000",
             "SET TIMEOUT 0",
+            "EXPLAIN SELECT * FROM movie WHERE pop > 3",
+            "EXPLAIN ANALYZE SELECT d FROM m GROUP BY d SKYLINE OF pop MAX, qual MAX GAMMA 0.75",
         ];
         for sql in samples {
             let ast = parse(sql).unwrap();

@@ -63,6 +63,18 @@ impl Database {
             Statement::Select(stmt) => {
                 execute_select_ctx(&self.catalog, &stmt, &self.run_context())
             }
+            Statement::Explain { analyze, stmt } => {
+                if analyze {
+                    crate::exec::explain_analyze_select(&self.catalog, &stmt, &self.run_context())
+                } else {
+                    let text = crate::exec::explain_select(&self.catalog, &stmt)?;
+                    Ok(QueryResult {
+                        columns: vec!["EXPLAIN".to_string()],
+                        rows: text.lines().map(|l| vec![Value::Str(l.to_string())]).collect(),
+                        interrupted: None,
+                    })
+                }
+            }
             Statement::SetTimeout(ticks) => {
                 self.timeout_ticks = ticks;
                 Ok(QueryResult {

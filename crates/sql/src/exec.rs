@@ -15,7 +15,9 @@ use crate::plan::{eval, AggCall, Compiler, RExpr, Schema};
 use crate::pushdown::ScanPlan;
 use crate::value::Value;
 use aggsky_core::{InterruptReason, RunContext};
+use aggsky_obs::{render_summary, Counter, Stamp, TraceRecorder};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// How a query that ran out of budget (or was cancelled) degraded: the
 /// returned rows are the groups *proven* to belong to the skyline; this
@@ -94,6 +96,7 @@ pub fn execute_select_ctx(
     stmt: &SelectStmt,
     ctx: &RunContext,
 ) -> Result<QueryResult> {
+    let select_span = ctx.obs().map_or(0, |rec| rec.span_start("select", 0, Stamp::ZERO));
     // ---- resolve FROM ----
     let mut tables = Vec::with_capacity(stmt.from.len());
     let mut schema = Schema { columns: Vec::new() };
@@ -245,7 +248,7 @@ pub fn execute_select_ctx(
             &mut interrupted,
         )?
     } else {
-        scan_plain(&parts, plan.residual.as_ref(), &sky_exprs, &proj_exprs, &order_exprs)?
+        scan_plain(&parts, plan.residual.as_ref(), &sky_exprs, &proj_exprs, &order_exprs, ctx)?
     };
 
     // ---- distinct / order / limit ----
@@ -274,7 +277,46 @@ pub fn execute_select_ctx(
     if let Some(limit) = stmt.limit {
         out.truncate(limit);
     }
+    if let Some(rec) = ctx.obs() {
+        rec.span_end(select_span, Stamp::ZERO, &[("rows_out", wide(out.len()))]);
+    }
     Ok(QueryResult { columns, rows: out.into_iter().map(|(r, _)| r).collect(), interrupted })
+}
+
+/// Widens a length to a counter delta (sanctioned lossless conversion).
+fn wide(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
+/// Executes a SELECT under a dedicated trace recorder and renders the
+/// `EXPLAIN ANALYZE` report: the static plan, the recorded span tree with
+/// counters inline, and the result cardinality. The trace's counter totals
+/// equal the `Stats` of the same query run plainly (the skyline step dumps
+/// its counters exactly once).
+pub fn explain_analyze_select(
+    cat: &Catalog,
+    stmt: &SelectStmt,
+    ctx: &RunContext,
+) -> Result<QueryResult> {
+    let rec = Arc::new(TraceRecorder::new());
+    let traced = ctx.clone().with_recorder(rec.clone());
+    let result = execute_select_ctx(cat, stmt, &traced)?;
+    let mut text = explain_select(cat, stmt)?;
+    text.push('\n');
+    text.push_str(&render_summary(&rec.snapshot()));
+    text.push_str(&format!("\n{} row(s) returned\n", result.rows.len()));
+    if let Some(i) = &result.interrupted {
+        text.push_str(&format!(
+            "interrupted ({}): {} group(s) undecided\n",
+            i.reason, i.undecided_groups
+        ));
+    }
+    let rows = text.lines().map(|l| vec![Value::Str(l.to_string())]).collect();
+    Ok(QueryResult {
+        columns: vec!["EXPLAIN ANALYZE".to_string()],
+        rows,
+        interrupted: result.interrupted,
+    })
 }
 
 /// Builds the EXPLAIN description for a SELECT (shared logic with
@@ -472,7 +514,9 @@ fn scan_plain(
     sky_exprs: &[(RExpr, SkyDir)],
     proj_exprs: &[RExpr],
     order_exprs: &[(RExpr, SortDir)],
+    ctx: &RunContext,
 ) -> Result<Vec<RowWithKeys>> {
+    let scan_span = ctx.obs().map_or(0, |rec| rec.span_start("scan", 0, Stamp::ZERO));
     let mut out: Vec<RowWithKeys> = Vec::new();
     let mut sky_flat: Vec<f64> = Vec::new();
     stream_product(parts, residual, |row| {
@@ -492,7 +536,13 @@ fn scan_plain(
         out.push((proj, keys));
         Ok(())
     })?;
+    if let Some(rec) = ctx.obs() {
+        rec.add(Counter::SqlRowsScanned, wide(out.len()));
+        rec.span_end(scan_span, Stamp::ZERO, &[("rows", wide(out.len()))]);
+    }
     if !sky_exprs.is_empty() && !out.is_empty() {
+        let sky_span = ctx.obs().map_or(0, |rec| rec.span_start("record_skyline", 0, Stamp::ZERO));
+        let input = out.len();
         let keep = aggsky_core::record_skyline::bnl(&sky_flat, sky_exprs.len());
         let keep_set: HashSet<usize> = keep.into_iter().collect();
         let mut i = 0;
@@ -501,6 +551,13 @@ fn scan_plain(
             i += 1;
             k
         });
+        if let Some(rec) = ctx.obs() {
+            rec.span_end(
+                sky_span,
+                Stamp::ZERO,
+                &[("input_rows", wide(input)), ("kept", wide(out.len()))],
+            );
+        }
     }
     Ok(out)
 }
@@ -635,7 +692,10 @@ fn scan_grouped(
 ) -> Result<Vec<RowWithKeys>> {
     let mut index: HashMap<String, usize> = HashMap::new();
     let mut groups: Vec<GroupState> = Vec::new();
+    let scan_span = ctx.obs().map_or(0, |rec| rec.span_start("scan", 0, Stamp::ZERO));
+    let mut scanned = 0u64;
     stream_product(parts, residual, |row| {
+        scanned = scanned.saturating_add(1);
         let mut key = String::new();
         for e in group_exprs {
             key.push_str(&eval(e, row, &[])?.group_key());
@@ -672,6 +732,11 @@ fn scan_grouped(
         }
         Ok(())
     })?;
+    if let Some(rec) = ctx.obs() {
+        rec.add(Counter::SqlRowsScanned, scanned);
+        rec.add(Counter::SqlGroupsBuilt, wide(groups.len()));
+        rec.span_end(scan_span, Stamp::ZERO, &[("rows", scanned), ("groups", wide(groups.len()))]);
+    }
 
     // Aggregate-less GROUP BY-less aggregate query (e.g. SELECT count(*)):
     // one implicit group even over an empty input.
@@ -700,6 +765,8 @@ fn scan_grouped(
     // Aggregate skyline over the surviving groups (Example 3 semantics:
     // the skyline acts as a HAVING-like filter on groups).
     if !sky_exprs.is_empty() && survivors.len() > 1 {
+        let sky_span = ctx.obs().map_or(0, |rec| rec.span_start("skyline", 0, Stamp::ZERO));
+        let candidate_groups = survivors.len();
         let dim = sky_exprs.len();
         let mut b = aggsky_core::GroupedDatasetBuilder::new(dim).trusted_labels();
         for (gi, _) in &survivors {
@@ -725,6 +792,13 @@ fn scan_grouped(
             i += 1;
             k
         });
+        if let Some(rec) = ctx.obs() {
+            rec.span_end(
+                sky_span,
+                Stamp::ZERO,
+                &[("groups", wide(candidate_groups)), ("kept", wide(survivors.len()))],
+            );
+        }
     }
 
     // Project per group.
@@ -740,4 +814,56 @@ fn scan_grouped(
         out.push((proj, keys));
     }
     Ok(out)
+}
+
+#[cfg(test)]
+mod exec_obs_tests {
+    use crate::engine::Database;
+
+    fn movie_db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE movie (director TEXT, pop FLOAT, qual FLOAT)").unwrap();
+        db.execute(
+            "INSERT INTO movie VALUES ('T', 313, 8.2), ('T', 557, 9.0), \
+             ('K', 362, 8.8), ('W', 10, 3.2)",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn explain_analyze_renders_span_tree_for_skyline_select() {
+        let mut db = movie_db();
+        let r = db
+            .execute(
+                "EXPLAIN ANALYZE SELECT director FROM movie \
+                 GROUP BY director SKYLINE OF pop MAX, qual MAX",
+            )
+            .unwrap();
+        let text: String = r.rows.iter().map(|row| format!("{}\n", row[0])).collect();
+        assert!(text.contains("select"), "no select span: {text}");
+        assert!(text.contains("scan"), "no scan span: {text}");
+        assert!(text.contains("skyline"), "no skyline span: {text}");
+        assert!(text.contains("aggsky_sql_rows_scanned_total"), "no scan counter: {text}");
+        assert!(text.contains("row(s) returned"), "no cardinality line: {text}");
+    }
+
+    #[test]
+    fn explain_analyze_works_for_plain_selects() {
+        let mut db = movie_db();
+        let r = db.execute("EXPLAIN ANALYZE SELECT director FROM movie WHERE pop > 100").unwrap();
+        let text: String = r.rows.iter().map(|row| format!("{}\n", row[0])).collect();
+        assert!(text.contains("select"), "no select span: {text}");
+        assert!(text.contains("3 row(s) returned"), "wrong cardinality: {text}");
+    }
+
+    #[test]
+    fn explain_without_analyze_describes_without_executing() {
+        let mut db = movie_db();
+        let r = db.execute("EXPLAIN SELECT director FROM movie WHERE pop > 100").unwrap();
+        assert_eq!(r.columns, vec!["EXPLAIN".to_string()]);
+        let text: String = r.rows.iter().map(|row| format!("{}\n", row[0])).collect();
+        assert!(text.contains("SCAN"), "no scan description: {text}");
+        assert!(!text.contains("row(s) returned"), "EXPLAIN must not execute: {text}");
+    }
 }

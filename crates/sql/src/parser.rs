@@ -101,6 +101,9 @@ impl Parser {
     fn statement(&mut self) -> Result<Statement> {
         if self.peek().is_kw("select") {
             Ok(Statement::Select(self.select()?))
+        } else if self.eat_kw("explain") {
+            let analyze = self.eat_kw("analyze");
+            Ok(Statement::Explain { analyze, stmt: Box::new(self.select()?) })
         } else if self.eat_kw("create") {
             self.create_table()
         } else if self.eat_kw("insert") {

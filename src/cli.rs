@@ -17,7 +17,9 @@ use crate::{AlgoOptions, Algorithm, Direction, Gamma, Outcome, Pruning, RunConte
 use aggsky_datagen::{
     parse_grouped_csv, to_grouped_csv, Distribution, GroupSizes, SyntheticConfig,
 };
+use aggsky_obs::{export_chrome, export_prometheus, TraceRecorder};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// A CLI failure: the message is printed to stderr with exit code 1.
 pub type CliError = String;
@@ -53,6 +55,10 @@ skyline options:
   --budget TICKS     stop after roughly TICKS record-pair comparisons and
                      print the confirmed partial skyline (0 = unlimited)
   --rank             also print groups by minimum qualifying gamma
+  --trace FILE       record a Chrome trace-event JSON of the run (load it in
+                     Perfetto / chrome://tracing)
+  --metrics FILE     write the run's counters and histograms in Prometheus
+                     text exposition format
 
 generate options:
   --dist DIST        anti | ind | corr
@@ -167,6 +173,14 @@ fn skyline_command(args: &[String]) -> Result<String, CliError> {
     };
     let budget: u64 = flags.parse_num("budget", 0u64)?;
     let ctx = if budget == 0 { RunContext::unlimited() } else { RunContext::with_budget(budget) };
+    let trace_path = flags.get("trace").map(str::to_string);
+    let metrics_path = flags.get("metrics").map(str::to_string);
+    let recorder =
+        (trace_path.is_some() || metrics_path.is_some()).then(|| Arc::new(TraceRecorder::new()));
+    let ctx = match &recorder {
+        Some(rec) => ctx.with_recorder(Arc::clone(rec) as Arc<dyn aggsky_obs::Recorder>),
+        None => ctx,
+    };
     let (outcome, algo_name) = match threads {
         Some(t) => (
             parallel_skyline_ctx(&ds, gamma, t, KernelConfig::blocked(), &ctx)
@@ -219,6 +233,25 @@ fn skyline_command(args: &[String]) -> Result<String, CliError> {
                 partial.undecided.len()
             )
             .unwrap();
+        }
+    }
+    let stats = outcome.stats();
+    writeln!(
+        out,
+        "(blocks: {} full, {} skipped; workers: {} retries, {} quarantined)",
+        stats.blocks_full, stats.blocks_skipped, stats.worker_retries, stats.workers_quarantined
+    )
+    .unwrap();
+    if let Some(rec) = &recorder {
+        let snapshot = rec.snapshot();
+        if let Some(path) = &trace_path {
+            std::fs::write(path, export_chrome(&snapshot)).map_err(|e| format!("{path}: {e}"))?;
+            writeln!(out, "trace written to {path}").unwrap();
+        }
+        if let Some(path) = &metrics_path {
+            std::fs::write(path, export_prometheus(&snapshot.metrics))
+                .map_err(|e| format!("{path}: {e}"))?;
+            writeln!(out, "metrics written to {path}").unwrap();
         }
     }
     if flags.has("rank") {
@@ -435,6 +468,39 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("--threads"), "{err}");
+    }
+
+    #[test]
+    fn trace_and_metrics_flags_write_valid_exports() {
+        let dir = std::env::temp_dir().join("aggsky_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("obs.csv");
+        std::fs::write(&csv, "shop,price,rating\na,10,4\na,12,5\nb,30,3\nc,9,2\n").unwrap();
+        let trace = dir.join("obs_trace.json");
+        let prom = dir.join("obs_metrics.prom");
+        let out = run_command(&s(&[
+            "skyline",
+            "--csv",
+            csv.to_str().unwrap(),
+            "--group",
+            "shop",
+            "--exact",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--metrics",
+            prom.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("trace written to"), "{out}");
+        assert!(out.contains("metrics written to"), "{out}");
+        assert!(out.contains("blocks:"), "extended stats line missing: {out}");
+        assert!(out.contains("workers:"), "extended stats line missing: {out}");
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        assert!(trace_text.starts_with("[\n"), "not a JSON array: {trace_text}");
+        assert!(trace_text.contains("\"ph\":\"X\""), "no complete events: {trace_text}");
+        let prom_text = std::fs::read_to_string(&prom).unwrap();
+        aggsky_obs::validate_prometheus(&prom_text).unwrap();
+        assert!(prom_text.contains("aggsky_record_pairs_total"), "{prom_text}");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! grouped data.
 
 use aggsky::core::record_skyline::bnl;
+use aggsky::core::{AlgoOptions, Algorithm, RunContext};
 use aggsky::datagen::Rng64;
 use aggsky::sql::{ColumnType, Database, Value};
 use aggsky::{naive_skyline, Gamma, GroupedDataset, GroupedDatasetBuilder};
@@ -150,6 +151,66 @@ fn record_skyline_clause_matches_bnl() {
         let flat: Vec<f64> = rows.iter().flatten().copied().collect();
         let expect: Vec<i64> = bnl(&flat, 2).into_iter().map(|i| i as i64).collect();
         assert_eq!(got, expect, "seed={seed}");
+    }
+}
+
+/// Extracts `name = value` counter lines from an `EXPLAIN ANALYZE` report.
+fn counter_of(report: &str, name: &str) -> u64 {
+    report
+        .lines()
+        .find_map(|l| {
+            let l = l.trim();
+            l.strip_prefix(name)
+                .and_then(|rest| rest.trim().strip_prefix('='))
+                .and_then(|v| v.trim().parse::<u64>().ok())
+        })
+        .unwrap_or_else(|| panic!("counter {name} missing from report:\n{report}"))
+}
+
+#[test]
+fn explain_analyze_totals_equal_plain_run_stats() {
+    // The SQL executor builds its grouped dataset in group-discovery order,
+    // which for `load` equals the core dataset's group order — so the
+    // skyline step inside EXPLAIN ANALYZE performs exactly the work of the
+    // same algorithm run directly, and the trace counters must match its
+    // `Stats` field for field.
+    for seed in 400..410 {
+        let ds = random_dataset(seed, 9, 5);
+        let mut db = load(&ds);
+        let report: String = db
+            .execute(
+                "EXPLAIN ANALYZE SELECT director FROM movies \
+                 GROUP BY director SKYLINE OF votes MAX, rank MAX",
+            )
+            .unwrap()
+            .rows
+            .into_iter()
+            .map(|r| format!("{}\n", r[0]))
+            .collect();
+        let outcome = Algorithm::Indexed.run_ctx(
+            &ds,
+            AlgoOptions::exact(Gamma::DEFAULT),
+            &RunContext::unlimited(),
+        );
+        let stats = *outcome.stats();
+        assert_eq!(
+            counter_of(&report, "aggsky_group_pairs_total"),
+            stats.group_pairs,
+            "seed={seed}\n{report}"
+        );
+        assert_eq!(
+            counter_of(&report, "aggsky_record_pairs_total"),
+            stats.record_pairs,
+            "seed={seed}"
+        );
+        assert_eq!(
+            counter_of(&report, "aggsky_index_candidates_total"),
+            stats.index_candidates,
+            "seed={seed}"
+        );
+        // The SQL layer's own counters are also present and exact.
+        assert_eq!(counter_of(&report, "aggsky_sql_rows_scanned_total"), ds.n_records() as u64);
+        assert_eq!(counter_of(&report, "aggsky_sql_groups_built_total"), ds.n_groups() as u64);
     }
 }
 
