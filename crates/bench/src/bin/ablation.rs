@@ -50,8 +50,8 @@ fn main() {
         let ds = dataset(n, dist);
         let on = AlgoOptions::paper(gamma);
         let off = AlgoOptions { stop_rule: false, ..on };
-        let (t_on, r_on) = time(|| nested_loop(&ds, &on));
-        let (t_off, r_off) = time(|| nested_loop(&ds, &off));
+        let (t_on, r_on) = time(|| nested_loop(&ds, &on).expect("valid options"));
+        let (t_off, r_off) = time(|| nested_loop(&ds, &off).expect("valid options"));
         assert_eq!(r_on.skyline, r_off.skyline);
         table.push_row(vec![
             dist.label().to_string(),
@@ -70,8 +70,8 @@ fn main() {
         let ds = dataset(n, dist);
         let plain = AlgoOptions::paper(gamma);
         let boxed = AlgoOptions { bbox_prune: true, ..plain };
-        let (t_off, r_off) = time(|| nested_loop(&ds, &plain));
-        let (t_on, r_on) = time(|| nested_loop(&ds, &boxed));
+        let (t_off, r_off) = time(|| nested_loop(&ds, &plain).expect("valid options"));
+        let (t_on, r_on) = time(|| nested_loop(&ds, &boxed).expect("valid options"));
         assert_eq!(r_on.skyline, r_off.skyline);
         table.push_row(vec![
             dist.label().to_string(),
@@ -91,7 +91,7 @@ fn main() {
         ("size, then distance", SortStrategy::SizeThenDistance),
     ] {
         let opts = AlgoOptions { sort: strat, ..AlgoOptions::paper(gamma) };
-        let (t, r) = time(|| sorted(&ds, &opts));
+        let (t, r) = time(|| sorted(&ds, &opts).expect("valid options"));
         table.push_row(vec![name.to_string(), fmt_ms(t), r.stats.group_pairs.to_string()]);
     }
     table.print();
@@ -108,8 +108,8 @@ fn main() {
         let ds = dataset(n, dist);
         let paper = AlgoOptions::paper(gamma);
         let exact = AlgoOptions::exact(gamma);
-        let (t_p, r_p) = time(|| indexed(&ds, &paper));
-        let (t_e, r_e) = time(|| indexed(&ds, &exact));
+        let (t_p, r_p) = time(|| indexed(&ds, &paper).expect("valid options"));
+        let (t_e, r_e) = time(|| indexed(&ds, &exact).expect("valid options"));
         table.push_row(vec![
             dist.label().to_string(),
             fmt_ms(t_p),

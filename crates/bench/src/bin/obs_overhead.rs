@@ -67,7 +67,9 @@ fn main() {
     let mut pairs = 0u64;
     for _ in 0..repeats {
         let start = Instant::now();
-        let outcome = Algorithm::NestedLoop.run_ctx(&ds, opts, &RunContext::unlimited());
+        let outcome = Algorithm::NestedLoop
+            .run_ctx(&ds, opts, &RunContext::unlimited())
+            .expect("valid kernel config");
         t_off = t_off.min(start.elapsed().as_secs_f64() * 1e3);
         pairs = outcome.stats().record_pairs;
 

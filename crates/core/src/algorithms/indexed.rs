@@ -7,7 +7,9 @@ use super::{
     Pruning, SkylineResult, Status,
 };
 use crate::dataset::GroupedDataset;
+use crate::error::Result;
 use crate::kernel::Kernel;
+use crate::paircache::PairCache;
 use crate::paircount::PairOptions;
 use crate::runctx::{Outcome, RunContext};
 use crate::stats::Stats;
@@ -19,13 +21,19 @@ use aggsky_spatial::{Aabb, RTree};
 /// `g2` can dominate `g1` only if `g2.max` lies in the half-open window
 /// `[g1.min, ∞)`. With `opts.bbox_prune` the pairwise comparison also uses
 /// the Figure 9 region decomposition (the paper's "LO" configuration).
-pub fn indexed(ds: &GroupedDataset, opts: &AlgoOptions) -> SkylineResult {
-    indexed_on(&Kernel::new(ds, opts.kernel), opts, &RunContext::unlimited()).unwrap_or_partial()
+pub fn indexed(ds: &GroupedDataset, opts: &AlgoOptions) -> Result<SkylineResult> {
+    let kernel = Kernel::new(ds, opts.kernel)?;
+    Ok(indexed_on(&kernel, opts, &RunContext::unlimited(), None).unwrap_or_partial())
 }
 
 /// [`indexed`] over a pre-built kernel, polling `ctx` before every
 /// candidate comparison.
-pub(super) fn indexed_on(kernel: &Kernel<'_>, opts: &AlgoOptions, ctx: &RunContext) -> Outcome {
+pub(super) fn indexed_on(
+    kernel: &Kernel<'_>,
+    opts: &AlgoOptions,
+    ctx: &RunContext,
+    mut cache: Option<&mut PairCache>,
+) -> Outcome {
     let ds = kernel.dataset();
     let n = ds.n_groups();
     let mut statuses = vec![Status::Live; n];
@@ -91,7 +99,15 @@ pub(super) fn indexed_on(kernel: &Kernel<'_>, opts: &AlgoOptions, ctx: &RunConte
             }
             let pair_boxes = opts.bbox_prune.then(|| (&boxes[g1], &boxes[g2]));
             let before = PairDeltas::before(&stats);
-            let mut verdict = kernel.compare(g1, g2, opts.gamma, pair_boxes, pair_opts, &mut stats);
+            let mut verdict = kernel.compare_cached(
+                g1,
+                g2,
+                opts.gamma,
+                pair_boxes,
+                pair_opts,
+                cache.as_deref_mut(),
+                &mut stats,
+            );
             ctx.corrupt_verdict(&mut verdict, stats.record_pairs);
             before.observe(ctx, &stats);
             let (s1, s2) = split_two(&mut statuses, g1, g2);
@@ -123,7 +139,8 @@ mod tests {
         let ds = movie_directors();
         for gamma in [0.5, 0.7, 1.0] {
             for bbox in [false, true] {
-                let result = indexed(&ds, &AlgoOptions { bbox_prune: bbox, ..paper(gamma) });
+                let result =
+                    indexed(&ds, &AlgoOptions { bbox_prune: bbox, ..paper(gamma) }).unwrap();
                 let oracle = naive_skyline(&ds, Gamma::new(gamma).unwrap());
                 assert_eq!(result.skyline, oracle.skyline, "gamma={gamma} bbox={bbox}");
             }
@@ -136,7 +153,7 @@ mod tests {
             let ds = random_dataset(20, 6, 3, 3000 + seed);
             for bbox in [false, true] {
                 let opts = AlgoOptions { bbox_prune: bbox, ..AlgoOptions::exact(Gamma::DEFAULT) };
-                let result = indexed(&ds, &opts);
+                let result = indexed(&ds, &opts).unwrap();
                 let oracle = naive_skyline(&ds, Gamma::DEFAULT);
                 assert_eq!(result.skyline, oracle.skyline, "seed={seed} bbox={bbox}");
             }
@@ -157,7 +174,7 @@ mod tests {
             b.push_group(format!("high{i}"), &[vec![x, 109.0 - x]]).unwrap();
         }
         let ds = b.build().unwrap();
-        let result = indexed(&ds, &paper(0.5));
+        let result = indexed(&ds, &paper(0.5)).unwrap();
         let oracle = naive_skyline(&ds, Gamma::DEFAULT);
         assert_eq!(result.skyline, oracle.skyline);
         // An exhaustive pass would start 190+ pair comparisons; the index

@@ -42,9 +42,11 @@ pub use transitive::{sorted, transitive};
 
 use crate::anytime::AnytimeResult;
 use crate::dataset::{GroupId, GroupedDataset};
+use crate::error::Result;
 use crate::gamma::Gamma;
 use crate::kernel::{Kernel, KernelConfig};
 use crate::mbb::Mbb;
+use crate::paircache::PairCache;
 use crate::paircount::{DomLevel, PairVerdict};
 use crate::runctx::{InterruptReason, Outcome, RunContext};
 use crate::stats::Stats;
@@ -216,28 +218,49 @@ impl Algorithm {
         Algorithm::IndexedBbox,
     ];
 
-    /// Runs this algorithm in its canonical paper configuration.
+    /// Runs this algorithm in its canonical paper configuration. The paper
+    /// configuration uses the exhaustive kernel, whose construction cannot
+    /// fail, so this stays infallible.
     pub fn run(self, ds: &GroupedDataset, gamma: Gamma) -> SkylineResult {
-        self.run_with(ds, AlgoOptions::paper(gamma))
+        let kernel = Kernel::exhaustive(ds);
+        // An unlimited fault-free context never interrupts, so unwrapping
+        // to the complete result is lossless here.
+        self.run_on(&kernel, AlgoOptions::paper(gamma), &RunContext::unlimited(), None)
+            .unwrap_or_partial()
     }
 
     /// Runs this algorithm with explicit options (`bbox_prune` and `sort`
     /// are overridden where the algorithm's identity requires it).
-    pub fn run_with(self, ds: &GroupedDataset, opts: AlgoOptions) -> SkylineResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidArgument`] when `opts.kernel` is
+    /// misconfigured (zero or over-large block size).
+    pub fn run_with(self, ds: &GroupedDataset, opts: AlgoOptions) -> Result<SkylineResult> {
         // An unlimited fault-free context never interrupts, so unwrapping
         // to the complete result is lossless here.
-        self.run_ctx(ds, opts, &RunContext::unlimited()).unwrap_or_partial()
+        Ok(self.run_ctx(ds, opts, &RunContext::unlimited())?.unwrap_or_partial())
     }
 
     /// Runs this algorithm under an execution-control context: the run
     /// polls `ctx` at group-pair boundaries and, when cancelled or out of
     /// budget, returns [`Outcome::Interrupted`] with a sound partial
     /// partition instead of the exact skyline.
-    pub fn run_ctx(self, ds: &GroupedDataset, opts: AlgoOptions, ctx: &RunContext) -> Outcome {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidArgument`] when `opts.kernel` is
+    /// misconfigured (zero or over-large block size).
+    pub fn run_ctx(
+        self,
+        ds: &GroupedDataset,
+        opts: AlgoOptions,
+        ctx: &RunContext,
+    ) -> Result<Outcome> {
+        let kernel = Kernel::new(ds, opts.kernel)?;
         let prep_span = ctx.obs().map_or(0, |rec| rec.span_start("prepare", 0, Stamp::ZERO));
-        let kernel = Kernel::new(ds, opts.kernel);
         end_prepare_span(prep_span, &kernel, ctx);
-        self.run_on(&kernel, opts, ctx)
+        Ok(self.run_on(&kernel, opts, ctx, None))
     }
 
     /// Runs this algorithm over an existing preparation, skipping the
@@ -262,21 +285,70 @@ impl Algorithm {
         ctx: &RunContext,
     ) -> Outcome {
         let kernel = Kernel::with_prepared(ds, prep);
-        self.run_on(&kernel, opts, ctx)
+        self.run_on(&kernel, opts, ctx, None)
     }
 
-    fn run_on(self, kernel: &Kernel<'_>, opts: AlgoOptions, ctx: &RunContext) -> Outcome {
+    /// Runs this algorithm over a shared preparation *and* a shared
+    /// [`PairCache`]: every group comparison first consults the cache and
+    /// memoizes its (possibly partial) tally. This is the entry point the
+    /// γ-sweep driver ([`crate::gamma_sweep`]) uses, and it is equally valid
+    /// across *algorithms* within one run — the tallies are algorithm-,
+    /// γ- and option-independent.
+    ///
+    /// The skyline is identical to an uncached run; the `Stats` work
+    /// counters reflect only freshly performed counting, with reuse
+    /// reported in `cache_hits` / `cache_misses` / `cache_resumes`.
+    /// Straddling block pairs use the columnar kernel when the preparation
+    /// carries key lanes. [`Algorithm::Naive`] never consults the kernel
+    /// and therefore ignores the cache.
+    pub fn run_cached(
+        self,
+        ds: &GroupedDataset,
+        prep: &crate::prepared::PreparedDataset,
+        opts: AlgoOptions,
+        cache: &mut PairCache,
+    ) -> SkylineResult {
+        self.run_cached_ctx(ds, prep, opts, cache, &RunContext::unlimited()).unwrap_or_partial()
+    }
+
+    /// [`Algorithm::run_cached`] under an execution-control context. Budget
+    /// ticks are charged per fresh record pair only, so work resumed from
+    /// the cache is never double-charged across a sweep.
+    pub fn run_cached_ctx(
+        self,
+        ds: &GroupedDataset,
+        prep: &crate::prepared::PreparedDataset,
+        opts: AlgoOptions,
+        cache: &mut PairCache,
+        ctx: &RunContext,
+    ) -> Outcome {
+        let kernel = match Kernel::with_prepared_columnar(ds, prep) {
+            Ok(k) => k,
+            // No key lanes (over-large blocks): row-wise counting, same
+            // tallies, same cache protocol.
+            Err(_) => Kernel::with_prepared(ds, prep),
+        };
+        self.run_on(&kernel, opts, ctx, Some(cache))
+    }
+
+    fn run_on(
+        self,
+        kernel: &Kernel<'_>,
+        opts: AlgoOptions,
+        ctx: &RunContext,
+        cache: Option<&mut PairCache>,
+    ) -> Outcome {
         let span = ctx.obs().map_or(0, |rec| rec.span_start(self.short_name(), 0, Stamp::ZERO));
         let outcome = match self {
             Algorithm::Naive => naive::naive_skyline_ctx(kernel.dataset(), opts.gamma, ctx),
-            Algorithm::NestedLoop => nested_loop::nested_loop_on(kernel, &opts, ctx),
-            Algorithm::Transitive => transitive::transitive_on(kernel, &opts, ctx),
-            Algorithm::Sorted => transitive::sorted_on(kernel, &opts, ctx),
+            Algorithm::NestedLoop => nested_loop::nested_loop_on(kernel, &opts, ctx, cache),
+            Algorithm::Transitive => transitive::transitive_on(kernel, &opts, ctx, cache),
+            Algorithm::Sorted => transitive::sorted_on(kernel, &opts, ctx, cache),
             Algorithm::Indexed => {
-                indexed::indexed_on(kernel, &AlgoOptions { bbox_prune: false, ..opts }, ctx)
+                indexed::indexed_on(kernel, &AlgoOptions { bbox_prune: false, ..opts }, ctx, cache)
             }
             Algorithm::IndexedBbox => {
-                indexed::indexed_on(kernel, &AlgoOptions { bbox_prune: true, ..opts }, ctx)
+                indexed::indexed_on(kernel, &AlgoOptions { bbox_prune: true, ..opts }, ctx, cache)
             }
         };
         if let Some(rec) = ctx.obs() {

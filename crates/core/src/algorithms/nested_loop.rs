@@ -6,7 +6,9 @@ use super::{
     SkylineResult, Status,
 };
 use crate::dataset::GroupedDataset;
+use crate::error::Result;
 use crate::kernel::Kernel;
+use crate::paircache::PairCache;
 use crate::paircount::PairOptions;
 use crate::runctx::{Outcome, RunContext};
 use crate::stats::Stats;
@@ -15,14 +17,19 @@ use crate::stats::Stats;
 /// per comparison (Algorithm 2). Honors `opts.stop_rule`, `opts.bbox_prune`
 /// and `opts.kernel`; ignores `opts.pruning` and `opts.sort` (plain NL never
 /// skips a pair and visits groups in insertion order).
-pub fn nested_loop(ds: &GroupedDataset, opts: &AlgoOptions) -> SkylineResult {
-    nested_loop_on(&Kernel::new(ds, opts.kernel), opts, &RunContext::unlimited())
-        .unwrap_or_partial()
+pub fn nested_loop(ds: &GroupedDataset, opts: &AlgoOptions) -> Result<SkylineResult> {
+    let kernel = Kernel::new(ds, opts.kernel)?;
+    Ok(nested_loop_on(&kernel, opts, &RunContext::unlimited(), None).unwrap_or_partial())
 }
 
 /// [`nested_loop`] over a pre-built kernel, polling `ctx` before every
-/// group-pair comparison.
-pub(super) fn nested_loop_on(kernel: &Kernel<'_>, opts: &AlgoOptions, ctx: &RunContext) -> Outcome {
+/// group-pair comparison and memoizing tallies through `cache` when given.
+pub(super) fn nested_loop_on(
+    kernel: &Kernel<'_>,
+    opts: &AlgoOptions,
+    ctx: &RunContext,
+    mut cache: Option<&mut PairCache>,
+) -> Outcome {
     let n = kernel.dataset().n_groups();
     let mut statuses = vec![Status::Live; n];
     let mut stats = Stats::default();
@@ -43,7 +50,15 @@ pub(super) fn nested_loop_on(kernel: &Kernel<'_>, opts: &AlgoOptions, ctx: &RunC
             }
             let pair_boxes = boxes.map(|b| (&b[g1], &b[g2]));
             let before = PairDeltas::before(&stats);
-            let mut verdict = kernel.compare(g1, g2, opts.gamma, pair_boxes, pair_opts, &mut stats);
+            let mut verdict = kernel.compare_cached(
+                g1,
+                g2,
+                opts.gamma,
+                pair_boxes,
+                pair_opts,
+                cache.as_deref_mut(),
+                &mut stats,
+            );
             ctx.corrupt_verdict(&mut verdict, stats.record_pairs);
             before.observe(ctx, &stats);
             let (left, right) = split_two(&mut statuses, g1, g2);
@@ -80,7 +95,7 @@ mod tests {
     fn matches_oracle_on_movie_example() {
         let ds = crate::testdata::movie_directors();
         for gamma in [0.5, 0.6, 0.75, 0.9, 1.0] {
-            let nl = nested_loop(&ds, &opts(gamma));
+            let nl = nested_loop(&ds, &opts(gamma)).unwrap();
             let oracle = naive_skyline(&ds, Gamma::new(gamma).unwrap());
             assert_eq!(nl.skyline, oracle.skyline, "gamma={gamma}");
         }
@@ -98,8 +113,8 @@ mod tests {
             b.push_group(format!("g{level}"), &rows).unwrap();
         }
         let ds = b.build().unwrap();
-        let with = nested_loop(&ds, &opts(0.5));
-        let without = nested_loop(&ds, &AlgoOptions { stop_rule: false, ..opts(0.5) });
+        let with = nested_loop(&ds, &opts(0.5)).unwrap();
+        let without = nested_loop(&ds, &AlgoOptions { stop_rule: false, ..opts(0.5) }).unwrap();
         assert_eq!(with.skyline, without.skyline);
         assert!(
             with.stats.record_pairs < without.stats.record_pairs,
@@ -113,8 +128,8 @@ mod tests {
     #[test]
     fn bbox_pruning_preserves_result() {
         let ds = crate::testdata::movie_directors();
-        let plain = nested_loop(&ds, &opts(0.5));
-        let boxed = nested_loop(&ds, &AlgoOptions { bbox_prune: true, ..opts(0.5) });
+        let plain = nested_loop(&ds, &opts(0.5)).unwrap();
+        let boxed = nested_loop(&ds, &AlgoOptions { bbox_prune: true, ..opts(0.5) }).unwrap();
         assert_eq!(plain.skyline, boxed.skyline);
         assert!(boxed.stats.record_pairs <= plain.stats.record_pairs);
     }

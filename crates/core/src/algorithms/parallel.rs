@@ -33,6 +33,7 @@ use crate::error::{Error, Result};
 use crate::gamma::Gamma;
 use crate::kernel::{Kernel, KernelConfig};
 use crate::mbb::Mbb;
+use crate::paircache::PairCache;
 use crate::paircount::PairOptions;
 use crate::runctx::{InterruptReason, Outcome, RunContext};
 use crate::stats::Stats;
@@ -101,7 +102,7 @@ pub fn parallel_skyline_ctx(
     config: KernelConfig,
     ctx: &RunContext,
 ) -> Result<Outcome> {
-    let kernel = Kernel::new(ds, config);
+    let kernel = Kernel::new(ds, config)?;
     run_chunked(&kernel, gamma, resolve_threads(threads), ctx)
 }
 
@@ -115,7 +116,7 @@ pub fn parallel_skyline_strided(
     gamma: Gamma,
     threads: usize,
 ) -> Result<SkylineResult> {
-    let kernel = Kernel::new(ds, KernelConfig::Exhaustive);
+    let kernel = Kernel::exhaustive(ds);
     run_strided(&kernel, gamma, resolve_threads(threads))
 }
 
@@ -144,6 +145,7 @@ fn scan_group(
     ctx: &RunContext,
     g1: GroupId,
     candidates: &mut Vec<GroupId>,
+    cache: &mut Option<PairCache>,
     stats: &mut Stats,
 ) -> Status {
     tree.window_query_into(&Aabb::at_least(&boxes[g1].min), candidates);
@@ -153,8 +155,15 @@ fn scan_group(
             continue;
         }
         let before = PairDeltas::before(stats);
-        let mut verdict =
-            kernel.compare(g2, g1, gamma, Some((&boxes[g2], &boxes[g1])), pair_opts, stats);
+        let mut verdict = kernel.compare_cached(
+            g2,
+            g1,
+            gamma,
+            Some((&boxes[g2], &boxes[g1])),
+            pair_opts,
+            cache.as_mut(),
+            stats,
+        );
         ctx.corrupt_verdict(&mut verdict, stats.record_pairs);
         before.observe(ctx, stats);
         if verdict.forward.dominates() {
@@ -306,6 +315,11 @@ fn run_chunked(
             ctx.obs().map_or(0, |rec| rec.span_start("worker", track, shared.tick_now()));
         let mut stats = Stats::default();
         let mut candidates: Vec<GroupId> = Vec::new();
+        // Shard-local pair-count memo: workers never share cache state, so
+        // they never serialize on it (duplicate counting across workers is
+        // the accepted cost). Only useful when a preparation exists — the
+        // cache resumes at the blocked kernel's cursor.
+        let mut pair_cache = kernel.prepared().map(|_| PairCache::new());
         let mut part: Vec<(GroupId, Status)> = Vec::new();
         'outer: loop {
             if shared.should_stop() {
@@ -344,6 +358,7 @@ fn run_chunked(
                         ctx,
                         g,
                         &mut candidates,
+                        &mut pair_cache,
                         &mut local,
                     );
                     Ok((status, local))
@@ -361,9 +376,11 @@ fn run_chunked(
                         break 'outer;
                     }
                     Err(_panic) => {
-                        // The scratch buffer may have been abandoned
-                        // mid-update; drop it rather than trust it.
+                        // The scratch buffer and cache may have been
+                        // abandoned mid-update; drop them rather than trust
+                        // them.
                         candidates = Vec::new();
+                        pair_cache = kernel.prepared().map(|_| PairCache::new());
                         shared.retries.fetch_add(1, Ordering::Relaxed);
                         if let Some(rec) = ctx.obs() {
                             rec.event(
@@ -519,6 +536,7 @@ fn run_strided(kernel: &Kernel<'_>, gamma: Gamma, threads: usize) -> Result<Skyl
     if threads == 1 {
         let mut stats = Stats::default();
         let mut candidates = Vec::new();
+        let mut no_cache = None;
         let statuses: Vec<Status> = (0..n)
             .map(|g| {
                 scan_group(
@@ -530,6 +548,7 @@ fn run_strided(kernel: &Kernel<'_>, gamma: Gamma, threads: usize) -> Result<Skyl
                     &ctx,
                     g,
                     &mut candidates,
+                    &mut no_cache,
                     &mut stats,
                 )
             })
@@ -547,6 +566,7 @@ fn run_strided(kernel: &Kernel<'_>, gamma: Gamma, threads: usize) -> Result<Skyl
             handles.push(scope.spawn(move || {
                 let mut stats = Stats::default();
                 let mut candidates = Vec::new();
+                let mut no_cache = None;
                 let mut part: Vec<(GroupId, Status)> = Vec::new();
                 for g in (t..n).step_by(threads) {
                     let status = scan_group(
@@ -558,6 +578,7 @@ fn run_strided(kernel: &Kernel<'_>, gamma: Gamma, threads: usize) -> Result<Skyl
                         ctx,
                         g,
                         &mut candidates,
+                        &mut no_cache,
                         &mut stats,
                     );
                     part.push((g, status));

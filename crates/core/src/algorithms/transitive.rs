@@ -7,42 +7,56 @@ use super::{
     Pruning, SkylineResult, Status,
 };
 use crate::dataset::{GroupId, GroupedDataset};
+use crate::error::Result;
 use crate::kernel::Kernel;
 use crate::mbb::Mbb;
+use crate::paircache::PairCache;
 use crate::paircount::PairOptions;
 use crate::runctx::{Outcome, RunContext};
 use crate::stats::Stats;
 
 /// TR: nested loop with weak-transitivity pruning (Algorithm 3), visiting
 /// groups in insertion order.
-pub fn transitive(ds: &GroupedDataset, opts: &AlgoOptions) -> SkylineResult {
-    transitive_on(&Kernel::new(ds, opts.kernel), opts, &RunContext::unlimited()).unwrap_or_partial()
+pub fn transitive(ds: &GroupedDataset, opts: &AlgoOptions) -> Result<SkylineResult> {
+    let kernel = Kernel::new(ds, opts.kernel)?;
+    Ok(transitive_on(&kernel, opts, &RunContext::unlimited(), None).unwrap_or_partial())
 }
 
 /// [`transitive`] over a pre-built kernel.
-pub(super) fn transitive_on(kernel: &Kernel<'_>, opts: &AlgoOptions, ctx: &RunContext) -> Outcome {
+pub(super) fn transitive_on(
+    kernel: &Kernel<'_>,
+    opts: &AlgoOptions,
+    ctx: &RunContext,
+    cache: Option<&mut PairCache>,
+) -> Outcome {
     let ds = kernel.dataset();
     let mut owned_boxes = None;
     let boxes = opts.bbox_prune.then(|| kernel_boxes(kernel, &mut owned_boxes));
     let order: Vec<GroupId> = ds.group_ids().collect();
-    run_pairwise(kernel, opts, &order, boxes, ctx)
+    run_pairwise(kernel, opts, &order, boxes, ctx, cache)
 }
 
 /// SI: the sorted variant (Algorithm 4). Groups are visited in the order of
 /// `opts.sort` (the paper's evaluation sorts by group size and the distance
 /// of the MBB minimum corner from the origin); otherwise identical to TR.
-pub fn sorted(ds: &GroupedDataset, opts: &AlgoOptions) -> SkylineResult {
-    sorted_on(&Kernel::new(ds, opts.kernel), opts, &RunContext::unlimited()).unwrap_or_partial()
+pub fn sorted(ds: &GroupedDataset, opts: &AlgoOptions) -> Result<SkylineResult> {
+    let kernel = Kernel::new(ds, opts.kernel)?;
+    Ok(sorted_on(&kernel, opts, &RunContext::unlimited(), None).unwrap_or_partial())
 }
 
 /// [`sorted`] over a pre-built kernel.
-pub(super) fn sorted_on(kernel: &Kernel<'_>, opts: &AlgoOptions, ctx: &RunContext) -> Outcome {
+pub(super) fn sorted_on(
+    kernel: &Kernel<'_>,
+    opts: &AlgoOptions,
+    ctx: &RunContext,
+    cache: Option<&mut PairCache>,
+) -> Outcome {
     let ds = kernel.dataset();
     let mut owned_boxes = None;
     let boxes = kernel_boxes(kernel, &mut owned_boxes);
     let order = build_order(ds, boxes, opts.sort);
     let boxes_opt = opts.bbox_prune.then_some(boxes);
-    run_pairwise(kernel, opts, &order, boxes_opt, ctx)
+    run_pairwise(kernel, opts, &order, boxes_opt, ctx, cache)
 }
 
 /// The Algorithm 3 loop over an arbitrary visiting order, polling `ctx`
@@ -53,6 +67,7 @@ pub(super) fn run_pairwise(
     order: &[GroupId],
     boxes: Option<&[Mbb]>,
     ctx: &RunContext,
+    mut cache: Option<&mut PairCache>,
 ) -> Outcome {
     let ds = kernel.dataset();
     let n = ds.n_groups();
@@ -100,7 +115,15 @@ pub(super) fn run_pairwise(
             }
             let pair_boxes = boxes.map(|b| (&b[g1], &b[g2]));
             let before = PairDeltas::before(&stats);
-            let mut verdict = kernel.compare(g1, g2, opts.gamma, pair_boxes, pair_opts, &mut stats);
+            let mut verdict = kernel.compare_cached(
+                g1,
+                g2,
+                opts.gamma,
+                pair_boxes,
+                pair_opts,
+                cache.as_deref_mut(),
+                &mut stats,
+            );
             ctx.corrupt_verdict(&mut verdict, stats.record_pairs);
             before.observe(ctx, &stats);
             let (s1, s2) = split_two(&mut statuses, g1, g2);
@@ -131,7 +154,7 @@ mod tests {
     fn transitive_matches_oracle_on_movies() {
         let ds = movie_directors();
         for gamma in [0.5, 0.7, 1.0] {
-            let tr = transitive(&ds, &paper(gamma));
+            let tr = transitive(&ds, &paper(gamma)).unwrap();
             let oracle = naive_skyline(&ds, Gamma::new(gamma).unwrap());
             assert_eq!(tr.skyline, oracle.skyline, "gamma={gamma}");
         }
@@ -145,7 +168,7 @@ mod tests {
             SortStrategy::CornerDistance,
             SortStrategy::SizeThenDistance,
         ] {
-            let si = sorted(&ds, &AlgoOptions { sort: strategy, ..paper(0.5) });
+            let si = sorted(&ds, &AlgoOptions { sort: strategy, ..paper(0.5) }).unwrap();
             let oracle = naive_skyline(&ds, Gamma::DEFAULT);
             assert_eq!(si.skyline, oracle.skyline, "{strategy:?}");
         }
@@ -157,8 +180,8 @@ mod tests {
             let ds = random_dataset(15, 8, 3, 1000 + seed);
             for gamma in [0.5, 0.8] {
                 let opts = AlgoOptions::exact(Gamma::new(gamma).unwrap());
-                let tr = transitive(&ds, &opts);
-                let si = sorted(&ds, &opts);
+                let tr = transitive(&ds, &opts).unwrap();
+                let si = sorted(&ds, &opts).unwrap();
                 let oracle = naive_skyline(&ds, Gamma::new(gamma).unwrap());
                 assert_eq!(tr.skyline, oracle.skyline, "TR seed={seed} gamma={gamma}");
                 assert_eq!(si.skyline, oracle.skyline, "SI seed={seed} gamma={gamma}");
@@ -174,7 +197,7 @@ mod tests {
         let mut mismatches = 0;
         for seed in 0..20 {
             let ds = random_dataset(15, 8, 3, 2000 + seed);
-            let tr = transitive(&ds, &paper(0.5));
+            let tr = transitive(&ds, &paper(0.5)).unwrap();
             let oracle = naive_skyline(&ds, Gamma::DEFAULT);
             if tr.skyline != oracle.skyline {
                 // Any deviation must be a superset (extra survivors), never
@@ -202,7 +225,7 @@ mod tests {
                 .unwrap();
         }
         let ds = b.build().unwrap();
-        let tr = transitive(&ds, &paper(0.5));
+        let tr = transitive(&ds, &paper(0.5)).unwrap();
         assert_eq!(tr.skyline, vec![11]);
         assert!(tr.stats.group_pairs < 12 * 11 / 2, "no pruning happened");
     }

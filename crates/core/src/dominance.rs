@@ -48,6 +48,40 @@ pub fn dominates(a: &[f64], b: &[f64]) -> bool {
     strict
 }
 
+/// A totally ordered `i64` key for one coordinate, used by the columnar
+/// kernel's structure-of-arrays lanes ([`crate::prepared::PreparedDataset`]).
+///
+/// The key is the [`f64::total_cmp`] bit transposition applied to the
+/// [`crate::ord::canon`]-icalized value, so for every pair of coordinates
+/// `a`, `b` (including `-0.0` vs `+0.0`, which the canonicalization
+/// collapses): `sort_key(a) < sort_key(b)` iff [`crate::ord::lt`]`(a, b)`,
+/// and likewise for `<=`/`==`. Working in key space lets the lane kernel
+/// use plain integer comparisons — branch-free, auto-vectorizable, and with
+/// `!(a > b) ⇔ a <= b` valid (which IEEE comparisons only give on
+/// NaN-free data; the builder guarantees finiteness, the keys make it a
+/// non-issue).
+#[inline(always)]
+pub fn sort_key(x: f64) -> i64 {
+    crate::num::f64_total_bits(crate::ord::canon(x))
+}
+
+/// Key-space mirror of [`dominates`]: `a` dominates `b` given both records'
+/// [`sort_key`] lanes. Used by the `invariants` feature to cross-check the
+/// columnar layout against the row-wise definition, and as the scalar
+/// reference for the bitmask kernel.
+#[inline]
+pub fn dominates_keys(a: &[i64], b: &[i64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strict = false;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        if x < y {
+            return false;
+        }
+        strict |= x > y;
+    }
+    strict
+}
+
 /// Compares two records in a single pass, classifying the pair into one of
 /// the four [`DomRelation`] outcomes.
 #[inline]

@@ -55,6 +55,10 @@ pub enum Error {
         /// `|R|`.
         len_r: usize,
     },
+    /// An operator was configured with an out-of-domain argument (e.g. a
+    /// kernel block size of zero). The message names the argument and the
+    /// accepted domain.
+    InvalidArgument(String),
     /// A parallel worker panicked and the scheduler exhausted its per-chunk
     /// retry budget (or, for the static strided scheduler, retries are not
     /// attempted at all). Transient panics are retried and quarantined
@@ -99,6 +103,7 @@ impl fmt::Display for Error {
             Error::PairCountOverflow { len_s, len_r } => {
                 write!(f, "pair count {len_s}*{len_r} overflows u64")
             }
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             Error::WorkerPanicked { worker, chunk } => {
                 write!(
                     f,

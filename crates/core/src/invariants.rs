@@ -75,6 +75,32 @@ pub fn check_prepared(ds: &GroupedDataset, prep: &PreparedDataset) {
                     }
                     check_mbb_contains(mbb, row);
                 }
+                if prep.lanes_enabled() {
+                    // Lane keys are the sort keys of the block's records in
+                    // column-major order, sentinel-padded to the block size.
+                    let lanes = prep.lane_block(g, b);
+                    debug_assert_eq!(lanes.len, view.len(), "group {g} block {b}: lane length");
+                    for (j, row) in view.rows.chunks_exact(dim).enumerate() {
+                        for (d, &v) in row.iter().enumerate() {
+                            debug_assert_eq!(
+                                lanes.lane(d)[j],
+                                crate::dominance::sort_key(v),
+                                "group {g} block {b} record {j}: lane {d} key mismatch"
+                            );
+                        }
+                        debug_assert_eq!(
+                            lanes.lane(dim)[j],
+                            crate::dominance::sort_key(view.sums[j]),
+                            "group {g} block {b} record {j}: sum-lane key mismatch"
+                        );
+                    }
+                    for j in view.len()..prep.block_size() {
+                        debug_assert_eq!(lanes.lane(0)[j], i64::MAX, "pad lane 0 sentinel");
+                        for d in 1..=dim {
+                            debug_assert_eq!(lanes.lane(d)[j], i64::MIN, "pad lane {d} sentinel");
+                        }
+                    }
+                }
             }
             debug_assert_eq!(covered, len, "group {g}: blocks do not partition");
         }
@@ -123,7 +149,7 @@ mod tests {
     fn clean_structures_pass() {
         let ds = random_dataset(6, 9, 3, 11);
         for block_size in [1, 3, 8] {
-            let prep = PreparedDataset::build(&ds, block_size);
+            let prep = PreparedDataset::build(&ds, block_size).unwrap();
             check_prepared(&ds, &prep);
         }
         check_pair_conservation(12, 3, 4);

@@ -13,21 +13,29 @@
 //! * **skipped** — neither block's maximum corner dominates the other's
 //!   minimum corner (or the coordinate-sum ranges rule a direction out):
 //!   no pair in either direction can dominate, contributing 0 in O(1);
-//! * **straddling** — anything else falls back to the record loop, where
-//!   the descending-sum order lets each probe record binary-search the
-//!   opposite block into a "can only be dominated" prefix and a "can only
-//!   dominate" suffix, skipping the equal-sum middle outright.
+//! * **straddling** — anything else falls back to a record loop: either the
+//!   row-wise binary-search loop ([`KernelConfig::Blocked`]) or the
+//!   branch-reduced columnar bitmask kernel over the preparation's key
+//!   lanes ([`KernelConfig::Columnar`], see [`crate::columnar`]). Both
+//!   produce bit-identical tallies and [`Stats`] charges.
 //!
 //! Every classification updates the same [`Counter`] the record-at-a-time
 //! path uses, so the Section 3.3 stopping rule (evaluated after each block
 //! pair) and the exact `n12`/`n21` tallies are preserved bit-for-bit.
+//!
+//! Block pairs are visited in a single deterministic linear order (the
+//! *block cursor*): pair `idx` is `(idx / nb₂, idx mod nb₂)`. The cursor is
+//! what makes the [`PairCache`] resumable — a memoized partial tally plus a
+//! cursor fully determine the remaining work, for any later γ.
 
 use crate::dataset::{GroupId, GroupedDataset};
 use crate::dominance::dominates;
+use crate::error::{Error, Result};
 use crate::gamma::Gamma;
 use crate::mbb::Mbb;
+use crate::paircache::{CachedTally, PairCache};
 use crate::paircount::{compare_groups, Counter, DomLevel, PairOptions, PairVerdict};
-use crate::prepared::{BlockView, PreparedDataset};
+use crate::prepared::{BlockView, PreparedDataset, MAX_LANE_BLOCK};
 use crate::stats::Stats;
 
 /// Selects the record-counting strategy used inside every group-vs-group
@@ -39,9 +47,17 @@ pub enum KernelConfig {
     #[default]
     Exhaustive,
     /// Preprocess each group once ([`PreparedDataset::build`]) and count
-    /// block-at-a-time.
+    /// block-at-a-time with the row-wise straddle loop.
     Blocked {
         /// Records per block; see [`PreparedDataset::DEFAULT_BLOCK_SIZE`].
+        block_size: usize,
+    },
+    /// Like [`KernelConfig::Blocked`], but straddling block pairs are
+    /// counted by the columnar bitmask kernel over the preparation's
+    /// structure-of-arrays key lanes (see [`crate::columnar`]). Requires
+    /// `block_size <= `[`MAX_LANE_BLOCK`] so one lane fits a `u64` mask.
+    Columnar {
+        /// Records per block (at most [`MAX_LANE_BLOCK`]).
         block_size: usize,
     },
 }
@@ -51,11 +67,24 @@ impl KernelConfig {
     pub fn blocked() -> KernelConfig {
         KernelConfig::Blocked { block_size: PreparedDataset::DEFAULT_BLOCK_SIZE }
     }
+
+    /// The columnar kernel at the default block size.
+    pub fn columnar() -> KernelConfig {
+        KernelConfig::Columnar { block_size: PreparedDataset::DEFAULT_BLOCK_SIZE }
+    }
+}
+
+/// Which straddle loop a prepared kernel runs. Both tally identically; the
+/// columnar loop is the faster one when lanes are available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StraddleMode {
+    RowWise,
+    Columnar,
 }
 
 enum Prep<'a> {
     None,
-    Owned(PreparedDataset),
+    Owned(Box<PreparedDataset>),
     Borrowed(&'a PreparedDataset),
 }
 
@@ -63,33 +92,82 @@ enum Prep<'a> {
 /// algorithms use for group-vs-group comparisons.
 ///
 /// Construction performs the (one-time) preprocessing when the config asks
-/// for the blocked kernel; [`Kernel::with_prepared`] reuses a
+/// for a prepared kernel; [`Kernel::with_prepared`] reuses a
 /// [`PreparedDataset`] built elsewhere, e.g. one shared by several
 /// algorithm runs or worker threads. The kernel is plain data, so a shared
 /// reference can be used from many threads concurrently.
 pub struct Kernel<'a> {
     ds: &'a GroupedDataset,
     prep: Prep<'a>,
+    columnar: bool,
 }
 
 impl<'a> Kernel<'a> {
     /// Binds `ds` to the strategy selected by `config`.
-    pub fn new(ds: &'a GroupedDataset, config: KernelConfig) -> Kernel<'a> {
-        let prep = match config {
-            KernelConfig::Exhaustive => Prep::None,
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] for a zero block size, or for a
+    /// columnar block size above [`MAX_LANE_BLOCK`] (one lane must fit a
+    /// `u64` dominance bitmask).
+    pub fn new(ds: &'a GroupedDataset, config: KernelConfig) -> Result<Kernel<'a>> {
+        match config {
+            KernelConfig::Exhaustive => Ok(Kernel::exhaustive(ds)),
             KernelConfig::Blocked { block_size } => {
-                Prep::Owned(PreparedDataset::build(ds, block_size))
+                let prep = PreparedDataset::build(ds, block_size)?;
+                Ok(Kernel { ds, prep: Prep::Owned(Box::new(prep)), columnar: false })
             }
-        };
-        Kernel { ds, prep }
+            KernelConfig::Columnar { block_size } => {
+                if block_size > MAX_LANE_BLOCK {
+                    return Err(Error::InvalidArgument(format!(
+                        "columnar block_size {block_size} exceeds MAX_LANE_BLOCK \
+                         ({MAX_LANE_BLOCK}); one lane must fit a u64 bitmask"
+                    )));
+                }
+                let prep = PreparedDataset::build(ds, block_size)?;
+                debug_assert!(prep.lanes_enabled());
+                Ok(Kernel { ds, prep: Prep::Owned(Box::new(prep)), columnar: true })
+            }
+        }
     }
 
-    /// Binds `ds` to an existing preparation (always blocked).
+    /// Binds `ds` to the exhaustive (no preprocessing) strategy. Infallible
+    /// — this is what [`crate::Algorithm::run`] uses, keeping the paper
+    /// configuration free of error plumbing.
+    pub fn exhaustive(ds: &'a GroupedDataset) -> Kernel<'a> {
+        Kernel { ds, prep: Prep::None, columnar: false }
+    }
+
+    /// Binds `ds` to an existing preparation, using the row-wise straddle
+    /// loop (the historical behavior; see
+    /// [`Kernel::with_prepared_columnar`]).
     ///
     /// The preparation must have been built from `ds`.
     pub fn with_prepared(ds: &'a GroupedDataset, prep: &'a PreparedDataset) -> Kernel<'a> {
         debug_assert_eq!(ds.n_records(), prep.n_records());
-        Kernel { ds, prep: Prep::Borrowed(prep) }
+        Kernel { ds, prep: Prep::Borrowed(prep), columnar: false }
+    }
+
+    /// Binds `ds` to an existing preparation, counting straddles with the
+    /// columnar bitmask kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] if the preparation was built
+    /// without key lanes (block size above [`MAX_LANE_BLOCK`]).
+    pub fn with_prepared_columnar(
+        ds: &'a GroupedDataset,
+        prep: &'a PreparedDataset,
+    ) -> Result<Kernel<'a>> {
+        debug_assert_eq!(ds.n_records(), prep.n_records());
+        if !prep.lanes_enabled() {
+            return Err(Error::InvalidArgument(format!(
+                "preparation has no key lanes (block_size {} > MAX_LANE_BLOCK \
+                 {MAX_LANE_BLOCK}); rebuild with a smaller block size",
+                prep.block_size()
+            )));
+        }
+        Ok(Kernel { ds, prep: Prep::Borrowed(prep), columnar: true })
     }
 
     /// The underlying dataset.
@@ -98,13 +176,29 @@ impl<'a> Kernel<'a> {
         self.ds
     }
 
-    /// The preparation, when the blocked kernel is active.
+    /// The preparation, when a prepared (blocked or columnar) kernel is
+    /// active.
     #[inline]
     pub fn prepared(&self) -> Option<&PreparedDataset> {
         match &self.prep {
             Prep::None => None,
             Prep::Owned(p) => Some(p),
             Prep::Borrowed(p) => Some(p),
+        }
+    }
+
+    /// Whether straddling block pairs run the columnar bitmask kernel.
+    #[inline]
+    pub fn is_columnar(&self) -> bool {
+        self.columnar
+    }
+
+    #[inline]
+    fn straddle_mode(&self) -> StraddleMode {
+        if self.columnar {
+            StraddleMode::Columnar
+        } else {
+            StraddleMode::RowWise
         }
     }
 
@@ -128,13 +222,73 @@ impl<'a> Kernel<'a> {
         stats: &mut Stats,
     ) -> PairVerdict {
         match self.prepared() {
-            Some(p) => compare_groups_blocked(p, g1, g2, gamma, boxes, opts, stats),
+            Some(p) => {
+                compare_groups_prepared(p, g1, g2, gamma, boxes, opts, stats, self.straddle_mode())
+            }
             None => compare_groups(self.ds, g1, g2, gamma, boxes, opts, stats),
+        }
+    }
+
+    /// Like [`Kernel::compare`], memoizing (and reusing) pair tallies
+    /// through `cache`. Falls back to the uncached path when no cache is
+    /// given or the kernel is exhaustive (the cache's resume cursor is
+    /// defined over block pairs).
+    ///
+    /// The verdict is always the one an uncached run would produce —
+    /// stop-rule verdicts are certain, so serving or resuming a memoized
+    /// partial cannot flip an outcome — but `Stats` work counters reflect
+    /// only the *new* counting performed, with the reuse visible in
+    /// `cache_hits` / `cache_misses` / `cache_resumes`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compare_cached(
+        &self,
+        g1: GroupId,
+        g2: GroupId,
+        gamma: Gamma,
+        boxes: Option<(&Mbb, &Mbb)>,
+        opts: PairOptions,
+        cache: Option<&mut PairCache>,
+        stats: &mut Stats,
+    ) -> PairVerdict {
+        match (self.prepared(), cache) {
+            (Some(p), Some(cache)) => compare_groups_cached(
+                p,
+                g1,
+                g2,
+                gamma,
+                boxes,
+                opts,
+                cache,
+                stats,
+                self.straddle_mode(),
+            ),
+            _ => self.compare(g1, g2, gamma, boxes, opts, stats),
         }
     }
 }
 
-/// Compares groups `g1` and `g2` block-at-a-time over a prepared dataset.
+/// The Figure 9(b) group-level bounding-box shortcuts, shared by every
+/// prepared comparison path. `Some` when the boxes resolve the pair with
+/// zero record comparisons.
+fn bbox_shortcut(boxes: Option<(&Mbb, &Mbb)>, stats: &mut Stats) -> Option<PairVerdict> {
+    let (b1, b2) = boxes?;
+    if b1.strictly_dominates(b2) {
+        stats.bbox_resolved += 1;
+        return Some(PairVerdict { forward: DomLevel::GammaBar, backward: DomLevel::None });
+    }
+    if b2.strictly_dominates(b1) {
+        stats.bbox_resolved += 1;
+        return Some(PairVerdict { forward: DomLevel::None, backward: DomLevel::GammaBar });
+    }
+    if !b1.may_dominate(b2) && !b2.may_dominate(b1) {
+        stats.bbox_resolved += 1;
+        return Some(PairVerdict::INCOMPARABLE);
+    }
+    None
+}
+
+/// Compares groups `g1` and `g2` block-at-a-time over a prepared dataset
+/// with the row-wise straddle loop.
 ///
 /// Semantically identical to [`crate::compare_groups`] on the source
 /// dataset: the same γ/γ̄ verdicts, the same Figure 9(b) group-level
@@ -150,27 +304,124 @@ pub fn compare_groups_blocked(
     opts: PairOptions,
     stats: &mut Stats,
 ) -> PairVerdict {
+    compare_groups_prepared(prep, g1, g2, gamma, boxes, opts, stats, StraddleMode::RowWise)
+}
+
+/// [`compare_groups_blocked`] with the columnar bitmask straddle kernel:
+/// bit-identical verdicts, tallies and [`Stats`] (the two straddle loops
+/// charge the same `records_compared` / `record_pairs`). Falls back to the
+/// row-wise loop if the preparation carries no key lanes.
+pub fn compare_groups_columnar(
+    prep: &PreparedDataset,
+    g1: GroupId,
+    g2: GroupId,
+    gamma: Gamma,
+    boxes: Option<(&Mbb, &Mbb)>,
+    opts: PairOptions,
+    stats: &mut Stats,
+) -> PairVerdict {
+    compare_groups_prepared(prep, g1, g2, gamma, boxes, opts, stats, StraddleMode::Columnar)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compare_groups_prepared(
+    prep: &PreparedDataset,
+    g1: GroupId,
+    g2: GroupId,
+    gamma: Gamma,
+    boxes: Option<(&Mbb, &Mbb)>,
+    opts: PairOptions,
+    stats: &mut Stats,
+    mode: StraddleMode,
+) -> PairVerdict {
     stats.group_pairs += 1;
     let total = crate::num::pair_product(prep.group_len(g1), prep.group_len(g2));
     let mut counter = Counter::new(total, gamma, opts);
-    if let Some((b1, b2)) = boxes {
-        // Figure 9(b) at group granularity, exactly as in `compare_groups`.
-        if b1.strictly_dominates(b2) {
-            stats.bbox_resolved += 1;
-            return PairVerdict { forward: DomLevel::GammaBar, backward: DomLevel::None };
-        }
-        if b2.strictly_dominates(b1) {
-            stats.bbox_resolved += 1;
-            return PairVerdict { forward: DomLevel::None, backward: DomLevel::GammaBar };
-        }
-        if !b1.may_dominate(b2) && !b2.may_dominate(b1) {
-            stats.bbox_resolved += 1;
-            return PairVerdict::INCOMPARABLE;
-        }
+    if let Some(v) = bbox_shortcut(boxes, stats) {
+        return v;
     }
-    match run_blocks(prep, g1, g2, &mut counter, opts, stats) {
+    match run_blocks_from(prep, g1, g2, &mut counter, opts, stats, mode, 0).0 {
         Some(v) => v,
         None => counter.final_verdict(),
+    }
+}
+
+/// The memoizing comparison path behind [`Kernel::compare_cached`]: counts
+/// in canonical `(min, max)` group orientation so one cache entry serves
+/// both orientations, serves memoized verdicts when they are already
+/// certain under the caller's γ, and otherwise resumes the block cursor
+/// from where the memoized tally stopped.
+#[allow(clippy::too_many_arguments)]
+fn compare_groups_cached(
+    prep: &PreparedDataset,
+    g1: GroupId,
+    g2: GroupId,
+    gamma: Gamma,
+    boxes: Option<(&Mbb, &Mbb)>,
+    opts: PairOptions,
+    cache: &mut PairCache,
+    stats: &mut Stats,
+    mode: StraddleMode,
+) -> PairVerdict {
+    stats.group_pairs += 1;
+    if let Some(v) = bbox_shortcut(boxes, stats) {
+        return v;
+    }
+    let (lo, hi) = if g1 <= g2 { (g1, g2) } else { (g2, g1) };
+    let total = crate::num::pair_product(prep.group_len(lo), prep.group_len(hi));
+    let (tally, was_cached) = match cache.lookup(lo, hi) {
+        Some(t) => {
+            debug_assert_eq!(t.total, total, "cache entry from a different dataset");
+            (t, true)
+        }
+        None => {
+            stats.cache_misses += 1;
+            (CachedTally::fresh(total), false)
+        }
+    };
+    let mut counter = Counter::resume(total, gamma, opts, tally.n12, tally.n21, tally.checked);
+    // Can the memoized evidence already decide the pair under this γ?
+    let served = if tally.complete() {
+        Some(counter.final_verdict())
+    } else if opts.stop_rule {
+        counter.verdict()
+    } else {
+        None
+    };
+    let verdict = match served {
+        Some(v) => {
+            if was_cached {
+                stats.cache_hits += 1;
+            }
+            v
+        }
+        None => {
+            if was_cached {
+                stats.cache_resumes += 1;
+            }
+            let (early, cursor) =
+                run_blocks_from(prep, lo, hi, &mut counter, opts, stats, mode, tally.cursor);
+            cache.store(
+                lo,
+                hi,
+                CachedTally {
+                    n12: counter.n12,
+                    n21: counter.n21,
+                    checked: counter.checked,
+                    total,
+                    cursor,
+                },
+            );
+            match early {
+                Some(v) => v,
+                None => counter.final_verdict(),
+            }
+        }
+    };
+    if g1 <= g2 {
+        verdict
+    } else {
+        verdict.flipped()
     }
 }
 
@@ -188,7 +439,8 @@ pub fn count_pairs(
     let total = crate::num::pair_product(prep.group_len(g1), prep.group_len(g2));
     let opts = PairOptions { stop_rule: false, need_bar: false, corrected_bar: false };
     let mut counter = Counter::new(total, Gamma::DEFAULT, opts);
-    let early = run_blocks(prep, g1, g2, &mut counter, opts, stats);
+    let mode = if prep.lanes_enabled() { StraddleMode::Columnar } else { StraddleMode::RowWise };
+    let (early, _) = run_blocks_from(prep, g1, g2, &mut counter, opts, stats, mode, 0);
     debug_assert!(early.is_none(), "stop rule is disabled");
     crate::invariants::check_pair_conservation(
         counter.checked,
@@ -199,21 +451,36 @@ pub fn count_pairs(
     (counter.n12, counter.n21)
 }
 
-/// The block-pair loop. Returns `Some` when the stopping rule resolves the
-/// pair early, `None` when every block pair has been accounted for (in
-/// which case `counter.checked == counter.total`).
-fn run_blocks(
+/// The block-pair loop, resumable at an arbitrary cursor position.
+///
+/// Block pairs are visited in the linear cursor order `idx ↦
+/// (idx / nb₂, idx mod nb₂)`, skipping pairs below `start` (which a
+/// [`PairCache`] tally has already accounted for). Returns `Some` plus the
+/// cursor *after* the deciding pair when the stopping rule resolves the
+/// comparison early, or `None` plus the cursor one past the last pair when
+/// every block pair has been accounted for (in which case
+/// `counter.checked == counter.total`).
+#[allow(clippy::too_many_arguments)]
+fn run_blocks_from(
     prep: &PreparedDataset,
     g1: GroupId,
     g2: GroupId,
     counter: &mut Counter,
     opts: PairOptions,
     stats: &mut Stats,
-) -> Option<PairVerdict> {
+    mode: StraddleMode,
+    start: u64,
+) -> (Option<PairVerdict>, u64) {
     let dim = prep.dim();
+    let columnar = mode == StraddleMode::Columnar && prep.lanes_enabled();
+    let mut cursor = 0u64;
     for a in 0..prep.n_blocks(g1) {
         let ba = prep.block(g1, a);
         for b in 0..prep.n_blocks(g2) {
+            cursor += 1;
+            if cursor <= start {
+                continue;
+            }
             let bb = prep.block(g2, b);
             let pairs = crate::num::pair_product(ba.len(), bb.len());
             if dominates(ba.min, bb.max) {
@@ -236,25 +503,31 @@ fn run_blocks(
                     counter.checked += pairs;
                     stats.blocks_skipped += 1;
                 } else {
-                    straddle(dim, &ba, &bb, fwd, bwd, counter, stats);
+                    if columnar {
+                        let la = prep.lane_block(g1, a);
+                        let lb = prep.lane_block(g2, b);
+                        crate::columnar::straddle_lanes(dim, &la, &lb, fwd, bwd, counter, stats);
+                    } else {
+                        straddle(dim, &ba, &bb, fwd, bwd, counter, stats);
+                    }
                     counter.checked += pairs;
                 }
             }
             if opts.stop_rule && counter.checked < counter.total {
                 if let Some(v) = counter.verdict() {
                     stats.early_stops += 1;
-                    return Some(v);
+                    return (Some(v), cursor);
                 }
             }
         }
     }
-    None
+    (None, cursor)
 }
 
-/// Record loop for a straddling block pair. Only the directions flagged
-/// possible are tested, and within a direction only the records whose sums
-/// permit it: `bb.sums` is descending, so for each probe record the
-/// strictly-greater prefix can only dominate it and the strictly-smaller
+/// Row-wise record loop for a straddling block pair. Only the directions
+/// flagged possible are tested, and within a direction only the records
+/// whose sums permit it: `bb.sums` is descending, so for each probe record
+/// the strictly-greater prefix can only dominate it and the strictly-smaller
 /// suffix can only be dominated by it.
 fn straddle(
     dim: usize,
@@ -315,7 +588,7 @@ mod tests {
         for seed in 0..10 {
             let ds = random_dataset(10, 9, 3, 600 + seed);
             for block_size in [1, 3, 64] {
-                let prep = PreparedDataset::build(&ds, block_size);
+                let prep = PreparedDataset::build(&ds, block_size).unwrap();
                 let boxes = Mbb::of_all_groups(&ds);
                 for g1 in 0..ds.n_groups() {
                     for g2 in (g1 + 1)..ds.n_groups() {
@@ -357,6 +630,61 @@ mod tests {
         }
     }
 
+    /// The columnar straddle kernel is bit-identical to the row-wise one:
+    /// same verdicts *and* same `Stats`, for every option set, with and
+    /// without boxes (kernel-level differential; the workspace-level suite
+    /// in `tests/columnar_differential.rs` extends this across dimensions
+    /// and algorithms).
+    #[test]
+    fn columnar_is_bit_identical_to_row_wise() {
+        for seed in 0..6 {
+            let ds = random_dataset(8, 9, 3, 900 + seed);
+            for block_size in [1, 3, 8, 64] {
+                let prep = PreparedDataset::build(&ds, block_size).unwrap();
+                assert!(prep.lanes_enabled());
+                let boxes = Mbb::of_all_groups(&ds);
+                for g1 in 0..ds.n_groups() {
+                    for g2 in (g1 + 1)..ds.n_groups() {
+                        for opts in all_pair_options() {
+                            for use_boxes in [false, true] {
+                                let pair_boxes = use_boxes.then(|| (&boxes[g1], &boxes[g2]));
+                                let mut s_row = Stats::default();
+                                let mut s_col = Stats::default();
+                                let row = compare_groups_blocked(
+                                    &prep,
+                                    g1,
+                                    g2,
+                                    Gamma::DEFAULT,
+                                    pair_boxes,
+                                    opts,
+                                    &mut s_row,
+                                );
+                                let col = compare_groups_columnar(
+                                    &prep,
+                                    g1,
+                                    g2,
+                                    Gamma::DEFAULT,
+                                    pair_boxes,
+                                    opts,
+                                    &mut s_col,
+                                );
+                                assert_eq!(
+                                    row, col,
+                                    "seed={seed} bs={block_size} {g1}v{g2} {opts:?}"
+                                );
+                                assert_eq!(
+                                    s_row, s_col,
+                                    "stats diverged: seed={seed} bs={block_size} {g1}v{g2} \
+                                     {opts:?} boxes={use_boxes}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     fn ones(m: &DominationMatrix) -> u64 {
         let mut n = 0;
         for i in 0..m.rows() {
@@ -370,7 +698,7 @@ mod tests {
     #[test]
     fn count_pairs_matches_domination_matrix() {
         let ds = movie_directors();
-        let prep = PreparedDataset::build(&ds, 2);
+        let prep = PreparedDataset::build(&ds, 2).unwrap();
         for g1 in ds.group_ids() {
             for g2 in ds.group_ids() {
                 if g1 == g2 {
@@ -392,7 +720,7 @@ mod tests {
         b.push_group("lo", &lo).unwrap();
         b.push_group("hi", &hi).unwrap();
         let ds = b.build().unwrap();
-        let prep = PreparedDataset::build(&ds, 4);
+        let prep = PreparedDataset::build(&ds, 4).unwrap();
         let mut stats = Stats::default();
         let (n12, n21) = count_pairs(&prep, 1, 0, &mut stats);
         assert_eq!((n12, n21), (64, 0));
@@ -403,29 +731,94 @@ mod tests {
     #[test]
     fn kernel_dispatch_matches_compare_groups() {
         let ds = movie_directors();
-        let exhaustive = Kernel::new(&ds, KernelConfig::Exhaustive);
-        let blocked = Kernel::new(&ds, KernelConfig::blocked());
+        let exhaustive = Kernel::new(&ds, KernelConfig::Exhaustive).unwrap();
+        let blocked = Kernel::new(&ds, KernelConfig::blocked()).unwrap();
+        let columnar = Kernel::new(&ds, KernelConfig::columnar()).unwrap();
         assert!(exhaustive.prepared().is_none());
         assert!(blocked.prepared().is_some());
+        assert!(columnar.prepared().is_some() && columnar.is_columnar());
         let opts = PairOptions::default();
         for g1 in ds.group_ids() {
             for g2 in (g1 + 1)..ds.n_groups() {
                 let mut s1 = Stats::default();
                 let mut s2 = Stats::default();
-                assert_eq!(
-                    exhaustive.compare(g1, g2, Gamma::DEFAULT, None, opts, &mut s1),
-                    blocked.compare(g1, g2, Gamma::DEFAULT, None, opts, &mut s2),
-                );
+                let mut s3 = Stats::default();
+                let v = exhaustive.compare(g1, g2, Gamma::DEFAULT, None, opts, &mut s1);
+                assert_eq!(v, blocked.compare(g1, g2, Gamma::DEFAULT, None, opts, &mut s2));
+                assert_eq!(v, columnar.compare(g1, g2, Gamma::DEFAULT, None, opts, &mut s3));
             }
         }
     }
 
     #[test]
+    fn invalid_kernel_configs_are_rejected() {
+        let ds = movie_directors();
+        assert!(matches!(
+            Kernel::new(&ds, KernelConfig::Blocked { block_size: 0 }),
+            Err(Error::InvalidArgument(_))
+        ));
+        assert!(matches!(
+            Kernel::new(&ds, KernelConfig::Columnar { block_size: 0 }),
+            Err(Error::InvalidArgument(_))
+        ));
+        assert!(matches!(
+            Kernel::new(&ds, KernelConfig::Columnar { block_size: MAX_LANE_BLOCK + 1 }),
+            Err(Error::InvalidArgument(_))
+        ));
+        let big = PreparedDataset::build(&ds, MAX_LANE_BLOCK + 1).unwrap();
+        assert!(!big.lanes_enabled());
+        assert!(matches!(
+            Kernel::with_prepared_columnar(&ds, &big),
+            Err(Error::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
     fn with_prepared_shares_one_preparation() {
         let ds = movie_directors();
-        let prep = PreparedDataset::build(&ds, 8);
+        let prep = PreparedDataset::build(&ds, 8).unwrap();
         let kernel = Kernel::with_prepared(&ds, &prep);
         assert!(std::ptr::eq(kernel.prepared().unwrap(), &prep));
         assert_eq!(kernel.group_mbbs().unwrap(), &Mbb::of_all_groups(&ds)[..]);
+        let columnar = Kernel::with_prepared_columnar(&ds, &prep).unwrap();
+        assert!(columnar.is_columnar());
+    }
+
+    /// Cached comparisons serve and resume without flipping any verdict,
+    /// in either orientation, across a γ sweep that tightens the threshold.
+    #[test]
+    fn cached_compare_matches_uncached_across_gammas() {
+        for seed in 0..4 {
+            let ds = random_dataset(8, 9, 3, 1200 + seed);
+            let kernel = Kernel::new(&ds, KernelConfig::columnar()).unwrap();
+            let mut cache = PairCache::new();
+            let opts = PairOptions::default();
+            for gamma in [0.5, 0.6, 0.75, 0.9] {
+                let gamma = Gamma::new(gamma).unwrap();
+                for g1 in 0..ds.n_groups() {
+                    for g2 in 0..ds.n_groups() {
+                        if g1 == g2 {
+                            continue;
+                        }
+                        let mut s1 = Stats::default();
+                        let mut s2 = Stats::default();
+                        let plain = kernel.compare(g1, g2, gamma, None, opts, &mut s1);
+                        let cached = kernel.compare_cached(
+                            g1,
+                            g2,
+                            gamma,
+                            None,
+                            opts,
+                            Some(&mut cache),
+                            &mut s2,
+                        );
+                        assert_eq!(plain, cached, "seed={seed} γ={gamma} {g1}v{g2}");
+                    }
+                }
+            }
+            // Both orientations of every pair were queried at four γ values:
+            // the second orientation and later sweeps must reuse evidence.
+            assert!(!cache.is_empty());
+        }
     }
 }

@@ -50,6 +50,12 @@
 //!   counting (lint rule L3).
 //! * [`invariants`] — `debug_assert!`-based structural contracts, compiled
 //!   in behind the `invariants` feature.
+//! * [`columnar`] — branch-reduced bitmask kernel for straddling block
+//!   pairs over the preparation's structure-of-arrays key lanes.
+//! * [`paircache`] — cross-γ memoization of pair tallies, resumable at the
+//!   kernel's block cursor.
+//! * [`sweep`] — γ-sweep driver sharing one preparation and one pair cache
+//!   across thresholds.
 
 #![warn(missing_docs)]
 
@@ -57,6 +63,7 @@ pub use aggsky_obs as obs;
 
 pub mod algorithms;
 pub mod anytime;
+pub mod columnar;
 pub mod dataset;
 pub mod dominance;
 pub mod dynamic;
@@ -69,6 +76,7 @@ pub mod matrix;
 pub mod mbb;
 pub mod num;
 pub mod ord;
+pub mod paircache;
 pub mod paircount;
 pub mod prepared;
 pub mod properties;
@@ -79,6 +87,7 @@ pub mod skyband;
 pub mod skycube;
 pub mod stats;
 pub mod subspace;
+pub mod sweep;
 
 #[cfg(test)]
 pub(crate) mod testdata;
@@ -99,13 +108,16 @@ pub use explain::{
     explain_membership, pair_contribution, stars_of, Membership, PairContribution, Threat,
 };
 pub use gamma::{domination_count, domination_probability, gamma_dominates, Gamma};
-pub use kernel::{compare_groups_blocked, count_pairs, Kernel, KernelConfig};
+pub use kernel::{
+    compare_groups_blocked, compare_groups_columnar, count_pairs, Kernel, KernelConfig,
+};
 pub use matrix::DominationMatrix;
 pub use mbb::Mbb;
+pub use paircache::{CachedTally, PairCache};
 pub use paircount::{
     compare_groups, compare_groups_exhaustive, DomLevel, PairOptions, PairVerdict,
 };
-pub use prepared::{BlockView, PreparedDataset};
+pub use prepared::{BlockView, LaneBlock, PreparedDataset, MAX_LANE_BLOCK};
 pub use ranking::{min_gamma_per_group, ranked_skyline, RankedGroup};
 pub use runctx::{CancelToken, InterruptReason, Outcome, RunContext};
 #[cfg(feature = "chaos")]
@@ -113,3 +125,4 @@ pub use runctx::{FaultKind, FaultPlan};
 pub use skyband::{k_skyband, top_k_robust};
 pub use skycube::{skycube, Skycube, SubspaceSkyline};
 pub use stats::Stats;
+pub use sweep::{gamma_sweep, gamma_sweep_ctx, SweepOutcome, SweepResult};

@@ -76,6 +76,23 @@ pub fn exact_int(x: f64) -> Option<i64> {
     }
 }
 
+/// Reinterprets a float's IEEE-754 bit pattern as a signed integer and
+/// folds the sign-magnitude encoding into two's complement, yielding an
+/// `i64` whose natural order equals [`f64::total_cmp`]: for all `a`, `b`,
+/// `f64_total_bits(a) < f64_total_bits(b)` iff `a.total_cmp(&b)` is
+/// `Less`. This is the same transposition `total_cmp` performs internally;
+/// the `as` casts are same-width reinterpretations (never truncating) and
+/// are confined here per rule L3. [`crate::dominance::sort_key`] layers the
+/// `-0.0` canonicalization on top for the columnar kernel's key lanes.
+#[inline(always)]
+pub fn f64_total_bits(x: f64) -> i64 {
+    let bits = x.to_bits() as i64;
+    // Negative floats sort descending by raw bits; flipping their magnitude
+    // bits (all but the sign bit) makes the integer order total and
+    // consistent with total_cmp.
+    bits ^ (((bits >> 63) as u64) >> 1) as i64
+}
+
 /// Saturating float→`i32` conversion (NaN maps to zero), centralizing the
 /// float→int `as` cast for callers that clamp user-supplied numeric
 /// arguments to a small integer range.
@@ -138,6 +155,32 @@ mod tests {
         assert_eq!(to_i32_sat(1e12), i32::MAX);
         assert_eq!(to_i32_sat(-1e12), i32::MIN);
         assert_eq!(to_i32_sat(f64::NAN), 0);
+    }
+
+    #[test]
+    fn f64_total_bits_orders_like_total_cmp() {
+        let samples = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.5,
+            -0.0,
+            0.0,
+            1e-9,
+            2.5,
+            1e300,
+            f64::INFINITY,
+            f64::NAN,
+            -f64::NAN,
+        ];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(
+                    f64_total_bits(a).cmp(&f64_total_bits(b)),
+                    a.total_cmp(&b),
+                    "{a} vs {b}"
+                );
+            }
+        }
     }
 
     #[test]

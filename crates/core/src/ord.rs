@@ -22,9 +22,11 @@ use std::cmp::Ordering;
 
 /// Maps `-0.0` to `+0.0` (the IEEE sum `-0.0 + 0.0` is `+0.0`) so the total
 /// order agrees with `==` on zeros; all other values, including NaN and the
-/// infinities, are unchanged.
+/// infinities, are unchanged. Public within the crate so
+/// [`crate::dominance::sort_key`] can apply the same normalization before
+/// transposing bits into the columnar kernel's integer key space.
 #[inline(always)]
-fn canon(x: f64) -> f64 {
+pub(crate) fn canon(x: f64) -> f64 {
     x + 0.0
 }
 

@@ -1,0 +1,148 @@
+//! Cross-γ memoization of pair counts.
+//!
+//! Every algorithm resolves a group pair by counting dominating record
+//! pairs, and a γ-sensitivity sweep (or two algorithms sharing one run)
+//! recomputes the *same* tallies: the counts `n12`/`n21` depend only on the
+//! data, never on γ or on [`crate::PairOptions`]. [`PairCache`] memoizes
+//! the [`Counter`](crate::paircount) state per unordered group pair —
+//! including *partial* tallies cut short by the Section 3.3 stopping rule —
+//! so a later query can either serve the verdict outright or resume
+//! counting from where the previous one stopped.
+//!
+//! Resumption is sound because of two properties (DESIGN.md §12):
+//!
+//! 1. the blocked kernel counts block pairs in a fixed deterministic order
+//!    (a single linear cursor over `(block of g_lo) × (block of g_hi)` in
+//!    canonical `g_lo < g_hi` orientation), so a cached `cursor` uniquely
+//!    identifies *which* pairs the tallies cover, regardless of which
+//!    algorithm, straddle kernel (row-wise or columnar — they tally
+//!    identically), or γ produced them;
+//! 2. every verdict the stopping rule accepts is *certain* — equal to the
+//!    full-count verdict — so serving a cached partial under a new γ (when
+//!    its `verdict()` resolves) and finishing the count (when it does not)
+//!    agree with what an uncached run would conclude.
+//!
+//! The cache is deliberately **not** synchronized: the parallel scheduler
+//! gives each worker its own shard ([`crate::parallel_skyline`]), which
+//! costs duplicate work across workers but never serializes them. Budget
+//! accounting in [`crate::RunContext`] charges only freshly counted pairs
+//! (`Stats::record_pairs` is advanced by the kernel loops, not by cache
+//! hits), so resumed work is ticked exactly once across a sweep.
+
+use crate::dataset::GroupId;
+use std::collections::HashMap;
+
+/// Memoized counting state of one group pair, in canonical orientation
+/// (`n12` counts records of the *smaller* group id dominating the larger).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachedTally {
+    /// Dominating pairs `g_lo → g_hi` among the first `checked` pairs.
+    pub n12: u64,
+    /// Dominating pairs `g_hi → g_lo` among the first `checked` pairs.
+    pub n21: u64,
+    /// Record pairs accounted for so far (classified, skipped or counted).
+    pub checked: u64,
+    /// The pair-count denominator `|g_lo|·|g_hi|`.
+    pub total: u64,
+    /// Next block-pair index of the kernel's linear block cursor; counting
+    /// resumes here when a tighter γ needs more evidence.
+    pub cursor: u64,
+}
+
+impl CachedTally {
+    /// A tally covering no pairs yet.
+    #[inline]
+    pub fn fresh(total: u64) -> CachedTally {
+        CachedTally { n12: 0, n21: 0, checked: 0, total, cursor: 0 }
+    }
+
+    /// Whether every pair has been accounted for (nothing left to resume).
+    #[inline]
+    pub fn complete(&self) -> bool {
+        self.checked == self.total
+    }
+}
+
+/// A memo table of [`CachedTally`] entries keyed by unordered group pair,
+/// shared across algorithms within a run and across the γ-sweep driver
+/// ([`crate::gamma_sweep`]).
+///
+/// Valid only against one fixed dataset/preparation; callers own that
+/// association (the sweep driver builds the preparation and the cache side
+/// by side, the parallel scheduler keeps one shard per worker).
+#[derive(Debug, Default)]
+pub struct PairCache {
+    map: HashMap<(GroupId, GroupId), CachedTally>,
+}
+
+impl PairCache {
+    /// An empty cache.
+    pub fn new() -> PairCache {
+        PairCache::default()
+    }
+
+    /// Number of memoized pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The memoized tally for the unordered pair `{g1, g2}`, if any.
+    #[inline]
+    pub fn lookup(&self, g1: GroupId, g2: GroupId) -> Option<CachedTally> {
+        self.map.get(&Self::key(g1, g2)).copied()
+    }
+
+    /// Stores (or overwrites) the tally for the unordered pair `{g1, g2}`.
+    /// The tally must be oriented canonically: `n12` for the smaller id
+    /// dominating the larger.
+    #[inline]
+    pub fn store(&mut self, g1: GroupId, g2: GroupId, tally: CachedTally) {
+        self.map.insert(Self::key(g1, g2), tally);
+    }
+
+    /// Drops every entry (e.g. when switching datasets).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    #[inline]
+    fn key(g1: GroupId, g2: GroupId) -> (GroupId, GroupId) {
+        if g1 <= g2 {
+            (g1, g2)
+        } else {
+            (g2, g1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_is_orientation_free() {
+        let mut cache = PairCache::new();
+        assert!(cache.is_empty());
+        let t = CachedTally { n12: 3, n21: 1, checked: 10, total: 12, cursor: 2 };
+        cache.store(7, 2, t);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(2, 7), Some(t));
+        assert_eq!(cache.lookup(7, 2), Some(t));
+        assert!(!t.complete());
+        cache.clear();
+        assert!(cache.lookup(2, 7).is_none());
+    }
+
+    #[test]
+    fn fresh_tally_is_incomplete_until_total_zero() {
+        assert!(!CachedTally::fresh(5).complete());
+        assert!(CachedTally::fresh(0).complete());
+    }
+}

@@ -49,6 +49,15 @@ pub struct PairVerdict {
 impl PairVerdict {
     pub(crate) const INCOMPARABLE: PairVerdict =
         PairVerdict { forward: DomLevel::None, backward: DomLevel::None };
+
+    /// The same resolution seen from the opposite orientation: forward and
+    /// backward swapped. Used by the pair cache, which always counts a pair
+    /// in canonical `(min, max)` group order regardless of how the caller
+    /// oriented the comparison.
+    #[inline]
+    pub fn flipped(self) -> PairVerdict {
+        PairVerdict { forward: self.backward, backward: self.forward }
+    }
 }
 
 /// Tuning knobs for [`compare_groups`].
@@ -102,6 +111,30 @@ impl Counter {
             },
             need_bar: opts.need_bar,
         }
+    }
+
+    /// Rebuilds a counter from memoized tallies ([`crate::PairCache`]),
+    /// under a possibly *different* γ and option set than the run that
+    /// produced them. Sound because the tallies themselves are
+    /// γ-independent: `n12`/`n21`/`checked` only record which of the first
+    /// `checked` pairs (in the kernel's deterministic block-pair order)
+    /// dominate, and every `verdict()` the stopping rule accepts is certain
+    /// — it equals the full-count verdict — so resuming under a new γ can
+    /// only extend the count, never contradict it.
+    pub(crate) fn resume(
+        total: u64,
+        gamma: Gamma,
+        opts: PairOptions,
+        n12: u64,
+        n21: u64,
+        checked: u64,
+    ) -> Self {
+        debug_assert!(n12 + n21 <= checked && checked <= total);
+        let mut c = Counter::new(total, gamma, opts);
+        c.n12 = n12;
+        c.n21 = n21;
+        c.checked = checked;
+        c
     }
 
     /// Forward level if the count stopped right now and all remaining pairs

@@ -18,7 +18,13 @@
 //! same data. See [`crate::kernel`] for the counting loops that consume it.
 
 use crate::dataset::{GroupId, GroupedDataset};
+use crate::error::{Error, Result};
 use crate::mbb::Mbb;
+
+/// Largest block size for which the columnar key lanes are materialized:
+/// one lane fits in a `u64` bitmask, so the lane kernel can express "which
+/// records of this block does the probe dominate" as a single word.
+pub const MAX_LANE_BLOCK: usize = 64;
 
 /// A [`GroupedDataset`] preprocessed for blocked pair counting: per-group
 /// records sorted by descending coordinate sum and partitioned into blocks
@@ -48,6 +54,15 @@ pub struct PreparedDataset {
     /// Group bounding boxes (identical to [`Mbb::of_all_groups`]), computed
     /// for free while scanning the blocks.
     mbbs: Vec<Mbb>,
+    /// Columnar structure-of-arrays mirror of `values`, in the integer key
+    /// space of [`crate::dominance::sort_key`]: per block, `dim + 1`
+    /// contiguous lanes of `block_size` keys each (`dim` coordinate lanes
+    /// followed by one coordinate-sum lane), padded to the block size with
+    /// sentinels that can neither dominate nor be dominated. Empty when
+    /// `block_size > MAX_LANE_BLOCK` (see `lanes`).
+    keys: Vec<i64>,
+    /// Whether `keys` was materialized (`block_size <= MAX_LANE_BLOCK`).
+    lanes: bool,
 }
 
 /// Borrowed view of one record block of a [`PreparedDataset`].
@@ -81,6 +96,44 @@ impl BlockView<'_> {
     }
 }
 
+/// Borrowed view of one block's columnar key lanes.
+///
+/// `keys` holds `dim + 1` lanes of `width` integers each: lanes `0..dim`
+/// are the coordinate keys ([`crate::dominance::sort_key`]) of the block's
+/// records in sorted order, lane `dim` is the coordinate-sum key. Only the
+/// first `len` slots of each lane are live; the tail of the last block of a
+/// group is padded with sentinels (`i64::MAX` in lane 0, `i64::MIN`
+/// elsewhere) chosen so a padded slot can neither dominate nor be dominated
+/// — the kernel additionally masks results with [`LaneBlock::valid_mask`],
+/// so the sentinels are defense in depth rather than load-bearing.
+#[derive(Debug, Clone, Copy)]
+pub struct LaneBlock<'a> {
+    /// `(dim + 1) * width` keys, lane-major.
+    pub keys: &'a [i64],
+    /// Lane stride (the preparation's block size).
+    pub width: usize,
+    /// Number of live records in the block.
+    pub len: usize,
+}
+
+impl<'a> LaneBlock<'a> {
+    /// Coordinate lane `d` (`d == dim` yields the sum lane); `width` keys.
+    #[inline]
+    pub fn lane(&self, d: usize) -> &'a [i64] {
+        &self.keys[d * self.width..(d + 1) * self.width]
+    }
+
+    /// Bitmask with one bit set per live record of the block.
+    #[inline]
+    pub fn valid_mask(&self) -> u64 {
+        if self.len >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.len) - 1
+        }
+    }
+}
+
 impl PreparedDataset {
     /// Default number of records per block. Small blocks win because their
     /// corners are tight: on an independent 5-d workload, size 8 lets the
@@ -90,14 +143,17 @@ impl PreparedDataset {
     /// to 64 record pairs they summarize.
     pub const DEFAULT_BLOCK_SIZE: usize = 8;
 
-    /// Preprocesses `ds`: sorts each group by descending coordinate sum and
-    /// materializes per-block bounding corners.
+    /// Preprocesses `ds`: sorts each group by descending coordinate sum,
+    /// materializes per-block bounding corners, and (for block sizes up to
+    /// [`MAX_LANE_BLOCK`]) the columnar key lanes the bitmask kernel reads.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `block_size` is zero.
-    pub fn build(ds: &GroupedDataset, block_size: usize) -> PreparedDataset {
-        assert!(block_size > 0, "block_size must be positive");
+    /// Returns [`Error::InvalidArgument`] if `block_size` is zero.
+    pub fn build(ds: &GroupedDataset, block_size: usize) -> Result<PreparedDataset> {
+        if block_size == 0 {
+            return Err(Error::InvalidArgument("block_size must be positive (got 0)".to_string()));
+        }
         let dim = ds.dim();
         let n_groups = ds.n_groups();
         let mut values = Vec::with_capacity(ds.n_records() * dim);
@@ -145,6 +201,12 @@ impl PreparedDataset {
             block_offsets.push(block_min.len() / dim);
             mbbs.push(Mbb { min: g_min, max: g_max });
         }
+        let lanes = block_size <= MAX_LANE_BLOCK;
+        let keys = if lanes {
+            build_lane_keys(dim, block_size, &values, &sums, &offsets, &block_offsets)
+        } else {
+            Vec::new()
+        };
         let prep = PreparedDataset {
             dim,
             block_size,
@@ -155,9 +217,11 @@ impl PreparedDataset {
             block_min,
             block_max,
             mbbs,
+            keys,
+            lanes,
         };
         crate::invariants::check_prepared(ds, &prep);
-        prep
+        Ok(prep)
     }
 
     /// Number of dimensions of every record.
@@ -224,6 +288,31 @@ impl PreparedDataset {
         &self.sums[self.offsets[g]..self.offsets[g + 1]]
     }
 
+    /// Whether the columnar key lanes were materialized (block size at most
+    /// [`MAX_LANE_BLOCK`]). When `false`, [`Self::lane_block`] must not be
+    /// called and the kernel falls back to the row-wise straddle loop.
+    #[inline]
+    pub fn lanes_enabled(&self) -> bool {
+        self.lanes
+    }
+
+    /// Columnar key lanes of block `b` (0-based within the group) of group
+    /// `g`. Requires [`Self::lanes_enabled`].
+    #[inline]
+    pub fn lane_block(&self, g: GroupId, b: usize) -> LaneBlock<'_> {
+        debug_assert!(self.lanes, "lane_block on a preparation without lanes");
+        let gb = self.block_offsets[g] + b;
+        debug_assert!(gb < self.block_offsets[g + 1]);
+        let start = self.offsets[g] + b * self.block_size;
+        let end = (start + self.block_size).min(self.offsets[g + 1]);
+        let stride = (self.dim + 1) * self.block_size;
+        LaneBlock {
+            keys: &self.keys[gb * stride..(gb + 1) * stride],
+            width: self.block_size,
+            len: end - start,
+        }
+    }
+
     /// Block `b` (0-based within the group) of group `g`.
     #[inline]
     pub fn block(&self, g: GroupId, b: usize) -> BlockView<'_> {
@@ -240,6 +329,48 @@ impl PreparedDataset {
     }
 }
 
+/// Fills the columnar key lanes: for each block, `dim` coordinate lanes and
+/// one sum lane of `block_size` keys each, live slots holding
+/// [`crate::dominance::sort_key`] of the sorted rows, padded slots holding
+/// sentinels (`i64::MAX` in lane 0 so a pad is never dominated, `i64::MIN`
+/// in every other lane — including the sum lane, which by itself already
+/// prevents a pad from dominating, covering the 1-dimensional case where no
+/// coordinate sentinel can do both jobs at once).
+fn build_lane_keys(
+    dim: usize,
+    block_size: usize,
+    values: &[f64],
+    sums: &[f64],
+    offsets: &[usize],
+    block_offsets: &[usize],
+) -> Vec<i64> {
+    let stride = (dim + 1) * block_size;
+    let total_blocks = block_offsets[block_offsets.len() - 1];
+    let mut keys = vec![0i64; total_blocks * stride];
+    for g in 0..offsets.len() - 1 {
+        let g_start = offsets[g];
+        let g_end = offsets[g + 1];
+        for (b, start) in (g_start..g_end).step_by(block_size).enumerate() {
+            let end = (start + block_size).min(g_end);
+            let base = (block_offsets[g] + b) * stride;
+            for (j, row) in (start..end).enumerate() {
+                for d in 0..dim {
+                    keys[base + d * block_size + j] =
+                        crate::dominance::sort_key(values[row * dim + d]);
+                }
+                keys[base + dim * block_size + j] = crate::dominance::sort_key(sums[row]);
+            }
+            for j in (end - start)..block_size {
+                keys[base + j] = i64::MAX;
+                for d in 1..=dim {
+                    keys[base + d * block_size + j] = i64::MIN;
+                }
+            }
+        }
+    }
+    keys
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,7 +379,7 @@ mod tests {
     #[test]
     fn sums_are_descending_within_each_group() {
         let ds = random_dataset(10, 9, 3, 77);
-        let prep = PreparedDataset::build(&ds, 4);
+        let prep = PreparedDataset::build(&ds, 4).unwrap();
         for g in 0..prep.n_groups() {
             let sums = prep.group_sums(g);
             assert!(sums.windows(2).all(|w| w[0] >= w[1]), "group {g} not sorted");
@@ -262,7 +393,7 @@ mod tests {
     #[test]
     fn preparation_is_a_permutation_of_each_group() {
         let ds = movie_directors();
-        let prep = PreparedDataset::build(&ds, 2);
+        let prep = PreparedDataset::build(&ds, 2).unwrap();
         for g in ds.group_ids() {
             let mut original: Vec<Vec<f64>> = ds.records(g).map(|r| r.to_vec()).collect();
             let mut prepared: Vec<Vec<f64>> =
@@ -276,7 +407,7 @@ mod tests {
     #[test]
     fn group_mbbs_match_unprepared_computation() {
         let ds = random_dataset(12, 7, 4, 5);
-        let prep = PreparedDataset::build(&ds, 3);
+        let prep = PreparedDataset::build(&ds, 3).unwrap();
         assert_eq!(prep.mbbs(), &Mbb::of_all_groups(&ds)[..]);
     }
 
@@ -284,7 +415,7 @@ mod tests {
     fn blocks_partition_each_group_and_bound_their_records() {
         let ds = random_dataset(8, 11, 3, 42);
         for block_size in [1, 2, 5, 64] {
-            let prep = PreparedDataset::build(&ds, block_size);
+            let prep = PreparedDataset::build(&ds, block_size).unwrap();
             for g in 0..prep.n_groups() {
                 let len = prep.group_len(g);
                 assert_eq!(prep.n_blocks(g), len.div_ceil(block_size));
@@ -306,9 +437,56 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "block_size must be positive")]
-    fn zero_block_size_panics() {
+    fn zero_block_size_is_rejected() {
         let ds = movie_directors();
-        PreparedDataset::build(&ds, 0);
+        match PreparedDataset::build(&ds, 0) {
+            Err(crate::error::Error::InvalidArgument(msg)) => {
+                assert!(msg.contains("block_size must be positive"), "unhelpful message: {msg}");
+            }
+            other => panic!("expected InvalidArgument, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lane_keys_mirror_block_records() {
+        let ds = crate::testdata::random_dataset(5, 9, 3, 42);
+        for block_size in [1, 4, 64] {
+            let prep = PreparedDataset::build(&ds, block_size).unwrap();
+            assert!(prep.lanes_enabled());
+            let dim = prep.dim();
+            for g in 0..prep.n_groups() {
+                for b in 0..prep.n_blocks(g) {
+                    let view = prep.block(g, b);
+                    let lanes = prep.lane_block(g, b);
+                    assert_eq!(lanes.len, view.len());
+                    assert_eq!(lanes.width, block_size);
+                    for (j, row) in view.rows.chunks_exact(dim).enumerate() {
+                        for (d, &v) in row.iter().enumerate() {
+                            assert_eq!(lanes.lane(d)[j], crate::dominance::sort_key(v));
+                        }
+                        assert_eq!(lanes.lane(dim)[j], crate::dominance::sort_key(view.sums[j]));
+                    }
+                    // Padding carries the incomparable sentinel pattern.
+                    for j in view.len()..block_size {
+                        assert_eq!(lanes.lane(0)[j], i64::MAX);
+                        for d in 1..=dim {
+                            assert_eq!(lanes.lane(d)[j], i64::MIN);
+                        }
+                    }
+                    let expect_mask =
+                        if view.len() >= 64 { u64::MAX } else { (1u64 << view.len()) - 1 };
+                    assert_eq!(lanes.valid_mask(), expect_mask);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_blocks_disable_lanes() {
+        let ds = movie_directors();
+        let prep = PreparedDataset::build(&ds, MAX_LANE_BLOCK + 1).unwrap();
+        assert!(!prep.lanes_enabled());
+        let prep = PreparedDataset::build(&ds, MAX_LANE_BLOCK).unwrap();
+        assert!(prep.lanes_enabled());
     }
 }

@@ -68,7 +68,7 @@ pub fn skycube(ds: &GroupedDataset, gamma: Gamma) -> Result<Skycube> {
     for mask in 1usize..(1 << d) {
         let dims: Vec<usize> = (0..d).filter(|i| mask & (1 << i) != 0).collect();
         let projected = ds.project(&dims)?;
-        let result = Algorithm::Indexed.run_with(&projected, opts);
+        let result = Algorithm::Indexed.run_with(&projected, opts)?;
         subspaces.push(SubspaceSkyline { dims, skyline: result.skyline });
     }
     Ok(Skycube { subspaces, n_groups: ds.n_groups() })

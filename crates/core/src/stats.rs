@@ -46,6 +46,15 @@ pub struct Stats {
     /// Workers the parallel scheduler quarantined (stopped handing work to)
     /// after they panicked while other workers survived.
     pub workers_quarantined: u64,
+    /// Group comparisons fully served from a [`crate::PairCache`] entry
+    /// (memoized evidence already decided the pair under the caller's γ).
+    pub cache_hits: u64,
+    /// Group comparisons that found no cache entry and counted from the
+    /// start of the block cursor.
+    pub cache_misses: u64,
+    /// Group comparisons that found a *partial* cache entry and resumed
+    /// counting from its cursor instead of from scratch.
+    pub cache_resumes: u64,
 }
 
 impl Stats {
@@ -69,6 +78,9 @@ impl Stats {
             records_compared,
             worker_retries,
             workers_quarantined,
+            cache_hits,
+            cache_misses,
+            cache_resumes,
         } = *other;
         self.group_pairs += group_pairs;
         self.record_pairs += record_pairs;
@@ -82,6 +94,9 @@ impl Stats {
         self.records_compared += records_compared;
         self.worker_retries += worker_retries;
         self.workers_quarantined += workers_quarantined;
+        self.cache_hits += cache_hits;
+        self.cache_misses += cache_misses;
+        self.cache_resumes += cache_resumes;
     }
 
     /// Dumps every counter into an observability recorder, field-for-field.
@@ -102,6 +117,9 @@ impl Stats {
             records_compared,
             worker_retries,
             workers_quarantined,
+            cache_hits,
+            cache_misses,
+            cache_resumes,
         } = *self;
         rec.add(Counter::GroupPairs, group_pairs);
         rec.add(Counter::RecordPairs, record_pairs);
@@ -115,6 +133,9 @@ impl Stats {
         rec.add(Counter::RecordsCompared, records_compared);
         rec.add(Counter::WorkerRetries, worker_retries);
         rec.add(Counter::WorkersQuarantined, workers_quarantined);
+        rec.add(Counter::CacheHits, cache_hits);
+        rec.add(Counter::CacheMisses, cache_misses);
+        rec.add(Counter::CacheResumes, cache_resumes);
     }
 }
 
@@ -139,6 +160,9 @@ mod tests {
             records_compared: 10,
             worker_retries: 11,
             workers_quarantined: 12,
+            cache_hits: 13,
+            cache_misses: 14,
+            cache_resumes: 15,
         }
     }
 
@@ -162,6 +186,9 @@ mod tests {
                 records_compared: 20,
                 worker_retries: 22,
                 workers_quarantined: 24,
+                cache_hits: 26,
+                cache_misses: 28,
+                cache_resumes: 30,
             }
         );
         // Merging into a default leaves an exact copy: nothing dropped.
@@ -197,5 +224,8 @@ mod tests {
         assert_eq!(snap.metrics.counter(Counter::RecordsCompared), 10);
         assert_eq!(snap.metrics.counter(Counter::WorkerRetries), 11);
         assert_eq!(snap.metrics.counter(Counter::WorkersQuarantined), 12);
+        assert_eq!(snap.metrics.counter(Counter::CacheHits), 13);
+        assert_eq!(snap.metrics.counter(Counter::CacheMisses), 14);
+        assert_eq!(snap.metrics.counter(Counter::CacheResumes), 15);
     }
 }

@@ -102,7 +102,7 @@ mod tests {
         // And the optimized algorithms agree (exact mode).
         let opts = aggsky_core::AlgoOptions::exact(Gamma::DEFAULT);
         for algo in Algorithm::EVALUATED {
-            assert_eq!(algo.run_with(&ds, opts).skyline, sky, "{algo:?}");
+            assert_eq!(algo.run_with(&ds, opts).unwrap().skyline, sky, "{algo:?}");
         }
     }
 }

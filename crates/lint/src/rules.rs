@@ -73,6 +73,9 @@ const COUNTING_PATHS: &[&str] = &[
     "crates/core/src/gamma.rs",
     "crates/core/src/paircount.rs",
     "crates/core/src/kernel.rs",
+    "crates/core/src/columnar.rs",
+    "crates/core/src/paircache.rs",
+    "crates/core/src/sweep.rs",
     "crates/core/src/prepared.rs",
     "crates/core/src/matrix.rs",
     "crates/core/src/mbb.rs",

@@ -17,8 +17,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// plus one for zero.
 pub const HIST_BUCKETS: usize = 65;
 
-/// A named monotone counter. The first twelve variants mirror
-/// `aggsky_core::Stats` field-for-field; the `Sql*` variants are recorded
+/// A named monotone counter. Every non-`Sql*` variant mirrors an
+/// `aggsky_core::Stats` field one-for-one; the `Sql*` variants are recorded
 /// by the SQL executor only.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Counter {
@@ -50,11 +50,17 @@ pub enum Counter {
     SqlRowsScanned,
     /// Groups materialized by the SQL aggregation pipeline.
     SqlGroupsBuilt,
+    /// Group comparisons served entirely from the pair-count cache.
+    CacheHits,
+    /// Group comparisons that found no pair-count cache entry.
+    CacheMisses,
+    /// Group comparisons resumed from a partial pair-count cache entry.
+    CacheResumes,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 17] = [
         Counter::GroupPairs,
         Counter::RecordPairs,
         Counter::BboxResolved,
@@ -69,6 +75,9 @@ impl Counter {
         Counter::WorkersQuarantined,
         Counter::SqlRowsScanned,
         Counter::SqlGroupsBuilt,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::CacheResumes,
     ];
 
     /// Prometheus metric name (`_total` suffix per convention).
@@ -88,6 +97,9 @@ impl Counter {
             Counter::WorkersQuarantined => "aggsky_workers_quarantined_total",
             Counter::SqlRowsScanned => "aggsky_sql_rows_scanned_total",
             Counter::SqlGroupsBuilt => "aggsky_sql_groups_built_total",
+            Counter::CacheHits => "aggsky_cache_hits_total",
+            Counter::CacheMisses => "aggsky_cache_misses_total",
+            Counter::CacheResumes => "aggsky_cache_resumes_total",
         }
     }
 
@@ -107,6 +119,9 @@ impl Counter {
             Counter::WorkersQuarantined => 11,
             Counter::SqlRowsScanned => 12,
             Counter::SqlGroupsBuilt => 13,
+            Counter::CacheHits => 14,
+            Counter::CacheMisses => 15,
+            Counter::CacheResumes => 16,
         }
     }
 }

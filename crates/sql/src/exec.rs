@@ -778,7 +778,10 @@ fn scan_grouped(
         // A budget-exhausted (or cancelled) run degrades gracefully: keep
         // only the groups proven to belong to the skyline and record the
         // interruption instead of failing the query.
-        let keep: HashSet<usize> = match aggsky_core::Algorithm::Indexed.run_ctx(&ds, opts, ctx) {
+        let outcome = aggsky_core::Algorithm::Indexed
+            .run_ctx(&ds, opts, ctx)
+            .map_err(|e| SqlError::Eval(e.to_string()))?;
+        let keep: HashSet<usize> = match outcome {
             aggsky_core::Outcome::Complete(result) => result.skyline.into_iter().collect(),
             aggsky_core::Outcome::Interrupted { reason, partial } => {
                 *interrupted =

@@ -187,7 +187,10 @@ fn skyline_command(args: &[String]) -> Result<String, CliError> {
                 .map_err(|e| e.to_string())?,
             format!("PAR({} threads)", resolve_threads(t)),
         ),
-        None => (algorithm.run_ctx(&ds, opts, &ctx), algorithm.short_name().to_string()),
+        None => (
+            algorithm.run_ctx(&ds, opts, &ctx).map_err(|e| e.to_string())?,
+            algorithm.short_name().to_string(),
+        ),
     };
 
     let mut out = String::new();

@@ -43,18 +43,19 @@ fn gamma_for(seed: u64) -> Gamma {
     Gamma::new(GAMMAS[(seed % GAMMAS.len() as u64) as usize]).unwrap()
 }
 
-/// Exact-pruning variants of every algorithm equal the oracle, with both
-/// counting kernels.
+/// Exact-pruning variants of every algorithm equal the oracle, with all
+/// three counting kernels.
 #[test]
 fn exact_algorithms_match_oracle() {
     for seed in 0..SEEDS {
         let ds = random_grid_dataset(seed);
         let gamma = gamma_for(seed);
         let oracle = naive_skyline(&ds, gamma).skyline;
-        for kernel in [KernelConfig::Exhaustive, KernelConfig::blocked()] {
+        for kernel in [KernelConfig::Exhaustive, KernelConfig::blocked(), KernelConfig::columnar()]
+        {
             let opts = AlgoOptions { kernel, ..AlgoOptions::exact(gamma) };
             for algo in Algorithm::EVALUATED {
-                let r = algo.run_with(&ds, opts);
+                let r = algo.run_with(&ds, opts).unwrap();
                 assert_eq!(r.skyline, oracle, "{algo:?} {kernel:?} seed={seed}");
             }
         }
@@ -275,9 +276,9 @@ fn sort_strategies_preserve_results() {
             SortStrategy::SizeThenDistance,
         ] {
             let opts = AlgoOptions { sort, ..AlgoOptions::exact(Gamma::DEFAULT) };
-            let r = Algorithm::Sorted.run_with(&ds, opts);
+            let r = Algorithm::Sorted.run_with(&ds, opts).unwrap();
             assert_eq!(r.skyline, oracle, "{sort:?} seed={seed}");
-            let r = Algorithm::Indexed.run_with(&ds, opts);
+            let r = Algorithm::Indexed.run_with(&ds, opts).unwrap();
             assert_eq!(r.skyline, oracle, "indexed {sort:?} seed={seed}");
         }
     }

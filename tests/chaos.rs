@@ -44,8 +44,8 @@ fn fault_free_chaos_build_is_byte_identical() {
         let ds = dataset(seed);
         let opts = AlgoOptions::exact(Gamma::DEFAULT);
         for algo in ALL {
-            let plain = algo.run_with(&ds, opts);
-            match algo.run_ctx(&ds, opts, &RunContext::unlimited()) {
+            let plain = algo.run_with(&ds, opts).unwrap();
+            match algo.run_ctx(&ds, opts, &RunContext::unlimited()).unwrap() {
                 Outcome::Complete(r) => {
                     assert_eq!(r.skyline, plain.skyline, "{algo:?} seed {seed}");
                     assert_eq!(r.stats, plain.stats, "{algo:?} seed {seed}: stats drifted");
@@ -66,14 +66,14 @@ fn delay_faults_charge_the_budget_and_degrade_soundly() {
         let opts = AlgoOptions::exact(Gamma::DEFAULT);
         for algo in ALL {
             // Budget that would comfortably complete the run...
-            let full_cost = match algo.run_ctx(&ds, opts, &RunContext::unlimited()) {
+            let full_cost = match algo.run_ctx(&ds, opts, &RunContext::unlimited()).unwrap() {
                 Outcome::Complete(r) => r.stats.record_pairs,
                 Outcome::Interrupted { .. } => unreachable!("unlimited run interrupted"),
             };
             // ...except that an injected stall burns it all at once.
             let plan = FaultPlan::delay_ticks(full_cost / 2, full_cost * 2);
             let ctx = RunContext::with_budget(full_cost + 1).with_fault(plan);
-            match algo.run_ctx(&ds, opts, &ctx) {
+            match algo.run_ctx(&ds, opts, &ctx).unwrap() {
                 Outcome::Complete(_) => panic!("{algo:?} seed {seed}: delay fault never bit"),
                 Outcome::Interrupted { reason, partial } => {
                     assert_eq!(reason, InterruptReason::BudgetExhausted, "{algo:?}");
@@ -158,7 +158,8 @@ fn corrupt_coordinate_fault_visibly_changes_a_verdict() {
     let plan = FaultPlan::corrupt_coordinate(0);
     assert_eq!(plan.kind(), FaultKind::CorruptCoordinate);
     let ctx = RunContext::unlimited().with_fault(plan);
-    let outcome = Algorithm::NestedLoop.run_ctx(&ds, AlgoOptions::exact(Gamma::DEFAULT), &ctx);
+    let outcome =
+        Algorithm::NestedLoop.run_ctx(&ds, AlgoOptions::exact(Gamma::DEFAULT), &ctx).unwrap();
     let corrupted = match outcome {
         Outcome::Complete(r) => r.skyline,
         Outcome::Interrupted { reason, .. } => panic!("corrupt fault must not interrupt: {reason}"),

@@ -1,0 +1,209 @@
+//! Differential suite for the columnar straddle kernel: the lane-based
+//! bitmask path must be *bit-identical* to the row-wise blocked path — same
+//! verdicts, same `n12`/`n21`, same `Stats` — and both must agree with the
+//! unblocked per-record ground truth, for every `PairOptions` combination,
+//! across dimensionalities on both sides of the monomorphized range
+//! (d ∈ {1, 2, 5, 8, 9}; 2..=8 run the fixed-arity kernels, 1 and 9 the
+//! dynamic fallback), with ragged group sizes so edge blocks exercise the
+//! sentinel padding.
+
+use aggsky::core::kernel::{
+    compare_groups_blocked, compare_groups_columnar, count_pairs, Kernel, KernelConfig,
+};
+use aggsky::core::paircount::{compare_groups, PairOptions};
+use aggsky::core::prepared::{PreparedDataset, MAX_LANE_BLOCK};
+use aggsky::core::{DominationMatrix, Mbb, Stats};
+use aggsky::datagen::Rng64;
+use aggsky::{AlgoOptions, Algorithm, Gamma, GroupedDataset, GroupedDatasetBuilder};
+
+const DIMS: [usize; 5] = [1, 2, 5, 8, 9];
+const BLOCK_SIZES: [usize; 3] = [1, 5, 64];
+
+/// Random integer-grid dataset with ragged group sizes: small coordinate
+/// range maximizes ties and exact-dominance edges, and lengths straddling
+/// block boundaries leave partially filled (sentinel-padded) edge blocks at
+/// every tested block size.
+fn dataset(dim: usize, seed: u64) -> GroupedDataset {
+    let mut rng = Rng64::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(dim as u64));
+    let mut b = GroupedDatasetBuilder::new(dim).trusted_labels();
+    for g in 0..5 {
+        let len = 1 + rng.index(13);
+        let rows: Vec<Vec<f64>> =
+            (0..len).map(|_| (0..dim).map(|_| rng.index(4) as f64).collect()).collect();
+        b.push_group(format!("g{g}"), &rows).unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn all_pair_options() -> Vec<PairOptions> {
+    let mut out = Vec::new();
+    for stop_rule in [false, true] {
+        for need_bar in [false, true] {
+            for corrected_bar in [false, true] {
+                out.push(PairOptions { stop_rule, need_bar, corrected_bar });
+            }
+        }
+    }
+    out
+}
+
+fn ones(m: &DominationMatrix) -> u64 {
+    let mut n = 0;
+    for i in 0..m.rows() {
+        for j in 0..m.cols() {
+            n += m.get(i, j) as u64;
+        }
+    }
+    n
+}
+
+/// Verdicts AND `Stats` of the columnar kernel equal the row-wise blocked
+/// kernel bit for bit, and verdicts equal the unblocked reference, for
+/// every dimension, block size, option set, and box configuration.
+#[test]
+fn columnar_is_bit_identical_to_row_wise_and_agrees_with_exhaustive() {
+    for dim in DIMS {
+        for seed in 0..4u64 {
+            let ds = dataset(dim, seed);
+            let gamma = Gamma::new([0.5, 0.75, 0.9, 1.0][(seed % 4) as usize]).unwrap();
+            let boxes = Mbb::of_all_groups(&ds);
+            for block_size in BLOCK_SIZES {
+                let prep = PreparedDataset::build(&ds, block_size).unwrap();
+                assert!(prep.lanes_enabled(), "d={dim} bs={block_size}");
+                for g1 in ds.group_ids() {
+                    for g2 in (g1 + 1)..ds.n_groups() {
+                        for opts in all_pair_options() {
+                            for use_boxes in [false, true] {
+                                let pair_boxes = use_boxes.then(|| (&boxes[g1], &boxes[g2]));
+                                let tag = format!(
+                                    "d={dim} seed={seed} bs={block_size} {g1}v{g2} {opts:?} \
+                                     boxes={use_boxes}"
+                                );
+                                let mut s_col = Stats::default();
+                                let mut s_row = Stats::default();
+                                let mut s_ref = Stats::default();
+                                let columnar = compare_groups_columnar(
+                                    &prep, g1, g2, gamma, pair_boxes, opts, &mut s_col,
+                                );
+                                let row_wise = compare_groups_blocked(
+                                    &prep, g1, g2, gamma, pair_boxes, opts, &mut s_row,
+                                );
+                                let reference = compare_groups(
+                                    &ds, g1, g2, gamma, pair_boxes, opts, &mut s_ref,
+                                );
+                                assert_eq!(columnar, row_wise, "verdict drift: {tag}");
+                                assert_eq!(columnar, reference, "vs exhaustive: {tag}");
+                                assert_eq!(s_col, s_row, "stats drift: {tag}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Exact tallies: the columnar `count_pairs` equals the domination-matrix
+/// ones-count in both directions, at every dimension and block size.
+#[test]
+fn columnar_counts_match_domination_matrix() {
+    for dim in DIMS {
+        for seed in 0..3u64 {
+            let ds = dataset(dim, seed);
+            for block_size in BLOCK_SIZES {
+                let prep = PreparedDataset::build(&ds, block_size).unwrap();
+                for g1 in ds.group_ids() {
+                    for g2 in ds.group_ids() {
+                        if g1 == g2 {
+                            continue;
+                        }
+                        let mut stats = Stats::default();
+                        let (n12, n21) = count_pairs(&prep, g1, g2, &mut stats);
+                        assert_eq!(
+                            n12,
+                            ones(&DominationMatrix::build(&ds, g1, g2)),
+                            "d={dim} seed={seed} bs={block_size} {g1} over {g2}"
+                        );
+                        assert_eq!(
+                            n21,
+                            ones(&DominationMatrix::build(&ds, g2, g1)),
+                            "d={dim} seed={seed} bs={block_size} {g2} over {g1}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Sentinel padding: a group one record longer than the maximum lane block
+/// leaves a 63/64-padded edge block; the padded lanes must contribute
+/// nothing to either tally or to the work counters.
+#[test]
+fn sentinel_padded_edge_blocks_change_nothing() {
+    for dim in [1, 2, 5, 8, 9] {
+        let mut rng = Rng64::new(7_000 + dim as u64);
+        let mut b = GroupedDatasetBuilder::new(dim).trusted_labels();
+        for (g, len) in [MAX_LANE_BLOCK + 1, 1, MAX_LANE_BLOCK - 1].iter().enumerate() {
+            let rows: Vec<Vec<f64>> =
+                (0..*len).map(|_| (0..dim).map(|_| rng.index(3) as f64).collect()).collect();
+            b.push_group(format!("g{g}"), &rows).unwrap();
+        }
+        let ds = b.build().unwrap();
+        let prep = PreparedDataset::build(&ds, MAX_LANE_BLOCK).unwrap();
+        let gamma = Gamma::new(0.75).unwrap();
+        let opts = PairOptions { stop_rule: false, need_bar: true, corrected_bar: true };
+        for g1 in ds.group_ids() {
+            for g2 in (g1 + 1)..ds.n_groups() {
+                let mut s_col = Stats::default();
+                let mut s_row = Stats::default();
+                let columnar =
+                    compare_groups_columnar(&prep, g1, g2, gamma, None, opts, &mut s_col);
+                let row_wise = compare_groups_blocked(&prep, g1, g2, gamma, None, opts, &mut s_row);
+                assert_eq!(columnar, row_wise, "d={dim} {g1}v{g2}");
+                assert_eq!(s_col, s_row, "d={dim} {g1}v{g2}");
+                let (n12, n21) = count_pairs(&prep, g1, g2, &mut Stats::default());
+                assert_eq!(n12, ones(&DominationMatrix::build(&ds, g1, g2)), "d={dim}");
+                assert_eq!(n21, ones(&DominationMatrix::build(&ds, g2, g1)), "d={dim}");
+            }
+        }
+    }
+}
+
+/// End to end: every evaluated algorithm returns the same skyline, the same
+/// verdict-relevant `Stats`, under all three kernel configurations; blocked
+/// and columnar runs are bit-identical in their work counters too.
+#[test]
+fn algorithms_agree_across_all_three_kernels() {
+    for dim in [2, 5] {
+        for seed in 20..24u64 {
+            let ds = dataset(dim, seed);
+            let gamma = Gamma::new(0.75).unwrap();
+            for algo in Algorithm::EVALUATED {
+                let base = AlgoOptions::exact(gamma);
+                let ex = algo
+                    .run_with(&ds, AlgoOptions { kernel: KernelConfig::Exhaustive, ..base })
+                    .unwrap();
+                let bl = algo
+                    .run_with(&ds, AlgoOptions { kernel: KernelConfig::blocked(), ..base })
+                    .unwrap();
+                let col = algo
+                    .run_with(&ds, AlgoOptions { kernel: KernelConfig::columnar(), ..base })
+                    .unwrap();
+                assert_eq!(ex.skyline, bl.skyline, "{algo:?} d={dim} seed={seed}");
+                assert_eq!(bl.skyline, col.skyline, "{algo:?} d={dim} seed={seed}");
+                assert_eq!(bl.stats, col.stats, "{algo:?} d={dim} seed={seed}: stats drift");
+            }
+        }
+    }
+}
+
+/// The columnar kernel dispatcher rejects lane-incompatible block sizes
+/// instead of silently falling back.
+#[test]
+fn columnar_kernel_config_requires_lane_sized_blocks() {
+    let ds = dataset(3, 1);
+    assert!(Kernel::new(&ds, KernelConfig::Columnar { block_size: MAX_LANE_BLOCK + 1 }).is_err());
+    assert!(Kernel::new(&ds, KernelConfig::Columnar { block_size: 0 }).is_err());
+    assert!(Kernel::new(&ds, KernelConfig::Columnar { block_size: MAX_LANE_BLOCK }).is_ok());
+}

@@ -36,8 +36,8 @@ fn unlimited_context_is_identical_to_plain_runs() {
         let ds = dataset(seed);
         let opts = AlgoOptions::exact(Gamma::DEFAULT);
         for algo in ALL {
-            let plain = algo.run_with(&ds, opts);
-            match algo.run_ctx(&ds, opts, &RunContext::unlimited()) {
+            let plain = algo.run_with(&ds, opts).unwrap();
+            match algo.run_ctx(&ds, opts, &RunContext::unlimited()).unwrap() {
                 Outcome::Complete(r) => {
                     assert_eq!(r.skyline, plain.skyline, "{algo:?} seed {seed}");
                     assert_eq!(r.stats, plain.stats, "{algo:?} seed {seed}");
@@ -59,7 +59,7 @@ fn budget_exhaustion_interrupts_every_algorithm_soundly() {
         for algo in ALL {
             for budget in [1u64, 300, 3000] {
                 let ctx = RunContext::with_budget(budget);
-                match algo.run_ctx(&ds, opts, &ctx) {
+                match algo.run_ctx(&ds, opts, &ctx).unwrap() {
                     Outcome::Complete(r) => {
                         // A tiny budget may still complete tiny work: then
                         // the answer must simply be exact.
@@ -127,7 +127,7 @@ fn cancellation_interrupts_immediately() {
     for algo in ALL {
         let ctx = RunContext::unlimited();
         ctx.cancel_token().cancel();
-        match algo.run_ctx(&ds, opts, &ctx) {
+        match algo.run_ctx(&ds, opts, &ctx).unwrap() {
             Outcome::Interrupted { reason, partial } => {
                 assert_eq!(reason, InterruptReason::Cancelled, "{algo:?}");
                 assert_eq!(partial.stats.record_pairs, 0, "{algo:?} spent work after cancel");

@@ -79,7 +79,7 @@ fn counts_match_domination_matrix() {
     for seed in 0..8u64 {
         for (name, ds) in workloads(seed) {
             for block_size in BLOCK_SIZES {
-                let prep = PreparedDataset::build(&ds, block_size);
+                let prep = PreparedDataset::build(&ds, block_size).unwrap();
                 for g1 in ds.group_ids() {
                     for g2 in ds.group_ids() {
                         if g1 == g2 {
@@ -113,7 +113,7 @@ fn verdicts_match_unblocked_for_all_options() {
             let gamma = Gamma::new([0.5, 0.75, 1.0][(seed % 3) as usize]).unwrap();
             let boxes = Mbb::of_all_groups(&ds);
             for block_size in BLOCK_SIZES {
-                let prep = PreparedDataset::build(&ds, block_size);
+                let prep = PreparedDataset::build(&ds, block_size).unwrap();
                 for g1 in ds.group_ids() {
                     for g2 in (g1 + 1)..ds.n_groups() {
                         for opts in all_pair_options() {
@@ -146,7 +146,7 @@ fn verdicts_match_unblocked_for_all_options() {
 #[test]
 fn blocked_kernel_reduces_record_comparisons() {
     let ds = synthetic(Distribution::Correlated, 99);
-    let prep = PreparedDataset::build(&ds, 16);
+    let prep = PreparedDataset::build(&ds, 16).unwrap();
     let mut blocked_work = 0u64;
     let mut exhaustive_work = 0u64;
     for g1 in ds.group_ids() {

@@ -187,11 +187,9 @@ fn explain_analyze_totals_equal_plain_run_stats() {
             .into_iter()
             .map(|r| format!("{}\n", r[0]))
             .collect();
-        let outcome = Algorithm::Indexed.run_ctx(
-            &ds,
-            AlgoOptions::exact(Gamma::DEFAULT),
-            &RunContext::unlimited(),
-        );
+        let outcome = Algorithm::Indexed
+            .run_ctx(&ds, AlgoOptions::exact(Gamma::DEFAULT), &RunContext::unlimited())
+            .unwrap();
         let stats = *outcome.stats();
         assert_eq!(
             counter_of(&report, "aggsky_group_pairs_total"),

@@ -34,7 +34,7 @@ fn traced_run(
     let rec = Arc::new(TraceRecorder::new());
     let ctx = if budget == 0 { RunContext::unlimited() } else { RunContext::with_budget(budget) };
     let ctx = ctx.with_recorder(rec.clone());
-    let _ = algorithm.run_ctx(ds, opts, &ctx);
+    let _ = algorithm.run_ctx(ds, opts, &ctx).unwrap();
     let snapshot = rec.snapshot();
     (export_chrome(&snapshot), export_prometheus(&snapshot.metrics), render_summary(&snapshot))
 }

@@ -24,9 +24,10 @@ fn dataset(dist: Distribution, n: usize, spread: f64) -> aggsky::GroupedDataset 
 fn stop_rule_cuts_record_comparisons() {
     for dist in Distribution::ALL {
         let ds = dataset(dist, 3000, 0.2);
-        let on = Algorithm::NestedLoop.run_with(&ds, AlgoOptions::paper(Gamma::DEFAULT));
+        let on = Algorithm::NestedLoop.run_with(&ds, AlgoOptions::paper(Gamma::DEFAULT)).unwrap();
         let off = Algorithm::NestedLoop
-            .run_with(&ds, AlgoOptions { stop_rule: false, ..AlgoOptions::paper(Gamma::DEFAULT) });
+            .run_with(&ds, AlgoOptions { stop_rule: false, ..AlgoOptions::paper(Gamma::DEFAULT) })
+            .unwrap();
         assert_eq!(on.skyline, off.skyline);
         assert!(
             (on.stats.record_pairs as f64) < 0.8 * off.stats.record_pairs as f64,
@@ -76,7 +77,8 @@ fn bbox_resolves_pairs_on_disjoint_boxes() {
     let ds = dataset(Distribution::AntiCorrelated, 3000, 0.1);
     let plain = Algorithm::NestedLoop.run(&ds, Gamma::DEFAULT);
     let boxed = Algorithm::NestedLoop
-        .run_with(&ds, AlgoOptions { bbox_prune: true, ..AlgoOptions::paper(Gamma::DEFAULT) });
+        .run_with(&ds, AlgoOptions { bbox_prune: true, ..AlgoOptions::paper(Gamma::DEFAULT) })
+        .unwrap();
     assert_eq!(plain.skyline, boxed.skyline);
     assert!(
         (boxed.stats.record_pairs as f64) < 0.2 * plain.stats.record_pairs as f64,
@@ -114,20 +116,24 @@ fn small_groups_first_helps_under_zipf() {
         ..SyntheticConfig::paper_default(Distribution::Correlated)
     }
     .generate();
-    let unsorted = Algorithm::Sorted.run_with(
-        &ds,
-        AlgoOptions {
-            sort: aggsky::SortStrategy::InsertionOrder,
-            ..AlgoOptions::paper(Gamma::DEFAULT)
-        },
-    );
-    let sorted = Algorithm::Sorted.run_with(
-        &ds,
-        AlgoOptions {
-            sort: aggsky::SortStrategy::SizeThenDistance,
-            ..AlgoOptions::paper(Gamma::DEFAULT)
-        },
-    );
+    let unsorted = Algorithm::Sorted
+        .run_with(
+            &ds,
+            AlgoOptions {
+                sort: aggsky::SortStrategy::InsertionOrder,
+                ..AlgoOptions::paper(Gamma::DEFAULT)
+            },
+        )
+        .unwrap();
+    let sorted = Algorithm::Sorted
+        .run_with(
+            &ds,
+            AlgoOptions {
+                sort: aggsky::SortStrategy::SizeThenDistance,
+                ..AlgoOptions::paper(Gamma::DEFAULT)
+            },
+        )
+        .unwrap();
     assert!(
         sorted.stats.record_pairs <= unsorted.stats.record_pairs,
         "size-aware order did not help: {} vs {}",
