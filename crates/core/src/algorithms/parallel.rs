@@ -8,32 +8,46 @@
 //! spatial window as Algorithm 5, and each candidate comparison uses the
 //! stopping rule in one-directional mode.
 //!
-//! Work is distributed with an atomic-counter chunk scheduler: workers grab
-//! the next chunk of group ids whenever they finish one, so a few expensive
-//! groups (large, or dominated late) cannot strand the other workers the
-//! way a static partition can. The previous static strided partition is
-//! kept as [`parallel_skyline_strided`] for ablation benchmarks.
+//! Work is distributed at *pair granularity*: the stealable unit is one
+//! bounded batch of block pairs of one candidate→group comparison
+//! ([`Kernel::compare_bounded`], at most [`BLOCK_PAIRS_PER_JOB`] block
+//! pairs), not a whole group or chunk of groups. The orchestrator flattens
+//! every group's window candidates into one pair array; workers claim
+//! fresh pairs from an atomic cursor and drain a shared continuation queue
+//! of batches that hit their block-pair limit. Because the counting tally
+//! plus the deterministic block cursor fully describe the remaining work,
+//! *any* worker can resume a continuation — one giant group pair can no
+//! longer strand a worker the way group-granular chunks could. Groups
+//! whose dominator is already known are finished without counting (the
+//! per-group dominated flag), preserving the sequential early-exit. The
+//! previous static strided partition is kept as
+//! [`parallel_skyline_strided`] for ablation benchmarks.
 //!
 //! ## Fault containment
 //!
-//! A panicking worker no longer aborts the query. Each group is processed
-//! inside `catch_unwind`; on a panic the unfinished remainder of the chunk
-//! goes back on a shared retry queue (recorded in `Stats::worker_retries`)
-//! and, when other workers survive, the panicked worker is *quarantined* —
-//! it stops taking work (`Stats::workers_quarantined`) while the survivors
-//! drain the queue. Backoff is deterministic queue reordering plus
-//! `yield_now`, never wall-clock sleep (rule L5). Only when the same chunk
-//! panics [`MAX_CHUNK_ATTEMPTS`] times does the query fail, with the typed
-//! [`Error::WorkerPanicked`] instead of a propagated panic.
+//! A panicking worker no longer aborts the query. Each batch runs inside
+//! `catch_unwind`; on a panic its partial `Stats` die with it (charges are
+//! committed only after a successful batch, so retries never double-charge
+//! the budget), the pair goes back on the shared queue (recorded in
+//! `Stats::worker_retries`) and, when other workers survive, the panicked
+//! worker is *quarantined* — it stops taking work
+//! (`Stats::workers_quarantined`) while the survivors drain the queue. The
+//! worker's shard-local [`PairCache`] may have been abandoned mid-update
+//! and is dropped rather than trusted; the requeued job's resume tally is
+//! a value captured before the batch and stays sound. Backoff is
+//! deterministic queue reordering plus `yield_now`, never wall-clock sleep
+//! (rule L5). Only when the same pair panics [`MAX_PAIR_ATTEMPTS`] times
+//! does the query fail, with the typed [`Error::WorkerPanicked`] instead
+//! of a propagated panic.
 
 use super::{PairDeltas, SkylineResult, Status};
 use crate::anytime::AnytimeResult;
 use crate::dataset::{GroupId, GroupedDataset};
 use crate::error::{Error, Result};
 use crate::gamma::Gamma;
-use crate::kernel::{Kernel, KernelConfig};
+use crate::kernel::{BoundedCompare, Kernel, KernelConfig};
 use crate::mbb::Mbb;
-use crate::paircache::PairCache;
+use crate::paircache::{CachedTally, PairCache};
 use crate::paircount::PairOptions;
 use crate::runctx::{InterruptReason, Outcome, RunContext};
 use crate::stats::Stats;
@@ -41,14 +55,22 @@ use aggsky_obs::{Hist, Stamp};
 use aggsky_spatial::{Aabb, RTree};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
-/// How many times one chunk may panic before the query gives up with
+/// How many times one pair may panic before the query gives up with
 /// [`Error::WorkerPanicked`]. Transient faults (like an injected chaos
 /// panic, which fires once) succeed on the first retry; a deterministic
 /// panic in the counting kernel would loop forever without this cap.
-const MAX_CHUNK_ATTEMPTS: u32 = 3;
+const MAX_PAIR_ATTEMPTS: u32 = 3;
+
+/// Block pairs one stolen batch may execute before it must yield a
+/// resumable continuation. Bounds the time any single steal can hold a
+/// worker (load balance under skew) while keeping scheduler traffic — one
+/// queue operation per batch — negligible next to the counting the batch
+/// performs. Pairs smaller than this finish in their first batch, so the
+/// common case costs exactly one steal, like the old chunk scheduler.
+const BLOCK_PAIRS_PER_JOB: u64 = 1024;
 
 /// Resolves a requested thread count: `0` means "use all available
 /// hardware parallelism" (falling back to 1 when it cannot be queried).
@@ -103,7 +125,7 @@ pub fn parallel_skyline_ctx(
     ctx: &RunContext,
 ) -> Result<Outcome> {
     let kernel = Kernel::new(ds, config)?;
-    run_chunked(&kernel, gamma, resolve_threads(threads), ctx)
+    run_stealing(&kernel, gamma, resolve_threads(threads), ctx)
 }
 
 /// The pre-work-stealing scheduler: a static strided partition (worker `t`
@@ -132,9 +154,9 @@ fn track_of(wid: usize) -> u32 {
     u32::try_from(wid.saturating_add(1)).unwrap_or(u32::MAX)
 }
 
-/// One-directional dominator scan for `g1` (the unit of parallel work):
-/// window-query the spatial index for candidate dominators and compare
-/// until one γ-dominates `g1` or the candidates run out.
+/// One-directional dominator scan for `g1` (the strided baseline's unit of
+/// parallel work): window-query the spatial index for candidate dominators
+/// and compare until one γ-dominates `g1` or the candidates run out.
 #[allow(clippy::too_many_arguments)]
 fn scan_group(
     kernel: &Kernel<'_>,
@@ -173,28 +195,39 @@ fn scan_group(
     Status::Live
 }
 
-/// A contiguous range of group ids plus its panic-retry count.
-struct Chunk {
-    start: usize,
-    end: usize,
+/// One stealable unit of parallel work: one bounded batch of block pairs
+/// of one ordered candidate→group comparison, plus its panic-retry count.
+struct PairJob {
+    /// Index into the scheduler's flattened `(group, candidate)` array.
+    idx: usize,
+    /// Canonical counting state carried over from this pair's previous
+    /// batch (`None` for the pair's first batch).
+    resume: Option<CachedTally>,
+    /// How many times a worker has panicked inside this pair.
     attempts: u32,
 }
 
-/// State shared by the chunked scheduler's workers.
+/// State shared by the pair-granular scheduler's workers.
 struct SharedState {
-    /// Next fresh group id to hand out (in chunks).
+    /// Next fresh pair index to hand out.
     next: AtomicUsize,
-    /// Chunks re-queued after a worker panic, retried before fresh work.
-    retry: Mutex<VecDeque<Chunk>>,
+    /// Continuations and panic retries, drained before fresh work.
+    queue: Mutex<VecDeque<PairJob>>,
+    /// Per-group "a dominator was found" flag: set once, never cleared, and
+    /// read by every worker to skip the group's remaining pairs.
+    dominated: Vec<AtomicBool>,
+    /// Per-group count of unfinished candidate pairs. The worker whose
+    /// batch brings a group to zero records the group's status.
+    remaining: Vec<AtomicUsize>,
     /// Groups fully resolved so far (drives termination).
     done: AtomicUsize,
-    /// Global virtual clock: record pairs charged by finished groups.
+    /// Global virtual clock: record pairs committed by successful batches.
     spent: AtomicU64,
     /// Workers still taking work; quarantine decrements, keeping ≥ 1.
     active: AtomicUsize,
     /// First interruption reason (0 = none, 1 = cancelled, 2 = budget).
     interrupt: AtomicU8,
-    /// Fatal error once a chunk exhausts its retries.
+    /// Fatal error once a pair exhausts its retries.
     fatal: Mutex<Option<Error>>,
     /// Incident counters folded into the final `Stats`.
     retries: AtomicU64,
@@ -202,11 +235,14 @@ struct SharedState {
 }
 
 impl SharedState {
-    fn new(workers: usize) -> Self {
+    fn new(workers: usize, remaining: Vec<AtomicUsize>, resolved_upfront: usize) -> Self {
+        let n = remaining.len();
         SharedState {
             next: AtomicUsize::new(0),
-            retry: Mutex::new(VecDeque::new()),
-            done: AtomicUsize::new(0),
+            queue: Mutex::new(VecDeque::new()),
+            dominated: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            remaining,
+            done: AtomicUsize::new(resolved_upfront),
             spent: AtomicU64::new(0),
             active: AtomicUsize::new(workers.max(1)),
             interrupt: AtomicU8::new(0),
@@ -237,23 +273,40 @@ impl SharedState {
         self.interrupt.load(Ordering::Acquire) != 0 || lock(&self.fatal).is_some()
     }
 
-    /// Pops a job: retried chunks first (recovery before fresh work), then
-    /// a fresh chunk from the atomic counter.
-    fn pop_job(&self, chunk: usize, n: usize) -> Option<Chunk> {
-        if let Some(job) = lock(&self.retry).pop_front() {
+    /// Pops a job: queued continuations and retries first (they hold
+    /// partially counted pairs whose completion unblocks groups), then a
+    /// fresh pair from the atomic cursor.
+    fn pop_job(&self, n_pairs: usize) -> Option<PairJob> {
+        if let Some(job) = lock(&self.queue).pop_front() {
             return Some(job);
         }
-        if self.next.load(Ordering::Relaxed) < n {
-            let start = self.next.fetch_add(chunk, Ordering::Relaxed);
-            if start < n {
-                return Some(Chunk { start, end: (start + chunk).min(n), attempts: 0 });
+        if self.next.load(Ordering::Relaxed) < n_pairs {
+            let idx = self.next.fetch_add(1, Ordering::Relaxed);
+            if idx < n_pairs {
+                return Some(PairJob { idx, resume: None, attempts: 0 });
             }
         }
         None
     }
 
+    /// Marks one candidate pair of `g` finished. The caller that brings the
+    /// group's remaining count to zero records its status (the dominated
+    /// flag was published before the final `fetch_sub`'s release, so the
+    /// acquiring reader here cannot miss it) and advances `done`.
+    fn finish_pair(&self, g: GroupId, part: &mut Vec<(GroupId, Status)>) {
+        if self.remaining[g].fetch_sub(1, Ordering::AcqRel) == 1 {
+            let status = if self.dominated[g].load(Ordering::Acquire) {
+                Status::Dominated
+            } else {
+                Status::Live
+            };
+            part.push((g, status));
+            self.done.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
     /// The scheduler's virtual clock as a tick stamp (record pairs charged
-    /// by finished groups so far). Monotone but coarse: in-flight groups
+    /// by committed batches so far). Monotone but coarse: in-flight batches
     /// have not charged yet.
     fn tick_now(&self) -> Stamp {
         Stamp::tick(self.spent.load(Ordering::Relaxed))
@@ -280,7 +333,7 @@ impl SharedState {
     }
 }
 
-fn run_chunked(
+fn run_stealing(
     kernel: &Kernel<'_>,
     gamma: Gamma,
     threads: usize,
@@ -302,117 +355,171 @@ fn run_chunked(
     }
     let pair_opts = PairOptions { stop_rule: true, need_bar: false, corrected_bar: false };
 
-    // Chunk size trades scheduling overhead (one fetch_add per chunk)
-    // against load balance (smaller chunks spread stragglers better);
-    // aiming for ~8 chunks per worker keeps both negligible.
-    let chunk = (n / (threads * 8)).max(1);
+    // Flatten every group's candidate dominators into one group-major pair
+    // array up front. The window queries are cheap relative to the counting
+    // they feed, and a materialized array is what lets the atomic cursor
+    // hand out single pairs. Groups with no candidate are members by
+    // definition and resolve here.
+    let mut setup_stats = Stats::default();
+    let mut pairs: Vec<(GroupId, GroupId)> = Vec::new();
+    let mut remaining: Vec<AtomicUsize> = Vec::with_capacity(n);
+    let mut upfront: Vec<(GroupId, Status)> = Vec::new();
+    {
+        let mut candidates: Vec<GroupId> = Vec::new();
+        for (g, gbox) in boxes.iter().enumerate() {
+            tree.window_query_into(&Aabb::at_least(&gbox.min), &mut candidates);
+            setup_stats.index_candidates += crate::num::wide(candidates.len().saturating_sub(1));
+            let before = pairs.len();
+            pairs.extend(candidates.iter().copied().filter(|&c| c != g).map(|c| (g, c)));
+            remaining.push(AtomicUsize::new(pairs.len() - before));
+            if pairs.len() == before {
+                upfront.push((g, Status::Live));
+            }
+        }
+    }
+    let pairs = pairs.as_slice();
+
     let workers = threads.min(n).max(1);
-    let shared = SharedState::new(workers);
+    let shared = SharedState::new(workers, remaining, upfront.len());
 
     let worker = |wid: usize| -> (Vec<(GroupId, Status)>, Stats) {
         let track = track_of(wid);
         let worker_span =
             ctx.obs().map_or(0, |rec| rec.span_start("worker", track, shared.tick_now()));
         let mut stats = Stats::default();
-        let mut candidates: Vec<GroupId> = Vec::new();
         // Shard-local pair-count memo: workers never share cache state, so
         // they never serialize on it (duplicate counting across workers is
         // the accepted cost). Only useful when a preparation exists — the
         // cache resumes at the blocked kernel's cursor.
         let mut pair_cache = kernel.prepared().map(|_| PairCache::new());
         let mut part: Vec<(GroupId, Status)> = Vec::new();
+        let mut batches = 0u64;
         'outer: loop {
             if shared.should_stop() {
                 break;
             }
-            let Some(mut job) = shared.pop_job(chunk, n) else {
+            let Some(mut job) = shared.pop_job(pairs.len()) else {
                 if shared.done.load(Ordering::Acquire) >= n {
                     break;
                 }
-                // Another worker still holds unfinished groups (and may yet
+                // Another worker still holds unfinished pairs (and may yet
                 // requeue them after a panic): spin cooperatively. No
                 // wall-clock sleep — backoff must stay deterministic (L5).
                 std::thread::yield_now();
                 continue;
             };
-            if let Some(rec) = ctx.obs() {
-                rec.observe(Hist::ChunkSize, crate::num::wide(job.end.saturating_sub(job.start)));
+            let (g, cand) = pairs[job.idx];
+            // A dominator of `g` is already known: this pair's verdict
+            // cannot change membership, so finish it without counting (the
+            // sequential scan's early exit, cooperatively).
+            if shared.dominated[g].load(Ordering::Acquire) {
+                shared.finish_pair(g, &mut part);
+                continue;
             }
-            // Process the chunk one group at a time so a panic only ever
-            // loses (and retries) the unfinished remainder.
-            while job.start < job.end {
-                let g = job.start;
-                let attempt = catch_unwind(AssertUnwindSafe(|| {
-                    // The poll is inside the unwind guard: an injected
-                    // chaos panic fires from here.
-                    if let Some(reason) = ctx.poll(shared.spent.load(Ordering::Relaxed)) {
-                        return Err(reason);
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                // The poll is inside the unwind guard: an injected
+                // chaos panic fires from here.
+                if let Some(reason) = ctx.poll(shared.spent.load(Ordering::Relaxed)) {
+                    return Err(reason);
+                }
+                let mut local = Stats::default();
+                let out = kernel.compare_bounded(
+                    cand,
+                    g,
+                    gamma,
+                    Some((&boxes[cand], &boxes[g])),
+                    pair_opts,
+                    job.resume,
+                    BLOCK_PAIRS_PER_JOB,
+                    pair_cache.as_mut(),
+                    &mut local,
+                );
+                Ok((out, local))
+            }));
+            match attempt {
+                Ok(Ok((out, local))) => {
+                    // Commit-after-success: a panicked batch's charges die
+                    // with its discarded `local`, so retries never
+                    // double-charge the budget.
+                    shared.spent.fetch_add(local.record_pairs, Ordering::Relaxed);
+                    batches += 1;
+                    if let Some(rec) = ctx.obs() {
+                        let before_cursor = job.resume.map_or(0, |t| t.cursor);
+                        let after_cursor = match &out {
+                            BoundedCompare::Pending(t) => Some(t.cursor),
+                            // A cache hit served the verdict without
+                            // running blocks; its cursor is not this
+                            // batch's work.
+                            BoundedCompare::Decided { tally: Some(t), .. }
+                                if local.cache_hits == 0 =>
+                            {
+                                Some(t.cursor)
+                            }
+                            BoundedCompare::Decided { .. } => None,
+                        };
+                        if let Some(after) = after_cursor {
+                            rec.observe(Hist::BatchBlockPairs, after.saturating_sub(before_cursor));
+                        }
+                        PairDeltas::before(&Stats::default()).observe_to(rec, &local);
                     }
-                    let mut local = Stats::default();
-                    let status = scan_group(
-                        kernel,
-                        &tree,
-                        boxes,
-                        gamma,
-                        pair_opts,
-                        ctx,
-                        g,
-                        &mut candidates,
-                        &mut pair_cache,
-                        &mut local,
-                    );
-                    Ok((status, local))
-                }));
-                match attempt {
-                    Ok(Ok((status, local))) => {
-                        shared.spent.fetch_add(local.record_pairs, Ordering::Relaxed);
-                        stats.merge(&local);
-                        part.push((g, status));
-                        shared.done.fetch_add(1, Ordering::AcqRel);
-                        job.start += 1;
+                    stats.merge(&local);
+                    match out {
+                        BoundedCompare::Decided { mut verdict, .. } => {
+                            ctx.corrupt_verdict(&mut verdict, local.record_pairs);
+                            if verdict.forward.dominates() {
+                                shared.dominated[g].store(true, Ordering::Release);
+                            }
+                            shared.finish_pair(g, &mut part);
+                        }
+                        BoundedCompare::Pending(tally) => {
+                            lock(&shared.queue).push_back(PairJob {
+                                idx: job.idx,
+                                resume: Some(tally),
+                                attempts: job.attempts,
+                            });
+                        }
                     }
-                    Ok(Err(reason)) => {
-                        shared.flag_interrupt(reason);
+                }
+                Ok(Err(reason)) => {
+                    shared.flag_interrupt(reason);
+                    break 'outer;
+                }
+                Err(_panic) => {
+                    // The worker's cache may have been abandoned mid-update;
+                    // drop it rather than trust it. The job's resume tally
+                    // is a value captured before the batch and stays sound.
+                    pair_cache = kernel.prepared().map(|_| PairCache::new());
+                    shared.retries.fetch_add(1, Ordering::Relaxed);
+                    if let Some(rec) = ctx.obs() {
+                        rec.event(
+                            "retry",
+                            track,
+                            shared.tick_now(),
+                            &[
+                                ("group", crate::num::wide(g)),
+                                ("pair", crate::num::wide(job.idx)),
+                                ("attempt", u64::from(job.attempts)),
+                            ],
+                        );
+                    }
+                    job.attempts += 1;
+                    if job.attempts >= MAX_PAIR_ATTEMPTS {
+                        let mut fatal = lock(&shared.fatal);
+                        if fatal.is_none() {
+                            *fatal = Some(Error::WorkerPanicked { worker: wid, chunk: job.idx });
+                        }
                         break 'outer;
                     }
-                    Err(_panic) => {
-                        // The scratch buffer and cache may have been
-                        // abandoned mid-update; drop them rather than trust
-                        // them.
-                        candidates = Vec::new();
-                        pair_cache = kernel.prepared().map(|_| PairCache::new());
-                        shared.retries.fetch_add(1, Ordering::Relaxed);
+                    lock(&shared.queue).push_back(job);
+                    if shared.try_quarantine() {
+                        shared.quarantined.fetch_add(1, Ordering::Relaxed);
                         if let Some(rec) = ctx.obs() {
-                            rec.event(
-                                "retry",
-                                track,
-                                shared.tick_now(),
-                                &[
-                                    ("group", crate::num::wide(g)),
-                                    ("attempt", u64::from(job.attempts)),
-                                ],
-                            );
+                            rec.event("quarantine", track, shared.tick_now(), &[]);
                         }
-                        job.attempts += 1;
-                        if job.attempts >= MAX_CHUNK_ATTEMPTS {
-                            let mut fatal = lock(&shared.fatal);
-                            if fatal.is_none() {
-                                *fatal =
-                                    Some(Error::WorkerPanicked { worker: wid, chunk: job.start });
-                            }
-                            break 'outer;
-                        }
-                        lock(&shared.retry).push_back(job);
-                        if shared.try_quarantine() {
-                            shared.quarantined.fetch_add(1, Ordering::Relaxed);
-                            if let Some(rec) = ctx.obs() {
-                                rec.event("quarantine", track, shared.tick_now(), &[]);
-                            }
-                            break 'outer;
-                        }
-                        // Last active worker: keep going and self-retry.
-                        continue 'outer;
+                        break 'outer;
                     }
+                    // Last active worker: keep going and self-retry.
+                    continue 'outer;
                 }
             }
         }
@@ -420,7 +527,7 @@ fn run_chunked(
             rec.span_end(
                 worker_span,
                 shared.tick_now(),
-                &[("groups", crate::num::wide(part.len())), ("record_pairs", stats.record_pairs)],
+                &[("batches", batches), ("record_pairs", stats.record_pairs)],
             );
         }
         (part, stats)
@@ -457,8 +564,11 @@ fn run_chunked(
         return Err(err);
     }
 
-    let mut stats = Stats::default();
+    let mut stats = setup_stats;
     let mut statuses: Vec<Option<Status>> = vec![None; n];
+    for (g, status) in upfront {
+        statuses[g] = Some(status);
+    }
     for (part, part_stats) in parts {
         stats.merge(&part_stats);
         for (g, status) in part {
@@ -497,10 +607,11 @@ fn run_chunked(
     }
     // Interrupted (or, defensively, groups went missing without a recorded
     // reason — impossible by the loop's termination conditions, but mapped
-    // to a cancellation rather than a wrong Complete). Every finished Live
-    // group scanned *all* of its window candidates, so it is a proven
-    // member; finished Dominated groups have a real dominator; in-flight
-    // groups stay undecided.
+    // to a cancellation rather than a wrong Complete). A Live status means
+    // *all* of the group's candidate pairs finished without a dominator, so
+    // it is a proven member; a set dominated flag is a real dominator even
+    // when the group's other pairs never ran; everything else stays
+    // undecided.
     let reason = reason.unwrap_or(InterruptReason::Cancelled);
     let mut confirmed_in = Vec::new();
     let mut confirmed_out = Vec::new();
@@ -509,6 +620,7 @@ fn run_chunked(
         match status {
             Some(Status::Live) => confirmed_in.push(g),
             Some(_) => confirmed_out.push(g),
+            None if shared.dominated[g].load(Ordering::Acquire) => confirmed_out.push(g),
             None => undecided.push(g),
         }
     }

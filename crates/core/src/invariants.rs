@@ -94,7 +94,12 @@ pub fn check_prepared(ds: &GroupedDataset, prep: &PreparedDataset) {
                             "group {g} block {b} record {j}: sum-lane key mismatch"
                         );
                     }
-                    for j in view.len()..prep.block_size() {
+                    debug_assert_eq!(
+                        lanes.width % crate::prepared::LANE_VECTOR,
+                        0,
+                        "lane stride not padded to the vector width"
+                    );
+                    for j in view.len()..lanes.width {
                         debug_assert_eq!(lanes.lane(0)[j], i64::MAX, "pad lane 0 sentinel");
                         for d in 1..=dim {
                             debug_assert_eq!(lanes.lane(d)[j], i64::MIN, "pad lane {d} sentinel");

@@ -56,7 +56,19 @@ pub enum KernelConfig {
     /// counted by the columnar bitmask kernel over the preparation's
     /// structure-of-arrays key lanes (see [`crate::columnar`]). Requires
     /// `block_size <= `[`MAX_LANE_BLOCK`] so one lane fits a `u64` mask.
+    /// When the CPU supports AVX2 (and `AGGSKY_FORCE_SCALAR` is not set,
+    /// see [`crate::cpu`]), straddles run the hand-vectorized twin in
+    /// [`crate::simd`] — bit-identical tallies and [`Stats`], just faster.
     Columnar {
+        /// Records per block (at most [`MAX_LANE_BLOCK`]).
+        block_size: usize,
+    },
+    /// [`KernelConfig::Columnar`] with SIMD dispatch pinned off: always the
+    /// scalar columnar kernel, regardless of CPU features or environment.
+    /// This is the testable/benchable fallback on AVX2 hardware (the
+    /// differential oracle of `tests/simd_differential.rs` and the
+    /// `columnar-scalar` row of the perf table).
+    ColumnarScalar {
         /// Records per block (at most [`MAX_LANE_BLOCK`]).
         block_size: usize,
     },
@@ -68,18 +80,38 @@ impl KernelConfig {
         KernelConfig::Blocked { block_size: PreparedDataset::DEFAULT_BLOCK_SIZE }
     }
 
-    /// The columnar kernel at the default block size.
+    /// The columnar kernel at the default block size (SIMD when available).
     pub fn columnar() -> KernelConfig {
         KernelConfig::Columnar { block_size: PreparedDataset::DEFAULT_BLOCK_SIZE }
     }
+
+    /// The scalar-pinned columnar kernel at the default block size.
+    pub fn columnar_scalar() -> KernelConfig {
+        KernelConfig::ColumnarScalar { block_size: PreparedDataset::DEFAULT_BLOCK_SIZE }
+    }
 }
 
-/// Which straddle loop a prepared kernel runs. Both tally identically; the
-/// columnar loop is the faster one when lanes are available.
+/// Which straddle loop a prepared kernel runs. All three tally identically;
+/// the columnar loops are the faster ones when lanes are available, and the
+/// SIMD one the fastest when the CPU has AVX2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum StraddleMode {
     RowWise,
-    Columnar,
+    ColumnarScalar,
+    ColumnarSimd,
+}
+
+impl StraddleMode {
+    /// The columnar mode the runtime environment selects: AVX2 when
+    /// detected and not overridden, scalar otherwise.
+    #[inline]
+    fn columnar_auto() -> StraddleMode {
+        if crate::cpu::simd_active() {
+            StraddleMode::ColumnarSimd
+        } else {
+            StraddleMode::ColumnarScalar
+        }
+    }
 }
 
 enum Prep<'a> {
@@ -99,7 +131,7 @@ enum Prep<'a> {
 pub struct Kernel<'a> {
     ds: &'a GroupedDataset,
     prep: Prep<'a>,
-    columnar: bool,
+    straddle: StraddleMode,
 }
 
 impl<'a> Kernel<'a> {
@@ -115,9 +147,13 @@ impl<'a> Kernel<'a> {
             KernelConfig::Exhaustive => Ok(Kernel::exhaustive(ds)),
             KernelConfig::Blocked { block_size } => {
                 let prep = PreparedDataset::build(ds, block_size)?;
-                Ok(Kernel { ds, prep: Prep::Owned(Box::new(prep)), columnar: false })
+                Ok(Kernel {
+                    ds,
+                    prep: Prep::Owned(Box::new(prep)),
+                    straddle: StraddleMode::RowWise,
+                })
             }
-            KernelConfig::Columnar { block_size } => {
+            KernelConfig::Columnar { block_size } | KernelConfig::ColumnarScalar { block_size } => {
                 if block_size > MAX_LANE_BLOCK {
                     return Err(Error::InvalidArgument(format!(
                         "columnar block_size {block_size} exceeds MAX_LANE_BLOCK \
@@ -126,7 +162,11 @@ impl<'a> Kernel<'a> {
                 }
                 let prep = PreparedDataset::build(ds, block_size)?;
                 debug_assert!(prep.lanes_enabled());
-                Ok(Kernel { ds, prep: Prep::Owned(Box::new(prep)), columnar: true })
+                let straddle = match config {
+                    KernelConfig::ColumnarScalar { .. } => StraddleMode::ColumnarScalar,
+                    _ => StraddleMode::columnar_auto(),
+                };
+                Ok(Kernel { ds, prep: Prep::Owned(Box::new(prep)), straddle })
             }
         }
     }
@@ -135,7 +175,7 @@ impl<'a> Kernel<'a> {
     /// — this is what [`crate::Algorithm::run`] uses, keeping the paper
     /// configuration free of error plumbing.
     pub fn exhaustive(ds: &'a GroupedDataset) -> Kernel<'a> {
-        Kernel { ds, prep: Prep::None, columnar: false }
+        Kernel { ds, prep: Prep::None, straddle: StraddleMode::RowWise }
     }
 
     /// Binds `ds` to an existing preparation, using the row-wise straddle
@@ -145,11 +185,12 @@ impl<'a> Kernel<'a> {
     /// The preparation must have been built from `ds`.
     pub fn with_prepared(ds: &'a GroupedDataset, prep: &'a PreparedDataset) -> Kernel<'a> {
         debug_assert_eq!(ds.n_records(), prep.n_records());
-        Kernel { ds, prep: Prep::Borrowed(prep), columnar: false }
+        Kernel { ds, prep: Prep::Borrowed(prep), straddle: StraddleMode::RowWise }
     }
 
     /// Binds `ds` to an existing preparation, counting straddles with the
-    /// columnar bitmask kernel.
+    /// columnar bitmask kernel (SIMD when the CPU and environment allow,
+    /// see [`crate::cpu::simd_active`]).
     ///
     /// # Errors
     ///
@@ -167,7 +208,7 @@ impl<'a> Kernel<'a> {
                 prep.block_size()
             )));
         }
-        Ok(Kernel { ds, prep: Prep::Borrowed(prep), columnar: true })
+        Ok(Kernel { ds, prep: Prep::Borrowed(prep), straddle: StraddleMode::columnar_auto() })
     }
 
     /// The underlying dataset.
@@ -187,19 +228,22 @@ impl<'a> Kernel<'a> {
         }
     }
 
-    /// Whether straddling block pairs run the columnar bitmask kernel.
+    /// Whether straddling block pairs run a columnar bitmask kernel (scalar
+    /// or SIMD).
     #[inline]
     pub fn is_columnar(&self) -> bool {
-        self.columnar
+        self.straddle != StraddleMode::RowWise
+    }
+
+    /// Whether straddling block pairs run the AVX2 SIMD kernel.
+    #[inline]
+    pub fn is_simd(&self) -> bool {
+        self.straddle == StraddleMode::ColumnarSimd
     }
 
     #[inline]
     fn straddle_mode(&self) -> StraddleMode {
-        if self.columnar {
-            StraddleMode::Columnar
-        } else {
-            StraddleMode::RowWise
-        }
+        self.straddle
     }
 
     /// Group bounding boxes precomputed during preparation (`None` in
@@ -265,6 +309,147 @@ impl<'a> Kernel<'a> {
             _ => self.compare(g1, g2, gamma, boxes, opts, stats),
         }
     }
+
+    /// One bounded batch of a group-vs-group comparison: processes at most
+    /// `max_block_pairs` block pairs of the deterministic block cursor and
+    /// either decides the pair or returns a resumable [`CachedTally`]. This
+    /// is the pair-granular scheduler's stealable work unit — any worker
+    /// can pick up a [`BoundedCompare::Pending`] continuation, because the
+    /// tally plus the cursor fully determine the remaining work.
+    ///
+    /// Semantics match [`Kernel::compare_cached`] exactly: counting runs in
+    /// canonical `(min, max)` orientation (the returned verdict is flipped
+    /// back to the caller's), a fresh start (`resume: None`) charges
+    /// `group_pairs`, applies the bounding-box shortcut, and consults
+    /// `cache` for a memoized tally to serve or resume; a continuation
+    /// (`resume: Some`) belongs to an already-charged comparison and does
+    /// neither. Decided batches store their tally back into `cache`.
+    /// `Stats` charges cover only the counting this batch performed, so a
+    /// scheduler that commits them after each successful batch never
+    /// double-charges a budget across retries.
+    ///
+    /// On an exhaustive kernel (no preparation) there is no block cursor:
+    /// the whole comparison runs as one batch and the work unit degrades to
+    /// the full pair, with no tally to memoize.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compare_bounded(
+        &self,
+        g1: GroupId,
+        g2: GroupId,
+        gamma: Gamma,
+        boxes: Option<(&Mbb, &Mbb)>,
+        opts: PairOptions,
+        resume: Option<CachedTally>,
+        max_block_pairs: u64,
+        mut cache: Option<&mut PairCache>,
+        stats: &mut Stats,
+    ) -> BoundedCompare {
+        let Some(prep) = self.prepared() else {
+            return BoundedCompare::Decided {
+                verdict: self.compare(g1, g2, gamma, boxes, opts, stats),
+                tally: None,
+            };
+        };
+        let (lo, hi) = if g1 <= g2 { (g1, g2) } else { (g2, g1) };
+        let total = crate::num::pair_product(prep.group_len(lo), prep.group_len(hi));
+        let orient = |v: PairVerdict| if g1 <= g2 { v } else { v.flipped() };
+        let mut was_cached = false;
+        let tally = match resume {
+            Some(t) => {
+                debug_assert_eq!(t.total, total, "resume tally from a different dataset");
+                t
+            }
+            None => {
+                stats.group_pairs += 1;
+                if let Some(v) = bbox_shortcut(boxes, stats) {
+                    // Box verdicts are already in caller orientation.
+                    return BoundedCompare::Decided { verdict: v, tally: None };
+                }
+                match cache.as_ref().and_then(|c| c.lookup(lo, hi)) {
+                    Some(t) => {
+                        debug_assert_eq!(t.total, total, "cache entry from a different dataset");
+                        was_cached = true;
+                        t
+                    }
+                    None => {
+                        if cache.is_some() {
+                            stats.cache_misses += 1;
+                        }
+                        CachedTally::fresh(total)
+                    }
+                }
+            }
+        };
+        let mut counter = Counter::resume(total, gamma, opts, tally.n12, tally.n21, tally.checked);
+        // Can the carried evidence already decide the pair under this γ?
+        // (A `Pending` continuation never can — its batch just failed to —
+        // but a cache-served tally or a γ change can.)
+        let served = if tally.complete() {
+            Some(counter.final_verdict())
+        } else if opts.stop_rule {
+            counter.verdict()
+        } else {
+            None
+        };
+        if let Some(v) = served {
+            if was_cached {
+                stats.cache_hits += 1;
+            }
+            return BoundedCompare::Decided { verdict: orient(v), tally: Some(tally) };
+        }
+        if was_cached {
+            stats.cache_resumes += 1;
+        }
+        let (early, cursor) = run_blocks_from(
+            prep,
+            lo,
+            hi,
+            &mut counter,
+            opts,
+            stats,
+            self.straddle_mode(),
+            tally.cursor,
+            max_block_pairs,
+        );
+        let after = CachedTally {
+            n12: counter.n12,
+            n21: counter.n21,
+            checked: counter.checked,
+            total,
+            cursor,
+        };
+        let verdict = match early {
+            Some(v) => Some(v),
+            None if after.complete() => Some(counter.final_verdict()),
+            None => None,
+        };
+        match verdict {
+            Some(v) => {
+                if let Some(c) = cache.as_mut() {
+                    c.store(lo, hi, after);
+                }
+                BoundedCompare::Decided { verdict: orient(v), tally: Some(after) }
+            }
+            None => BoundedCompare::Pending(after),
+        }
+    }
+}
+
+/// Outcome of one [`Kernel::compare_bounded`] batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundedCompare {
+    /// The comparison is decided. `tally` carries the memoizable canonical
+    /// counting state when record counting happened (`None` when a
+    /// bounding-box shortcut or the exhaustive kernel resolved the pair).
+    Decided {
+        /// The pair verdict, in the caller's `(g1, g2)` orientation.
+        verdict: PairVerdict,
+        /// Canonical-orientation tally after the deciding batch, if any.
+        tally: Option<CachedTally>,
+    },
+    /// The batch limit was hit first; pass the tally back as `resume` (from
+    /// any worker) to continue where this batch stopped.
+    Pending(CachedTally),
 }
 
 /// The Figure 9(b) group-level bounding-box shortcuts, shared by every
@@ -308,9 +493,11 @@ pub fn compare_groups_blocked(
 }
 
 /// [`compare_groups_blocked`] with the columnar bitmask straddle kernel:
-/// bit-identical verdicts, tallies and [`Stats`] (the two straddle loops
-/// charge the same `records_compared` / `record_pairs`). Falls back to the
-/// row-wise loop if the preparation carries no key lanes.
+/// bit-identical verdicts, tallies and [`Stats`] (the straddle loops charge
+/// the same `records_compared` / `record_pairs`). Uses the AVX2 SIMD kernel
+/// when the CPU and environment allow ([`crate::cpu::simd_active`]), the
+/// scalar columnar loop otherwise; falls back to the row-wise loop if the
+/// preparation carries no key lanes.
 pub fn compare_groups_columnar(
     prep: &PreparedDataset,
     g1: GroupId,
@@ -320,7 +507,22 @@ pub fn compare_groups_columnar(
     opts: PairOptions,
     stats: &mut Stats,
 ) -> PairVerdict {
-    compare_groups_prepared(prep, g1, g2, gamma, boxes, opts, stats, StraddleMode::Columnar)
+    compare_groups_prepared(prep, g1, g2, gamma, boxes, opts, stats, StraddleMode::columnar_auto())
+}
+
+/// [`compare_groups_columnar`] with SIMD dispatch pinned off: always the
+/// scalar columnar kernel. This is the differential oracle the SIMD suite
+/// and the perf table compare against on AVX2 hardware.
+pub fn compare_groups_columnar_scalar(
+    prep: &PreparedDataset,
+    g1: GroupId,
+    g2: GroupId,
+    gamma: Gamma,
+    boxes: Option<(&Mbb, &Mbb)>,
+    opts: PairOptions,
+    stats: &mut Stats,
+) -> PairVerdict {
+    compare_groups_prepared(prep, g1, g2, gamma, boxes, opts, stats, StraddleMode::ColumnarScalar)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -340,7 +542,7 @@ fn compare_groups_prepared(
     if let Some(v) = bbox_shortcut(boxes, stats) {
         return v;
     }
-    match run_blocks_from(prep, g1, g2, &mut counter, opts, stats, mode, 0).0 {
+    match run_blocks_from(prep, g1, g2, &mut counter, opts, stats, mode, 0, u64::MAX).0 {
         Some(v) => v,
         None => counter.final_verdict(),
     }
@@ -399,8 +601,17 @@ fn compare_groups_cached(
             if was_cached {
                 stats.cache_resumes += 1;
             }
-            let (early, cursor) =
-                run_blocks_from(prep, lo, hi, &mut counter, opts, stats, mode, tally.cursor);
+            let (early, cursor) = run_blocks_from(
+                prep,
+                lo,
+                hi,
+                &mut counter,
+                opts,
+                stats,
+                mode,
+                tally.cursor,
+                u64::MAX,
+            );
             cache.store(
                 lo,
                 hi,
@@ -439,8 +650,9 @@ pub fn count_pairs(
     let total = crate::num::pair_product(prep.group_len(g1), prep.group_len(g2));
     let opts = PairOptions { stop_rule: false, need_bar: false, corrected_bar: false };
     let mut counter = Counter::new(total, Gamma::DEFAULT, opts);
-    let mode = if prep.lanes_enabled() { StraddleMode::Columnar } else { StraddleMode::RowWise };
-    let (early, _) = run_blocks_from(prep, g1, g2, &mut counter, opts, stats, mode, 0);
+    let mode =
+        if prep.lanes_enabled() { StraddleMode::columnar_auto() } else { StraddleMode::RowWise };
+    let (early, _) = run_blocks_from(prep, g1, g2, &mut counter, opts, stats, mode, 0, u64::MAX);
     debug_assert!(early.is_none(), "stop rule is disabled");
     crate::invariants::check_pair_conservation(
         counter.checked,
@@ -451,15 +663,19 @@ pub fn count_pairs(
     (counter.n12, counter.n21)
 }
 
-/// The block-pair loop, resumable at an arbitrary cursor position.
+/// The block-pair loop, resumable at an arbitrary cursor position and
+/// stoppable after a bounded number of block pairs.
 ///
 /// Block pairs are visited in the linear cursor order `idx ↦
-/// (idx / nb₂, idx mod nb₂)`, skipping pairs below `start` (which a
-/// [`PairCache`] tally has already accounted for). Returns `Some` plus the
+/// (idx / nb₂, idx mod nb₂)`; `start` pairs (which a [`PairCache`] tally
+/// has already accounted for) are skipped by direct seek, in O(1) — this is
+/// what keeps the pair-granular scheduler's bounded batches linear overall.
+/// At most `limit` block pairs are then processed. Returns `Some` plus the
 /// cursor *after* the deciding pair when the stopping rule resolves the
-/// comparison early, or `None` plus the cursor one past the last pair when
-/// every block pair has been accounted for (in which case
-/// `counter.checked == counter.total`).
+/// comparison early, or `None` plus the cursor after the last processed
+/// pair — which is one past the end exactly when every block pair has been
+/// accounted for (`counter.checked == counter.total`), and a resume point
+/// for the next batch otherwise.
 #[allow(clippy::too_many_arguments)]
 fn run_blocks_from(
     prep: &PreparedDataset,
@@ -470,17 +686,25 @@ fn run_blocks_from(
     stats: &mut Stats,
     mode: StraddleMode,
     start: u64,
+    limit: u64,
 ) -> (Option<PairVerdict>, u64) {
     let dim = prep.dim();
-    let columnar = mode == StraddleMode::Columnar && prep.lanes_enabled();
-    let mut cursor = 0u64;
-    for a in 0..prep.n_blocks(g1) {
+    let nb1 = prep.n_blocks(g1);
+    let nb2 = prep.n_blocks(g2);
+    let total_pairs = crate::num::wide(nb1).saturating_mul(crate::num::wide(nb2));
+    let mut cursor = start.min(total_pairs);
+    let stop_at = cursor.saturating_add(limit);
+    // Direct seek: cursor c sits at block pair (c / nb₂, c mod nb₂). Both
+    // quotients are bounded by the (usize) block counts, so `narrow` cannot
+    // fail; the fallback value just keeps the loops empty.
+    let a0 = crate::num::narrow(cursor / crate::num::wide(nb2)).unwrap_or(nb1);
+    let mut b_next = crate::num::narrow(cursor % crate::num::wide(nb2)).unwrap_or(nb2);
+    for a in a0..nb1 {
         let ba = prep.block(g1, a);
-        for b in 0..prep.n_blocks(g2) {
+        let b_start = b_next;
+        b_next = 0;
+        for b in b_start..nb2 {
             cursor += 1;
-            if cursor <= start {
-                continue;
-            }
             let bb = prep.block(g2, b);
             let pairs = crate::num::pair_product(ba.len(), bb.len());
             if dominates(ba.min, bb.max) {
@@ -503,12 +727,23 @@ fn run_blocks_from(
                     counter.checked += pairs;
                     stats.blocks_skipped += 1;
                 } else {
-                    if columnar {
-                        let la = prep.lane_block(g1, a);
-                        let lb = prep.lane_block(g2, b);
-                        crate::columnar::straddle_lanes(dim, &la, &lb, fwd, bwd, counter, stats);
-                    } else {
-                        straddle(dim, &ba, &bb, fwd, bwd, counter, stats);
+                    match mode {
+                        StraddleMode::ColumnarScalar | StraddleMode::ColumnarSimd
+                            if prep.lanes_enabled() =>
+                        {
+                            let la = prep.lane_block(g1, a);
+                            let lb = prep.lane_block(g2, b);
+                            if mode == StraddleMode::ColumnarSimd {
+                                crate::simd::straddle_lanes_simd(
+                                    dim, &la, &lb, fwd, bwd, counter, stats,
+                                );
+                            } else {
+                                crate::columnar::straddle_lanes(
+                                    dim, &la, &lb, fwd, bwd, counter, stats,
+                                );
+                            }
+                        }
+                        _ => straddle(dim, &ba, &bb, fwd, bwd, counter, stats),
                     }
                     counter.checked += pairs;
                 }
@@ -518,6 +753,9 @@ fn run_blocks_from(
                     stats.early_stops += 1;
                     return (Some(v), cursor);
                 }
+            }
+            if cursor >= stop_at {
+                return (None, cursor);
             }
         }
     }

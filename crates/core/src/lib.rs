@@ -52,6 +52,12 @@
 //!   in behind the `invariants` feature.
 //! * [`columnar`] — branch-reduced bitmask kernel for straddling block
 //!   pairs over the preparation's structure-of-arrays key lanes.
+//! * [`simd`] — the AVX2-vectorized twin of the columnar kernel, selected
+//!   at runtime and bit-identical to it (the only sanctioned `unsafe`
+//!   module, lint rule L7).
+//! * [`cpu`] — runtime CPU-feature detection and the `AGGSKY_FORCE_SCALAR`
+//!   override policy (deliberately off the counting path: it reads the
+//!   environment).
 //! * [`paircache`] — cross-γ memoization of pair tallies, resumable at the
 //!   kernel's block cursor.
 //! * [`sweep`] — γ-sweep driver sharing one preparation and one pair cache
@@ -64,6 +70,7 @@ pub use aggsky_obs as obs;
 pub mod algorithms;
 pub mod anytime;
 pub mod columnar;
+pub mod cpu;
 pub mod dataset;
 pub mod dominance;
 pub mod dynamic;
@@ -83,6 +90,7 @@ pub mod properties;
 pub mod ranking;
 pub mod record_skyline;
 pub mod runctx;
+pub mod simd;
 pub mod skyband;
 pub mod skycube;
 pub mod stats;
@@ -109,7 +117,8 @@ pub use explain::{
 };
 pub use gamma::{domination_count, domination_probability, gamma_dominates, Gamma};
 pub use kernel::{
-    compare_groups_blocked, compare_groups_columnar, count_pairs, Kernel, KernelConfig,
+    compare_groups_blocked, compare_groups_columnar, compare_groups_columnar_scalar, count_pairs,
+    BoundedCompare, Kernel, KernelConfig,
 };
 pub use matrix::DominationMatrix;
 pub use mbb::Mbb;
@@ -117,7 +126,7 @@ pub use paircache::{CachedTally, PairCache};
 pub use paircount::{
     compare_groups, compare_groups_exhaustive, DomLevel, PairOptions, PairVerdict,
 };
-pub use prepared::{BlockView, LaneBlock, PreparedDataset, MAX_LANE_BLOCK};
+pub use prepared::{BlockView, LaneBlock, PreparedDataset, LANE_VECTOR, MAX_LANE_BLOCK};
 pub use ranking::{min_gamma_per_group, ranked_skyline, RankedGroup};
 pub use runctx::{CancelToken, InterruptReason, Outcome, RunContext};
 #[cfg(feature = "chaos")]

@@ -103,6 +103,17 @@ pub fn to_i32_sat(x: f64) -> i32 {
     x as i32
 }
 
+/// The low four bits of an AVX2 `movemask` result as a `u64` lane mask.
+///
+/// `_mm256_movemask_pd` packs the four 64-bit lane sign bits into bits
+/// 0..=3 of an `i32`; masking with `0xF` before the widening cast makes the
+/// conversion lossless by construction, centralizing the one `as` the SIMD
+/// kernel needs.
+#[inline(always)]
+pub fn movemask4(m: i32) -> u64 {
+    (m & 0xF) as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,5 +200,14 @@ mod tests {
         assert_eq!(floor_usize(-1.5), 0);
         assert_eq!(floor_usize(f64::NAN), 0);
         assert_eq!(floor_usize(f64::INFINITY), FLOAT_EXACT_MAX as usize);
+    }
+
+    #[test]
+    fn movemask4_keeps_the_low_nibble() {
+        for m in 0..16 {
+            assert_eq!(movemask4(m), m as u64);
+        }
+        assert_eq!(movemask4(-1), 0xF);
+        assert_eq!(movemask4(0x7FFF_FFF0), 0);
     }
 }

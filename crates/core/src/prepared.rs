@@ -26,6 +26,13 @@ use crate::mbb::Mbb;
 /// records of this block does the probe dominate" as a single word.
 pub const MAX_LANE_BLOCK: usize = 64;
 
+/// Number of `i64` elements per SIMD vector (`__m256i`). Key lanes are
+/// padded to a multiple of this, so the AVX2 kernel ([`crate::simd`]) can
+/// load every lane as whole unaligned vectors with no scalar tail; the pad
+/// slots carry the same incomparable sentinels as block padding and are
+/// masked off by [`LaneBlock::valid_mask`] either way.
+pub const LANE_VECTOR: usize = 4;
+
 /// A [`GroupedDataset`] preprocessed for blocked pair counting: per-group
 /// records sorted by descending coordinate sum and partitioned into blocks
 /// of at most [`block_size`](PreparedDataset::block_size) records, each with
@@ -63,6 +70,9 @@ pub struct PreparedDataset {
     keys: Vec<i64>,
     /// Whether `keys` was materialized (`block_size <= MAX_LANE_BLOCK`).
     lanes: bool,
+    /// Lane stride of `keys`: `block_size` rounded up to a multiple of
+    /// [`LANE_VECTOR`] so the SIMD kernel loads whole vectors only.
+    lane_width: usize,
 }
 
 /// Borrowed view of one record block of a [`PreparedDataset`].
@@ -101,16 +111,19 @@ impl BlockView<'_> {
 /// `keys` holds `dim + 1` lanes of `width` integers each: lanes `0..dim`
 /// are the coordinate keys ([`crate::dominance::sort_key`]) of the block's
 /// records in sorted order, lane `dim` is the coordinate-sum key. Only the
-/// first `len` slots of each lane are live; the tail of the last block of a
-/// group is padded with sentinels (`i64::MAX` in lane 0, `i64::MIN`
-/// elsewhere) chosen so a padded slot can neither dominate nor be dominated
-/// — the kernel additionally masks results with [`LaneBlock::valid_mask`],
-/// so the sentinels are defense in depth rather than load-bearing.
+/// first `len` slots of each lane are live; the rest (block-size padding of
+/// a group's last block, plus the [`LANE_VECTOR`] stride rounding) is
+/// padded with sentinels (`i64::MAX` in lane 0, `i64::MIN` elsewhere)
+/// chosen so a padded slot can neither dominate nor be dominated — the
+/// kernel additionally masks results with [`LaneBlock::valid_mask`], so the
+/// sentinels are defense in depth rather than load-bearing.
 #[derive(Debug, Clone, Copy)]
 pub struct LaneBlock<'a> {
     /// `(dim + 1) * width` keys, lane-major.
     pub keys: &'a [i64],
-    /// Lane stride (the preparation's block size).
+    /// Lane stride: the preparation's block size rounded up to a multiple
+    /// of [`LANE_VECTOR`] (at most [`MAX_LANE_BLOCK`], so one lane still
+    /// fits a `u64` mask).
     pub width: usize,
     /// Number of live records in the block.
     pub len: usize,
@@ -202,8 +215,11 @@ impl PreparedDataset {
             mbbs.push(Mbb { min: g_min, max: g_max });
         }
         let lanes = block_size <= MAX_LANE_BLOCK;
+        // Rounding the lane stride (not the block size) up to the vector
+        // width keeps MAX_LANE_BLOCK intact: 64 is already a multiple of 4.
+        let lane_width = block_size.next_multiple_of(LANE_VECTOR);
         let keys = if lanes {
-            build_lane_keys(dim, block_size, &values, &sums, &offsets, &block_offsets)
+            build_lane_keys(dim, block_size, lane_width, &values, &sums, &offsets, &block_offsets)
         } else {
             Vec::new()
         };
@@ -219,6 +235,7 @@ impl PreparedDataset {
             mbbs,
             keys,
             lanes,
+            lane_width,
         };
         crate::invariants::check_prepared(ds, &prep);
         Ok(prep)
@@ -305,10 +322,10 @@ impl PreparedDataset {
         debug_assert!(gb < self.block_offsets[g + 1]);
         let start = self.offsets[g] + b * self.block_size;
         let end = (start + self.block_size).min(self.offsets[g + 1]);
-        let stride = (self.dim + 1) * self.block_size;
+        let stride = (self.dim + 1) * self.lane_width;
         LaneBlock {
             keys: &self.keys[gb * stride..(gb + 1) * stride],
-            width: self.block_size,
+            width: self.lane_width,
             len: end - start,
         }
     }
@@ -330,21 +347,26 @@ impl PreparedDataset {
 }
 
 /// Fills the columnar key lanes: for each block, `dim` coordinate lanes and
-/// one sum lane of `block_size` keys each, live slots holding
-/// [`crate::dominance::sort_key`] of the sorted rows, padded slots holding
-/// sentinels (`i64::MAX` in lane 0 so a pad is never dominated, `i64::MIN`
-/// in every other lane — including the sum lane, which by itself already
-/// prevents a pad from dominating, covering the 1-dimensional case where no
-/// coordinate sentinel can do both jobs at once).
+/// one sum lane of `lane_width` keys each (the block size rounded up to
+/// [`LANE_VECTOR`]), live slots holding [`crate::dominance::sort_key`] of
+/// the sorted rows, padded slots holding sentinels (`i64::MAX` in lane 0 so
+/// a pad is never dominated, `i64::MIN` in every other lane — including the
+/// sum lane, which by itself already prevents a pad from dominating,
+/// covering the 1-dimensional case where no coordinate sentinel can do both
+/// jobs at once). The stride-rounding pad past `block_size` carries the
+/// same sentinel pattern as block padding.
 fn build_lane_keys(
     dim: usize,
     block_size: usize,
+    lane_width: usize,
     values: &[f64],
     sums: &[f64],
     offsets: &[usize],
     block_offsets: &[usize],
 ) -> Vec<i64> {
-    let stride = (dim + 1) * block_size;
+    debug_assert_eq!(lane_width % LANE_VECTOR, 0);
+    debug_assert!(lane_width >= block_size);
+    let stride = (dim + 1) * lane_width;
     let total_blocks = block_offsets[block_offsets.len() - 1];
     let mut keys = vec![0i64; total_blocks * stride];
     for g in 0..offsets.len() - 1 {
@@ -355,15 +377,15 @@ fn build_lane_keys(
             let base = (block_offsets[g] + b) * stride;
             for (j, row) in (start..end).enumerate() {
                 for d in 0..dim {
-                    keys[base + d * block_size + j] =
+                    keys[base + d * lane_width + j] =
                         crate::dominance::sort_key(values[row * dim + d]);
                 }
-                keys[base + dim * block_size + j] = crate::dominance::sort_key(sums[row]);
+                keys[base + dim * lane_width + j] = crate::dominance::sort_key(sums[row]);
             }
-            for j in (end - start)..block_size {
+            for j in (end - start)..lane_width {
                 keys[base + j] = i64::MAX;
                 for d in 1..=dim {
-                    keys[base + d * block_size + j] = i64::MIN;
+                    keys[base + d * lane_width + j] = i64::MIN;
                 }
             }
         }
@@ -459,15 +481,16 @@ mod tests {
                     let view = prep.block(g, b);
                     let lanes = prep.lane_block(g, b);
                     assert_eq!(lanes.len, view.len());
-                    assert_eq!(lanes.width, block_size);
+                    assert_eq!(lanes.width, block_size.next_multiple_of(LANE_VECTOR));
                     for (j, row) in view.rows.chunks_exact(dim).enumerate() {
                         for (d, &v) in row.iter().enumerate() {
                             assert_eq!(lanes.lane(d)[j], crate::dominance::sort_key(v));
                         }
                         assert_eq!(lanes.lane(dim)[j], crate::dominance::sort_key(view.sums[j]));
                     }
-                    // Padding carries the incomparable sentinel pattern.
-                    for j in view.len()..block_size {
+                    // Padding (block tail and stride rounding alike) carries
+                    // the incomparable sentinel pattern.
+                    for j in view.len()..lanes.width {
                         assert_eq!(lanes.lane(0)[j], i64::MAX);
                         for d in 1..=dim {
                             assert_eq!(lanes.lane(d)[j], i64::MIN);

@@ -1,0 +1,319 @@
+//! AVX2 straddle kernel: the hand-vectorized twin of [`crate::columnar`].
+//!
+//! The scalar columnar kernel already expresses one probe record against a
+//! whole block as `u64` bitmasks; this module computes the same masks four
+//! 64-bit lane elements per instruction with `std::arch` AVX2 intrinsics,
+//! selected at runtime by [`crate::cpu::simd_active`]. The scalar path stays
+//! as the differential oracle: verdicts, `n12`/`n21` tallies, and every
+//! [`Stats`] charge are **bit-identical** (pinned by
+//! `tests/simd_differential.rs`), so SIMD dispatch can never change a
+//! result, only how fast it is produced.
+//!
+//! # Lane → vector mapping
+//!
+//! [`crate::prepared::PreparedDataset`] pads every key lane to
+//! [`crate::prepared::LANE_VECTOR`] elements, so lane `d` of a block is an
+//! exact sequence of `width / 4` unaligned `__m256i` loads; bit `j` of a
+//! mask word corresponds to record `j`, and each `_mm256_movemask_pd` of a
+//! compare result contributes four mask bits at offset `4·v`. Per probe:
+//!
+//! * the **strict-sum mask** is `_mm256_cmpgt_epi64(sum_lane, Σr₁)` (and the
+//!   mirror for the forward direction). The sum lane is sorted descending,
+//!   so this vector compare reproduces exactly the prefix/suffix masks the
+//!   scalar kernel derives from its monotone cursors — which is why the
+//!   `records_compared` / `record_pairs` popcount charges match bit-for-bit;
+//! * the **per-dimension ≥ masks** use the identity `v ≥ k ⟺ ¬(k > v)`:
+//!   `_mm256_andnot_si256(_mm256_cmpgt_epi64(k, v), acc)` folds each
+//!   dimension into the accumulator seeded with the strict-sum compare, so
+//!   dominance needs one compare + one andnot per dimension per four
+//!   records, with a single movemask at the end.
+//!
+//! A **sum-lane prefilter** runs before the per-record loop: one packed
+//! compare of the live sum-range corners (`b` first/last vs probe-block
+//! first/last) classifies each direction as *skip* (no record of `b` can be
+//! a sum-qualified candidate for any probe — the scalar kernel would add 0
+//! everywhere, so the whole direction is elided), *full* (every live `b`
+//! record is sum-qualified for every probe — the strict-sum mask is `valid`
+//! without any per-chunk compare), or *mixed*. Both shortcuts preserve the
+//! exact `Stats` charges because they only replace compares whose outcome
+//! is constant over the block.
+//!
+//! # Safety
+//!
+//! This is the workspace's only sanctioned `unsafe` module (lint rule L7;
+//! every `unsafe` token is line-pinned in `lint-allowlist.txt`). The
+//! argument, in full (DESIGN.md §13):
+//!
+//! * **Feature availability** — the AVX2 intrinsics are only reached
+//!   through [`straddle_lanes_simd`], whose callers gate on
+//!   [`crate::cpu::simd_active`] (runtime `is_x86_feature_detected!`); the
+//!   `#[target_feature]` functions are never called on a CPU without AVX2.
+//! * **In-bounds loads** — `LaneBlock` guarantees `keys.len() ==
+//!   (dim + 1) · width` with `width` a positive multiple of 4
+//!   ([`crate::prepared::LANE_VECTOR`], asserted here), so every 32-byte
+//!   load at `lane_base + 4·v`, `v < width / 4`, reads entirely inside one
+//!   lane. Probe reads use `i < a.len ≤ a.width` and `d ≤ dim`.
+//! * **Alignment & validity** — `_mm256_loadu_si256` is the unaligned load;
+//!   `i64` has no invalid bit patterns, and the pad slots are initialized
+//!   sentinels, so reading them is defined (their mask bits are discarded
+//!   by `valid_mask`, exactly as in the scalar kernel).
+
+use crate::paircount::Counter;
+use crate::prepared::LaneBlock;
+use crate::stats::Stats;
+
+/// Counts the dominating pairs of one straddling block pair with the AVX2
+/// kernel. Exact drop-in for the scalar [`crate::columnar::straddle_lanes`]:
+/// identical `Counter` and [`Stats`] updates.
+///
+/// Callers must have checked [`crate::cpu::simd_active`]; on a non-x86-64
+/// target this delegates to the scalar kernel (and is never selected by the
+/// dispatcher anyway).
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn straddle_lanes_simd(
+    dim: usize,
+    a: &LaneBlock<'_>,
+    b: &LaneBlock<'_>,
+    fwd: bool,
+    bwd: bool,
+    counter: &mut Counter,
+    stats: &mut Stats,
+) {
+    debug_assert!(crate::cpu::avx2_available(), "SIMD kernel selected without AVX2");
+    // SAFETY: AVX2 is available — the dispatcher (and the debug assertion
+    // above) gates on `cpu::simd_active()`, which wraps
+    // `is_x86_feature_detected!("avx2")`. See the module-level safety notes
+    // for the in-bounds argument of every load inside.
+    unsafe { dispatch_avx2(dim, a, b, fwd, bwd, counter, stats) }
+}
+
+/// Non-x86-64 stub: the dispatcher never selects SIMD here
+/// ([`crate::cpu::avx2_available`] is `false`), but the symbol keeps the
+/// call graph target-independent.
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) fn straddle_lanes_simd(
+    dim: usize,
+    a: &LaneBlock<'_>,
+    b: &LaneBlock<'_>,
+    fwd: bool,
+    bwd: bool,
+    counter: &mut Counter,
+    stats: &mut Stats,
+) {
+    crate::columnar::straddle_lanes(dim, a, b, fwd, bwd, counter, stats);
+}
+
+/// Monomorphization dispatch inside the AVX2 context, mirroring the scalar
+/// kernel's `const D` fast path (here 1..=8; the dynamic tail keeps the
+/// per-dimension trip count a runtime value).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dispatch_avx2(
+    dim: usize,
+    a: &LaneBlock<'_>,
+    b: &LaneBlock<'_>,
+    fwd: bool,
+    bwd: bool,
+    counter: &mut Counter,
+    stats: &mut Stats,
+) {
+    match dim {
+        1 => straddle_avx2_impl(1, a, b, fwd, bwd, counter, stats),
+        2 => straddle_avx2_impl(2, a, b, fwd, bwd, counter, stats),
+        3 => straddle_avx2_impl(3, a, b, fwd, bwd, counter, stats),
+        4 => straddle_avx2_impl(4, a, b, fwd, bwd, counter, stats),
+        5 => straddle_avx2_impl(5, a, b, fwd, bwd, counter, stats),
+        6 => straddle_avx2_impl(6, a, b, fwd, bwd, counter, stats),
+        7 => straddle_avx2_impl(7, a, b, fwd, bwd, counter, stats),
+        8 => straddle_avx2_impl(8, a, b, fwd, bwd, counter, stats),
+        _ => straddle_avx2_impl(dim, a, b, fwd, bwd, counter, stats),
+    }
+}
+
+/// The vector kernel proper. `#[inline]` so each constant-`dim` call site in
+/// [`dispatch_avx2`] specializes the per-dimension loop, exactly like the
+/// scalar kernel's `straddle_fixed` shims.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn straddle_avx2_impl(
+    dim: usize,
+    a: &LaneBlock<'_>,
+    b: &LaneBlock<'_>,
+    fwd: bool,
+    bwd: bool,
+    counter: &mut Counter,
+    stats: &mut Stats,
+) {
+    use crate::num::movemask4;
+    use crate::prepared::LANE_VECTOR;
+    use std::arch::x86_64::{
+        __m256i, _mm256_andnot_si256, _mm256_castsi256_pd, _mm256_cmpgt_epi64, _mm256_loadu_si256,
+        _mm256_movemask_pd, _mm256_set1_epi64x, _mm256_setr_epi64x,
+    };
+
+    let valid = b.valid_mask();
+    let a_sum = a.lane(dim);
+    let b_sum = b.lane(dim);
+    let width = b.width;
+    debug_assert_eq!(width % LANE_VECTOR, 0, "lane stride not padded to the vector width");
+    debug_assert!(a.len >= 1 && b.len >= 1, "blocks are never empty");
+    let n_chunks = width / LANE_VECTOR;
+
+    // Sum-lane prefilter: one packed compare of the live sum-range corners
+    // classifies both directions as skip / full / mixed (lanes: bwd-any,
+    // bwd-full, fwd-any, fwd-full). `skip` means the scalar kernel's sum
+    // mask would be 0 for every probe, `full` that it would be `valid`.
+    let cls = movemask4(_mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(
+        _mm256_setr_epi64x(b_sum[0], b_sum[b.len - 1], a_sum[0], a_sum[a.len - 1]),
+        _mm256_setr_epi64x(a_sum[a.len - 1], a_sum[0], b_sum[b.len - 1], b_sum[0]),
+    ))));
+    let bwd = bwd && cls & 0b0001 != 0;
+    let bwd_full = cls & 0b0010 != 0;
+    let fwd = fwd && cls & 0b0100 != 0;
+    let fwd_full = cls & 0b1000 != 0;
+    if !fwd && !bwd {
+        return;
+    }
+
+    let a_keys = a.keys.as_ptr();
+    let b_keys = b.keys.as_ptr();
+    let b_sums = b_sum.as_ptr();
+    let a_width = a.width;
+    let ones = _mm256_set1_epi64x(-1);
+
+    let mut n12 = 0u64;
+    let mut n21 = 0u64;
+    let mut tests = 0u64;
+    for (i, &probe_sum) in a_sum.iter().enumerate().take(a.len) {
+        let s1v = _mm256_set1_epi64x(probe_sum);
+        if bwd {
+            let mut sum_gt = 0u64;
+            let mut all_ge = 0u64;
+            for v in 0..n_chunks {
+                let at = v * LANE_VECTOR;
+                // Strict-sum mask: b-records with a strictly larger sum. In
+                // `full` mode the compare is constant-true over the block.
+                let seed = if bwd_full {
+                    ones
+                } else {
+                    let sums = _mm256_loadu_si256(b_sums.add(at) as *const __m256i);
+                    _mm256_cmpgt_epi64(sums, s1v)
+                };
+                sum_gt |= movemask4(_mm256_movemask_pd(_mm256_castsi256_pd(seed))) << at;
+                // Fold the per-dimension ≥ masks into the sum seed:
+                // v ≥ k ⟺ ¬(k > v).
+                let mut acc = seed;
+                for d in 0..dim {
+                    let key = _mm256_set1_epi64x(*a_keys.add(d * a_width + i));
+                    let lane = _mm256_loadu_si256(b_keys.add(d * width + at) as *const __m256i);
+                    acc = _mm256_andnot_si256(_mm256_cmpgt_epi64(key, lane), acc);
+                }
+                all_ge |= movemask4(_mm256_movemask_pd(_mm256_castsi256_pd(acc))) << at;
+            }
+            sum_gt &= valid;
+            tests += u64::from(sum_gt.count_ones());
+            n21 += u64::from((all_ge & valid).count_ones());
+        }
+        if fwd {
+            let mut sum_lt = 0u64;
+            let mut all_le = 0u64;
+            for v in 0..n_chunks {
+                let at = v * LANE_VECTOR;
+                let seed = if fwd_full {
+                    ones
+                } else {
+                    let sums = _mm256_loadu_si256(b_sums.add(at) as *const __m256i);
+                    _mm256_cmpgt_epi64(s1v, sums)
+                };
+                sum_lt |= movemask4(_mm256_movemask_pd(_mm256_castsi256_pd(seed))) << at;
+                // v ≤ k ⟺ ¬(v > k).
+                let mut acc = seed;
+                for d in 0..dim {
+                    let key = _mm256_set1_epi64x(*a_keys.add(d * a_width + i));
+                    let lane = _mm256_loadu_si256(b_keys.add(d * width + at) as *const __m256i);
+                    acc = _mm256_andnot_si256(_mm256_cmpgt_epi64(lane, key), acc);
+                }
+                all_le |= movemask4(_mm256_movemask_pd(_mm256_castsi256_pd(acc))) << at;
+            }
+            sum_lt &= valid;
+            tests += u64::from(sum_lt.count_ones());
+            n12 += u64::from((all_le & valid).count_ones());
+        }
+    }
+    counter.n12 += n12;
+    counter.n21 += n21;
+    stats.records_compared += tests;
+    stats.record_pairs += tests;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gamma::Gamma;
+    use crate::paircount::PairOptions;
+    use crate::prepared::PreparedDataset;
+    use crate::testdata::random_dataset;
+
+    /// Module-level differential: the SIMD kernel's tallies and work charges
+    /// equal the scalar columnar kernel's on every block pair, across the
+    /// monomorphization boundary. (The workspace suite in
+    /// `tests/simd_differential.rs` extends this to verdicts, all
+    /// `PairOptions`, and whole algorithm runs.)
+    #[test]
+    fn simd_matches_scalar_on_every_block_pair() {
+        if !crate::cpu::simd_active() {
+            eprintln!("skipping: AVX2 unavailable or AGGSKY_FORCE_SCALAR set");
+            return;
+        }
+        for dim in [1usize, 2, 4, 5, 8, 9] {
+            let ds = random_dataset(4, 11, dim, 7 + dim as u64);
+            for block_size in [1usize, 7, 64] {
+                let prep = PreparedDataset::build(&ds, block_size).unwrap();
+                for g1 in 0..ds.n_groups() {
+                    for g2 in 0..ds.n_groups() {
+                        if g1 == g2 {
+                            continue;
+                        }
+                        for ba in 0..prep.n_blocks(g1) {
+                            for bb in 0..prep.n_blocks(g2) {
+                                let la = prep.lane_block(g1, ba);
+                                let lb = prep.lane_block(g2, bb);
+                                for (f, w) in [(true, true), (true, false), (false, true)] {
+                                    let opts = PairOptions::default();
+                                    let total = crate::num::pair_product(la.len, lb.len);
+                                    let mut c_simd = Counter::new(total, Gamma::DEFAULT, opts);
+                                    let mut c_ref = Counter::new(total, Gamma::DEFAULT, opts);
+                                    let mut s_simd = Stats::default();
+                                    let mut s_ref = Stats::default();
+                                    straddle_lanes_simd(
+                                        dim,
+                                        &la,
+                                        &lb,
+                                        f,
+                                        w,
+                                        &mut c_simd,
+                                        &mut s_simd,
+                                    );
+                                    crate::columnar::straddle_lanes(
+                                        dim, &la, &lb, f, w, &mut c_ref, &mut s_ref,
+                                    );
+                                    let tag = format!(
+                                        "dim={dim} bs={block_size} {g1}v{g2} blocks {ba}/{bb} \
+                                         fwd={f} bwd={w}"
+                                    );
+                                    assert_eq!(
+                                        (c_simd.n12, c_simd.n21),
+                                        (c_ref.n12, c_ref.n21),
+                                        "{tag}"
+                                    );
+                                    assert_eq!(s_simd, s_ref, "stats drift: {tag}");
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Seeded L7 violations: `unsafe` in ordinary library code. The rule
+//! flags every occurrence of the keyword — the block, the function
+//! signature, and the impl — regardless of what the unsafe code does;
+//! only the sanctioned SIMD modules may carry (line-pinned) occurrences.
+
+pub fn bad_block(p: *const i64) -> i64 {
+    unsafe { *p }
+}
+
+pub unsafe fn bad_fn(p: *const i64) -> i64 {
+    *p
+}
+
+pub struct Wrapper(pub i64);
+
+unsafe impl Send for Wrapper {}
+
+pub fn fine(x: i64) -> i64 {
+    x.wrapping_add(1)
+}

@@ -1,4 +1,4 @@
-//! The project rules L1–L5, implemented as patterns over the token stream
+//! The project rules L1–L7, implemented as patterns over the token stream
 //! produced by [`crate::lexer`].
 //!
 //! | Rule | Id | What it forbids |
@@ -10,6 +10,7 @@
 //! | L4 | `L4-layering` | imports that violate the crate DAG (`spatial`/`obs` → ∅, `core` → `spatial`+`obs`, `sql` → `core`+`obs`, `datagen` → `core`) |
 //! | L5 | `L5-determinism` | `Instant`/`SystemTime`/`thread::sleep`/`std::env` inside counting-path modules |
 //! | L6 | `L6-wallclock` | `Instant::now`/`SystemTime::now` reads anywhere in scanned library code (counting paths are covered by the stricter L5); the one sanctioned site is `obs::WallClock`, carried as a justified allowlist entry |
+//! | L7 | `L7-unsafe` | every `unsafe` token in scanned library code; the sanctioned SIMD kernel modules carry their occurrences as line-pinned, justified allowlist entries, everywhere else the keyword is forbidden outright |
 //!
 //! Code under `#[cfg(test)]` (and any item carrying a `test` attribute) is
 //! stripped before the rules run: test code may panic freely.
@@ -74,6 +75,7 @@ const COUNTING_PATHS: &[&str] = &[
     "crates/core/src/paircount.rs",
     "crates/core/src/kernel.rs",
     "crates/core/src/columnar.rs",
+    "crates/core/src/simd.rs",
     "crates/core/src/paircache.rs",
     "crates/core/src/sweep.rs",
     "crates/core/src/prepared.rs",
@@ -91,6 +93,14 @@ const SANCTIONED_ORD: &[&str] = &["crates/core/src/ord.rs", "crates/spatial/src/
 /// (rule L3).
 const SANCTIONED_NUM: &[&str] = &["crates/core/src/num.rs"];
 
+/// The only modules where `unsafe` may appear at all (rule L7): the
+/// runtime-dispatched SIMD kernels, whose `std::arch` intrinsics are
+/// `unsafe` by signature. Every occurrence is still a finding — carried as
+/// a line-pinned, justified allowlist entry — so a new `unsafe` block even
+/// inside these files surfaces in review; outside them the keyword is
+/// rejected with a message that does not invite allowlisting.
+const SANCTIONED_SIMD: &[&str] = &["crates/core/src/simd.rs"];
+
 /// Analyzes one file's source. `path` is the workspace-relative path (used
 /// for rule scoping and reporting); the file is not re-read from disk.
 pub fn analyze(path: &str, src: &str) -> Vec<Finding> {
@@ -102,6 +112,7 @@ pub fn analyze(path: &str, src: &str) -> Vec<Finding> {
     check_l4(path, &tokens, &mut findings);
     check_l5(path, &tokens, &mut findings);
     check_l6(path, &tokens, &mut findings);
+    check_l7(path, &tokens, &mut findings);
     findings
 }
 
@@ -401,6 +412,30 @@ fn check_l6(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
     }
 }
 
+/// L7: `unsafe` confinement. Flags every `unsafe` token in scanned library
+/// code. Inside the [`SANCTIONED_SIMD`] modules the finding asks the
+/// author to keep the line-pinned allowlist entry and its safety argument
+/// current (moving or adding an `unsafe` invalidates the pin and fails the
+/// lint); anywhere else the keyword itself is the violation.
+fn check_l7(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    let sanctioned = SANCTIONED_SIMD.contains(&path);
+    for t in tokens {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let message = if sanctioned {
+            "`unsafe` in a sanctioned SIMD module; pin the line in lint-allowlist.txt and keep \
+             the module's safety argument current"
+                .to_string()
+        } else {
+            "`unsafe` is confined to the sanctioned SIMD kernel modules (see SANCTIONED_SIMD); \
+             rewrite with safe code"
+                .to_string()
+        };
+        findings.push(Finding { rule: "L7-unsafe", path: path.to_string(), line: t.line, message });
+    }
+}
+
 /// Extracts the crate name from a `crates/<name>/src/…` path.
 fn crate_of(path: &str) -> Option<&str> {
     let rest = path.strip_prefix("crates/")?;
@@ -515,6 +550,25 @@ mod tests {
         assert!(rules_at("crates/core/src/kernel.rs", src)
             .iter()
             .all(|(rule, _)| *rule == "L5-determinism"));
+    }
+
+    #[test]
+    fn l7_confines_unsafe_to_sanctioned_simd_modules() {
+        let src = "fn f() {\n    let v = unsafe { intrinsics() };\n}\nunsafe fn intrinsics() -> u32 { 0 }\n";
+        let outside = analyze("crates/core/src/kernel.rs", src);
+        let outside_rules: Vec<_> = outside.iter().map(|f| (f.rule, f.line)).collect();
+        assert_eq!(outside_rules, vec![("L7-unsafe", 2), ("L7-unsafe", 4)]);
+        assert!(
+            outside.iter().all(|f| f.message.contains("rewrite with safe code")),
+            "outside the sanctioned modules the keyword itself is the violation"
+        );
+        let inside = analyze("crates/core/src/simd.rs", src);
+        let inside_rules: Vec<_> = inside.iter().map(|f| (f.rule, f.line)).collect();
+        assert_eq!(inside_rules, vec![("L7-unsafe", 2), ("L7-unsafe", 4)]);
+        assert!(
+            inside.iter().all(|f| f.message.contains("pin the line")),
+            "sanctioned modules still surface every occurrence, as pinnable findings"
+        );
     }
 
     #[test]

@@ -113,6 +113,25 @@ fn l6_fixture_flags_wallclock_reads_in_every_scanned_crate() {
 }
 
 #[test]
+fn l7_fixture_flags_every_unsafe_token() {
+    assert_eq!(
+        findings("crates/core/src/fixture_l7.rs", include_str!("../fixtures/l7_unsafe.rs")),
+        vec![
+            ("L7-unsafe", 7),  // unsafe { *p }
+            ("L7-unsafe", 10), // pub unsafe fn
+            ("L7-unsafe", 16), // unsafe impl Send
+        ],
+        "safe code must stay silent; every unsafe keyword must be flagged"
+    );
+    // The sanctioned SIMD module still surfaces the findings (they are
+    // carried by line-pinned allowlist entries, not silenced by the rule).
+    assert_eq!(
+        findings("crates/core/src/simd.rs", include_str!("../fixtures/l7_unsafe.rs")).len(),
+        3
+    );
+}
+
+#[test]
 fn clean_fixture_has_no_findings() {
     // Analyzed on a counting path, where the most rules apply.
     assert!(findings("crates/core/src/algorithms/clean.rs", include_str!("../fixtures/clean.rs"))

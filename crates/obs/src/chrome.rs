@@ -139,7 +139,7 @@ mod tests {
         rec.span_end(b, Stamp::tick(20), &[]);
         rec.span_start("open", 0, Stamp::tick(20));
         rec.add(Counter::RecordPairs, 30);
-        rec.observe(Hist::ChunkSize, 2);
+        rec.observe(Hist::BatchBlockPairs, 2);
         rec.snapshot()
     }
 

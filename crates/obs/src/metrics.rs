@@ -131,8 +131,8 @@ impl Counter {
 pub enum Hist {
     /// Record pairs charged per evaluated group pair.
     RecordPairsPerGroupPair,
-    /// Groups per chunk popped by a scheduler worker.
-    ChunkSize,
+    /// Straddle block pairs executed per stolen scheduler batch.
+    BatchBlockPairs,
     /// Record pairs compared per straddling block scan of a group pair.
     StraddleFanout,
     /// Candidate groups per index window query.
@@ -143,7 +143,7 @@ impl Hist {
     /// Every histogram, in export order.
     pub const ALL: [Hist; 4] = [
         Hist::RecordPairsPerGroupPair,
-        Hist::ChunkSize,
+        Hist::BatchBlockPairs,
         Hist::StraddleFanout,
         Hist::WindowCandidates,
     ];
@@ -152,7 +152,7 @@ impl Hist {
     pub const fn name(self) -> &'static str {
         match self {
             Hist::RecordPairsPerGroupPair => "aggsky_record_pairs_per_group_pair",
-            Hist::ChunkSize => "aggsky_chunk_size_groups",
+            Hist::BatchBlockPairs => "aggsky_batch_block_pairs",
             Hist::StraddleFanout => "aggsky_straddle_fanout_pairs",
             Hist::WindowCandidates => "aggsky_window_candidates",
         }
@@ -161,7 +161,7 @@ impl Hist {
     const fn index(self) -> usize {
         match self {
             Hist::RecordPairsPerGroupPair => 0,
-            Hist::ChunkSize => 1,
+            Hist::BatchBlockPairs => 1,
             Hist::StraddleFanout => 2,
             Hist::WindowCandidates => 3,
         }
@@ -388,12 +388,12 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.add(Counter::RecordPairs, 5);
         reg.add(Counter::RecordPairs, 7);
-        reg.observe(Hist::ChunkSize, 3);
-        reg.observe(Hist::ChunkSize, 9);
+        reg.observe(Hist::BatchBlockPairs, 3);
+        reg.observe(Hist::BatchBlockPairs, 9);
         let snap = reg.snapshot();
         assert_eq!(snap.counter(Counter::RecordPairs), 12);
         assert_eq!(snap.counter(Counter::GroupPairs), 0);
-        let h = snap.hist(Hist::ChunkSize);
+        let h = snap.hist(Hist::BatchBlockPairs);
         assert_eq!(h.count, 2);
         assert_eq!(h.sum, 12);
         assert_eq!(h.buckets[bucket_of(3)], 1);

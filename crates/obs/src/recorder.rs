@@ -219,7 +219,7 @@ mod tests {
         r.span_end(id, Stamp::tick(5), &[("k", 1)]);
         r.event("e", 0, Stamp::ZERO, &[]);
         r.add(Counter::RecordPairs, 3);
-        r.observe(Hist::ChunkSize, 3);
+        r.observe(Hist::BatchBlockPairs, 3);
     }
 
     #[test]

@@ -143,6 +143,76 @@ fn injected_worker_panic_is_retried_and_does_not_change_the_skyline() {
 }
 
 #[test]
+fn pair_granular_panic_mid_batch_is_retried_without_double_charging() {
+    // Four groups of 60 records at block size 1: every straddle pair spans
+    // 60 × 60 = 3600 block pairs, several times the scheduler's per-batch
+    // budget, so group pairs are split into stolen batches with resume
+    // tallies and the injected panic lands *mid pair*, not at a pair
+    // boundary. The retry must resume from the continuation tally without
+    // committing the discarded batch's counters twice, and the worker's
+    // replaced PairCache must never serve a tally the panic could have
+    // corrupted.
+    let mut rng = aggsky::datagen::Rng64::new(0xC4A05);
+    let mut b = GroupedDatasetBuilder::new(3).trusted_labels();
+    for g in 0..4 {
+        let rows: Vec<Vec<f64>> =
+            (0..60).map(|_| (0..3).map(|_| rng.index(5) as f64).collect()).collect();
+        b.push_group(format!("g{g}"), &rows).unwrap();
+    }
+    let ds = b.build().unwrap();
+    let exact = naive_skyline(&ds, Gamma::DEFAULT).skyline;
+    let kernel = KernelConfig::Columnar { block_size: 1 };
+
+    let clean = match parallel_skyline_ctx(&ds, Gamma::DEFAULT, 1, kernel, &RunContext::unlimited())
+        .unwrap()
+    {
+        Outcome::Complete(r) => r,
+        Outcome::Interrupted { reason, .. } => panic!("clean run interrupted: {reason}"),
+    };
+    assert_eq!(clean.skyline, exact, "clean pair-granular run disagrees with the oracle");
+    assert_eq!(clean.stats.worker_retries, 0);
+    let full_cost = clean.stats.record_pairs;
+
+    for threads in [1usize, 2, 4] {
+        for at in [0u64, full_cost / 3, full_cost * 2 / 3] {
+            let plan = FaultPlan::panic_at_pair(at);
+            let ctx = RunContext::unlimited().with_fault(plan);
+            let outcome = parallel_skyline_ctx(&ds, Gamma::DEFAULT, threads, kernel, &ctx)
+                .unwrap_or_else(|e| panic!("threads {threads} at {at}: fatal {e}"));
+            let result = match outcome {
+                Outcome::Complete(r) => r,
+                Outcome::Interrupted { reason, .. } => {
+                    panic!("threads {threads} at {at}: wrongly interrupted: {reason}")
+                }
+            };
+            assert_eq!(result.skyline, exact, "threads {threads} at {at}: skyline changed");
+            assert_eq!(ctx.fault().expect("plan installed").fired(), 1);
+            assert!(result.stats.worker_retries >= 1, "threads {threads} at {at}: no retry");
+            if threads == 1 {
+                // One worker is a deterministic schedule (the requeued job is
+                // popped back immediately), so the discarded batch can only
+                // *add* recounted work — counting fewer pairs than the clean
+                // run would mean a tally was served twice.
+                assert!(
+                    result.stats.record_pairs >= full_cost,
+                    "threads 1 at {at}: {} < clean {} — a batch was double-served",
+                    result.stats.record_pairs,
+                    full_cost
+                );
+            }
+            if threads == 1 && at == 0 {
+                // The fault fires on the very first poll, before any counter
+                // is committed and before the cache holds anything, so the
+                // retried run is byte-identical apart from the retry count.
+                let mut stats = result.stats;
+                stats.worker_retries = clean.stats.worker_retries;
+                assert_eq!(stats, clean.stats, "at 0 the retry must leave no other trace");
+            }
+        }
+    }
+}
+
+#[test]
 fn corrupt_coordinate_fault_visibly_changes_a_verdict() {
     // Negative control on a rigged two-group dataset: the high group
     // dominates the low one, so the exact skyline is {high}. Corrupting the

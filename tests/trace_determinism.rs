@@ -118,7 +118,7 @@ fn single_worker_parallel_trace_is_deterministic() {
     assert_eq!(prom_a, prom_b);
     assert!(chrome_a.contains("worker-0"), "worker track missing: {chrome_a}");
     assert!(
-        chrome_a.contains("aggsky_chunk_size_groups")
-            || prom_a.contains("aggsky_chunk_size_groups")
+        chrome_a.contains("aggsky_batch_block_pairs")
+            || prom_a.contains("aggsky_batch_block_pairs")
     );
 }
