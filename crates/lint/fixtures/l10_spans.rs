@@ -1,0 +1,24 @@
+//! Seeded L10 violation: an obs span entered but never exited in the same
+//! function. Balanced pairs, `*_span` delegation helpers, and `SpanGuard`
+//! RAII bindings are all legal exits.
+
+pub fn bad_unbalanced(rec: &Recorder) {
+    let span = rec.span_start("work", 0, 0);
+    do_work(span);
+}
+
+pub fn good_balanced(rec: &Recorder) {
+    let span = rec.span_start("work", 0, 0);
+    do_work(span);
+    rec.span_end(span, 0, &[]);
+}
+
+pub fn good_delegated(rec: &Recorder, kernel: &Kernel) {
+    let span = rec.span_start("prepare", 0, 0);
+    end_prepare_span(span, kernel, rec);
+}
+
+pub fn good_raii(rec: &Recorder) {
+    let _guard = SpanGuard::enter(rec, "work");
+    do_work(0);
+}

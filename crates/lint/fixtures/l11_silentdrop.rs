@@ -1,0 +1,37 @@
+//! Seeded L11 violations: silently dropped outcomes — `let _ = <call>;`,
+//! statement-position `.ok();`, and a discarded same-file `#[must_use]`
+//! result. Bound or branched-on results are legal.
+
+pub fn bad_let_drop(path: &str) {
+    let _ = std::fs::remove_file(path);
+}
+
+pub fn bad_ok_statement(path: &str) {
+    std::fs::remove_file(path).ok();
+}
+
+#[must_use]
+pub fn outcome(x: u64) -> u64 {
+    x.wrapping_add(1)
+}
+
+pub fn bad_must_use_drop() {
+    outcome(3);
+}
+
+pub fn good_handled(path: &str) -> bool {
+    std::fs::remove_file(path).is_ok()
+}
+
+pub fn good_bound_ok(path: &str) -> Option<String> {
+    std::fs::read_to_string(path).ok()
+}
+
+pub fn good_let_binds_ok(value: Option<&str>) -> bool {
+    let forced = parse_flag(value).ok();
+    forced.is_some()
+}
+
+pub fn good_plain_discard(x: u64) {
+    let _ = x;
+}

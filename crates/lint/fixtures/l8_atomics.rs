@@ -1,0 +1,30 @@
+//! Seeded L8 violations: atomic memory-ordering sites. Every site is a
+//! finding (real code carries them as line-pinned allowlist entries with a
+//! happens-before justification); `Relaxed` outside the sanctioned counter
+//! modules is forbidden outright. `cmp::Ordering` variants never match.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bad_relaxed(flag: &AtomicU64) -> u64 {
+    flag.load(Ordering::Relaxed)
+}
+
+pub fn pinned_acquire(flag: &AtomicU64) -> u64 {
+    flag.load(Ordering::Acquire)
+}
+
+pub fn pinned_release(flag: &AtomicU64) {
+    flag.store(1, Ordering::Release);
+}
+
+pub fn pinned_rmw(flag: &AtomicU64) -> u64 {
+    flag.fetch_add(1, Ordering::AcqRel)
+}
+
+pub fn pinned_seqcst(flag: &AtomicU64) -> u64 {
+    flag.swap(2, Ordering::SeqCst)
+}
+
+pub fn cmp_ordering_is_not_atomic(o: std::cmp::Ordering) -> bool {
+    o == std::cmp::Ordering::Less
+}

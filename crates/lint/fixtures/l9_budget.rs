@@ -1,0 +1,29 @@
+//! Seeded L9 violations: counting-path functions that call a compare
+//! primitive without referencing the RunContext/Stats tick-charging API —
+//! code paths that would count record pairs for free.
+
+pub fn bad_free_count(groups: &[Vec<i64>]) -> u64 {
+    let mut n = 0;
+    for s in groups {
+        if dominates(s, s) {
+            n += 1;
+        }
+    }
+    n
+}
+
+pub fn bad_method_count(kernel: &Kernel) -> u64 {
+    kernel.compare_bounded(0, 1)
+}
+
+pub fn good_charged(kernel: &Kernel, stats: &mut Stats) -> u64 {
+    kernel.compare_cached(0, 1, stats)
+}
+
+pub fn good_polling(ctx: &RunContext) -> bool {
+    ctx.poll(0).is_none() && dominates_keys(1, 2)
+}
+
+pub fn good_no_primitive(values: &[i64]) -> i64 {
+    values.iter().copied().max().unwrap_or(0)
+}

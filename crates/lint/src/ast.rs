@@ -1,0 +1,447 @@
+//! A lightweight syntactic layer over the flat token stream of
+//! [`crate::lexer`]: a brace/bracket/paren-aware *token-tree* parser that
+//! recovers just enough structure — items, functions, attribute spans, and
+//! call expressions — for the dataflow-aware rules L8–L11, with no external
+//! dependencies and no attempt to actually parse Rust.
+//!
+//! The shape mirrors `proc_macro`'s token trees: a tree is either a leaf
+//! token or a delimited group containing more trees. On top of the tree the
+//! module recovers:
+//!
+//! * [`functions`] — every `fn` item at any nesting depth (inline modules,
+//!   `impl` blocks, nested functions), each carrying its name, signature
+//!   tokens, flattened body tokens and the idents of its attributes. A
+//!   nested `fn`'s tokens belong to the *inner* function only, so
+//!   per-function rules (L9/L10) attribute code to the right owner;
+//!   closures stay with their enclosing function, which is exactly the
+//!   granularity the span-balance rule needs.
+//! * [`calls`] — call expressions (`name(…)`, `recv.name(…)`, `name!(…)`)
+//!   inside a function's token list, with definition sites (`fn name(`)
+//!   excluded.
+//!
+//! Like the lexer, the parser never fails: stray closers become leaves and
+//! unclosed groups are closed at end of input, because a linter must
+//! degrade gracefully on code it half-understands.
+
+use crate::lexer::{Kind, Token};
+
+/// The delimiter of a [`Group`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    /// `( … )`
+    Paren,
+    /// `[ … ]`
+    Bracket,
+    /// `{ … }`
+    Brace,
+}
+
+impl Delim {
+    /// The opening glyph.
+    pub fn open(self) -> &'static str {
+        match self {
+            Delim::Paren => "(",
+            Delim::Bracket => "[",
+            Delim::Brace => "{",
+        }
+    }
+
+    /// The closing glyph.
+    pub fn close(self) -> &'static str {
+        match self {
+            Delim::Paren => ")",
+            Delim::Bracket => "]",
+            Delim::Brace => "}",
+        }
+    }
+}
+
+/// A delimited token group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Group {
+    /// Which delimiter pair encloses the group.
+    pub delim: Delim,
+    /// 1-based line of the opening delimiter.
+    pub open_line: usize,
+    /// 1-based line of the closing delimiter (or of the last token, for a
+    /// group left unclosed at end of input).
+    pub close_line: usize,
+    /// The trees inside the delimiters.
+    pub trees: Vec<Tree>,
+}
+
+/// One node of the token tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tree {
+    /// A non-delimiter token.
+    Leaf(Token),
+    /// A `(…)` / `[…]` / `{…}` group.
+    Group(Group),
+}
+
+/// Parses a token stream into a token-tree forest. Never fails: a stray
+/// closing delimiter is kept as a leaf, and groups still open at end of
+/// input are closed there.
+pub fn parse(tokens: &[Token]) -> Vec<Tree> {
+    let mut stack: Vec<Group> = Vec::new();
+    let mut top: Vec<Tree> = Vec::new();
+    let mut last_line = 1;
+    for t in tokens {
+        last_line = t.line;
+        let open = match t.text.as_str() {
+            "(" if t.kind == Kind::Sym => Some(Delim::Paren),
+            "[" if t.kind == Kind::Sym => Some(Delim::Bracket),
+            "{" if t.kind == Kind::Sym => Some(Delim::Brace),
+            _ => None,
+        };
+        if let Some(delim) = open {
+            stack.push(Group { delim, open_line: t.line, close_line: t.line, trees: Vec::new() });
+            continue;
+        }
+        let closes = t.kind == Kind::Sym && matches!(t.text.as_str(), ")" | "]" | "}");
+        if closes {
+            match stack.pop() {
+                Some(mut g) => {
+                    // A mismatched closer still closes the innermost group:
+                    // recovering *some* nesting beats refusing the file.
+                    g.close_line = t.line;
+                    push(&mut stack, &mut top, Tree::Group(g));
+                }
+                None => push(&mut stack, &mut top, Tree::Leaf(t.clone())),
+            }
+            continue;
+        }
+        push(&mut stack, &mut top, Tree::Leaf(t.clone()));
+    }
+    while let Some(mut g) = stack.pop() {
+        g.close_line = last_line;
+        push(&mut stack, &mut top, Tree::Group(g));
+    }
+    top
+}
+
+fn push(stack: &mut [Group], top: &mut Vec<Tree>, tree: Tree) {
+    match stack.last_mut() {
+        Some(g) => g.trees.push(tree),
+        None => top.push(tree),
+    }
+}
+
+/// One recovered `fn` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the name token.
+    pub line: usize,
+    /// Idents appearing in the attributes directly above the item
+    /// (`#[must_use]` contributes `must_use`, `#[cfg(feature = "x")]`
+    /// contributes `cfg` and `feature`).
+    pub attrs: Vec<String>,
+    /// Signature and body tokens, flattened, with group delimiters
+    /// materialized as `Sym` tokens so positional patterns (`name` followed
+    /// by `(`) keep working. Tokens of *nested* `fn` items are excluded —
+    /// they belong to their own [`Function`] — while closure bodies remain.
+    pub tokens: Vec<Token>,
+}
+
+impl Function {
+    /// True iff any token of the signature or body is the identifier
+    /// `word`.
+    pub fn references(&self, word: &str) -> bool {
+        self.tokens.iter().any(|t| t.is_ident(word))
+    }
+
+    /// True iff the item carries an attribute mentioning `ident`.
+    pub fn has_attr(&self, ident: &str) -> bool {
+        self.attrs.iter().any(|a| a == ident)
+    }
+
+    /// The call expressions inside this function (see [`calls`]).
+    pub fn calls(&self) -> Vec<Call<'_>> {
+        calls(&self.tokens)
+    }
+}
+
+/// Recovers every `fn` item in the forest, at any nesting depth.
+pub fn functions(trees: &[Tree]) -> Vec<Function> {
+    let mut out = Vec::new();
+    collect_functions(trees, &mut out);
+    out
+}
+
+fn collect_functions(trees: &[Tree], out: &mut Vec<Function>) {
+    let mut pending_attrs: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < trees.len() {
+        // Attribute: `#` (or `#!`) followed by a bracket group.
+        if is_sym(&trees[i], "#") {
+            let attr_at = if matches!(trees.get(i + 1), Some(t) if is_sym(t, "!")) { 2 } else { 1 };
+            if let Some(Tree::Group(g)) = trees.get(i + attr_at) {
+                if g.delim == Delim::Bracket {
+                    collect_idents(g, &mut pending_attrs);
+                    i += attr_at + 1;
+                    continue;
+                }
+            }
+        }
+        // Only take the pending attrs once `fn` is actually in view: the
+        // argument would be drained even when extraction declines (e.g. at a
+        // preceding `pub` token).
+        if is_ident(&trees[i], "fn") {
+            if let Some(j) = extract_function(trees, i, std::mem::take(&mut pending_attrs), out) {
+                i = j;
+                continue;
+            }
+        }
+        match &trees[i] {
+            Tree::Group(g) => {
+                // A non-function group at item level: a module or impl body
+                // (or an expression group) that may hold more functions.
+                pending_attrs.clear();
+                collect_functions(&g.trees, out);
+            }
+            Tree::Leaf(t) if t.is_sym(";") => pending_attrs.clear(),
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// If `trees[i]` starts a `fn` item, extracts it (and, recursively, any
+/// functions nested in its body) into `out` and returns the index just past
+/// the item.
+fn extract_function(
+    trees: &[Tree],
+    i: usize,
+    attrs: Vec<String>,
+    out: &mut Vec<Function>,
+) -> Option<usize> {
+    if !is_ident(&trees[i], "fn") {
+        return None;
+    }
+    let name_tok = match trees.get(i + 1) {
+        Some(Tree::Leaf(t)) if t.kind == Kind::Ident => t,
+        _ => return None, // `fn(u32) -> u32` pointer type, or truncated input
+    };
+    let mut tokens: Vec<Token> = Vec::new();
+    let mut j = i + 2;
+    let mut nested: Vec<Function> = Vec::new();
+    while j < trees.len() {
+        match &trees[j] {
+            Tree::Leaf(t) if t.is_sym(";") => {
+                // Trait-method declaration without a body.
+                j += 1;
+                break;
+            }
+            Tree::Group(g) if g.delim == Delim::Brace => {
+                flatten_body(g, &mut tokens, &mut nested);
+                j += 1;
+                break;
+            }
+            Tree::Leaf(t) => {
+                tokens.push(t.clone());
+                j += 1;
+            }
+            Tree::Group(g) => {
+                // Argument list or where-clause brackets: part of the
+                // signature, flattened verbatim.
+                flatten_body(g, &mut tokens, &mut nested);
+                j += 1;
+            }
+        }
+    }
+    out.push(Function { name: name_tok.text.clone(), line: name_tok.line, attrs, tokens });
+    out.append(&mut nested);
+    Some(j)
+}
+
+/// Flattens `group` into `tokens` with delimiters materialized, extracting
+/// nested `fn` items into `nested` instead of inlining their tokens.
+fn flatten_body(group: &Group, tokens: &mut Vec<Token>, nested: &mut Vec<Function>) {
+    tokens.push(sym(group.delim.open(), group.open_line));
+    let mut i = 0;
+    while i < group.trees.len() {
+        if let Some(j) = extract_function(&group.trees, i, Vec::new(), nested) {
+            i = j;
+            continue;
+        }
+        match &group.trees[i] {
+            Tree::Leaf(t) => tokens.push(t.clone()),
+            Tree::Group(g) => flatten_body(g, tokens, nested),
+        }
+        i += 1;
+    }
+    tokens.push(sym(group.delim.close(), group.close_line));
+}
+
+fn sym(text: &str, line: usize) -> Token {
+    Token { kind: Kind::Sym, text: text.to_string(), line }
+}
+
+fn is_sym(tree: &Tree, s: &str) -> bool {
+    matches!(tree, Tree::Leaf(t) if t.is_sym(s))
+}
+
+fn is_ident(tree: &Tree, s: &str) -> bool {
+    matches!(tree, Tree::Leaf(t) if t.is_ident(s))
+}
+
+/// Collects every ident inside a group, recursively (attribute contents).
+fn collect_idents(group: &Group, out: &mut Vec<String>) {
+    for tree in &group.trees {
+        match tree {
+            Tree::Leaf(t) if t.kind == Kind::Ident => out.push(t.text.clone()),
+            Tree::Group(g) => collect_idents(g, out),
+            _ => {}
+        }
+    }
+}
+
+/// One call expression inside a flattened token list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Call<'a> {
+    /// The called name (the last path segment for `a::b::name(…)`).
+    pub name: &'a str,
+    /// 1-based line of the name token.
+    pub line: usize,
+    /// True for `recv.name(…)` method calls.
+    pub method: bool,
+    /// True for `name!(…)` / `name![…]` / `name!{…}` macro invocations.
+    pub is_macro: bool,
+}
+
+/// Recovers call expressions from a flattened token list (as produced by
+/// [`Function::tokens`], where group delimiters are materialized). `fn
+/// name(` definitions are not calls; `name!(…)` macro invocations are
+/// reported with [`Call::is_macro`] set.
+pub fn calls(tokens: &[Token]) -> Vec<Call<'_>> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| &tokens[p]);
+        if prev.is_some_and(|p| p.is_ident("fn")) {
+            continue;
+        }
+        match tokens.get(i + 1) {
+            Some(n) if n.is_sym("(") => {
+                out.push(Call {
+                    name: &t.text,
+                    line: t.line,
+                    method: prev.is_some_and(|p| p.is_sym(".")),
+                    is_macro: false,
+                });
+            }
+            Some(n) if n.is_sym("!") => {
+                let opens = tokens
+                    .get(i + 2)
+                    .is_some_and(|o| o.is_sym("(") || o.is_sym("[") || o.is_sym("{"));
+                if opens {
+                    out.push(Call { name: &t.text, line: t.line, method: false, is_macro: true });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn forest(src: &str) -> Vec<Tree> {
+        parse(&scan(src))
+    }
+
+    #[test]
+    fn groups_nest_and_record_lines() {
+        let trees = forest("fn f() {\n    g(1, [2]);\n}\n");
+        // `fn`, `f`, `()`, `{...}`
+        assert_eq!(trees.len(), 4);
+        let Tree::Group(body) = &trees[3] else { panic!("expected body group") };
+        assert_eq!(body.delim, Delim::Brace);
+        assert_eq!((body.open_line, body.close_line), (1, 3));
+    }
+
+    #[test]
+    fn stray_and_unclosed_delimiters_degrade_gracefully() {
+        let trees = forest(") fn f() { (");
+        assert!(matches!(&trees[0], Tree::Leaf(t) if t.is_sym(")")));
+        let funcs = functions(&forest("fn f() { g( }"));
+        assert_eq!(funcs.len(), 1, "unclosed paren must not lose the function");
+    }
+
+    #[test]
+    fn functions_found_at_every_nesting_depth() {
+        let src = "impl S {\n    fn method(&self) {}\n}\nmod m {\n    pub fn free() {}\n}\nfn top() {\n    fn nested() {}\n}\n";
+        let mut names: Vec<String> = functions(&forest(src)).into_iter().map(|f| f.name).collect();
+        names.sort();
+        assert_eq!(names, vec!["free", "method", "nested", "top"]);
+    }
+
+    #[test]
+    fn nested_fn_tokens_belong_to_the_inner_function_only() {
+        let src = "fn outer() {\n    inner_call();\n    fn inner() { deep_call(); }\n}\n";
+        let funcs = functions(&forest(src));
+        let outer = funcs.iter().find(|f| f.name == "outer").unwrap();
+        let inner = funcs.iter().find(|f| f.name == "inner").unwrap();
+        assert!(outer.references("inner_call"));
+        assert!(!outer.references("deep_call"));
+        assert!(inner.references("deep_call"));
+    }
+
+    #[test]
+    fn closures_stay_with_their_enclosing_function() {
+        let src = "fn f() {\n    let c = move |x: u32| { g(x) };\n}\n";
+        let funcs = functions(&forest(src));
+        assert_eq!(funcs.len(), 1);
+        assert!(funcs[0].references("g"));
+    }
+
+    #[test]
+    fn attributes_attach_to_the_next_item() {
+        let src = "#[must_use]\npub fn a() -> u32 { 0 }\n#[cfg(feature = \"chaos\")]\nfn b() {}\nfn c() {}\n";
+        let funcs = functions(&forest(src));
+        assert!(funcs[0].has_attr("must_use"));
+        assert!(funcs[1].has_attr("cfg") && funcs[1].has_attr("feature"));
+        assert!(funcs[2].attrs.is_empty(), "attrs must not leak past their item");
+    }
+
+    #[test]
+    fn trait_method_declarations_have_no_body() {
+        let funcs = functions(&forest("trait T {\n    fn decl(&self) -> u32;\n    fn with_default(&self) -> u32 { body_call() }\n}\n"));
+        assert_eq!(funcs.len(), 2);
+        let decl = funcs.iter().find(|f| f.name == "decl").unwrap();
+        assert!(!decl.references("body_call"));
+        assert!(funcs.iter().find(|f| f.name == "with_default").unwrap().references("body_call"));
+    }
+
+    #[test]
+    fn calls_distinguish_methods_macros_and_definitions() {
+        let src = "fn f() {\n    free(1);\n    recv.method(2);\n    path::seg(3);\n    mac!(4);\n    fn not_a_call() {}\n}\n";
+        let funcs = functions(&forest(src));
+        let f = funcs.iter().find(|x| x.name == "f").unwrap();
+        let got: Vec<(&str, bool, bool)> =
+            f.calls().iter().map(|c| (c.name, c.method, c.is_macro)).collect();
+        assert_eq!(
+            got,
+            vec![
+                ("free", false, false),
+                ("method", true, false),
+                ("seg", false, false),
+                ("mac", false, true),
+            ]
+        );
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let funcs = functions(&forest("fn f(cb: fn(u32) -> u32) -> u32 { cb(1) }"));
+        assert_eq!(funcs.len(), 1);
+        assert_eq!(funcs[0].name, "f");
+    }
+}

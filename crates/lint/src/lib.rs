@@ -2,16 +2,19 @@
 //!
 //! An offline, dependency-free static-analysis pass over this workspace's
 //! own Rust sources. It tokenizes each library file with a hand-rolled
-//! scanner (same idiom as `crates/sql/src/lexer.rs`) and enforces the
-//! project rules L1–L6 described in [`rules`]; known-good legacy sites live
-//! in a committed [`allowlist`], and results can be emitted as a
-//! machine-readable JSON [`report`].
+//! scanner (same idiom as `crates/sql/src/lexer.rs`), recovers functions
+//! and call expressions through a brace-aware token-tree layer ([`ast`]),
+//! and enforces the project rules L1–L11 described in [`rules`];
+//! known-good legacy sites live in a committed [`allowlist`], and results
+//! can be emitted as a machine-readable JSON [`report`] or a SARIF 2.1.0
+//! log ([`sarif`], validated in-tree before writing).
 //!
 //! Run it from the workspace root:
 //!
 //! ```text
-//! cargo run -p aggsky-lint                 # human-readable, exit 1 on findings
+//! cargo run -p aggsky-lint                 # exit 1 on findings or stale entries
 //! cargo run -p aggsky-lint -- --json lint-report.json
+//! cargo run -p aggsky-lint -- --sarif lint.sarif
 //! ```
 //!
 //! The scanned scope is the non-test library code of `core`, `spatial`,
@@ -23,9 +26,11 @@
 #![warn(missing_docs)]
 
 pub mod allowlist;
+pub mod ast;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod sarif;
 
 use report::Report;
 use rules::Finding;

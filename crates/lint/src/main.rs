@@ -4,10 +4,11 @@
 //! * `--root <dir>`       workspace root (default: auto-detected from cwd)
 //! * `--allowlist <file>` allowlist path (default: `<root>/lint-allowlist.txt`)
 //! * `--json <file>`      also write a machine-readable report
+//! * `--sarif <file>`     also write a SARIF 2.1.0 log (validated before writing)
 //! * `--quiet`            suppress per-finding output
 //!
-//! Exit status: 0 when no active findings, 1 on findings, 2 on usage or I/O
-//! errors.
+//! Exit status: 0 when no active findings and no stale allowlist entries,
+//! 1 on findings or stale entries, 2 on usage or I/O errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -32,6 +33,7 @@ fn run(args: Vec<String>) -> Result<bool, String> {
     let mut root: Option<PathBuf> = None;
     let mut allowlist_path: Option<PathBuf> = None;
     let mut json_path: Option<PathBuf> = None;
+    let mut sarif_path: Option<PathBuf> = None;
     let mut quiet = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -39,10 +41,12 @@ fn run(args: Vec<String>) -> Result<bool, String> {
             "--root" => root = Some(next_value(&mut it, "--root")?),
             "--allowlist" => allowlist_path = Some(next_value(&mut it, "--allowlist")?),
             "--json" => json_path = Some(next_value(&mut it, "--json")?),
+            "--sarif" => sarif_path = Some(next_value(&mut it, "--sarif")?),
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: aggsky-lint [--root DIR] [--allowlist FILE] [--json FILE] [--quiet]"
+                    "usage: aggsky-lint [--root DIR] [--allowlist FILE] [--json FILE] \
+                     [--sarif FILE] [--quiet]"
                 );
                 return Ok(true);
             }
@@ -70,13 +74,21 @@ fn run(args: Vec<String>) -> Result<bool, String> {
         std::fs::write(&path, report.to_json())
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
     }
+    if let Some(path) = sarif_path {
+        let sarif = aggsky_lint::sarif::to_sarif(&report);
+        aggsky_lint::sarif::validate_sarif(&sarif)
+            .map_err(|e| format!("generated SARIF failed validation: {e}"))?;
+        std::fs::write(&path, sarif).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
     if !quiet {
         for f in &report.active {
             println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
         }
         for e in &report.stale {
+            // Stale entries fail the run (see Report::is_clean): a drifted
+            // pin means a justification no longer covers its line.
             eprintln!(
-                "warning: stale allowlist entry (line {}): {} {}{}",
+                "error: stale allowlist entry (line {}): {} {}{} — remove it or re-pin the line",
                 e.source_line,
                 e.rule,
                 e.path,

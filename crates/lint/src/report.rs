@@ -18,9 +18,13 @@ pub struct Report {
 }
 
 impl Report {
-    /// Exit status the CLI should report: success iff nothing is active.
+    /// Exit status the CLI should report: success iff nothing is active
+    /// *and* no allowlist entry is stale. A stale entry means a pinned site
+    /// moved or was fixed without the allowlist following — left to drift,
+    /// line-pinned justifications (L7/L8) silently stop covering the lines
+    /// they argue about, so staleness fails the run just like a finding.
     pub fn is_clean(&self) -> bool {
-        self.active.is_empty()
+        self.active.is_empty() && self.stale.is_empty()
     }
 
     /// Serializes the report as a stable, pretty-printed JSON document.
@@ -73,7 +77,7 @@ fn json_findings(out: &mut String, findings: &[Finding]) {
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -1,5 +1,6 @@
-//! The project rules L1–L7, implemented as patterns over the token stream
-//! produced by [`crate::lexer`].
+//! The project rules L1–L11. L1–L8 are patterns over the flat token stream
+//! produced by [`crate::lexer`]; L9–L11 are *function-granular* dataflow
+//! approximations over the token tree recovered by [`crate::ast`].
 //!
 //! | Rule | Id | What it forbids |
 //! |------|----|-----------------|
@@ -11,10 +12,15 @@
 //! | L5 | `L5-determinism` | `Instant`/`SystemTime`/`thread::sleep`/`std::env` inside counting-path modules |
 //! | L6 | `L6-wallclock` | `Instant::now`/`SystemTime::now` reads anywhere in scanned library code (counting paths are covered by the stricter L5); the one sanctioned site is `obs::WallClock`, carried as a justified allowlist entry |
 //! | L7 | `L7-unsafe` | every `unsafe` token in scanned library code; the sanctioned SIMD kernel modules carry their occurrences as line-pinned, justified allowlist entries, everywhere else the keyword is forbidden outright |
+//! | L8 | `L8-atomics` | every atomic memory-ordering site (`Ordering::Relaxed`/`Acquire`/`Release`/`AcqRel`/`SeqCst`); each one is carried as a line-pinned allowlist entry documenting the happens-before argument it relies on, and `Relaxed` is forbidden outright outside the sanctioned counter modules |
+//! | L9 | `L9-budget` | in counting-path modules, a function that calls a compare primitive (`dominates`, `compare`, `compare_bounded`, the columnar/SIMD kernel entry points, …) without referencing the `RunContext`/`Stats` tick-charging API — no code path may count record pairs without charging the budget |
+//! | L10 | `L10-spans` | a function that enters more obs spans (`span_start`) than it exits (`span_end`, a `*_span` helper, or a `SpanGuard` binding) — an unbalanced trace corrupts the byte-identical determinism pin |
+//! | L11 | `L11-silent-drop` | silently discarded outcomes in library code: `let _ = <call>;`, statement-position `.ok();`, and dropped results of same-file `#[must_use]` functions — interrupted/partial `Outcome`s must be handled or explicitly allowlisted |
 //!
 //! Code under `#[cfg(test)]` (and any item carrying a `test` attribute) is
 //! stripped before the rules run: test code may panic freely.
 
+use crate::ast::{self, Function};
 use crate::lexer::{scan, Kind, Token};
 
 /// One rule violation.
@@ -28,6 +34,27 @@ pub struct Finding {
     pub line: usize,
     /// Human-readable description of the violation.
     pub message: String,
+}
+
+impl Ord for Finding {
+    /// Reports sort by `(path, line, rule, message)` so same-line findings
+    /// from different rules land in one deterministic order, independent of
+    /// the order the checks happened to run (or of any parallel walk of the
+    /// scanned directories).
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.path.as_str(), self.line, self.rule, self.message.as_str()).cmp(&(
+            other.path.as_str(),
+            other.line,
+            other.rule,
+            other.message.as_str(),
+        ))
+    }
+}
+
+impl PartialOrd for Finding {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 /// Keywords that can legally precede `[` without forming an indexing
@@ -101,10 +128,52 @@ const SANCTIONED_NUM: &[&str] = &["crates/core/src/num.rs"];
 /// rejected with a message that does not invite allowlisting.
 const SANCTIONED_SIMD: &[&str] = &["crates/core/src/simd.rs"];
 
+/// Atomic memory-ordering names (rule L8). The `cmp::Ordering` variants
+/// (`Less`/`Equal`/`Greater`) never match, so comparison code is unaffected.
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Modules whose atomics may use `Ordering::Relaxed` (rule L8): monotonic
+/// work/metric counters that are read for reporting only, never to
+/// establish cross-thread happens-before. The scheduler's `spent`/`retries`
+/// tallies and the obs metric registry qualify; everywhere else `Relaxed`
+/// is rejected outright with a message that does not invite allowlisting.
+const SANCTIONED_RELAXED: &[&str] =
+    &["crates/core/src/algorithms/parallel.rs", "crates/obs/src/metrics.rs"];
+
+/// Compare primitives called as free functions (possibly path-qualified)
+/// on the counting paths (rule L9).
+const COMPARE_FREE: &[&str] = &[
+    "dominates",
+    "dominates_keys",
+    "compare_groups",
+    "compare_groups_blocked",
+    "compare_groups_columnar",
+    "compare_groups_columnar_scalar",
+    "compare_groups_exhaustive",
+    "count_pairs",
+];
+
+/// Compare primitives that may also appear as method calls (`Kernel::…`,
+/// rule L9).
+const COMPARE_METHODS: &[&str] = &["compare", "compare_cached", "compare_bounded"];
+
+/// Identifiers whose presence in a function marks it as participating in
+/// tick charging (rule L9): constructing/receiving a [`Stats`] accumulator,
+/// polling a `RunContext`, or touching the `record_pairs`/`spent` tallies.
+const CHARGE_IDENTS: &[&str] = &["RunContext", "Stats", "poll", "record_pairs", "spent"];
+
+/// The innermost primitive-definition layer (rule L9): `dominance.rs`
+/// defines the per-record comparisons themselves; ticks are charged one
+/// accounting layer up, per record pair, by everything that loops over
+/// these primitives.
+const SANCTIONED_PRIMITIVES: &[&str] = &["crates/core/src/dominance.rs"];
+
 /// Analyzes one file's source. `path` is the workspace-relative path (used
 /// for rule scoping and reporting); the file is not re-read from disk.
 pub fn analyze(path: &str, src: &str) -> Vec<Finding> {
     let tokens = strip_test_code(scan(src));
+    let trees = ast::parse(&tokens);
+    let functions = ast::functions(&trees);
     let mut findings = Vec::new();
     check_l1(path, &tokens, &mut findings);
     check_l2(path, &tokens, &mut findings);
@@ -113,6 +182,11 @@ pub fn analyze(path: &str, src: &str) -> Vec<Finding> {
     check_l5(path, &tokens, &mut findings);
     check_l6(path, &tokens, &mut findings);
     check_l7(path, &tokens, &mut findings);
+    check_l8(path, &tokens, &mut findings);
+    check_l9(path, &functions, &mut findings);
+    check_l10(path, &functions, &mut findings);
+    check_l11(path, &functions, &mut findings);
+    findings.sort();
     findings
 }
 
@@ -434,6 +508,289 @@ fn check_l7(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
         };
         findings.push(Finding { rule: "L7-unsafe", path: path.to_string(), line: t.line, message });
     }
+}
+
+/// L8: justified atomics. Every atomic memory-ordering site in scanned
+/// library code is a finding, carried — like L7's `unsafe` — as a
+/// line-pinned allowlist entry whose comment must state the happens-before
+/// argument the ordering relies on (or, for `Relaxed`, why no edge is
+/// needed). `Relaxed` outside the [`SANCTIONED_RELAXED`] counter modules is
+/// rejected with a message that does not invite allowlisting: an unfenced
+/// relaxed load/store in ordering-sensitive code is exactly the bug class
+/// ThreadSanitizer exists for.
+fn check_l8(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("Ordering") {
+            continue;
+        }
+        let is_ordering_site = tokens.get(i + 1).is_some_and(|n| n.is_sym("::"))
+            && tokens.get(i + 2).is_some_and(|n| {
+                n.kind == Kind::Ident && ATOMIC_ORDERINGS.contains(&n.text.as_str())
+            });
+        if !is_ordering_site {
+            continue;
+        }
+        let name = &tokens[i + 2].text;
+        let message = if name == "Relaxed" && !SANCTIONED_RELAXED.contains(&path) {
+            "`Ordering::Relaxed` is forbidden outside the sanctioned counter modules \
+             (SANCTIONED_RELAXED); establish a real happens-before edge (Acquire/Release) or \
+             move the tally into a sanctioned counter module"
+                .to_string()
+        } else {
+            format!(
+                "atomic `Ordering::{name}`: pin the line in lint-allowlist.txt with the \
+                 happens-before argument (what it synchronizes with, or why a counter needs \
+                 no edge)"
+            )
+        };
+        findings.push(Finding {
+            rule: "L8-atomics",
+            path: path.to_string(),
+            line: t.line,
+            message,
+        });
+    }
+}
+
+/// L9: budget conservation. On the counting paths, a function that calls a
+/// compare primitive must also reference the tick-charging API
+/// ([`CHARGE_IDENTS`]) somewhere in its signature or body — constructing or
+/// threading a `Stats`, polling a `RunContext`, or touching the
+/// `record_pairs`/`spent` tallies. A function that loops over comparisons
+/// with none of these is a code path that counts record pairs for free,
+/// which breaks deterministic budgets and `EXPLAIN ANALYZE` totals alike.
+fn check_l9(path: &str, functions: &[Function], findings: &mut Vec<Finding>) {
+    if !on_counting_path(path) || SANCTIONED_PRIMITIVES.contains(&path) {
+        return;
+    }
+    for f in functions {
+        let calls = f.calls();
+        let primitive = calls.iter().find(|c| {
+            !c.is_macro
+                && (COMPARE_METHODS.contains(&c.name)
+                    || (!c.method && COMPARE_FREE.contains(&c.name)))
+        });
+        let Some(call) = primitive else { continue };
+        if CHARGE_IDENTS.iter().any(|w| f.references(w)) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: "L9-budget",
+            path: path.to_string(),
+            line: call.line,
+            message: format!(
+                "fn `{}` calls compare primitive `{}` without referencing the RunContext/Stats \
+                 tick-charging API; every counting code path must charge record pairs to the \
+                 budget",
+                f.name, call.name
+            ),
+        });
+    }
+}
+
+/// L10: balanced obs spans. Within one function, every `span_start` call
+/// must be matched by a `span_end`, a delegated `*_span` helper call (the
+/// `end_prepare_span` idiom), or a `SpanGuard` RAII binding. A function
+/// that enters more spans than it exits leaves unfinished spans in the
+/// trace, corrupting the byte-identical determinism pin and the
+/// `EXPLAIN ANALYZE` span tree.
+fn check_l10(path: &str, functions: &[Function], findings: &mut Vec<Finding>) {
+    for f in functions {
+        if f.references("SpanGuard") {
+            continue; // RAII guard closes the span on every exit path
+        }
+        let calls = f.calls();
+        let mut starts = 0usize;
+        let mut first_start = 0usize;
+        let mut ends = 0usize;
+        for c in &calls {
+            if c.method && c.name == "span_start" {
+                if starts == 0 {
+                    first_start = c.line;
+                }
+                starts += 1;
+            } else if (c.method && c.name == "span_end")
+                || (!c.is_macro && c.name.ends_with("_span"))
+            {
+                ends += 1;
+            }
+        }
+        if starts > ends {
+            findings.push(Finding {
+                rule: "L10-spans",
+                path: path.to_string(),
+                line: first_start,
+                message: format!(
+                    "fn `{}` enters {starts} obs span(s) but exits only {ends}; match every \
+                     span_start with a span_end (or a `*_span` helper / SpanGuard binding) in \
+                     the same function so traces stay balanced",
+                    f.name
+                ),
+            });
+        }
+    }
+}
+
+/// L11: no silent drops. Flags, in every scanned file: `let _ = <expr>;`
+/// where the expression performs a call (function, method or macro) or uses
+/// `?` — the canonical way to discard a `Result`/`Outcome`; statement-
+/// position `.ok();`, which acknowledges an error path only to ignore it;
+/// and statement-position calls to a same-file `#[must_use]` function whose
+/// value is discarded. Infallible formatting writes and intentionally
+/// raced CAS results are carried as justified allowlist entries.
+fn check_l11(path: &str, functions: &[Function], findings: &mut Vec<Finding>) {
+    let must_use: Vec<&str> =
+        functions.iter().filter(|f| f.has_attr("must_use")).map(|f| f.name.as_str()).collect();
+    for f in functions {
+        let tokens = &f.tokens;
+        for (i, t) in tokens.iter().enumerate() {
+            if t.is_ident("let")
+                && tokens.get(i + 1).is_some_and(|n| n.is_ident("_"))
+                && tokens.get(i + 2).is_some_and(|n| n.is_sym("="))
+            {
+                if let Some(line) = dropped_call_in_binding(tokens, i + 3) {
+                    findings.push(Finding {
+                        rule: "L11-silent-drop",
+                        path: path.to_string(),
+                        line,
+                        message: "`let _ =` silently discards the call's result; handle the \
+                                  Result/Outcome (or allowlist the site with a written \
+                                  justification, e.g. infallible String formatting)"
+                            .to_string(),
+                    });
+                }
+            }
+            let ok_statement = t.is_sym(".")
+                && tokens.get(i + 1).is_some_and(|n| n.is_ident("ok"))
+                && tokens.get(i + 2).is_some_and(|n| n.is_sym("("))
+                && tokens.get(i + 3).is_some_and(|n| n.is_sym(")"))
+                && tokens.get(i + 4).is_some_and(|n| n.is_sym(";"))
+                && discards_ok_value(tokens, i);
+            if ok_statement {
+                findings.push(Finding {
+                    rule: "L11-silent-drop",
+                    path: path.to_string(),
+                    line: tokens[i + 1].line,
+                    message: "statement-position `.ok();` acknowledges the error path only to \
+                              ignore it; handle the Result or allowlist the site"
+                        .to_string(),
+                });
+            }
+            let statement_start = i == 0
+                || tokens
+                    .get(i - 1)
+                    .is_some_and(|p| p.is_sym(";") || p.is_sym("{") || p.is_sym("}"));
+            if statement_start
+                && t.kind == Kind::Ident
+                && must_use.contains(&t.text.as_str())
+                && tokens.get(i + 1).is_some_and(|n| n.is_sym("("))
+            {
+                if let Some(close) = matching_close(tokens, i + 1) {
+                    if tokens.get(close + 1).is_some_and(|n| n.is_sym(";")) {
+                        findings.push(Finding {
+                            rule: "L11-silent-drop",
+                            path: path.to_string(),
+                            line: t.line,
+                            message: format!(
+                                "`{}` is #[must_use] but its result is discarded in statement \
+                                 position; bind and handle the value",
+                                t.text
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Whether the `.ok();` whose `.` sits at `dot` actually discards the
+/// value. `let value = env_var().ok();` binds the `Option` and
+/// `x = f().ok();` assigns it — only an expression *statement* ending in
+/// `.ok()` throws the error path away. Walks back to the statement start
+/// (the token after the previous `;`/`{`/`}`) and bails out on `let`,
+/// `return`, `break`, or any `=` before the dot.
+fn discards_ok_value(tokens: &[Token], dot: usize) -> bool {
+    let mut start = 0usize;
+    for j in (0..dot).rev() {
+        let t = &tokens[j];
+        if t.kind == Kind::Sym && matches!(t.text.as_str(), ";" | "{" | "}") {
+            start = j + 1;
+            break;
+        }
+    }
+    let stmt = &tokens[start..dot];
+    if stmt
+        .first()
+        .is_some_and(|t| t.is_ident("let") || t.is_ident("return") || t.is_ident("break"))
+    {
+        return false;
+    }
+    // `x = f().ok();` / `x += …` style assignments consume the value too.
+    !stmt
+        .iter()
+        .any(|t| t.kind == Kind::Sym && matches!(t.text.as_str(), "=" | "+=" | "-=" | "*=" | "/="))
+}
+
+/// Scans the right-hand side of a `let _ = …;` binding starting at `start`
+/// (the token after `=`). Returns the line of the first call expression or
+/// `?` operator inside the binding, or `None` when the RHS performs no
+/// call (casts, literals, and plain moves are L11-clean).
+fn dropped_call_in_binding(tokens: &[Token], start: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut found: Option<usize> = None;
+    let mut i = start;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == Kind::Sym {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    let Some(d) = depth.checked_sub(1) else { break };
+                    depth = d;
+                }
+                ";" if depth == 0 => break,
+                "?" => found = found.or(Some(t.line)),
+                _ => {}
+            }
+        } else if t.kind == Kind::Ident && !tokens.get(i - 1).is_some_and(|p| p.is_ident("fn")) {
+            let call = tokens.get(i + 1).is_some_and(|n| n.is_sym("("))
+                || (tokens.get(i + 1).is_some_and(|n| n.is_sym("!"))
+                    && tokens.get(i + 2).is_some_and(|n| n.is_sym("(")));
+            if call {
+                found = found.or(Some(t.line));
+            }
+        }
+        i += 1;
+    }
+    found
+}
+
+/// Given the index of an opening `(`, returns the index of its matching
+/// closer in a flat, delimiter-materialized token list.
+fn matching_close(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind != Kind::Sym {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Whether `path` is one of the γ-counting modules (shared by L5 and L9).
+fn on_counting_path(path: &str) -> bool {
+    COUNTING_PATHS.iter().any(|p| path == *p || (p.ends_with('/') && path.starts_with(p)))
 }
 
 /// Extracts the crate name from a `crates/<name>/src/…` path.

@@ -1,0 +1,575 @@
+//! SARIF 2.1.0 export and offline structural validation.
+//!
+//! [`to_sarif`] renders a [`Report`] as a SARIF 2.1.0 log so CI can attach
+//! findings to pull requests with standard tooling; active findings become
+//! `error` results and allowlisted findings become `note` results carrying
+//! an `external` suppression, so the grandfathered debt stays visible in
+//! the artifact without failing the run. Like the JSON report the document
+//! is hand-rolled — no serde.
+//!
+//! [`validate_sarif`] is the offline counterpart of
+//! `aggsky_obs::prom::validate_prometheus`: a structural check against the
+//! parts of the SARIF 2.1.0 schema we emit (version string, run/tool/driver
+//! shape, ruleId ↔ rules-array consistency, relative artifact URIs,
+//! 1-based regions), backed by a miniature recursive-descent JSON parser so
+//! no network or external schema tooling is needed.
+
+use crate::report::{json_str, Report};
+use crate::rules::Finding;
+
+/// The SARIF spec version this exporter targets.
+pub const SARIF_VERSION: &str = "2.1.0";
+
+/// Canonical schema URI recorded in the document (informational only; the
+/// validator never fetches it).
+pub const SARIF_SCHEMA: &str =
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/sarif-schema-2.1.0.json";
+
+/// Short descriptions for the rule metadata table. Rules picked up from
+/// findings but missing here fall back to their id.
+const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
+    ("L1-panic", "no panicking constructs in library code"),
+    ("L1-index", "no unchecked indexing in library code"),
+    ("L2-float", "no raw float comparisons; use the workspace total-order helpers"),
+    ("L3-cast", "no truncating numeric casts"),
+    ("L4-layering", "crate dependencies must follow the layering DAG"),
+    ("L5-determinism", "counting paths must stay deterministic"),
+    ("L6-wallclock", "no stray wall-clock reads outside the sanctioned clock"),
+    ("L7-unsafe", "`unsafe` is confined to the sanctioned SIMD module"),
+    ("L8-atomics", "every atomic ordering site needs a written happens-before justification"),
+    ("L9-budget", "counting-path compare calls must charge the tick budget"),
+    ("L10-spans", "obs span enters must be balanced by exits in the same function"),
+    ("L11-silent-drop", "no silently discarded Result/Outcome values in library code"),
+];
+
+/// Renders the report as a SARIF 2.1.0 document with a single run.
+pub fn to_sarif(report: &Report) -> String {
+    let mut rules: Vec<&str> =
+        report.active.iter().chain(report.suppressed.iter()).map(|f| f.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"$schema\": {},\n", json_str(SARIF_SCHEMA)));
+    out.push_str(&format!("  \"version\": {},\n", json_str(SARIF_VERSION)));
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"aggsky-lint\",\n");
+    out.push_str("          \"informationUri\": \"https://example.invalid/aggsky\",\n");
+    out.push_str("          \"rules\": [");
+    for (i, id) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let desc = RULE_DESCRIPTIONS.iter().find(|(rid, _)| rid == id).map_or(*id, |(_, d)| *d);
+        out.push_str(&format!(
+            "\n            {{\"id\": {}, \"name\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+            json_str(id),
+            json_str(&rule_name(id)),
+            json_str(desc),
+        ));
+    }
+    if !rules.is_empty() {
+        out.push_str("\n          ");
+    }
+    out.push_str("]\n        }\n      },\n");
+    out.push_str("      \"columnKind\": \"utf16CodeUnits\",\n");
+    out.push_str("      \"results\": [");
+    let mut first = true;
+    for f in &report.active {
+        push_result(&mut out, &rules, f, "error", false, &mut first);
+    }
+    for f in &report.suppressed {
+        push_result(&mut out, &rules, f, "note", true, &mut first);
+    }
+    if !first {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+/// SARIF rule names must look like identifiers; turn `L8-atomics` into
+/// `L8Atomics`.
+fn rule_name(id: &str) -> String {
+    let mut name = String::with_capacity(id.len());
+    let mut upper = true;
+    for c in id.chars() {
+        if c == '-' || c == '_' {
+            upper = true;
+        } else if upper {
+            name.extend(c.to_uppercase());
+            upper = false;
+        } else {
+            name.push(c);
+        }
+    }
+    name
+}
+
+fn push_result(
+    out: &mut String,
+    rules: &[&str],
+    f: &Finding,
+    level: &str,
+    suppressed: bool,
+    first: &mut bool,
+) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    let index = rules.iter().position(|r| *r == f.rule).unwrap_or(0);
+    out.push_str(&format!(
+        "\n        {{\"ruleId\": {}, \"ruleIndex\": {index}, \"level\": {}, ",
+        json_str(f.rule),
+        json_str(level),
+    ));
+    out.push_str(&format!("\"message\": {{\"text\": {}}}, ", json_str(&f.message)));
+    out.push_str(&format!(
+        "\"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}, \
+         \"uriBaseId\": \"SRCROOT\"}}, \"region\": {{\"startLine\": {}}}}}}}]",
+        json_str(&f.path),
+        f.line,
+    ));
+    if suppressed {
+        out.push_str(
+            ", \"suppressions\": [{\"kind\": \"external\", \
+             \"justification\": \"covered by lint-allowlist.txt\"}]",
+        );
+    }
+    out.push('}');
+}
+
+// ---------------------------------------------------------------------------
+// Structural validation
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value, just rich enough to validate our own output.
+#[derive(Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (integer precision is enough for SARIF line numbers).
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; key order preserved.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document. Errors carry a byte offset for debugging.
+pub fn parse_json(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: Value) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("expected `{word}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>().map(Value::Num).map_err(|_| format!("bad number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let esc = bytes.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                        *pos += 4;
+                        // Surrogates never appear in our own output; replace
+                        // rather than fail so the validator stays total.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("unknown escape `\\{}`", other as char)),
+                }
+            }
+            _ => {
+                // Copy the full UTF-8 sequence starting here.
+                let s = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = s.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // consume `{`
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected `:` at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(members));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // consume `[`
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+/// Structurally validates a SARIF 2.1.0 document against the subset of the
+/// schema this exporter emits. Entirely offline; mirrors
+/// `validate_prometheus` in the obs crate.
+pub fn validate_sarif(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    let version = doc.get("version").and_then(Value::as_str).ok_or("missing `version` string")?;
+    if version != SARIF_VERSION {
+        return Err(format!("version is {version:?}, expected {SARIF_VERSION:?}"));
+    }
+    doc.get("$schema").and_then(Value::as_str).ok_or("missing `$schema`")?;
+    let runs = doc.get("runs").and_then(Value::as_arr).ok_or("missing `runs` array")?;
+    if runs.is_empty() {
+        return Err("`runs` is empty".to_string());
+    }
+    for (ri, run) in runs.iter().enumerate() {
+        let driver = run
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .ok_or_else(|| format!("run {ri}: missing tool.driver"))?;
+        let name = driver
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("run {ri}: missing driver name"))?;
+        if name.is_empty() {
+            return Err(format!("run {ri}: empty driver name"));
+        }
+        let rules = driver
+            .get("rules")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("run {ri}: missing driver rules"))?;
+        let mut rule_ids: Vec<&str> = Vec::new();
+        for (i, rule) in rules.iter().enumerate() {
+            let id = rule
+                .get("id")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("run {ri}: rule {i} missing id"))?;
+            if rule_ids.contains(&id) {
+                return Err(format!("run {ri}: duplicate rule id {id:?}"));
+            }
+            rule_ids.push(id);
+        }
+        let results = run
+            .get("results")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("run {ri}: missing results array"))?;
+        for (i, result) in results.iter().enumerate() {
+            validate_result(ri, i, result, &rule_ids)?;
+        }
+    }
+    Ok(())
+}
+
+fn validate_result(ri: usize, i: usize, result: &Value, rule_ids: &[&str]) -> Result<(), String> {
+    let at = format!("run {ri} result {i}");
+    let rule_id =
+        result.get("ruleId").and_then(Value::as_str).ok_or_else(|| format!("{at}: no ruleId"))?;
+    let Some(expected_index) = rule_ids.iter().position(|r| *r == rule_id) else {
+        return Err(format!("{at}: ruleId {rule_id:?} not in driver rules"));
+    };
+    if let Some(index) = result.get("ruleIndex").and_then(Value::as_num) {
+        if index as usize != expected_index {
+            return Err(format!(
+                "{at}: ruleIndex {index} disagrees with rules array position {expected_index}"
+            ));
+        }
+    }
+    let level =
+        result.get("level").and_then(Value::as_str).ok_or_else(|| format!("{at}: no level"))?;
+    if !matches!(level, "error" | "warning" | "note" | "none") {
+        return Err(format!("{at}: invalid level {level:?}"));
+    }
+    let message = result
+        .get("message")
+        .and_then(|m| m.get("text"))
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{at}: no message.text"))?;
+    if message.is_empty() {
+        return Err(format!("{at}: empty message.text"));
+    }
+    let locations = result
+        .get("locations")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{at}: no locations"))?;
+    if locations.is_empty() {
+        return Err(format!("{at}: empty locations"));
+    }
+    for loc in locations {
+        let physical =
+            loc.get("physicalLocation").ok_or_else(|| format!("{at}: no physicalLocation"))?;
+        let uri = physical
+            .get("artifactLocation")
+            .and_then(|a| a.get("uri"))
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{at}: no artifactLocation.uri"))?;
+        if uri.starts_with('/') || uri.contains("://") {
+            return Err(format!("{at}: artifact uri {uri:?} must be workspace-relative"));
+        }
+        let start = physical
+            .get("region")
+            .and_then(|r| r.get("startLine"))
+            .and_then(Value::as_num)
+            .ok_or_else(|| format!("{at}: no region.startLine"))?;
+        if start < 1.0 || start.fract() != 0.0 {
+            return Err(format!("{at}: startLine {start} must be a positive integer"));
+        }
+    }
+    if let Some(suppressions) = result.get("suppressions").and_then(Value::as_arr) {
+        for s in suppressions {
+            let kind = s
+                .get("kind")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{at}: suppression without kind"))?;
+            if !matches!(kind, "inSource" | "external") {
+                return Err(format!("{at}: invalid suppression kind {kind:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allowlist::Entry;
+
+    fn finding(rule: &'static str, path: &str, line: usize) -> Finding {
+        Finding { rule, path: path.to_string(), line, message: format!("{rule} at {line}") }
+    }
+
+    fn sample_report() -> Report {
+        Report {
+            active: vec![
+                finding("L8-atomics", "crates/core/src/x.rs", 10),
+                finding("L11-silent-drop", "crates/obs/src/y.rs", 4),
+            ],
+            suppressed: vec![finding("L8-atomics", "crates/core/src/z.rs", 7)],
+            stale: Vec::<Entry>::new(),
+            files: 3,
+        }
+    }
+
+    #[test]
+    fn exporter_output_validates() {
+        let sarif = to_sarif(&sample_report());
+        validate_sarif(&sarif).unwrap();
+    }
+
+    #[test]
+    fn empty_report_validates() {
+        let report = Report { active: vec![], suppressed: vec![], stale: vec![], files: 0 };
+        validate_sarif(&to_sarif(&report)).unwrap();
+    }
+
+    #[test]
+    fn suppressed_findings_carry_external_suppressions() {
+        let sarif = to_sarif(&sample_report());
+        let doc = parse_json(&sarif).unwrap();
+        let results = doc.get("runs").and_then(Value::as_arr).unwrap()[0]
+            .get("results")
+            .and_then(Value::as_arr)
+            .unwrap();
+        assert_eq!(results.len(), 3);
+        let with_suppressions: Vec<_> =
+            results.iter().filter(|r| r.get("suppressions").is_some()).collect();
+        assert_eq!(with_suppressions.len(), 1);
+        assert_eq!(
+            with_suppressions[0].get("level").and_then(Value::as_str),
+            Some("note"),
+            "suppressed findings must not be errors"
+        );
+    }
+
+    #[test]
+    fn validator_rejects_wrong_version() {
+        let sarif = to_sarif(&sample_report()).replace("2.1.0", "2.0.0");
+        assert!(validate_sarif(&sarif).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn validator_rejects_unknown_rule_id() {
+        let sarif = to_sarif(&sample_report())
+            .replace("\"ruleId\": \"L8-atomics\"", "\"ruleId\": \"L99-bogus\"");
+        assert!(validate_sarif(&sarif).unwrap_err().contains("L99-bogus"));
+    }
+
+    #[test]
+    fn validator_rejects_absolute_uri() {
+        let sarif = to_sarif(&sample_report()).replace("crates/obs/src/y.rs", "/abs/path.rs");
+        assert!(validate_sarif(&sarif).unwrap_err().contains("workspace-relative"));
+    }
+
+    #[test]
+    fn validator_rejects_zero_start_line() {
+        let sarif = to_sarif(&sample_report()).replace("\"startLine\": 4", "\"startLine\": 0");
+        assert!(validate_sarif(&sarif).unwrap_err().contains("startLine"));
+    }
+
+    #[test]
+    fn json_parser_round_trips_escapes() {
+        let v =
+            parse_json(r#"{"a": "q\"b\\c\nd", "n": [1, 2.5, -3], "t": true, "z": null}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_str), Some("q\"b\\c\nd"));
+        assert_eq!(v.get("n").and_then(Value::as_arr).map(<[Value]>::len), Some(3));
+        assert_eq!(v.get("t"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("z"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn json_parser_rejects_garbage() {
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn rule_names_are_identifiers() {
+        assert_eq!(rule_name("L8-atomics"), "L8Atomics");
+        assert_eq!(rule_name("L11-silent-drop"), "L11SilentDrop");
+    }
+}
