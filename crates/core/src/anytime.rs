@@ -18,6 +18,7 @@
 
 use crate::algorithms::PairDeltas;
 use crate::dataset::{GroupId, GroupedDataset};
+use crate::error::{Error, Result};
 use crate::gamma::Gamma;
 use crate::mbb::Mbb;
 use crate::paircount::{compare_groups, PairOptions};
@@ -84,31 +85,66 @@ pub fn anytime_skyline_ctx(ds: &GroupedDataset, gamma: Gamma, ctx: &RunContext) 
 
 /// Continues an earlier run from its checkpoint, spending at most `budget`
 /// further record comparisons. A complete `prev` is returned unchanged; a
-/// `prev` without a usable checkpoint (produced by an interrupted one-shot
-/// algorithm, or not matching `ds`) falls back to a fresh run.
+/// `prev` *without* a checkpoint (produced by an interrupted one-shot
+/// algorithm) falls back to a fresh run. A `prev` whose checkpoint
+/// mentions ids outside `ds` — the signature of resuming against the
+/// wrong dataset, or of a corrupted frame read from disk — is refused
+/// with a typed [`Error::CorruptCheckpoint`] instead of being silently
+/// replayed or discarded.
 pub fn anytime_resume(
     ds: &GroupedDataset,
     gamma: Gamma,
     budget: u64,
     prev: &AnytimeResult,
-) -> AnytimeResult {
+) -> Result<AnytimeResult> {
+    anytime_resume_ctx(ds, gamma, &RunContext::with_budget(budget), prev)
+}
+
+/// [`anytime_resume`] under an execution-control context (honours the
+/// context's tick budget, cancellation token and observability recorder).
+pub fn anytime_resume_ctx(
+    ds: &GroupedDataset,
+    gamma: Gamma,
+    ctx: &RunContext,
+    prev: &AnytimeResult,
+) -> Result<AnytimeResult> {
     if prev.is_complete() {
-        return prev.clone();
+        return Ok(prev.clone());
     }
-    let ctx = RunContext::with_budget(budget);
     match &prev.checkpoint {
-        Some(cp) if checkpoint_fits(prev, cp, ds.n_groups()) => {
-            engine(ds, gamma, &ctx, Some((prev, cp)))
+        Some(cp) => {
+            validate_checkpoint(prev, cp, ds.n_groups())?;
+            Ok(engine(ds, gamma, ctx, Some((prev, cp))))
         }
-        _ => engine(ds, gamma, &ctx, None),
+        None => Ok(engine(ds, gamma, ctx, None)),
     }
 }
 
 /// A checkpoint is only replayable when every id it mentions exists in the
-/// dataset (guards against resuming against the wrong dataset).
-fn checkpoint_fits(prev: &AnytimeResult, cp: &AnytimeCheckpoint, n: usize) -> bool {
-    prev.confirmed_out.iter().all(|&g| g < n)
-        && cp.remaining.iter().all(|(g, cands)| *g < n && cands.iter().all(|&s| s < n))
+/// dataset. Violations are typed errors naming the offending id, so a
+/// corrupted or mismatched resume state can never be silently replayed.
+fn validate_checkpoint(prev: &AnytimeResult, cp: &AnytimeCheckpoint, n: usize) -> Result<()> {
+    let oob = |what: &str, g: GroupId| {
+        Error::CorruptCheckpoint(format!(
+            "{what} mentions group {g}, but the dataset has only {n} groups"
+        ))
+    };
+    for &g in &prev.confirmed_out {
+        if g >= n {
+            return Err(oob("confirmed-out set", g));
+        }
+    }
+    for (g, cands) in &cp.remaining {
+        if *g >= n {
+            return Err(oob("checkpoint remaining list", *g));
+        }
+        for &s in cands {
+            if s >= n {
+                return Err(oob("checkpoint candidate list", s));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// The shared engine behind fresh and resumed runs. State is one candidate
@@ -332,7 +368,7 @@ mod tests {
                 let mut r = anytime_skyline(&ds, Gamma::DEFAULT, step);
                 let mut rounds = 0;
                 while !r.is_complete() {
-                    r = anytime_resume(&ds, Gamma::DEFAULT, step, &r);
+                    r = anytime_resume(&ds, Gamma::DEFAULT, step, &r).unwrap();
                     rounds += 1;
                     assert!(rounds < 100_000, "resume loop did not converge (step {step})");
                 }
@@ -351,7 +387,7 @@ mod tests {
         while !r.is_complete() {
             let prev_in = r.confirmed_in.clone();
             let prev_out = r.confirmed_out.clone();
-            r = anytime_resume(&ds, Gamma::DEFAULT, 25, &r);
+            r = anytime_resume(&ds, Gamma::DEFAULT, 25, &r).unwrap();
             // Decisions are never retracted across a resume.
             for g in &prev_in {
                 assert!(r.confirmed_in.contains(g), "round {rounds}: {g} retracted from in");
@@ -371,7 +407,7 @@ mod tests {
     fn resume_of_complete_result_is_identity() {
         let ds = movie_directors();
         let full = anytime_skyline(&ds, Gamma::DEFAULT, u64::MAX);
-        let resumed = anytime_resume(&ds, Gamma::DEFAULT, 1, &full);
+        let resumed = anytime_resume(&ds, Gamma::DEFAULT, 1, &full).unwrap();
         assert_eq!(resumed, full);
     }
 
@@ -381,10 +417,42 @@ mod tests {
         let mut r = anytime_skyline(&ds, Gamma::DEFAULT, 1);
         assert!(!r.is_complete(), "movie example should not resolve in one pair");
         r.checkpoint = None; // e.g. a partial handed back by an interrupted algorithm
-        let resumed = anytime_resume(&ds, Gamma::DEFAULT, u64::MAX, &r);
+        let resumed = anytime_resume(&ds, Gamma::DEFAULT, u64::MAX, &r).unwrap();
         assert!(resumed.is_complete());
         let oracle = naive_skyline(&ds, Gamma::DEFAULT).skyline;
         assert_eq!(resumed.confirmed_in, oracle);
+    }
+
+    #[test]
+    fn out_of_range_checkpoint_ids_are_typed_errors() {
+        use crate::error::Error;
+        let ds = movie_directors();
+        let base = anytime_skyline(&ds, Gamma::DEFAULT, 1);
+        assert!(!base.is_complete());
+        let n = ds.n_groups();
+        // A candidate id beyond the dataset.
+        let mut r = base.clone();
+        if let Some(cp) = &mut r.checkpoint {
+            if let Some((_, cands)) = cp.remaining.first_mut() {
+                cands.push(n + 3);
+            }
+        }
+        let err = anytime_resume(&ds, Gamma::DEFAULT, u64::MAX, &r).unwrap_err();
+        assert!(matches!(err, Error::CorruptCheckpoint(_)), "{err}");
+        // An undecided group id beyond the dataset.
+        let mut r = base.clone();
+        if let Some(cp) = &mut r.checkpoint {
+            cp.remaining.push((n, vec![0]));
+        }
+        let err = anytime_resume(&ds, Gamma::DEFAULT, u64::MAX, &r).unwrap_err();
+        assert!(matches!(err, Error::CorruptCheckpoint(_)), "{err}");
+        // A confirmed-out id beyond the dataset.
+        let mut r = base.clone();
+        r.confirmed_out.push(n + 1);
+        let err = anytime_resume(&ds, Gamma::DEFAULT, u64::MAX, &r).unwrap_err();
+        assert!(matches!(err, Error::CorruptCheckpoint(_)), "{err}");
+        // The untampered checkpoint still resumes fine.
+        assert!(anytime_resume(&ds, Gamma::DEFAULT, u64::MAX, &base).is_ok());
     }
 
     #[test]

@@ -69,6 +69,20 @@ pub enum Error {
         /// First group id of the chunk whose retries were exhausted.
         chunk: usize,
     },
+    /// A checkpoint I/O operation failed (the message names the path and
+    /// the underlying OS error). Carried as a string because [`Error`] is
+    /// `Clone + PartialEq` and `std::io::Error` is neither.
+    Io(String),
+    /// Resume state failed validation: a frame that decodes but mentions
+    /// out-of-range group ids, block cursors beyond the kernel's block-pair
+    /// space, or tallies that exceed their denominators. Resuming from such
+    /// state could be silently wrong, so it is refused instead.
+    CorruptCheckpoint(String),
+    /// A structurally valid checkpoint was produced by a *different*
+    /// dataset or configuration (its embedded fingerprint does not match
+    /// the caller's). Distinct from [`Error::CorruptCheckpoint`]: the frame
+    /// is intact, it just answers a different question.
+    CheckpointMismatch(String),
 }
 
 impl fmt::Display for Error {
@@ -110,6 +124,11 @@ impl fmt::Display for Error {
                     "parallel worker {worker} panicked repeatedly on the chunk starting at \
                      group {chunk}; retries exhausted"
                 )
+            }
+            Error::Io(msg) => write!(f, "checkpoint i/o failed: {msg}"),
+            Error::CorruptCheckpoint(msg) => write!(f, "corrupt checkpoint: {msg}"),
+            Error::CheckpointMismatch(msg) => {
+                write!(f, "checkpoint belongs to a different dataset/configuration: {msg}")
             }
         }
     }

@@ -145,6 +145,29 @@ pub fn check_pair_conservation(classified: u64, len_s: usize, len_r: usize) {
     }
 }
 
+/// Frame-codec round-trip contract, checked on every checkpoint save: a
+/// [`crate::persist::Snapshot`] encoded into a frame and decoded back must
+/// compare equal, field for field. A violation means the codec would
+/// persist state it cannot faithfully restore — the one bug the CRC can
+/// never catch, because the checksum covers the (wrong) bytes perfectly.
+#[inline]
+pub fn check_snapshot_roundtrip(snap: &crate::persist::Snapshot) {
+    #[cfg(feature = "invariants")]
+    {
+        use crate::persist::frame;
+        let bytes = frame::encode_frame(&frame::encode_snapshot(snap));
+        let payload = frame::decode_frame(&bytes);
+        debug_assert!(payload.is_ok(), "fresh frame failed to decode: {:?}", payload.err());
+        if let Ok(payload) = payload {
+            let decoded = frame::decode_snapshot(payload);
+            debug_assert!(
+                decoded.as_ref() == Ok(snap),
+                "snapshot round-trip not identity: {decoded:?}"
+            );
+        }
+    }
+}
+
 #[cfg(all(test, feature = "invariants"))]
 mod tests {
     use super::*;
@@ -171,5 +194,18 @@ mod tests {
     #[should_panic(expected = "kernel classified")]
     fn conservation_violation_fires() {
         check_pair_conservation(11, 3, 4);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_contract_passes_on_real_state() {
+        use crate::persist::{Fingerprint, Snapshot};
+        let ds = random_dataset(8, 5, 3, 12);
+        let partial = crate::anytime::anytime_skyline(&ds, crate::Gamma::DEFAULT, 5);
+        let snap = Snapshot {
+            fingerprint: Fingerprint::of(&ds, crate::Gamma::DEFAULT),
+            partition: Some(partial),
+            pairs: Vec::new(),
+        };
+        check_snapshot_roundtrip(&snap);
     }
 }

@@ -62,6 +62,9 @@
 //!   kernel's block cursor.
 //! * [`sweep`] — γ-sweep driver sharing one preparation and one pair cache
 //!   across thresholds.
+//! * [`persist`] — durable crash-consistent checkpoints: CRC-64 frame
+//!   codec, atomic temp+fsync+rename store with graceful degradation, and
+//!   the fingerprint-bound durable anytime drivers.
 
 #![warn(missing_docs)]
 
@@ -85,6 +88,7 @@ pub mod num;
 pub mod ord;
 pub mod paircache;
 pub mod paircount;
+pub mod persist;
 pub mod prepared;
 pub mod properties;
 pub mod ranking;
@@ -106,7 +110,8 @@ pub use algorithms::{
     AlgoOptions, Algorithm, Pruning, SkylineResult, SortStrategy,
 };
 pub use anytime::{
-    anytime_resume, anytime_skyline, anytime_skyline_ctx, AnytimeCheckpoint, AnytimeResult,
+    anytime_resume, anytime_resume_ctx, anytime_skyline, anytime_skyline_ctx, AnytimeCheckpoint,
+    AnytimeResult,
 };
 pub use dataset::{GroupId, GroupedDataset, GroupedDatasetBuilder};
 pub use dominance::{compare, dominates, Direction, DomRelation};
@@ -126,6 +131,12 @@ pub use paircache::{CachedTally, PairCache};
 pub use paircount::{
     compare_groups, compare_groups_exhaustive, DomLevel, PairOptions, PairVerdict,
 };
+pub use persist::{
+    checkpoint_step, checkpoint_step_with, run_durable, CheckpointStore, DurableOutcome,
+    Fingerprint, PairEntry, Recovery, SaveReceipt, SkippedFrame, Snapshot,
+};
+#[cfg(feature = "chaos")]
+pub use persist::{IoFaultKind, IoFaultPlan};
 pub use prepared::{BlockView, LaneBlock, PreparedDataset, LANE_VECTOR, MAX_LANE_BLOCK};
 pub use ranking::{min_gamma_per_group, ranked_skyline, RankedGroup};
 pub use runctx::{CancelToken, InterruptReason, Outcome, RunContext};

@@ -1,0 +1,761 @@
+//! Durable checkpoint storage: numbered frame files written atomically,
+//! read back with graceful degradation (DESIGN.md §15).
+//!
+//! One frame per file, named `frame-NNNNNN.agsk` with a monotonically
+//! increasing sequence number. A save follows the classic crash-consistent
+//! protocol:
+//!
+//! 1. write the complete frame to `frame-NNNNNN.tmp`,
+//! 2. `fsync` the temp file (data durable before it becomes visible),
+//! 3. `rename` it to its final name (atomic on POSIX),
+//! 4. `fsync` the directory (the rename itself durable),
+//! 5. prune frames beyond the retention window (best effort).
+//!
+//! A crash between any two steps leaves either the previous frames intact
+//! (steps 1–3) or the new frame fully durable (steps 4–5) — never a
+//! half-visible frame, because readers ignore `.tmp` files and the frame
+//! CRC catches a torn rename target. Loading walks the frames newest-first
+//! and returns the first one that fully validates; anything that does not
+//! (torn write, bit rot, truncation) is recorded as a [`SkippedFrame`] and
+//! the loader degrades to the next older frame, or to a clean cold start.
+//!
+//! Behind the `chaos` feature the store accepts an [`IoFaultPlan`] that
+//! deterministically injects the classic durability failure modes at a
+//! chosen save: short writes, torn frames, bit flips, failed fsync/rename,
+//! and simulated crashes on either side of the rename. Faults fire exactly
+//! once (atomically disarmed), mirroring `runctx`'s compute-side plans.
+
+use crate::error::{Error, Result};
+use crate::persist::frame;
+use crate::persist::{Fingerprint, Snapshot};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+#[cfg(feature = "chaos")]
+use std::sync::atomic::AtomicU64;
+#[cfg(feature = "chaos")]
+use std::sync::Arc;
+
+/// File extension of a committed frame.
+const FRAME_EXT: &str = "agsk";
+/// How many committed frames a save retains (newest first). Two frames
+/// means a save that corrupts silently (torn write discovered only at the
+/// next load) still leaves its predecessor to degrade to.
+const RETAIN: usize = 2;
+
+fn io_err(op: &str, path: &Path, e: std::io::Error) -> Error {
+    Error::Io(format!("{op} {}: {e}", path.display()))
+}
+
+/// Why a frame was passed over during recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedFrame {
+    /// Sequence number parsed from the file name.
+    pub seq: u64,
+    /// Human-readable reason (unreadable, truncated, checksum mismatch …).
+    pub reason: String,
+}
+
+/// What a [`CheckpointStore::load`] found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recovery {
+    /// The newest snapshot that fully validated, with its sequence number;
+    /// `None` means a clean cold start.
+    pub snapshot: Option<(u64, Snapshot)>,
+    /// Frames that were present but failed validation, newest first.
+    pub skipped: Vec<SkippedFrame>,
+}
+
+/// Receipt of a successful [`CheckpointStore::save`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaveReceipt {
+    /// Sequence number of the committed frame.
+    pub seq: u64,
+    /// Size of the committed frame in bytes.
+    pub bytes: u64,
+}
+
+/// A directory of checkpoint frames with atomic saves and degrading loads.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    #[cfg(feature = "chaos")]
+    fault: Option<Arc<IoFaultPlan>>,
+    /// Ordinal of the next save, the trigger axis for I/O faults.
+    #[cfg(feature = "chaos")]
+    saves_issued: AtomicU64,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory.
+    pub fn open<P: AsRef<Path>>(dir: P) -> Result<CheckpointStore> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(|e| io_err("create checkpoint dir", &dir, e))?;
+        Ok(CheckpointStore {
+            dir,
+            #[cfg(feature = "chaos")]
+            fault: None,
+            #[cfg(feature = "chaos")]
+            saves_issued: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Attaches a deterministic I/O fault plan (replacing any previous
+    /// one). Mirrors [`crate::RunContext::with_fault`] for the disk layer.
+    #[cfg(feature = "chaos")]
+    pub fn with_io_fault(mut self, plan: IoFaultPlan) -> Self {
+        self.fault = Some(Arc::new(plan));
+        self
+    }
+
+    /// The attached I/O fault plan, if any.
+    #[cfg(feature = "chaos")]
+    pub fn io_fault(&self) -> Option<&Arc<IoFaultPlan>> {
+        self.fault.as_ref()
+    }
+
+    /// Committed frame sequence numbers, ascending. Unparseable file names
+    /// are ignored (the directory may hold unrelated files).
+    pub fn frames(&self) -> Result<Vec<u64>> {
+        let entries =
+            fs::read_dir(&self.dir).map_err(|e| io_err("read checkpoint dir", &self.dir, e))?;
+        let mut seqs = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("read checkpoint dir entry", &self.dir, e))?;
+            if let Some(seq) = parse_frame_name(&entry.file_name()) {
+                seqs.push(seq);
+            }
+        }
+        seqs.sort_unstable();
+        Ok(seqs)
+    }
+
+    fn frame_path(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("frame-{seq:06}.{FRAME_EXT}"))
+    }
+
+    /// Writes `snap` as a new frame with the crash-consistent protocol
+    /// above, then prunes frames beyond the retention window.
+    pub fn save(&self, snap: &Snapshot) -> Result<SaveReceipt> {
+        crate::invariants::check_snapshot_roundtrip(snap);
+        let seq = self.frames()?.last().copied().map_or(1, |s| s.saturating_add(1));
+        let mut bytes = frame::encode_frame(&frame::encode_snapshot(snap));
+        let len = crate::num::wide(bytes.len());
+        let ordinal = self.next_save_ordinal();
+        self.corrupt_bytes(&mut bytes, ordinal);
+
+        let tmp = self.dir.join(format!("frame-{seq:06}.tmp"));
+        let final_path = self.frame_path(seq);
+        let mut f = fs::File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+        f.write_all(&bytes).map_err(|e| io_err("write", &tmp, e))?;
+        self.fail_fsync(ordinal, &tmp)?;
+        f.sync_all().map_err(|e| io_err("fsync", &tmp, e))?;
+        drop(f);
+        self.crash_before_rename(ordinal, &tmp)?;
+        self.fail_rename(ordinal, &tmp, &final_path)?;
+        fs::rename(&tmp, &final_path).map_err(|e| io_err("rename", &tmp, e))?;
+        // Make the rename itself durable: fsync the directory.
+        let d = fs::File::open(&self.dir).map_err(|e| io_err("open dir", &self.dir, e))?;
+        d.sync_all().map_err(|e| io_err("fsync dir", &self.dir, e))?;
+        self.crash_after_rename(ordinal, &final_path)?;
+        self.prune(seq);
+        Ok(SaveReceipt { seq, bytes: len })
+    }
+
+    /// Drops committed frames older than the retention window, plus any
+    /// stale temp files from crashed saves. Best effort: a frame that
+    /// cannot be removed only costs disk space, never correctness, so
+    /// failures are deliberately ignored.
+    fn prune(&self, newest: u64) {
+        if let Ok(seqs) = self.frames() {
+            for seq in seqs.iter().rev().skip(RETAIN) {
+                let _ = fs::remove_file(self.frame_path(*seq));
+            }
+        }
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let is_stale_tmp = name
+                    .to_str()
+                    .is_some_and(|n| n.ends_with(".tmp") && n != format!("frame-{newest:06}.tmp"));
+                if is_stale_tmp {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+    }
+
+    /// Loads the newest frame that fully validates, degrading through older
+    /// frames to a clean cold start. I/O errors on individual frames count
+    /// as skips (the medium may be failing exactly where the frame is);
+    /// only an unreadable *directory* is a hard error.
+    pub fn load(&self) -> Result<Recovery> {
+        self.load_inner(None)
+    }
+
+    /// [`CheckpointStore::load`], additionally refusing a frame that
+    /// validates but was produced by a different dataset/configuration.
+    /// Fingerprint mismatch is a hard [`Error::CheckpointMismatch`] — a
+    /// healthy foreign checkpoint must never silently degrade into a cold
+    /// start that then overwrites it.
+    pub fn load_for(&self, expected: &Fingerprint) -> Result<Recovery> {
+        self.load_inner(Some(expected))
+    }
+
+    fn load_inner(&self, expected: Option<&Fingerprint>) -> Result<Recovery> {
+        let mut seqs = self.frames()?;
+        seqs.reverse();
+        let mut skipped = Vec::new();
+        for seq in seqs {
+            let path = self.frame_path(seq);
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    skipped.push(SkippedFrame { seq, reason: format!("unreadable: {e}") });
+                    continue;
+                }
+            };
+            let payload = match frame::decode_frame(&bytes) {
+                Ok(p) => p,
+                Err(e) => {
+                    skipped.push(SkippedFrame { seq, reason: e.to_string() });
+                    continue;
+                }
+            };
+            if let Some(want) = expected {
+                let found = match frame::peek_fingerprint(payload) {
+                    Ok(fp) => fp,
+                    Err(e) => {
+                        skipped.push(SkippedFrame { seq, reason: e.to_string() });
+                        continue;
+                    }
+                };
+                if found != *want {
+                    return Err(Error::CheckpointMismatch(format!(
+                        "frame {seq} in {} was written for {found}, caller expects {want}",
+                        self.dir.display()
+                    )));
+                }
+            }
+            match frame::decode_snapshot(payload) {
+                Ok(snap) => return Ok(Recovery { snapshot: Some((seq, snap)), skipped }),
+                Err(e) => skipped.push(SkippedFrame { seq, reason: e.to_string() }),
+            }
+        }
+        Ok(Recovery { snapshot: None, skipped })
+    }
+
+    /// Removes every committed frame and temp file (e.g. to restart cold on
+    /// purpose). Unlike pruning this is an explicit request, so failures
+    /// are reported.
+    pub fn clear(&self) -> Result<()> {
+        for seq in self.frames()? {
+            let path = self.frame_path(seq);
+            fs::remove_file(&path).map_err(|e| io_err("remove", &path, e))?;
+        }
+        let entries =
+            fs::read_dir(&self.dir).map_err(|e| io_err("read checkpoint dir", &self.dir, e))?;
+        for entry in entries.flatten() {
+            if entry.file_name().to_str().is_some_and(|n| n.ends_with(".tmp")) {
+                let path = entry.path();
+                fs::remove_file(&path).map_err(|e| io_err("remove", &path, e))?;
+            }
+        }
+        Ok(())
+    }
+
+    // -- chaos hooks --------------------------------------------------------
+
+    #[cfg(feature = "chaos")]
+    fn next_save_ordinal(&self) -> u64 {
+        // AcqRel: the ordinal both publishes this save's slot to other
+        // threads sharing the store and observes theirs, so two concurrent
+        // saves can never draw the same fault trigger.
+        self.saves_issued.fetch_add(1, std::sync::atomic::Ordering::AcqRel)
+    }
+
+    #[cfg(not(feature = "chaos"))]
+    fn next_save_ordinal(&self) -> u64 {
+        0
+    }
+
+    /// Applies a due silent-corruption fault (short write, torn frame, bit
+    /// flip) to the encoded bytes. The save then *succeeds* from the
+    /// caller's point of view — exactly the failure mode where only the
+    /// next load can discover the damage.
+    #[cfg(feature = "chaos")]
+    fn corrupt_bytes(&self, bytes: &mut Vec<u8>, ordinal: u64) {
+        let Some(f) = &self.fault else { return };
+        match f.kind() {
+            IoFaultKind::ShortWrite if f.try_fire(ordinal) => {
+                bytes.truncate(bytes.len() / 2);
+            }
+            IoFaultKind::TornFrame if f.try_fire(ordinal) => {
+                // Model a partial page flush: the file reaches full length
+                // but the tail half never made it out of the page cache.
+                let mid = bytes.len() / 2;
+                for b in bytes.iter_mut().skip(mid) {
+                    *b = 0;
+                }
+            }
+            IoFaultKind::BitFlip if f.try_fire(ordinal) && !bytes.is_empty() => {
+                let pos = crate::num::narrow(f.offset_seed() % crate::num::wide(bytes.len()))
+                    .unwrap_or(0);
+                if let Some(b) = bytes.get_mut(pos) {
+                    *b ^= 1 << (f.offset_seed() % 8);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    #[cfg(not(feature = "chaos"))]
+    fn corrupt_bytes(&self, _bytes: &mut [u8], _ordinal: u64) {}
+
+    #[cfg(feature = "chaos")]
+    fn fail_fsync(&self, ordinal: u64, tmp: &Path) -> Result<()> {
+        if let Some(f) = &self.fault {
+            if matches!(f.kind(), IoFaultKind::FailFsync) && f.try_fire(ordinal) {
+                let _ = fs::remove_file(tmp);
+                return Err(Error::Io(format!(
+                    "chaos: injected fsync failure on {}",
+                    tmp.display()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    #[cfg(not(feature = "chaos"))]
+    fn fail_fsync(&self, _ordinal: u64, _tmp: &Path) -> Result<()> {
+        Ok(())
+    }
+
+    #[cfg(feature = "chaos")]
+    fn fail_rename(&self, ordinal: u64, tmp: &Path, to: &Path) -> Result<()> {
+        if let Some(f) = &self.fault {
+            if matches!(f.kind(), IoFaultKind::FailRename) && f.try_fire(ordinal) {
+                let _ = fs::remove_file(tmp);
+                return Err(Error::Io(format!(
+                    "chaos: injected rename failure {} -> {}",
+                    tmp.display(),
+                    to.display()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    #[cfg(not(feature = "chaos"))]
+    fn fail_rename(&self, _ordinal: u64, _tmp: &Path, _to: &Path) -> Result<()> {
+        Ok(())
+    }
+
+    #[cfg(feature = "chaos")]
+    fn crash_before_rename(&self, ordinal: u64, tmp: &Path) -> Result<()> {
+        if let Some(f) = &self.fault {
+            if matches!(f.kind(), IoFaultKind::CrashBeforeRename) && f.try_fire(ordinal) {
+                // Simulated process death: the durable-but-uncommitted temp
+                // file stays on disk, exactly as a real crash would leave
+                // it, and the caller sees the save never return success.
+                return Err(Error::Io(format!(
+                    "chaos: simulated crash before rename of {}",
+                    tmp.display()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    #[cfg(not(feature = "chaos"))]
+    fn crash_before_rename(&self, _ordinal: u64, _tmp: &Path) -> Result<()> {
+        Ok(())
+    }
+
+    #[cfg(feature = "chaos")]
+    fn crash_after_rename(&self, ordinal: u64, committed: &Path) -> Result<()> {
+        if let Some(f) = &self.fault {
+            if matches!(f.kind(), IoFaultKind::CrashAfterRename) && f.try_fire(ordinal) {
+                // The frame is fully durable; the process dies between
+                // frames, before it could report success or prune.
+                return Err(Error::Io(format!(
+                    "chaos: simulated crash after commit of {}",
+                    committed.display()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    #[cfg(not(feature = "chaos"))]
+    fn crash_after_rename(&self, _ordinal: u64, _committed: &Path) -> Result<()> {
+        Ok(())
+    }
+}
+
+fn parse_frame_name(name: &std::ffi::OsStr) -> Option<u64> {
+    let name = name.to_str()?;
+    let stem = name.strip_suffix(".agsk")?;
+    let digits = stem.strip_prefix("frame-")?;
+    digits.parse::<u64>().ok()
+}
+
+#[cfg(feature = "chaos")]
+pub use self::chaos::{IoFaultKind, IoFaultPlan};
+
+#[cfg(feature = "chaos")]
+mod chaos {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    /// The durability failure an [`IoFaultPlan`] injects at its save.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum IoFaultKind {
+        /// Only a prefix of the frame reaches the file; the save still
+        /// reports success (discovered at the next load).
+        ShortWrite,
+        /// The file reaches full length but its tail half is zeros — a
+        /// partial page flush; the save still reports success.
+        TornFrame,
+        /// One seeded bit of the frame flips in flight; the save still
+        /// reports success.
+        BitFlip,
+        /// `fsync` of the temp file fails; the save returns a typed
+        /// [`crate::Error::Io`] and nothing becomes visible.
+        FailFsync,
+        /// The commit `rename` fails; the save returns a typed
+        /// [`crate::Error::Io`] and nothing becomes visible.
+        FailRename,
+        /// Simulated process death after the temp file is durable but
+        /// before the rename: the save never returns success and the temp
+        /// file is left behind for the next open to ignore and prune.
+        CrashBeforeRename,
+        /// Simulated process death after the rename committed: the frame is
+        /// durable but the saver never learns it.
+        CrashAfterRename,
+    }
+
+    /// A deterministic, fire-once I/O fault, triggered by save *ordinal*
+    /// (0-based count of saves issued through the store) rather than by
+    /// virtual tick — the disk layer has no record-pair clock. All state is
+    /// atomic so a plan can be shared across threads, mirroring
+    /// [`crate::FaultPlan`].
+    #[derive(Debug)]
+    pub struct IoFaultPlan {
+        kind: IoFaultKind,
+        /// Save ordinal at (or after) which the fault fires.
+        at_save: u64,
+        /// Seed driving the corrupted byte/bit position for `BitFlip`.
+        offset_seed: u64,
+        armed: AtomicBool,
+        fired: AtomicU64,
+    }
+
+    impl IoFaultPlan {
+        /// A plan injecting `kind` at the `at_save`-th save (0-based).
+        pub fn new(kind: IoFaultKind, at_save: u64) -> Self {
+            IoFaultPlan {
+                kind,
+                at_save,
+                offset_seed: 0x9E37_79B9_7F4A_7C15,
+                armed: AtomicBool::new(true),
+                fired: AtomicU64::new(0),
+            }
+        }
+
+        /// Derives a plan from a seed (the same splitmix64 step as
+        /// [`crate::FaultPlan::from_seed`]): the kind, trigger save below
+        /// `horizon`, and corruption offset all follow from the seed, so
+        /// chaos runs replay exactly.
+        pub fn from_seed(seed: u64, horizon: u64) -> Self {
+            let mut state = seed;
+            let r0 = splitmix64(&mut state);
+            let r1 = splitmix64(&mut state);
+            let r2 = splitmix64(&mut state);
+            let kind = match r0 % 7 {
+                0 => IoFaultKind::ShortWrite,
+                1 => IoFaultKind::TornFrame,
+                2 => IoFaultKind::BitFlip,
+                3 => IoFaultKind::FailFsync,
+                4 => IoFaultKind::FailRename,
+                5 => IoFaultKind::CrashBeforeRename,
+                _ => IoFaultKind::CrashAfterRename,
+            };
+            let mut plan = IoFaultPlan::new(kind, r1 % horizon.max(1));
+            plan.offset_seed = r2;
+            plan
+        }
+
+        /// The fault's kind.
+        pub fn kind(&self) -> IoFaultKind {
+            self.kind
+        }
+
+        /// The save ordinal the fault triggers at.
+        pub fn trigger_at(&self) -> u64 {
+            self.at_save
+        }
+
+        /// Seed for the corruption position (`BitFlip`).
+        pub(super) fn offset_seed(&self) -> u64 {
+            self.offset_seed
+        }
+
+        /// How many times the fault has fired (0 or 1).
+        pub fn fired(&self) -> u64 {
+            self.fired.load(Ordering::Acquire)
+        }
+
+        /// Atomically fires the fault if its save is due and it is still
+        /// armed.
+        pub(super) fn try_fire(&self, ordinal: u64) -> bool {
+            if ordinal < self.at_save {
+                return false;
+            }
+            // AcqRel: the winning disarm must also publish any writes the
+            // firing thread did before corrupting, matching FaultPlan.
+            if self.armed.swap(false, Ordering::AcqRel) {
+                self.fired.fetch_add(1, Ordering::AcqRel);
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    /// The same splitmix64 step as `runctx::chaos` (re-stated because that
+    /// module is private to `runctx`).
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anytime::AnytimeResult;
+    use crate::stats::Stats;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("aggsky-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn snap(record_pairs: u64) -> Snapshot {
+        Snapshot {
+            fingerprint: Fingerprint {
+                n_groups: 2,
+                n_records: 3,
+                dim: 2,
+                gamma_bits: 0.5f64.to_bits(),
+                block_size: 8,
+                kernel_tag: 0,
+                seed: 0,
+                data_hash: 7,
+            },
+            partition: Some(AnytimeResult {
+                confirmed_in: vec![0],
+                confirmed_out: vec![],
+                undecided: vec![1],
+                stats: Stats { record_pairs, ..Stats::default() },
+                checkpoint: None,
+            }),
+            pairs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(store.load().unwrap(), Recovery { snapshot: None, skipped: vec![] });
+        let r1 = store.save(&snap(10)).unwrap();
+        assert_eq!(r1.seq, 1);
+        let r2 = store.save(&snap(20)).unwrap();
+        assert_eq!(r2.seq, 2);
+        let rec = store.load().unwrap();
+        let (seq, loaded) = rec.snapshot.expect("newest frame must load");
+        assert_eq!(seq, 2);
+        assert_eq!(loaded, snap(20));
+        assert!(rec.skipped.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_keeps_the_last_two_frames() {
+        let dir = tmpdir("retain");
+        let store = CheckpointStore::open(&dir).unwrap();
+        for i in 0..5 {
+            store.save(&snap(i)).unwrap();
+        }
+        assert_eq!(store.frames().unwrap(), vec![4, 5]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_newest_degrades_to_older_frame() {
+        let dir = tmpdir("degrade");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.save(&snap(10)).unwrap();
+        let r2 = store.save(&snap(20)).unwrap();
+        // Torn tail on the newest frame.
+        let path = store.frame_path(r2.seq);
+        let mut bytes = fs::read(&path).unwrap();
+        let keep = bytes.len() / 2;
+        bytes.truncate(keep);
+        fs::write(&path, &bytes).unwrap();
+        let rec = store.load().unwrap();
+        let (seq, loaded) = rec.snapshot.expect("older frame must rescue the load");
+        assert_eq!(seq, 1);
+        assert_eq!(loaded, snap(10));
+        assert_eq!(rec.skipped.len(), 1);
+        assert_eq!(rec.skipped.first().map(|s| s.seq), Some(2));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn all_frames_corrupt_is_a_clean_cold_start() {
+        let dir = tmpdir("coldstart");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.save(&snap(10)).unwrap();
+        store.save(&snap(20)).unwrap();
+        for seq in store.frames().unwrap() {
+            fs::write(store.frame_path(seq), b"not a frame").unwrap();
+        }
+        let rec = store.load().unwrap();
+        assert!(rec.snapshot.is_none());
+        assert_eq!(rec.skipped.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_tmp_files_are_ignored_and_pruned() {
+        let dir = tmpdir("staletmp");
+        let store = CheckpointStore::open(&dir).unwrap();
+        fs::write(dir.join("frame-000009.tmp"), b"half a frame from a crashed save").unwrap();
+        let rec = store.load().unwrap();
+        assert!(rec.snapshot.is_none(), "tmp files must not be read as frames");
+        store.save(&snap(5)).unwrap();
+        let leftover: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_str().is_some_and(|n| n.ends_with(".tmp")))
+            .collect();
+        assert!(leftover.is_empty(), "crashed-save tmp file survived pruning");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_fingerprint_is_refused_not_degraded() {
+        let dir = tmpdir("mismatch");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.save(&snap(10)).unwrap();
+        let mut other = snap(10).fingerprint;
+        other.data_hash ^= 1;
+        let err = store.load_for(&other).unwrap_err();
+        assert!(matches!(err, Error::CheckpointMismatch(_)), "{err}");
+        // The matching fingerprint still loads.
+        assert!(store.load_for(&snap(10).fingerprint).unwrap().snapshot.is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_removes_every_frame() {
+        let dir = tmpdir("clear");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.save(&snap(1)).unwrap();
+        store.save(&snap(2)).unwrap();
+        store.clear().unwrap();
+        assert!(store.frames().unwrap().is_empty());
+        assert!(store.load().unwrap().snapshot.is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(feature = "chaos")]
+    mod chaos_tests {
+        use super::*;
+
+        #[test]
+        fn silent_faults_are_detected_at_the_next_load() {
+            for kind in [IoFaultKind::ShortWrite, IoFaultKind::TornFrame, IoFaultKind::BitFlip] {
+                let dir = tmpdir(&format!("silent-{kind:?}"));
+                let store =
+                    CheckpointStore::open(&dir).unwrap().with_io_fault(IoFaultPlan::new(kind, 1));
+                store.save(&snap(10)).unwrap();
+                store.save(&snap(20)).unwrap(); // fault fires here, silently
+                assert_eq!(store.io_fault().map(|f| f.fired()), Some(1));
+                let rec = store.load().unwrap();
+                let (seq, loaded) = rec.snapshot.expect("older frame must rescue");
+                assert_eq!((seq, loaded), (1, snap(10)), "{kind:?}");
+                assert_eq!(rec.skipped.len(), 1, "{kind:?}");
+                let _ = fs::remove_dir_all(&dir);
+            }
+        }
+
+        #[test]
+        fn loud_faults_error_and_leave_previous_frames_intact() {
+            for kind in
+                [IoFaultKind::FailFsync, IoFaultKind::FailRename, IoFaultKind::CrashBeforeRename]
+            {
+                let dir = tmpdir(&format!("loud-{kind:?}"));
+                let store =
+                    CheckpointStore::open(&dir).unwrap().with_io_fault(IoFaultPlan::new(kind, 1));
+                store.save(&snap(10)).unwrap();
+                let err = store.save(&snap(20)).unwrap_err();
+                assert!(matches!(err, Error::Io(_)), "{kind:?}: {err}");
+                let rec = store.load().unwrap();
+                assert_eq!(rec.snapshot, Some((1, snap(10))), "{kind:?}");
+                assert!(rec.skipped.is_empty(), "{kind:?}");
+                let _ = fs::remove_dir_all(&dir);
+            }
+        }
+
+        #[test]
+        fn crash_after_rename_commits_the_frame() {
+            let dir = tmpdir("crash-after");
+            let store = CheckpointStore::open(&dir)
+                .unwrap()
+                .with_io_fault(IoFaultPlan::new(IoFaultKind::CrashAfterRename, 0));
+            let err = store.save(&snap(10)).unwrap_err();
+            assert!(matches!(err, Error::Io(_)), "{err}");
+            // The saver died without a receipt, but the frame is durable.
+            let rec = store.load().unwrap();
+            assert_eq!(rec.snapshot, Some((1, snap(10))));
+            let _ = fs::remove_dir_all(&dir);
+        }
+
+        #[test]
+        fn io_faults_fire_exactly_once() {
+            let dir = tmpdir("fireonce");
+            let store = CheckpointStore::open(&dir)
+                .unwrap()
+                .with_io_fault(IoFaultPlan::new(IoFaultKind::FailFsync, 0));
+            assert!(store.save(&snap(1)).is_err());
+            // Disarmed: the retry succeeds.
+            assert!(store.save(&snap(1)).is_ok());
+            assert_eq!(store.io_fault().map(|f| f.fired()), Some(1));
+            let _ = fs::remove_dir_all(&dir);
+        }
+
+        #[test]
+        fn seeded_io_plans_are_reproducible() {
+            for seed in [1u64, 7, 42, 0xDEAD_BEEF] {
+                let a = IoFaultPlan::from_seed(seed, 10);
+                let b = IoFaultPlan::from_seed(seed, 10);
+                assert_eq!(a.kind(), b.kind(), "seed {seed}");
+                assert_eq!(a.trigger_at(), b.trigger_at(), "seed {seed}");
+                assert!(a.trigger_at() < 10);
+            }
+        }
+    }
+}

@@ -56,11 +56,18 @@ pub enum Counter {
     CacheMisses,
     /// Group comparisons resumed from a partial pair-count cache entry.
     CacheResumes,
+    /// Checkpoint frames committed by the persist layer.
+    CheckpointSaves,
+    /// Checkpoint recovery attempts (loads) issued by the persist layer.
+    CheckpointLoads,
+    /// Frames found on disk that failed validation and were degraded past
+    /// during recovery (torn writes, bit rot, truncation).
+    CheckpointFramesSkipped,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 20] = [
         Counter::GroupPairs,
         Counter::RecordPairs,
         Counter::BboxResolved,
@@ -78,6 +85,9 @@ impl Counter {
         Counter::CacheHits,
         Counter::CacheMisses,
         Counter::CacheResumes,
+        Counter::CheckpointSaves,
+        Counter::CheckpointLoads,
+        Counter::CheckpointFramesSkipped,
     ];
 
     /// Prometheus metric name (`_total` suffix per convention).
@@ -100,6 +110,9 @@ impl Counter {
             Counter::CacheHits => "aggsky_cache_hits_total",
             Counter::CacheMisses => "aggsky_cache_misses_total",
             Counter::CacheResumes => "aggsky_cache_resumes_total",
+            Counter::CheckpointSaves => "aggsky_checkpoint_saves_total",
+            Counter::CheckpointLoads => "aggsky_checkpoint_loads_total",
+            Counter::CheckpointFramesSkipped => "aggsky_checkpoint_frames_skipped_total",
         }
     }
 
@@ -122,6 +135,9 @@ impl Counter {
             Counter::CacheHits => 14,
             Counter::CacheMisses => 15,
             Counter::CacheResumes => 16,
+            Counter::CheckpointSaves => 17,
+            Counter::CheckpointLoads => 18,
+            Counter::CheckpointFramesSkipped => 19,
         }
     }
 }
@@ -137,15 +153,18 @@ pub enum Hist {
     StraddleFanout,
     /// Candidate groups per index window query.
     WindowCandidates,
+    /// Size in bytes of each committed checkpoint frame.
+    CheckpointFrameBytes,
 }
 
 impl Hist {
     /// Every histogram, in export order.
-    pub const ALL: [Hist; 4] = [
+    pub const ALL: [Hist; 5] = [
         Hist::RecordPairsPerGroupPair,
         Hist::BatchBlockPairs,
         Hist::StraddleFanout,
         Hist::WindowCandidates,
+        Hist::CheckpointFrameBytes,
     ];
 
     /// Prometheus metric family name.
@@ -155,6 +174,7 @@ impl Hist {
             Hist::BatchBlockPairs => "aggsky_batch_block_pairs",
             Hist::StraddleFanout => "aggsky_straddle_fanout_pairs",
             Hist::WindowCandidates => "aggsky_window_candidates",
+            Hist::CheckpointFrameBytes => "aggsky_checkpoint_frame_bytes",
         }
     }
 
@@ -164,6 +184,7 @@ impl Hist {
             Hist::BatchBlockPairs => 1,
             Hist::StraddleFanout => 2,
             Hist::WindowCandidates => 3,
+            Hist::CheckpointFrameBytes => 4,
         }
     }
 }

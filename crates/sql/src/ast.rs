@@ -361,6 +361,10 @@ pub enum Statement {
     /// `SET TIMEOUT n` — caps subsequent queries at `n` record-pair ticks
     /// of skyline work (`0` = unlimited, the default).
     SetTimeout(u64),
+    /// `SET CHECKPOINT 'dir'` — persists the aggregate-skyline step of
+    /// subsequent queries as durable frames under `dir`, resuming from the
+    /// newest valid frame; `SET CHECKPOINT OFF` (the default) disables it.
+    SetCheckpoint(Option<String>),
     /// `UPDATE name SET col = expr, ... [WHERE expr]`.
     Update {
         /// Target table.

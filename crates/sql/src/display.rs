@@ -232,6 +232,10 @@ impl fmt::Display for Statement {
             }
             Statement::DropTable(name) => write!(f, "DROP TABLE {name}"),
             Statement::SetTimeout(ticks) => write!(f, "SET TIMEOUT {ticks}"),
+            Statement::SetCheckpoint(dir) => match dir {
+                Some(d) => write!(f, "SET CHECKPOINT '{}'", d.replace('\'', "''")),
+                None => write!(f, "SET CHECKPOINT OFF"),
+            },
             Statement::Delete { table, where_clause } => {
                 write!(f, "DELETE FROM {table}")?;
                 if let Some(w) = where_clause {
@@ -275,6 +279,8 @@ mod tests {
             "DROP TABLE t",
             "SET TIMEOUT 5000",
             "SET TIMEOUT 0",
+            "SET CHECKPOINT '/tmp/ck''s'",
+            "SET CHECKPOINT OFF",
             "EXPLAIN SELECT * FROM movie WHERE pop > 3",
             "EXPLAIN ANALYZE SELECT d FROM m GROUP BY d SKYLINE OF pop MAX, qual MAX GAMMA 0.75",
         ];

@@ -3,7 +3,7 @@
 use crate::ast::{ColumnType, Statement};
 use crate::catalog::{Catalog, Column};
 use crate::error::{Result, SqlError};
-use crate::exec::{execute_select, execute_select_ctx, QueryResult};
+use crate::exec::{execute_select, QueryResult};
 use crate::parser::parse;
 use crate::plan::{eval, RExpr};
 use crate::value::Value;
@@ -27,6 +27,10 @@ pub struct Database {
     catalog: Catalog,
     /// `SET TIMEOUT` budget in record-pair ticks; `0` = unlimited.
     timeout_ticks: u64,
+    /// `SET CHECKPOINT` directory; when set, the aggregate-skyline step of
+    /// each query is persisted as durable frames there and resumed from
+    /// the newest valid frame on re-execution.
+    checkpoint_dir: Option<String>,
 }
 
 impl Database {
@@ -46,6 +50,17 @@ impl Database {
         self.timeout_ticks = ticks;
     }
 
+    /// The active `SET CHECKPOINT` directory, if any.
+    pub fn checkpoint_dir(&self) -> Option<&str> {
+        self.checkpoint_dir.as_deref()
+    }
+
+    /// Programmatic equivalent of `SET CHECKPOINT 'dir'` / `SET CHECKPOINT
+    /// OFF`.
+    pub fn set_checkpoint_dir(&mut self, dir: Option<String>) {
+        self.checkpoint_dir = dir;
+    }
+
     /// The execution-control context queries run under: unlimited unless a
     /// non-zero `SET TIMEOUT` is active.
     fn run_context(&self) -> RunContext {
@@ -60,9 +75,12 @@ impl Database {
     /// empty result with a `rows_affected`-style single cell.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
         match parse(sql)? {
-            Statement::Select(stmt) => {
-                execute_select_ctx(&self.catalog, &stmt, &self.run_context())
-            }
+            Statement::Select(stmt) => crate::exec::execute_select_durable(
+                &self.catalog,
+                &stmt,
+                &self.run_context(),
+                self.checkpoint_dir.as_deref(),
+            ),
             Statement::Explain { analyze, stmt } => {
                 if analyze {
                     crate::exec::explain_analyze_select(&self.catalog, &stmt, &self.run_context())
@@ -80,6 +98,15 @@ impl Database {
                 Ok(QueryResult {
                     columns: vec!["timeout_ticks".to_string()],
                     rows: vec![vec![Value::Int(i64::try_from(ticks).unwrap_or(i64::MAX))]],
+                    interrupted: None,
+                })
+            }
+            Statement::SetCheckpoint(dir) => {
+                let shown = dir.clone().unwrap_or_else(|| "OFF".to_string());
+                self.checkpoint_dir = dir;
+                Ok(QueryResult {
+                    columns: vec!["checkpoint_dir".to_string()],
+                    rows: vec![vec![Value::Str(shown)]],
                     interrupted: None,
                 })
             }

@@ -96,6 +96,21 @@ pub fn execute_select_ctx(
     stmt: &SelectStmt,
     ctx: &RunContext,
 ) -> Result<QueryResult> {
+    execute_select_durable(cat, stmt, ctx, None)
+}
+
+/// [`execute_select_ctx`] with an optional checkpoint directory: when set,
+/// the aggregate-skyline step runs through the durable
+/// [`aggsky_core::checkpoint_step`] driver — its partition is persisted as
+/// a crash-consistent frame under `checkpoint` and recovered (resumed, or
+/// served outright when already complete) on re-execution of the same
+/// query over the same data.
+pub fn execute_select_durable(
+    cat: &Catalog,
+    stmt: &SelectStmt,
+    ctx: &RunContext,
+    checkpoint: Option<&str>,
+) -> Result<QueryResult> {
     let select_span = ctx.obs().map_or(0, |rec| rec.span_start("select", 0, Stamp::ZERO));
     // ---- resolve FROM ----
     let mut tables = Vec::with_capacity(stmt.from.len());
@@ -228,6 +243,7 @@ pub fn execute_select_ctx(
                 &proj_exprs,
                 &order_exprs,
                 ctx,
+                checkpoint,
                 &mut interrupted,
             )?
         } else {
@@ -245,6 +261,7 @@ pub fn execute_select_ctx(
             &proj_exprs,
             &order_exprs,
             ctx,
+            checkpoint,
             &mut interrupted,
         )?
     } else {
@@ -688,6 +705,7 @@ fn scan_grouped(
     proj_exprs: &[RExpr],
     order_exprs: &[(RExpr, SortDir)],
     ctx: &RunContext,
+    checkpoint: Option<&str>,
     interrupted: &mut Option<Interruption>,
 ) -> Result<Vec<RowWithKeys>> {
     let mut index: HashMap<String, usize> = HashMap::new();
@@ -774,19 +792,35 @@ fn scan_grouped(
             b.push_group(gi.to_string(), &rows).map_err(|e| SqlError::Eval(e.to_string()))?;
         }
         let ds = b.build().map_err(|e| SqlError::Eval(e.to_string()))?;
-        let opts = aggsky_core::AlgoOptions::exact(gamma);
         // A budget-exhausted (or cancelled) run degrades gracefully: keep
         // only the groups proven to belong to the skyline and record the
         // interruption instead of failing the query.
-        let outcome = aggsky_core::Algorithm::Indexed
-            .run_ctx(&ds, opts, ctx)
-            .map_err(|e| SqlError::Eval(e.to_string()))?;
-        let keep: HashSet<usize> = match outcome {
-            aggsky_core::Outcome::Complete(result) => result.skyline.into_iter().collect(),
-            aggsky_core::Outcome::Interrupted { reason, partial } => {
+        let keep: HashSet<usize> = if let Some(dir) = checkpoint {
+            // Durable path (`SET CHECKPOINT`): persist the partition as a
+            // crash-consistent frame and resume from the newest valid one.
+            // A mismatched fingerprint (different data/γ in the same
+            // directory) is a hard error, not silent degradation.
+            let store = aggsky_core::CheckpointStore::open(std::path::Path::new(dir))
+                .map_err(|e| SqlError::Eval(e.to_string()))?;
+            let out = aggsky_core::checkpoint_step(&ds, gamma, ctx, &store)
+                .map_err(|e| SqlError::Eval(e.to_string()))?;
+            if let Some(reason) = out.interrupt {
                 *interrupted =
-                    Some(Interruption { reason, undecided_groups: partial.undecided.len() });
-                partial.confirmed_in.into_iter().collect()
+                    Some(Interruption { reason, undecided_groups: out.result.undecided.len() });
+            }
+            out.result.confirmed_in.into_iter().collect()
+        } else {
+            let opts = aggsky_core::AlgoOptions::exact(gamma);
+            let outcome = aggsky_core::Algorithm::Indexed
+                .run_ctx(&ds, opts, ctx)
+                .map_err(|e| SqlError::Eval(e.to_string()))?;
+            match outcome {
+                aggsky_core::Outcome::Complete(result) => result.skyline.into_iter().collect(),
+                aggsky_core::Outcome::Interrupted { reason, partial } => {
+                    *interrupted =
+                        Some(Interruption { reason, undecided_groups: partial.undecided.len() });
+                    partial.confirmed_in.into_iter().collect()
+                }
             }
         };
         let mut i = 0;
@@ -868,5 +902,75 @@ mod exec_obs_tests {
         let text: String = r.rows.iter().map(|row| format!("{}\n", row[0])).collect();
         assert!(text.contains("SCAN"), "no scan description: {text}");
         assert!(!text.contains("row(s) returned"), "EXPLAIN must not execute: {text}");
+    }
+}
+
+#[cfg(test)]
+mod checkpoint_tests {
+    use crate::engine::Database;
+
+    fn movie_db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE movie (director TEXT, pop FLOAT, qual FLOAT)").unwrap();
+        db.execute(
+            "INSERT INTO movie VALUES ('T', 313, 8.2), ('T', 557, 9.0), \
+             ('K', 362, 8.8), ('W', 10, 3.2)",
+        )
+        .unwrap();
+        db
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("aggsky-sqlck-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    const SKY: &str =
+        "SELECT director FROM movie GROUP BY director SKYLINE OF pop MAX, qual MAX ORDER BY director";
+
+    #[test]
+    fn set_checkpoint_persists_frames_and_reruns_identically() {
+        let dir = tmpdir("basic");
+        let mut db = movie_db();
+        let plain = db.execute(SKY).unwrap();
+        db.execute(&format!("SET CHECKPOINT '{}'", dir.display())).unwrap();
+        assert_eq!(db.checkpoint_dir(), Some(dir.display().to_string().as_str()));
+        let durable = db.execute(SKY).unwrap();
+        assert_eq!(durable.rows, plain.rows, "durable path changed the skyline");
+        let frames = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "agsk"))
+            .count();
+        assert!(frames > 0, "no frame written under {}", dir.display());
+        // Re-running recovers the complete frame and returns the same rows.
+        let again = db.execute(SKY).unwrap();
+        assert_eq!(again.rows, plain.rows);
+        db.execute("SET CHECKPOINT OFF").unwrap();
+        assert_eq!(db.checkpoint_dir(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budgeted_checkpoint_queries_converge_across_executions() {
+        let dir = tmpdir("budget");
+        let mut db = movie_db();
+        let exact = db.execute(SKY).unwrap();
+        db.execute("SET TIMEOUT 1").unwrap();
+        db.execute(&format!("SET CHECKPOINT '{}'", dir.display())).unwrap();
+        // Each execution advances one budgeted chunk from the durable
+        // frame; the chain must converge to the exact answer.
+        let mut rounds = 0;
+        let converged = loop {
+            let r = db.execute(SKY).unwrap();
+            if r.interrupted.is_none() {
+                break r;
+            }
+            rounds += 1;
+            assert!(rounds < 10_000, "checkpointed resume chain did not converge");
+        };
+        assert_eq!(converged.rows, exact.rows);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -57,7 +57,9 @@ pub use ast::{ColumnType, Statement};
 pub use dump::split_script;
 pub use engine::Database;
 pub use error::{Result, SqlError};
-pub use exec::{execute_select_ctx, explain_analyze_select, Interruption, QueryResult};
+pub use exec::{
+    execute_select_ctx, execute_select_durable, explain_analyze_select, Interruption, QueryResult,
+};
 pub use parser::parse;
 pub use value::Value;
 

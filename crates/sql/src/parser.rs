@@ -117,8 +117,18 @@ impl Parser {
             let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
             Ok(Statement::Delete { table, where_clause })
         } else if self.eat_kw("set") {
-            // `SET` only opens a statement as `SET TIMEOUT n` (inside
-            // UPDATE it is consumed by the UPDATE branch).
+            // `SET` only opens a statement as `SET TIMEOUT n` or
+            // `SET CHECKPOINT 'dir' | OFF` (inside UPDATE it is consumed by
+            // the UPDATE branch).
+            if self.eat_kw("checkpoint") {
+                return match self.bump() {
+                    Token::Str(dir) => Ok(Statement::SetCheckpoint(Some(dir))),
+                    tok if tok.is_kw("off") => Ok(Statement::SetCheckpoint(None)),
+                    other => Err(SqlError::Parse(format!(
+                        "expected a quoted directory or OFF after SET CHECKPOINT, found {other:?}"
+                    ))),
+                };
+            }
             self.expect_kw("timeout")?;
             match self.bump() {
                 Token::Int(n) => match u64::try_from(n) {
@@ -688,5 +698,16 @@ mod tests {
     fn in_list() {
         let s = sel("SELECT a FROM t WHERE a IN (1, 2, 3) AND b NOT IN ('x')");
         assert!(s.where_clause.is_some());
+    }
+
+    #[test]
+    fn set_checkpoint_takes_a_directory_or_off() {
+        assert_eq!(
+            parse("SET CHECKPOINT '/tmp/frames'").unwrap(),
+            Statement::SetCheckpoint(Some("/tmp/frames".into()))
+        );
+        assert_eq!(parse("SET CHECKPOINT OFF").unwrap(), Statement::SetCheckpoint(None));
+        assert!(parse("SET CHECKPOINT").is_err());
+        assert!(parse("SET CHECKPOINT 42").is_err());
     }
 }

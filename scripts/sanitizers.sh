@@ -42,7 +42,7 @@ else
         if CARGO_TARGET_DIR=target/tsan cargo +nightly test -q --offline --target "$target" \
             -p aggsky-core --features chaos,invariants --lib &&
             CARGO_TARGET_DIR=target/tsan cargo +nightly test -q --offline --target "$target" \
-                --features chaos,invariants --test chaos --test execution_control; then
+                --features chaos,invariants --test chaos --test execution_control --test crash_recovery; then
             echo "PASS(tsan)"
         else
             echo "FAIL(tsan): data race or test failure under ThreadSanitizer"
@@ -66,6 +66,25 @@ else
         echo "PASS(miri)"
     else
         echo "FAIL(miri): undefined behavior or test failure under Miri"
+        status=1
+    fi
+fi
+
+echo "== sanitizers: Miri (persist frame codec + checkpoint store) =="
+if ! cargo +nightly miri --version >/dev/null 2>&1; then
+    echo "SKIP(miri-persist): miri component not installed (rustup component add miri --toolchain nightly)"
+else
+    # The checkpoint store writes real files (temp + fsync + rename), so
+    # Miri's default filesystem isolation must be lifted; fsync degrades to
+    # a no-op under Miri, which is fine — the gate checks the codec's and
+    # store's memory model, not crash durability (crash_recovery does that
+    # natively).
+    if CARGO_TARGET_DIR=target/miri \
+        MIRIFLAGS="-Zmiri-disable-isolation" \
+        cargo +nightly miri test -q --offline -p aggsky-core --features invariants persist; then
+        echo "PASS(miri-persist)"
+    else
+        echo "FAIL(miri-persist): undefined behavior or test failure under Miri"
         status=1
     fi
 fi

@@ -54,6 +54,11 @@ skyline options:
                      overrides --algorithm
   --budget TICKS     stop after roughly TICKS record-pair comparisons and
                      print the confirmed partial skyline (0 = unlimited)
+  --checkpoint-dir D persist the run as durable crash-consistent frames under
+                     directory D (uses the resumable anytime engine; combine
+                     with --budget to checkpoint a bounded chunk per run)
+  --resume           recover from the newest valid frame in --checkpoint-dir
+                     instead of starting the directory over
   --rank             also print groups by minimum qualifying gamma
   --trace FILE       record a Chrome trace-event JSON of the run (load it in
                      Perfetto / chrome://tracing)
@@ -125,7 +130,7 @@ impl Flags {
 }
 
 fn skyline_command(args: &[String]) -> Result<String, CliError> {
-    let flags = Flags::parse(args, &["rank", "exact"])?;
+    let flags = Flags::parse(args, &["rank", "exact", "resume"])?;
     let path = flags.require("csv")?;
     let group_col = flags.require("group")?;
     let gamma = Gamma::new(flags.parse_num("gamma", 0.5)?).map_err(|e| e.to_string())?;
@@ -173,6 +178,13 @@ fn skyline_command(args: &[String]) -> Result<String, CliError> {
     };
     let budget: u64 = flags.parse_num("budget", 0u64)?;
     let ctx = if budget == 0 { RunContext::unlimited() } else { RunContext::with_budget(budget) };
+    let ckpt_dir = flags.get("checkpoint-dir").map(str::to_string);
+    if flags.has("resume") && ckpt_dir.is_none() {
+        return Err("--resume requires --checkpoint-dir".to_string());
+    }
+    if ckpt_dir.is_some() && threads.is_some() {
+        return Err("--checkpoint-dir uses the resumable anytime engine; drop --threads".into());
+    }
     let trace_path = flags.get("trace").map(str::to_string);
     let metrics_path = flags.get("metrics").map(str::to_string);
     let recorder =
@@ -181,16 +193,53 @@ fn skyline_command(args: &[String]) -> Result<String, CliError> {
         Some(rec) => ctx.with_recorder(Arc::clone(rec) as Arc<dyn aggsky_obs::Recorder>),
         None => ctx,
     };
-    let (outcome, algo_name) = match threads {
-        Some(t) => (
-            parallel_skyline_ctx(&ds, gamma, t, KernelConfig::blocked(), &ctx)
-                .map_err(|e| e.to_string())?,
-            format!("PAR({} threads)", resolve_threads(t)),
-        ),
-        None => (
-            algorithm.run_ctx(&ds, opts, &ctx).map_err(|e| e.to_string())?,
-            algorithm.short_name().to_string(),
-        ),
+    let (outcome, algo_name) = if let Some(dir) = &ckpt_dir {
+        let store = crate::core::CheckpointStore::open(std::path::Path::new(dir))
+            .map_err(|e| e.to_string())?;
+        if !flags.has("resume") {
+            // A non-resuming run owns the directory: start it over so stale
+            // frames from an earlier dataset cannot be mistaken for ours.
+            store.clear().map_err(|e| e.to_string())?;
+        }
+        let step =
+            crate::core::checkpoint_step(&ds, gamma, &ctx, &store).map_err(|e| e.to_string())?;
+        let r = &step.result;
+        let outcome = if step.is_complete() {
+            Outcome::Complete(crate::core::SkylineResult {
+                skyline: r.confirmed_in.clone(),
+                stats: r.stats,
+            })
+        } else {
+            Outcome::Interrupted {
+                reason: step.interrupt.unwrap_or(crate::core::InterruptReason::BudgetExhausted),
+                partial: r.clone(),
+            }
+        };
+        let mut name = String::from("ANYTIME(durable");
+        match step.resumed_seq {
+            Some(seq) => write!(name, ", resumed frame {seq}").unwrap(),
+            None => name.push_str(", cold start"),
+        }
+        if let Some(seq) = step.saved_seq {
+            write!(name, ", saved frame {seq}").unwrap();
+        }
+        if step.frames_skipped > 0 {
+            write!(name, ", {} torn frame(s) skipped", step.frames_skipped).unwrap();
+        }
+        name.push(')');
+        (outcome, name)
+    } else {
+        match threads {
+            Some(t) => (
+                parallel_skyline_ctx(&ds, gamma, t, KernelConfig::blocked(), &ctx)
+                    .map_err(|e| e.to_string())?,
+                format!("PAR({} threads)", resolve_threads(t)),
+            ),
+            None => (
+                algorithm.run_ctx(&ds, opts, &ctx).map_err(|e| e.to_string())?,
+                algorithm.short_name().to_string(),
+            ),
+        }
     };
 
     let mut out = String::new();
@@ -471,6 +520,131 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("--threads"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_dir_persists_and_resume_recovers() {
+        let dir = std::env::temp_dir().join("aggsky_cli_ckpt");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("data.csv");
+        std::fs::write(&csv, "shop,price,rating\na,10,4\na,12,5\nb,30,3\nc,9,2\n").unwrap();
+        let frames = dir.join("frames");
+        let base = run_command(&s(&[
+            "skyline",
+            "--csv",
+            csv.to_str().unwrap(),
+            "--group",
+            "shop",
+            "--exact",
+        ]))
+        .unwrap();
+        let members = |text: &str| -> Vec<String> {
+            text.lines().filter(|l| l.starts_with("  ")).map(|l| l.trim().to_string()).collect()
+        };
+        let durable = run_command(&s(&[
+            "skyline",
+            "--csv",
+            csv.to_str().unwrap(),
+            "--group",
+            "shop",
+            "--checkpoint-dir",
+            frames.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(durable.contains("ANYTIME(durable, cold start, saved frame"), "{durable}");
+        assert_eq!(members(&durable), members(&base));
+        // Resuming serves the completed partition from the durable frame.
+        let resumed = run_command(&s(&[
+            "skyline",
+            "--csv",
+            csv.to_str().unwrap(),
+            "--group",
+            "shop",
+            "--checkpoint-dir",
+            frames.to_str().unwrap(),
+            "--resume",
+        ]))
+        .unwrap();
+        assert!(resumed.contains("resumed frame"), "{resumed}");
+        assert_eq!(members(&resumed), members(&base));
+        // Budgeted chunks persist progress and converge across runs: the
+        // first chunk starts the directory over, every later one resumes.
+        let gen = run_command(&s(&[
+            "generate",
+            "--dist",
+            "anti",
+            "--records",
+            "200",
+            "--groups",
+            "8",
+            "--dim",
+            "3",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        let big = dir.join("big.csv");
+        std::fs::write(&big, &gen).unwrap();
+        let big_frames = dir.join("big-frames");
+        let exact = run_command(&s(&[
+            "skyline",
+            "--csv",
+            big.to_str().unwrap(),
+            "--group",
+            "class",
+            "--exact",
+        ]))
+        .unwrap();
+        let mut args = vec![
+            "skyline",
+            "--csv",
+            big.to_str().unwrap(),
+            "--group",
+            "class",
+            "--checkpoint-dir",
+            big_frames.to_str().unwrap(),
+            "--budget",
+            "500",
+        ];
+        let first = run_command(&s(&args)).unwrap();
+        assert!(first.contains("interrupted"), "500 ticks should not finish: {first}");
+        args.push("--resume");
+        let mut rounds = 0;
+        let converged = loop {
+            let out = run_command(&s(&args)).unwrap();
+            if !out.contains("interrupted") {
+                break out;
+            }
+            rounds += 1;
+            assert!(rounds < 1000, "durable CLI chain did not converge");
+        };
+        assert_eq!(members(&converged), members(&exact), "durable chain diverged");
+        // Flag validation.
+        let err = run_command(&s(&[
+            "skyline",
+            "--csv",
+            csv.to_str().unwrap(),
+            "--group",
+            "shop",
+            "--resume",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--resume requires --checkpoint-dir"), "{err}");
+        let err = run_command(&s(&[
+            "skyline",
+            "--csv",
+            csv.to_str().unwrap(),
+            "--group",
+            "shop",
+            "--checkpoint-dir",
+            frames.to_str().unwrap(),
+            "--threads",
+            "2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("drop --threads"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -144,7 +144,7 @@ fn anytime_resume_chain_reaches_the_exact_answer() {
     let mut r = anytime_skyline(&ds, Gamma::DEFAULT, 500);
     let mut rounds = 0;
     while !r.is_complete() {
-        r = anytime_resume(&ds, Gamma::DEFAULT, 500, &r);
+        r = anytime_resume(&ds, Gamma::DEFAULT, 500, &r).expect("in-memory checkpoint is valid");
         rounds += 1;
         assert!(rounds < 100_000, "resume chain did not converge");
     }
