@@ -13,12 +13,16 @@
 //!    `TraceRecorder` attached must finish within `MAX_ENABLED_RATIO` of
 //!    the same run without one. Recording happens per *group* pair while
 //!    the work is per *record* pair, so the real ratio sits near 1.
+//! 3. **Flight recorder** — the always-on bounded ring must cost at most
+//!    `MAX_FLIGHT_RATIO` of the untraced run: each entry is one fixed-size
+//!    copy into a preallocated ring (no allocation, no growth), so the
+//!    bound is deliberately tight (5%).
 //!
 //! Writes the raw numbers to `BENCH_obs.json`.
 //!
 //! Usage: `obs_overhead [records] [repeats]` (defaults 20000, 5).
 
-use aggsky_core::obs::TraceRecorder;
+use aggsky_core::obs::{FlightRecorder, TraceRecorder};
 use aggsky_core::{AlgoOptions, Algorithm, Gamma, KernelConfig, RunContext};
 use aggsky_datagen::{Distribution, SyntheticConfig};
 use std::fmt::Write as _;
@@ -33,6 +37,11 @@ const MAX_NOOP_NS: f64 = 5.0;
 
 /// Upper bound on traced-run wall time over untraced wall time.
 const MAX_ENABLED_RATIO: f64 = 3.0;
+
+/// Upper bound on flight-recorder-enabled wall time over untraced wall
+/// time: the bounded ring is meant to stay attached in production, so its
+/// budget is 5%, not the trace recorder's 3x.
+const MAX_FLIGHT_RATIO: f64 = 1.05;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -64,6 +73,7 @@ fn main() {
 
     let mut t_off = f64::INFINITY;
     let mut t_on = f64::INFINITY;
+    let mut t_flight = f64::INFINITY;
     let mut pairs = 0u64;
     for _ in 0..repeats {
         let start = Instant::now();
@@ -78,14 +88,25 @@ fn main() {
         let start = Instant::now();
         let _ = Algorithm::NestedLoop.run_ctx(&ds, opts, &traced);
         t_on = t_on.min(start.elapsed().as_secs_f64() * 1e3);
+
+        let flight = Arc::new(FlightRecorder::new());
+        let ringed = RunContext::unlimited().with_recorder(flight);
+        let start = Instant::now();
+        let _ = Algorithm::NestedLoop.run_ctx(&ds, opts, &ringed);
+        t_flight = t_flight.min(start.elapsed().as_secs_f64() * 1e3);
     }
     let ratio = t_on / t_off;
+    let flight_ratio = t_flight / t_off;
     let throughput = pairs as f64 / (t_off / 1e3);
     println!(
         "NL/blocked, {} records / {} groups: untraced {t_off:.1} ms ({throughput:.0} record pairs/s), \
          traced {t_on:.1} ms, ratio {ratio:.2}x (bound {MAX_ENABLED_RATIO}x)",
         ds.n_records(),
         ds.n_groups()
+    );
+    println!(
+        "flight recorder attached: {t_flight:.1} ms, ratio {flight_ratio:.2}x \
+         (bound {MAX_FLIGHT_RATIO}x)"
     );
 
     let mut json = String::new();
@@ -97,7 +118,10 @@ fn main() {
     writeln!(json, "  \"record_pairs\": {pairs},").unwrap();
     writeln!(json, "  \"record_pairs_per_sec_untraced\": {throughput:.0},").unwrap();
     writeln!(json, "  \"enabled_ratio\": {ratio:.3},").unwrap();
-    writeln!(json, "  \"enabled_ratio_bound\": {MAX_ENABLED_RATIO}").unwrap();
+    writeln!(json, "  \"enabled_ratio_bound\": {MAX_ENABLED_RATIO},").unwrap();
+    writeln!(json, "  \"flight_millis\": {t_flight:.3},").unwrap();
+    writeln!(json, "  \"flight_ratio\": {flight_ratio:.3},").unwrap();
+    writeln!(json, "  \"flight_ratio_bound\": {MAX_FLIGHT_RATIO}").unwrap();
     writeln!(json, "}}").unwrap();
     std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
     println!("wrote BENCH_obs.json");
@@ -109,6 +133,13 @@ fn main() {
     }
     if ratio > MAX_ENABLED_RATIO {
         eprintln!("FAIL: traced run is {ratio:.2}x the untraced run (bound {MAX_ENABLED_RATIO}x)");
+        failed = true;
+    }
+    if flight_ratio > MAX_FLIGHT_RATIO {
+        eprintln!(
+            "FAIL: flight-recorder run is {flight_ratio:.2}x the untraced run \
+             (bound {MAX_FLIGHT_RATIO}x)"
+        );
         failed = true;
     }
     if failed {

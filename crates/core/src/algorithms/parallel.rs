@@ -501,6 +501,7 @@ fn run_stealing(
                                 ("attempt", u64::from(job.attempts)),
                             ],
                         );
+                        rec.dump("worker_retry");
                     }
                     job.attempts += 1;
                     if job.attempts >= MAX_PAIR_ATTEMPTS {
@@ -515,6 +516,7 @@ fn run_stealing(
                         shared.quarantined.fetch_add(1, Ordering::Relaxed);
                         if let Some(rec) = ctx.obs() {
                             rec.event("quarantine", track, shared.tick_now(), &[]);
+                            rec.dump("worker_quarantine");
                         }
                         break 'outer;
                     }

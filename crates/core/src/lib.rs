@@ -132,8 +132,9 @@ pub use paircount::{
     compare_groups, compare_groups_exhaustive, DomLevel, PairOptions, PairVerdict,
 };
 pub use persist::{
-    checkpoint_step, checkpoint_step_with, run_durable, CheckpointStore, DurableOutcome,
-    Fingerprint, PairEntry, Recovery, SaveReceipt, SkippedFrame, Snapshot,
+    checkpoint_step, checkpoint_step_with, is_regression, render_profile_diff, run_durable,
+    CheckpointStore, DurableOutcome, Fingerprint, PairEntry, ProfileSnapshot, Recovery,
+    SaveReceipt, SkippedFrame, Snapshot,
 };
 #[cfg(feature = "chaos")]
 pub use persist::{IoFaultKind, IoFaultPlan};

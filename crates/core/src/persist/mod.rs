@@ -24,8 +24,10 @@
 
 pub mod crc64;
 pub mod frame;
+pub mod profile;
 pub mod store;
 
+pub use profile::{is_regression, render_profile_diff, ProfileSnapshot};
 pub use store::{CheckpointStore, Recovery, SaveReceipt, SkippedFrame};
 
 #[cfg(feature = "chaos")]
@@ -245,6 +247,11 @@ pub fn checkpoint_step_with(
         Some((seq, snap)) => (snap.partition, Some(seq)),
         None => (None, None),
     };
+    if resumed_seq.is_some() {
+        // Recovery is rare and diagnostic gold: flush the flight ring so
+        // the events leading into the crash survive next to the resume.
+        rec.dump("checkpoint_recovery");
+    }
 
     // A recovered complete partition is final: return it verbatim (its
     // stats are already the cumulative total) and write nothing.

@@ -193,9 +193,14 @@ impl RunContext {
     pub fn poll(&self, ticks: u64) -> Option<InterruptReason> {
         let ticks = self.chaos_ticks(ticks);
         if self.cancelled.load(Ordering::Acquire) {
+            // Flight-recorder black box: the first poll that observes the
+            // interrupt captures the ring (deduped per reason, so the
+            // repeated polls after an interrupt stay free of side effects).
+            self.recorder().dump("cancelled");
             return Some(InterruptReason::Cancelled);
         }
         if ticks >= self.budget {
+            self.recorder().dump("budget_exhausted");
             return Some(InterruptReason::BudgetExhausted);
         }
         None
@@ -211,6 +216,7 @@ impl RunContext {
             if matches!(f.kind(), FaultKind::CorruptCoordinate)
                 && f.try_fire(ticks.saturating_add(f.penalty()))
             {
+                self.recorder().dump("chaos_corrupt");
                 std::mem::swap(&mut verdict.forward, &mut verdict.backward);
             }
         }
@@ -230,6 +236,10 @@ impl RunContext {
         let t = ticks.saturating_add(f.penalty());
         match f.kind() {
             FaultKind::PanicAtPair if f.try_fire(t) => {
+                // Capture the black box before the injected crash unwinds;
+                // the dump must not itself panic (FlightRecorder::dump is
+                // infallible by design).
+                self.recorder().dump("chaos_panic");
                 // The one sanctioned panic of the crate: a deliberately
                 // injected worker fault, compiled in only under `chaos`.
                 panic!("chaos: injected worker panic at virtual tick {t}")

@@ -105,7 +105,8 @@ fn sep(out: &mut String, first: &mut bool) {
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control characters).
-fn escape(s: &str) -> String {
+/// Shared with the flight-recorder and query-log JSON writers.
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

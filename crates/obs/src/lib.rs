@@ -35,19 +35,27 @@
 
 pub mod chrome;
 pub mod clock;
+pub mod flight;
 pub mod metrics;
 pub mod prom;
+pub mod querylog;
 pub mod recorder;
+pub mod sketch;
 pub mod summary;
 
 pub use chrome::export_chrome;
 pub use clock::{ClockDomain, Stamp, WallClock};
+pub use flight::{FlightDump, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use metrics::{
-    bucket_le, bucket_of, Counter, Hist, HistSnapshot, MetricsRegistry, MetricsSnapshot,
+    bucket_le, bucket_of, Counter, Hist, HistSnapshot, MetricsRegistry, MetricsSnapshot, Sketch,
     HIST_BUCKETS,
 };
 pub use prom::{export_prometheus, validate_prometheus};
+pub use querylog::{query_id, QueryJournal, QueryRecord};
 pub use recorder::{
     Args, EventRec, NoopRecorder, Recorder, SpanId, SpanRec, TraceRecorder, TraceSnapshot, NOOP,
+};
+pub use sketch::{
+    sketch_bucket_of, sketch_value_of, SketchSnapshot, SKETCH_BUCKETS, SKETCH_LINEAR_BITS,
 };
 pub use summary::render_summary;

@@ -7,11 +7,18 @@
 //! `name_count`. Bucket boundaries are the log2 upper bounds of
 //! [`crate::metrics::bucket_le`]; empty tail buckets are trimmed (the
 //! `+Inf` bucket always remains), so output size tracks the data.
+//! Quantile sketches export as `summary` families: `name{quantile="…"}`
+//! lines in increasing quantile order (omitted when empty), then
+//! `name_sum` and `name_count`.
 
-use crate::metrics::{bucket_le, Counter, Hist, MetricsSnapshot};
+use crate::metrics::{bucket_le, Counter, Hist, MetricsSnapshot, Sketch};
 use std::fmt::Write as _;
 
-/// Serializes every counter and histogram to Prometheus text format.
+/// The quantiles every sketch exports, as (label, per-mille) pairs.
+const SUMMARY_QUANTILES: [(&str, u64); 3] = [("0.5", 500), ("0.95", 950), ("0.99", 990)];
+
+/// Serializes every counter, histogram, and quantile sketch to Prometheus
+/// text format.
 pub fn export_prometheus(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for c in Counter::ALL {
@@ -35,17 +42,35 @@ pub fn export_prometheus(snap: &MetricsSnapshot) -> String {
         let _ = writeln!(out, "{name}_sum {}", hist.sum);
         let _ = writeln!(out, "{name}_count {}", hist.count);
     }
+    for s in Sketch::ALL {
+        let name = s.name();
+        let sk = snap.sketch(s);
+        let _ = writeln!(out, "# TYPE {name} summary");
+        if sk.count > 0 {
+            for (label, q) in SUMMARY_QUANTILES {
+                if let Some(v) = sk.quantile(q) {
+                    let _ = writeln!(out, "{name}{{quantile=\"{label}\"}} {v}");
+                }
+            }
+            let _ = writeln!(out, "{name}{{quantile=\"1\"}} {}", sk.max);
+        }
+        let _ = writeln!(out, "{name}_sum {}", sk.sum);
+        let _ = writeln!(out, "{name}_count {}", sk.count);
+    }
     out
 }
 
 /// Checks `text` against the subset of the Prometheus exposition format
 /// this crate emits: `# TYPE` declarations before their samples, legal
-/// metric names, integer values, and for histograms monotone cumulative
-/// buckets terminated by `+Inf` with `_count` equal to the `+Inf` bucket.
+/// metric names, integer values, escape-aware label parsing, histograms
+/// with monotone cumulative buckets terminated by `+Inf` and `_count`
+/// equal to the `+Inf` bucket, and summaries with monotone quantile
+/// samples plus `_sum`/`_count`. An empty exposition (or one whose
+/// families all have zero observations) validates.
 pub fn validate_prometheus(text: &str) -> Result<(), String> {
     let mut declared: Vec<(String, String)> = Vec::new();
-    // In-flight histogram check state: (family, prev cumulative, inf seen, count seen).
-    let mut hist: Option<HistCheck> = None;
+    // In-flight compound-family check state (histogram or summary).
+    let mut check: Option<Check> = None;
     for (lineno, line) in text.lines().enumerate() {
         let n = lineno + 1;
         if line.is_empty() {
@@ -59,7 +84,7 @@ pub fn validate_prometheus(text: &str) -> Result<(), String> {
             if parts.next().is_some() {
                 return Err(format!("line {n}: trailing tokens after TYPE"));
             }
-            if !matches!(kind, "counter" | "gauge" | "histogram") {
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary") {
                 return Err(format!("line {n}: unknown metric kind `{kind}`"));
             }
             if !valid_name(name) {
@@ -68,8 +93,12 @@ pub fn validate_prometheus(text: &str) -> Result<(), String> {
             if declared.iter().any(|(d, _)| d == name) {
                 return Err(format!("line {n}: duplicate TYPE for `{name}`"));
             }
-            finish_hist(&hist, n)?;
-            hist = (kind == "histogram").then(|| HistCheck::new(name));
+            finish_check(&check, n)?;
+            check = match kind {
+                "histogram" => Some(Check::Hist(HistCheck::new(name))),
+                "summary" => Some(Check::Summary(SummaryCheck::new(name))),
+                _ => None,
+            };
             declared.push((name.to_string(), kind.to_string()));
             continue;
         }
@@ -83,10 +112,10 @@ pub fn validate_prometheus(text: &str) -> Result<(), String> {
             value.parse().map_err(|_| format!("line {n}: non-integer value `{value}`"))?;
         let (name, labels) = match name_and_labels.split_once('{') {
             Some((name, rest)) => {
-                let labels = rest
+                let raw = rest
                     .strip_suffix('}')
                     .ok_or_else(|| format!("line {n}: unterminated label set"))?;
-                (name, Some(labels))
+                (name, Some(parse_labels(raw, n)?))
             }
             None => (name_and_labels, None),
         };
@@ -94,21 +123,80 @@ pub fn validate_prometheus(text: &str) -> Result<(), String> {
             return Err(format!("line {n}: invalid metric name `{name}`"));
         }
         let family = family_of(name);
-        if !declared.iter().any(|(d, _)| d == family) {
+        if !declared.iter().any(|(d, _)| d == family || d == name) {
             return Err(format!("line {n}: sample `{name}` precedes its TYPE declaration"));
         }
-        if let Some(chk) = hist.as_mut() {
-            if family == chk.family {
-                chk.sample(name, labels, value, n)?;
+        match check.as_mut() {
+            Some(Check::Hist(chk)) if family == chk.family => {
+                chk.sample(name, labels.as_deref(), value, n)?;
                 continue;
             }
+            Some(Check::Summary(chk)) if family == chk.family || name == chk.family => {
+                chk.sample(name, labels.as_deref(), value, n)?;
+                continue;
+            }
+            _ => {}
         }
-        if labels.is_some() {
-            return Err(format!("line {n}: unexpected labels on non-histogram `{name}`"));
+        if labels.is_some_and(|l| !l.is_empty()) {
+            return Err(format!("line {n}: unexpected labels on non-compound `{name}`"));
         }
     }
-    finish_hist(&hist, text.lines().count())?;
+    finish_check(&check, text.lines().count())?;
     Ok(())
+}
+
+/// Parses a brace-stripped label set (`k="v",k2="v2"`), honoring the
+/// exposition-format escapes `\\`, `\"`, and `\n` inside values.
+fn parse_labels(raw: &str, n: usize) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let mut chars = raw.chars().peekable();
+    loop {
+        while matches!(chars.peek(), Some(&',') | Some(&' ')) {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            return Ok(out);
+        }
+        let mut key = String::new();
+        while let Some(c) = chars.peek().copied() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+            chars.next();
+        }
+        if !valid_name(&key) {
+            return Err(format!("line {n}: invalid label name `{key}`"));
+        }
+        if chars.next() != Some('=') {
+            return Err(format!("line {n}: label `{key}` without `=`"));
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("line {n}: unquoted value for label `{key}`"));
+        }
+        let mut val = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('"') => val.push('"'),
+                    Some('\\') => val.push('\\'),
+                    Some('n') => val.push('\n'),
+                    other => {
+                        return Err(format!("line {n}: bad escape {other:?} in label `{key}`"))
+                    }
+                },
+                Some('"') => break,
+                Some(c) => val.push(c),
+                None => return Err(format!("line {n}: unterminated value for label `{key}`")),
+            }
+        }
+        out.push((key, val));
+    }
+}
+
+enum Check {
+    Hist(HistCheck),
+    Summary(SummaryCheck),
 }
 
 struct HistCheck {
@@ -133,18 +221,20 @@ impl HistCheck {
     fn sample(
         &mut self,
         name: &str,
-        labels: Option<&str>,
+        labels: Option<&[(String, String)]>,
         value: u64,
         n: usize,
     ) -> Result<(), String> {
         if name == format!("{}_bucket", self.family) {
             let le = labels
-                .and_then(|l| l.strip_prefix("le=\""))
-                .and_then(|l| l.strip_suffix('"'))
+                .and_then(|l| l.iter().find(|(k, _)| k == "le"))
+                .map(|(_, v)| v.as_str())
                 .ok_or_else(|| format!("line {n}: bucket sample without an le label"))?;
             if self.inf.is_some() {
                 return Err(format!("line {n}: bucket after le=\"+Inf\""));
             }
+            // Cumulative-bucket monotonicity: each bucket must hold at
+            // least as many observations as every earlier one.
             if value < self.prev_cum {
                 return Err(format!(
                     "line {n}: cumulative bucket decreased ({} → {value})",
@@ -168,18 +258,100 @@ impl HistCheck {
     }
 }
 
-fn finish_hist(hist: &Option<HistCheck>, n: usize) -> Result<(), String> {
-    let Some(chk) = hist else { return Ok(()) };
-    let inf = chk
-        .inf
-        .ok_or_else(|| format!("line {n}: histogram `{}` has no +Inf bucket", chk.family))?;
-    if !chk.sum_seen {
-        return Err(format!("line {n}: histogram `{}` has no _sum", chk.family));
+struct SummaryCheck {
+    family: String,
+    prev_quantile_value: u64,
+    count: Option<u64>,
+    sum_seen: bool,
+}
+
+impl SummaryCheck {
+    fn new(family: &str) -> SummaryCheck {
+        SummaryCheck {
+            family: family.to_string(),
+            prev_quantile_value: 0,
+            count: None,
+            sum_seen: false,
+        }
     }
-    match chk.count {
-        Some(c) if c == inf => Ok(()),
-        Some(c) => Err(format!("line {n}: `{}` _count {c} != +Inf bucket {inf}", chk.family)),
-        None => Err(format!("line {n}: histogram `{}` has no _count", chk.family)),
+
+    fn sample(
+        &mut self,
+        name: &str,
+        labels: Option<&[(String, String)]>,
+        value: u64,
+        n: usize,
+    ) -> Result<(), String> {
+        if name == self.family {
+            let q = labels
+                .and_then(|l| l.iter().find(|(k, _)| k == "quantile"))
+                .map(|(_, v)| v.as_str())
+                .ok_or_else(|| format!("line {n}: summary sample without a quantile label"))?;
+            if !valid_quantile(q) {
+                return Err(format!("line {n}: invalid quantile `{q}`"));
+            }
+            // This crate emits quantiles in increasing q, so the reported
+            // values must be non-decreasing.
+            if value < self.prev_quantile_value {
+                return Err(format!(
+                    "line {n}: quantile value decreased ({} → {value})",
+                    self.prev_quantile_value
+                ));
+            }
+            self.prev_quantile_value = value;
+        } else if name == format!("{}_sum", self.family) {
+            self.sum_seen = true;
+        } else if name == format!("{}_count", self.family) {
+            self.count = Some(value);
+        } else {
+            return Err(format!("line {n}: unexpected sample `{name}` inside summary"));
+        }
+        Ok(())
+    }
+}
+
+/// A quantile label must be a decimal in `[0, 1]`: `0`, `1`, `0.…`, or
+/// `1.0…0` (checked lexically — no float arithmetic).
+fn valid_quantile(q: &str) -> bool {
+    let (int, frac) = match q.split_once('.') {
+        Some((i, f)) => (i, Some(f)),
+        None => (q, None),
+    };
+    let frac_ok = frac.is_none_or(|f| !f.is_empty() && f.chars().all(|c| c.is_ascii_digit()));
+    match int {
+        "0" => frac_ok,
+        "1" => frac_ok && frac.is_none_or(|f| f.chars().all(|c| c == '0')),
+        _ => false,
+    }
+}
+
+fn finish_check(check: &Option<Check>, n: usize) -> Result<(), String> {
+    match check {
+        None => Ok(()),
+        Some(Check::Hist(chk)) => {
+            let inf = chk.inf.ok_or_else(|| {
+                format!("line {n}: histogram `{}` has no +Inf bucket", chk.family)
+            })?;
+            if !chk.sum_seen {
+                return Err(format!("line {n}: histogram `{}` has no _sum", chk.family));
+            }
+            match chk.count {
+                Some(c) if c == inf => Ok(()),
+                Some(c) => {
+                    Err(format!("line {n}: `{}` _count {c} != +Inf bucket {inf}", chk.family))
+                }
+                None => Err(format!("line {n}: histogram `{}` has no _count", chk.family)),
+            }
+        }
+        Some(Check::Summary(chk)) => {
+            if !chk.sum_seen {
+                return Err(format!("line {n}: summary `{}` has no _sum", chk.family));
+            }
+            if chk.count.is_none() {
+                return Err(format!("line {n}: summary `{}` has no _count", chk.family));
+            }
+            Ok(())
+        }
     }
 }
 
@@ -238,6 +410,73 @@ mod tests {
     #[test]
     fn export_is_deterministic() {
         assert_eq!(export_prometheus(&sample_snapshot()), export_prometheus(&sample_snapshot()));
+    }
+
+    #[test]
+    fn sketches_export_as_valid_summaries() {
+        let reg = MetricsRegistry::new();
+        for v in 1..=100u64 {
+            reg.observe(Hist::BatchBlockPairs, v);
+        }
+        let text = export_prometheus(&reg.snapshot());
+        validate_prometheus(&text).unwrap();
+        assert!(text.contains("# TYPE aggsky_batch_block_pairs_quantiles summary"));
+        assert!(text.contains("aggsky_batch_block_pairs_quantiles{quantile=\"0.5\"}"));
+        assert!(text.contains("aggsky_batch_block_pairs_quantiles{quantile=\"0.99\"}"));
+        assert!(text.contains("aggsky_batch_block_pairs_quantiles{quantile=\"1\"} 100"));
+        assert!(text.contains("aggsky_batch_block_pairs_quantiles_count 100"));
+        assert!(text.contains("aggsky_batch_block_pairs_quantiles_sum 5050"));
+        // Empty sketches emit only the sum/count pair, which validates too.
+        assert!(text.contains("# TYPE aggsky_query_ticks summary"));
+        assert!(text.contains("aggsky_query_ticks_count 0"));
+    }
+
+    #[test]
+    fn validator_parses_escaped_label_values() {
+        // An escaped quote and backslash inside a label value must not
+        // confuse the label parser (the old strip_prefix parsing did).
+        let ok = "# TYPE h histogram\nh_bucket{job=\"a\\\"b\\\\c\",le=\"3\"} 2\n\
+                  h_bucket{le=\"+Inf\"} 2\nh_sum 4\nh_count 2\n";
+        validate_prometheus(ok).unwrap();
+        let labels = parse_labels("job=\"a\\\"b\\\\c\",le=\"3\"", 1).unwrap();
+        assert_eq!(labels[0], ("job".to_string(), "a\"b\\c".to_string()));
+        assert_eq!(labels[1], ("le".to_string(), "3".to_string()));
+        assert!(parse_labels("le=\"unterminated", 1).is_err());
+        assert!(parse_labels("le=unquoted", 1).is_err());
+        assert!(parse_labels("le=\"bad\\x\"", 1).is_err());
+        assert!(parse_labels("9bad=\"v\"", 1).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_malformed_summaries() {
+        // Quantile values must be non-decreasing in emission order.
+        let bad = "# TYPE s summary\ns{quantile=\"0.5\"} 9\ns{quantile=\"0.99\"} 3\n\
+                   s_sum 12\ns_count 2\n";
+        assert!(validate_prometheus(bad).is_err());
+        // A quantile label outside [0, 1] is invalid.
+        let bad2 = "# TYPE s summary\ns{quantile=\"1.5\"} 9\ns_sum 9\ns_count 1\n";
+        assert!(validate_prometheus(bad2).is_err());
+        // Missing _count.
+        let bad3 = "# TYPE s summary\ns{quantile=\"0.5\"} 9\ns_sum 9\n";
+        assert!(validate_prometheus(bad3).is_err());
+        // Missing _sum.
+        let bad4 = "# TYPE s summary\ns{quantile=\"0.5\"} 9\ns_count 1\n";
+        assert!(validate_prometheus(bad4).is_err());
+        // A summary with no observations still validates.
+        validate_prometheus("# TYPE s summary\ns_sum 0\ns_count 0\n").unwrap();
+        assert!(valid_quantile("0.95"));
+        assert!(valid_quantile("1"));
+        assert!(valid_quantile("1.000"));
+        assert!(!valid_quantile("1.01"));
+        assert!(!valid_quantile("2"));
+        assert!(!valid_quantile("0."));
+        assert!(!valid_quantile(".5"));
+    }
+
+    #[test]
+    fn empty_exposition_validates() {
+        validate_prometheus("").unwrap();
+        validate_prometheus("\n\n").unwrap();
     }
 
     #[test]

@@ -47,6 +47,13 @@ pub trait Recorder: Send + Sync {
 
     /// Records one histogram observation.
     fn observe(&self, hist: Hist, value: u64);
+
+    /// Asks the recorder to persist a black-box snapshot of recent
+    /// activity, tagged with the failure `reason` (`"budget_exhausted"`,
+    /// `"chaos_panic"`, `"worker_retry"`, …). The default is a no-op; the
+    /// flight recorder renders its ring and dedupes per reason, so hot
+    /// paths may call this unconditionally on every failure edge.
+    fn dump(&self, _reason: &'static str) {}
 }
 
 /// The disabled recorder: every method is a no-op. Use the shared

@@ -6,7 +6,7 @@
 //! deterministic for deterministic recordings.
 
 use crate::clock::ClockDomain;
-use crate::metrics::{Counter, Hist};
+use crate::metrics::{Counter, Hist, Sketch};
 use crate::recorder::{SpanRec, TraceSnapshot};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -62,6 +62,24 @@ pub fn render_summary(snap: &TraceSnapshot) -> String {
                 h.name(),
                 snap_h.count,
                 snap_h.sum
+            );
+        }
+    }
+    let sketched: Vec<Sketch> =
+        Sketch::ALL.into_iter().filter(|s| snap.metrics.sketch(*s).count > 0).collect();
+    if !sketched.is_empty() {
+        out.push_str("sketches:\n");
+        for s in sketched {
+            let sk = snap.metrics.sketch(s);
+            let p50 = sk.quantile(500).unwrap_or(0);
+            let p95 = sk.quantile(950).unwrap_or(0);
+            let p99 = sk.quantile(990).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  {} count={} p50={p50} p95={p95} p99={p99} max={}",
+                s.name(),
+                sk.count,
+                sk.max
             );
         }
     }
@@ -145,6 +163,26 @@ mod tests {
     #[test]
     fn empty_snapshot_renders_empty() {
         assert_eq!(render_summary(&TraceSnapshot::empty()), "");
+    }
+
+    #[test]
+    fn renders_checkpoint_counters_and_sketches() {
+        let rec = TraceRecorder::new();
+        rec.add(Counter::CheckpointSaves, 3);
+        rec.add(Counter::CheckpointLoads, 1);
+        rec.add(Counter::CheckpointFramesSkipped, 2);
+        rec.observe(Hist::CheckpointFrameBytes, 4096);
+        for v in 1..=50u64 {
+            rec.observe(Hist::BatchBlockPairs, v);
+        }
+        let text = render_summary(&rec.snapshot());
+        assert!(text.contains("aggsky_checkpoint_saves_total = 3"));
+        assert!(text.contains("aggsky_checkpoint_loads_total = 1"));
+        assert!(text.contains("aggsky_checkpoint_frames_skipped_total = 2"));
+        assert!(text.contains("aggsky_checkpoint_frame_bytes count=1 sum=4096"));
+        assert!(text.contains("sketches:"));
+        assert!(text.contains("aggsky_batch_block_pairs_quantiles count=50"));
+        assert!(text.contains("max=50"));
     }
 
     #[test]

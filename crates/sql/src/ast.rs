@@ -365,6 +365,10 @@ pub enum Statement {
     /// subsequent queries as durable frames under `dir`, resuming from the
     /// newest valid frame; `SET CHECKPOINT OFF` (the default) disables it.
     SetCheckpoint(Option<String>),
+    /// `SET SLOW_QUERY n` — flags subsequent statements whose skyline step
+    /// spends `n` or more record-pair ticks in the structured query log
+    /// (`0` = disabled, the default).
+    SetSlowQuery(u64),
     /// `UPDATE name SET col = expr, ... [WHERE expr]`.
     Update {
         /// Target table.

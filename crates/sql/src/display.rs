@@ -236,6 +236,7 @@ impl fmt::Display for Statement {
                 Some(d) => write!(f, "SET CHECKPOINT '{}'", d.replace('\'', "''")),
                 None => write!(f, "SET CHECKPOINT OFF"),
             },
+            Statement::SetSlowQuery(ticks) => write!(f, "SET SLOW_QUERY {ticks}"),
             Statement::Delete { table, where_clause } => {
                 write!(f, "DELETE FROM {table}")?;
                 if let Some(w) = where_clause {

@@ -1,6 +1,6 @@
 //! The `Database` façade: parse + execute statements against a catalog.
 
-use crate::ast::{ColumnType, Statement};
+use crate::ast::{ColumnType, SelectStmt, Statement};
 use crate::catalog::{Catalog, Column};
 use crate::error::{Result, SqlError};
 use crate::exec::{execute_select, QueryResult};
@@ -8,6 +8,8 @@ use crate::parser::parse;
 use crate::plan::{eval, RExpr};
 use crate::value::Value;
 use aggsky_core::RunContext;
+use aggsky_obs::{query_id, Counter, QueryJournal, QueryRecord, TraceRecorder, WallClock};
+use std::sync::Arc;
 
 /// An in-memory SQL database.
 ///
@@ -31,6 +33,15 @@ pub struct Database {
     /// each query is persisted as durable frames there and resumed from
     /// the newest valid frame on re-execution.
     checkpoint_dir: Option<String>,
+    /// The structured query log: one [`QueryRecord`] per executed
+    /// statement. Shared (`Arc`) so clones of the database journal into
+    /// the same log.
+    journal: Arc<QueryJournal>,
+    /// 0-based sequence number of the next statement (feeds [`query_id`]).
+    executed: u64,
+    /// When true, journal records carry wall-clock durations. Off by
+    /// default so the JSONL export stays byte-identical across runs.
+    record_wall_time: bool,
 }
 
 impl Database {
@@ -73,18 +84,67 @@ impl Database {
 
     /// Parses and executes one statement. DDL/DML statements return an
     /// empty result with a `rows_affected`-style single cell.
+    ///
+    /// Every successful execution appends one [`QueryRecord`] to the
+    /// structured [`Database::journal`]: deterministic query id, plan
+    /// shape, γ, counters harvested from a per-statement trace recorder,
+    /// and the interrupted/slow flags. Parse and execution errors are not
+    /// journaled (there is no completed statement to describe).
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
-        match parse(sql)? {
-            Statement::Select(stmt) => crate::exec::execute_select_durable(
-                &self.catalog,
-                &stmt,
-                &self.run_context(),
-                self.checkpoint_dir.as_deref(),
-            ),
+        let stmt = parse(sql)?;
+        let seq = self.executed;
+        self.executed += 1;
+        let text = sql.trim();
+        let mut record = QueryRecord {
+            query_id: query_id(seq, text),
+            seq,
+            sql: text.to_string(),
+            budget: self.timeout_ticks,
+            kernel: "default".to_string(),
+            ..QueryRecord::default()
+        };
+        let clock = if self.record_wall_time { Some(WallClock::start()) } else { None };
+        let result = self.dispatch(stmt, &mut record)?;
+        record.rows_out = u64::try_from(result.rows.len()).unwrap_or(u64::MAX);
+        record.interrupted = result.interrupted.is_some();
+        record.wall_micros = clock.map(|c| c.elapsed_micros());
+        self.journal.push(record);
+        Ok(result)
+    }
+
+    /// Executes one parsed statement, filling the journal record's
+    /// statement-specific fields as a side effect.
+    fn dispatch(&mut self, stmt: Statement, record: &mut QueryRecord) -> Result<QueryResult> {
+        match stmt {
+            Statement::Select(stmt) => {
+                record.kind = "select";
+                record.plan = plan_shape(&stmt);
+                record.gamma_permille = gamma_permille(&stmt);
+                let rec = Arc::new(TraceRecorder::new());
+                let ctx = self.run_context().with_recorder(rec.clone());
+                let result = crate::exec::execute_select_durable(
+                    &self.catalog,
+                    &stmt,
+                    &ctx,
+                    self.checkpoint_dir.as_deref(),
+                )?;
+                harvest_counters(record, &rec.snapshot());
+                Ok(result)
+            }
             Statement::Explain { analyze, stmt } => {
+                record.plan = plan_shape(&stmt);
+                record.gamma_permille = gamma_permille(&stmt);
                 if analyze {
-                    crate::exec::explain_analyze_select(&self.catalog, &stmt, &self.run_context())
+                    record.kind = "explain_analyze";
+                    let (result, snap) = crate::exec::explain_analyze_select_with(
+                        &self.catalog,
+                        &stmt,
+                        &self.run_context(),
+                    )?;
+                    harvest_counters(record, &snap);
+                    Ok(result)
                 } else {
+                    record.kind = "explain";
                     let text = crate::exec::explain_select(&self.catalog, &stmt)?;
                     Ok(QueryResult {
                         columns: vec!["EXPLAIN".to_string()],
@@ -94,7 +154,9 @@ impl Database {
                 }
             }
             Statement::SetTimeout(ticks) => {
+                record.kind = "set";
                 self.timeout_ticks = ticks;
+                record.budget = ticks;
                 Ok(QueryResult {
                     columns: vec!["timeout_ticks".to_string()],
                     rows: vec![vec![Value::Int(i64::try_from(ticks).unwrap_or(i64::MAX))]],
@@ -102,6 +164,7 @@ impl Database {
                 })
             }
             Statement::SetCheckpoint(dir) => {
+                record.kind = "set";
                 let shown = dir.clone().unwrap_or_else(|| "OFF".to_string());
                 self.checkpoint_dir = dir;
                 Ok(QueryResult {
@@ -110,12 +173,23 @@ impl Database {
                     interrupted: None,
                 })
             }
+            Statement::SetSlowQuery(ticks) => {
+                record.kind = "set";
+                self.journal.set_slow_threshold_ticks(ticks);
+                Ok(QueryResult {
+                    columns: vec!["slow_query_ticks".to_string()],
+                    rows: vec![vec![Value::Int(i64::try_from(ticks).unwrap_or(i64::MAX))]],
+                    interrupted: None,
+                })
+            }
             Statement::CreateTable { name, columns } => {
+                record.kind = "ddl";
                 let cols = columns.into_iter().map(|(name, ty)| Column { name, ty }).collect();
                 self.catalog.create(&name, cols)?;
                 Ok(ddl_result(0))
             }
             Statement::Insert { table, columns, source } => {
+                record.kind = "dml";
                 let n = match source {
                     crate::ast::InsertSource::Values(rows) => {
                         self.insert_ast_rows(&table, columns.as_deref(), rows)?
@@ -128,18 +202,39 @@ impl Database {
                 Ok(ddl_result(n))
             }
             Statement::DropTable(name) => {
+                record.kind = "ddl";
                 self.catalog.drop(&name)?;
                 Ok(ddl_result(0))
             }
             Statement::Delete { table, where_clause } => {
+                record.kind = "dml";
                 let n = self.delete_rows(&table, where_clause.as_ref())?;
                 Ok(ddl_result(n))
             }
             Statement::Update { table, sets, where_clause } => {
+                record.kind = "dml";
                 let n = self.update_rows(&table, &sets, where_clause.as_ref())?;
                 Ok(ddl_result(n))
             }
         }
+    }
+
+    /// The structured query log this database journals into.
+    pub fn journal(&self) -> &QueryJournal {
+        &self.journal
+    }
+
+    /// A shareable handle to the query log (clones journal into the same
+    /// log).
+    pub fn journal_handle(&self) -> Arc<QueryJournal> {
+        self.journal.clone()
+    }
+
+    /// Enables or disables wall-clock durations in journal records.
+    /// Disabled by default: the JSONL export is byte-identical across
+    /// same-seed runs only without wall times.
+    pub fn set_record_wall_time(&mut self, on: bool) {
+        self.record_wall_time = on;
     }
 
     /// Compiles an expression against one table's schema (no aggregates, no
@@ -380,5 +475,145 @@ fn ddl_result(rows_affected: usize) -> QueryResult {
         columns: vec!["rows_affected".to_string()],
         rows: vec![vec![Value::Int(i64::try_from(rows_affected).unwrap_or(i64::MAX))]],
         interrupted: None,
+    }
+}
+
+/// A compact deterministic plan-shape label for the query log, e.g.
+/// `scan(movie)+filter+group+skyline(d=2)+sort`.
+fn plan_shape(stmt: &SelectStmt) -> String {
+    let tables: Vec<&str> = stmt.from.iter().map(|t| t.name.as_str()).collect();
+    let mut parts = vec![format!("scan({})", tables.join(","))];
+    if stmt.where_clause.is_some() {
+        parts.push("filter".to_string());
+    }
+    if !stmt.group_by.is_empty() {
+        parts.push("group".to_string());
+    }
+    if stmt.having.is_some() {
+        parts.push("having".to_string());
+    }
+    if let Some(sky) = &stmt.skyline {
+        parts.push(format!("skyline(d={})", sky.items.len()));
+    }
+    if !stmt.order_by.is_empty() {
+        parts.push("sort".to_string());
+    }
+    if stmt.limit.is_some() {
+        parts.push("limit".to_string());
+    }
+    parts.join("+")
+}
+
+/// The statement's γ threshold in per-mille, `None` without a skyline
+/// clause. Uses the sanctioned saturating float→int conversion (lint L3).
+fn gamma_permille(stmt: &SelectStmt) -> Option<u64> {
+    let sky = stmt.skyline.as_ref()?;
+    let g = sky.gamma.unwrap_or(0.5);
+    Some(u64::try_from(aggsky_core::num::floor_usize(g * 1000.0 + 0.5)).unwrap_or(u64::MAX))
+}
+
+/// Copies the counters a query record self-describes with out of the
+/// statement's trace snapshot.
+fn harvest_counters(record: &mut QueryRecord, snap: &aggsky_obs::TraceSnapshot) {
+    let c = |counter| snap.metrics.counter(counter);
+    record.ticks = c(Counter::RecordPairs);
+    record.cache_hits = c(Counter::CacheHits);
+    record.cache_misses = c(Counter::CacheMisses);
+    record.blocks_full = c(Counter::BlocksFull);
+    record.blocks_skipped = c(Counter::BlocksSkipped);
+    record.rows_scanned = c(Counter::SqlRowsScanned);
+    record.groups_built = c(Counter::SqlGroupsBuilt);
+}
+
+#[cfg(test)]
+mod journal_tests {
+    use super::*;
+
+    fn movie_db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE movie (director TEXT, pop FLOAT, qual FLOAT)").unwrap();
+        db.execute(
+            "INSERT INTO movie VALUES ('T', 313, 8.2), ('T', 557, 9.0), \
+             ('K', 362, 8.8), ('W', 10, 3.2)",
+        )
+        .unwrap();
+        db
+    }
+
+    const SKYLINE: &str = "SELECT director FROM movie \
+         GROUP BY director SKYLINE OF pop MAX, qual MAX GAMMA 0.75";
+
+    #[test]
+    fn journal_describes_every_statement() {
+        let mut db = movie_db();
+        db.execute(SKYLINE).unwrap();
+        let records = db.journal().records();
+        assert_eq!(records.len(), 3, "ddl + dml + select all journaled");
+        assert_eq!(records[0].kind, "ddl");
+        assert_eq!(records[1].kind, "dml");
+        let sel = &records[2];
+        assert_eq!(sel.kind, "select");
+        assert_eq!(sel.seq, 2);
+        assert_eq!(sel.query_id, query_id(2, SKYLINE));
+        assert_eq!(sel.plan, "scan(movie)+group+skyline(d=2)");
+        assert_eq!(sel.gamma_permille, Some(750));
+        assert!(sel.ticks > 0, "aggregate skyline spends record pairs");
+        assert!(sel.rows_scanned >= 4, "scan counter harvested: {}", sel.rows_scanned);
+        assert!(sel.groups_built >= 3, "group counter harvested: {}", sel.groups_built);
+        assert_eq!(sel.rows_out, 2);
+        assert!(!sel.interrupted);
+        assert!(sel.wall_micros.is_none(), "wall time off by default");
+    }
+
+    #[test]
+    fn set_slow_query_flags_expensive_statements() {
+        let mut db = movie_db();
+        let r = db.execute("SET SLOW_QUERY 1").unwrap();
+        assert_eq!(r.columns, vec!["slow_query_ticks".to_string()]);
+        assert_eq!(db.journal().slow_threshold_ticks(), 1);
+        db.execute(SKYLINE).unwrap();
+        let slow = db.journal().slow_records();
+        assert_eq!(slow.len(), 1, "only the skyline select is slow");
+        assert_eq!(slow[0].kind, "select");
+        // Statement text round-trips through the parser's display form.
+        assert_eq!(
+            crate::parser::parse("SET SLOW_QUERY 9").unwrap().to_string(),
+            "SET SLOW_QUERY 9"
+        );
+    }
+
+    #[test]
+    fn journal_jsonl_is_deterministic_across_sessions() {
+        let run = || {
+            let mut db = movie_db();
+            db.execute("SET SLOW_QUERY 5").unwrap();
+            db.execute(SKYLINE).unwrap();
+            db.execute("EXPLAIN ANALYZE SELECT director FROM movie WHERE pop > 100").unwrap();
+            db.journal().export_jsonl()
+        };
+        let a = run();
+        assert_eq!(a, run(), "same script, same bytes");
+        assert_eq!(a.lines().count(), 5);
+        assert!(a.contains("\"kind\":\"explain_analyze\""), "{a}");
+        assert!(!a.contains("wall_micros"), "default export carries no wall time");
+    }
+
+    #[test]
+    fn wall_time_is_recorded_only_when_enabled() {
+        let mut db = movie_db();
+        db.set_record_wall_time(true);
+        db.execute("SELECT director FROM movie").unwrap();
+        let last = db.journal().records().pop().unwrap();
+        assert!(last.wall_micros.is_some());
+    }
+
+    #[test]
+    fn clones_share_one_journal() {
+        let mut db = movie_db();
+        let mut other = db.clone();
+        other.execute("SELECT director FROM movie").unwrap();
+        assert_eq!(db.journal().len(), 3, "clone journaled into the shared log");
+        db.execute("SELECT pop FROM movie").unwrap();
+        assert_eq!(other.journal().len(), 4);
     }
 }

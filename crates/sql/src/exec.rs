@@ -315,6 +315,16 @@ pub fn explain_analyze_select(
     stmt: &SelectStmt,
     ctx: &RunContext,
 ) -> Result<QueryResult> {
+    explain_analyze_select_with(cat, stmt, ctx).map(|(result, _)| result)
+}
+
+/// [`explain_analyze_select`] also returning the recorded trace snapshot,
+/// so the engine can journal the measured counters alongside the report.
+pub fn explain_analyze_select_with(
+    cat: &Catalog,
+    stmt: &SelectStmt,
+    ctx: &RunContext,
+) -> Result<(QueryResult, aggsky_obs::TraceSnapshot)> {
     let rec = Arc::new(TraceRecorder::new());
     let traced = ctx.clone().with_recorder(rec.clone());
     let result = execute_select_ctx(cat, stmt, &traced)?;
@@ -329,11 +339,12 @@ pub fn explain_analyze_select(
         ));
     }
     let rows = text.lines().map(|l| vec![Value::Str(l.to_string())]).collect();
-    Ok(QueryResult {
+    let report = QueryResult {
         columns: vec!["EXPLAIN ANALYZE".to_string()],
         rows,
         interrupted: result.interrupted,
-    })
+    };
+    Ok((report, rec.snapshot()))
 }
 
 /// Builds the EXPLAIN description for a SELECT (shared logic with

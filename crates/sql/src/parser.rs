@@ -117,15 +117,28 @@ impl Parser {
             let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
             Ok(Statement::Delete { table, where_clause })
         } else if self.eat_kw("set") {
-            // `SET` only opens a statement as `SET TIMEOUT n` or
-            // `SET CHECKPOINT 'dir' | OFF` (inside UPDATE it is consumed by
-            // the UPDATE branch).
+            // `SET` only opens a statement as `SET TIMEOUT n`,
+            // `SET CHECKPOINT 'dir' | OFF` or `SET SLOW_QUERY n` (inside
+            // UPDATE it is consumed by the UPDATE branch).
             if self.eat_kw("checkpoint") {
                 return match self.bump() {
                     Token::Str(dir) => Ok(Statement::SetCheckpoint(Some(dir))),
                     tok if tok.is_kw("off") => Ok(Statement::SetCheckpoint(None)),
                     other => Err(SqlError::Parse(format!(
                         "expected a quoted directory or OFF after SET CHECKPOINT, found {other:?}"
+                    ))),
+                };
+            }
+            if self.eat_kw("slow_query") {
+                return match self.bump() {
+                    Token::Int(n) => match u64::try_from(n) {
+                        Ok(ticks) => Ok(Statement::SetSlowQuery(ticks)),
+                        Err(_) => {
+                            Err(SqlError::Parse("SET SLOW_QUERY must be non-negative".into()))
+                        }
+                    },
+                    other => Err(SqlError::Parse(format!(
+                        "expected a tick threshold after SET SLOW_QUERY, found {other:?}"
                     ))),
                 };
             }
@@ -709,5 +722,14 @@ mod tests {
         assert_eq!(parse("SET CHECKPOINT OFF").unwrap(), Statement::SetCheckpoint(None));
         assert!(parse("SET CHECKPOINT").is_err());
         assert!(parse("SET CHECKPOINT 42").is_err());
+    }
+
+    #[test]
+    fn set_slow_query_takes_a_tick_threshold() {
+        assert_eq!(parse("SET SLOW_QUERY 500").unwrap(), Statement::SetSlowQuery(500));
+        assert_eq!(parse("set slow_query 0").unwrap(), Statement::SetSlowQuery(0));
+        assert!(parse("SET SLOW_QUERY").is_err());
+        assert!(parse("SET SLOW_QUERY 'fast'").is_err());
+        assert!(parse("SET SLOW_QUERY -1").is_err());
     }
 }

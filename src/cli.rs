@@ -12,12 +12,15 @@
 //! * `sql FILE...` — execute semicolon-separated SQL statements from files
 //!   (use `-` for stdin), printing each result table.
 
-use crate::core::{parallel_skyline_ctx, ranked_skyline, resolve_threads, KernelConfig};
+use crate::core::{
+    parallel_skyline_ctx, ranked_skyline, render_profile_diff, resolve_threads, KernelConfig,
+    ProfileSnapshot,
+};
 use crate::{AlgoOptions, Algorithm, Direction, Gamma, Outcome, Pruning, RunContext};
 use aggsky_datagen::{
     parse_grouped_csv, to_grouped_csv, Distribution, GroupSizes, SyntheticConfig,
 };
-use aggsky_obs::{export_chrome, export_prometheus, TraceRecorder};
+use aggsky_obs::{export_chrome, export_prometheus, Counter, FlightRecorder, Hist, TraceRecorder};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -30,6 +33,7 @@ pub fn run_command(args: &[String]) -> Result<String, CliError> {
         Some("skyline") => skyline_command(&args[1..]),
         Some("generate") => generate_command(&args[1..]),
         Some("sql") => sql_command(&args[1..]),
+        Some("profile") => profile_command(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => Ok(usage()),
         Some(other) => Err(format!("unknown subcommand {other:?}\n\n{}", usage())),
     }
@@ -43,7 +47,8 @@ aggsky — aggregate skyline queries (EDBT 2013 reproduction)
 USAGE:
   aggsky skyline --csv FILE --group COL [options]   compute an aggregate skyline
   aggsky generate --dist DIST --records N [options] emit a synthetic dataset as CSV
-  aggsky sql FILE...                                run SQL statements (- = stdin)
+  aggsky sql [--querylog FILE] FILE...              run SQL statements (- = stdin)
+  aggsky profile diff OLD NEW [--threshold PCT]     compare two profile snapshots
 
 skyline options:
   --gamma G          dominance threshold in [0.5, 1] (default 0.5)
@@ -64,6 +69,19 @@ skyline options:
                      Perfetto / chrome://tracing)
   --metrics FILE     write the run's counters and histograms in Prometheus
                      text exposition format
+  --profile FILE     save a versioned profile snapshot (counters, span
+                     totals, sketch quantiles) for later `profile diff`
+  --flight DIR       attach the always-on flight recorder; interrupts and
+                     faults auto-dump the recent-event ring as Chrome-trace
+                     JSON under DIR (mutually exclusive with --trace/--metrics)
+
+sql options:
+  --querylog FILE    write the structured query log (one JSON record per
+                     statement) as JSON Lines
+
+profile diff options:
+  --threshold PCT    flag counters/spans that grew more than PCT percent
+                     (default 10)
 
 generate options:
   --dist DIST        anti | ind | corr
@@ -187,11 +205,28 @@ fn skyline_command(args: &[String]) -> Result<String, CliError> {
     }
     let trace_path = flags.get("trace").map(str::to_string);
     let metrics_path = flags.get("metrics").map(str::to_string);
-    let recorder =
-        (trace_path.is_some() || metrics_path.is_some()).then(|| Arc::new(TraceRecorder::new()));
-    let ctx = match &recorder {
-        Some(rec) => ctx.with_recorder(Arc::clone(rec) as Arc<dyn aggsky_obs::Recorder>),
-        None => ctx,
+    let profile_path = flags.get("profile").map(str::to_string);
+    let flight_dir = flags.get("flight").map(str::to_string);
+    if flight_dir.is_some()
+        && (trace_path.is_some() || metrics_path.is_some() || profile_path.is_some())
+    {
+        return Err(
+            "--flight replaces the full trace recorder; drop --trace/--metrics/--profile".into()
+        );
+    }
+    let recorder = (trace_path.is_some() || metrics_path.is_some() || profile_path.is_some())
+        .then(|| Arc::new(TraceRecorder::new()));
+    let flight = flight_dir.as_ref().map(|dir| {
+        Arc::new(
+            FlightRecorder::with_capacity(aggsky_obs::DEFAULT_FLIGHT_CAPACITY).with_dump_dir(dir),
+        )
+    });
+    let ctx = if let Some(f) = &flight {
+        ctx.with_recorder(Arc::clone(f) as Arc<dyn aggsky_obs::Recorder>)
+    } else if let Some(rec) = &recorder {
+        ctx.with_recorder(Arc::clone(rec) as Arc<dyn aggsky_obs::Recorder>)
+    } else {
+        ctx
     };
     let (outcome, algo_name) = if let Some(dir) = &ckpt_dir {
         let store = crate::core::CheckpointStore::open(std::path::Path::new(dir))
@@ -296,6 +331,21 @@ fn skyline_command(args: &[String]) -> Result<String, CliError> {
     .unwrap();
     if let Some(rec) = &recorder {
         let snapshot = rec.snapshot();
+        // Surface the durable-checkpoint counters (core `Stats` has no
+        // checkpoint fields — they live only in the metric registry).
+        let saves = snapshot.metrics.counter(Counter::CheckpointSaves);
+        let loads = snapshot.metrics.counter(Counter::CheckpointLoads);
+        let torn = snapshot.metrics.counter(Counter::CheckpointFramesSkipped);
+        if saves + loads + torn > 0 {
+            let frames = snapshot.metrics.hist(Hist::CheckpointFrameBytes);
+            writeln!(
+                out,
+                "(checkpoints: {saves} saved, {loads} loaded, {torn} torn skipped; frame bytes: \
+                 count={} sum={})",
+                frames.count, frames.sum
+            )
+            .unwrap();
+        }
         if let Some(path) = &trace_path {
             std::fs::write(path, export_chrome(&snapshot)).map_err(|e| format!("{path}: {e}"))?;
             writeln!(out, "trace written to {path}").unwrap();
@@ -305,6 +355,21 @@ fn skyline_command(args: &[String]) -> Result<String, CliError> {
                 .map_err(|e| format!("{path}: {e}"))?;
             writeln!(out, "metrics written to {path}").unwrap();
         }
+        if let Some(path) = &profile_path {
+            ProfileSnapshot::from_trace(&snapshot)
+                .save(std::path::Path::new(path))
+                .map_err(|e| e.to_string())?;
+            writeln!(out, "profile written to {path}").unwrap();
+        }
+    }
+    if let (Some(f), Some(dir)) = (&flight, &flight_dir) {
+        writeln!(
+            out,
+            "flight recorder: {} entries retained, {} dump(s) under {dir}",
+            f.ring_len(),
+            f.dumps().len()
+        )
+        .unwrap();
     }
     if flags.has("rank") {
         writeln!(out, "\ngroups by minimum qualifying gamma:").unwrap();
@@ -350,12 +415,27 @@ fn generate_command(args: &[String]) -> Result<String, CliError> {
 }
 
 fn sql_command(args: &[String]) -> Result<String, CliError> {
-    if args.is_empty() {
+    // `--querylog FILE` may appear anywhere; everything else is a script
+    // path (`-` = stdin).
+    let mut querylog_path: Option<String> = None;
+    let mut files: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--querylog" {
+            let v = args.get(i + 1).ok_or_else(|| "--querylog expects a value".to_string())?;
+            querylog_path = Some(v.clone());
+            i += 2;
+        } else {
+            files.push(&args[i]);
+            i += 1;
+        }
+    }
+    if files.is_empty() {
         return Err("sql: expected at least one file (or - for stdin)".into());
     }
     let mut db = crate::Database::new();
     let mut out = String::new();
-    for path in args {
+    for path in files {
         let text = if path == "-" {
             use std::io::Read;
             let mut buf = String::new();
@@ -370,7 +450,38 @@ fn sql_command(args: &[String]) -> Result<String, CliError> {
             out.push('\n');
         }
     }
+    if let Some(path) = &querylog_path {
+        std::fs::write(path, db.journal().export_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+        writeln!(out, "query log ({} statement(s)) written to {path}", db.journal().len()).unwrap();
+    }
     Ok(out)
+}
+
+/// `aggsky profile diff OLD NEW [--threshold PCT]`: load two persisted
+/// profile snapshots and print per-counter / per-span deltas, flagging
+/// relative regressions past the threshold.
+fn profile_command(args: &[String]) -> Result<String, CliError> {
+    match args.first().map(String::as_str) {
+        Some("diff") => {
+            let old_path = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| "profile diff: expected OLD snapshot path".to_string())?;
+            let new_path = args
+                .get(2)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| "profile diff: expected NEW snapshot path".to_string())?;
+            let flags = Flags::parse(&args[3..], &[])?;
+            let threshold: u64 = flags.parse_num("threshold", 10u64)?;
+            let old =
+                ProfileSnapshot::load(std::path::Path::new(old_path)).map_err(|e| e.to_string())?;
+            let new =
+                ProfileSnapshot::load(std::path::Path::new(new_path)).map_err(|e| e.to_string())?;
+            let (text, _regressions) = render_profile_diff(&old, &new, threshold);
+            Ok(text)
+        }
+        _ => Err(format!("profile: expected `diff OLD NEW [--threshold PCT]`\n\n{}", usage())),
+    }
 }
 
 #[cfg(test)]
@@ -678,6 +789,184 @@ mod tests {
         let prom_text = std::fs::read_to_string(&prom).unwrap();
         aggsky_obs::validate_prometheus(&prom_text).unwrap();
         assert!(prom_text.contains("aggsky_record_pairs_total"), "{prom_text}");
+    }
+
+    #[test]
+    fn profile_flag_saves_snapshot_and_diff_flags_regressions() {
+        let dir = std::env::temp_dir().join("aggsky_cli_profile");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let small = dir.join("small.csv");
+        std::fs::write(&small, "shop,price,rating\na,10,4\na,12,5\nb,30,3\nc,9,2\n").unwrap();
+        let gen = run_command(&s(&[
+            "generate",
+            "--dist",
+            "anti",
+            "--records",
+            "400",
+            "--groups",
+            "10",
+            "--dim",
+            "3",
+            "--seed",
+            "11",
+        ]))
+        .unwrap();
+        let big = dir.join("big.csv");
+        std::fs::write(&big, &gen).unwrap();
+        let prof_a = dir.join("a.prof");
+        let prof_b = dir.join("b.prof");
+        let out = run_command(&s(&[
+            "skyline",
+            "--csv",
+            small.to_str().unwrap(),
+            "--group",
+            "shop",
+            "--profile",
+            prof_a.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("profile written to"), "{out}");
+        run_command(&s(&[
+            "skyline",
+            "--csv",
+            big.to_str().unwrap(),
+            "--group",
+            "class",
+            "--profile",
+            prof_b.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Identical snapshots: zero regressions.
+        let same = run_command(&s(&[
+            "profile",
+            "diff",
+            prof_a.to_str().unwrap(),
+            prof_a.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(same.contains("regressions: 0"), "{same}");
+        // The 400-record anti-correlated run does strictly more pair work:
+        // the diff must flag the growth.
+        let diff = run_command(&s(&[
+            "profile",
+            "diff",
+            prof_a.to_str().unwrap(),
+            prof_b.to_str().unwrap(),
+            "--threshold",
+            "25",
+        ]))
+        .unwrap();
+        assert!(diff.contains("aggsky_record_pairs_total"), "{diff}");
+        assert!(diff.contains("REGRESSION"), "{diff}");
+        assert!(!diff.contains("regressions: 0"), "{diff}");
+        // Bad invocations.
+        assert!(run_command(&s(&["profile"])).unwrap_err().contains("diff OLD NEW"));
+        assert!(run_command(&s(&["profile", "diff", "only-one"]))
+            .unwrap_err()
+            .contains("expected NEW snapshot"));
+        let err = run_command(&s(&[
+            "profile",
+            "diff",
+            small.to_str().unwrap(),
+            prof_a.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("corrupt"), "CSV is not a profile: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flight_flag_dumps_on_budget_interrupt() {
+        let dir = std::env::temp_dir().join("aggsky_cli_flight");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let gen = run_command(&s(&[
+            "generate",
+            "--dist",
+            "anti",
+            "--records",
+            "300",
+            "--groups",
+            "8",
+            "--dim",
+            "3",
+            "--seed",
+            "13",
+        ]))
+        .unwrap();
+        let csv = dir.join("data.csv");
+        std::fs::write(&csv, &gen).unwrap();
+        let dumps = dir.join("dumps");
+        let out = run_command(&s(&[
+            "skyline",
+            "--csv",
+            csv.to_str().unwrap(),
+            "--group",
+            "class",
+            "--budget",
+            "200",
+            "--flight",
+            dumps.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("interrupted (budget exhausted)"), "{out}");
+        assert!(out.contains("flight recorder:"), "{out}");
+        assert!(out.contains("1 dump(s)"), "{out}");
+        let dump_path = dumps.join("flight-000-budget_exhausted.json");
+        let json = std::fs::read_to_string(&dump_path).unwrap();
+        assert!(json.starts_with("[\n"), "dump is a Chrome-trace array: {json}");
+        assert!(json.contains("budget_exhausted") || json.contains("\"ph\""), "{json}");
+        // --flight excludes the full-trace exports.
+        let err = run_command(&s(&[
+            "skyline",
+            "--csv",
+            csv.to_str().unwrap(),
+            "--group",
+            "class",
+            "--flight",
+            dumps.to_str().unwrap(),
+            "--trace",
+            dir.join("t.json").to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--flight"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sql_querylog_flag_writes_deterministic_jsonl() {
+        let dir = std::env::temp_dir().join("aggsky_cli_querylog");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let script = dir.join("script.sql");
+        std::fs::write(
+            &script,
+            "CREATE TABLE m (d TEXT, p FLOAT, q FLOAT);\n\
+             INSERT INTO m VALUES ('a', 1, 9), ('a', 2, 8), ('b', 5, 5), ('c', 0, 0);\n\
+             SET SLOW_QUERY 1;\n\
+             SELECT d FROM m GROUP BY d SKYLINE OF p MAX, q MAX;",
+        )
+        .unwrap();
+        let log = dir.join("queries.jsonl");
+        let run = || {
+            let out = run_command(&s(&[
+                "sql",
+                "--querylog",
+                log.to_str().unwrap(),
+                script.to_str().unwrap(),
+            ]))
+            .unwrap();
+            assert!(out.contains("query log (4 statement(s)) written to"), "{out}");
+            std::fs::read_to_string(&log).unwrap()
+        };
+        let a = run();
+        assert_eq!(a, run(), "same script, same query-log bytes");
+        assert_eq!(a.lines().count(), 4);
+        assert!(a.contains("\"kind\":\"select\""), "{a}");
+        assert!(a.contains("\"slow\":true"), "skyline select crosses the 1-tick threshold: {a}");
+        assert!(a.contains("skyline(d=2)"), "{a}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -213,6 +213,44 @@ fn pair_granular_panic_mid_batch_is_retried_without_double_charging() {
 }
 
 #[test]
+fn injected_worker_panic_dumps_the_flight_ring() {
+    // The black box must survive the crash it records: a panic fault fired
+    // on a worker thread dumps the flight ring *before* unwinding, so the
+    // dump carries the events leading into the injected crash. The retry
+    // that follows dumps again under its own reason; each reason is
+    // captured at most once per recorder.
+    use aggsky::core::obs::FlightRecorder;
+    use std::sync::Arc;
+
+    let ds = dataset(SEEDS[0]);
+    let flight = Arc::new(FlightRecorder::new());
+    let plan = FaultPlan::panic_at_pair(0);
+    let ctx = RunContext::unlimited().with_fault(plan).with_recorder(flight.clone());
+    let outcome = parallel_skyline_ctx(&ds, Gamma::DEFAULT, 2, KernelConfig::blocked(), &ctx)
+        .expect("panic fault is retried, not fatal");
+    assert!(matches!(outcome, Outcome::Complete(_)), "retried run must complete");
+    assert_eq!(ctx.fault().expect("plan installed").fired(), 1);
+
+    let dumps = flight.dumps();
+    let panic_dump = dumps
+        .iter()
+        .find(|d| d.reason == "chaos_panic")
+        .expect("injected panic must flush the flight ring");
+    assert!(panic_dump.json.starts_with("[\n"), "dump is a Chrome-trace JSON array");
+    assert!(panic_dump.json.trim_end().ends_with(']'), "dump array unterminated");
+    assert!(
+        dumps.iter().any(|d| d.reason == "worker_retry"),
+        "the retry that follows the panic dumps under its own reason: {:?}",
+        dumps.iter().map(|d| d.reason).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        dumps.iter().filter(|d| d.reason == "chaos_panic").count(),
+        1,
+        "each reason dumps at most once"
+    );
+}
+
+#[test]
 fn corrupt_coordinate_fault_visibly_changes_a_verdict() {
     // Negative control on a rigged two-group dataset: the high group
     // dominates the low one, so the exact skyline is {high}. Corrupting the

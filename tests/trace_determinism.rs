@@ -5,7 +5,9 @@
 //! with the virtual tick clock, never wall time, so this holds across
 //! machines and reruns.
 
-use aggsky::core::obs::{export_chrome, export_prometheus, render_summary, TraceRecorder};
+use aggsky::core::obs::{
+    export_chrome, export_prometheus, render_summary, FlightRecorder, TraceRecorder,
+};
 use aggsky::core::{AlgoOptions, Algorithm, KernelConfig, RunContext};
 use aggsky::datagen::Rng64;
 use aggsky::{Gamma, GroupedDataset, GroupedDatasetBuilder};
@@ -91,6 +93,58 @@ fn trace_structure_is_pinned() {
     aggsky::core::obs::validate_prometheus(&prom).unwrap();
     assert!(summary.contains("IN"), "algorithm span missing from summary:\n{summary}");
     assert!(summary.contains("counters:"), "counters section missing:\n{summary}");
+}
+
+#[test]
+fn same_seed_flight_dumps_are_byte_identical() {
+    // A budget-exhausted run auto-dumps the flight ring; the dump is a
+    // pure function of (dataset, options, budget) because every entry is
+    // tick-stamped.
+    let ds = random_dataset(95, 16, 6);
+    let opts =
+        AlgoOptions { kernel: KernelConfig::blocked(), ..AlgoOptions::exact(Gamma::DEFAULT) };
+    let run = || {
+        let flight = Arc::new(FlightRecorder::new());
+        let ctx = RunContext::with_budget(300).with_recorder(flight.clone());
+        let _ = Algorithm::Indexed.run_ctx(&ds, opts, &ctx).unwrap();
+        let dumps = flight.dumps();
+        assert_eq!(dumps.len(), 1, "budget exhaustion dumps exactly once");
+        assert_eq!(dumps[0].reason, "budget_exhausted");
+        dumps[0].json.clone()
+    };
+    let a = run();
+    assert_eq!(a, run(), "same-seed flight dumps diverged");
+    assert!(a.contains("\"ph\":\"B\"") || a.contains("\"ph\":\"i\""), "ring held no events: {a}");
+    assert!(!a.contains("\"cat\":\"wall\""), "wall stamps on the counting path: {a}");
+}
+
+#[test]
+fn sketch_quantiles_are_deterministic_and_pinned() {
+    // The paired BatchBlockPairs sketch (fed by the scheduler's batch
+    // loop) must replay exactly and answer quantiles deterministically
+    // across identical 1-worker runs.
+    let ds = random_dataset(96, 14, 6);
+    let run = || {
+        let rec = Arc::new(TraceRecorder::new());
+        let ctx = RunContext::unlimited().with_recorder(rec.clone());
+        let _ = aggsky::core::parallel_skyline_ctx(
+            &ds,
+            Gamma::DEFAULT,
+            1,
+            KernelConfig::blocked(),
+            &ctx,
+        )
+        .unwrap();
+        rec.snapshot().metrics.sketch(aggsky::core::obs::metrics::Sketch::BatchBlockPairs)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.count, b.count);
+    assert_eq!(a.max, b.max);
+    assert_eq!(a.quantile(500), b.quantile(500));
+    assert_eq!(a.quantile(990), b.quantile(990));
+    assert!(a.count > 0, "blocked kernel feeds the batch sketch");
+    assert!(a.quantile(500).unwrap() <= a.max);
 }
 
 #[test]
