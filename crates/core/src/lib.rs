@@ -65,6 +65,8 @@
 //! * [`persist`] — durable crash-consistent checkpoints: CRC-64 frame
 //!   codec, atomic temp+fsync+rename store with graceful degradation, and
 //!   the fingerprint-bound durable anytime drivers.
+//! * [`service`] — epoch-based live serving: lock-free snapshot readers, a
+//!   single incremental writer with atomic publication, durable epochs.
 
 #![warn(missing_docs)]
 
@@ -94,6 +96,7 @@ pub mod properties;
 pub mod ranking;
 pub mod record_skyline;
 pub mod runctx;
+pub mod service;
 pub mod simd;
 pub mod skyband;
 pub mod skycube;
@@ -115,7 +118,7 @@ pub use anytime::{
 };
 pub use dataset::{GroupId, GroupedDataset, GroupedDatasetBuilder};
 pub use dominance::{compare, dominates, Direction, DomRelation};
-pub use dynamic::DynamicAggregateSkyline;
+pub use dynamic::{DynSkyline, DynamicAggregateSkyline, FlushReport};
 pub use error::{Error, Result};
 pub use explain::{
     explain_membership, pair_contribution, stars_of, Membership, PairContribution, Threat,
@@ -143,6 +146,7 @@ pub use ranking::{min_gamma_per_group, ranked_skyline, RankedGroup};
 pub use runctx::{CancelToken, InterruptReason, Outcome, RunContext};
 #[cfg(feature = "chaos")]
 pub use runctx::{FaultKind, FaultPlan};
+pub use service::{Epoch, EpochReceipt, ServeRecovery, SkylineService, WriteBatch, WriteOp};
 pub use skyband::{k_skyband, top_k_robust};
 pub use skycube::{skycube, Skycube, SubspaceSkyline};
 pub use stats::Stats;

@@ -180,39 +180,20 @@ impl PreparedDataset {
         let mut mbbs = Vec::with_capacity(n_groups);
         let mut order: Vec<(f64, usize)> = Vec::new();
         for g in ds.group_ids() {
-            order.clear();
-            order.extend(ds.records(g).enumerate().map(|(i, r)| (r.iter().sum::<f64>(), i)));
-            // Descending sum; ties broken by original index so the layout is
-            // deterministic regardless of the sort implementation.
-            order.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-            let base = values.len();
-            for &(s, i) in order.iter() {
-                sums.push(s);
-                values.extend_from_slice(ds.record(g, i));
-            }
+            let mbb = append_sorted_group(
+                ds,
+                g,
+                dim,
+                block_size,
+                &mut values,
+                &mut sums,
+                &mut block_min,
+                &mut block_max,
+                &mut order,
+            );
             offsets.push(values.len() / dim);
-            let len = order.len();
-            let rows = &values[base..];
-            let mut g_min = vec![f64::INFINITY; dim];
-            let mut g_max = vec![f64::NEG_INFINITY; dim];
-            for start in (0..len).step_by(block_size) {
-                let end = (start + block_size).min(len);
-                let at = block_min.len();
-                block_min.resize(at + dim, f64::INFINITY);
-                block_max.resize(at + dim, f64::NEG_INFINITY);
-                for r in rows[start * dim..end * dim].chunks_exact(dim) {
-                    for d in 0..dim {
-                        block_min[at + d] = block_min[at + d].min(r[d]);
-                        block_max[at + d] = block_max[at + d].max(r[d]);
-                    }
-                }
-                for d in 0..dim {
-                    g_min[d] = g_min[d].min(block_min[at + d]);
-                    g_max[d] = g_max[d].max(block_max[at + d]);
-                }
-            }
             block_offsets.push(block_min.len() / dim);
-            mbbs.push(Mbb { min: g_min, max: g_max });
+            mbbs.push(mbb);
         }
         let lanes = block_size <= MAX_LANE_BLOCK;
         // Rounding the lane stride (not the block size) up to the vector
@@ -236,6 +217,123 @@ impl PreparedDataset {
             keys,
             lanes,
             lane_width,
+        };
+        crate::invariants::check_prepared(ds, &prep);
+        Ok(prep)
+    }
+
+    /// Rebuilds the preparation for `ds`, a dataset in which only the
+    /// groups flagged in `dirty` changed since this preparation was built.
+    /// Clean groups' sorted rows, block corners and columnar key lanes are
+    /// copied wholesale; only dirty groups pay the `O(n log n)` sort and
+    /// lane materialization — the epoch writer's fast path
+    /// ([`crate::dynamic`] serving layer).
+    ///
+    /// A flagged-clean group whose length nonetheless differs from the
+    /// preparation's is treated as dirty (defensive; the copy would be
+    /// incoherent). Flagged-clean groups with *equal* length but different
+    /// content are the caller's contract violation — caught by
+    /// [`crate::invariants::check_prepared`] under the `invariants`
+    /// feature, garbage-in-garbage-out otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] when `ds`'s group count or
+    /// dimensionality differs from this preparation's, or when `dirty` is
+    /// not one flag per group.
+    pub fn rebuild_dirty(&self, ds: &GroupedDataset, dirty: &[bool]) -> Result<PreparedDataset> {
+        if ds.n_groups() != self.n_groups() || ds.dim() != self.dim || dirty.len() != ds.n_groups()
+        {
+            return Err(Error::InvalidArgument(format!(
+                "dirty rebuild shape mismatch: dataset has {} groups of dim {}, preparation \
+                 has {} of dim {}, {} dirty flags",
+                ds.n_groups(),
+                ds.dim(),
+                self.n_groups(),
+                self.dim,
+                dirty.len()
+            )));
+        }
+        let dim = self.dim;
+        let block_size = self.block_size;
+        let mut values = Vec::with_capacity(ds.n_records() * dim);
+        let mut sums = Vec::with_capacity(ds.n_records());
+        let mut offsets = Vec::with_capacity(self.n_groups() + 1);
+        offsets.push(0);
+        let mut block_offsets = Vec::with_capacity(self.n_groups() + 1);
+        block_offsets.push(0);
+        let mut block_min = Vec::new();
+        let mut block_max = Vec::new();
+        let mut mbbs = Vec::with_capacity(self.n_groups());
+        let mut order: Vec<(f64, usize)> = Vec::new();
+        let mut rebuilt: Vec<bool> = Vec::with_capacity(self.n_groups());
+        for g in ds.group_ids() {
+            let clean = !dirty[g] && ds.group_len(g) == self.group_len(g);
+            rebuilt.push(!clean);
+            if clean {
+                let (r0, r1) = (self.offsets[g], self.offsets[g + 1]);
+                values.extend_from_slice(&self.values[r0 * dim..r1 * dim]);
+                sums.extend_from_slice(&self.sums[r0..r1]);
+                let (b0, b1) = (self.block_offsets[g], self.block_offsets[g + 1]);
+                block_min.extend_from_slice(&self.block_min[b0 * dim..b1 * dim]);
+                block_max.extend_from_slice(&self.block_max[b0 * dim..b1 * dim]);
+                mbbs.push(self.mbbs[g].clone());
+            } else {
+                let mbb = append_sorted_group(
+                    ds,
+                    g,
+                    dim,
+                    block_size,
+                    &mut values,
+                    &mut sums,
+                    &mut block_min,
+                    &mut block_max,
+                    &mut order,
+                );
+                mbbs.push(mbb);
+            }
+            offsets.push(values.len() / dim);
+            block_offsets.push(block_min.len() / dim);
+        }
+        let keys = if self.lanes {
+            let stride = (dim + 1) * self.lane_width;
+            let total_blocks = block_offsets[block_offsets.len() - 1];
+            let mut keys = vec![0i64; total_blocks * stride];
+            for g in ds.group_ids() {
+                let dst = block_offsets[g] * stride..block_offsets[g + 1] * stride;
+                if rebuilt[g] {
+                    fill_group_lanes(
+                        &mut keys[dst],
+                        dim,
+                        block_size,
+                        self.lane_width,
+                        &values,
+                        &sums,
+                        offsets[g],
+                        offsets[g + 1],
+                    );
+                } else {
+                    let src = self.block_offsets[g] * stride..self.block_offsets[g + 1] * stride;
+                    keys[dst].copy_from_slice(&self.keys[src]);
+                }
+            }
+            keys
+        } else {
+            Vec::new()
+        };
+        let prep = PreparedDataset {
+            dim,
+            block_size,
+            values,
+            sums,
+            offsets,
+            block_offsets,
+            block_min,
+            block_max,
+            mbbs,
+            keys,
+            lanes: self.lanes,
+            lane_width: self.lane_width,
         };
         crate::invariants::check_prepared(ds, &prep);
         Ok(prep)
@@ -346,6 +444,56 @@ impl PreparedDataset {
     }
 }
 
+/// Sorts group `g` of `ds` by descending coordinate sum and appends its
+/// rows, sums and per-block bounding corners to the accumulators, returning
+/// the group's bounding box. `order` is scratch reused across calls. Shared
+/// by [`PreparedDataset::build`] (every group) and
+/// [`PreparedDataset::rebuild_dirty`] (dirty groups only).
+#[allow(clippy::too_many_arguments)]
+fn append_sorted_group(
+    ds: &GroupedDataset,
+    g: GroupId,
+    dim: usize,
+    block_size: usize,
+    values: &mut Vec<f64>,
+    sums: &mut Vec<f64>,
+    block_min: &mut Vec<f64>,
+    block_max: &mut Vec<f64>,
+    order: &mut Vec<(f64, usize)>,
+) -> Mbb {
+    order.clear();
+    order.extend(ds.records(g).enumerate().map(|(i, r)| (r.iter().sum::<f64>(), i)));
+    // Descending sum; ties broken by original index so the layout is
+    // deterministic regardless of the sort implementation.
+    order.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    let base = values.len();
+    for &(s, i) in order.iter() {
+        sums.push(s);
+        values.extend_from_slice(ds.record(g, i));
+    }
+    let len = order.len();
+    let rows = &values[base..];
+    let mut g_min = vec![f64::INFINITY; dim];
+    let mut g_max = vec![f64::NEG_INFINITY; dim];
+    for start in (0..len).step_by(block_size) {
+        let end = (start + block_size).min(len);
+        let at = block_min.len();
+        block_min.resize(at + dim, f64::INFINITY);
+        block_max.resize(at + dim, f64::NEG_INFINITY);
+        for r in rows[start * dim..end * dim].chunks_exact(dim) {
+            for d in 0..dim {
+                block_min[at + d] = block_min[at + d].min(r[d]);
+                block_max[at + d] = block_max[at + d].max(r[d]);
+            }
+        }
+        for d in 0..dim {
+            g_min[d] = g_min[d].min(block_min[at + d]);
+            g_max[d] = g_max[d].max(block_max[at + d]);
+        }
+    }
+    Mbb { min: g_min, max: g_max }
+}
+
 /// Fills the columnar key lanes: for each block, `dim` coordinate lanes and
 /// one sum lane of `lane_width` keys each (the block size rounded up to
 /// [`LANE_VECTOR`]), live slots holding [`crate::dominance::sort_key`] of
@@ -370,27 +518,53 @@ fn build_lane_keys(
     let total_blocks = block_offsets[block_offsets.len() - 1];
     let mut keys = vec![0i64; total_blocks * stride];
     for g in 0..offsets.len() - 1 {
-        let g_start = offsets[g];
-        let g_end = offsets[g + 1];
-        for (b, start) in (g_start..g_end).step_by(block_size).enumerate() {
-            let end = (start + block_size).min(g_end);
-            let base = (block_offsets[g] + b) * stride;
-            for (j, row) in (start..end).enumerate() {
-                for d in 0..dim {
-                    keys[base + d * lane_width + j] =
-                        crate::dominance::sort_key(values[row * dim + d]);
-                }
-                keys[base + dim * lane_width + j] = crate::dominance::sort_key(sums[row]);
+        fill_group_lanes(
+            &mut keys[block_offsets[g] * stride..block_offsets[g + 1] * stride],
+            dim,
+            block_size,
+            lane_width,
+            values,
+            sums,
+            offsets[g],
+            offsets[g + 1],
+        );
+    }
+    keys
+}
+
+/// Fills one group's slice of the key-lane buffer (see [`build_lane_keys`]
+/// for the layout). `g_start..g_end` is the group's row range into the
+/// global `values`/`sums`; `keys` is exactly the group's
+/// `n_blocks * (dim + 1) * lane_width` lane slots.
+#[allow(clippy::too_many_arguments)]
+fn fill_group_lanes(
+    keys: &mut [i64],
+    dim: usize,
+    block_size: usize,
+    lane_width: usize,
+    values: &[f64],
+    sums: &[f64],
+    g_start: usize,
+    g_end: usize,
+) {
+    let stride = (dim + 1) * lane_width;
+    debug_assert_eq!(keys.len(), (g_end - g_start).div_ceil(block_size) * stride);
+    for (b, start) in (g_start..g_end).step_by(block_size).enumerate() {
+        let end = (start + block_size).min(g_end);
+        let base = b * stride;
+        for (j, row) in (start..end).enumerate() {
+            for d in 0..dim {
+                keys[base + d * lane_width + j] = crate::dominance::sort_key(values[row * dim + d]);
             }
-            for j in (end - start)..lane_width {
-                keys[base + j] = i64::MAX;
-                for d in 1..=dim {
-                    keys[base + d * lane_width + j] = i64::MIN;
-                }
+            keys[base + dim * lane_width + j] = crate::dominance::sort_key(sums[row]);
+        }
+        for j in (end - start)..lane_width {
+            keys[base + j] = i64::MAX;
+            for d in 1..=dim {
+                keys[base + d * lane_width + j] = i64::MIN;
             }
         }
     }
-    keys
 }
 
 #[cfg(test)]
@@ -502,6 +676,96 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Asserts two preparations are bit-identical in every field.
+    fn assert_same_prep(a: &PreparedDataset, b: &PreparedDataset) {
+        assert_eq!(a.dim, b.dim);
+        assert_eq!(a.block_size, b.block_size);
+        assert_eq!(a.values, b.values);
+        assert_eq!(a.sums, b.sums);
+        assert_eq!(a.offsets, b.offsets);
+        assert_eq!(a.block_offsets, b.block_offsets);
+        assert_eq!(a.block_min, b.block_min);
+        assert_eq!(a.block_max, b.block_max);
+        assert_eq!(a.mbbs, b.mbbs);
+        assert_eq!(a.keys, b.keys);
+        assert_eq!(a.lanes, b.lanes);
+        assert_eq!(a.lane_width, b.lane_width);
+    }
+
+    #[test]
+    fn dirty_rebuild_matches_full_build() {
+        let before = random_dataset(9, 8, 3, 2024);
+        // Mutate groups 2 and 6: drop a record from one, grow the other.
+        let mut b = crate::dataset::GroupedDatasetBuilder::new(3);
+        for g in before.group_ids() {
+            let mut rows: Vec<Vec<f64>> = before.records(g).map(|r| r.to_vec()).collect();
+            if g == 2 {
+                rows.pop();
+            }
+            if g == 6 {
+                rows.push(vec![9.5, 0.25, 4.0]);
+                rows.push(vec![1.0, 1.0, 1.0]);
+            }
+            b.push_group(before.label(g), &rows).unwrap();
+        }
+        let after = b.build().unwrap();
+        let mut dirty = vec![false; before.n_groups()];
+        dirty[2] = true;
+        dirty[6] = true;
+        for block_size in [1, 4, MAX_LANE_BLOCK + 1] {
+            let prep = PreparedDataset::build(&before, block_size).unwrap();
+            let rebuilt = prep.rebuild_dirty(&after, &dirty).unwrap();
+            assert_same_prep(&rebuilt, &PreparedDataset::build(&after, block_size).unwrap());
+        }
+    }
+
+    #[test]
+    fn dirty_rebuild_with_no_dirty_groups_is_a_copy() {
+        let ds = random_dataset(6, 5, 2, 7);
+        let prep = PreparedDataset::build(&ds, 4).unwrap();
+        let rebuilt = prep.rebuild_dirty(&ds, &vec![false; ds.n_groups()]).unwrap();
+        assert_same_prep(&rebuilt, &prep);
+    }
+
+    #[test]
+    fn dirty_rebuild_treats_length_changes_as_dirty_even_when_unflagged() {
+        let before = random_dataset(4, 6, 2, 11);
+        let mut b = crate::dataset::GroupedDatasetBuilder::new(2);
+        for g in before.group_ids() {
+            let mut rows: Vec<Vec<f64>> = before.records(g).map(|r| r.to_vec()).collect();
+            if g == 1 {
+                rows.push(vec![50.0, 50.0]);
+            }
+            b.push_group(before.label(g), &rows).unwrap();
+        }
+        let after = b.build().unwrap();
+        let prep = PreparedDataset::build(&before, 4).unwrap();
+        // Group 1 grew but is (wrongly) flagged clean; the length guard
+        // must rebuild it anyway.
+        let rebuilt = prep.rebuild_dirty(&after, &vec![false; after.n_groups()]).unwrap();
+        assert_same_prep(&rebuilt, &PreparedDataset::build(&after, 4).unwrap());
+    }
+
+    #[test]
+    fn dirty_rebuild_rejects_shape_mismatches() {
+        let ds = random_dataset(5, 4, 3, 3);
+        let prep = PreparedDataset::build(&ds, 4).unwrap();
+        let fewer = random_dataset(4, 4, 3, 3);
+        assert!(matches!(
+            prep.rebuild_dirty(&fewer, &[false; 4]),
+            Err(crate::error::Error::InvalidArgument(_))
+        ));
+        let other_dim = random_dataset(5, 4, 2, 3);
+        assert!(matches!(
+            prep.rebuild_dirty(&other_dim, &[false; 5]),
+            Err(crate::error::Error::InvalidArgument(_))
+        ));
+        assert!(matches!(
+            prep.rebuild_dirty(&ds, &[false; 3]),
+            Err(crate::error::Error::InvalidArgument(_))
+        ));
     }
 
     #[test]

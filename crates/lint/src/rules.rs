@@ -106,6 +106,8 @@ const COUNTING_PATHS: &[&str] = &[
     "crates/core/src/paircache.rs",
     "crates/core/src/sweep.rs",
     "crates/core/src/prepared.rs",
+    "crates/core/src/dynamic.rs",
+    "crates/core/src/service.rs",
     "crates/core/src/matrix.rs",
     "crates/core/src/mbb.rs",
     "crates/core/src/algorithms/",

@@ -65,11 +65,20 @@ pub enum Counter {
     /// Frames found on disk that failed validation and were degraded past
     /// during recovery (torn writes, bit rot, truncation).
     CheckpointFramesSkipped,
+    /// Records inserted into a dynamic aggregate skyline (recorded by the
+    /// incremental-maintenance layer only, like the `Sql*` extras).
+    DynInserts,
+    /// Group pairs whose γ-verdict was served from the Property-2 drift
+    /// interval without recounting (defer-recompute hits).
+    DynDeferred,
+    /// Group pairs whose tallies were recomputed through the kernel because
+    /// their drift interval crossed the γ bound (or a flush was forced).
+    DynFlushedPairs,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 23] = [
         Counter::GroupPairs,
         Counter::RecordPairs,
         Counter::BboxResolved,
@@ -90,6 +99,9 @@ impl Counter {
         Counter::CheckpointSaves,
         Counter::CheckpointLoads,
         Counter::CheckpointFramesSkipped,
+        Counter::DynInserts,
+        Counter::DynDeferred,
+        Counter::DynFlushedPairs,
     ];
 
     /// Prometheus metric name (`_total` suffix per convention).
@@ -115,6 +127,9 @@ impl Counter {
             Counter::CheckpointSaves => "aggsky_checkpoint_saves_total",
             Counter::CheckpointLoads => "aggsky_checkpoint_loads_total",
             Counter::CheckpointFramesSkipped => "aggsky_checkpoint_frames_skipped_total",
+            Counter::DynInserts => "aggsky_dyn_inserts_total",
+            Counter::DynDeferred => "aggsky_dyn_deferred_total",
+            Counter::DynFlushedPairs => "aggsky_dyn_flushed_pairs_total",
         }
     }
 
@@ -140,6 +155,9 @@ impl Counter {
             Counter::CheckpointSaves => 17,
             Counter::CheckpointLoads => 18,
             Counter::CheckpointFramesSkipped => 19,
+            Counter::DynInserts => 20,
+            Counter::DynDeferred => 21,
+            Counter::DynFlushedPairs => 22,
         }
     }
 }

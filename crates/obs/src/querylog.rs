@@ -84,6 +84,17 @@ pub struct QueryRecord {
     pub interrupted: bool,
     /// True when `ticks` met the journal's `SET SLOW_QUERY` threshold.
     pub slow: bool,
+    /// Epoch id published by a write batch routed through a live skyline
+    /// service binding; `None` for unrouted statements (the serving fields
+    /// below are then omitted from the JSON export entirely).
+    pub epoch: Option<u64>,
+    /// Write operations absorbed by the routed batch.
+    pub batch_rows: u64,
+    /// Pairs the routed batch served from the Property-2 drift interval
+    /// without recounting.
+    pub deferred_pairs: u64,
+    /// Pair tallies the routed batch recomputed through the kernel.
+    pub flushed_pairs: u64,
     /// Wall-clock duration; `None` unless wall timing was explicitly
     /// enabled (keeps the default export deterministic).
     pub wall_micros: Option<u64>,
@@ -125,6 +136,13 @@ impl QueryRecord {
             ",\"rows_out\":{},\"interrupted\":{},\"slow\":{}",
             self.rows_out, self.interrupted, self.slow
         );
+        if let Some(e) = self.epoch {
+            let _ = write!(
+                out,
+                ",\"epoch\":{e},\"batch_rows\":{},\"deferred_pairs\":{},\"flushed_pairs\":{}",
+                self.batch_rows, self.deferred_pairs, self.flushed_pairs
+            );
+        }
         if let Some(w) = self.wall_micros {
             let _ = write!(out, ",\"wall_micros\":{w}");
         }

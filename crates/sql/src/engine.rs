@@ -7,9 +7,52 @@ use crate::exec::{execute_select, QueryResult};
 use crate::parser::parse;
 use crate::plan::{eval, RExpr};
 use crate::value::Value;
-use aggsky_core::RunContext;
+use aggsky_core::service::{Epoch, EpochReceipt, SkylineService, WriteBatch};
+use aggsky_core::{Gamma, RunContext};
 use aggsky_obs::{query_id, Counter, QueryJournal, QueryRecord, TraceRecorder, WallClock};
+use std::collections::HashMap;
 use std::sync::Arc;
+
+/// A live serving binding: writes to the bound table are mirrored into an
+/// epoch-published [`SkylineService`], so readers can answer γ-queries
+/// against an immutable snapshot while DML keeps flowing.
+#[derive(Debug, Clone)]
+struct ServiceBinding {
+    /// Column whose value labels the group (TEXT, or INT rendered as
+    /// text).
+    group_col: usize,
+    /// Measure columns, in skyline-dimension order (all MAX preference).
+    measure_cols: Vec<usize>,
+    /// The service; `Arc` so database clones share one serving state.
+    service: Arc<SkylineService>,
+}
+
+impl ServiceBinding {
+    /// Converts one table row into a `(group label, record)` pair.
+    fn row_parts(&self, row: &[Value]) -> Result<(String, Vec<f64>)> {
+        let label = match row.get(self.group_col) {
+            Some(Value::Str(s)) => s.clone(),
+            Some(Value::Int(i)) => i.to_string(),
+            other => {
+                return Err(SqlError::Eval(format!(
+                    "serving group column must be TEXT or INT, got {other:?}"
+                )));
+            }
+        };
+        let mut record = Vec::with_capacity(self.measure_cols.len());
+        for &c in &self.measure_cols {
+            let v = row
+                .get(c)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| SqlError::Eval("serving measure must be numeric".into()))?;
+            if !v.is_finite() {
+                return Err(SqlError::Eval("serving measure must be finite".into()));
+            }
+            record.push(v);
+        }
+        Ok((label, record))
+    }
+}
 
 /// An in-memory SQL database.
 ///
@@ -42,6 +85,9 @@ pub struct Database {
     /// When true, journal records carry wall-clock durations. Off by
     /// default so the JSONL export stays byte-identical across runs.
     record_wall_time: bool,
+    /// Live serving bindings keyed by lowercase table name: DML against a
+    /// bound table is mirrored into its epoch-published skyline service.
+    services: HashMap<String, ServiceBinding>,
 }
 
 impl Database {
@@ -80,6 +126,97 @@ impl Database {
         } else {
             RunContext::with_budget(self.timeout_ticks)
         }
+    }
+
+    /// Binds a table to a live [`SkylineService`]: existing rows seed epoch
+    /// 0, and every subsequent `INSERT`/`DELETE` against the table is
+    /// routed through the service as one write batch, publishing a new
+    /// epoch snapshot per statement.
+    ///
+    /// `group_col` labels the group (TEXT, or INT rendered as text);
+    /// `measures` are the skyline dimensions in order, all MAX preference.
+    /// `UPDATE` against a bound table is rejected (`DELETE` + `INSERT`
+    /// instead) so the mirrored state can never silently diverge.
+    pub fn serve_skyline(
+        &mut self,
+        table: &str,
+        group_col: &str,
+        measures: &[&str],
+        gamma: f64,
+    ) -> Result<()> {
+        let key = table.to_ascii_lowercase();
+        if self.services.contains_key(&key) {
+            return Err(SqlError::Eval(format!("table '{table}' already has a serving binding")));
+        }
+        let t = self.catalog.get(table)?;
+        let group_col =
+            t.column_index(group_col).ok_or_else(|| SqlError::UnknownColumn(group_col.into()))?;
+        if measures.is_empty() {
+            return Err(SqlError::Eval("serving needs at least one measure column".into()));
+        }
+        let measure_cols = measures
+            .iter()
+            .map(|m| t.column_index(m).ok_or_else(|| SqlError::UnknownColumn((*m).into())))
+            .collect::<Result<Vec<usize>>>()?;
+        let gamma = Gamma::new(gamma).map_err(|e| SqlError::Eval(e.to_string()))?;
+        let service = SkylineService::new(measure_cols.len(), gamma)
+            .map_err(|e| SqlError::Eval(e.to_string()))?;
+        let binding = ServiceBinding { group_col, measure_cols, service: Arc::new(service) };
+        // Seed epoch 0 from the rows already in the table; any invalid row
+        // fails the whole bind before the binding is installed.
+        let mut batch = WriteBatch::new();
+        for row in &t.rows {
+            let (label, record) = binding.row_parts(row)?;
+            batch = batch.insert(label, &record);
+        }
+        binding
+            .service
+            .apply(&batch)
+            .map_err(|e| SqlError::Eval(format!("serving seed failed: {e}")))?;
+        self.services.insert(key, binding);
+        Ok(())
+    }
+
+    /// The live serving handle bound to `table`, if any.
+    pub fn skyline_service(&self, table: &str) -> Option<&Arc<SkylineService>> {
+        self.services.get(&table.to_ascii_lowercase()).map(|b| &b.service)
+    }
+
+    /// The current epoch snapshot of `table`'s serving binding, if any.
+    /// The returned handle stays valid (and immutable) across later writes.
+    pub fn serving_epoch(&self, table: &str) -> Option<Arc<Epoch>> {
+        self.services.get(&table.to_ascii_lowercase()).map(|b| b.service.current())
+    }
+
+    /// Mirrors routed DML rows into `table`'s serving binding, if bound,
+    /// and self-describes the published epoch in the journal record.
+    /// Returns `Ok(None)` when the table is unbound.
+    fn route_serving(
+        &mut self,
+        table: &str,
+        rows: &[Vec<Value>],
+        delete: bool,
+        record: &mut QueryRecord,
+    ) -> Result<Option<EpochReceipt>> {
+        let Some(binding) = self.services.get(&table.to_ascii_lowercase()) else {
+            return Ok(None);
+        };
+        let mut batch = WriteBatch::new();
+        for row in rows {
+            let (label, rec) = binding.row_parts(row)?;
+            batch = if delete { batch.delete(label, &rec) } else { batch.insert(label, &rec) };
+        }
+        // An apply error here is internal: the batch was validated above and
+        // the engine mirrors the table state exactly.
+        let receipt = binding
+            .service
+            .apply_ctx(&batch, &self.run_context())
+            .map_err(|e| SqlError::Eval(format!("serving apply failed: {e}")))?;
+        record.epoch = Some(receipt.epoch);
+        record.batch_rows = receipt.batch_rows;
+        record.deferred_pairs = receipt.deferred_pairs;
+        record.flushed_pairs = receipt.flushed_pairs;
+        Ok(Some(receipt))
     }
 
     /// Parses and executes one statement. DDL/DML statements return an
@@ -199,20 +336,45 @@ impl Database {
                         self.insert_value_rows(&table, columns.as_deref(), result.rows)?
                     }
                 };
-                Ok(ddl_result(n))
+                let receipt = if self.services.contains_key(&table.to_ascii_lowercase()) {
+                    let t = self.catalog.get(&table)?;
+                    let start = t.rows.len() - n;
+                    let inserted: Vec<Vec<Value>> = t.rows[start..].to_vec();
+                    match self.route_serving(&table, &inserted, false, record) {
+                        Ok(receipt) => receipt,
+                        Err(e) => {
+                            // Roll the rows back out so the table stays in
+                            // lock-step with the serving state.
+                            self.catalog.get_mut(&table)?.rows.truncate(start);
+                            return Err(e);
+                        }
+                    }
+                } else {
+                    None
+                };
+                Ok(dml_result(n, receipt))
             }
             Statement::DropTable(name) => {
                 record.kind = "ddl";
                 self.catalog.drop(&name)?;
+                self.services.remove(&name.to_ascii_lowercase());
                 Ok(ddl_result(0))
             }
             Statement::Delete { table, where_clause } => {
                 record.kind = "dml";
-                let n = self.delete_rows(&table, where_clause.as_ref())?;
-                Ok(ddl_result(n))
+                let removed = self.delete_rows(&table, where_clause.as_ref())?;
+                let receipt = self.route_serving(&table, &removed, true, record)?;
+                Ok(dml_result(removed.len(), receipt))
             }
             Statement::Update { table, sets, where_clause } => {
                 record.kind = "dml";
+                if self.services.contains_key(&table.to_ascii_lowercase()) {
+                    return Err(SqlError::Unsupported(
+                        "UPDATE on a table with a live skyline binding \
+                         (use DELETE + INSERT so the mirrored epochs stay exact)"
+                            .into(),
+                    ));
+                }
                 let n = self.update_rows(&table, &sets, where_clause.as_ref())?;
                 Ok(ddl_result(n))
             }
@@ -254,32 +416,38 @@ impl Database {
         Ok(compiled)
     }
 
+    /// Deletes matching rows and returns them (in table order). The delete
+    /// is all-or-nothing: the predicate is evaluated over every row before
+    /// anything is removed, so an evaluation error leaves the table — and
+    /// any serving binding mirroring it — untouched.
     fn delete_rows(
         &mut self,
         table: &str,
         where_clause: Option<&crate::ast::Expr>,
-    ) -> Result<usize> {
+    ) -> Result<Vec<Vec<Value>>> {
         let t = self.catalog.get(table)?;
         let predicate = where_clause.map(|e| Self::compile_row_expr(t, e)).transpose()?;
         let t = self.catalog.get_mut(table)?;
-        let before = t.rows.len();
         match predicate {
-            None => t.rows.clear(),
+            None => Ok(std::mem::take(&mut t.rows)),
             Some(p) => {
-                let mut err = None;
-                t.rows.retain(|row| match eval(&p, row, &[]) {
-                    Ok(v) => !v.is_truthy(),
-                    Err(e) => {
-                        err.get_or_insert(e);
-                        true
-                    }
-                });
-                if let Some(e) = err {
-                    return Err(e);
+                let mut hit = Vec::with_capacity(t.rows.len());
+                for row in &t.rows {
+                    hit.push(eval(&p, row, &[])?.is_truthy());
                 }
+                let mut removed = Vec::new();
+                let mut kept = Vec::with_capacity(t.rows.len());
+                for (row, hit) in std::mem::take(&mut t.rows).into_iter().zip(hit) {
+                    if hit {
+                        removed.push(row);
+                    } else {
+                        kept.push(row);
+                    }
+                }
+                t.rows = kept;
+                Ok(removed)
             }
         }
-        Ok(before - self.catalog.get(table)?.rows.len())
     }
 
     fn update_rows(
@@ -478,6 +646,18 @@ fn ddl_result(rows_affected: usize) -> QueryResult {
     }
 }
 
+/// A DML result that surfaces a routed write batch's budget edge: when the
+/// serving apply was interrupted, the table rows are already in place and
+/// the edits stay pending in the writer (absorbed by the next successful
+/// apply), but no new epoch was published this statement.
+fn dml_result(rows_affected: usize, receipt: Option<EpochReceipt>) -> QueryResult {
+    let mut result = ddl_result(rows_affected);
+    if let Some(reason) = receipt.and_then(|r| r.interrupted) {
+        result.interrupted = Some(crate::exec::Interruption { reason, undecided_groups: 0 });
+    }
+    result
+}
+
 /// A compact deterministic plan-shape label for the query log, e.g.
 /// `scan(movie)+filter+group+skyline(d=2)+sort`.
 fn plan_shape(stmt: &SelectStmt) -> String {
@@ -615,5 +795,161 @@ mod journal_tests {
         assert_eq!(db.journal().len(), 3, "clone journaled into the shared log");
         db.execute("SELECT pop FROM movie").unwrap();
         assert_eq!(other.journal().len(), 4);
+    }
+}
+
+#[cfg(test)]
+mod serving_tests {
+    use super::*;
+
+    const ORACLE: &str = "SELECT director FROM movie \
+         GROUP BY director SKYLINE OF pop MAX, qual MAX GAMMA 0.5";
+
+    fn movie_db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE movie (director TEXT, pop FLOAT, qual FLOAT)").unwrap();
+        db.execute(
+            "INSERT INTO movie VALUES ('T', 313, 8.2), ('T', 557, 9.0), \
+             ('K', 362, 8.8), ('W', 10, 3.2)",
+        )
+        .unwrap();
+        db
+    }
+
+    fn bound_db() -> Database {
+        let mut db = movie_db();
+        db.serve_skyline("movie", "director", &["pop", "qual"], 0.5).unwrap();
+        db
+    }
+
+    /// The from-scratch answer the live epoch must always agree with.
+    fn oracle(db: &mut Database) -> Vec<String> {
+        let mut labels: Vec<String> =
+            db.execute(ORACLE).unwrap().rows.iter().map(|r| r[0].to_string()).collect();
+        labels.sort();
+        labels
+    }
+
+    fn epoch_labels(db: &Database) -> Vec<String> {
+        let mut labels: Vec<String> = db
+            .serving_epoch("movie")
+            .expect("movie is bound")
+            .skyline_labels()
+            .iter()
+            .map(|l| (*l).to_string())
+            .collect();
+        labels.sort();
+        labels
+    }
+
+    #[test]
+    fn writes_route_through_the_binding_and_match_the_oracle() {
+        let mut db = bound_db();
+        let seed = db.serving_epoch("movie").unwrap();
+        assert_eq!(seed.id(), 1, "the existing rows seed one batch: epoch 1");
+        assert_eq!(epoch_labels(&db), oracle(&mut db));
+
+        db.execute("INSERT INTO movie VALUES ('W', 900, 9.5), ('W', 880, 9.4)").unwrap();
+        let e1 = db.serving_epoch("movie").unwrap();
+        assert_eq!(e1.id(), 2, "one statement publishes one epoch");
+        assert_eq!(epoch_labels(&db), oracle(&mut db));
+
+        db.execute("DELETE FROM movie WHERE director = 'W'").unwrap();
+        let e2 = db.serving_epoch("movie").unwrap();
+        assert_eq!(e2.id(), 3);
+        assert_eq!(epoch_labels(&db), oracle(&mut db));
+        assert!(
+            !e2.dataset()
+                .sorted_labels(&(0..e2.dataset().n_groups()).collect::<Vec<_>>())
+                .contains(&"W"),
+            "fully deleted group leaves the snapshot"
+        );
+        // The older epoch handle still answers against its own snapshot.
+        assert_eq!(e1.skyline_labels().len(), e1.skyline().len());
+    }
+
+    #[test]
+    fn journal_records_describe_routed_batches() {
+        let mut db = bound_db();
+        db.execute("INSERT INTO movie VALUES ('W', 900, 9.5)").unwrap();
+        db.execute("DELETE FROM movie WHERE director = 'K'").unwrap();
+        let records = db.journal().records();
+        let ins = &records[records.len() - 2];
+        assert_eq!(ins.epoch, Some(2));
+        assert_eq!(ins.batch_rows, 1);
+        assert!(
+            ins.deferred_pairs + ins.flushed_pairs > 0,
+            "a routed write settles at least one pair"
+        );
+        let del = &records[records.len() - 1];
+        assert_eq!(del.epoch, Some(3));
+        assert_eq!(del.batch_rows, 1);
+        let jsonl = db.journal().export_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(lines[lines.len() - 1].contains("\"epoch\":3,\"batch_rows\":1"));
+        assert!(
+            !lines[0].contains("\"epoch\""),
+            "unrouted statements carry no serving fields: {}",
+            lines[0]
+        );
+    }
+
+    #[test]
+    fn invalid_inserts_roll_back_and_publish_nothing() {
+        let mut db = bound_db();
+        let before = db.table_len("movie").unwrap();
+        let err = db.execute("INSERT INTO movie VALUES ('X', NULL, 5.0)").unwrap_err();
+        assert!(matches!(err, SqlError::Eval(_)), "{err}");
+        assert_eq!(db.table_len("movie").unwrap(), before, "rows rolled back");
+        assert_eq!(db.serving_epoch("movie").unwrap().id(), 1, "no epoch published");
+        assert_eq!(epoch_labels(&db), oracle(&mut db), "binding still serves");
+    }
+
+    #[test]
+    fn update_on_a_bound_table_is_rejected() {
+        let mut db = bound_db();
+        let err = db.execute("UPDATE movie SET pop = 1000 WHERE director = 'W'").unwrap_err();
+        assert!(matches!(err, SqlError::Unsupported(_)), "{err}");
+        assert_eq!(db.serving_epoch("movie").unwrap().id(), 1);
+        // Unbound tables still take UPDATEs.
+        let mut plain = movie_db();
+        plain.execute("UPDATE movie SET pop = 1000 WHERE director = 'W'").unwrap();
+    }
+
+    #[test]
+    fn bind_validates_its_inputs_and_drop_unbinds() {
+        let mut db = movie_db();
+        assert!(db.serve_skyline("movie", "nope", &["pop"], 0.5).is_err());
+        assert!(db.serve_skyline("movie", "director", &[], 0.5).is_err());
+        assert!(db.serve_skyline("movie", "director", &["pop"], 2.0).is_err());
+        db.serve_skyline("movie", "director", &["pop", "qual"], 0.5).unwrap();
+        assert!(
+            db.serve_skyline("movie", "director", &["pop"], 0.5).is_err(),
+            "double bind is rejected"
+        );
+        assert!(db.skyline_service("movie").is_some());
+        db.execute("DROP TABLE movie").unwrap();
+        assert!(db.skyline_service("movie").is_none(), "drop removes the binding");
+        assert!(db.serving_epoch("movie").is_none());
+    }
+
+    #[test]
+    fn interrupted_applies_stay_pending_until_the_next_statement() {
+        let mut db = bound_db();
+        db.execute("SET TIMEOUT 1").unwrap();
+        // (600, 8.5) straddles T's movies (dominates one, incomparable to
+        // the other), so the forced recount must compare record pairs —
+        // corner tests alone cannot classify it — and the 1-tick budget
+        // trips.
+        let r = db.execute("INSERT INTO movie VALUES ('W', 600, 8.5)").unwrap();
+        assert!(r.interrupted.is_some(), "1-tick budget cuts the apply short");
+        assert_eq!(db.serving_epoch("movie").unwrap().id(), 1, "nothing published");
+        let records = db.journal().records();
+        assert!(records[records.len() - 1].interrupted);
+        // Lifting the budget lets the next statement absorb the backlog.
+        db.execute("SET TIMEOUT 0").unwrap();
+        db.execute("INSERT INTO movie VALUES ('W', 880, 9.4)").unwrap();
+        assert!(db.serving_epoch("movie").unwrap().id() >= 2);
+        assert_eq!(epoch_labels(&db), oracle(&mut db));
     }
 }

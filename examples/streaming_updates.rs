@@ -19,21 +19,21 @@ fn main() {
     market.insert(acme, &[4.8, 6.5]).unwrap();
     market.insert(globex, &[3.0, 3.5]).unwrap();
     market.insert(initech, &[2.0, 9.0]).unwrap();
-    report("initial catalog", &market);
+    report("initial catalog", &mut market);
 
     // globex ships a breakout product: one insert, O(total records) work.
     market.insert(globex, &[4.9, 9.5]).unwrap();
-    report("after globex's new flagship", &market);
+    report("after globex's new flagship", &mut market);
 
     // acme recalls an offer.
     market.remove(acme, 0).unwrap();
-    report("after acme's recall", &market);
+    report("after acme's recall", &mut market);
 
     // p(S > R) is maintained exactly, so explanations are free:
     println!(
         "p(globex > initech) = {:.2}, p(initech > globex) = {:.2}\n",
-        market.domination_probability(globex, initech),
-        market.domination_probability(initech, globex)
+        market.domination_probability(globex, initech).unwrap(),
+        market.domination_probability(initech, globex).unwrap()
     );
 
     // --- Anytime answers on a big snapshot ---
@@ -61,8 +61,8 @@ fn main() {
     }
 }
 
-fn report(when: &str, market: &DynamicAggregateSkyline) {
-    let sky = market.skyline(Gamma::DEFAULT);
+fn report(when: &str, market: &mut DynamicAggregateSkyline) {
+    let sky = market.skyline(Gamma::DEFAULT).unwrap();
     let names: Vec<&str> = sky.iter().map(|&g| market.label(g)).collect();
     println!("{when}: skyline = {names:?}");
 }

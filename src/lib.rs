@@ -38,8 +38,8 @@ pub use aggsky_sql as sql;
 pub use aggsky_core::{
     anytime_resume, anytime_skyline, anytime_skyline_ctx, domination_probability, gamma_dominates,
     naive_skyline, parallel_skyline, ranked_skyline, AlgoOptions, Algorithm, AnytimeCheckpoint,
-    AnytimeResult, CancelToken, Direction, DynamicAggregateSkyline, Gamma, GroupedDataset,
-    GroupedDatasetBuilder, InterruptReason, Outcome, Pruning, RunContext, SkylineResult,
-    SortStrategy,
+    AnytimeResult, CancelToken, Direction, DynamicAggregateSkyline, Epoch, EpochReceipt, Gamma,
+    GroupedDataset, GroupedDatasetBuilder, InterruptReason, Outcome, Pruning, RunContext,
+    SkylineResult, SkylineService, SortStrategy, WriteBatch, WriteOp,
 };
 pub use aggsky_sql::Database;

@@ -181,7 +181,7 @@ fn dynamic_engine_tracks_the_movie_example() {
     // Nolan releases a monster hit: enters the skyline.
     let nolan = ds.group_by_label("Nolan").unwrap();
     dynamic.insert(nolan, &[900.0, 9.5]).unwrap();
-    let sky = dynamic.skyline(Gamma::DEFAULT);
+    let sky = dynamic.skyline(Gamma::DEFAULT).unwrap();
     let labels: Vec<&str> = sky.iter().map(|&g| dynamic.label(g)).collect();
     assert!(labels.contains(&"Nolan"), "{labels:?}");
     // Cross-check against a batch recompute on the snapshot.
