@@ -114,7 +114,9 @@ pub struct EpochReceipt {
     pub flushed_pairs: u64,
     /// `Some` when the context's budget or cancellation stopped the fold:
     /// the batch's edits stay pending in the writer and **no epoch was
-    /// published** — retry with more budget to publish.
+    /// published** — apply a further (possibly empty) batch with more
+    /// budget to publish the pending edits. Do **not** re-submit the same
+    /// batch: its operations were already absorbed and would apply twice.
     pub interrupted: Option<InterruptReason>,
 }
 
@@ -222,6 +224,16 @@ struct WriterState {
     /// snapshots).
     index: HashMap<String, GroupId>,
     next_epoch: u64,
+    /// Groups whose records changed since the last **published** epoch.
+    /// Accumulated across applies and cleared only after a successful
+    /// publish: a failed or interrupted apply leaves its edits pending in
+    /// the writer (possibly already folded into a group's base), and the
+    /// next successful publish must still rebuild those groups' prepared
+    /// segments — their net length may be unchanged, which would otherwise
+    /// slip past [`PreparedDataset::rebuild_dirty`]'s length guard and
+    /// publish stale sorted rows. Indices past the end are treated as
+    /// dirty by [`build_epoch`].
+    dirty: Vec<bool>,
 }
 
 impl WriterState {
@@ -318,7 +330,8 @@ impl SkylineService {
         first_epoch: u64,
     ) -> Result<SkylineService> {
         let index = (0..engine.n_groups()).map(|g| (engine.label(g).to_string(), g)).collect();
-        let mut w = WriterState { engine, index, next_epoch: first_epoch };
+        let dirty = vec![false; engine.n_groups()];
+        let mut w = WriterState { engine, index, next_epoch: first_epoch, dirty };
         let (epoch, _outcome) = build_epoch(&mut w, gamma, None, &[], &RunContext::unlimited())?;
         w.next_epoch += 1;
         Ok(SkylineService { gamma, writer: Mutex::new(w), current: RwLock::new(Arc::new(epoch)) })
@@ -356,10 +369,10 @@ impl SkylineService {
     /// non-finite values) and [`Error::InvalidArgument`] for a delete
     /// addressing an unknown group or record. A failed batch publishes no
     /// epoch; operations applied before the failure stay pending in the
-    /// writer and ride along with the next successful batch.
+    /// writer (their groups stay flagged dirty) and ride along with the
+    /// next successful batch.
     pub fn apply_ctx(&self, batch: &WriteBatch, ctx: &RunContext) -> Result<EpochReceipt> {
         let mut w = self.writer.lock().unwrap_or_else(|p| p.into_inner());
-        let mut touched = vec![false; w.engine.n_groups()];
         let mut batch_rows = 0u64;
         for op in &batch.ops {
             let g = match op {
@@ -379,14 +392,15 @@ impl SkylineService {
                     g
                 }
             };
-            if g >= touched.len() {
-                touched.resize(g + 1, false);
+            if g >= w.dirty.len() {
+                w.dirty.resize(g + 1, false);
             }
-            touched[g] = true;
+            w.dirty[g] = true;
             batch_rows += 1;
         }
         let prev = self.current();
-        let (epoch, outcome) = build_epoch(&mut w, self.gamma, Some(&prev), &touched, ctx)?;
+        let dirty = w.dirty.clone();
+        let (epoch, outcome) = build_epoch(&mut w, self.gamma, Some(&prev), &dirty, ctx)?;
         if let Some(reason) = outcome.interrupted {
             return Ok(EpochReceipt {
                 epoch: prev.id,
@@ -402,6 +416,7 @@ impl SkylineService {
         // line leaves `prev` serving unchanged.
         *self.current.write().unwrap_or_else(|p| p.into_inner()) = Arc::new(epoch);
         w.next_epoch += 1;
+        w.dirty.iter_mut().for_each(|d| *d = false);
         Ok(EpochReceipt {
             epoch: id,
             batch_rows,
@@ -460,13 +475,16 @@ fn snapshot_pairs(
 /// `gamma` (Property-2 deferral deciding what folds), snapshots the live
 /// records, and prepares them — reusing `prev`'s clean per-group segments
 /// via [`PreparedDataset::rebuild_dirty`] whenever the group layout is
-/// unchanged. Pure with respect to the served epoch: nothing is published
+/// unchanged. `dirty` flags every group (in service ids) whose records
+/// changed since `prev` was published — across however many failed or
+/// interrupted applies; indices past its end are conservatively treated
+/// as dirty. Pure with respect to the served epoch: nothing is published
 /// here.
 fn build_epoch(
     w: &mut WriterState,
     gamma: Gamma,
     prev: Option<&Epoch>,
-    touched: &[bool],
+    dirty: &[bool],
     ctx: &RunContext,
 ) -> Result<(Epoch, crate::dynamic::DynSkyline)> {
     let outcome = w.engine.skyline_ctx(gamma, ctx)?;
@@ -474,7 +492,7 @@ fn build_epoch(
     let prep = match prev {
         Some(p) if p.mapping == mapping && p.snapshot.dim() == snap.dim() => {
             let dirty: Vec<bool> =
-                mapping.iter().map(|&g| touched.get(g).copied().unwrap_or(true)).collect();
+                mapping.iter().map(|&g| dirty.get(g).copied().unwrap_or(true)).collect();
             p.prep.rebuild_dirty(&snap, &dirty)?
         }
         _ => PreparedDataset::build(&snap, PreparedDataset::DEFAULT_BLOCK_SIZE)?,
@@ -581,6 +599,80 @@ mod tests {
             assert_eq!(skyline, epoch.query(gamma), "gamma {gamma:?}");
             assert_eq!(skyline, oracle(&epoch, gamma), "gamma {gamma:?}");
         }
+    }
+
+    /// The published preparation must describe exactly the records of the
+    /// published snapshot, group by group (order-insensitive: the
+    /// preparation sorts within groups).
+    fn assert_prep_matches(epoch: &Epoch) {
+        let ds = epoch.dataset();
+        let prep = epoch.prepared();
+        let bits = |r: &Vec<f64>| r.iter().map(|v| v.to_bits()).collect::<Vec<u64>>();
+        for g in 0..ds.n_groups() {
+            let mut want: Vec<Vec<f64>> = ds.records(g).map(<[f64]>::to_vec).collect();
+            let mut got: Vec<Vec<f64>> =
+                (0..prep.group_len(g)).map(|i| prep.record(g, i).to_vec()).collect();
+            want.sort_by_key(bits);
+            got.sort_by_key(bits);
+            assert_eq!(got, want, "prep and snapshot disagree in group {g}");
+        }
+    }
+
+    #[test]
+    fn failed_apply_keeps_its_groups_dirty_for_the_next_publish() {
+        let svc = SkylineService::new(2, Gamma::DEFAULT).unwrap();
+        svc.apply(&WriteBatch::new().insert("a", &[1.0, 1.0]).insert("b", &[5.0, 5.0])).unwrap();
+        assert_eq!(svc.current().id(), 1);
+        // A balanced delete+insert on `a` followed by a failing op: the
+        // batch errors, the first two edits stay pending in the writer,
+        // and `a`'s net length is unchanged — exactly the shape that
+        // would slip past rebuild_dirty's length guard if dirtiness were
+        // tracked per batch instead of per publish.
+        let bad = WriteBatch::new()
+            .delete("a", &[1.0, 1.0])
+            .insert("a", &[10.0, 10.0])
+            .delete("missing", &[0.0, 0.0]);
+        assert!(svc.apply(&bad).is_err());
+        assert_eq!(svc.current().id(), 1, "failed batch publishes nothing");
+        // The next apply touches only `b`, yet must rebuild `a`'s segment.
+        let receipt = svc.apply(&WriteBatch::new().insert("b", &[6.0, 4.0])).unwrap();
+        assert_eq!(receipt.interrupted, None);
+        let epoch = svc.current();
+        assert_prep_matches(&epoch);
+        assert_eq!(epoch.skyline(), oracle(&epoch, Gamma::DEFAULT));
+        assert_eq!(epoch.query(Gamma::DEFAULT), epoch.skyline());
+    }
+
+    #[test]
+    fn interrupted_apply_keeps_its_groups_dirty_for_the_next_publish() {
+        let svc = SkylineService::new(2, Gamma::DEFAULT).unwrap();
+        let seed = WriteBatch::new()
+            .insert("a", &[1.0, 9.0])
+            .insert("a", &[9.0, 1.0])
+            .insert("b", &[5.0, 5.0]);
+        svc.apply(&seed).unwrap();
+        assert_eq!(svc.current().id(), 1);
+        // Replace both of `a`'s records: the drift interval for p(a ≻ b)
+        // widens to [0, 1], which straddles γ and forces a fold — and the
+        // 1-tick budget interrupts it. All four ops were absorbed, nothing
+        // was published, and `a`'s net length is unchanged.
+        let balanced = WriteBatch::new()
+            .delete("a", &[1.0, 9.0])
+            .delete("a", &[9.0, 1.0])
+            .insert("a", &[10.0, 10.0])
+            .insert("a", &[0.0, 0.0]);
+        let receipt = svc.apply_ctx(&balanced, &RunContext::with_budget(1)).unwrap();
+        assert_eq!(receipt.interrupted, Some(InterruptReason::BudgetExhausted));
+        assert_eq!(svc.current().id(), 1, "interrupted apply publishes nothing");
+        // An empty unbudgeted batch publishes the backlog; `a`'s prepared
+        // segment must be rebuilt even though this batch touched nothing.
+        let receipt = svc.apply(&WriteBatch::new()).unwrap();
+        assert_eq!(receipt.interrupted, None);
+        let epoch = svc.current();
+        assert_prep_matches(&epoch);
+        assert_eq!(epoch.dataset().n_records(), 3);
+        assert_eq!(epoch.skyline(), oracle(&epoch, Gamma::DEFAULT));
+        assert_eq!(epoch.query(Gamma::DEFAULT), epoch.skyline());
     }
 
     #[test]

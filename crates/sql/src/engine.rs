@@ -16,14 +16,15 @@ use std::sync::Arc;
 /// A live serving binding: writes to the bound table are mirrored into an
 /// epoch-published [`SkylineService`], so readers can answer γ-queries
 /// against an immutable snapshot while DML keeps flowing.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct ServiceBinding {
     /// Column whose value labels the group (TEXT, or INT rendered as
     /// text).
     group_col: usize,
     /// Measure columns, in skyline-dimension order (all MAX preference).
     measure_cols: Vec<usize>,
-    /// The service; `Arc` so database clones share one serving state.
+    /// The service; `Arc` so [`Database::skyline_service`] can hand out
+    /// long-lived reader handles.
     service: Arc<SkylineService>,
 }
 
@@ -67,7 +68,7 @@ impl ServiceBinding {
 /// assert_eq!(r.rows.len(), 1);
 /// assert_eq!(r.rows[0][0].to_string(), "Pulp Fiction");
 /// ```
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 pub struct Database {
     catalog: Catalog,
     /// `SET TIMEOUT` budget in record-pair ticks; `0` = unlimited.
@@ -88,6 +89,26 @@ pub struct Database {
     /// Live serving bindings keyed by lowercase table name: DML against a
     /// bound table is mirrored into its epoch-published skyline service.
     services: HashMap<String, ServiceBinding>,
+}
+
+impl Clone for Database {
+    /// Clones the catalog and settings; the journal stays shared (`Arc`),
+    /// so clones keep logging into one query log. Live serving bindings
+    /// are **not** carried over: each clone owns an independent copy of
+    /// every table, so sharing a bound [`SkylineService`] would let DML on
+    /// one copy silently diverge the epochs the other serves. Re-bind with
+    /// [`Database::serve_skyline`] on the clone if it needs live serving.
+    fn clone(&self) -> Database {
+        Database {
+            catalog: self.catalog.clone(),
+            timeout_ticks: self.timeout_ticks,
+            checkpoint_dir: self.checkpoint_dir.clone(),
+            journal: self.journal.clone(),
+            executed: self.executed,
+            record_wall_time: self.record_wall_time,
+            services: HashMap::new(),
+        }
+    }
 }
 
 impl Database {
@@ -362,9 +383,22 @@ impl Database {
             }
             Statement::Delete { table, where_clause } => {
                 record.kind = "dml";
-                let removed = self.delete_rows(&table, where_clause.as_ref())?;
-                let receipt = self.route_serving(&table, &removed, true, record)?;
-                Ok(dml_result(removed.len(), receipt))
+                let (removed, positions) = self.delete_rows(&table, where_clause.as_ref())?;
+                let n = removed.len();
+                let receipt = match self.route_serving(&table, &removed, true, record) {
+                    Ok(receipt) => receipt,
+                    Err(e) => {
+                        // Splice the rows back at their original positions
+                        // so the table stays in lock-step with the serving
+                        // state (mirrors the INSERT rollback).
+                        let t = self.catalog.get_mut(&table)?;
+                        for (&pos, row) in positions.iter().zip(removed) {
+                            t.rows.insert(pos, row);
+                        }
+                        return Err(e);
+                    }
+                };
+                Ok(dml_result(n, receipt))
             }
             Statement::Update { table, sets, where_clause } => {
                 record.kind = "dml";
@@ -416,7 +450,9 @@ impl Database {
         Ok(compiled)
     }
 
-    /// Deletes matching rows and returns them (in table order). The delete
+    /// Deletes matching rows and returns them alongside their original
+    /// table positions (both in table order; re-inserting each row at its
+    /// position in ascending order restores the table exactly). The delete
     /// is all-or-nothing: the predicate is evaluated over every row before
     /// anything is removed, so an evaluation error leaves the table — and
     /// any serving binding mirroring it — untouched.
@@ -424,28 +460,35 @@ impl Database {
         &mut self,
         table: &str,
         where_clause: Option<&crate::ast::Expr>,
-    ) -> Result<Vec<Vec<Value>>> {
+    ) -> Result<(Vec<Vec<Value>>, Vec<usize>)> {
         let t = self.catalog.get(table)?;
         let predicate = where_clause.map(|e| Self::compile_row_expr(t, e)).transpose()?;
         let t = self.catalog.get_mut(table)?;
         match predicate {
-            None => Ok(std::mem::take(&mut t.rows)),
+            None => {
+                let rows = std::mem::take(&mut t.rows);
+                let positions = (0..rows.len()).collect();
+                Ok((rows, positions))
+            }
             Some(p) => {
                 let mut hit = Vec::with_capacity(t.rows.len());
                 for row in &t.rows {
                     hit.push(eval(&p, row, &[])?.is_truthy());
                 }
                 let mut removed = Vec::new();
+                let mut positions = Vec::new();
                 let mut kept = Vec::with_capacity(t.rows.len());
-                for (row, hit) in std::mem::take(&mut t.rows).into_iter().zip(hit) {
+                for (pos, (row, hit)) in std::mem::take(&mut t.rows).into_iter().zip(hit).enumerate()
+                {
                     if hit {
                         removed.push(row);
+                        positions.push(pos);
                     } else {
                         kept.push(row);
                     }
                 }
                 t.rows = kept;
-                Ok(removed)
+                Ok((removed, positions))
             }
         }
     }
@@ -903,6 +946,40 @@ mod serving_tests {
         assert_eq!(db.table_len("movie").unwrap(), before, "rows rolled back");
         assert_eq!(db.serving_epoch("movie").unwrap().id(), 1, "no epoch published");
         assert_eq!(epoch_labels(&db), oracle(&mut db), "binding still serves");
+    }
+
+    #[test]
+    fn failed_delete_routing_restores_the_removed_rows() {
+        let mut db = bound_db();
+        // Make the mirrored engine diverge behind the table's back by
+        // deleting K's record directly through the service handle: the
+        // next routed DELETE of that row then fails inside the service.
+        let svc = db.skyline_service("movie").unwrap().clone();
+        svc.apply(&WriteBatch::new().delete("K", &[362.0, 8.8])).unwrap();
+        let before = db.table("movie").unwrap().rows.clone();
+        let err = db.execute("DELETE FROM movie WHERE director = 'K'").unwrap_err();
+        assert!(matches!(err, SqlError::Eval(_)), "{err}");
+        assert_eq!(
+            db.table("movie").unwrap().rows,
+            before,
+            "removed rows restored at their original positions"
+        );
+    }
+
+    #[test]
+    fn clones_do_not_carry_serving_bindings() {
+        let db = bound_db();
+        let mut other = db.clone();
+        assert!(other.skyline_service("movie").is_none(), "bindings are not cloned");
+        // DML on the clone touches only the clone's tables, never the
+        // original's serving state.
+        other.execute("INSERT INTO movie VALUES ('X', 1000, 9.9)").unwrap();
+        assert_eq!(db.serving_epoch("movie").unwrap().id(), 1);
+        assert_eq!(db.table_len("movie").unwrap(), 4);
+        assert_eq!(other.table_len("movie").unwrap(), 5);
+        // The clone can bind its own independent service.
+        other.serve_skyline("movie", "director", &["pop", "qual"], 0.5).unwrap();
+        assert_eq!(other.serving_epoch("movie").unwrap().id(), 1);
     }
 
     #[test]
